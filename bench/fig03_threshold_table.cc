@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Figure 3: feedback-based aperture control and setpoint-based
+ * demotions.
+ *
+ * (a) the linear aperture transfer function of Eq. 7;
+ * (c) the demotion-thresholds lookup table — reproduced exactly for
+ *     the paper's worked example (1000-line partition, 10% slack,
+ *     4 entries, Amax = 0.5, c = 256) and for the default 8-entry
+ *     configuration.
+ */
+
+#include <cstdio>
+
+#include "core/vantage.h"
+#include "stats/table.h"
+
+using namespace vantage;
+
+namespace {
+
+/** Expose the thresholds table for printing. */
+class InspectableVantage : public VantageController
+{
+  public:
+    using VantageController::VantageController;
+
+    void
+    printThresholds(PartId part, std::uint32_t c) const
+    {
+        const PartState &ps = parts_[part];
+        TablePrinter table({"size range (lines)",
+                            "demotions per " + std::to_string(c) +
+                                " candidates"});
+        for (std::size_t k = 0; k < ps.thrSize.size(); ++k) {
+            const std::string hi =
+                k + 1 < ps.thrSize.size()
+                    ? std::to_string(ps.thrSize[k + 1] - 1)
+                    : "+";
+            table.addRow({std::to_string(ps.thrSize[k]) + "-" + hi,
+                          std::to_string(ps.thrDems[k])});
+        }
+        table.print();
+    }
+
+    double
+    aperture(PartId part) const
+    {
+        return apertureOf(parts_[part]);
+    }
+
+    void
+    forceActualSize(PartId part, std::uint64_t size)
+    {
+        parts_[part].actualSize = size;
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 3: feedback-based aperture control\n\n");
+
+    std::printf("Fig. 3a — aperture transfer function (Eq. 7), "
+                "T = 1000 lines, slack = 10%%, Amax = 0.5:\n");
+    {
+        VantageConfig cfg;
+        cfg.numPartitions = 1;
+        cfg.unmanagedFraction = 0.3;
+        cfg.maxAperture = 0.5;
+        cfg.slack = 0.1;
+        InspectableVantage ctl(2048, cfg);
+        ctl.setTargetLines({1000});
+        TablePrinter table({"actual size", "aperture"});
+        for (std::uint64_t s = 950; s <= 1150; s += 25) {
+            ctl.forceActualSize(0, s);
+            table.addRow({std::to_string(s),
+                          TablePrinter::fmt(ctl.aperture(0), 3)});
+        }
+        table.print();
+    }
+
+    std::printf("\nFig. 3c — 4-entry demotion-thresholds lookup "
+                "table (paper's example: T = 1000, 10%% slack, "
+                "Amax = 0.5, c = 256):\n");
+    {
+        VantageConfig cfg;
+        cfg.numPartitions = 1;
+        cfg.unmanagedFraction = 0.3;
+        cfg.maxAperture = 0.5;
+        cfg.slack = 0.1;
+        cfg.thresholdEntries = 4;
+        cfg.candsPerAdjust = 256;
+        InspectableVantage ctl(2048, cfg);
+        ctl.setTargetLines({1000});
+        ctl.printThresholds(0, 256);
+        std::printf("(paper Fig. 3c: 1000-1033 -> 32, 1034-1066 -> "
+                    "64, 1067-1100 -> 96, 1101+ -> 128)\n");
+    }
+
+    std::printf("\nDefault 8-entry table for the same partition:\n");
+    {
+        VantageConfig cfg;
+        cfg.numPartitions = 1;
+        cfg.unmanagedFraction = 0.3;
+        cfg.maxAperture = 0.5;
+        cfg.slack = 0.1;
+        InspectableVantage ctl(2048, cfg);
+        ctl.setTargetLines({1000});
+        ctl.printThresholds(0, 256);
+    }
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 5: sizing the unmanaged region (Sec. 4.3),
+ * u = 1 - Pev^(1/R) + (1 + slack) / (Amax * R), slack = 0.1.
+ *
+ * (a) unmanaged fraction vs Amax at Pev = 1e-2;
+ * (b) unmanaged fraction vs worst-case eviction probability Pev at
+ *     Amax = 0.4; both for R = 16 and R = 52.
+ */
+
+#include <cstdio>
+
+#include "core/model.h"
+#include "stats/table.h"
+
+using namespace vantage;
+
+int
+main()
+{
+    std::printf("Figure 5: unmanaged region sizing "
+                "(slack = 0.1)\n\n");
+
+    std::printf("(a) vs Amax, at Pev = 1e-2:\n");
+    {
+        TablePrinter table({"Amax", "u (R=16)", "u (R=52)"});
+        for (double amax = 0.1; amax <= 1.001; amax += 0.1) {
+            table.addRow(
+                {TablePrinter::fmt(amax, 1),
+                 TablePrinter::fmt(
+                     model::unmanagedFraction(16, amax, 0.1, 1e-2), 3),
+                 TablePrinter::fmt(
+                     model::unmanagedFraction(52, amax, 0.1, 1e-2),
+                     3)});
+        }
+        table.print();
+    }
+
+    std::printf("\n(b) vs Pev, at Amax = 0.4:\n");
+    {
+        TablePrinter table({"Pev", "u (R=16)", "u (R=52)"});
+        for (double pev = 1e-6; pev <= 1.0001; pev *= 10.0) {
+            table.addRow(
+                {TablePrinter::fmtSci(pev, 0),
+                 TablePrinter::fmt(
+                     model::unmanagedFraction(16, 0.4, 0.1, pev), 3),
+                 TablePrinter::fmt(
+                     model::unmanagedFraction(52, 0.4, 0.1, pev),
+                     3)});
+        }
+        table.print();
+    }
+
+    std::printf("\nPaper reference points: R=52, Amax=0.4 -> "
+                "u = %.1f%% at Pev=1e-2 (paper: 13%%), "
+                "u = %.1f%% at Pev=1e-4 (paper: 21%%)\n",
+                100 * model::unmanagedFraction(52, 0.4, 0.1, 1e-2),
+                100 * model::unmanagedFraction(52, 0.4, 0.1, 1e-4));
+    return 0;
+}

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Figure 8: target vs actual partition sizes over time, and
+ * associativity over time, for one partition of a 4-core mix under
+ * way-partitioning, Vantage and PIPP.
+ *
+ * We run the mix {soplex(t), gcc(f), mcf(s), povray(n)} and track
+ * partition 0 (the cache-fitting app, whose UCP allocation moves the
+ * most). For each repartition interval we print target size, actual
+ * size, and — as the textual stand-in for the paper's heat maps —
+ * the interval's 10th/50th percentile eviction (way-partitioning) or
+ * demotion (Vantage) priority: higher percentiles mean the scheme
+ * only recycles lines its policy ranks near the top, i.e. higher
+ * effective associativity.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "core/vantage.h"
+#include "partition/way_partition.h"
+#include "sim/experiment.h"
+#include "stats/table.h"
+#include "workload/profiles.h"
+
+using namespace vantage;
+
+namespace {
+
+std::vector<AppSpec>
+theMix()
+{
+    return {appByName("soplex"), appByName("gcc"), appByName("mcf"),
+            appByName("povray")};
+}
+
+L2Spec
+specFor(SchemeKind scheme, ArrayKind array, const CmpConfig &machine)
+{
+    L2Spec s;
+    s.scheme = scheme;
+    s.array = array;
+    s.numPartitions = machine.numCores;
+    s.lines = machine.l2Lines();
+    s.vantage.unmanagedFraction = 0.05;
+    s.vantage.maxAperture = 0.5;
+    s.vantage.slack = 0.1;
+    return s;
+}
+
+struct Sample
+{
+    Cycle cycle;
+    std::uint64_t target;
+    std::uint64_t actual;
+    double p10 = 0.0; ///< 10th pct eviction/demotion priority.
+    double p50 = 0.0;
+};
+
+void
+printSamples(const char *title, const std::vector<Sample> &samples,
+             bool with_priorities)
+{
+    std::printf("%s\n", title);
+    std::vector<std::string> header = {"Mcycle", "target", "actual"};
+    if (with_priorities) {
+        header.push_back("prio-p10");
+        header.push_back("prio-p50");
+    }
+    TablePrinter table(header);
+    for (const auto &s : samples) {
+        std::vector<std::string> row = {
+            TablePrinter::fmt(static_cast<double>(s.cycle) / 1e6, 2),
+            std::to_string(s.target), std::to_string(s.actual)};
+        if (with_priorities) {
+            row.push_back(TablePrinter::fmt(s.p10, 2));
+            row.push_back(TablePrinter::fmt(s.p50, 2));
+        }
+        table.addRow(row);
+    }
+    table.print();
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    CmpConfig machine = CmpConfig::small4Core();
+    machine.repartitionCycles = 250'000;
+    const std::uint64_t kWarmup = 20'000;
+    const std::uint64_t kInstrs = 1'200'000;
+    const PartId kTracked = 0;
+
+    std::printf("Figure 8: partition size tracking for partition 0 "
+                "(soplex, cache-fitting) in mix "
+                "{soplex, gcc, mcf, povray}\n\n");
+
+    // -------------------- Way-partitioning --------------------
+    {
+        CmpSim sim(machine, theMix(),
+                   buildL2(specFor(SchemeKind::WayPart,
+                                   ArrayKind::SA16, machine)));
+        auto &wp =
+            static_cast<WayPartitioning &>(sim.l2().scheme());
+        AssocProbe probe(96, 0xf8);
+        wp.attachProbe(&probe, kTracked);
+        std::vector<Sample> samples;
+        sim.onRepartition = [&](Cycle cycle) {
+            Sample s;
+            s.cycle = cycle;
+            s.target = wp.targetSize(kTracked);
+            s.actual = wp.actualSize(kTracked);
+            if (probe.cdf().samples() > 20) {
+                s.p10 = probe.cdf().quantile(0.1);
+                s.p50 = probe.cdf().quantile(0.5);
+            }
+            probe.reset();
+            samples.push_back(s);
+        };
+        sim.warmup(kWarmup);
+        sim.run(kInstrs);
+        printSamples("Way-partitioning (SA16): evictions within the "
+                     "partition spread far down the LRU ranking when "
+                     "its way count is small",
+                     samples, true);
+    }
+
+    // -------------------- Vantage --------------------
+    {
+        CmpSim sim(machine, theMix(),
+                   buildL2(specFor(SchemeKind::Vantage,
+                                   ArrayKind::Z4_52, machine)));
+        auto &ctl =
+            static_cast<VantageController &>(sim.l2().scheme());
+        EmpiricalCdf cdf;
+        ctl.attachDemotionCdf(kTracked, &cdf);
+        std::vector<Sample> samples;
+        sim.onRepartition = [&](Cycle cycle) {
+            Sample s;
+            s.cycle = cycle;
+            s.target = ctl.targetSize(kTracked);
+            s.actual = ctl.actualSize(kTracked);
+            if (cdf.samples() > 20) {
+                s.p10 = cdf.quantile(0.1);
+                s.p50 = cdf.quantile(0.5);
+            }
+            cdf.reset();
+            samples.push_back(s);
+        };
+        sim.warmup(kWarmup);
+        sim.run(kInstrs);
+        printSamples("Vantage (Z4/52): actual tracks target from "
+                     "above (never below), and demotions stay at the "
+                     "top of the partition's ranking",
+                     samples, true);
+    }
+
+    // -------------------- PIPP --------------------
+    {
+        CmpSim sim(machine, theMix(),
+                   buildL2(specFor(SchemeKind::Pipp, ArrayKind::SA16,
+                                   machine)));
+        PartitionScheme &pipp = sim.l2().scheme();
+        std::vector<Sample> samples;
+        sim.onRepartition = [&](Cycle cycle) {
+            Sample s;
+            s.cycle = cycle;
+            s.target = pipp.targetSize(kTracked);
+            s.actual = pipp.actualSize(kTracked);
+            samples.push_back(s);
+        };
+        sim.warmup(kWarmup);
+        sim.run(kInstrs);
+        printSamples("PIPP (SA16): sizes only approximate the target "
+                     "(often far under it)",
+                     samples, false);
+    }
+
+    std::printf("Paper expectation: way-partitioning and Vantage "
+                "track targets closely (way-partitioning converges "
+                "slowly after downsizing); Vantage never runs under "
+                "target; PIPP frequently misses its target.\n");
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Figure 9: sensitivity of Vantage to the unmanaged region size,
+ * u = 5%..30%, on the 4-core machine (Z4/52, Amax = 0.5,
+ * slack = 0.1).
+ *
+ * (a) throughput vs the LRU-SA16 baseline;
+ * (b) fraction of evictions forced from the managed region, compared
+ *     with the analytic worst case Pev = (1 - u_ev)^R where u_ev is
+ *     the eviction share of u (Sec. 4.3 model markers).
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/model.h"
+#include "stats/table.h"
+#include "core/vantage.h"
+#include "suite.h"
+#include "workload/mixes.h"
+
+using namespace vantage;
+using namespace vantage::bench;
+
+int
+main()
+{
+    const CmpConfig machine = CmpConfig::small4Core();
+    RunScale defaults;
+    defaults.warmupAccesses = 30'000;
+    defaults.instructions = 500'000;
+    const SuiteOptions opts =
+        SuiteOptions::fromEnv(machine, 1, defaults,
+                              /*default_stride=*/2);
+
+    const double us[] = {0.05, 0.10, 0.15, 0.20, 0.25, 0.30};
+
+    auto spec = [&](double u) {
+        L2Spec s;
+        s.scheme = SchemeKind::Vantage;
+        s.array = ArrayKind::Z4_52;
+        s.numPartitions = machine.numCores;
+        s.lines = machine.l2Lines();
+        s.vantage.unmanagedFraction = u;
+        s.vantage.maxAperture = 0.5;
+        s.vantage.slack = 0.1;
+        return s;
+    };
+    L2Spec baseline;
+    baseline.scheme = SchemeKind::UnpartLru;
+    baseline.array = ArrayKind::SA16;
+    baseline.numPartitions = machine.numCores;
+    baseline.lines = machine.l2Lines();
+
+    std::printf("Figure 9: Vantage sensitivity to the unmanaged "
+                "region size (Z4/52, Amax=0.5, slack=0.1)\n\n");
+
+    std::vector<L2Spec> configs;
+    std::vector<std::string> names;
+    for (const double u : us) {
+        configs.push_back(spec(u));
+        names.push_back("u=" + std::to_string(
+                                   static_cast<int>(u * 100 + 0.5)) +
+                        "%");
+    }
+    const auto rows = runSuite(opts, baseline, configs);
+
+    std::printf("Fig. 9a — throughput vs LRU-SA16:\n");
+    printSummary(rows, names);
+
+    // 9b: rerun one representative heavy mix per u and measure the
+    // forced-eviction fraction from the controller's own counters.
+    std::printf("\nFig. 9b — fraction of evictions from the managed "
+                "region (heavy all-streaming + fitting mixes):\n");
+    {
+        TablePrinter table({"u", "measured min", "measured median",
+                            "measured max", "model Pev (worst case)"});
+        const std::uint32_t probe_classes[] = {0, 1, 5, 10};
+        for (const double u : us) {
+            std::vector<double> fracs;
+            for (const std::uint32_t cls : probe_classes) {
+                CmpSim sim(machine, makeMix(cls, 1, 0),
+                           buildL2(spec(u)));
+                sim.warmup(opts.scale.warmupAccesses);
+                sim.run(opts.scale.instructions);
+                const auto &ctl = static_cast<VantageController &>(
+                    sim.l2().scheme());
+                const auto &st = ctl.stats();
+                fracs.push_back(
+                    st.evictions
+                        ? static_cast<double>(st.evictionsFromManaged) /
+                              static_cast<double>(st.evictions)
+                        : 0.0);
+            }
+            std::sort(fracs.begin(), fracs.end());
+            // Eviction share of u: subtract borrow + slack reserves.
+            const double reserve =
+                (1.0 + 0.1) / (0.5 * 52.0);
+            const double u_ev = std::max(0.0, u - reserve);
+            table.addRow(
+                {TablePrinter::fmt(u, 2),
+                 TablePrinter::fmtSci(fracs.front(), 1),
+                 TablePrinter::fmtSci(fracs[fracs.size() / 2], 1),
+                 TablePrinter::fmtSci(fracs.back(), 1),
+                 TablePrinter::fmtSci(
+                     model::worstCaseEvictionProb(52, u_ev), 1)});
+        }
+        table.print();
+    }
+
+    std::printf("\nPaper expectation: throughput differences are "
+                "small (u=5%% best for UCP); forced evictions drop "
+                "steeply — arbitrarily rare isolation is available "
+                "by growing u.\n");
+    return 0;
+}

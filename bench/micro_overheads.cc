@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the mechanisms whose
+ * hardware cost the paper argues is low (Sec. 4.3): H3 hashing,
+ * zcache lookups and walks, Vantage demotion checks (via full miss
+ * handling), and the baseline policies, plus UMON and Lookahead —
+ * the simulator-side costs of each component.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "alloc/lookahead.h"
+#include "alloc/umon.h"
+#include "array/set_assoc.h"
+#include "array/zarray.h"
+#include "cache/cache.h"
+#include "common/rng.h"
+#include "core/vantage.h"
+#include "hash/h3.h"
+#include "partition/unpartitioned.h"
+#include "replacement/lru.h"
+
+using namespace vantage;
+
+namespace {
+
+void
+BM_H3Hash(benchmark::State &state)
+{
+    H3Hash h(7);
+    Rng rng(1);
+    std::uint64_t x = rng.next();
+    for (auto _ : state) {
+        x = h(x);
+        benchmark::DoNotOptimize(x);
+    }
+}
+BENCHMARK(BM_H3Hash);
+
+void
+BM_ZArrayLookup(benchmark::State &state)
+{
+    ZArray arr(32768, 4, 52, 1);
+    Rng rng(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(arr.lookup(rng.next() >> 16));
+    }
+}
+BENCHMARK(BM_ZArrayLookup);
+
+void
+BM_ZArrayWalk(benchmark::State &state)
+{
+    const auto r = static_cast<std::uint32_t>(state.range(0));
+    ZArray arr(32768, 4, r, 1);
+    Rng rng(3);
+    std::vector<Candidate> cands;
+    // Fill the array first.
+    for (int i = 0; i < 300000; ++i) {
+        const Addr a = rng.next() >> 16;
+        if (arr.lookup(a) != kInvalidLine) continue;
+        arr.candidates(a, cands);
+        std::int32_t v = 0;
+        for (std::size_t j = 0; j < cands.size(); ++j) {
+            if (!arr.line(cands[j].slot).valid()) {
+                v = static_cast<std::int32_t>(j);
+                break;
+            }
+        }
+        arr.replace(a, cands, v);
+    }
+    for (auto _ : state) {
+        arr.candidates(rng.next() >> 16, cands);
+        benchmark::DoNotOptimize(cands.data());
+    }
+}
+BENCHMARK(BM_ZArrayWalk)->Arg(16)->Arg(52);
+
+void
+BM_SetAssocAccess(benchmark::State &state)
+{
+    Cache cache(std::make_unique<SetAssocArray>(32768, 16, true, 1),
+                std::make_unique<Unpartitioned>(
+                    1, std::make_unique<ExactLru>()),
+                "sa");
+    Rng rng(4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.next() >> 16, 0));
+    }
+}
+BENCHMARK(BM_SetAssocAccess);
+
+void
+BM_VantageMiss(benchmark::State &state)
+{
+    VantageConfig cfg;
+    cfg.numPartitions = 4;
+    cfg.unmanagedFraction = 0.05;
+    Cache cache(std::make_unique<ZArray>(32768, 4, 52, 1),
+                std::make_unique<VantageController>(32768, cfg),
+                "v");
+    Rng rng(5);
+    int part = 0;
+    // Warm up so every access is a full replacement.
+    for (int i = 0; i < 400000; ++i) {
+        cache.access((1ull << 40) | (rng.next() >> 16), i & 3);
+    }
+    for (auto _ : state) {
+        part = (part + 1) & 3;
+        benchmark::DoNotOptimize(
+            cache.access((1ull << 40) | (rng.next() >> 16), part));
+    }
+}
+BENCHMARK(BM_VantageMiss);
+
+void
+BM_VantageHit(benchmark::State &state)
+{
+    VantageConfig cfg;
+    cfg.numPartitions = 4;
+    cfg.unmanagedFraction = 0.05;
+    Cache cache(std::make_unique<ZArray>(32768, 4, 52, 1),
+                std::make_unique<VantageController>(32768, cfg),
+                "v");
+    Rng rng(6);
+    for (Addr a = 0; a < 4096; ++a) {
+        cache.access((1ull << 40) | a, 0);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access((1ull << 40) | rng.range(4096), 0));
+    }
+}
+BENCHMARK(BM_VantageHit);
+
+void
+BM_UmonAccess(benchmark::State &state)
+{
+    Umon umon(16, 64, 2048, 1);
+    Rng rng(7);
+    for (auto _ : state) {
+        umon.access(rng.next() >> 16);
+    }
+}
+BENCHMARK(BM_UmonAccess);
+
+void
+BM_Lookahead(benchmark::State &state)
+{
+    const auto units = static_cast<std::uint32_t>(state.range(0));
+    Rng rng(8);
+    std::vector<std::vector<double>> curves(32);
+    for (auto &c : curves) {
+        double acc = 0.0;
+        c.push_back(0.0);
+        for (std::uint32_t u = 1; u <= units; ++u) {
+            acc += rng.uniform();
+            c.push_back(acc);
+        }
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            lookaheadAllocate(curves, units, 1));
+    }
+}
+BENCHMARK(BM_Lookahead)->Arg(64)->Arg(256);
+
+} // namespace
+
+BENCHMARK_MAIN();

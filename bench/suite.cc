@@ -1,0 +1,197 @@
+#include "suite.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "stats/table.h"
+#include "workload/mixes.h"
+
+namespace vantage {
+namespace bench {
+
+SuiteOptions
+SuiteOptions::fromEnv(const CmpConfig &machine,
+                      std::uint32_t cores_per_slot,
+                      const RunScale &defaults,
+                      std::uint32_t default_stride)
+{
+    SuiteOptions opts;
+    opts.machine = machine;
+    opts.coresPerSlot = cores_per_slot;
+    opts.scale = defaults;
+    if (const char *s = std::getenv("VANTAGE_WARMUP")) {
+        opts.scale.warmupAccesses = std::strtoull(s, nullptr, 10);
+    }
+    if (const char *s = std::getenv("VANTAGE_INSTRS")) {
+        opts.scale.instructions = std::strtoull(s, nullptr, 10);
+    }
+    if (const char *s = std::getenv("VANTAGE_MIX_SEEDS")) {
+        opts.scale.mixSeedsPerClass = static_cast<std::uint32_t>(
+            std::strtoul(s, nullptr, 10));
+    }
+    opts.classStride = default_stride;
+    if (const char *s = std::getenv("VANTAGE_CLASS_STRIDE")) {
+        opts.classStride = std::max(1u, static_cast<std::uint32_t>(
+                                            std::strtoul(s, nullptr,
+                                                         10)));
+    }
+    return opts;
+}
+
+std::vector<MixRow>
+runSuite(const SuiteOptions &opts, const L2Spec &baseline,
+         const std::vector<L2Spec> &configs)
+{
+    std::vector<MixRow> rows;
+    const std::uint32_t num_classes =
+        static_cast<std::uint32_t>(allMixClasses().size());
+    std::uint32_t done = 0;
+    std::uint32_t total = 0;
+    for (std::uint32_t c = 0; c < num_classes; c += opts.classStride) {
+        total += opts.scale.mixSeedsPerClass;
+    }
+
+    for (std::uint32_t cls = 0; cls < num_classes;
+         cls += opts.classStride) {
+        for (std::uint32_t seed = 0;
+             seed < opts.scale.mixSeedsPerClass; ++seed) {
+            const auto apps = makeMix(cls, opts.coresPerSlot, seed);
+            const std::string name = mixName(cls, seed);
+
+            MixRow row;
+            row.mix = name;
+            const MixResult base = runMix(opts.machine, baseline,
+                                          apps, opts.scale, name,
+                                          seed + 1);
+            row.baseline = base.throughput;
+            for (const auto &spec : configs) {
+                const MixResult r = runMix(opts.machine, spec, apps,
+                                           opts.scale, name,
+                                           seed + 1);
+                row.normalized.push_back(
+                    base.throughput > 0.0
+                        ? r.throughput / base.throughput
+                        : 0.0);
+            }
+            rows.push_back(std::move(row));
+            ++done;
+            std::fprintf(stderr, "\r[%u/%u] %s", done, total,
+                         name.c_str());
+            std::fflush(stderr);
+        }
+    }
+    std::fprintf(stderr, "\n");
+    return rows;
+}
+
+double
+geomean(const std::vector<MixRow> &rows, std::size_t idx)
+{
+    if (rows.empty()) return 0.0;
+    double acc = 0.0;
+    for (const auto &row : rows) {
+        acc += std::log(row.normalized[idx]);
+    }
+    return std::exp(acc / static_cast<double>(rows.size()));
+}
+
+double
+fractionImproved(const std::vector<MixRow> &rows, std::size_t idx)
+{
+    if (rows.empty()) return 0.0;
+    std::size_t up = 0;
+    for (const auto &row : rows) {
+        if (row.normalized[idx] > 1.0) ++up;
+    }
+    return static_cast<double>(up) / static_cast<double>(rows.size());
+}
+
+std::pair<double, double>
+minMax(const std::vector<MixRow> &rows, std::size_t idx)
+{
+    double lo = 1.0, hi = 1.0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const double v = rows[i].normalized[idx];
+        if (i == 0) {
+            lo = hi = v;
+        } else {
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+    }
+    return {lo, hi};
+}
+
+void
+printSortedCurves(const std::vector<MixRow> &rows,
+                  const std::vector<std::string> &names,
+                  std::size_t points)
+{
+    std::vector<std::vector<double>> sorted(names.size());
+    for (std::size_t k = 0; k < names.size(); ++k) {
+        for (const auto &row : rows) {
+            sorted[k].push_back(row.normalized[k]);
+        }
+        std::sort(sorted[k].begin(), sorted[k].end());
+    }
+
+    std::vector<std::string> header = {"workload-pct"};
+    for (const auto &n : names) header.push_back(n);
+    TablePrinter table(header);
+    const std::size_t n = rows.size();
+    if (n == 0) return;
+    for (std::size_t p = 0; p < points; ++p) {
+        const std::size_t i =
+            std::min(n - 1, p * (n - 1) / std::max<std::size_t>(
+                                              points - 1, 1));
+        std::vector<std::string> row = {TablePrinter::fmt(
+            100.0 * static_cast<double>(i) /
+                static_cast<double>(n - 1 ? n - 1 : 1),
+            0)};
+        for (std::size_t k = 0; k < names.size(); ++k) {
+            row.push_back(TablePrinter::fmt(sorted[k][i], 3));
+        }
+        table.addRow(row);
+    }
+    table.print();
+}
+
+void
+printSummary(const std::vector<MixRow> &rows,
+             const std::vector<std::string> &names)
+{
+    TablePrinter table({"config", "geomean", "improved%", "min",
+                        "max"});
+    for (std::size_t k = 0; k < names.size(); ++k) {
+        const auto [lo, hi] = minMax(rows, k);
+        table.addRow({names[k], TablePrinter::fmt(geomean(rows, k), 3),
+                      TablePrinter::fmt(
+                          100.0 * fractionImproved(rows, k), 1),
+                      TablePrinter::fmt(lo, 3),
+                      TablePrinter::fmt(hi, 3)});
+    }
+    table.print();
+}
+
+void
+printPerMix(const std::vector<MixRow> &rows,
+            const std::vector<std::string> &names)
+{
+    std::vector<std::string> header = {"mix", "baseline-thruput"};
+    for (const auto &n : names) header.push_back(n);
+    TablePrinter table(header);
+    for (const auto &row : rows) {
+        std::vector<std::string> cells = {
+            row.mix, TablePrinter::fmt(row.baseline, 3)};
+        for (const double v : row.normalized) {
+            cells.push_back(TablePrinter::fmt(v, 3));
+        }
+        table.addRow(cells);
+    }
+    table.print();
+}
+
+} // namespace bench
+} // namespace vantage

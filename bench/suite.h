@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared harness for the figure benchmarks: runs a set of L2
+ * configurations over the multiprogrammed mix suite and reports
+ * normalized throughput curves the way the paper plots them.
+ *
+ * Scale knobs (environment):
+ *   VANTAGE_MIX_SEEDS     mixes per class (paper: 10; default 1)
+ *   VANTAGE_INSTRS        measured instructions per core
+ *   VANTAGE_WARMUP        warmup memory accesses per core
+ *   VANTAGE_CLASS_STRIDE  run every k-th mix class (default 1)
+ */
+
+#ifndef VANTAGE_BENCH_SUITE_H_
+#define VANTAGE_BENCH_SUITE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+
+namespace vantage {
+namespace bench {
+
+/** One mix's throughput under every configuration. */
+struct MixRow
+{
+    std::string mix;
+    double baseline = 0.0;                ///< Baseline throughput.
+    std::vector<double> normalized;       ///< Per config, vs baseline.
+};
+
+/** Suite controls. */
+struct SuiteOptions
+{
+    CmpConfig machine;
+    std::uint32_t coresPerSlot = 1; ///< 1 => 4-core, 8 => 32-core.
+    RunScale scale;
+    std::uint32_t classStride = 1;  ///< Run every k-th class.
+
+    /** Read scale + stride overrides from the environment. */
+    static SuiteOptions fromEnv(const CmpConfig &machine,
+                                std::uint32_t cores_per_slot,
+                                const RunScale &defaults,
+                                std::uint32_t default_stride = 1);
+};
+
+/**
+ * Run `baseline` and each of `configs` over the mix suite.
+ * Progress goes to stderr; rows come back in class order.
+ */
+std::vector<MixRow> runSuite(const SuiteOptions &opts,
+                             const L2Spec &baseline,
+                             const std::vector<L2Spec> &configs);
+
+/** Geometric mean of normalized column `idx`. */
+double geomean(const std::vector<MixRow> &rows, std::size_t idx);
+
+/** Fraction of mixes with normalized throughput > 1 in column idx. */
+double fractionImproved(const std::vector<MixRow> &rows,
+                        std::size_t idx);
+
+/** Min / max of a normalized column. */
+std::pair<double, double> minMax(const std::vector<MixRow> &rows,
+                                 std::size_t idx);
+
+/**
+ * Print the paper's sorted-curve representation (Figs. 6a/7): for
+ * each config, the normalized throughputs sorted ascending, sampled
+ * at `points` workload indices, one row per sample.
+ */
+void printSortedCurves(const std::vector<MixRow> &rows,
+                       const std::vector<std::string> &names,
+                       std::size_t points = 20);
+
+/** Print a per-config summary table (geomean, %improved, min, max). */
+void printSummary(const std::vector<MixRow> &rows,
+                  const std::vector<std::string> &names);
+
+/** Print per-mix rows (Fig. 6b style). */
+void printPerMix(const std::vector<MixRow> &rows,
+                 const std::vector<std::string> &names);
+
+} // namespace bench
+} // namespace vantage
+
+#endif // VANTAGE_BENCH_SUITE_H_

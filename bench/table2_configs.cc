@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Table 2: the modeled machines (paper Sec. 5).
+ */
+
+#include <cstdio>
+
+#include "core/model.h"
+#include "sim/cmp_config.h"
+#include "stats/table.h"
+
+using namespace vantage;
+
+namespace {
+
+void
+printMachine(const char *name, const CmpConfig &cfg)
+{
+    std::printf("%s\n", name);
+    TablePrinter table({"component", "configuration"});
+    table.addRow({"cores",
+                  std::to_string(cfg.numCores) +
+                      " in-order x86-like, IPC=1 except memory, "
+                      "2 GHz"});
+    table.addRow({"L1 caches",
+                  std::to_string(cfg.l1Lines * 64 / 1024) +
+                      " KB, " + std::to_string(cfg.l1Ways) +
+                      "-way, " + std::to_string(cfg.l1HitLatency) +
+                      "-cycle latency"});
+    table.addRow({"L2 cache",
+                  std::to_string(cfg.l2Lines() * 64 / (1024 * 1024)) +
+                      " MB shared, " +
+                      std::to_string(cfg.l2HitLatency) +
+                      "-cycle latency, partitioned"});
+    table.addRow({"memory",
+                  std::to_string(cfg.memLatency) +
+                      "-cycle zero-load latency, " +
+                      std::to_string(static_cast<int>(
+                          64.0 / cfg.memCyclesPerLine * 2)) +
+                      " GB/s peak bandwidth"});
+    table.addRow({"allocation policy",
+                  "UCP: UMON-DSS (" +
+                      std::to_string(cfg.ucp.umonSets) +
+                      " sampled sets, " +
+                      std::to_string(cfg.ucp.umonWays) +
+                      " ways), Lookahead, repartition every " +
+                      std::to_string(cfg.repartitionCycles) +
+                      " cycles"});
+    table.print();
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Table 2: modeled CMP configurations\n\n");
+    printMachine("Small-scale CMP (paper's 4-core machine):",
+                 CmpConfig::small4Core());
+    printMachine("Large-scale CMP (paper's 32-core machine):",
+                 CmpConfig::large32Core());
+    {
+        const model::StateOverhead o =
+            model::stateOverhead(131072, 32, 4);
+        std::printf("Vantage state overhead on the large machine "
+                    "(8 MB, 32 partitions, 4 banks): %u tag bits "
+                    "per line + %llu controller bits = %.2f%% of "
+                    "cache capacity (paper: ~1.5%%)\n\n",
+                    o.tagBitsPerLine,
+                    static_cast<unsigned long long>(o.controllerBits),
+                    100.0 * o.totalOverhead);
+    }
+    std::printf("The repartition interval defaults to a 10x "
+                "scale-down of the paper's 5M cycles to match the "
+                "scaled-down default run lengths; set "
+                "repartitionCycles = 5'000'000 (and VANTAGE_INSTRS "
+                "accordingly) for paper-scale runs.\n");
+    return 0;
+}

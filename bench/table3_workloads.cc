@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Table 3: workload classification.
+ *
+ * Runs every synthetic profile alone (single core, unpartitioned LRU
+ * L2) at cache sizes from 64 KB to 8 MB and prints the measured L2
+ * MPKI curve plus the classification derived with the paper's rules:
+ * < 5 MPKI everywhere -> insensitive; sharp drop above 1 MB ->
+ * cache-fitting; no benefit from capacity -> streaming; otherwise
+ * cache-friendly. The derived class must match the intended one.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "stats/table.h"
+#include "workload/profiles.h"
+
+using namespace vantage;
+
+namespace {
+
+const std::uint64_t kSizesKb[] = {64, 256, 1024, 2048, 4096, 8192};
+
+double
+mpkiAt(const AppSpec &app, std::uint64_t size_kb)
+{
+    CmpConfig cfg = CmpConfig::small4Core();
+    cfg.numCores = 1;
+    cfg.useUcp = false;
+
+    L2Spec spec;
+    spec.scheme = SchemeKind::UnpartLru;
+    spec.array = ArrayKind::SA16;
+    spec.numPartitions = 1;
+    spec.lines = size_kb * 1024 / 64;
+
+    RunScale scale;
+    scale.warmupAccesses = 40'000;
+    scale.instructions = 400'000;
+    if (const char *s = std::getenv("VANTAGE_INSTRS")) {
+        scale.instructions = std::strtoull(s, nullptr, 10);
+    }
+
+    const MixResult r = runMix(cfg, spec, {app}, scale, app.name);
+    return r.cores[0].mpki();
+}
+
+Category
+classify(const std::vector<double> &mpki)
+{
+    // Paper's rules (Sec. 5). Indices: 64K,256K,1M,2M,4M,8M.
+    double peak = 0.0;
+    for (const double m : mpki) peak = std::max(peak, m);
+    if (peak < 5.0) {
+        return Category::Insensitive;
+    }
+    const double best = mpki.back();
+    if (best > 0.8 * mpki.front()) {
+        return Category::Streaming; // Capacity never helps.
+    }
+    // Sharp knee above 1 MB: most of the drop happens past 1 MB.
+    const double drop_total = mpki.front() - best;
+    const double drop_past_1mb = mpki[2] - best;
+    if (drop_past_1mb > 0.6 * drop_total) {
+        return Category::CacheFitting;
+    }
+    return Category::CacheFriendly;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Table 3: workload classification (measured L2 MPKI "
+                "running alone, 64 KB - 8 MB)\n\n");
+    TablePrinter table({"app", "64K", "256K", "1M", "2M", "4M", "8M",
+                        "intended", "derived", "match"});
+    int mismatches = 0;
+    for (const auto &app : appLibrary()) {
+        std::vector<double> curve;
+        std::vector<std::string> row = {app.name};
+        for (const auto kb : kSizesKb) {
+            curve.push_back(mpkiAt(app, kb));
+            row.push_back(TablePrinter::fmt(curve.back(), 1));
+        }
+        const Category derived = classify(curve);
+        row.push_back(std::string(1, categoryCode(app.category)));
+        row.push_back(std::string(1, categoryCode(derived)));
+        const bool ok = derived == app.category;
+        if (!ok) ++mismatches;
+        row.push_back(ok ? "yes" : "NO");
+        table.addRow(row);
+        std::fprintf(stderr, ".");
+        std::fflush(stderr);
+    }
+    std::fprintf(stderr, "\n");
+    table.print();
+    std::printf("\n%d/%zu profiles classified as intended "
+                "(n=insensitive f=friendly t=fitting s=streaming)\n",
+                static_cast<int>(appLibrary().size()) - mismatches,
+                appLibrary().size());
+    return 0;
+}

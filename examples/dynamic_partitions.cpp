@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Dynamic partition lifecycle (paper Sec. 3.4): "since partitions are
+ * cheap, some applications (e.g. local stores) might want a variable
+ * number of partitions, creating and deleting them dynamically."
+ *
+ * This example emulates a software-managed local store / speculative
+ * buffer: a scratch partition is created on demand (by resizing it up
+ * from zero), pinned while in use, then deleted — its capacity drains
+ * back and the id is recycled — all without moving a single line of
+ * the other partitions.
+ */
+
+#include <cstdio>
+
+#include "array/zarray.h"
+#include "cache/cache.h"
+#include "common/rng.h"
+#include "core/vantage.h"
+
+using namespace vantage;
+
+namespace {
+
+void
+show(const VantageController &ctl, const char *stage)
+{
+    std::printf("%-28s", stage);
+    for (PartId p = 0; p < ctl.numPartitions(); ++p) {
+        std::printf("  P%u %6llu/%-6llu", p,
+                    static_cast<unsigned long long>(ctl.actualSize(p)),
+                    static_cast<unsigned long long>(
+                        ctl.targetSize(p)));
+    }
+    std::printf("  unmanaged %llu\n",
+                static_cast<unsigned long long>(ctl.unmanagedSize()));
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr std::size_t kLines = 16384; // 1 MB.
+    VantageConfig cfg;
+    cfg.numPartitions = 3; // Two tenants + one on-demand scratch id.
+    cfg.unmanagedFraction = 0.1;
+    cfg.maxAperture = 0.5;
+    cfg.slack = 0.1;
+
+    auto controller = std::make_unique<VantageController>(kLines, cfg);
+    VantageController &ctl = *controller;
+    Cache cache(std::make_unique<ZArray>(kLines, 4, 52),
+                std::move(controller), "ls");
+
+    const std::uint64_t m = ctl.managedLines();
+    Rng rng(3);
+
+    auto tenant_traffic = [&](std::uint64_t n) {
+        for (std::uint64_t i = 0; i < n; ++i) {
+            cache.access((1ull << 40) | rng.range(m / 2), 0);
+            cache.access((2ull << 40) | (rng.next() >> 16), 1);
+        }
+    };
+
+    // Phase 1: scratch partition dormant (target 0).
+    ctl.setTargetLines({m / 2, m / 2, 0});
+    tenant_traffic(300'000);
+    show(ctl, "steady state, no scratch:");
+
+    // Phase 2: carve out a 128 KB (2048-line) local store by taking
+    // capacity from tenant 1. Resizing is just a register write.
+    ctl.setTargetLines({m / 2, m / 2 - 2048, 2048});
+    // Pin the scratch contents: fill once, then touch periodically.
+    for (Addr a = 0; a < 2048; ++a) {
+        cache.access((3ull << 40) | a, 2);
+    }
+    tenant_traffic(300'000);
+    show(ctl, "scratch live (128 KB):");
+
+    // The scratch data survived two tenants' churn:
+    cache.resetStats();
+    for (Addr a = 0; a < 2048; ++a) {
+        cache.access((3ull << 40) | a, 2);
+    }
+    const auto &s = cache.partAccessStats(2);
+    std::printf("scratch re-read hit rate: %.1f%% (soft-pinned "
+                "through the replacement process alone)\n",
+                100.0 * static_cast<double>(s.hits) /
+                    static_cast<double>(s.accesses()));
+
+    // Phase 3: delete the partition; its lines drain into the
+    // unmanaged region and tenant 1 gets its capacity back.
+    ctl.deletePartition(2);
+    ctl.setTargetLines({m / 2, m / 2, 0});
+    tenant_traffic(300'000);
+    show(ctl, "scratch deleted:");
+
+    std::printf("partition id 2 can now be reused: actual size "
+                "%llu lines remain.\n",
+                static_cast<unsigned long long>(ctl.actualSize(2)));
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Multiprogrammed CMP study: the paper's headline experiment in
+ * miniature, using the full simulator stack (cores + L1s + shared
+ * L2 + UCP).
+ *
+ * Runs one 4-core mix — a cache-fitting app, a cache-friendly app, a
+ * streaming app and an insensitive app — under three L2 managements
+ * and prints per-core IPCs and throughput:
+ *
+ *   1. unpartitioned LRU (16-way SA),
+ *   2. way-partitioning + UCP (16-way SA),
+ *   3. Vantage + UCP (4-way zcache, 52 candidates).
+ */
+
+#include <cstdio>
+
+#include "sim/experiment.h"
+#include "stats/table.h"
+#include "workload/profiles.h"
+
+using namespace vantage;
+
+int
+main()
+{
+    const CmpConfig machine = CmpConfig::small4Core();
+    const std::vector<AppSpec> apps = {
+        appByName("soplex"),  // 't': fits in ~1.3 MB.
+        appByName("gcc"),     // 'f': gradual gains.
+        appByName("milc"),    // 's': pure streaming.
+        appByName("povray"),  // 'n': insensitive.
+    };
+
+    RunScale scale;
+    scale.warmupAccesses = 50'000;
+    scale.instructions = 1'000'000;
+
+    auto spec = [&](SchemeKind scheme, ArrayKind array) {
+        L2Spec s;
+        s.scheme = scheme;
+        s.array = array;
+        s.numPartitions = machine.numCores;
+        s.lines = machine.l2Lines();
+        s.vantage.unmanagedFraction = 0.05;
+        s.vantage.maxAperture = 0.5;
+        s.vantage.slack = 0.1;
+        return s;
+    };
+
+    const L2Spec configs[] = {
+        spec(SchemeKind::UnpartLru, ArrayKind::SA16),
+        spec(SchemeKind::WayPart, ArrayKind::SA16),
+        spec(SchemeKind::Vantage, ArrayKind::Z4_52),
+    };
+
+    std::printf("Mix: soplex(t) gcc(f) milc(s) povray(n) on the "
+                "4-core machine (2 MB L2, UCP)\n\n");
+    TablePrinter table({"config", "soplex", "gcc", "milc", "povray",
+                        "throughput"});
+    for (const auto &cfg : configs) {
+        const MixResult r =
+            runMix(machine, cfg, apps, scale, "demo");
+        table.addRow({r.config,
+                      TablePrinter::fmt(r.cores[0].ipc(), 3),
+                      TablePrinter::fmt(r.cores[1].ipc(), 3),
+                      TablePrinter::fmt(r.cores[2].ipc(), 3),
+                      TablePrinter::fmt(r.cores[3].ipc(), 3),
+                      TablePrinter::fmt(r.throughput, 3)});
+    }
+    table.print();
+    std::printf(
+        "\nWhat to look for:\n"
+        " - LRU: milc's streaming steals space from soplex/gcc.\n"
+        " - Way-partitioning: UCP walls milc off, but each partition "
+        "only gets a few ways of associativity.\n"
+        " - Vantage: same UCP decisions enforced at line granularity "
+        "on a 4-way zcache — best throughput, the paper's result.\n");
+    return 0;
+}

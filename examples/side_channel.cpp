@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Prime+probe side channel demo (paper Sec. 1: "security schemes can
+ * use the isolation provided by partitioning to prevent timing
+ * side-channel attacks that exploit the shared cache" [17]).
+ *
+ * A victim repeatedly touches one of two candidate buffers depending
+ * on a secret bit. An attacker primes the shared cache with its own
+ * lines and then probes them, counting misses: on an unpartitioned
+ * cache, the victim's accesses evicted attacker lines, so the probe
+ * miss count leaks which buffer (and how much of it) the victim
+ * touched. With Vantage partitions the victim's fills can only
+ * displace unmanaged/own lines, and the attacker's probe sees
+ * (almost) nothing.
+ *
+ * The example measures the attacker's per-round probe-miss signal
+ * for secret = 0 vs secret = 1 on both configurations and prints the
+ * distinguishability (difference in mean misses).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "array/zarray.h"
+#include "cache/cache.h"
+#include "common/rng.h"
+#include "core/vantage.h"
+#include "partition/unpartitioned.h"
+#include "replacement/lru.h"
+
+using namespace vantage;
+
+namespace {
+
+constexpr std::size_t kLines = 4096;
+constexpr PartId kAttacker = 0;
+constexpr PartId kVictim = 1;
+constexpr std::uint64_t kProbeSet = 2048; // Attacker's probe lines.
+constexpr std::uint64_t kBufferLines = 4096;
+
+/** One prime+probe round; returns the probe's miss count. */
+std::uint64_t
+primeProbeRound(Cache &cache, int secret, Rng &rng)
+{
+    // Prime: attacker loads its probe set.
+    for (Addr a = 0; a < kProbeSet; ++a) {
+        cache.access((1ull << 40) | a, kAttacker);
+    }
+    // Victim runs: the secret gates a table walk (e.g. a key bit
+    // selecting a multiplier table); with secret = 0 the victim only
+    // touches a tiny scratch area.
+    const Addr buffer = 2ull << 40;
+    const std::uint64_t reach = secret ? kBufferLines : 16;
+    for (int i = 0; i < 6000; ++i) {
+        cache.access(buffer | rng.range(reach), kVictim);
+    }
+    // Probe: attacker re-touches its set, counting misses.
+    std::uint64_t misses = 0;
+    for (Addr a = 0; a < kProbeSet; ++a) {
+        if (cache.access((1ull << 40) | a, kAttacker) ==
+            AccessResult::Miss) {
+            ++misses;
+        }
+    }
+    return misses;
+}
+
+/** Mean probe misses over `rounds` with a fixed secret. */
+double
+signal(Cache &cache, int secret, int rounds, Rng &rng)
+{
+    // The two buffers differ in size-of-effect: secret=1's buffer
+    // was never cached before, secret=0's becomes warm. To leak,
+    // the attacker only needs the miss counts to differ measurably
+    // between secrets.
+    double acc = 0.0;
+    for (int r = 0; r < rounds; ++r) {
+        acc += static_cast<double>(
+            primeProbeRound(cache, secret, rng));
+    }
+    return acc / rounds;
+}
+
+} // namespace
+
+int
+main()
+{
+    const int rounds = 20;
+
+    std::printf("Prime+probe: attacker probes %llu lines while the "
+                "victim touches a secret-dependent buffer\n\n",
+                static_cast<unsigned long long>(kProbeSet));
+
+    // ---------------- Shared LRU cache ----------------
+    {
+        Cache cache(std::make_unique<ZArray>(kLines, 4, 52, 0x5c),
+                    std::make_unique<Unpartitioned>(
+                        2, std::make_unique<CoarseLru>(kLines)),
+                    "shared");
+        Rng rng(3);
+        // Secret = 0 phase, then secret = 1 phase.
+        const double s0 = signal(cache, 0, rounds, rng);
+        const double s1 = signal(cache, 1, rounds, rng);
+        std::printf("unpartitioned LRU:  probe misses mean "
+                    "secret0 = %7.1f, secret1 = %7.1f, "
+                    "signal = %.1f lines/round\n",
+                    s0, s1, std::abs(s1 - s0));
+    }
+
+    // ---------------- Vantage ----------------
+    {
+        VantageConfig cfg;
+        cfg.numPartitions = 2;
+        cfg.unmanagedFraction = 0.2; // Strong isolation sizing.
+        auto ctl = std::make_unique<VantageController>(kLines, cfg);
+        VantageController &c = *ctl;
+        const std::uint64_t m = c.managedLines();
+        // Attacker gets enough for its probe set; victim the rest.
+        c.setTargetLines({kProbeSet + kProbeSet / 4,
+                          m - kProbeSet - kProbeSet / 4});
+        Cache cache(std::make_unique<ZArray>(kLines, 4, 52, 0x5c),
+                    std::move(ctl), "vantage");
+        Rng rng(3);
+        const double s0 = signal(cache, 0, rounds, rng);
+        const double s1 = signal(cache, 1, rounds, rng);
+        std::printf("Vantage partitions: probe misses mean "
+                    "secret0 = %7.1f, secret1 = %7.1f, "
+                    "signal = %.1f lines/round\n",
+                    s0, s1, std::abs(s1 - s0));
+        std::printf("\n(victim lines demoted into the unmanaged "
+                    "region: %llu; attacker probe lines are "
+                    "soft-pinned by its quota)\n",
+                    static_cast<unsigned long long>(
+                        c.partStats(kVictim).demotions));
+    }
+
+    std::printf("\nWith partitioning the probe's miss counts stop "
+                "depending on the victim's behavior — the channel's "
+                "signal collapses toward zero.\n");
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Trace replay: drive the partitioned cache hierarchy with recorded
+ * address streams instead of synthetic generators.
+ *
+ * The example writes two small traces to /tmp (in practice these
+ * would come from a binary-instrumentation tool), replays them on a
+ * 2-core machine with a Vantage L2, and reports per-core IPC and
+ * cache behavior — the workflow a user follows to evaluate Vantage
+ * on their own workloads.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+#include "array/zarray.h"
+#include "core/vantage.h"
+#include "sim/cmp_sim.h"
+#include "workload/trace_stream.h"
+
+using namespace vantage;
+
+namespace {
+
+void
+writeDemoTraces(const std::string &hot_path,
+                const std::string &scan_path)
+{
+    // A pointer-chasing loop over 2048 lines (64 * 32), with stores
+    // to a small log buffer.
+    std::ofstream hot(hot_path);
+    hot << "# demo: hot loop with a store log\n";
+    hot << "# instr_per_mem 3\n";
+    for (int rep = 0; rep < 4; ++rep) {
+        for (int i = 0; i < 2048; ++i) {
+            hot << std::hex << (0x100000 + i * 17 % 2048) << " L\n";
+            if (i % 16 == 0) {
+                hot << std::hex << (0x200000 + (i / 16) % 64)
+                    << " S\n";
+            }
+        }
+    }
+
+    // A streaming scan over 64K lines.
+    std::ofstream scan(scan_path);
+    scan << "# demo: streaming scan\n";
+    scan << "# instr_per_mem 2\n";
+    for (int i = 0; i < 65536; ++i) {
+        scan << std::hex << (0x10000000 + i) << " L\n";
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::string hot_path = "/tmp/vantage_demo_hot.trace";
+    const std::string scan_path = "/tmp/vantage_demo_scan.trace";
+    writeDemoTraces(hot_path, scan_path);
+
+    CmpConfig cfg = CmpConfig::small4Core();
+    cfg.numCores = 2;
+    cfg.useUcp = false; // Static quotas below.
+
+    constexpr std::size_t kL2Lines = 32768; // 2 MB.
+    VantageConfig vcfg;
+    vcfg.numPartitions = 2;
+    vcfg.unmanagedFraction = 0.1;
+    auto controller =
+        std::make_unique<VantageController>(kL2Lines, vcfg);
+    VantageController &ctl = *controller;
+    const std::uint64_t m = ctl.managedLines();
+    // The hot trace needs ~2K lines; give it 4K and the rest to the
+    // scanner (which cannot use it — but also cannot steal).
+    ctl.setTargetLines({4096, m - 4096});
+
+    auto l2 = std::make_unique<Cache>(
+        std::make_unique<ZArray>(kL2Lines, 4, 52),
+        std::move(controller), "l2");
+
+    std::vector<std::unique_ptr<AccessStream>> streams;
+    streams.push_back(std::make_unique<TraceStream>(
+        TraceStream::fromFile(hot_path)));
+    streams.push_back(std::make_unique<TraceStream>(
+        TraceStream::fromFile(scan_path)));
+
+    CmpSim sim(cfg, std::move(streams), std::move(l2));
+    sim.warmup(20'000);
+    sim.l2().resetStats();
+    sim.run(500'000);
+
+    std::printf("core  trace  IPC    L2-accesses  L2-MPKI\n");
+    const char *names[] = {"hot", "scan"};
+    for (std::uint32_t c = 0; c < 2; ++c) {
+        const CoreResult &r = sim.result(c);
+        std::printf("%4u  %-5s  %.3f  %11llu  %7.2f\n", c, names[c],
+                    r.ipc(),
+                    static_cast<unsigned long long>(r.l2Accesses),
+                    r.mpki());
+    }
+    std::printf("L2 writebacks (dirty evictions): %llu\n",
+                static_cast<unsigned long long>(
+                    sim.l2().writebacks()));
+    std::printf("\nThe hot trace's 2K-line loop is protected from "
+                "the 64K-line scan by its Vantage quota; rerun with "
+                "an Unpartitioned scheme to watch its IPC drop.\n");
+    return 0;
+}

@@ -1,0 +1,31 @@
+#!/bin/sh
+# Paper-scale reproduction driver.
+#
+# The default bench configuration is scaled to finish in minutes on a
+# single core. This script re-runs every figure at (or near) the
+# paper's scale: 10 mixes per class (350 workloads per machine), every
+# class, and long measured runs. Expect many hours of runtime; results
+# are written to results/.
+set -eu
+
+BUILD=${BUILD:-build}
+OUT=${OUT:-results}
+mkdir -p "$OUT"
+
+export VANTAGE_MIX_SEEDS=${VANTAGE_MIX_SEEDS:-10}
+export VANTAGE_CLASS_STRIDE=1
+export VANTAGE_INSTRS=${VANTAGE_INSTRS:-20000000}
+export VANTAGE_WARMUP=${VANTAGE_WARMUP:-1000000}
+
+for bench in \
+    fig01_associativity fig02_managed_region fig03_threshold_table \
+    fig05_unmanaged_sizing fig06_4core fig07_32core \
+    fig08_size_tracking fig09_unmanaged_sweep fig10_cache_designs \
+    fig11_rrip table1_properties table2_configs table3_workloads \
+    model_validation ablation_feedback fairness_metrics
+do
+    echo "=== $bench ==="
+    "$BUILD/bench/$bench" | tee "$OUT/$bench.txt"
+done
+
+echo "Paper-scale outputs written to $OUT/"

@@ -1,0 +1,83 @@
+#include "alloc/lookahead.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace vantage {
+
+std::vector<std::uint32_t>
+lookaheadAllocate(const std::vector<std::vector<double>> &curves,
+                  std::uint32_t total_units, std::uint32_t min_units)
+{
+    const auto num_parts = static_cast<std::uint32_t>(curves.size());
+    vantage_assert(num_parts >= 1, "need at least one partition");
+    vantage_assert(static_cast<std::uint64_t>(min_units) * num_parts <=
+                       total_units,
+                   "minimum %u x %u exceeds %u units", min_units,
+                   num_parts, total_units);
+
+    std::vector<std::uint32_t> alloc(num_parts, min_units);
+    std::uint32_t remaining =
+        total_units - min_units * num_parts;
+
+    auto cap = [&](std::uint32_t p) {
+        return static_cast<std::uint32_t>(
+            std::min<std::size_t>(curves[p].size() - 1, total_units));
+    };
+
+    while (remaining > 0) {
+        double best_mu = -1.0;
+        std::uint32_t best_part = 0;
+        std::uint32_t best_jump = 0;
+
+        for (std::uint32_t p = 0; p < num_parts; ++p) {
+            const std::uint32_t cur = alloc[p];
+            const std::uint32_t limit =
+                std::min(cap(p), cur + remaining);
+            const double base = curves[p][cur];
+            for (std::uint32_t next = cur + 1; next <= limit;
+                 ++next) {
+                const double mu =
+                    (curves[p][next] - base) /
+                    static_cast<double>(next - cur);
+                if (mu > best_mu) {
+                    best_mu = mu;
+                    best_part = p;
+                    best_jump = next - cur;
+                }
+            }
+        }
+
+        if (best_jump == 0 || best_mu <= 0.0) {
+            // No partition benefits from more space: spread leftovers
+            // round-robin so the full budget is assigned.
+            for (std::uint32_t p = 0; remaining > 0;
+                 p = (p + 1) % num_parts) {
+                if (alloc[p] < cap(p)) {
+                    ++alloc[p];
+                    --remaining;
+                } else {
+                    // All capped: dump the rest on partition 0.
+                    bool all_capped = true;
+                    for (std::uint32_t q = 0; q < num_parts; ++q) {
+                        if (alloc[q] < cap(q)) {
+                            all_capped = false;
+                        }
+                    }
+                    if (all_capped) {
+                        alloc[0] += remaining;
+                        remaining = 0;
+                    }
+                }
+            }
+            break;
+        }
+
+        alloc[best_part] += best_jump;
+        remaining -= best_jump;
+    }
+    return alloc;
+}
+
+} // namespace vantage

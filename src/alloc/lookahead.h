@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The Lookahead allocation algorithm from UCP [19].
+ *
+ * Greedy marginal-utility allocation that, unlike plain hill
+ * climbing, looks past plateaus in non-convex utility curves: at each
+ * step it finds, over all partitions, the allocation jump with the
+ * best utility gained *per unit*, and grants it. Runs in
+ * O(units^2 * partitions) worst case — cheap at repartitioning
+ * frequency.
+ */
+
+#ifndef VANTAGE_ALLOC_LOOKAHEAD_H_
+#define VANTAGE_ALLOC_LOOKAHEAD_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace vantage {
+
+/**
+ * Distribute `total_units` among partitions.
+ *
+ * @param curves one utility curve per partition; curves[p][u] is the
+ *        utility (hits) of giving partition p exactly u units. Each
+ *        curve must have at least total_units + 1 entries or its own
+ *        maximum is used as a cap.
+ * @param total_units units to hand out.
+ * @param min_units lower bound per partition (e.g. 1 way).
+ * @return per-partition allocation summing to total_units.
+ */
+std::vector<std::uint32_t> lookaheadAllocate(
+    const std::vector<std::vector<double>> &curves,
+    std::uint32_t total_units, std::uint32_t min_units);
+
+} // namespace vantage
+
+#endif // VANTAGE_ALLOC_LOOKAHEAD_H_

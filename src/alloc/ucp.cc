@@ -1,0 +1,85 @@
+#include "alloc/ucp.h"
+
+#include "common/log.h"
+
+namespace vantage {
+
+Ucp::Ucp(std::uint32_t num_cores, const UcpConfig &cfg)
+    : numCores_(num_cores), cfg_(cfg)
+{
+    vantage_assert(num_cores >= 1, "need at least one core");
+    const std::uint64_t period =
+        cfg.samplePeriod ? cfg.samplePeriod : cfg.modeledSets;
+    for (std::uint32_t c = 0; c < num_cores; ++c) {
+        if (cfg.rripMonitors) {
+            rripUmons_.push_back(std::make_unique<UmonRrip>(
+                cfg.umonWays, cfg.umonSets, period, 0xa30 + c));
+        } else {
+            umons_.push_back(std::make_unique<Umon>(
+                cfg.umonWays, cfg.umonSets, period, 0xa30 + c));
+        }
+    }
+}
+
+void
+Ucp::observe(PartId core, Addr addr)
+{
+    vantage_assert(core < numCores_, "core %u out of range", core);
+    if (cfg_.rripMonitors) {
+        rripUmons_[core]->access(addr);
+    } else {
+        umons_[core]->access(addr);
+    }
+}
+
+std::vector<std::uint32_t>
+Ucp::computeAllocations(std::uint32_t quantum,
+                        std::uint32_t min_units) const
+{
+    std::vector<std::vector<double>> curves(numCores_);
+    for (std::uint32_t c = 0; c < numCores_; ++c) {
+        if (cfg_.rripMonitors) {
+            curves[c] = quantum == cfg_.umonWays
+                            ? rripUmons_[c]->utilityCurve()
+                            : rripUmons_[c]->interpolatedCurve(quantum);
+        } else {
+            curves[c] = quantum == cfg_.umonWays
+                            ? umons_[c]->utilityCurve()
+                            : umons_[c]->interpolatedCurve(quantum);
+        }
+    }
+    return lookaheadAllocate(curves, quantum, min_units);
+}
+
+std::vector<bool>
+Ucp::brripChoices() const
+{
+    vantage_assert(cfg_.rripMonitors,
+                   "dueling requires RRIP monitors");
+    std::vector<bool> out(numCores_);
+    for (std::uint32_t c = 0; c < numCores_; ++c) {
+        out[c] = rripUmons_[c]->brripWins();
+    }
+    return out;
+}
+
+void
+Ucp::nextInterval()
+{
+    for (auto &u : umons_) {
+        u->ageCounters();
+    }
+    for (auto &u : rripUmons_) {
+        u->ageCounters();
+    }
+}
+
+const Umon &
+Ucp::umon(PartId core) const
+{
+    vantage_assert(core < numCores_, "core %u out of range", core);
+    vantage_assert(!cfg_.rripMonitors, "LRU monitors not in use");
+    return *umons_[core];
+}
+
+} // namespace vantage

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * UCP: utility-based cache partitioning (Qureshi & Patt, MICRO'06),
+ * as configured in the paper's evaluation (Sec. 5): one UMON-DSS per
+ * core (64 sampled sets), Lookahead allocation, repartitioning every
+ * interval, and — when driving Vantage — 256-point interpolated
+ * miss-rate curves. The RRIP mode swaps in UMON-RRIP monitors and
+ * additionally reports the per-partition SRRIP/BRRIP dueling winner
+ * (for Vantage-DRRIP, Sec. 6.2).
+ */
+
+#ifndef VANTAGE_ALLOC_UCP_H_
+#define VANTAGE_ALLOC_UCP_H_
+
+#include <memory>
+#include <vector>
+
+#include "alloc/lookahead.h"
+#include "alloc/umon.h"
+#include "alloc/umon_rrip.h"
+
+namespace vantage {
+
+/** UCP configuration. */
+struct UcpConfig
+{
+    /** Monitored ways (the partitioning granularity of the cache). */
+    std::uint32_t umonWays = 16;
+    /** Sampled monitor sets per core. */
+    std::uint32_t umonSets = 64;
+    /** Nominal set count of the monitored cache (power of two). */
+    std::uint64_t modeledSets = 2048;
+    /**
+     * DSS sampling period: one in (samplePeriod / umonSets) accesses
+     * is monitored. 0 means "use modeledSets", the paper's setting;
+     * scaled-down simulations use a denser period so the monitors
+     * converge within shortened runs.
+     */
+    std::uint64_t samplePeriod = 0;
+    /** Use UMON-RRIP monitors (for Vantage-DRRIP). */
+    bool rripMonitors = false;
+};
+
+/** Utility-based allocation policy over per-core monitors. */
+class Ucp
+{
+  public:
+    Ucp(std::uint32_t num_cores, const UcpConfig &cfg);
+
+    /** Observe one L2 access by `core`. */
+    void observe(PartId core, Addr addr);
+
+    /**
+     * Compute allocations for a scheme with the given quantum:
+     * way-granular when quantum == umonWays, interpolated otherwise.
+     * @param quantum total allocation units of the target scheme.
+     * @param min_units floor per partition (1 way for way schemes).
+     */
+    std::vector<std::uint32_t> computeAllocations(
+        std::uint32_t quantum, std::uint32_t min_units) const;
+
+    /**
+     * For RRIP monitors: whether BRRIP won the duel for each core
+     * this interval.
+     */
+    std::vector<bool> brripChoices() const;
+
+    /** Age counters at the end of a repartitioning interval. */
+    void nextInterval();
+
+    const Umon &umon(PartId core) const;
+    std::uint32_t numCores() const { return numCores_; }
+
+  private:
+    std::uint32_t numCores_;
+    UcpConfig cfg_;
+    std::vector<std::unique_ptr<Umon>> umons_;
+    std::vector<std::unique_ptr<UmonRrip>> rripUmons_;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_ALLOC_UCP_H_

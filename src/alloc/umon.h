@@ -1,0 +1,88 @@
+/**
+ * @file
+ * UMON-DSS: utility monitor with dynamic set sampling (UCP [19]).
+ *
+ * Each core gets a small auxiliary tag directory that observes that
+ * core's L2 access stream. Sampled sets maintain a true-LRU stack of
+ * `ways` tags and count hits per stack position; the cumulative hit
+ * counts form the miss-rate curve (utility curve) the Lookahead
+ * allocation algorithm consumes.
+ *
+ * The monitor samples `sampledSets` out of a nominal `modeledSets`
+ * (the shared cache's set count), exactly as UCP's DSS does. Between
+ * repartitioning intervals the counters are halved, giving an
+ * exponential moving average over program phases.
+ */
+
+#ifndef VANTAGE_ALLOC_UMON_H_
+#define VANTAGE_ALLOC_UMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "hash/h3.h"
+
+namespace vantage {
+
+/** LRU utility monitor for one access stream. */
+class Umon
+{
+  public:
+    /**
+     * @param ways monitored associativity (granularity of the curve).
+     * @param sampled_sets number of monitor sets (64 in the paper).
+     * @param modeled_sets set count of the cache being modeled; must
+     *        be >= sampled_sets and a power of two.
+     */
+    Umon(std::uint32_t ways, std::uint32_t sampled_sets,
+         std::uint64_t modeled_sets, std::uint64_t seed = 0xa30);
+
+    /** Observe one access; updates counters if the address samples. */
+    void access(Addr addr);
+
+    /**
+     * Hits this interval with an allocation of `w` ways
+     * (cumulative over stack positions 0..w-1). hitsUpTo(0) == 0.
+     */
+    std::uint64_t hitsUpTo(std::uint32_t w) const;
+
+    /**
+     * Utility curve: hits for each allocation 0..ways, scaled to the
+     * full cache (by the sampling factor).
+     */
+    std::vector<double> utilityCurve() const;
+
+    /**
+     * Utility curve linearly interpolated to `points` allocation
+     * units spanning [0, ways] — the paper's 256-point curves that
+     * let Vantage allocate at line granularity.
+     */
+    std::vector<double> interpolatedCurve(std::uint32_t points) const;
+
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t sampledAccesses() const { return accesses_; }
+    std::uint32_t ways() const { return ways_; }
+
+    /** Halve all counters (called at each repartition interval). */
+    void ageCounters();
+
+  private:
+    struct MonitorSet
+    {
+        std::vector<Addr> stack; // MRU first.
+    };
+
+    std::uint32_t ways_;
+    std::uint32_t sampledSets_;
+    std::uint64_t modeledSets_;
+    H3Hash hash_;
+    std::vector<MonitorSet> sets_;
+    std::vector<std::uint64_t> hits_; // Per stack position.
+    std::uint64_t misses_ = 0;
+    std::uint64_t accesses_ = 0;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_ALLOC_UMON_H_

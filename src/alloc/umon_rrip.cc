@@ -1,0 +1,127 @@
+#include "alloc/umon_rrip.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/log.h"
+
+namespace vantage {
+
+UmonRrip::UmonRrip(std::uint32_t ways, std::uint32_t sampled_sets,
+                   std::uint64_t modeled_sets, std::uint64_t seed)
+    : ways_(ways), sampledSets_(sampled_sets),
+      modeledSets_(modeled_sets), hash_(seed), rng_(seed ^ 0xbb),
+      sets_(sampled_sets), hits_(ways, 0)
+{
+    vantage_assert(ways >= 1, "need at least one way");
+    vantage_assert(sampled_sets >= 2,
+                   "need >= 2 sampled sets for dueling");
+    vantage_assert(isPow2(modeled_sets),
+                   "modeled sets %llu must be a power of two",
+                   static_cast<unsigned long long>(modeled_sets));
+    for (auto &set : sets_) {
+        set.chain.reserve(ways);
+    }
+}
+
+void
+UmonRrip::access(Addr addr)
+{
+    const std::uint64_t bucket = hash_.mod(addr, modeledSets_);
+    if (bucket >= sampledSets_) {
+        return;
+    }
+    const auto set_idx = static_cast<std::uint32_t>(bucket);
+    auto &chain = sets_[set_idx].chain;
+    const bool brrip = setUsesBrrip(set_idx);
+
+    const auto it = std::find_if(chain.begin(), chain.end(),
+                                 [addr](const Entry &e) {
+                                     return e.addr == addr;
+                                 });
+    if (it != chain.end()) {
+        const auto pos = static_cast<std::uint32_t>(it - chain.begin());
+        ++hits_[pos];
+        if (brrip) {
+            ++brripHits_;
+        } else {
+            ++srripHits_;
+        }
+        // Promote to RRPV 0: move to the front of the chain.
+        Entry e = *it;
+        e.rrpv = 0;
+        chain.erase(it);
+        chain.insert(chain.begin(), e);
+        return;
+    }
+
+    ++misses_;
+    if (chain.size() >= ways_) {
+        // Victim: highest RRPV (chain back); age everyone by the
+        // deficit so the back reaches the distant value, as RRIP does.
+        const std::uint8_t deficit =
+            RripBase::kDistant - chain.back().rrpv;
+        if (deficit > 0) {
+            for (auto &e : chain) {
+                e.rrpv = static_cast<std::uint8_t>(
+                    std::min<std::uint32_t>(e.rrpv + deficit,
+                                            RripBase::kDistant));
+            }
+        }
+        chain.pop_back();
+    }
+    Entry e{addr, RripBase::kLong};
+    if (brrip && !rng_.chance(1.0 / 32.0)) {
+        e.rrpv = RripBase::kDistant;
+    }
+    // Insert keeping ascending-RRPV order (stable: after equals).
+    const auto insert_at = std::upper_bound(
+        chain.begin(), chain.end(), e,
+        [](const Entry &a, const Entry &b) { return a.rrpv < b.rrpv; });
+    chain.insert(insert_at, e);
+}
+
+std::vector<double>
+UmonRrip::utilityCurve() const
+{
+    const double scale = static_cast<double>(modeledSets_) /
+                         static_cast<double>(sampledSets_);
+    std::vector<double> curve(ways_ + 1, 0.0);
+    double acc = 0.0;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        acc += static_cast<double>(hits_[w]);
+        curve[w + 1] = scale * acc;
+    }
+    return curve;
+}
+
+std::vector<double>
+UmonRrip::interpolatedCurve(std::uint32_t points) const
+{
+    vantage_assert(points >= 1, "need at least one point");
+    const std::vector<double> base = utilityCurve();
+    std::vector<double> curve(points + 1);
+    for (std::uint32_t i = 0; i <= points; ++i) {
+        const double x = static_cast<double>(i) *
+                         static_cast<double>(ways_) /
+                         static_cast<double>(points);
+        const auto lo = static_cast<std::uint32_t>(x);
+        const std::uint32_t hi = std::min(lo + 1, ways_);
+        const double frac = x - static_cast<double>(lo);
+        curve[i] = base[lo] + frac * (base[hi] - base[lo]);
+    }
+    return curve;
+}
+
+void
+UmonRrip::ageCounters()
+{
+    for (auto &h : hits_) {
+        h /= 2;
+    }
+    misses_ /= 2;
+    srripHits_ /= 2;
+    brripHits_ /= 2;
+}
+
+} // namespace vantage

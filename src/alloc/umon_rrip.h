@@ -1,0 +1,81 @@
+/**
+ * @file
+ * UMON-RRIP: the modified utility monitor of the paper's Sec. 6.2.
+ *
+ * For Vantage-DRRIP, UCP's UMON-DSS is adapted to RRIP: monitor sets
+ * maintain *RRIP chains* (tags ordered by RRPV) instead of LRU
+ * stacks, and hit counters index positions in that order. Half of
+ * the sampled sets insert with SRRIP and half with BRRIP; at each
+ * repartitioning the flavor with more interval hits is selected for
+ * the partition, making Vantage-DRRIP thread-aware by construction.
+ */
+
+#ifndef VANTAGE_ALLOC_UMON_RRIP_H_
+#define VANTAGE_ALLOC_UMON_RRIP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "hash/h3.h"
+#include "replacement/rrip.h"
+
+namespace vantage {
+
+/** RRIP-chain utility monitor for one access stream. */
+class UmonRrip
+{
+  public:
+    UmonRrip(std::uint32_t ways, std::uint32_t sampled_sets,
+             std::uint64_t modeled_sets, std::uint64_t seed = 0xa31);
+
+    void access(Addr addr);
+
+    /** Cumulative hits for positions 0..w-1, scaled to full cache. */
+    std::vector<double> utilityCurve() const;
+
+    /** Interpolated curve, as Umon::interpolatedCurve. */
+    std::vector<double> interpolatedCurve(std::uint32_t points) const;
+
+    /** True when BRRIP outperformed SRRIP this interval. */
+    bool brripWins() const { return brripHits_ > srripHits_; }
+
+    std::uint64_t srripHits() const { return srripHits_; }
+    std::uint64_t brripHits() const { return brripHits_; }
+
+    void ageCounters();
+
+  private:
+    struct Entry
+    {
+        Addr addr;
+        std::uint8_t rrpv;
+    };
+
+    /** One monitor set: entries kept sorted by ascending RRPV. */
+    struct MonitorSet
+    {
+        std::vector<Entry> chain;
+    };
+
+    bool setUsesBrrip(std::uint32_t set_idx) const
+    {
+        return (set_idx & 1) != 0;
+    }
+
+    std::uint32_t ways_;
+    std::uint32_t sampledSets_;
+    std::uint64_t modeledSets_;
+    H3Hash hash_;
+    Rng rng_;
+    std::vector<MonitorSet> sets_;
+    std::vector<std::uint64_t> hits_;
+    std::uint64_t misses_ = 0;
+    std::uint64_t srripHits_ = 0;
+    std::uint64_t brripHits_ = 0;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_ALLOC_UMON_RRIP_H_

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The cache-array abstraction.
+ *
+ * Following the paper's analytical framework (Sec. 3.2), a cache is
+ * split into an *array*, which implements associative lookups and
+ * produces a list of replacement candidates on each miss, and a
+ * *replacement policy / partitioning scheme*, which ranks those
+ * candidates. This header defines the array side.
+ *
+ * The array owns the per-line tag state (the Line struct: address,
+ * partition id, replacement metadata) so that arrays which physically
+ * relocate lines — the zcache — can move the whole tag in one place.
+ */
+
+#ifndef VANTAGE_ARRAY_CACHE_ARRAY_H_
+#define VANTAGE_ARRAY_CACHE_ARRAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace vantage {
+
+/**
+ * Per-line tag state.
+ *
+ * Mirrors the tag fields of the paper's Fig. 4: the partition id
+ * (6 bits there) and an 8-bit coarse timestamp. `rank` doubles as the
+ * LRU coarse timestamp or the RRIP re-reference prediction value,
+ * depending on the active policy. `lastAccess` supports exact-LRU
+ * baselines; real hardware would not store it, but the simulator can.
+ */
+struct Line
+{
+    Addr addr = kInvalidAddr;
+    PartId part = kInvalidPart;
+    std::uint8_t rank = 0;
+    bool dirty = false;
+    std::uint64_t lastAccess = 0;
+
+    bool valid() const { return addr != kInvalidAddr; }
+
+    void
+    invalidate()
+    {
+        addr = kInvalidAddr;
+        part = kInvalidPart;
+        rank = 0;
+        dirty = false;
+        lastAccess = 0;
+    }
+};
+
+/**
+ * One replacement candidate produced by an array.
+ *
+ * `slot` identifies the line; `parent` is the index (within the same
+ * candidate list) of the candidate whose line would move into `slot`
+ * if this candidate is evicted, or -1 when the incoming line itself
+ * lands in `slot`. Set-associative arrays always use parent == -1;
+ * zcache walks build multi-level relocation chains.
+ */
+struct Candidate
+{
+    LineId slot;
+    std::int32_t parent;
+};
+
+/** Abstract cache array: lookup + candidate generation + replacement. */
+class CacheArray
+{
+  public:
+    explicit CacheArray(std::size_t num_lines) : lines_(num_lines) {}
+    virtual ~CacheArray() = default;
+
+    CacheArray(const CacheArray &) = delete;
+    CacheArray &operator=(const CacheArray &) = delete;
+
+    /** Find the slot holding addr, or kInvalidLine. */
+    virtual LineId lookup(Addr addr) const = 0;
+
+    /**
+     * Produce the replacement candidates for an incoming address.
+     * Candidates may include invalid (empty) slots; callers should
+     * prefer those. The list is cleared first.
+     */
+    virtual void candidates(Addr addr,
+                            std::vector<Candidate> &out) const = 0;
+
+    /**
+     * Install `addr`, evicting the candidate at `victim_idx` of the
+     * list previously returned by candidates() for this address.
+     * Performs any relocations the array needs (zcache) — relocations
+     * move the entire Line struct, so policy metadata follows the
+     * line. @return the slot where the new line's tag now lives; its
+     * Line has addr set and all other fields reset for the caller to
+     * initialize.
+     */
+    virtual LineId replace(Addr addr,
+                           const std::vector<Candidate> &cands,
+                           std::int32_t victim_idx) = 0;
+
+    /** Nominal number of replacement candidates per eviction. */
+    virtual std::uint32_t numCandidates() const = 0;
+
+    /** Number of ways (for way-partitioning / PIPP set geometry). */
+    virtual std::uint32_t numWays() const = 0;
+
+    /** The way a given slot belongs to. */
+    virtual std::uint32_t wayOf(LineId slot) const = 0;
+
+    std::size_t numLines() const { return lines_.size(); }
+
+    Line &
+    line(LineId id)
+    {
+        vantage_assert(id < lines_.size(), "line id %u out of range", id);
+        return lines_[id];
+    }
+
+    const Line &
+    line(LineId id) const
+    {
+        vantage_assert(id < lines_.size(), "line id %u out of range", id);
+        return lines_[id];
+    }
+
+  protected:
+    std::vector<Line> lines_;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_ARRAY_CACHE_ARRAY_H_

@@ -1,0 +1,74 @@
+#include "array/random_array.h"
+
+#include <algorithm>
+
+namespace vantage {
+
+RandomArray::RandomArray(std::size_t num_lines,
+                         std::uint32_t num_candidates,
+                         std::uint64_t seed)
+    : CacheArray(num_lines), numCands_(num_candidates), rng_(seed)
+{
+    vantage_assert(num_candidates >= 1, "need at least one candidate");
+    vantage_assert(num_candidates <= num_lines,
+                   "R = %u exceeds %zu lines", num_candidates,
+                   num_lines);
+    map_.reserve(num_lines * 2);
+}
+
+LineId
+RandomArray::lookup(Addr addr) const
+{
+    const auto it = map_.find(addr);
+    return it == map_.end() ? kInvalidLine : it->second;
+}
+
+void
+RandomArray::candidates(Addr addr, std::vector<Candidate> &out) const
+{
+    (void)addr;
+    out.clear();
+    out.reserve(numCands_);
+
+    // While the array still has free slots, the next free slot leads
+    // the list (so fills complete deterministically), followed by
+    // random draws — schemes still see a full candidate list, as a
+    // real array's replacement walk would.
+    if (nextFree_ < lines_.size()) {
+        out.push_back({static_cast<LineId>(nextFree_), -1});
+    }
+
+    while (out.size() < numCands_) {
+        const auto slot =
+            static_cast<LineId>(rng_.range(lines_.size()));
+        const bool seen = std::any_of(
+            out.begin(), out.end(),
+            [slot](const Candidate &c) { return c.slot == slot; });
+        if (!seen) {
+            out.push_back({slot, -1});
+        }
+    }
+}
+
+LineId
+RandomArray::replace(Addr addr, const std::vector<Candidate> &cands,
+                     std::int32_t victim_idx)
+{
+    vantage_assert(victim_idx >= 0 &&
+                   static_cast<std::size_t>(victim_idx) < cands.size(),
+                   "victim index %d out of range", victim_idx);
+    const LineId slot = cands[victim_idx].slot;
+    Line &victim = lines_[slot];
+    if (victim.valid()) {
+        map_.erase(victim.addr);
+    }
+    victim.invalidate();
+    victim.addr = addr;
+    map_[addr] = slot;
+    if (slot == nextFree_ && nextFree_ < lines_.size()) {
+        ++nextFree_;
+    }
+    return slot;
+}
+
+} // namespace vantage

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Idealized "random candidates" array.
+ *
+ * On each miss this array offers R independent, uniformly distributed
+ * slots as replacement candidates — the exact assumption behind the
+ * paper's analytical models (Sec. 3.2). It is not a buildable cache
+ * (lookups need a full map), but it is the reference point the paper
+ * itself uses in Sec. 6.2 to check that zcaches are close enough to
+ * uniform for the models to hold.
+ */
+
+#ifndef VANTAGE_ARRAY_RANDOM_ARRAY_H_
+#define VANTAGE_ARRAY_RANDOM_ARRAY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "array/cache_array.h"
+#include "common/rng.h"
+
+namespace vantage {
+
+/** Fully associative array with uniform-random candidate draws. */
+class RandomArray : public CacheArray
+{
+  public:
+    RandomArray(std::size_t num_lines, std::uint32_t num_candidates,
+                std::uint64_t seed = 0xa11d0);
+
+    LineId lookup(Addr addr) const override;
+    void candidates(Addr addr,
+                    std::vector<Candidate> &out) const override;
+    LineId replace(Addr addr, const std::vector<Candidate> &cands,
+                   std::int32_t victim_idx) override;
+
+    std::uint32_t numCandidates() const override { return numCands_; }
+
+    /** Treated as one "way" per candidate for interface purposes. */
+    std::uint32_t numWays() const override { return numCands_; }
+
+    std::uint32_t
+    wayOf(LineId slot) const override
+    {
+        return slot % numCands_;
+    }
+
+  private:
+    std::uint32_t numCands_;
+    mutable Rng rng_;
+    std::unordered_map<Addr, LineId> map_;
+    std::size_t nextFree_ = 0;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_ARRAY_RANDOM_ARRAY_H_

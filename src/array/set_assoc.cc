@@ -1,0 +1,72 @@
+#include "array/set_assoc.h"
+
+#include "common/bits.h"
+
+namespace vantage {
+
+SetAssocArray::SetAssocArray(std::size_t num_lines, std::uint32_t ways,
+                             bool hash_index, std::uint64_t seed)
+    : CacheArray(num_lines), ways_(ways), sets_(num_lines / ways),
+      hashIndex_(hash_index), hash_(seed)
+{
+    vantage_assert(ways > 0, "need at least one way");
+    vantage_assert(num_lines % ways == 0,
+                   "%zu lines not divisible by %u ways", num_lines,
+                   ways);
+    vantage_assert(isPow2(sets_), "set count %llu not a power of two",
+                   static_cast<unsigned long long>(sets_));
+}
+
+std::uint64_t
+SetAssocArray::setOf(Addr addr) const
+{
+    if (hashIndex_) {
+        return hash_.mod(addr, sets_);
+    }
+    return addr & (sets_ - 1);
+}
+
+LineId
+SetAssocArray::slotOf(std::uint64_t set, std::uint32_t way) const
+{
+    return static_cast<LineId>(set * ways_ + way);
+}
+
+LineId
+SetAssocArray::lookup(Addr addr) const
+{
+    const std::uint64_t set = setOf(addr);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        const LineId slot = slotOf(set, w);
+        if (lines_[slot].addr == addr) {
+            return slot;
+        }
+    }
+    return kInvalidLine;
+}
+
+void
+SetAssocArray::candidates(Addr addr, std::vector<Candidate> &out) const
+{
+    out.clear();
+    const std::uint64_t set = setOf(addr);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        out.push_back({slotOf(set, w), -1});
+    }
+}
+
+LineId
+SetAssocArray::replace(Addr addr, const std::vector<Candidate> &cands,
+                       std::int32_t victim_idx)
+{
+    vantage_assert(victim_idx >= 0 &&
+                   static_cast<std::size_t>(victim_idx) < cands.size(),
+                   "victim index %d out of range", victim_idx);
+    const LineId slot = cands[victim_idx].slot;
+    Line &victim = lines_[slot];
+    victim.invalidate();
+    victim.addr = addr;
+    return slot;
+}
+
+} // namespace vantage

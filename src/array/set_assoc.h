@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Set-associative cache array, with optional H3-hashed indexing.
+ *
+ * The baseline array of the paper's evaluation (SA16 / SA64). With
+ * hashing enabled the set index is an H3 hash of the line address,
+ * which is how modern last-level caches index and what the paper's
+ * "hashed set-associative" configurations use.
+ */
+
+#ifndef VANTAGE_ARRAY_SET_ASSOC_H_
+#define VANTAGE_ARRAY_SET_ASSOC_H_
+
+#include <vector>
+
+#include "array/cache_array.h"
+#include "hash/h3.h"
+
+namespace vantage {
+
+/** Standard sets x ways array; candidates are the ways of one set. */
+class SetAssocArray : public CacheArray
+{
+  public:
+    /**
+     * @param num_lines total line slots; must be sets * ways with
+     *        power-of-two sets.
+     * @param ways associativity.
+     * @param hash_index index with an H3 hash instead of low bits.
+     * @param seed hash-function seed.
+     */
+    SetAssocArray(std::size_t num_lines, std::uint32_t ways,
+                  bool hash_index = true, std::uint64_t seed = 0xcafe);
+
+    LineId lookup(Addr addr) const override;
+    void candidates(Addr addr,
+                    std::vector<Candidate> &out) const override;
+    LineId replace(Addr addr, const std::vector<Candidate> &cands,
+                   std::int32_t victim_idx) override;
+
+    std::uint32_t numCandidates() const override { return ways_; }
+    std::uint32_t numWays() const override { return ways_; }
+
+    std::uint32_t
+    wayOf(LineId slot) const override
+    {
+        return slot % ways_;
+    }
+
+    std::uint64_t numSets() const { return sets_; }
+
+    /** The set an address maps to (exposed for UMON-style sampling). */
+    std::uint64_t setOf(Addr addr) const;
+
+  private:
+    LineId slotOf(std::uint64_t set, std::uint32_t way) const;
+
+    std::uint32_t ways_;
+    std::uint64_t sets_;
+    bool hashIndex_;
+    H3Hash hash_;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_ARRAY_SET_ASSOC_H_

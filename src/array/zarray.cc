@@ -1,0 +1,123 @@
+#include "array/zarray.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+
+namespace vantage {
+
+ZArray::ZArray(std::size_t num_lines, std::uint32_t ways,
+               std::uint32_t num_candidates, std::uint64_t seed)
+    : CacheArray(num_lines), ways_(ways), numCands_(num_candidates),
+      linesPerWay_(num_lines / ways), visitEpoch_(num_lines, 0)
+{
+    vantage_assert(ways >= 2, "a zcache needs at least 2 ways");
+    vantage_assert(num_lines % ways == 0,
+                   "%zu lines not divisible by %u ways", num_lines,
+                   ways);
+    vantage_assert(isPow2(linesPerWay_),
+                   "lines per way %llu must be a power of two",
+                   static_cast<unsigned long long>(linesPerWay_));
+    vantage_assert(num_candidates >= ways,
+                   "R = %u below way count %u", num_candidates, ways);
+    hashes_.reserve(ways);
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        hashes_.emplace_back(seed * 0x9e3779b97f4a7c15ULL + w + 1);
+    }
+}
+
+LineId
+ZArray::positionIn(std::uint32_t w, Addr addr) const
+{
+    return static_cast<LineId>(w * linesPerWay_ +
+                               hashes_[w].mod(addr, linesPerWay_));
+}
+
+LineId
+ZArray::lookup(Addr addr) const
+{
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        const LineId slot = positionIn(w, addr);
+        if (lines_[slot].addr == addr) {
+            return slot;
+        }
+    }
+    return kInvalidLine;
+}
+
+void
+ZArray::candidates(Addr addr, std::vector<Candidate> &out) const
+{
+    out.clear();
+    out.reserve(numCands_);
+
+    // Epoch-stamped visited set: O(1) dedup, no per-walk clearing.
+    const std::uint32_t epoch = ++walkEpoch_;
+    auto visited = [&](LineId slot) {
+        if (visitEpoch_[slot] == epoch) {
+            return true;
+        }
+        visitEpoch_[slot] = epoch;
+        return false;
+    };
+
+    // First level: the incoming address's own positions.
+    for (std::uint32_t w = 0; w < ways_ && out.size() < numCands_;
+         ++w) {
+        const LineId slot = positionIn(w, addr);
+        if (!visited(slot)) {
+            out.push_back({slot, -1});
+        }
+    }
+
+    // Breadth-first expansion: each valid candidate line can move to
+    // its positions in the other ways; the occupants of those slots
+    // are further candidates.
+    for (std::size_t head = 0;
+         head < out.size() && out.size() < numCands_; ++head) {
+        const Line &occupant = lines_[out[head].slot];
+        if (!occupant.valid()) {
+            continue; // An empty slot is a perfect victim; don't expand.
+        }
+        const std::uint32_t own_way = wayOf(out[head].slot);
+        for (std::uint32_t w = 0;
+             w < ways_ && out.size() < numCands_; ++w) {
+            if (w == own_way) {
+                continue;
+            }
+            const LineId slot = positionIn(w, occupant.addr);
+            if (!visited(slot)) {
+                out.push_back({slot,
+                               static_cast<std::int32_t>(head)});
+            }
+        }
+    }
+}
+
+LineId
+ZArray::replace(Addr addr, const std::vector<Candidate> &cands,
+                std::int32_t victim_idx)
+{
+    vantage_assert(victim_idx >= 0 &&
+                   static_cast<std::size_t>(victim_idx) < cands.size(),
+                   "victim index %d out of range", victim_idx);
+
+    // Relocate lines up the parent chain: the parent's line moves into
+    // the victim's (now free) slot, and so on until a first-level slot
+    // is free for the incoming line.
+    std::int32_t idx = victim_idx;
+    lines_[cands[idx].slot].invalidate();
+    while (cands[idx].parent >= 0) {
+        const std::int32_t parent = cands[idx].parent;
+        lines_[cands[idx].slot] = lines_[cands[parent].slot];
+        lines_[cands[parent].slot].invalidate();
+        idx = parent;
+    }
+
+    const LineId root = cands[idx].slot;
+    lines_[root].invalidate();
+    lines_[root].addr = addr;
+    return root;
+}
+
+} // namespace vantage

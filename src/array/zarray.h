@@ -1,0 +1,82 @@
+/**
+ * @file
+ * ZCache array (Sanchez & Kozyrakis, MICRO 2010).
+ *
+ * A zcache has W ways, each indexed by an independent H3 hash
+ * function (as in a skew-associative cache), plus a *replacement
+ * walk*: on a miss, the W first-level positions of the incoming
+ * address are expanded breadth-first — each resident line can be
+ * relocated to its positions in the other ways, whose occupants
+ * become further candidates — until R candidates are gathered.
+ * Evicting a level-k candidate frees its slot by relocating the
+ * k lines along its parent chain, and the incoming line lands in a
+ * first-level slot.
+ *
+ * With W = 4 ways the walk yields 4, 4+12 = 16 or 4+12+36 = 52
+ * candidates after 1-3 levels — the paper's Z4/16 and Z4/52 designs.
+ * A skew-associative cache is the degenerate R = W case.
+ */
+
+#ifndef VANTAGE_ARRAY_ZARRAY_H_
+#define VANTAGE_ARRAY_ZARRAY_H_
+
+#include <memory>
+#include <vector>
+
+#include "array/cache_array.h"
+#include "hash/h3.h"
+
+namespace vantage {
+
+/** ZCache / skew-associative array with relocation-based replacement. */
+class ZArray : public CacheArray
+{
+  public:
+    /**
+     * @param num_lines total slots; must be divisible by `ways`.
+     * @param ways number of hashed ways (banks).
+     * @param num_candidates walk size R (>= ways).
+     * @param seed base seed; each way's hash derives from it.
+     */
+    ZArray(std::size_t num_lines, std::uint32_t ways,
+           std::uint32_t num_candidates, std::uint64_t seed = 0x2ca);
+
+    LineId lookup(Addr addr) const override;
+    void candidates(Addr addr,
+                    std::vector<Candidate> &out) const override;
+    LineId replace(Addr addr, const std::vector<Candidate> &cands,
+                   std::int32_t victim_idx) override;
+
+    std::uint32_t numCandidates() const override { return numCands_; }
+    std::uint32_t numWays() const override { return ways_; }
+
+    std::uint32_t
+    wayOf(LineId slot) const override
+    {
+        return static_cast<std::uint32_t>(slot / linesPerWay_);
+    }
+
+    /** Make a skew-associative cache: a zcache with R = W. */
+    static std::unique_ptr<ZArray>
+    makeSkewAssociative(std::size_t num_lines, std::uint32_t ways,
+                        std::uint64_t seed = 0x5eed)
+    {
+        return std::make_unique<ZArray>(num_lines, ways, ways, seed);
+    }
+
+  private:
+    /** Slot of `addr` in way `w`. */
+    LineId positionIn(std::uint32_t w, Addr addr) const;
+
+    std::uint32_t ways_;
+    std::uint32_t numCands_;
+    std::uint64_t linesPerWay_;
+    std::vector<H3Hash> hashes_;
+    // Per-slot visit stamps for O(1) dedup during walks.
+    mutable std::vector<std::uint32_t> visitEpoch_;
+    mutable std::uint32_t walkEpoch_ = 0;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_ARRAY_ZARRAY_H_

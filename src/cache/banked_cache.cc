@@ -1,0 +1,123 @@
+#include "cache/banked_cache.h"
+
+#include "common/log.h"
+
+namespace vantage {
+
+BankedCache::BankedCache(std::vector<std::unique_ptr<Cache>> banks,
+                         std::uint64_t seed)
+    : banks_(std::move(banks)), hash_(seed)
+{
+    vantage_assert(!banks_.empty(), "need at least one bank");
+    const std::uint32_t parts = banks_[0]->scheme().numPartitions();
+    for (const auto &bank : banks_) {
+        vantage_assert(bank != nullptr, "null bank");
+        vantage_assert(bank->scheme().numPartitions() == parts,
+                       "banks disagree on partition count");
+    }
+}
+
+std::uint32_t
+BankedCache::bankOf(Addr addr) const
+{
+    // Non-power-of-two bank counts are fine: hash then reduce.
+    return static_cast<std::uint32_t>(hash_(addr) % banks_.size());
+}
+
+AccessResult
+BankedCache::access(Addr addr, PartId part, AccessType type)
+{
+    return banks_[bankOf(addr)]->access(addr, part, type);
+}
+
+bool
+BankedCache::contains(Addr addr) const
+{
+    return banks_[bankOf(addr)]->contains(addr);
+}
+
+Cache &
+BankedCache::bank(std::uint32_t b)
+{
+    vantage_assert(b < banks_.size(), "bank %u out of range", b);
+    return *banks_[b];
+}
+
+const Cache &
+BankedCache::bank(std::uint32_t b) const
+{
+    vantage_assert(b < banks_.size(), "bank %u out of range", b);
+    return *banks_[b];
+}
+
+void
+BankedCache::setAllocations(const std::vector<std::uint32_t> &units)
+{
+    for (auto &bank : banks_) {
+        bank->scheme().setAllocations(units);
+    }
+}
+
+std::uint64_t
+BankedCache::actualSize(PartId part) const
+{
+    std::uint64_t total = 0;
+    for (const auto &bank : banks_) {
+        total += bank->scheme().actualSize(part);
+    }
+    return total;
+}
+
+std::uint64_t
+BankedCache::targetSize(PartId part) const
+{
+    std::uint64_t total = 0;
+    for (const auto &bank : banks_) {
+        total += bank->scheme().targetSize(part);
+    }
+    return total;
+}
+
+CacheAccessStats
+BankedCache::totalStats() const
+{
+    CacheAccessStats out;
+    for (const auto &bank : banks_) {
+        const CacheAccessStats s = bank->totalStats();
+        out.hits += s.hits;
+        out.misses += s.misses;
+    }
+    return out;
+}
+
+CacheAccessStats
+BankedCache::partAccessStats(PartId part) const
+{
+    CacheAccessStats out;
+    for (const auto &bank : banks_) {
+        const CacheAccessStats &s = bank->partAccessStats(part);
+        out.hits += s.hits;
+        out.misses += s.misses;
+    }
+    return out;
+}
+
+std::uint64_t
+BankedCache::writebacks() const
+{
+    std::uint64_t total = 0;
+    for (const auto &bank : banks_) {
+        total += bank->writebacks();
+    }
+    return total;
+}
+
+void
+BankedCache::resetStats()
+{
+    for (auto &bank : banks_) {
+        bank->resetStats();
+    }
+}
+
+} // namespace vantage

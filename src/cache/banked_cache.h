@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Banked shared cache (paper Table 2: the 8 MB L2 is 4 banks of
+ * 2 MB, each with its own Vantage controller — "with 32K lines per
+ * bank, this amounts to 256 bits per partition [per bank]").
+ *
+ * BankedCache routes each line address to a bank by H3 hash and
+ * keeps one complete Cache (array + scheme) per bank. Allocations
+ * are expressed globally and divided evenly across banks, which is
+ * exact in expectation because the hash spreads every partition's
+ * lines uniformly over banks.
+ */
+
+#ifndef VANTAGE_CACHE_BANKED_CACHE_H_
+#define VANTAGE_CACHE_BANKED_CACHE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/cache.h"
+#include "hash/h3.h"
+
+namespace vantage {
+
+/** N independent banks behind one access interface. */
+class BankedCache
+{
+  public:
+    /**
+     * @param banks one Cache per bank; all must have the same
+     *        partition count.
+     * @param seed bank-routing hash seed.
+     */
+    explicit BankedCache(std::vector<std::unique_ptr<Cache>> banks,
+                         std::uint64_t seed = 0xba4c);
+
+    /** Route and access; same semantics as Cache::access. */
+    AccessResult access(Addr addr, PartId part,
+                        AccessType type = AccessType::Load);
+
+    bool contains(Addr addr) const;
+
+    /** Bank an address maps to. */
+    std::uint32_t bankOf(Addr addr) const;
+
+    std::uint32_t numBanks() const
+    {
+        return static_cast<std::uint32_t>(banks_.size());
+    }
+
+    Cache &bank(std::uint32_t b);
+    const Cache &bank(std::uint32_t b) const;
+
+    /**
+     * Set global allocations (in each bank-scheme's units); each
+     * bank receives the same per-partition share.
+     */
+    void setAllocations(const std::vector<std::uint32_t> &units);
+
+    /** Aggregate actual size of a partition across banks. */
+    std::uint64_t actualSize(PartId part) const;
+
+    /** Aggregate target size of a partition across banks. */
+    std::uint64_t targetSize(PartId part) const;
+
+    /** Aggregate hit/miss stats across banks. */
+    CacheAccessStats totalStats() const;
+    CacheAccessStats partAccessStats(PartId part) const;
+    std::uint64_t writebacks() const;
+    void resetStats();
+
+  private:
+    std::vector<std::unique_ptr<Cache>> banks_;
+    H3Hash hash_;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_CACHE_BANKED_CACHE_H_

@@ -1,0 +1,96 @@
+#include "cache/cache.h"
+
+#include "common/log.h"
+
+namespace vantage {
+
+Cache::Cache(std::unique_ptr<CacheArray> array,
+             std::unique_ptr<PartitionScheme> scheme, std::string name)
+    : array_(std::move(array)), scheme_(std::move(scheme)),
+      name_(std::move(name))
+{
+    vantage_assert(array_ != nullptr, "cache needs an array");
+    vantage_assert(scheme_ != nullptr, "cache needs a scheme");
+    stats_.resize(scheme_->numPartitions());
+    candScratch_.reserve(array_->numCandidates());
+}
+
+AccessResult
+Cache::access(Addr addr, PartId part, AccessType type)
+{
+    vantage_assert(part < stats_.size(),
+                   "partition %u out of range in cache %s", part,
+                   name_.c_str());
+    const LineId slot = array_->lookup(addr);
+    if (slot != kInvalidLine) {
+        ++stats_[part].hits;
+        Line &line = array_->line(slot);
+        if (type == AccessType::Store) {
+            line.dirty = true;
+        }
+        scheme_->onHit(slot, line, part);
+        return AccessResult::Hit;
+    }
+
+    ++stats_[part].misses;
+    array_->candidates(addr, candScratch_);
+    vantage_assert(!candScratch_.empty(),
+                   "array produced no candidates");
+    const VictimChoice choice =
+        scheme_->selectVictim(*array_, part, addr, candScratch_);
+    if (choice.bypass) {
+        return AccessResult::Miss;
+    }
+
+    const LineId victim_slot = candScratch_[choice.candIdx].slot;
+    const Line &victim = array_->line(victim_slot);
+    if (victim.valid()) {
+        if (victim.dirty) {
+            ++writebacks_;
+        }
+        scheme_->onEvict(victim_slot, victim);
+    }
+    const LineId root =
+        array_->replace(addr, candScratch_, choice.candIdx);
+    Line &fresh = array_->line(root);
+    fresh.part = part;
+    fresh.dirty = type == AccessType::Store;
+    scheme_->onInsert(root, fresh, part);
+    return AccessResult::Miss;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    return array_->lookup(addr) != kInvalidLine;
+}
+
+const CacheAccessStats &
+Cache::partAccessStats(PartId part) const
+{
+    vantage_assert(part < stats_.size(), "partition %u out of range",
+                   part);
+    return stats_[part];
+}
+
+CacheAccessStats
+Cache::totalStats() const
+{
+    CacheAccessStats total;
+    for (const auto &s : stats_) {
+        total.hits += s.hits;
+        total.misses += s.misses;
+    }
+    return total;
+}
+
+void
+Cache::resetStats()
+{
+    for (auto &s : stats_) {
+        s = CacheAccessStats{};
+    }
+    writebacks_ = 0;
+}
+
+} // namespace vantage

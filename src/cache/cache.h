@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A complete cache: array + partitioning scheme (+ statistics).
+ *
+ * The Cache drives the array/scheme split described in the paper's
+ * Sec. 3.2: the array produces replacement candidates, the scheme
+ * (which embeds or subsumes a replacement policy) ranks them and
+ * tracks partition state. The same class models both private L1s
+ * (SetAssocArray + Unpartitioned) and the shared partitioned L2.
+ */
+
+#ifndef VANTAGE_CACHE_CACHE_H_
+#define VANTAGE_CACHE_CACHE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "array/cache_array.h"
+#include "partition/scheme.h"
+#include "stats/counters.h"
+
+namespace vantage {
+
+/** Per-partition hit/miss counters. */
+struct CacheAccessStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    std::uint64_t accesses() const { return hits + misses; }
+
+    double
+    missRate() const
+    {
+        const std::uint64_t total = accesses();
+        return total ? static_cast<double>(misses) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/** Array + scheme + bookkeeping. */
+class Cache
+{
+  public:
+    /**
+     * @param array the tag/data array.
+     * @param scheme the allocation-enforcement scheme.
+     * @param name for reports.
+     */
+    Cache(std::unique_ptr<CacheArray> array,
+          std::unique_ptr<PartitionScheme> scheme, std::string name);
+
+    Cache(const Cache &) = delete;
+    Cache &operator=(const Cache &) = delete;
+
+    /**
+     * Access a line on behalf of partition `part`.
+     * On a miss the line is filled (unless the scheme bypasses);
+     * stores mark the line dirty and evicting a dirty line counts a
+     * writeback. @return Hit or Miss.
+     */
+    AccessResult access(Addr addr, PartId part,
+                        AccessType type = AccessType::Load);
+
+    /** True when addr is currently cached (no state change). */
+    bool contains(Addr addr) const;
+
+    const std::string &name() const { return name_; }
+    CacheArray &array() { return *array_; }
+    const CacheArray &array() const { return *array_; }
+    PartitionScheme &scheme() { return *scheme_; }
+    const PartitionScheme &scheme() const { return *scheme_; }
+
+    const CacheAccessStats &partAccessStats(PartId part) const;
+    CacheAccessStats totalStats() const;
+    void resetStats();
+
+    /** Dirty evictions since the last resetStats(). */
+    std::uint64_t writebacks() const { return writebacks_; }
+
+  private:
+    std::unique_ptr<CacheArray> array_;
+    std::unique_ptr<PartitionScheme> scheme_;
+    std::string name_;
+    std::vector<CacheAccessStats> stats_;
+    std::vector<Candidate> candScratch_;
+    std::uint64_t writebacks_ = 0;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_CACHE_CACHE_H_

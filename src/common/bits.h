@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Small bit-manipulation and integer-math helpers.
+ */
+
+#ifndef VANTAGE_COMMON_BITS_H_
+#define VANTAGE_COMMON_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "common/log.h"
+
+namespace vantage {
+
+/** True iff x is a power of two (x > 0). */
+constexpr bool
+isPow2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** log2 of a power of two. @pre isPow2(x). */
+inline std::uint32_t
+log2i(std::uint64_t x)
+{
+    vantage_assert(isPow2(x), "log2i of non-power-of-two %llu",
+                   static_cast<unsigned long long>(x));
+    return static_cast<std::uint32_t>(std::countr_zero(x));
+}
+
+/** Integer ceiling division. */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/**
+ * Distance from 'from' up to 'to' in modulo-2^bits arithmetic.
+ *
+ * Used by coarse-timestamp replacement policies: with 8-bit wrapping
+ * timestamps, the age of a line is modDist(lineTs, currentTs, 8).
+ */
+constexpr std::uint32_t
+modDist(std::uint32_t from, std::uint32_t to, std::uint32_t bits)
+{
+    const std::uint32_t mask = (1u << bits) - 1;
+    return (to - from) & mask;
+}
+
+/**
+ * True iff x lies in the half-open modular interval [lo, hi) of width
+ * 2^bits. Degenerate intervals (lo == hi) are empty.
+ */
+constexpr bool
+inModRange(std::uint32_t x, std::uint32_t lo, std::uint32_t hi,
+           std::uint32_t bits)
+{
+    const std::uint32_t mask = (1u << bits) - 1;
+    return ((x - lo) & mask) < ((hi - lo) & mask);
+}
+
+} // namespace vantage
+
+#endif // VANTAGE_COMMON_BITS_H_

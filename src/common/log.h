@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * panic():  an internal invariant was violated — a library bug. Aborts.
+ * fatal():  the user asked for something impossible (bad config).
+ *           Exits with status 1.
+ * warn():   something is suspicious but the simulation can continue.
+ */
+
+#ifndef VANTAGE_COMMON_LOG_H_
+#define VANTAGE_COMMON_LOG_H_
+
+#include <cstdarg>
+#include <string>
+
+namespace vantage {
+
+/** Print a formatted bug message and abort. Never returns. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted user-error message and exit(1). Never returns. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted warning to stderr and continue. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Implementation hook for vantage_assert; use the macro instead. */
+[[noreturn]] void panicAssert(const char *cond, const char *file,
+                              int line, const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/**
+ * Assert an invariant with a formatted message. Compiled in all build
+ * types: simulator correctness bugs must not hide in release builds.
+ */
+#define vantage_assert(cond, ...)                                        \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::vantage::panicAssert(#cond, __FILE__, __LINE__,            \
+                                   __VA_ARGS__);                         \
+        }                                                                \
+    } while (0)
+
+} // namespace vantage
+
+#endif // VANTAGE_COMMON_LOG_H_

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fundamental types used throughout the Vantage library.
+ *
+ * The simulator models caches at line granularity. Addresses are
+ * already line addresses (i.e. byte address >> log2(lineSize)); no
+ * module in this library ever deals with byte offsets.
+ */
+
+#ifndef VANTAGE_COMMON_TYPES_H_
+#define VANTAGE_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace vantage {
+
+/** A cache-line address (byte address with the line offset stripped). */
+using Addr = std::uint64_t;
+
+/** Simulation time, in core cycles. */
+using Cycle = std::uint64_t;
+
+/** Index of a physical line slot within a cache array. */
+using LineId = std::uint32_t;
+
+/** Partition identifier. */
+using PartId = std::uint32_t;
+
+/** Sentinel for "no address" (invalid / empty line). */
+constexpr Addr kInvalidAddr = std::numeric_limits<Addr>::max();
+
+/** Sentinel for "no line slot". */
+constexpr LineId kInvalidLine = std::numeric_limits<LineId>::max();
+
+/** Sentinel partition id. */
+constexpr PartId kInvalidPart = std::numeric_limits<PartId>::max();
+
+/**
+ * Partition id reserved for the Vantage unmanaged region. Schemes that
+ * do not use a region split never emit this id. It is deliberately the
+ * largest representable id so that ordinary partitions can be densely
+ * numbered from zero.
+ */
+constexpr PartId kUnmanagedPart = kInvalidPart - 1;
+
+/** Kinds of cache accesses the simulator distinguishes. */
+enum class AccessType : std::uint8_t {
+    Load,
+    Store,
+};
+
+/** Result of a cache access, as reported to callers and statistics. */
+enum class AccessResult : std::uint8_t {
+    Hit,
+    Miss,
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_COMMON_TYPES_H_

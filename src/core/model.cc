@@ -1,0 +1,156 @@
+#include "core/model.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace vantage {
+namespace model {
+
+double
+assocCdf(double x, std::uint32_t r)
+{
+    vantage_assert(r >= 1, "need at least one candidate");
+    if (x <= 0.0) return 0.0;
+    if (x >= 1.0) return 1.0;
+    return std::pow(x, static_cast<double>(r));
+}
+
+double
+binomialPmf(std::uint32_t i, std::uint32_t r, double p)
+{
+    vantage_assert(i <= r, "binomial i=%u > r=%u", i, r);
+    vantage_assert(p >= 0.0 && p <= 1.0, "p=%f out of range", p);
+    // log-space to stay stable for large R.
+    double log_comb = 0.0;
+    for (std::uint32_t k = 1; k <= i; ++k) {
+        log_comb += std::log(static_cast<double>(r - i + k)) -
+                    std::log(static_cast<double>(k));
+    }
+    if ((p == 0.0 && i > 0) || (p == 1.0 && i < r)) return 0.0;
+    double log_pmf = log_comb;
+    if (i > 0) log_pmf += static_cast<double>(i) * std::log(p);
+    if (r - i > 0) {
+        log_pmf += static_cast<double>(r - i) * std::log(1.0 - p);
+    }
+    return std::exp(log_pmf);
+}
+
+double
+managedCdfExactOne(double x, std::uint32_t r, double u)
+{
+    vantage_assert(u >= 0.0 && u < 1.0, "u=%f out of range", u);
+    if (x <= 0.0) return 0.0;
+    if (x >= 1.0) return 1.0;
+    const double m = 1.0 - u;
+    double acc = 0.0;
+    for (std::uint32_t i = 1; i < r; ++i) {
+        acc += binomialPmf(i, r, m) * std::pow(x, static_cast<double>(i));
+    }
+    // Normalize over the included terms so the CDF reaches 1.0; the
+    // excluded i = 0 and i = R cases carry negligible probability.
+    double mass = 0.0;
+    for (std::uint32_t i = 1; i < r; ++i) {
+        mass += binomialPmf(i, r, m);
+    }
+    return mass > 0.0 ? acc / mass : 0.0;
+}
+
+double
+managedCdfOnAverage(double x, double aperture)
+{
+    vantage_assert(aperture > 0.0 && aperture <= 1.0,
+                   "aperture %f out of range", aperture);
+    if (x < 1.0 - aperture) return 0.0;
+    if (x >= 1.0) return 1.0;
+    return (x - (1.0 - aperture)) / aperture;
+}
+
+double
+balancedAperture(std::uint32_t r, double m)
+{
+    vantage_assert(m > 0.0 && m <= 1.0, "m=%f out of range", m);
+    return 1.0 / (static_cast<double>(r) * m);
+}
+
+double
+aperture(double churn_share, double size_share, std::uint32_t r,
+         double m)
+{
+    vantage_assert(size_share > 0.0, "size share must be positive");
+    return (churn_share / size_share) * balancedAperture(r, m);
+}
+
+double
+minStableSize(double churn_share, double total_size, double amax,
+              std::uint32_t r, double m)
+{
+    vantage_assert(amax > 0.0 && amax <= 1.0, "Amax=%f out of range",
+                   amax);
+    return churn_share * total_size /
+           (amax * static_cast<double>(r) * m);
+}
+
+double
+worstCaseBorrow(double amax, std::uint32_t r)
+{
+    return 1.0 / (amax * static_cast<double>(r));
+}
+
+double
+aggregateOutgrowth(double slack, double amax, std::uint32_t r)
+{
+    return slack / (amax * static_cast<double>(r));
+}
+
+double
+unmanagedFraction(std::uint32_t r, double amax, double slack,
+                  double pev)
+{
+    vantage_assert(pev > 0.0 && pev <= 1.0, "Pev=%f out of range", pev);
+    const double ev_term =
+        1.0 - std::pow(pev, 1.0 / static_cast<double>(r));
+    return ev_term + (1.0 + slack) / (amax * static_cast<double>(r));
+}
+
+double
+worstCaseEvictionProb(std::uint32_t r, double u_ev)
+{
+    vantage_assert(u_ev >= 0.0 && u_ev <= 1.0, "u=%f out of range",
+                   u_ev);
+    return std::pow(1.0 - u_ev, static_cast<double>(r));
+}
+
+StateOverhead
+stateOverhead(std::uint64_t lines, std::uint32_t partitions,
+              std::uint32_t banks)
+{
+    vantage_assert(lines > 0, "empty cache");
+    vantage_assert(partitions >= 1, "need a partition");
+    vantage_assert(banks >= 1, "need a bank");
+
+    StateOverhead out{};
+    // Partition ids: P partitions plus the unmanaged region.
+    std::uint32_t bits = 0;
+    while ((1u << bits) < partitions + 1) {
+        ++bits;
+    }
+    out.tagBitsPerLine = bits;
+
+    // Fig. 4: ~256 bits of controller registers per partition, per
+    // bank (CurrentTS, SetpointTS, AccessCounter, sizes, counters,
+    // and the 8-entry thresholds table).
+    out.controllerBits = static_cast<std::uint64_t>(256) *
+                         partitions * banks;
+
+    const double line_bits = 64.0 * 8.0; // 64-byte lines.
+    out.tagOverhead = static_cast<double>(bits) / line_bits;
+    out.totalOverhead =
+        out.tagOverhead +
+        static_cast<double>(out.controllerBits) /
+            (static_cast<double>(lines) * line_bits);
+    return out;
+}
+
+} // namespace model
+} // namespace vantage

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Closed-form analytical models from the Vantage paper.
+ *
+ * Vantage is "derived from statistical analysis, not empirical
+ * observation" (Sec. 3.1); every bound the controller relies on comes
+ * from the formulas below. The simulation benches and tests validate
+ * the implementation against these forms (and they directly generate
+ * Figs. 1, 2 and 5).
+ *
+ * Notation (as in the paper):
+ *   R     replacement candidates per eviction
+ *   u     fraction of the cache left unmanaged; m = 1 - u managed
+ *   A     aperture: fraction of a partition demoted when seen
+ *   Amax  maximum allowed aperture
+ *   Ci    churn (insertion rate) of partition i
+ *   Si    actual size of partition i (fraction of the cache)
+ *   Ti    target size of partition i
+ *   Pev   worst-case probability of a forced managed-region eviction
+ */
+
+#ifndef VANTAGE_CORE_MODEL_H_
+#define VANTAGE_CORE_MODEL_H_
+
+#include <cstdint>
+
+namespace vantage {
+namespace model {
+
+/**
+ * Eq. 1 — associativity CDF under the uniformity assumption:
+ * FA(x) = x^R for x in [0, 1].
+ */
+double assocCdf(double x, std::uint32_t r);
+
+/** Binomial PMF B(i, R) with success probability p. */
+double binomialPmf(std::uint32_t i, std::uint32_t r, double p);
+
+/**
+ * Eq. 2 — associativity CDF for demotions in the managed region when
+ * exactly one demotion is performed per eviction:
+ * FM(x) ~= sum_{i=1}^{R-1} B(i, R) x^i, with B(i, R) binomial in the
+ * managed fraction m = 1 - u. (The i = 0 and i = R terms are
+ * negligible and ignored, as in the paper.)
+ */
+double managedCdfExactOne(double x, std::uint32_t r, double u);
+
+/**
+ * Eq. 3 — associativity CDF when demoting one line per eviction *on
+ * average*, using an aperture A: uniform on [1 - A, 1].
+ */
+double managedCdfOnAverage(double x, double aperture);
+
+/** The steady-state aperture 1 / (R * m) that balances equal parts. */
+double balancedAperture(std::uint32_t r, double m);
+
+/**
+ * Eq. 4 — aperture for a partition with churn share ci = Ci / sum(C)
+ * and size share si = Si / sum(S):  A_i = (ci / si) * 1 / (R * m).
+ */
+double aperture(double churn_share, double size_share, std::uint32_t r,
+                double m);
+
+/**
+ * Eq. 5 — minimum stable size (fraction of the cache) of a partition
+ * with churn share ci when clamped at Amax:
+ * MSS_i = ci * sum(S) / (Amax * R * m).
+ */
+double minStableSize(double churn_share, double total_size, double amax,
+                     std::uint32_t r, double m);
+
+/**
+ * Eq. 6 — worst-case aggregate space borrowed from the unmanaged
+ * region by high-churn partitions: ~= 1 / (Amax * R).
+ */
+double worstCaseBorrow(double amax, std::uint32_t r);
+
+/**
+ * Eq. 9 — aggregate steady-state outgrowth due to feedback-based
+ * aperture control with the given slack: slack / (Amax * R).
+ */
+double aggregateOutgrowth(double slack, double amax, std::uint32_t r);
+
+/**
+ * Sec. 4.3 — unmanaged region sizing:
+ * u = 1 - Pev^(1/R) + (1 + slack) / (Amax * R).
+ *
+ * The first term makes forced managed-region evictions rarer than
+ * Pev; the second leaves room for minimum stable sizes and feedback
+ * slack.
+ */
+double unmanagedFraction(std::uint32_t r, double amax, double slack,
+                         double pev);
+
+/**
+ * Inverse of the Pev term: the worst-case forced-eviction probability
+ * for a given unmanaged fraction, Pev = (1 - u_ev)^R, where u_ev is
+ * the share of the unmanaged region actually providing eviction
+ * candidates (i.e. u minus the borrow/slack reserves).
+ */
+double worstCaseEvictionProb(std::uint32_t r, double u_ev);
+
+/**
+ * Hardware state cost of a Vantage implementation (Sec. 4.3 and
+ * Fig. 4): per-tag partition-id bits on top of a nominal tag, plus
+ * the per-partition controller register file.
+ */
+struct StateOverhead
+{
+    std::uint32_t tagBitsPerLine;    ///< Partition-id bits added.
+    std::uint64_t controllerBits;    ///< Register-file bits total.
+    double tagOverhead;              ///< Fraction of cache capacity.
+    double totalOverhead;            ///< Tags + controller fraction.
+};
+
+/**
+ * Compute the overheads for a cache of `lines` 64-byte lines with
+ * `partitions` partitions (plus the unmanaged-region id) and
+ * `banks` banks, assuming nominal 64-bit tags and the Fig. 4
+ * register file (256 bits per partition per bank).
+ */
+StateOverhead stateOverhead(std::uint64_t lines,
+                            std::uint32_t partitions,
+                            std::uint32_t banks = 1);
+
+} // namespace model
+} // namespace vantage
+
+#endif // VANTAGE_CORE_MODEL_H_

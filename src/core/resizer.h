@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Gradual repartitioning (paper Sec. 3.4, transient behavior).
+ *
+ * "Vantage applications that resize partitions at high frequency
+ * should control the upsizing and downsizing of partitions
+ * progressively and in multiple steps" — otherwise upsized partitions
+ * can gain capacity faster than downsized ones release it, and the
+ * managed region transiently outgrows its share.
+ *
+ * GradualResizer sits between an allocation policy and a
+ * VantageController: the policy sets *goals*; each step() moves the
+ * live targets a bounded number of lines toward the goals, applying
+ * decreases before increases so the total never exceeds the managed
+ * region.
+ */
+
+#ifndef VANTAGE_CORE_RESIZER_H_
+#define VANTAGE_CORE_RESIZER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/log.h"
+#include "core/vantage.h"
+
+namespace vantage {
+
+/** Moves Vantage targets toward goals in bounded steps. */
+class GradualResizer
+{
+  public:
+    /**
+     * @param controller the controller whose targets are managed.
+     * @param max_step_lines largest per-partition change per step().
+     */
+    GradualResizer(VantageController &controller,
+                   std::uint64_t max_step_lines)
+        : controller_(controller), maxStep_(max_step_lines)
+    {
+        vantage_assert(max_step_lines > 0, "step must be positive");
+        goals_.resize(controller.numPartitions());
+        for (PartId p = 0; p < controller.numPartitions(); ++p) {
+            goals_[p] = controller.targetSize(p);
+        }
+    }
+
+    /** Set the goals; takes effect over subsequent step() calls. */
+    void
+    setGoals(const std::vector<std::uint64_t> &goals)
+    {
+        vantage_assert(goals.size() == goals_.size(),
+                       "got %zu goals for %zu partitions",
+                       goals.size(), goals_.size());
+        std::uint64_t total = 0;
+        for (const auto g : goals) {
+            total += g;
+        }
+        vantage_assert(total <= controller_.managedLines(),
+                       "goals exceed the managed region");
+        goals_ = goals;
+    }
+
+    /**
+     * Advance every target at most max_step_lines toward its goal.
+     * Increases are limited to the capacity currently freed, so the
+     * sum of targets never rises above its pre-step value plus what
+     * decreases released. @return true when all goals are reached.
+     */
+    bool
+    step()
+    {
+        const std::uint32_t n = controller_.numPartitions();
+        std::vector<std::uint64_t> next(n);
+        for (PartId p = 0; p < n; ++p) {
+            const std::uint64_t cur = controller_.targetSize(p);
+            next[p] = cur;
+            if (goals_[p] < cur) {
+                next[p] = cur - std::min(maxStep_, cur - goals_[p]);
+            }
+        }
+
+        // Headroom: anything already unallocated plus what decreases
+        // just released.
+        std::uint64_t allocated = 0;
+        for (PartId p = 0; p < n; ++p) {
+            allocated += next[p];
+        }
+        std::uint64_t headroom =
+            controller_.managedLines() - allocated;
+
+        bool done = true;
+        for (PartId p = 0; p < n && headroom > 0; ++p) {
+            if (goals_[p] > next[p]) {
+                std::uint64_t delta =
+                    std::min(maxStep_, goals_[p] - next[p]);
+                // Share headroom proportionally-enough: first come,
+                // bounded per step; leftovers arrive next step.
+                delta = std::min(delta, headroom);
+                next[p] += delta;
+                headroom -= delta;
+            }
+        }
+        for (PartId p = 0; p < n; ++p) {
+            if (next[p] != goals_[p]) {
+                done = false;
+            }
+        }
+        controller_.setTargetLines(next);
+        return done;
+    }
+
+    const std::vector<std::uint64_t> &goals() const { return goals_; }
+
+  private:
+    VantageController &controller_;
+    std::uint64_t maxStep_;
+    std::vector<std::uint64_t> goals_;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_CORE_RESIZER_H_

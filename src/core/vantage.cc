@@ -1,0 +1,525 @@
+#include "core/vantage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/bits.h"
+#include "common/log.h"
+
+namespace vantage {
+
+VantageController::VantageController(std::size_t num_lines,
+                                     const VantageConfig &cfg)
+    : cfg_(cfg), numLines_(num_lines)
+{
+    vantage_assert(cfg.numPartitions >= 1, "need at least 1 partition");
+    vantage_assert(cfg.unmanagedFraction > 0.0 &&
+                   cfg.unmanagedFraction < 1.0,
+                   "u=%f out of range", cfg.unmanagedFraction);
+    vantage_assert(cfg.maxAperture > 0.0 && cfg.maxAperture <= 1.0,
+                   "Amax=%f out of range", cfg.maxAperture);
+    vantage_assert(cfg.slack > 0.0, "slack must be positive");
+    vantage_assert(cfg.thresholdEntries >= 1, "need threshold entries");
+
+    managedLines_ = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(num_lines) *
+                     (1.0 - cfg.unmanagedFraction)));
+    vantage_assert(managedLines_ >= cfg.numPartitions,
+                   "managed region too small for %u partitions",
+                   cfg.numPartitions);
+    const std::uint64_t unmanaged_target = numLines_ - managedLines_;
+    unmanagedTickPeriod_ = std::max<std::uint64_t>(
+        unmanaged_target / 16, 1);
+
+    parts_.resize(cfg.numPartitions);
+    partStats_.resize(cfg.numPartitions);
+    for (auto &ps : parts_) {
+        ps.thrSize.resize(cfg.thresholdEntries, 0);
+        ps.thrDems.resize(cfg.thresholdEntries, 0);
+    }
+
+    // Default: equal split of the managed region.
+    std::vector<std::uint64_t> targets(
+        cfg.numPartitions, managedLines_ / cfg.numPartitions);
+    targets[0] += managedLines_ % cfg.numPartitions;
+    setTargetLines(targets);
+}
+
+void
+VantageController::setAllocations(
+    const std::vector<std::uint32_t> &units)
+{
+    vantage_assert(units.size() == cfg_.numPartitions,
+                   "got %zu allocations for %u partitions",
+                   units.size(), cfg_.numPartitions);
+    const std::uint64_t total =
+        std::accumulate(units.begin(), units.end(), std::uint64_t{0});
+    vantage_assert(total <= allocationQuantum(),
+                   "allocations total %llu units, quantum is %u",
+                   static_cast<unsigned long long>(total),
+                   allocationQuantum());
+    std::vector<std::uint64_t> lines(units.size());
+    for (std::size_t p = 0; p < units.size(); ++p) {
+        lines[p] = managedLines_ * units[p] / allocationQuantum();
+    }
+    setTargetLines(lines);
+}
+
+void
+VantageController::setTargetLines(
+    const std::vector<std::uint64_t> &lines)
+{
+    vantage_assert(lines.size() == cfg_.numPartitions,
+                   "got %zu targets for %u partitions", lines.size(),
+                   cfg_.numPartitions);
+    const std::uint64_t total =
+        std::accumulate(lines.begin(), lines.end(), std::uint64_t{0});
+    if (total > managedLines_) {
+        fatal("targets total %llu lines, managed region has %llu",
+              static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(managedLines_));
+    }
+    for (PartId p = 0; p < cfg_.numPartitions; ++p) {
+        parts_[p].targetSize = lines[p];
+        rebuildThresholds(p);
+    }
+}
+
+void
+VantageController::deletePartition(PartId part)
+{
+    vantage_assert(part < cfg_.numPartitions,
+                   "partition %u out of range", part);
+    parts_[part].targetSize = 0;
+    rebuildThresholds(part);
+}
+
+void
+VantageController::rebuildThresholds(PartId part)
+{
+    // Fig. 3c: entry k covers sizes in
+    //   [T * (1 + slack*k/n), T * (1 + slack*(k+1)/n))
+    // (the last entry extends upward), and allows
+    //   c * Amax * (k+1)/n
+    // demotions per c candidates seen — a staircase approximation of
+    // the linear transfer function of Eq. 7.
+    PartState &ps = parts_[part];
+    const auto n = static_cast<double>(cfg_.thresholdEntries);
+    // The slack band [T, (1+slack)T] is split across the first n-1
+    // boundaries; the last entry covers everything above it (as in
+    // the paper's example: 1000/1033/1066/1100 for n = 4).
+    const double span = cfg_.thresholdEntries > 1 ? n - 1.0 : 1.0;
+    const auto t = static_cast<double>(ps.targetSize);
+    const double c_amax =
+        static_cast<double>(cfg_.candsPerAdjust) * cfg_.maxAperture;
+    for (std::uint32_t k = 0; k < cfg_.thresholdEntries; ++k) {
+        ps.thrSize[k] = static_cast<std::uint64_t>(
+            std::llround(t * (1.0 + cfg_.slack *
+                                        static_cast<double>(k) /
+                                        span)));
+        ps.thrDems[k] = std::max<std::uint32_t>(
+            1, static_cast<std::uint32_t>(std::llround(
+                   c_amax * static_cast<double>(k + 1) / n)));
+    }
+}
+
+void
+VantageController::tickAccessCounter(PartId part)
+{
+    PartState &ps = parts_[part];
+    const std::uint64_t period =
+        std::max<std::uint64_t>(ps.actualSize / 16, 1);
+    if (++ps.accessCounter >= period) {
+        ps.accessCounter = 0;
+        ++ps.currentTs;
+        // Keep the setpoint at a constant distance (Sec. 4.2).
+        ++ps.setpointTs;
+    }
+}
+
+void
+VantageController::tickUnmanagedTs()
+{
+    if (++demotionsSinceTick_ >= unmanagedTickPeriod_) {
+        demotionsSinceTick_ = 0;
+        ++unmanagedTs_;
+    }
+}
+
+bool
+VantageController::inKeepWindow(const PartState &ps,
+                                std::uint8_t ts) const
+{
+    // Keep lines whose timestamp lies in [SetpointTS, CurrentTS]
+    // (Fig. 3b); everything outside is demotable.
+    return inModRange(ts, ps.setpointTs,
+                      static_cast<std::uint8_t>(ps.currentTs + 1), 8);
+}
+
+std::uint32_t
+VantageController::desiredDemotions(const PartState &ps) const
+{
+    // The last lookup-table entry whose size bound does not exceed
+    // ActualSize gives the allowed demotions per c candidates.
+    std::uint32_t desired = 0;
+    if (ps.actualSize > ps.targetSize) {
+        for (std::uint32_t k = 0; k < cfg_.thresholdEntries; ++k) {
+            if (ps.actualSize >= ps.thrSize[k]) {
+                desired = ps.thrDems[k];
+            }
+        }
+    }
+    return desired;
+}
+
+void
+VantageController::adjustSetpoint(PartId part)
+{
+    PartState &ps = parts_[part];
+    ++stats_.setpointAdjusts;
+    const std::uint32_t desired = desiredDemotions(ps);
+
+    const std::uint32_t window =
+        modDist(ps.setpointTs,
+                static_cast<std::uint8_t>(ps.currentTs + 1), 8);
+    if (ps.candsDemoted > desired) {
+        // Too many demotions: widen the keep window.
+        if (window < 255) {
+            --ps.setpointTs;
+        }
+    } else if (ps.candsDemoted < desired) {
+        // Too few: shrink the keep window toward zero width.
+        if (window > 0) {
+            ++ps.setpointTs;
+        }
+    }
+    ps.candsSeen = 0;
+    ps.candsDemoted = 0;
+}
+
+bool
+VantageController::shouldDemote(PartId part, const PartState &ps,
+                                const Line &line) const
+{
+    (void)part;
+    if (ps.actualSize <= ps.targetSize) {
+        return false;
+    }
+    // A deleted partition (target 0) drains at full aperture.
+    return ps.targetSize == 0 || !inKeepWindow(ps, line.rank);
+}
+
+std::uint8_t
+VantageController::insertionRank(PartId part)
+{
+    return parts_[part].currentTs;
+}
+
+std::uint8_t
+VantageController::hitRank(PartId part, std::uint8_t old_rank)
+{
+    (void)old_rank;
+    return parts_[part].currentTs;
+}
+
+void
+VantageController::onDemotionCheckKept(PartId part, Line &line)
+{
+    (void)part;
+    (void)line;
+}
+
+double
+VantageController::apertureOf(const PartState &ps) const
+{
+    // Eq. 7: linear in the outgrowth, clamped at Amax.
+    if (ps.targetSize == 0) {
+        return ps.actualSize > 0 ? cfg_.maxAperture : 0.0;
+    }
+    if (ps.actualSize <= ps.targetSize) {
+        return 0.0;
+    }
+    const double overshoot =
+        static_cast<double>(ps.actualSize - ps.targetSize) /
+        static_cast<double>(ps.targetSize);
+    if (overshoot >= cfg_.slack) {
+        return cfg_.maxAperture;
+    }
+    return cfg_.maxAperture * overshoot / cfg_.slack;
+}
+
+double
+VantageController::demotionPriority(const PartState &ps,
+                                    std::uint8_t ts) const
+{
+    // Fraction of the partition's lines *younger* than this line —
+    // i.e. the share the policy would rather keep. 1.0 would be the
+    // globally oldest line.
+    if (ps.actualSize == 0) {
+        return 1.0;
+    }
+    const std::uint32_t age = modDist(ts, ps.currentTs, 8);
+    std::uint64_t younger = 0;
+    for (std::uint32_t a = 0; a < age; ++a) {
+        younger += ps.tsHist[static_cast<std::uint8_t>(
+            ps.currentTs - a)];
+    }
+    return std::min(1.0, static_cast<double>(younger) /
+                             static_cast<double>(ps.actualSize));
+}
+
+void
+VantageController::demote(Line &line, PartId from)
+{
+    PartState &ps = parts_[from];
+    vantage_assert(ps.tsHist[line.rank] > 0,
+                   "timestamp histogram underflow in partition %u",
+                   from);
+    --ps.tsHist[line.rank];
+    vantage_assert(ps.actualSize > 0, "demotion from empty partition");
+    --ps.actualSize;
+    ++ps.candsDemoted;
+    ++partStats_[from].demotions;
+    ++stats_.demotions;
+
+    line.part = kUnmanagedPart;
+    line.rank = unmanagedTs_;
+    ++unmanagedSize_;
+    tickUnmanagedTs();
+}
+
+void
+VantageController::onHit(LineId slot, Line &line, PartId accessor)
+{
+    (void)slot;
+    vantage_assert(accessor < cfg_.numPartitions,
+                   "accessor %u out of range", accessor);
+    if (line.part == kUnmanagedPart) {
+        // Promotion: the line rejoins the accessor's partition.
+        PartState &ps = parts_[accessor];
+        line.part = accessor;
+        line.rank = hitRank(accessor, 0);
+        ++ps.tsHist[line.rank];
+        ++ps.actualSize;
+        vantage_assert(unmanagedSize_ > 0,
+                       "promotion from empty unmanaged region");
+        --unmanagedSize_;
+        ++partStats_[accessor].promotions;
+        ++stats_.promotions;
+        ++partStats_[accessor].hits;
+        tickAccessCounter(accessor);
+        return;
+    }
+
+    vantage_assert(line.part < cfg_.numPartitions,
+                   "hit on line with bad partition %u", line.part);
+    PartState &ps = parts_[line.part];
+    vantage_assert(ps.tsHist[line.rank] > 0,
+                   "timestamp histogram underflow in partition %u",
+                   line.part);
+    --ps.tsHist[line.rank];
+    line.rank = hitRank(line.part, line.rank);
+    ++ps.tsHist[line.rank];
+    ++partStats_[line.part].hits;
+    tickAccessCounter(line.part);
+}
+
+VictimChoice
+VantageController::selectVictim(CacheArray &array, PartId inserting,
+                                Addr addr,
+                                const std::vector<Candidate> &cands)
+{
+    (void)inserting;
+    (void)addr;
+
+    std::int32_t first_invalid = -1;
+    std::int32_t oldest_unmanaged = -1;
+    std::uint32_t oldest_age = 0;
+    std::int32_t first_demoted = -1;
+
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        Line &line = array.line(cands[i].slot);
+        if (!line.valid()) {
+            if (first_invalid < 0) {
+                first_invalid = static_cast<std::int32_t>(i);
+            }
+            continue;
+        }
+        if (line.part == kUnmanagedPart) {
+            const std::uint32_t age =
+                modDist(line.rank, unmanagedTs_, 8);
+            if (oldest_unmanaged < 0 || age > oldest_age) {
+                oldest_unmanaged = static_cast<std::int32_t>(i);
+                oldest_age = age;
+            }
+            continue;
+        }
+
+        // Managed candidate: demotion check (Sec. 4.3).
+        const PartId p = line.part;
+        vantage_assert(p < cfg_.numPartitions,
+                       "candidate with bad partition %u", p);
+        PartState &ps = parts_[p];
+        ++ps.candsSeen;
+        if (shouldDemote(p, ps, line)) {
+            if (demotionCdf_ != nullptr && p == demotionCdfPart_) {
+                demotionCdf_->add(demotionPriority(ps, line.rank));
+            }
+            demote(line, p);
+            if (first_demoted < 0) {
+                first_demoted = static_cast<std::int32_t>(i);
+            }
+        } else {
+            onDemotionCheckKept(p, line);
+        }
+        if (ps.candsSeen >= cfg_.candsPerAdjust) {
+            adjustSetpoint(p);
+        }
+    }
+
+    if (first_invalid >= 0) {
+        return {first_invalid, false};
+    }
+
+    ++stats_.evictions;
+    if (oldest_unmanaged >= 0) {
+        return {oldest_unmanaged, false};
+    }
+
+    // No unmanaged candidate: a forced eviction from the managed
+    // region (should be rare when u is sized per the models).
+    ++stats_.evictionsFromManaged;
+    if (first_demoted >= 0) {
+        return {first_demoted, false};
+    }
+
+    // Nothing was even demotable; evict the candidate that is oldest
+    // within its own partition.
+    std::int32_t victim = 0;
+    double victim_age = -1.0;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        const Line &line = array.line(cands[i].slot);
+        const PartState &ps = parts_[line.part];
+        const double age = demotionPriority(ps, line.rank);
+        if (age > victim_age) {
+            victim_age = age;
+            victim = static_cast<std::int32_t>(i);
+        }
+    }
+    ++partStats_[array.line(cands[victim].slot).part].forcedEvictions;
+    return {victim, false};
+}
+
+void
+VantageController::onEvict(LineId slot, const Line &line)
+{
+    (void)slot;
+    if (line.part == kUnmanagedPart) {
+        vantage_assert(unmanagedSize_ > 0,
+                       "eviction from empty unmanaged region");
+        --unmanagedSize_;
+        return;
+    }
+    vantage_assert(line.part < cfg_.numPartitions,
+                   "eviction of line with bad partition %u", line.part);
+    PartState &ps = parts_[line.part];
+    vantage_assert(ps.tsHist[line.rank] > 0,
+                   "timestamp histogram underflow in partition %u",
+                   line.part);
+    --ps.tsHist[line.rank];
+    vantage_assert(ps.actualSize > 0, "eviction from empty partition");
+    --ps.actualSize;
+}
+
+void
+VantageController::onInsert(LineId slot, Line &line, PartId part)
+{
+    (void)slot;
+    vantage_assert(part < cfg_.numPartitions,
+                   "insertion into bad partition %u", part);
+    PartState &ps = parts_[part];
+
+    if (cfg_.throttleHighChurn) {
+        // Sec. 3.4, option 2: once the aperture has saturated (size
+        // beyond the slack band), stop feeding the partition — its
+        // fills land in the unmanaged region and age out normally.
+        const std::uint64_t limit =
+            ps.targetSize +
+            static_cast<std::uint64_t>(
+                cfg_.slack * static_cast<double>(ps.targetSize));
+        if (ps.actualSize >= limit) {
+            line.part = kUnmanagedPart;
+            line.rank = unmanagedTs_;
+            ++unmanagedSize_;
+            ++partStats_[part].throttledInserts;
+            tickAccessCounter(part);
+            return;
+        }
+    }
+
+    line.part = part;
+    line.rank = insertionRank(part);
+    ++ps.tsHist[line.rank];
+    ++ps.actualSize;
+    ++partStats_[part].insertions;
+    tickAccessCounter(part);
+}
+
+std::uint64_t
+VantageController::actualSize(PartId part) const
+{
+    vantage_assert(part < cfg_.numPartitions,
+                   "partition %u out of range", part);
+    return parts_[part].actualSize;
+}
+
+std::uint64_t
+VantageController::targetSize(PartId part) const
+{
+    vantage_assert(part < cfg_.numPartitions,
+                   "partition %u out of range", part);
+    return parts_[part].targetSize;
+}
+
+const VantagePartStats &
+VantageController::partStats(PartId part) const
+{
+    vantage_assert(part < cfg_.numPartitions,
+                   "partition %u out of range", part);
+    return partStats_[part];
+}
+
+void
+VantageController::resetStats()
+{
+    stats_ = VantageStats{};
+    for (auto &s : partStats_) {
+        s = VantagePartStats{};
+    }
+}
+
+void
+VantageController::attachDemotionCdf(PartId part, EmpiricalCdf *cdf)
+{
+    demotionCdfPart_ = part;
+    demotionCdf_ = cdf;
+}
+
+std::uint8_t
+VantageController::currentTs(PartId part) const
+{
+    vantage_assert(part < cfg_.numPartitions,
+                   "partition %u out of range", part);
+    return parts_[part].currentTs;
+}
+
+std::uint8_t
+VantageController::setpointTs(PartId part) const
+{
+    vantage_assert(part < cfg_.numPartitions,
+                   "partition %u out of range", part);
+    return parts_[part].setpointTs;
+}
+
+} // namespace vantage

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * The Vantage cache controller (paper Secs. 3 and 4).
+ *
+ * Vantage partitions the *managed* region of the cache (a fraction
+ * m = 1 - u of all lines) by controlling the replacement process:
+ *
+ *  - Lines are tagged with a partition id; the reserved id
+ *    kUnmanagedPart marks the unmanaged region.
+ *  - On each miss, every replacement candidate is checked for
+ *    *demotion*: a candidate whose partition exceeds its target size
+ *    and whose coarse timestamp falls outside the partition's
+ *    [SetpointTS, CurrentTS] keep-window moves to the unmanaged
+ *    region (a tag change only).
+ *  - The victim is preferably the oldest unmanaged candidate, so the
+ *    unmanaged region absorbs nearly all evictions and partitions
+ *    never steal space from each other.
+ *  - Hits on unmanaged lines *promote* them into the accessor's
+ *    partition.
+ *
+ * The per-partition aperture (the fraction of candidates demoted) is
+ * not computed explicitly. Instead, feedback-based aperture control
+ * (Sec. 4.1) lets a partition outgrow its target by up to
+ * slack * target, mapping outgrowth linearly to aperture in
+ * [0, Amax]; and setpoint-based demotions (Sec. 4.2) track that
+ * aperture by nudging SetpointTS after every `c` candidates seen from
+ * the partition, using an 8-entry demotion-thresholds lookup table
+ * (Fig. 3c) rebuilt at resize time.
+ *
+ * Controller state matches the paper's Fig. 4: per-partition
+ * CurrentTS, SetpointTS, AccessCounter, ActualSize, TargetSize,
+ * CandsSeen, CandsDemoted and the thresholds table. The simulator
+ * additionally keeps per-partition timestamp histograms to measure
+ * demotion-priority CDFs (Figs. 2 and 8); hardware would not.
+ */
+
+#ifndef VANTAGE_CORE_VANTAGE_H_
+#define VANTAGE_CORE_VANTAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "partition/scheme.h"
+#include "stats/cdf.h"
+
+namespace vantage {
+
+/** Configuration of the Vantage controller. */
+struct VantageConfig
+{
+    /** Number of partitions (excluding the unmanaged region). */
+    std::uint32_t numPartitions = 1;
+    /** Fraction of the cache left unmanaged (u). */
+    double unmanagedFraction = 0.05;
+    /** Maximum aperture (Amax). */
+    double maxAperture = 0.5;
+    /** Feedback slack: aperture reaches Amax at (1+slack)*target. */
+    double slack = 0.1;
+    /** Candidates seen from a partition between setpoint updates (c). */
+    std::uint32_t candsPerAdjust = 256;
+    /** Entries in the demotion-thresholds lookup table. */
+    std::uint32_t thresholdEntries = 8;
+    /**
+     * Stability option 2 of Sec. 3.4: when a partition saturates its
+     * aperture and still exceeds (1 + slack) * target, throttle its
+     * churn by inserting its fills directly into the unmanaged
+     * region, instead of letting it borrow further (the default,
+     * option 1). Trades a little low-churn -> high-churn interference
+     * for a smaller unmanaged-region reserve.
+     */
+    bool throttleHighChurn = false;
+};
+
+/** Per-partition statistics exported by the controller. */
+struct VantagePartStats
+{
+    std::uint64_t insertions = 0; ///< Fills (the partition's churn).
+    std::uint64_t demotions = 0;
+    std::uint64_t promotions = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t forcedEvictions = 0; ///< Evicted while still managed.
+    std::uint64_t throttledInserts = 0; ///< Fills sent unmanaged.
+};
+
+/** Global controller statistics. */
+struct VantageStats
+{
+    std::uint64_t evictions = 0;
+    std::uint64_t evictionsFromManaged = 0; ///< Forced (no unmanaged cand).
+    std::uint64_t demotions = 0;
+    std::uint64_t promotions = 0;
+    std::uint64_t setpointAdjusts = 0;
+};
+
+/** Vantage: fine-grain partitioning via churn-based management. */
+class VantageController : public PartitionScheme
+{
+  public:
+    /**
+     * @param num_lines total lines of the array this controller
+     *        manages.
+     * @param cfg controller parameters.
+     */
+    VantageController(std::size_t num_lines, const VantageConfig &cfg);
+
+    std::string name() const override { return "vantage"; }
+
+    std::uint32_t
+    numPartitions() const override
+    {
+        return cfg_.numPartitions;
+    }
+
+    /** Fine-grain quantum: 256 units over the managed region. */
+    std::uint32_t allocationQuantum() const override { return 256; }
+
+    void setAllocations(
+        const std::vector<std::uint32_t> &units) override;
+
+    /** Directly set per-partition targets in lines (finest grain). */
+    void setTargetLines(const std::vector<std::uint64_t> &lines);
+
+    /**
+     * Delete a partition (Sec. 3.4): target goes to zero and its
+     * lines drain into the unmanaged region; the id can be reused
+     * once actualSize reaches zero.
+     */
+    void deletePartition(PartId part);
+
+    void onHit(LineId slot, Line &line, PartId accessor) override;
+    VictimChoice selectVictim(
+        CacheArray &array, PartId inserting, Addr addr,
+        const std::vector<Candidate> &cands) override;
+    void onEvict(LineId slot, const Line &line) override;
+    void onInsert(LineId slot, Line &line, PartId part) override;
+
+    std::uint64_t actualSize(PartId part) const override;
+    std::uint64_t targetSize(PartId part) const override;
+
+    /** Lines currently tagged unmanaged. */
+    std::uint64_t unmanagedSize() const { return unmanagedSize_; }
+
+    /** Managed-region capacity in lines, (1 - u) * num_lines. */
+    std::uint64_t managedLines() const { return managedLines_; }
+
+    const VantageStats &stats() const { return stats_; }
+    const VantagePartStats &partStats(PartId part) const;
+
+    /** Reset statistics (not controller state). */
+    void resetStats();
+
+    /**
+     * Record demotion priorities of one partition into a CDF: for
+     * each demotion, the fraction of the partition's lines that are
+     * younger (lower eviction priority) than the demoted line. This
+     * is the paper's demotion-priority metric (Figs. 2c and 8).
+     */
+    void attachDemotionCdf(PartId part, EmpiricalCdf *cdf);
+
+    /** Current setpoint/current timestamps (for tests). */
+    std::uint8_t currentTs(PartId part) const;
+    std::uint8_t setpointTs(PartId part) const;
+
+    const VantageConfig &config() const { return cfg_; }
+
+  protected:
+    /** Fig. 4 per-partition register file (widths in comments). */
+    struct PartState
+    {
+        std::uint64_t targetSize = 0;   // TargetSize (16b)
+        std::uint64_t actualSize = 0;   // ActualSize (16b)
+        std::uint8_t currentTs = 0;     // CurrentTS (8b)
+        std::uint8_t setpointTs = 0;    // SetpointTS (8b)
+        std::uint64_t accessCounter = 0; // AccessCounter (16b)
+        std::uint32_t candsSeen = 0;    // CandsSeen (8b)
+        std::uint32_t candsDemoted = 0; // CandsDemoted (8b)
+        // 8-entry demotion thresholds lookup table (Fig. 3c).
+        std::vector<std::uint64_t> thrSize; // ThrSize[k] (16b each)
+        std::vector<std::uint32_t> thrDems; // ThrDems[k] (8b each)
+        // Simulator-only: histogram of line timestamps, for demotion
+        // priority measurement.
+        std::array<std::uint64_t, 256> tsHist{};
+    };
+
+    /**
+     * Decide whether a managed candidate should be demoted. The base
+     * implementation is the paper's practical controller:
+     * setpoint-based demotions gated on ActualSize > TargetSize.
+     * Variants override this (perfect-aperture oracle, RRIP).
+     */
+    virtual bool shouldDemote(PartId part, const PartState &ps,
+                              const Line &line) const;
+
+    /** Metadata for a line newly inserted into `part`. */
+    virtual std::uint8_t insertionRank(PartId part);
+
+    /** Metadata update for a hit on a managed line of `part`. */
+    virtual std::uint8_t hitRank(PartId part, std::uint8_t old_rank);
+
+    /**
+     * Eviction priority of a line within its partition, in [0, 1]
+     * (1 = partition's best eviction candidate), used for demotion
+     * CDF capture and forced-eviction victim choice.
+     */
+    virtual double demotionPriority(const PartState &ps,
+                                    std::uint8_t rank) const;
+
+    /** Hook after a managed candidate survives its demotion check. */
+    virtual void onDemotionCheckKept(PartId part, Line &line);
+
+    void rebuildThresholds(PartId part);
+    /** Advance the coarse timestamp clock; no-op for RRIP variants. */
+    virtual void tickAccessCounter(PartId part);
+    void tickUnmanagedTs();
+    /** Nudge the setpoint after `c` candidates from a partition. */
+    virtual void adjustSetpoint(PartId part);
+
+    /** Desired demotions per c candidates, from the lookup table. */
+    std::uint32_t desiredDemotions(const PartState &ps) const;
+    bool inKeepWindow(const PartState &ps, std::uint8_t ts) const;
+    void demote(Line &line, PartId from);
+
+    /** Aperture from the linear transfer function of Eq. 7. */
+    double apertureOf(const PartState &ps) const;
+
+    VantageConfig cfg_;
+    std::uint64_t numLines_;
+    std::uint64_t managedLines_;
+
+    std::vector<PartState> parts_;
+    std::vector<VantagePartStats> partStats_;
+    VantageStats stats_;
+
+    // Unmanaged-region state: its own coarse timestamp, advanced once
+    // per (unmanaged target size)/16 demotions.
+    std::uint8_t unmanagedTs_ = 0;
+    std::uint64_t unmanagedSize_ = 0;
+    std::uint64_t unmanagedTickPeriod_;
+    std::uint64_t demotionsSinceTick_ = 0;
+
+    PartId demotionCdfPart_ = kInvalidPart;
+    EmpiricalCdf *demotionCdf_ = nullptr;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_CORE_VANTAGE_H_

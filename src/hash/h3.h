@@ -1,0 +1,81 @@
+/**
+ * @file
+ * H3 universal hash family (Carter & Wegman, 1977).
+ *
+ * An H3 function maps a 64-bit key to a 64-bit value by XORing one
+ * random word per set input bit. The family is 2-universal, which is
+ * what gives skew-associative caches and zcaches their analytic
+ * uniformity properties: candidates drawn through independent H3
+ * functions behave like uniform random lines (paper Sec. 3.2).
+ *
+ * The paper's caches, and modern hashed-index set-associative caches,
+ * all use hashing of this style [1, 21].
+ */
+
+#ifndef VANTAGE_HASH_H3_H_
+#define VANTAGE_HASH_H3_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace vantage {
+
+/**
+ * One member of the H3 family, drawn deterministically from a seed.
+ *
+ * Implemented by tabulation: the 64 random per-bit words are folded
+ * into eight 256-entry tables indexed by each input byte, so a hash
+ * is 8 table lookups XORed together instead of a loop over set bits.
+ * This is exactly the same function, evaluated faster.
+ */
+class H3Hash
+{
+  public:
+    /** Draw a function; different seeds give independent functions. */
+    explicit H3Hash(std::uint64_t seed)
+    {
+        Rng rng(seed ^ 0x5bd1e995u);
+        std::array<std::uint64_t, 64> words;
+        for (auto &word : words) {
+            word = rng.next();
+        }
+        for (int byte = 0; byte < 8; ++byte) {
+            for (int v = 0; v < 256; ++v) {
+                std::uint64_t acc = 0;
+                for (int bit = 0; bit < 8; ++bit) {
+                    if (v & (1 << bit)) {
+                        acc ^= words[byte * 8 + bit];
+                    }
+                }
+                tables_[byte][v] = acc;
+            }
+        }
+    }
+
+    /** Hash a 64-bit key to a 64-bit value. */
+    std::uint64_t
+    operator()(std::uint64_t key) const
+    {
+        std::uint64_t out = 0;
+        for (int byte = 0; byte < 8; ++byte) {
+            out ^= tables_[byte][(key >> (byte * 8)) & 0xff];
+        }
+        return out;
+    }
+
+    /** Hash a key into [0, bound) for a power-of-two bound. */
+    std::uint64_t
+    mod(std::uint64_t key, std::uint64_t pow2_bound) const
+    {
+        return (*this)(key) & (pow2_bound - 1);
+    }
+
+  private:
+    std::array<std::array<std::uint64_t, 256>, 8> tables_;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_HASH_H3_H_

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Eviction-priority probe: measures empirical associativity CDFs.
+ *
+ * The paper's associativity metric is the *eviction priority* of each
+ * evicted line — the fraction of eligible lines the policy would
+ * rather keep (Sec. 3.2). Tracking exact global ranks is costly, so
+ * the probe estimates the quantile by comparing the victim against a
+ * random sample of slots using the policy's preference order.
+ */
+
+#ifndef VANTAGE_PARTITION_ASSOC_PROBE_H_
+#define VANTAGE_PARTITION_ASSOC_PROBE_H_
+
+#include <functional>
+
+#include "array/cache_array.h"
+#include "common/rng.h"
+#include "replacement/repl_policy.h"
+#include "stats/cdf.h"
+
+namespace vantage {
+
+/** Samples eviction priorities into an EmpiricalCdf. */
+class AssocProbe
+{
+  public:
+    /**
+     * @param samples slots compared per probed eviction.
+     * @param seed RNG seed for slot sampling.
+     */
+    explicit AssocProbe(std::uint32_t samples = 64,
+                        std::uint64_t seed = 0x9be)
+        : samples_(samples), rng_(seed)
+    {}
+
+    /**
+     * Record the eviction of `victim`. The estimated priority is the
+     * fraction of sampled valid lines (optionally filtered) that the
+     * policy prefers to keep over the victim.
+     *
+     * @param filter restricts the comparison population (e.g. to one
+     *        partition's ways); nullptr means all valid lines.
+     */
+    void
+    recordEviction(const CacheArray &array, const ReplPolicy &policy,
+                   const Line &victim,
+                   const std::function<bool(LineId)> &filter = nullptr)
+    {
+        std::uint32_t seen = 0;
+        std::uint32_t kept = 0;
+        // Bound the attempts so sparse filters cannot stall the probe.
+        const std::uint32_t max_tries = samples_ * 8;
+        for (std::uint32_t t = 0; t < max_tries && seen < samples_;
+             ++t) {
+            const auto slot = static_cast<LineId>(
+                rng_.range(array.numLines()));
+            const Line &other = array.line(slot);
+            if (!other.valid()) {
+                continue;
+            }
+            if (filter && !filter(slot)) {
+                continue;
+            }
+            ++seen;
+            // The victim has higher eviction priority than `other`
+            // iff the policy would evict the victim first.
+            if (policy.prefer(victim, other)) {
+                ++kept;
+            }
+        }
+        if (seen == 0) {
+            return;
+        }
+        cdf_.add(static_cast<double>(kept) /
+                 static_cast<double>(seen));
+    }
+
+    const EmpiricalCdf &cdf() const { return cdf_; }
+    EmpiricalCdf &cdf() { return cdf_; }
+    void reset() { cdf_.reset(); }
+
+  private:
+    std::uint32_t samples_;
+    Rng rng_;
+    EmpiricalCdf cdf_;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_PARTITION_ASSOC_PROBE_H_

@@ -1,0 +1,200 @@
+#include "partition/pipp.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/log.h"
+
+namespace vantage {
+
+Pipp::Pipp(std::uint32_t num_partitions, std::uint32_t ways,
+           std::uint64_t lines_per_way, std::size_t num_lines,
+           const PippConfig &cfg, std::uint64_t seed)
+    : numParts_(num_partitions), ways_(ways),
+      linesPerWay_(lines_per_way), cfg_(cfg), rng_(seed),
+      alloc_(num_partitions, std::max(1u, ways / num_partitions)),
+      pos_(num_lines, kNoPos), validCnt_(num_lines / ways, 0),
+      sizes_(num_partitions, 0),
+      intervalAccesses_(num_partitions, 0),
+      intervalMisses_(num_partitions, 0),
+      streaming_(num_partitions, false)
+{
+    vantage_assert(num_partitions >= 1, "need at least one partition");
+    vantage_assert(ways >= 2, "PIPP needs at least 2 ways");
+    vantage_assert(num_lines % ways == 0,
+                   "%zu lines not divisible by %u ways", num_lines,
+                   ways);
+    if (num_partitions > ways) {
+        fatal("PIPP cannot hold %u partitions in %u ways",
+              num_partitions, ways);
+    }
+}
+
+void
+Pipp::setAllocations(const std::vector<std::uint32_t> &units)
+{
+    vantage_assert(units.size() == numParts_,
+                   "got %zu allocations for %u partitions",
+                   units.size(), numParts_);
+    const std::uint64_t total =
+        std::accumulate(units.begin(), units.end(), std::uint64_t{0});
+    vantage_assert(total <= ways_,
+                   "allocations total %llu ways, array has %u",
+                   static_cast<unsigned long long>(total), ways_);
+    alloc_ = units;
+}
+
+void
+Pipp::updateStreaming()
+{
+    for (PartId p = 0; p < numParts_; ++p) {
+        if (intervalAccesses_[p] >= 64) {
+            const double ratio =
+                static_cast<double>(intervalMisses_[p]) /
+                static_cast<double>(intervalAccesses_[p]);
+            streaming_[p] = ratio >= cfg_.thetaM;
+        }
+        intervalAccesses_[p] = 0;
+        intervalMisses_[p] = 0;
+    }
+}
+
+bool
+Pipp::isStreaming(PartId part) const
+{
+    vantage_assert(part < numParts_, "partition %u out of range", part);
+    return streaming_[part];
+}
+
+void
+Pipp::onHit(LineId slot, Line &line, PartId accessor)
+{
+    (void)line;
+    if (accessor < numParts_) {
+        ++intervalAccesses_[accessor];
+    }
+    if (++accessesSinceCheck_ >= cfg_.detectInterval) {
+        accessesSinceCheck_ = 0;
+        updateStreaming();
+    }
+
+    // Promote by one chain position with probability pprom.
+    if (!rng_.chance(cfg_.pprom)) {
+        return;
+    }
+    const std::uint64_t set = setOf(slot);
+    const std::uint8_t my_pos = pos_[slot];
+    vantage_assert(my_pos != kNoPos, "hit on an untracked slot");
+    if (my_pos + 1u >= validCnt_[set]) {
+        return; // Already at the top of the chain.
+    }
+    const LineId base = static_cast<LineId>(set * ways_);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        const LineId other = base + w;
+        if (other != slot && pos_[other] == my_pos + 1) {
+            std::swap(pos_[slot], pos_[other]);
+            return;
+        }
+    }
+    panic("dense chain invariant broken in set %llu",
+          static_cast<unsigned long long>(set));
+}
+
+VictimChoice
+Pipp::selectVictim(CacheArray &array, PartId inserting, Addr addr,
+                   const std::vector<Candidate> &cands)
+{
+    (void)addr;
+    vantage_assert(inserting < numParts_, "partition %u out of range",
+                   inserting);
+    ++intervalAccesses_[inserting];
+    ++intervalMisses_[inserting];
+    if (++accessesSinceCheck_ >= cfg_.detectInterval) {
+        accessesSinceCheck_ = 0;
+        updateStreaming();
+    }
+
+    // Prefer empty slots; otherwise evict the chain bottom (pos 0).
+    std::int32_t bottom = -1;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        const LineId slot = cands[i].slot;
+        if (!array.line(slot).valid()) {
+            return {static_cast<std::int32_t>(i), false};
+        }
+        if (bottom < 0 || pos_[slot] < pos_[cands[bottom].slot]) {
+            bottom = static_cast<std::int32_t>(i);
+        }
+    }
+    vantage_assert(bottom >= 0, "no candidates offered");
+    return {bottom, false};
+}
+
+void
+Pipp::onEvict(LineId slot, const Line &line)
+{
+    const std::uint64_t set = setOf(slot);
+    const std::uint8_t gone = pos_[slot];
+    vantage_assert(gone != kNoPos, "evicting an untracked slot");
+    const LineId base = static_cast<LineId>(set * ways_);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        const LineId other = base + w;
+        if (pos_[other] != kNoPos && pos_[other] > gone) {
+            --pos_[other];
+        }
+    }
+    pos_[slot] = kNoPos;
+    vantage_assert(validCnt_[set] > 0, "evicting from an empty set");
+    --validCnt_[set];
+    if (line.part < sizes_.size() && sizes_[line.part] > 0) {
+        --sizes_[line.part];
+    }
+}
+
+void
+Pipp::onInsert(LineId slot, Line &line, PartId part)
+{
+    (void)line;
+    vantage_assert(part < numParts_, "partition %u out of range", part);
+    const std::uint64_t set = setOf(slot);
+    vantage_assert(pos_[slot] == kNoPos, "inserting into a live slot");
+    vantage_assert(validCnt_[set] < ways_, "inserting into a full set");
+
+    std::uint32_t desired;
+    if (streaming_[part]) {
+        // Streaming apps are limited to one way's worth of presence:
+        // insert at the bottom except with probability pstream.
+        desired = rng_.chance(cfg_.pstream) ? 1 : 0;
+    } else {
+        desired = alloc_[part];
+    }
+    const std::uint32_t chosen =
+        std::min<std::uint32_t>(desired, validCnt_[set]);
+
+    const LineId base = static_cast<LineId>(set * ways_);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        const LineId other = base + w;
+        if (other != slot && pos_[other] != kNoPos &&
+            pos_[other] >= chosen) {
+            ++pos_[other];
+        }
+    }
+    pos_[slot] = static_cast<std::uint8_t>(chosen);
+    ++validCnt_[set];
+    ++sizes_[part];
+}
+
+std::uint64_t
+Pipp::actualSize(PartId part) const
+{
+    vantage_assert(part < numParts_, "partition %u out of range", part);
+    return sizes_[part];
+}
+
+std::uint64_t
+Pipp::targetSize(PartId part) const
+{
+    vantage_assert(part < numParts_, "partition %u out of range", part);
+    return static_cast<std::uint64_t>(alloc_[part]) * linesPerWay_;
+}
+
+} // namespace vantage

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * PIPP: promotion/insertion pseudo-partitioning (Xie & Loh, ISCA'09).
+ *
+ * PIPP manages a per-set recency chain itself (it subsumes the
+ * replacement policy — one of its drawbacks per the paper's Table 1).
+ * Each partition inserts at a chain position equal to its way
+ * allocation; hits promote a line by one position with probability
+ * pprom = 3/4; the victim is the line at the bottom of the chain.
+ * Partitions with streaming behavior (interval miss ratio >= thetaM)
+ * are clamped to one way and insert at the bottom of the chain except
+ * with probability pstream = 1/128, limiting their pollution.
+ *
+ * Configuration matches the paper's evaluation (Sec. 5):
+ * pprom = 3/4, thetaM = 12.5%, 1 way per streaming app,
+ * pstream = 1/128. Requires a set-associative array.
+ */
+
+#ifndef VANTAGE_PARTITION_PIPP_H_
+#define VANTAGE_PARTITION_PIPP_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "partition/scheme.h"
+
+namespace vantage {
+
+/** PIPP configuration knobs. */
+struct PippConfig
+{
+    double pprom = 0.75;      ///< Hit-promotion probability.
+    double thetaM = 0.125;    ///< Streaming-detection miss ratio.
+    double pstream = 1.0 / 128.0; ///< Normal-insert prob. if streaming.
+    std::uint64_t detectInterval = 1u << 16; ///< Accesses per check.
+};
+
+/** Promotion/insertion pseudo-partitioning over set-assoc arrays. */
+class Pipp : public PartitionScheme
+{
+  public:
+    /**
+     * @param num_partitions partition (thread) count.
+     * @param ways set associativity of the array.
+     * @param lines_per_way lines in one way (for target sizes).
+     * @param num_lines total array lines.
+     */
+    Pipp(std::uint32_t num_partitions, std::uint32_t ways,
+         std::uint64_t lines_per_way, std::size_t num_lines,
+         const PippConfig &cfg = {}, std::uint64_t seed = 0x9199);
+
+    std::string name() const override { return "pipp"; }
+    std::uint32_t numPartitions() const override { return numParts_; }
+    std::uint32_t allocationQuantum() const override { return ways_; }
+
+    void setAllocations(
+        const std::vector<std::uint32_t> &units) override;
+
+    void onHit(LineId slot, Line &line, PartId accessor) override;
+    VictimChoice selectVictim(
+        CacheArray &array, PartId inserting, Addr addr,
+        const std::vector<Candidate> &cands) override;
+    void onEvict(LineId slot, const Line &line) override;
+    void onInsert(LineId slot, Line &line, PartId part) override;
+
+    std::uint64_t actualSize(PartId part) const override;
+    std::uint64_t targetSize(PartId part) const override;
+
+    /** Whether a partition is currently classified as streaming. */
+    bool isStreaming(PartId part) const;
+
+    /** Chain position of a slot, or kNoPos if invalid (for tests). */
+    std::uint32_t positionOf(LineId slot) const { return pos_[slot]; }
+
+    /** Sentinel chain position of an empty slot. */
+    static constexpr std::uint8_t kNoPos = 0xff;
+
+  private:
+    std::uint64_t setOf(LineId slot) const { return slot / ways_; }
+
+    /** Re-evaluate streaming classification from interval counters. */
+    void updateStreaming();
+
+    std::uint32_t numParts_;
+    std::uint32_t ways_;
+    std::uint64_t linesPerWay_;
+    PippConfig cfg_;
+    Rng rng_;
+
+    std::vector<std::uint32_t> alloc_;    ///< Ways per partition.
+    std::vector<std::uint8_t> pos_;       ///< Chain position per slot.
+    std::vector<std::uint8_t> validCnt_;  ///< Valid lines per set.
+    std::vector<std::uint64_t> sizes_;    ///< Lines per partition.
+
+    // Streaming detection state.
+    std::vector<std::uint64_t> intervalAccesses_;
+    std::vector<std::uint64_t> intervalMisses_;
+    std::vector<bool> streaming_;
+    std::uint64_t accessesSinceCheck_ = 0;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_PARTITION_PIPP_H_

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Partitioning-scheme interface.
+ *
+ * A scheme enforces per-partition capacity allocations at replacement
+ * time. The Cache drives it: on a hit it calls onHit(); on a miss it
+ * obtains the array's replacement candidates and asks the scheme to
+ * pick a victim (or to bypass the fill entirely), then notifies it of
+ * the eviction and insertion so it can track sizes.
+ *
+ * Allocation targets are expressed in *allocation units*; a scheme
+ * advertises how many units exist in total (ways for way-partitioning
+ * and PIPP, a finer quantum for Vantage). This mirrors how UCP drives
+ * each scheme in the paper (Sec. 5): way-granular Lookahead for
+ * way-partitioning/PIPP, 256-point interpolated curves for Vantage.
+ */
+
+#ifndef VANTAGE_PARTITION_SCHEME_H_
+#define VANTAGE_PARTITION_SCHEME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "array/cache_array.h"
+
+namespace vantage {
+
+/** Outcome of victim selection for one fill. */
+struct VictimChoice
+{
+    /** Index into the candidate list; ignored when bypass is set. */
+    std::int32_t candIdx = 0;
+    /** When true, the incoming line is not cached at all. */
+    bool bypass = false;
+};
+
+/** Abstract allocation-enforcement scheme. */
+class PartitionScheme
+{
+  public:
+    virtual ~PartitionScheme() = default;
+
+    /** Human-readable scheme name for reports. */
+    virtual std::string name() const = 0;
+
+    /** Number of partitions the scheme was configured with. */
+    virtual std::uint32_t numPartitions() const = 0;
+
+    /** Total allocation units available for distribution. */
+    virtual std::uint32_t allocationQuantum() const = 0;
+
+    /**
+     * Set per-partition targets, in allocation units.
+     * @pre units.size() == numPartitions();
+     *      sum(units) <= allocationQuantum().
+     */
+    virtual void setAllocations(
+        const std::vector<std::uint32_t> &units) = 0;
+
+    /** A line of `accessor` hit; update bookkeeping and metadata. */
+    virtual void onHit(LineId slot, Line &line, PartId accessor) = 0;
+
+    /**
+     * Pick the victim for a fill by `inserting` among `cands`.
+     * Schemes must cope with invalid (empty) candidates, preferring
+     * them where their placement rules allow.
+     */
+    virtual VictimChoice selectVictim(
+        CacheArray &array, PartId inserting, Addr addr,
+        const std::vector<Candidate> &cands) = 0;
+
+    /** The chosen victim (valid lines only) is about to be evicted. */
+    virtual void onEvict(LineId slot, const Line &line) = 0;
+
+    /**
+     * A new line was installed (line.addr/part already set); set the
+     * scheme's replacement metadata and size accounting.
+     */
+    virtual void onInsert(LineId slot, Line &line, PartId part) = 0;
+
+    /** Current actual size of a partition, in lines. */
+    virtual std::uint64_t actualSize(PartId part) const = 0;
+
+    /** Current target size of a partition, in lines. */
+    virtual std::uint64_t targetSize(PartId part) const = 0;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_PARTITION_SCHEME_H_

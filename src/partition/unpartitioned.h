@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The no-partitioning scheme: a plain shared cache.
+ *
+ * Wraps a base replacement policy and applies it to all candidates.
+ * This is the paper's baseline (LRU or RRIP on SA/zcache arrays) and
+ * also serves as the policy engine for private L1 caches.
+ */
+
+#ifndef VANTAGE_PARTITION_UNPARTITIONED_H_
+#define VANTAGE_PARTITION_UNPARTITIONED_H_
+
+#include <memory>
+
+#include "partition/assoc_probe.h"
+#include "partition/scheme.h"
+#include "replacement/repl_policy.h"
+
+namespace vantage {
+
+/** Shared, unpartitioned cache management. */
+class Unpartitioned : public PartitionScheme
+{
+  public:
+    /**
+     * @param num_partitions number of access streams (for size
+     *        accounting only; placement is fully shared).
+     * @param policy base replacement policy.
+     */
+    Unpartitioned(std::uint32_t num_partitions,
+                  std::unique_ptr<ReplPolicy> policy)
+        : numParts_(num_partitions), policy_(std::move(policy)),
+          sizes_(num_partitions, 0)
+    {
+        vantage_assert(policy_ != nullptr, "need a policy");
+    }
+
+    std::string name() const override { return "unpartitioned"; }
+    std::uint32_t numPartitions() const override { return numParts_; }
+    std::uint32_t allocationQuantum() const override { return 1; }
+
+    void
+    setAllocations(const std::vector<std::uint32_t> &units) override
+    {
+        (void)units; // Nothing to enforce.
+    }
+
+    void
+    onHit(LineId slot, Line &line, PartId accessor) override
+    {
+        (void)slot;
+        (void)accessor;
+        policy_->onHit(line);
+    }
+
+    VictimChoice
+    selectVictim(CacheArray &array, PartId inserting, Addr addr,
+                 const std::vector<Candidate> &cands) override
+    {
+        (void)inserting;
+        (void)addr;
+        // Prefer an empty slot; candidate order ties break toward the
+        // earliest (shortest relocation chain in a zcache).
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+            if (!array.line(cands[i].slot).valid()) {
+                return {static_cast<std::int32_t>(i), false};
+            }
+        }
+        const std::int32_t victim = policy_->selectVictim(array, cands);
+        if (probe_) {
+            probe_->recordEviction(array, *policy_,
+                                   array.line(cands[victim].slot));
+        }
+        return {victim, false};
+    }
+
+    void
+    onEvict(LineId slot, const Line &line) override
+    {
+        (void)slot;
+        if (line.part < sizes_.size() && sizes_[line.part] > 0) {
+            --sizes_[line.part];
+        }
+        policy_->onEvict(line);
+    }
+
+    void
+    onInsert(LineId slot, Line &line, PartId part) override
+    {
+        (void)slot;
+        policy_->onInsert(line);
+        if (part < sizes_.size()) {
+            ++sizes_[part];
+        }
+    }
+
+    std::uint64_t
+    actualSize(PartId part) const override
+    {
+        return part < sizes_.size() ? sizes_[part] : 0;
+    }
+
+    std::uint64_t
+    targetSize(PartId part) const override
+    {
+        (void)part;
+        return 0; // No targets in a shared cache.
+    }
+
+    /** Attach an eviction-priority probe (Fig. 1 style CDFs). */
+    void attachProbe(AssocProbe *probe) { probe_ = probe; }
+
+    ReplPolicy &policy() { return *policy_; }
+
+  private:
+    std::uint32_t numParts_;
+    std::unique_ptr<ReplPolicy> policy_;
+    std::vector<std::uint64_t> sizes_;
+    AssocProbe *probe_ = nullptr;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_PARTITION_UNPARTITIONED_H_

@@ -1,0 +1,166 @@
+#include "partition/way_partition.h"
+
+#include <numeric>
+
+#include "common/log.h"
+
+namespace vantage {
+
+WayPartitioning::WayPartitioning(std::uint32_t num_partitions,
+                                 std::uint32_t total_ways,
+                                 std::uint64_t lines_per_way,
+                                 std::unique_ptr<ReplPolicy> policy)
+    : numParts_(num_partitions), ways_(total_ways),
+      linesPerWay_(lines_per_way), policy_(std::move(policy)),
+      wayStart_(num_partitions + 1, 0), sizes_(num_partitions, 0)
+{
+    vantage_assert(policy_ != nullptr, "need a policy");
+    vantage_assert(num_partitions >= 1, "need at least one partition");
+    if (num_partitions > total_ways) {
+        fatal("way-partitioning cannot hold %u partitions in %u ways",
+              num_partitions, total_ways);
+    }
+    // Default: equal split, remainder to the first partitions.
+    std::vector<std::uint32_t> units(num_partitions,
+                                     total_ways / num_partitions);
+    for (std::uint32_t p = 0; p < total_ways % num_partitions; ++p) {
+        ++units[p];
+    }
+    setAllocations(units);
+}
+
+void
+WayPartitioning::setAllocations(
+    const std::vector<std::uint32_t> &units)
+{
+    vantage_assert(units.size() == numParts_,
+                   "got %zu allocations for %u partitions",
+                   units.size(), numParts_);
+    const std::uint64_t total =
+        std::accumulate(units.begin(), units.end(), std::uint64_t{0});
+    vantage_assert(total <= ways_,
+                   "allocations total %llu ways, array has %u",
+                   static_cast<unsigned long long>(total), ways_);
+    wayStart_[0] = 0;
+    for (std::uint32_t p = 0; p < numParts_; ++p) {
+        wayStart_[p + 1] = wayStart_[p] + units[p];
+    }
+}
+
+bool
+WayPartitioning::ownsWay(PartId part, std::uint32_t way) const
+{
+    return way >= wayStart_[part] && way < wayStart_[part + 1];
+}
+
+std::uint32_t
+WayPartitioning::wayStart(PartId part) const
+{
+    vantage_assert(part < numParts_, "partition %u out of range", part);
+    return wayStart_[part];
+}
+
+std::uint32_t
+WayPartitioning::wayCount(PartId part) const
+{
+    vantage_assert(part < numParts_, "partition %u out of range", part);
+    return wayStart_[part + 1] - wayStart_[part];
+}
+
+void
+WayPartitioning::onHit(LineId slot, Line &line, PartId accessor)
+{
+    (void)slot;
+    (void)accessor;
+    policy_->onHit(line);
+}
+
+VictimChoice
+WayPartitioning::selectVictim(CacheArray &array, PartId inserting,
+                              Addr addr,
+                              const std::vector<Candidate> &cands)
+{
+    (void)addr;
+    vantage_assert(inserting < numParts_, "partition %u out of range",
+                   inserting);
+
+    std::int32_t best = -1;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        if (!ownsWay(inserting, array.wayOf(cands[i].slot))) {
+            continue;
+        }
+        const Line &line = array.line(cands[i].slot);
+        if (!line.valid()) {
+            return {static_cast<std::int32_t>(i), false};
+        }
+        if (best < 0 ||
+            policy_->prefer(line, array.line(cands[best].slot))) {
+            best = static_cast<std::int32_t>(i);
+        }
+    }
+
+    if (best < 0) {
+        // Zero ways allocated (allocation policies should prevent
+        // this); fall back to a global choice rather than deadlock.
+        if (!warnedNoWays_) {
+            warn("partition %u has no ways; using global replacement",
+                 inserting);
+            warnedNoWays_ = true;
+        }
+        best = policy_->selectVictim(array, cands);
+    }
+
+    const Line &victim = array.line(cands[best].slot);
+    if (probe_ && victim.part == probePart_) {
+        // Priority within the victim's own partition population.
+        probe_->recordEviction(
+            array, *policy_, victim,
+            [this, &array](LineId slot) {
+                return array.line(slot).part == probePart_;
+            });
+    }
+    return {best, false};
+}
+
+void
+WayPartitioning::onEvict(LineId slot, const Line &line)
+{
+    (void)slot;
+    if (line.part < sizes_.size() && sizes_[line.part] > 0) {
+        --sizes_[line.part];
+    }
+    policy_->onEvict(line);
+}
+
+void
+WayPartitioning::onInsert(LineId slot, Line &line, PartId part)
+{
+    (void)slot;
+    policy_->onInsert(line);
+    if (part < sizes_.size()) {
+        ++sizes_[part];
+    }
+}
+
+std::uint64_t
+WayPartitioning::actualSize(PartId part) const
+{
+    vantage_assert(part < numParts_, "partition %u out of range", part);
+    return sizes_[part];
+}
+
+std::uint64_t
+WayPartitioning::targetSize(PartId part) const
+{
+    vantage_assert(part < numParts_, "partition %u out of range", part);
+    return static_cast<std::uint64_t>(wayCount(part)) * linesPerWay_;
+}
+
+void
+WayPartitioning::attachProbe(AssocProbe *probe, PartId part)
+{
+    probe_ = probe;
+    probePart_ = part;
+}
+
+} // namespace vantage

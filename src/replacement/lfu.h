@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Least-frequently-used replacement with a saturating 8-bit counter.
+ *
+ * Included because the paper notes (Sec. 4.2) that setpoint-based
+ * demotions generalize beyond timestamps — "in LFU we would choose a
+ * setpoint access frequency". The tests exercise that generality.
+ */
+
+#ifndef VANTAGE_REPLACEMENT_LFU_H_
+#define VANTAGE_REPLACEMENT_LFU_H_
+
+#include "replacement/repl_policy.h"
+
+namespace vantage {
+
+/** LFU over Line::rank as a saturating access-frequency counter. */
+class Lfu : public ReplPolicy
+{
+  public:
+    void
+    onHit(Line &line) override
+    {
+        if (line.rank < 255) {
+            ++line.rank;
+        }
+    }
+
+    void
+    onInsert(Line &line) override
+    {
+        line.rank = 0;
+    }
+
+    bool
+    prefer(const Line &a, const Line &b) const override
+    {
+        if (a.rank != b.rank) {
+            return a.rank < b.rank;
+        }
+        return a.lastAccess < b.lastAccess; // Tie-break toward older.
+    }
+
+    double
+    priority(const Line &line) const override
+    {
+        return 1.0 - static_cast<double>(line.rank) / 255.0;
+    }
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_REPLACEMENT_LFU_H_

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * LRU replacement policies.
+ *
+ * ExactLru stamps each line with a monotonically increasing access
+ * count — the simulator's luxury version of LRU, used for the paper's
+ * set-associative baselines.
+ *
+ * CoarseLru is the paper's implementable variant [21]: an 8-bit
+ * timestamp counter incremented every cacheLines/16 accesses, with
+ * ages computed in modulo-256 arithmetic. It is also the base policy
+ * Vantage builds its setpoint mechanism on (Sec. 4.2), though the
+ * Vantage controller keeps its own *per-partition* timestamps; this
+ * class is the single-stream flavor for unpartitioned caches.
+ */
+
+#ifndef VANTAGE_REPLACEMENT_LRU_H_
+#define VANTAGE_REPLACEMENT_LRU_H_
+
+#include "common/bits.h"
+#include "replacement/repl_policy.h"
+
+namespace vantage {
+
+/** Exact LRU via 64-bit access counters. */
+class ExactLru : public ReplPolicy
+{
+  public:
+    void
+    onHit(Line &line) override
+    {
+        line.lastAccess = ++clock_;
+    }
+
+    void
+    onInsert(Line &line) override
+    {
+        line.lastAccess = ++clock_;
+    }
+
+    bool
+    prefer(const Line &a, const Line &b) const override
+    {
+        return a.lastAccess < b.lastAccess;
+    }
+
+    double
+    priority(const Line &line) const override
+    {
+        if (clock_ == 0) return 0.0;
+        const double age = static_cast<double>(clock_ -
+                                               line.lastAccess);
+        return age / static_cast<double>(clock_);
+    }
+
+  private:
+    std::uint64_t clock_ = 0;
+};
+
+/** Coarse-grain 8-bit timestamp LRU [21]. */
+class CoarseLru : public ReplPolicy
+{
+  public:
+    /**
+     * @param cache_lines total lines the policy manages; the
+     *        timestamp advances every cache_lines/16 accesses.
+     */
+    explicit CoarseLru(std::uint64_t cache_lines)
+        : tickPeriod_(cache_lines / 16 ? cache_lines / 16 : 1)
+    {}
+
+    void
+    onHit(Line &line) override
+    {
+        line.rank = currentTs_;
+        tick();
+    }
+
+    void
+    onInsert(Line &line) override
+    {
+        line.rank = currentTs_;
+        tick();
+    }
+
+    bool
+    prefer(const Line &a, const Line &b) const override
+    {
+        return age(a) > age(b);
+    }
+
+    double
+    priority(const Line &line) const override
+    {
+        return static_cast<double>(age(line)) / 255.0;
+    }
+
+    std::uint8_t currentTimestamp() const { return currentTs_; }
+
+  private:
+    std::uint32_t
+    age(const Line &line) const
+    {
+        return modDist(line.rank, currentTs_, 8);
+    }
+
+    void
+    tick()
+    {
+        if (++accesses_ >= tickPeriod_) {
+            accesses_ = 0;
+            ++currentTs_;
+        }
+    }
+
+    std::uint64_t tickPeriod_;
+    std::uint64_t accesses_ = 0;
+    std::uint8_t currentTs_ = 0;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_REPLACEMENT_LRU_H_

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Replacement-policy interface.
+ *
+ * Policies own the interpretation of the per-line `rank` /
+ * `lastAccess` metadata and rank replacement candidates. They are
+ * deliberately independent of partitioning (paper Table 1: Vantage,
+ * unlike PIPP, composes with any replacement policy); partitioning
+ * schemes that need a base policy hold one of these.
+ */
+
+#ifndef VANTAGE_REPLACEMENT_REPL_POLICY_H_
+#define VANTAGE_REPLACEMENT_REPL_POLICY_H_
+
+#include <vector>
+
+#include "array/cache_array.h"
+
+namespace vantage {
+
+/** Abstract replacement policy over Line metadata. */
+class ReplPolicy
+{
+  public:
+    virtual ~ReplPolicy() = default;
+
+    /** Update metadata on a cache hit. */
+    virtual void onHit(Line &line) = 0;
+
+    /** Initialize metadata for a newly inserted line. */
+    virtual void onInsert(Line &line) = 0;
+
+    /** Notification that a line was evicted. */
+    virtual void onEvict(const Line &line) { (void)line; }
+
+    /**
+     * True when `a` should be evicted in preference to `b`
+     * (i.e. `a` has the higher eviction priority).
+     */
+    virtual bool prefer(const Line &a, const Line &b) const = 0;
+
+    /**
+     * Pick a victim among the candidates and perform any policy
+     * side effects (e.g. RRIP aging). Invalid lines are the caller's
+     * responsibility — by the time this runs, all candidates are
+     * valid. @return index into `cands`.
+     */
+    virtual std::int32_t
+    selectVictim(CacheArray &array, const std::vector<Candidate> &cands)
+    {
+        std::int32_t best = 0;
+        for (std::size_t i = 1; i < cands.size(); ++i) {
+            if (prefer(array.line(cands[i].slot),
+                       array.line(cands[best].slot))) {
+                best = static_cast<std::int32_t>(i);
+            }
+        }
+        return best;
+    }
+
+    /**
+     * Eviction priority of a line in [0, 1] for statistics capture;
+     * 1.0 means "the line the policy most wants gone". The default
+     * returns 0.5 (unknown); policies with a natural normalized rank
+     * override this.
+     */
+    virtual double
+    priority(const Line &line) const
+    {
+        (void)line;
+        return 0.5;
+    }
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_REPLACEMENT_REPL_POLICY_H_

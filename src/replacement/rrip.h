@@ -1,0 +1,260 @@
+/**
+ * @file
+ * RRIP family of replacement policies (Jaleel et al., ISCA 2010).
+ *
+ * All variants keep an M-bit re-reference prediction value (RRPV) per
+ * line in Line::rank; 2^M - 1 predicts a distant re-reference.
+ *
+ *  - SRRIP (hit priority): insert at 2^M - 2, promote to 0 on hit.
+ *  - BRRIP: insert at 2^M - 1 most of the time, 2^M - 2 rarely.
+ *  - DRRIP: set dueling between SRRIP and BRRIP via a PSEL counter.
+ *  - TA-DRRIP: thread-aware dueling — one PSEL per partition.
+ *
+ * Victim selection searches for RRPV == 2^M - 1; if no candidate has
+ * it, all candidates age by the deficit. Aging by candidate
+ * neighborhood (instead of by set) is the natural adaptation to
+ * zcaches, which have no sets; the paper notes RRIP is "trivially
+ * applicable" to them (Sec. 6.2). DRRIP's set dueling likewise uses
+ * auxiliary monitors (rrip_monitor.h) instead of leader sets, which
+ * works on sets-free arrays.
+ */
+
+#ifndef VANTAGE_REPLACEMENT_RRIP_H_
+#define VANTAGE_REPLACEMENT_RRIP_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "hash/h3.h"
+#include "replacement/repl_policy.h"
+#include "replacement/rrip_monitor.h"
+
+namespace vantage {
+
+/** Shared machinery for the RRIP variants. */
+class RripBase : public ReplPolicy
+{
+  public:
+    static constexpr std::uint32_t kBits = 3;
+    static constexpr std::uint8_t kDistant = (1u << kBits) - 1; // 7
+    static constexpr std::uint8_t kLong = kDistant - 1;         // 6
+
+    void
+    onHit(Line &line) override
+    {
+        line.rank = 0; // Hit priority: predict near-immediate reuse.
+    }
+
+    bool
+    prefer(const Line &a, const Line &b) const override
+    {
+        return a.rank > b.rank;
+    }
+
+    std::int32_t
+    selectVictim(CacheArray &array,
+                 const std::vector<Candidate> &cands) override
+    {
+        std::int32_t best = 0;
+        for (std::size_t i = 1; i < cands.size(); ++i) {
+            if (array.line(cands[i].slot).rank >
+                array.line(cands[best].slot).rank) {
+                best = static_cast<std::int32_t>(i);
+            }
+        }
+        // Age the candidate neighborhood so that the victim reaches
+        // the distant-RRPV, as per-set RRIP aging would.
+        const std::uint8_t max_rrpv = array.line(cands[best].slot).rank;
+        if (max_rrpv < kDistant) {
+            const std::uint8_t delta = kDistant - max_rrpv;
+            for (const auto &cand : cands) {
+                Line &line = array.line(cand.slot);
+                line.rank = static_cast<std::uint8_t>(
+                    std::min<std::uint32_t>(line.rank + delta,
+                                            kDistant));
+            }
+        }
+        return best;
+    }
+
+    double
+    priority(const Line &line) const override
+    {
+        return static_cast<double>(line.rank) /
+               static_cast<double>(kDistant);
+    }
+};
+
+/** Scan-resistant SRRIP. */
+class Srrip : public RripBase
+{
+  public:
+    void
+    onInsert(Line &line) override
+    {
+        line.rank = kLong;
+    }
+};
+
+/** Thrash-resistant BRRIP: mostly-distant insertions. */
+class Brrip : public RripBase
+{
+  public:
+    explicit Brrip(std::uint64_t seed = 0xb441) : rng_(seed) {}
+
+    void
+    onInsert(Line &line) override
+    {
+        line.rank = rng_.chance(1.0 / 32.0) ? kLong : kDistant;
+    }
+
+  private:
+    Rng rng_;
+};
+
+/**
+ * DRRIP: duel SRRIP against BRRIP using auxiliary monitors (see
+ * rrip_monitor.h) and a 10-bit PSEL. Monitor-based dueling works on
+ * any array, including zcaches.
+ */
+class Drrip : public RripBase
+{
+  public:
+    /**
+     * @param cache_lines capacity of the cache this policy manages.
+     * @param monitor_ways associativity the monitors model (the real
+     *        ways for set-associative arrays; 16 is a reasonable
+     *        stand-in for zcaches).
+     */
+    Drrip(std::uint64_t cache_lines, std::uint32_t monitor_ways,
+          std::uint64_t seed = 0xd441)
+        : rng_(seed),
+          srripMon_(false, cache_lines / monitor_ways, monitor_ways,
+                    32, seed),
+          brripMon_(true, cache_lines / monitor_ways, monitor_ways,
+                    32, seed)
+    {}
+
+    void
+    onHit(Line &line) override
+    {
+        observe(line.addr);
+        RripBase::onHit(line);
+    }
+
+    void
+    onInsert(Line &line) override
+    {
+        observe(line.addr);
+        if (followersUseBrrip()) {
+            line.rank = rng_.chance(1.0 / 32.0) ? kLong : kDistant;
+        } else {
+            line.rank = kLong;
+        }
+    }
+
+    /** True when the cache currently inserts with BRRIP. */
+    bool followersUseBrrip() const { return psel_ > kPselMax / 2; }
+
+  protected:
+    static constexpr std::uint32_t kPselMax = 1023;
+
+    void
+    observe(Addr addr)
+    {
+        // A miss in the SRRIP monitor is evidence for BRRIP, and
+        // vice versa. Both monitors sample the same addresses, so
+        // the comparison is like-for-like.
+        if (srripMon_.access(addr) ==
+            RripDuelMonitor::Outcome::Miss &&
+            psel_ < kPselMax) {
+            ++psel_;
+        }
+        if (brripMon_.access(addr) ==
+            RripDuelMonitor::Outcome::Miss &&
+            psel_ > 0) {
+            --psel_;
+        }
+    }
+
+    Rng rng_;
+    RripDuelMonitor srripMon_;
+    RripDuelMonitor brripMon_;
+    std::uint32_t psel_ = kPselMax / 2;
+};
+
+/**
+ * Thread-aware DRRIP (TADIP-style): one PSEL and one monitor pair per
+ * partition, dueling over that partition's own accesses.
+ */
+class TaDrrip : public RripBase
+{
+  public:
+    TaDrrip(std::uint32_t num_parts, std::uint64_t cache_lines,
+            std::uint32_t monitor_ways, std::uint64_t seed = 0x7a441)
+        : rng_(seed), psel_(num_parts, kPselMax / 2)
+    {
+        for (std::uint32_t p = 0; p < num_parts; ++p) {
+            srripMons_.emplace_back(false, cache_lines / monitor_ways,
+                                    monitor_ways, 32, seed + p);
+            brripMons_.emplace_back(true, cache_lines / monitor_ways,
+                                    monitor_ways, 32, seed + p);
+        }
+    }
+
+    void
+    onHit(Line &line) override
+    {
+        observe(line.part, line.addr);
+        RripBase::onHit(line);
+    }
+
+    void
+    onInsert(Line &line) override
+    {
+        vantage_assert(line.part < psel_.size(),
+                       "partition %u out of range", line.part);
+        observe(line.part, line.addr);
+        if (psel_[line.part] > kPselMax / 2) {
+            line.rank = rng_.chance(1.0 / 32.0) ? kLong : kDistant;
+        } else {
+            line.rank = kLong;
+        }
+    }
+
+    bool
+    partitionUsesBrrip(PartId part) const
+    {
+        return psel_[part] > kPselMax / 2;
+    }
+
+  private:
+    static constexpr std::uint32_t kPselMax = 1023;
+
+    void
+    observe(PartId part, Addr addr)
+    {
+        vantage_assert(part < psel_.size(),
+                       "partition %u out of range", part);
+        if (srripMons_[part].access(addr) ==
+            RripDuelMonitor::Outcome::Miss &&
+            psel_[part] < kPselMax) {
+            ++psel_[part];
+        }
+        if (brripMons_[part].access(addr) ==
+            RripDuelMonitor::Outcome::Miss &&
+            psel_[part] > 0) {
+            --psel_[part];
+        }
+    }
+
+    Rng rng_;
+    std::vector<RripDuelMonitor> srripMons_;
+    std::vector<RripDuelMonitor> brripMons_;
+    std::vector<std::uint32_t> psel_;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_REPLACEMENT_RRIP_H_

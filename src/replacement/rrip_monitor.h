@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Set-dueling monitor for RRIP flavors.
+ *
+ * DIP/DRRIP choose between two insertion policies by dedicating a few
+ * *leader sets* to each and steering the rest with a PSEL counter.
+ * Leader sets do not exist in zcaches (no sets at all), so we use the
+ * equivalent auxiliary-tag-directory formulation from the DIP paper:
+ * each flavor gets a small monitor that simulates that flavor over a
+ * sampled slice of the access stream, sized to model the real cache's
+ * capacity. The PSEL counter then compares monitor misses.
+ */
+
+#ifndef VANTAGE_REPLACEMENT_RRIP_MONITOR_H_
+#define VANTAGE_REPLACEMENT_RRIP_MONITOR_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "hash/h3.h"
+
+namespace vantage {
+
+/** Simulates one RRIP flavor (SRRIP or BRRIP) on sampled sets. */
+class RripDuelMonitor
+{
+  public:
+    enum class Outcome { NotSampled, Hit, Miss };
+
+    static constexpr std::uint8_t kDistantRrpv = 7;
+    static constexpr std::uint8_t kLongRrpv = 6;
+
+    /**
+     * @param brrip simulate BRRIP (true) or SRRIP (false).
+     * @param modeled_sets set count of the cache being modeled.
+     * @param ways monitored associativity.
+     * @param sampled_sets monitor sets (sampling factor =
+     *        sampled_sets / modeled_sets).
+     */
+    RripDuelMonitor(bool brrip, std::uint64_t modeled_sets,
+                    std::uint32_t ways, std::uint32_t sampled_sets,
+                    std::uint64_t seed)
+        : brrip_(brrip), ways_(ways),
+          modeledSets_(std::max<std::uint64_t>(modeled_sets, 1)),
+          hash_(seed ^ 0x5d31), rng_(seed ^ 0xb0b)
+    {
+        sets_.resize(std::min<std::uint64_t>(sampled_sets,
+                                             modeledSets_));
+        for (auto &set : sets_) {
+            set.reserve(ways);
+        }
+    }
+
+    /** Observe one access of the stream this monitor duels over. */
+    Outcome
+    access(Addr addr)
+    {
+        const std::uint64_t bucket = hash_.mod(addr, modeledSets_);
+        if (bucket >= sets_.size()) {
+            return Outcome::NotSampled;
+        }
+        auto &chain = sets_[bucket];
+        const auto it = std::find_if(
+            chain.begin(), chain.end(),
+            [addr](const Entry &e) { return e.addr == addr; });
+        if (it != chain.end()) {
+            Entry e = *it;
+            e.rrpv = 0;
+            chain.erase(it);
+            chain.insert(chain.begin(), e);
+            return Outcome::Hit;
+        }
+        if (chain.size() >= ways_) {
+            const std::uint8_t deficit =
+                kDistantRrpv - chain.back().rrpv;
+            if (deficit > 0) {
+                for (auto &e : chain) {
+                    e.rrpv = static_cast<std::uint8_t>(
+                        std::min<std::uint32_t>(e.rrpv + deficit,
+                                                kDistantRrpv));
+                }
+            }
+            chain.pop_back();
+        }
+        Entry e{addr, kLongRrpv};
+        if (brrip_ && !rng_.chance(1.0 / 32.0)) {
+            e.rrpv = kDistantRrpv;
+        }
+        const auto at = std::upper_bound(
+            chain.begin(), chain.end(), e,
+            [](const Entry &a, const Entry &b) {
+                return a.rrpv < b.rrpv;
+            });
+        chain.insert(at, e);
+        return Outcome::Miss;
+    }
+
+  private:
+    struct Entry
+    {
+        Addr addr;
+        std::uint8_t rrpv;
+    };
+
+    bool brrip_;
+    std::uint32_t ways_;
+    std::uint64_t modeledSets_;
+    H3Hash hash_;
+    Rng rng_;
+    std::vector<std::vector<Entry>> sets_; ///< Ascending-RRPV chains.
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_REPLACEMENT_RRIP_MONITOR_H_

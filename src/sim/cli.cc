@@ -1,0 +1,271 @@
+#include "sim/cli.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace vantage {
+
+namespace {
+
+/** Split a comma-separated list. */
+std::vector<std::string>
+splitList(const std::string &value)
+{
+    std::vector<std::string> out;
+    std::istringstream in(value);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+        if (!item.empty()) {
+            out.push_back(item);
+        }
+    }
+    return out;
+}
+
+bool
+parseU64(const std::string &value, std::uint64_t &out)
+{
+    char *end = nullptr;
+    out = std::strtoull(value.c_str(), &end, 10);
+    return end != nullptr && *end == '\0' && !value.empty();
+}
+
+bool
+parseF(const std::string &value, double &out)
+{
+    char *end = nullptr;
+    out = std::strtod(value.c_str(), &end);
+    return end != nullptr && *end == '\0' && !value.empty();
+}
+
+} // namespace
+
+std::optional<SchemeKind>
+schemeFromName(const std::string &name)
+{
+    if (name == "lru") return SchemeKind::UnpartLru;
+    if (name == "srrip") return SchemeKind::UnpartSrrip;
+    if (name == "drrip") return SchemeKind::UnpartDrrip;
+    if (name == "tadrrip") return SchemeKind::UnpartTaDrrip;
+    if (name == "waypart") return SchemeKind::WayPart;
+    if (name == "pipp") return SchemeKind::Pipp;
+    if (name == "vantage") return SchemeKind::Vantage;
+    if (name == "vantage-drrip") return SchemeKind::VantageDrrip;
+    if (name == "vantage-oracle") return SchemeKind::VantageOracle;
+    return std::nullopt;
+}
+
+std::optional<ArrayKind>
+arrayFromName(const std::string &name)
+{
+    if (name == "z4-52") return ArrayKind::Z4_52;
+    if (name == "z4-16") return ArrayKind::Z4_16;
+    if (name == "sa16") return ArrayKind::SA16;
+    if (name == "sa64") return ArrayKind::SA64;
+    if (name == "random") return ArrayKind::Random;
+    return std::nullopt;
+}
+
+std::string
+cliUsage()
+{
+    return "usage: vsim [options]\n"
+           "\n"
+           "workload (choose one):\n"
+           "  --mix CLASS[:SEED]   mix class 0-34 (see DESIGN.md)\n"
+           "  --apps a,b,c         profile names (one per core)\n"
+           "  --traces f1,f2       trace files (one per core)\n"
+           "\n"
+           "machine:\n"
+           "  --cores N            core count (default: app count)\n"
+           "  --l2-lines N         L2 lines (default: paper machine)\n"
+           "  --no-ucp             static equal allocations\n"
+           "  --repartition N      UCP interval in cycles\n"
+           "\n"
+           "L2 management:\n"
+           "  --scheme NAME        lru srrip drrip tadrrip waypart\n"
+           "                       pipp vantage vantage-drrip\n"
+           "                       vantage-oracle (default vantage)\n"
+           "  --array NAME         z4-52 z4-16 sa16 sa64 random\n"
+           "  --unmanaged F        Vantage u (default 0.05)\n"
+           "  --amax F             Vantage Amax (default 0.5)\n"
+           "  --slack F            Vantage slack (default 0.1)\n"
+           "\n"
+           "run:\n"
+           "  --instrs N           measured instructions per core\n"
+           "  --warmup N           warmup accesses per core\n"
+           "  --seed N             simulation seed\n"
+           "  --help               this text\n";
+}
+
+CliOptions
+parseCli(const std::vector<std::string> &args, std::string &error)
+{
+    CliOptions opts;
+    opts.machine = CmpConfig::small4Core();
+    opts.l2.scheme = SchemeKind::Vantage;
+    opts.l2.array = ArrayKind::Z4_52;
+    opts.l2.lines = 0; // Resolved after cores are known.
+    opts.scale.warmupAccesses = 50'000;
+    opts.scale.instructions = 1'000'000;
+    error.clear();
+
+    std::uint64_t cores = 0;
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        auto next = [&](std::string &out) {
+            if (i + 1 >= args.size()) {
+                error = arg + " needs a value";
+                return false;
+            }
+            out = args[++i];
+            return true;
+        };
+
+        std::string value;
+        if (arg == "--help" || arg == "-h") {
+            opts.showHelp = true;
+            return opts;
+        } else if (arg == "--cores") {
+            if (!next(value) || !parseU64(value, cores) ||
+                cores == 0) {
+                error = "bad --cores value";
+                return opts;
+            }
+        } else if (arg == "--scheme") {
+            if (!next(value)) return opts;
+            const auto kind = schemeFromName(value);
+            if (!kind) {
+                error = "unknown scheme '" + value + "'";
+                return opts;
+            }
+            opts.l2.scheme = *kind;
+        } else if (arg == "--array") {
+            if (!next(value)) return opts;
+            const auto kind = arrayFromName(value);
+            if (!kind) {
+                error = "unknown array '" + value + "'";
+                return opts;
+            }
+            opts.l2.array = *kind;
+        } else if (arg == "--mix") {
+            if (!next(value)) return opts;
+            std::uint32_t cls = 0, mix_seed = 0;
+            const auto colon = value.find(':');
+            std::uint64_t tmp = 0;
+            if (!parseU64(value.substr(0, colon), tmp) || tmp >= 35) {
+                error = "bad --mix class (0-34)";
+                return opts;
+            }
+            cls = static_cast<std::uint32_t>(tmp);
+            if (colon != std::string::npos) {
+                if (!parseU64(value.substr(colon + 1), tmp)) {
+                    error = "bad --mix seed";
+                    return opts;
+                }
+                mix_seed = static_cast<std::uint32_t>(tmp);
+            }
+            opts.mix = {cls, mix_seed};
+        } else if (arg == "--apps") {
+            if (!next(value)) return opts;
+            opts.apps = splitList(value);
+        } else if (arg == "--traces") {
+            if (!next(value)) return opts;
+            opts.traces = splitList(value);
+        } else if (arg == "--instrs") {
+            if (!next(value) ||
+                !parseU64(value, opts.scale.instructions)) {
+                error = "bad --instrs value";
+                return opts;
+            }
+        } else if (arg == "--warmup") {
+            if (!next(value) ||
+                !parseU64(value, opts.scale.warmupAccesses)) {
+                error = "bad --warmup value";
+                return opts;
+            }
+        } else if (arg == "--l2-lines") {
+            if (!next(value) || !parseU64(value, opts.l2.lines)) {
+                error = "bad --l2-lines value";
+                return opts;
+            }
+        } else if (arg == "--unmanaged") {
+            if (!next(value) ||
+                !parseF(value, opts.l2.vantage.unmanagedFraction)) {
+                error = "bad --unmanaged value";
+                return opts;
+            }
+        } else if (arg == "--amax") {
+            if (!next(value) ||
+                !parseF(value, opts.l2.vantage.maxAperture)) {
+                error = "bad --amax value";
+                return opts;
+            }
+        } else if (arg == "--slack") {
+            if (!next(value) ||
+                !parseF(value, opts.l2.vantage.slack)) {
+                error = "bad --slack value";
+                return opts;
+            }
+        } else if (arg == "--no-ucp") {
+            opts.machine.useUcp = false;
+        } else if (arg == "--repartition") {
+            if (!next(value) ||
+                !parseU64(value,
+                          opts.machine.repartitionCycles)) {
+                error = "bad --repartition value";
+                return opts;
+            }
+        } else if (arg == "--seed") {
+            if (!next(value) || !parseU64(value, opts.seed)) {
+                error = "bad --seed value";
+                return opts;
+            }
+        } else {
+            error = "unknown option '" + arg + "'";
+            return opts;
+        }
+    }
+
+    // Workload selection: exactly one source.
+    const int sources = (opts.mix ? 1 : 0) +
+                        (opts.apps.empty() ? 0 : 1) +
+                        (opts.traces.empty() ? 0 : 1);
+    if (sources == 0) {
+        opts.mix = {10u, 0u}; // A mixed default class.
+    } else if (sources > 1) {
+        error = "choose one of --mix / --apps / --traces";
+        return opts;
+    }
+
+    // Resolve core count.
+    std::uint32_t inferred = 4;
+    if (!opts.apps.empty()) {
+        inferred = static_cast<std::uint32_t>(opts.apps.size());
+    } else if (!opts.traces.empty()) {
+        inferred = static_cast<std::uint32_t>(opts.traces.size());
+    }
+    opts.machine.numCores =
+        cores ? static_cast<std::uint32_t>(cores) : inferred;
+    if (opts.mix && cores && cores % 4 != 0) {
+        error = "--mix needs a multiple of 4 cores";
+        return opts;
+    }
+
+    if (opts.machine.numCores > 4) {
+        // Big machine defaults for big runs.
+        const CmpConfig big = CmpConfig::large32Core();
+        opts.machine.memCyclesPerLine = big.memCyclesPerLine;
+        opts.machine.ucp = big.ucp;
+        opts.machine.useUcp = opts.machine.useUcp && true;
+    }
+    if (opts.l2.lines == 0) {
+        opts.l2.lines = opts.machine.l2Lines();
+    }
+    opts.l2.numPartitions = opts.machine.numCores;
+    opts.l2.seed = opts.seed + 0x5ec;
+    return opts;
+}
+
+} // namespace vantage

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Command-line options for the `vsim` driver.
+ *
+ * Parsing is separated from main() so the option grammar is unit
+ * testable. The grammar:
+ *
+ *   vsim [--cores N] [--scheme NAME] [--array NAME]
+ *        [--mix CLASS[:SEED] | --apps a,b,c | --traces f1,f2,...]
+ *        [--instrs N] [--warmup N] [--l2-lines N]
+ *        [--unmanaged F] [--amax F] [--slack F]
+ *        [--no-ucp] [--repartition N] [--seed N]
+ *
+ * Scheme names: lru, srrip, drrip, tadrrip, waypart, pipp, vantage,
+ * vantage-drrip, vantage-oracle.
+ * Array names: z4-52, z4-16, sa16, sa64, random.
+ */
+
+#ifndef VANTAGE_SIM_CLI_H_
+#define VANTAGE_SIM_CLI_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+
+namespace vantage {
+
+/** Parsed vsim invocation. */
+struct CliOptions
+{
+    CmpConfig machine;
+    L2Spec l2;
+    RunScale scale;
+    std::uint64_t seed = 1;
+
+    /** Exactly one of these selects the workload. */
+    std::optional<std::pair<std::uint32_t, std::uint32_t>> mix;
+    std::vector<std::string> apps;   ///< Profile names.
+    std::vector<std::string> traces; ///< Trace file paths.
+
+    bool showHelp = false;
+};
+
+/**
+ * Parse argv. @return options, or an error message in `error` (the
+ * returned options are then unspecified).
+ */
+CliOptions parseCli(const std::vector<std::string> &args,
+                    std::string &error);
+
+/** Map a scheme name to its kind; nullopt when unknown. */
+std::optional<SchemeKind> schemeFromName(const std::string &name);
+
+/** Map an array name to its kind; nullopt when unknown. */
+std::optional<ArrayKind> arrayFromName(const std::string &name);
+
+/** The --help text. */
+std::string cliUsage();
+
+} // namespace vantage
+
+#endif // VANTAGE_SIM_CLI_H_

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Machine configurations (paper Table 2) and L2 factory helpers.
+ *
+ * The paper's two machines:
+ *  - small: 4 in-order cores, 32 KB 4-way private L1s, shared 2 MB
+ *    L2, 4 GB/s of memory bandwidth.
+ *  - large: 32 in-order cores, same L1s, shared 8 MB 4-bank L2,
+ *    32 GB/s of memory bandwidth.
+ *
+ * Cores run at IPC = 1 except on memory accesses, at 2 GHz. Default
+ * latencies: 1-cycle L1, 12-cycle L2 (4-cycle average L1-to-bank plus
+ * 8-cycle bank), 200-cycle zero-load memory.
+ *
+ * The repartitioning interval defaults to 500 K cycles — a 10x
+ * scale-down of the paper's 5 M cycles, matching the scaled-down
+ * instruction budgets the quick benches use. Set
+ * repartitionCycles = 5'000'000 for paper-scale runs.
+ */
+
+#ifndef VANTAGE_SIM_CMP_CONFIG_H_
+#define VANTAGE_SIM_CMP_CONFIG_H_
+
+#include <cstdint>
+
+#include "alloc/ucp.h"
+#include "workload/profiles.h"
+
+namespace vantage {
+
+/** Machine model parameters. */
+struct CmpConfig
+{
+    std::uint32_t numCores = 4;
+
+    // Private L1s: 32 KB, 4-way (512 lines of 64 B).
+    std::uint64_t l1Lines = 512;
+    std::uint32_t l1Ways = 4;
+    std::uint32_t l1HitLatency = 1;
+
+    // Shared L2.
+    std::uint32_t l2HitLatency = 12;
+
+    // Memory: zero-load latency plus a bandwidth-driven serial term.
+    std::uint32_t memLatency = 200;
+    double memCyclesPerLine = 32.0; ///< 4 GB/s at 2 GHz, 64 B lines.
+
+    // Allocation policy.
+    bool useUcp = true;
+    std::uint64_t repartitionCycles = 500'000;
+    UcpConfig ucp;
+
+    /** Paper's small machine: 4 cores, 2 MB L2, 4 GB/s. */
+    static CmpConfig
+    small4Core()
+    {
+        CmpConfig cfg;
+        cfg.numCores = 4;
+        cfg.memCyclesPerLine = 32.0; // 4 GB/s.
+        cfg.ucp.umonWays = 16;
+        cfg.ucp.modeledSets = 2048; // 2 MB / 64 B / 16 ways.
+        // More monitor sets than the paper's 64 so the curves
+        // converge within scaled-down runs; the sampling *period*
+        // stays at the set count, preserving per-set stack distances.
+        cfg.ucp.umonSets = 256;
+        return cfg;
+    }
+
+    /** Paper's large machine: 32 cores, 8 MB L2, 32 GB/s. */
+    static CmpConfig
+    large32Core()
+    {
+        CmpConfig cfg;
+        cfg.numCores = 32;
+        cfg.memCyclesPerLine = 4.0; // 32 GB/s.
+        cfg.ucp.umonWays = 64;
+        cfg.ucp.modeledSets = 2048; // 8 MB / 64 B / 64 ways.
+        cfg.ucp.umonSets = 256; // See small4Core().
+        return cfg;
+    }
+
+    /** L2 line count for the paper machine of this core count. */
+    std::uint64_t
+    l2Lines() const
+    {
+        // 2 MB for the 4-core machine, 8 MB for the 32-core one.
+        return numCores <= 4 ? 2 * kLinesPerMb : 8 * kLinesPerMb;
+    }
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_SIM_CMP_CONFIG_H_

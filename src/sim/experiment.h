@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Experiment plumbing shared by the benchmark harnesses: named L2
+ * configurations (array x scheme), mix runners, and run-scale
+ * controls.
+ *
+ * Run scale: the quick defaults finish each figure in minutes. The
+ * environment overrides let a user reproduce paper-scale runs:
+ *   VANTAGE_MIX_SEEDS   mixes per class (paper: 10)
+ *   VANTAGE_INSTRS      measured instructions per core
+ *   VANTAGE_WARMUP      warmup memory accesses per core
+ */
+
+#ifndef VANTAGE_SIM_EXPERIMENT_H_
+#define VANTAGE_SIM_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache.h"
+#include "core/vantage.h"
+#include "sim/cmp_sim.h"
+
+namespace vantage {
+
+/** Cache-array designs used in the evaluation. */
+enum class ArrayKind {
+    Z4_52, ///< 4-way zcache, 52 candidates (the paper's default).
+    Z4_16, ///< 4-way zcache, 16 candidates.
+    SA16,  ///< 16-way hashed set-associative.
+    SA64,  ///< 64-way hashed set-associative.
+    Random ///< Idealized uniform-candidates array (R = 52).
+};
+
+/** Management schemes used in the evaluation. */
+enum class SchemeKind {
+    UnpartLru,    ///< Shared cache, LRU (baseline).
+    UnpartSrrip,  ///< Shared cache, SRRIP.
+    UnpartDrrip,  ///< Shared cache, DRRIP.
+    UnpartTaDrrip,///< Shared cache, TA-DRRIP.
+    WayPart,      ///< Way-partitioning + LRU.
+    Pipp,         ///< PIPP.
+    Vantage,      ///< Vantage-LRU.
+    VantageDrrip, ///< Vantage-DRRIP (RRIP ranks + dueling monitors).
+    VantageOracle ///< Perfect-aperture validation variant.
+};
+
+const char *arrayKindName(ArrayKind k);
+const char *schemeKindName(SchemeKind k);
+
+/** Full description of one shared-L2 configuration. */
+struct L2Spec
+{
+    ArrayKind array = ArrayKind::Z4_52;
+    SchemeKind scheme = SchemeKind::Vantage;
+    std::uint64_t lines = 32768;
+    std::uint32_t numPartitions = 4;
+    /** Vantage knobs (u, Amax, slack); ignored by other schemes. */
+    VantageConfig vantage;
+    std::uint64_t seed = 0x12;
+
+    std::string name() const;
+};
+
+/** Construct the array for a spec. */
+std::unique_ptr<CacheArray> buildArray(const L2Spec &spec);
+
+/** Construct the full L2 cache for a spec. */
+std::unique_ptr<Cache> buildL2(const L2Spec &spec);
+
+/** Scale of a simulation run. */
+struct RunScale
+{
+    std::uint64_t warmupAccesses = 50'000;  ///< Per core.
+    std::uint64_t instructions = 1'500'000; ///< Measured, per core.
+    std::uint32_t mixSeedsPerClass = 1;
+
+    /** Defaults overridden by VANTAGE_* environment variables. */
+    static RunScale fromEnv();
+};
+
+/** Result of one mix under one configuration. */
+struct MixResult
+{
+    std::string mix;
+    std::string config;
+    double throughput = 0.0;
+    std::vector<CoreResult> cores;
+};
+
+/**
+ * Run one mix: build the L2, warm up, measure.
+ * @param cfg machine model (numCores must match apps.size()).
+ */
+MixResult runMix(const CmpConfig &cfg, const L2Spec &spec,
+                 const std::vector<AppSpec> &apps,
+                 const RunScale &scale, const std::string &mix_name,
+                 std::uint64_t seed = 1);
+
+} // namespace vantage
+
+#endif // VANTAGE_SIM_EXPERIMENT_H_

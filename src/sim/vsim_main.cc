@@ -1,0 +1,132 @@
+/**
+ * @file
+ * vsim: the command-line simulator driver.
+ *
+ * Runs one workload under one L2 configuration and prints per-core
+ * and cache-level statistics. See cliUsage() (or `vsim --help`) for
+ * the option grammar, and DESIGN.md for the mix classes.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "core/vantage.h"
+#include "sim/cli.h"
+#include "stats/table.h"
+#include "workload/mixes.h"
+#include "workload/profiles.h"
+#include "workload/trace_stream.h"
+
+using namespace vantage;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    std::string error;
+    CliOptions opts = parseCli(args, error);
+    if (opts.showHelp) {
+        std::fputs(cliUsage().c_str(), stdout);
+        return 0;
+    }
+    if (!error.empty()) {
+        std::fprintf(stderr, "vsim: %s\n%s", error.c_str(),
+                     cliUsage().c_str());
+        return 1;
+    }
+
+    // Build the per-core workload.
+    std::vector<std::string> core_names;
+    std::unique_ptr<CmpSim> sim;
+    if (!opts.traces.empty()) {
+        std::vector<std::unique_ptr<AccessStream>> streams;
+        for (const auto &path : opts.traces) {
+            streams.push_back(std::make_unique<TraceStream>(
+                TraceStream::fromFile(path)));
+            core_names.push_back(path);
+        }
+        sim = std::make_unique<CmpSim>(opts.machine,
+                                       std::move(streams),
+                                       buildL2(opts.l2));
+    } else {
+        std::vector<AppSpec> apps;
+        if (opts.mix) {
+            const std::uint32_t per_slot = opts.machine.numCores / 4;
+            apps = makeMix(opts.mix->first, per_slot,
+                           opts.mix->second);
+        } else {
+            for (const auto &name : opts.apps) {
+                apps.push_back(appByName(name));
+            }
+        }
+        for (const auto &app : apps) {
+            core_names.push_back(app.name);
+        }
+        sim = std::make_unique<CmpSim>(opts.machine, apps,
+                                       buildL2(opts.l2), opts.seed);
+    }
+
+    std::fprintf(stderr,
+                 "vsim: %u cores, %s, %llu L2 lines, %llu warmup + "
+                 "%llu measured instrs/core\n",
+                 opts.machine.numCores, opts.l2.name().c_str(),
+                 static_cast<unsigned long long>(opts.l2.lines),
+                 static_cast<unsigned long long>(
+                     opts.scale.warmupAccesses),
+                 static_cast<unsigned long long>(
+                     opts.scale.instructions));
+
+    sim->warmup(opts.scale.warmupAccesses);
+    sim->l2().resetStats();
+    sim->run(opts.scale.instructions);
+
+    TablePrinter table({"core", "workload", "IPC", "L2 accesses",
+                        "L2 misses", "L2 MPKI"});
+    for (std::uint32_t c = 0; c < opts.machine.numCores; ++c) {
+        const CoreResult &r = sim->result(c);
+        table.addRow({std::to_string(c), core_names[c],
+                      TablePrinter::fmt(r.ipc(), 3),
+                      std::to_string(r.l2Accesses),
+                      std::to_string(r.l2Misses),
+                      TablePrinter::fmt(r.mpki(), 2)});
+    }
+    table.print();
+    std::printf("throughput (sum of IPCs): %.3f\n",
+                sim->throughput());
+    std::printf("L2 writebacks: %llu\n",
+                static_cast<unsigned long long>(
+                    sim->l2().writebacks()));
+
+    // Partition detail where the scheme has meaningful sizes.
+    if (opts.l2.scheme != SchemeKind::UnpartLru &&
+        opts.l2.scheme != SchemeKind::UnpartSrrip &&
+        opts.l2.scheme != SchemeKind::UnpartDrrip &&
+        opts.l2.scheme != SchemeKind::UnpartTaDrrip) {
+        TablePrinter parts({"partition", "target", "actual"});
+        for (PartId p = 0; p < opts.machine.numCores; ++p) {
+            parts.addRow(
+                {std::to_string(p),
+                 std::to_string(sim->l2().scheme().targetSize(p)),
+                 std::to_string(sim->l2().scheme().actualSize(p))});
+        }
+        parts.print();
+        if (auto *v = dynamic_cast<VantageController *>(
+                &sim->l2().scheme())) {
+            const VantageStats &vs = v->stats();
+            std::printf("vantage: %llu demotions, %llu promotions, "
+                        "%.2e forced managed evictions, unmanaged "
+                        "size %llu\n",
+                        static_cast<unsigned long long>(vs.demotions),
+                        static_cast<unsigned long long>(
+                            vs.promotions),
+                        vs.evictions
+                            ? static_cast<double>(
+                                  vs.evictionsFromManaged) /
+                                  static_cast<double>(vs.evictions)
+                            : 0.0,
+                        static_cast<unsigned long long>(
+                            v->unmanagedSize()));
+        }
+    }
+    return 0;
+}

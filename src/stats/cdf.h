@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Empirical distribution capture.
+ *
+ * The paper's central quantitative object is the *associativity
+ * distribution*: the CDF of the eviction (or demotion) priorities of
+ * the lines a cache evicts (demotes). EmpiricalCdf collects samples in
+ * [0, 1] into fixed-width bins and reports the empirical CDF, which
+ * the tests compare against the analytic form FA(x) = x^R.
+ */
+
+#ifndef VANTAGE_STATS_CDF_H_
+#define VANTAGE_STATS_CDF_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/log.h"
+
+namespace vantage {
+
+/** Binned empirical CDF over samples in [0, 1]. */
+class EmpiricalCdf
+{
+  public:
+    explicit EmpiricalCdf(std::size_t bins = 1000) : counts_(bins, 0) {}
+
+    /** Record one sample; values outside [0,1] are clamped. */
+    void
+    add(double x)
+    {
+        if (x < 0.0) x = 0.0;
+        if (x > 1.0) x = 1.0;
+        auto bin = static_cast<std::size_t>(x * static_cast<double>(
+            counts_.size()));
+        if (bin == counts_.size()) --bin;
+        ++counts_[bin];
+        ++total_;
+    }
+
+    std::uint64_t samples() const { return total_; }
+    std::size_t bins() const { return counts_.size(); }
+
+    /** Empirical P(X <= x). Returns 0 when no samples were recorded. */
+    double
+    at(double x) const
+    {
+        if (total_ == 0) return 0.0;
+        if (x < 0.0) return 0.0;
+        if (x >= 1.0) return 1.0;
+        const auto upto = static_cast<std::size_t>(
+            x * static_cast<double>(counts_.size()));
+        std::uint64_t acc = 0;
+        for (std::size_t i = 0; i < upto; ++i) acc += counts_[i];
+        return static_cast<double>(acc) / static_cast<double>(total_);
+    }
+
+    /** Smallest x with CDF(x) >= q (a quantile). @pre 0 <= q <= 1. */
+    double
+    quantile(double q) const
+    {
+        vantage_assert(q >= 0.0 && q <= 1.0, "quantile %f out of range",
+                       q);
+        if (total_ == 0) return 0.0;
+        const double want = q * static_cast<double>(total_);
+        std::uint64_t acc = 0;
+        for (std::size_t i = 0; i < counts_.size(); ++i) {
+            acc += counts_[i];
+            if (static_cast<double>(acc) >= want) {
+                return static_cast<double>(i + 1) /
+                       static_cast<double>(counts_.size());
+            }
+        }
+        return 1.0;
+    }
+
+    void
+    reset()
+    {
+        std::fill(counts_.begin(), counts_.end(), 0);
+        total_ = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_STATS_CDF_H_

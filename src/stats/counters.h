@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Scalar statistics: counters and running means.
+ */
+
+#ifndef VANTAGE_STATS_COUNTERS_H_
+#define VANTAGE_STATS_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace vantage {
+
+/** A named monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+    explicit Counter(std::string name) : name_(std::move(name)) {}
+
+    void inc(std::uint64_t by = 1) { value_ += by; }
+    void reset() { value_ = 0; }
+
+    std::uint64_t value() const { return value_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::uint64_t value_ = 0;
+};
+
+/** Streaming mean / variance (Welford's algorithm). */
+class RunningStat
+{
+  public:
+    void
+    add(double x)
+    {
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        if (n_ == 1 || x < min_) min_ = x;
+        if (n_ == 1 || x > max_) max_ = x;
+    }
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+
+    void
+    reset()
+    {
+        n_ = 0;
+        mean_ = m2_ = min_ = max_ = 0.0;
+    }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_STATS_COUNTERS_H_

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Plain-text table formatting for benchmark/report output.
+ *
+ * Every bench binary reproduces one paper table or figure; TablePrinter
+ * renders the rows in aligned columns so results are easy to eyeball
+ * and diff against the paper.
+ */
+
+#ifndef VANTAGE_STATS_TABLE_H_
+#define VANTAGE_STATS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace vantage {
+
+/** Accumulates rows of strings and prints them with aligned columns. */
+class TablePrinter
+{
+  public:
+    /** @param header column titles; fixes the column count. */
+    explicit TablePrinter(std::vector<std::string> header);
+
+    /** Append one row. @pre row.size() == header.size(). */
+    void addRow(std::vector<std::string> row);
+
+    /** Render the table (header, separator, rows) to a string. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Format a double with the given precision. */
+    static std::string fmt(double v, int precision = 3);
+
+    /** Format a double in scientific notation. */
+    static std::string fmtSci(double v, int precision = 2);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_STATS_TABLE_H_

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Time-series capture for figure-style outputs (e.g. Fig. 8's
+ * target-vs-actual partition size traces).
+ */
+
+#ifndef VANTAGE_STATS_TIMESERIES_H_
+#define VANTAGE_STATS_TIMESERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vantage {
+
+/** One sampled point of a time series. */
+struct TimePoint
+{
+    std::uint64_t time;
+    double value;
+};
+
+/** A named series of (time, value) samples. */
+class TimeSeries
+{
+  public:
+    TimeSeries() = default;
+    explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+    void
+    add(std::uint64_t time, double value)
+    {
+        points_.push_back({time, value});
+    }
+
+    const std::string &name() const { return name_; }
+    const std::vector<TimePoint> &points() const { return points_; }
+    bool empty() const { return points_.empty(); }
+
+    /** Mean of the sampled values (0 if empty). */
+    double
+    mean() const
+    {
+        if (points_.empty()) return 0.0;
+        double acc = 0.0;
+        for (const auto &p : points_) acc += p.value;
+        return acc / static_cast<double>(points_.size());
+    }
+
+  private:
+    std::string name_;
+    std::vector<TimePoint> points_;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_STATS_TIMESERIES_H_

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The access-stream abstraction the simulator's cores consume.
+ *
+ * A stream yields one memory reference at a time plus the mean number
+ * of non-memory instructions between references. The synthetic
+ * AppModel implements it; TraceStream (trace_stream.h) replays
+ * user-supplied traces, so the simulator runs real workloads too.
+ */
+
+#ifndef VANTAGE_WORKLOAD_ACCESS_STREAM_H_
+#define VANTAGE_WORKLOAD_ACCESS_STREAM_H_
+
+#include <string>
+
+#include "common/types.h"
+
+namespace vantage {
+
+/** One memory reference. */
+struct MemRef
+{
+    Addr addr;
+    AccessType type;
+};
+
+/** Abstract per-core reference generator. */
+class AccessStream
+{
+  public:
+    virtual ~AccessStream() = default;
+
+    /** Produce the next reference; streams never end (they loop). */
+    virtual MemRef next() = 0;
+
+    /** Mean non-memory instructions between references. */
+    virtual double instrPerMem() const = 0;
+
+    /** For reports. */
+    virtual const std::string &name() const = 0;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_WORKLOAD_ACCESS_STREAM_H_

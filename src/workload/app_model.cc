@@ -1,0 +1,104 @@
+#include "workload/app_model.h"
+
+#include "common/log.h"
+
+namespace vantage {
+
+char
+categoryCode(Category c)
+{
+    switch (c) {
+      case Category::Insensitive:
+        return 'n';
+      case Category::CacheFriendly:
+        return 'f';
+      case Category::CacheFitting:
+        return 't';
+      case Category::Streaming:
+        return 's';
+    }
+    panic("bad category %d", static_cast<int>(c));
+}
+
+AppModel::AppModel(AppSpec spec, std::uint32_t app_id,
+                   std::uint64_t seed)
+    : spec_(std::move(spec)), rng_(seed),
+      nameSpace_(static_cast<Addr>(app_id + 1) << 44)
+{
+    vantage_assert(!spec_.phases.empty(), "app %s has no phases",
+                   spec_.name.c_str());
+    vantage_assert(spec_.instrPerMem >= 0.0,
+                   "negative instruction gap");
+    for (const auto &phase : spec_.phases) {
+        vantage_assert(!phase.segments.empty(),
+                       "phase with no segments in %s",
+                       spec_.name.c_str());
+        vantage_assert(phase.accesses > 0,
+                       "zero-length phase in %s", spec_.name.c_str());
+        for (const auto &seg : phase.segments) {
+            vantage_assert(seg.lines > 0, "empty segment in %s",
+                           spec_.name.c_str());
+            vantage_assert(seg.weight > 0.0,
+                           "non-positive segment weight in %s",
+                           spec_.name.c_str());
+        }
+    }
+    enterPhase(0);
+}
+
+void
+AppModel::enterPhase(std::size_t idx)
+{
+    phaseIdx_ = idx;
+    const PhaseSpec &phase = spec_.phases[idx];
+    phaseAccessesLeft_ = phase.accesses;
+
+    segStates_.clear();
+    cumWeights_.clear();
+    double total = 0.0;
+    for (const auto &seg : phase.segments) {
+        total += seg.weight;
+    }
+    double acc = 0.0;
+    for (std::size_t s = 0; s < phase.segments.size(); ++s) {
+        SegmentState state;
+        state.base = nameSpace_ |
+                     (static_cast<Addr>(idx) << 36) |
+                     (static_cast<Addr>(s) << 28);
+        segStates_.push_back(state);
+        acc += phase.segments[s].weight / total;
+        cumWeights_.push_back(acc);
+    }
+    cumWeights_.back() = 1.0; // Guard against rounding.
+}
+
+Addr
+AppModel::nextAddr()
+{
+    if (phaseAccessesLeft_ == 0) {
+        enterPhase((phaseIdx_ + 1) % spec_.phases.size());
+    }
+    --phaseAccessesLeft_;
+
+    const PhaseSpec &phase = spec_.phases[phaseIdx_];
+    std::size_t pick = 0;
+    if (segStates_.size() > 1) {
+        const double x = rng_.uniform();
+        while (pick + 1 < cumWeights_.size() && x > cumWeights_[pick]) {
+            ++pick;
+        }
+    }
+
+    const SegmentSpec &seg = phase.segments[pick];
+    SegmentState &state = segStates_[pick];
+    std::uint64_t offset;
+    if (seg.pattern == AccessPattern::Sequential) {
+        offset = state.cursor;
+        state.cursor = (state.cursor + 1) % seg.lines;
+    } else {
+        offset = rng_.range(seg.lines);
+    }
+    return state.base + offset;
+}
+
+} // namespace vantage

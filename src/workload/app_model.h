@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Synthetic application models.
+ *
+ * The paper drives its evaluation with SPEC CPU2006 mixes, classified
+ * into four categories by their miss-rate-vs-capacity behavior
+ * (Table 3). We substitute parametric generators whose *measured*
+ * LRU miss curves have the same shapes:
+ *
+ *  - insensitive: small working set, low L2 MPKI at any size.
+ *  - cache-friendly: a mixture of differently sized reuse segments,
+ *    giving a gradually decreasing miss curve.
+ *  - cache-fitting: one dominant segment slightly under the cache
+ *    size, giving a sharp knee once the partition fits it.
+ *  - thrashing/streaming: reuse distances beyond any realistic
+ *    allocation; extra capacity never helps.
+ *
+ * An application is a looping sequence of phases; each phase is a
+ * weighted mixture of segments. A segment is a contiguous range of
+ * line addresses accessed either sequentially (cyclically — a sharp
+ * LRU step at its size) or uniformly at random (a smooth curve).
+ * Phase changes exercise UCP's transient behavior (paper Fig. 8).
+ *
+ * All addresses are namespaced per application instance, so mixes
+ * never share lines (as with SPEC multiprogrammed mixes).
+ */
+
+#ifndef VANTAGE_WORKLOAD_APP_MODEL_H_
+#define VANTAGE_WORKLOAD_APP_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "workload/access_stream.h"
+
+namespace vantage {
+
+/** Table 3 categories. */
+enum class Category : std::uint8_t {
+    Insensitive,   // 'n'
+    CacheFriendly, // 'f'
+    CacheFitting,  // 't'
+    Streaming,     // 's'
+};
+
+/** One-letter code used in mix names (paper Sec. 6.1 figures). */
+char categoryCode(Category c);
+
+/** How a segment's lines are visited. */
+enum class AccessPattern : std::uint8_t {
+    Sequential, ///< Cyclic walk: LRU step function at segment size.
+    Random,     ///< Uniform draws: smooth miss curve.
+};
+
+/** A contiguous region of reuse. */
+struct SegmentSpec
+{
+    std::uint64_t lines;   ///< Segment size in cache lines.
+    double weight;         ///< Probability mass within the phase.
+    AccessPattern pattern;
+};
+
+/** A stable program phase. */
+struct PhaseSpec
+{
+    std::uint64_t accesses; ///< Memory accesses before switching.
+    std::vector<SegmentSpec> segments;
+};
+
+/** A full application: name, category, intensity, phases. */
+struct AppSpec
+{
+    std::string name;
+    Category category;
+    /** Non-memory instructions between memory accesses. */
+    double instrPerMem;
+    std::vector<PhaseSpec> phases; ///< Looped forever.
+    /** Fraction of memory references that are stores. */
+    double storeFraction = 0.3;
+};
+
+/** Instantiated generator producing this app's reference stream. */
+class AppModel : public AccessStream
+{
+  public:
+    /**
+     * @param spec the application shape.
+     * @param app_id namespaces this instance's addresses.
+     * @param seed RNG seed (distinct seeds give distinct but
+     *        statistically identical instances).
+     */
+    AppModel(AppSpec spec, std::uint32_t app_id, std::uint64_t seed);
+
+    /** Next memory reference (a line address). */
+    Addr nextAddr();
+
+    /** AccessStream: next reference with its load/store type. */
+    MemRef
+    next() override
+    {
+        const Addr addr = nextAddr();
+        const AccessType type = rng_.chance(spec_.storeFraction)
+                                    ? AccessType::Store
+                                    : AccessType::Load;
+        return {addr, type};
+    }
+
+    /** Mean non-memory instructions between memory accesses. */
+    double instrPerMem() const override { return spec_.instrPerMem; }
+
+    const AppSpec &spec() const { return spec_; }
+    const std::string &name() const override { return spec_.name; }
+    Category category() const { return spec_.category; }
+
+  private:
+    struct SegmentState
+    {
+        Addr base;
+        std::uint64_t cursor = 0;
+    };
+
+    void enterPhase(std::size_t idx);
+
+    AppSpec spec_;
+    Rng rng_;
+    Addr nameSpace_;
+
+    std::size_t phaseIdx_ = 0;
+    std::uint64_t phaseAccessesLeft_ = 0;
+    std::vector<SegmentState> segStates_; ///< For the current phase.
+    std::vector<double> cumWeights_;      ///< Segment selection CDF.
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_WORKLOAD_APP_MODEL_H_

@@ -1,0 +1,69 @@
+#include "workload/mixes.h"
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "workload/profiles.h"
+
+namespace vantage {
+
+const std::vector<MixClass> &
+allMixClasses()
+{
+    static const std::vector<MixClass> classes = [] {
+        const std::array<Category, 4> cats = {
+            Category::Streaming, Category::CacheFitting,
+            Category::CacheFriendly, Category::Insensitive};
+        std::vector<MixClass> out;
+        // Combinations with repetition: indices a <= b <= c <= d.
+        for (std::size_t a = 0; a < 4; ++a) {
+            for (std::size_t b = a; b < 4; ++b) {
+                for (std::size_t c = b; c < 4; ++c) {
+                    for (std::size_t d = c; d < 4; ++d) {
+                        out.push_back({cats[a], cats[b], cats[c],
+                                       cats[d]});
+                    }
+                }
+            }
+        }
+        vantage_assert(out.size() == 35, "expected 35 classes");
+        return out;
+    }();
+    return classes;
+}
+
+std::vector<AppSpec>
+makeMix(std::uint32_t cls_idx, std::uint32_t cores_per_slot,
+        std::uint64_t seed)
+{
+    const auto &classes = allMixClasses();
+    vantage_assert(cls_idx < classes.size(),
+                   "class index %u out of range", cls_idx);
+    vantage_assert(cores_per_slot >= 1, "need at least 1 core/slot");
+
+    Rng rng(0xd15c0 + cls_idx * 1000003 + seed);
+    std::vector<AppSpec> apps;
+    for (const Category cat : classes[cls_idx]) {
+        const std::vector<AppSpec> pool = appsInCategory(cat);
+        vantage_assert(!pool.empty(), "empty category pool");
+        for (std::uint32_t k = 0; k < cores_per_slot; ++k) {
+            apps.push_back(pool[rng.range(pool.size())]);
+        }
+    }
+    return apps;
+}
+
+std::string
+mixName(std::uint32_t cls_idx, std::uint64_t seed)
+{
+    const auto &classes = allMixClasses();
+    vantage_assert(cls_idx < classes.size(),
+                   "class index %u out of range", cls_idx);
+    std::string name;
+    for (const Category cat : classes[cls_idx]) {
+        name.push_back(categoryCode(cat));
+    }
+    name += std::to_string(seed);
+    return name;
+}
+
+} // namespace vantage

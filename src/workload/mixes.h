@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Multiprogrammed mix generation (paper Sec. 5).
+ *
+ * The 29 profiles fall into 4 categories; the 35 possible
+ * combinations-with-repetition of 4 categories form the mix
+ * *classes*. A 4-core mix draws one random app per class slot; a
+ * 32-core mix draws 8 random apps per slot. With 10 seeds per class
+ * this reproduces the paper's 350-workload suites for both machine
+ * sizes.
+ */
+
+#ifndef VANTAGE_WORKLOAD_MIXES_H_
+#define VANTAGE_WORKLOAD_MIXES_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "workload/app_model.h"
+
+namespace vantage {
+
+/** A mix class: a sorted multiset of 4 categories. */
+using MixClass = std::array<Category, 4>;
+
+/** All 35 classes, in a fixed canonical order. */
+const std::vector<MixClass> &allMixClasses();
+
+/**
+ * Build one mix: `cores_per_slot` apps per class slot (1 for 4-core,
+ * 8 for 32-core), drawn uniformly from the slot's category.
+ *
+ * @param cls_idx class index in allMixClasses().
+ * @param cores_per_slot apps per category slot.
+ * @param seed deterministic draw seed (the paper's "10 mixes per
+ *        class" are seeds 0..9).
+ */
+std::vector<AppSpec> makeMix(std::uint32_t cls_idx,
+                             std::uint32_t cores_per_slot,
+                             std::uint64_t seed);
+
+/** Mix name in the paper's style, e.g. "ffnn3". */
+std::string mixName(std::uint32_t cls_idx, std::uint64_t seed);
+
+} // namespace vantage
+
+#endif // VANTAGE_WORKLOAD_MIXES_H_

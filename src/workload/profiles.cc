@@ -1,0 +1,172 @@
+#include "workload/profiles.h"
+
+#include "common/log.h"
+
+namespace vantage {
+
+namespace {
+
+constexpr std::uint64_t kKb = 16; ///< Lines per KB (64 B lines).
+constexpr std::uint64_t kMb = kLinesPerMb;
+
+/** Single-phase app with one segment. */
+AppSpec
+mono(const char *name, Category cat, double ipm, std::uint64_t lines,
+     AccessPattern pat)
+{
+    return AppSpec{name, cat, ipm,
+                   {PhaseSpec{1u << 20, {{lines, 1.0, pat}}}}};
+}
+
+/** Single-phase app with an explicit segment mixture. */
+AppSpec
+mix(const char *name, Category cat, double ipm,
+    std::vector<SegmentSpec> segs)
+{
+    return AppSpec{name, cat, ipm,
+                   {PhaseSpec{1u << 20, std::move(segs)}}};
+}
+
+std::vector<AppSpec>
+buildLibrary()
+{
+    std::vector<AppSpec> lib;
+    const auto seq = AccessPattern::Sequential;
+    const auto rnd = AccessPattern::Random;
+
+    // ------------------------------------------------------------
+    // Insensitive ('n'): < 5 L2 MPKI at every cache size. Small
+    // working sets — many fit mostly in the L1 — and mild intensity.
+    // ------------------------------------------------------------
+    lib.push_back(mono("perlbench", Category::Insensitive, 6.0,
+                       24 * kKb, rnd));
+    lib.push_back(mono("bwaves", Category::Insensitive, 5.0,
+                       32 * kKb, seq));
+    lib.push_back(mono("gamess", Category::Insensitive, 8.0,
+                       12 * kKb, rnd));
+    lib.push_back(mono("gromacs", Category::Insensitive, 7.0,
+                       20 * kKb, rnd));
+    lib.push_back(mono("namd", Category::Insensitive, 6.5,
+                       28 * kKb, seq));
+    lib.push_back(mix("gobmk", Category::Insensitive, 7.5,
+                      {{8 * kKb, 0.7, rnd}, {40 * kKb, 0.3, rnd}}));
+    lib.push_back(mono("dealII", Category::Insensitive, 6.0,
+                       48 * kKb, rnd));
+    lib.push_back(mono("povray", Category::Insensitive, 9.0,
+                       10 * kKb, rnd));
+    lib.push_back(mono("calculix", Category::Insensitive, 7.0,
+                       36 * kKb, seq));
+    lib.push_back(mix("hmmer", Category::Insensitive, 5.5,
+                      {{16 * kKb, 0.8, seq}, {48 * kKb, 0.2, rnd}}));
+    lib.push_back(mono("sjeng", Category::Insensitive, 8.0,
+                       44 * kKb, rnd));
+    lib.push_back(mono("h264ref", Category::Insensitive, 6.0,
+                       30 * kKb, rnd));
+    lib.push_back(mono("tonto", Category::Insensitive, 7.0,
+                       26 * kKb, rnd));
+    lib.push_back(mono("wrf", Category::Insensitive, 5.0,
+                       52 * kKb, seq));
+
+    // ------------------------------------------------------------
+    // Cache-friendly ('f'): gradually benefit from 64 KB up to
+    // ~4 MB. Mixtures of random segments spread across sizes make a
+    // smooth, steadily decreasing miss curve.
+    // ------------------------------------------------------------
+    lib.push_back(mix("bzip2", Category::CacheFriendly, 4.0,
+                      {{8 * kKb, 1.00, rnd},
+                       {kMb / 8, 0.40, rnd},
+                       {kMb / 2, 0.30, rnd},
+                       {2 * kMb, 0.20, rnd},
+                       {4 * kMb, 0.10, rnd}}));
+    lib.push_back(mix("gcc", Category::CacheFriendly, 4.5,
+                      {{6 * kKb, 1.00, rnd},
+                       {kMb / 4, 0.35, rnd},
+                       {1 * kMb, 0.35, rnd},
+                       {3 * kMb, 0.30, rnd}}));
+    lib.push_back(mix("zeusmp", Category::CacheFriendly, 3.5,
+                      {{10 * kKb, 1.00, rnd},
+                       {kMb / 8, 0.30, rnd},
+                       {kMb, 0.40, rnd},
+                       {4 * kMb, 0.30, rnd}}));
+    lib.push_back(mix("cactusADM", Category::CacheFriendly, 4.0,
+                      {{8 * kKb, 1.00, rnd},
+                       {kMb / 4, 0.45, rnd},
+                       {2 * kMb, 0.35, rnd},
+                       {6 * kMb, 0.20, rnd}}));
+    lib.push_back(mix("leslie3d", Category::CacheFriendly, 3.0,
+                      {{12 * kKb, 1.00, rnd},
+                       {kMb / 2, 0.50, rnd},
+                       {2 * kMb, 0.30, rnd},
+                       {5 * kMb, 0.20, rnd}}));
+    lib.push_back(mix("astar", Category::CacheFriendly, 5.0,
+                      {{8 * kKb, 1.00, rnd},
+                       {kMb / 8, 0.35, rnd},
+                       {kMb / 2, 0.25, rnd},
+                       {kMb, 0.20, rnd},
+                       {3 * kMb, 0.20, rnd}}));
+
+    // ------------------------------------------------------------
+    // Cache-fitting ('t'): sharp miss drop once the dominant working
+    // set (> 1 MB) fits. One big sequential (cyclic) segment plus a
+    // small hot region.
+    // ------------------------------------------------------------
+    lib.push_back(mix("soplex", Category::CacheFitting, 3.5,
+                      {{5 * kMb / 4, 0.6, seq}, {4 * kKb, 0.4, rnd}}));
+    lib.push_back(mix("lbm", Category::CacheFitting, 3.0,
+                      {{3 * kMb / 2, 0.65, seq}, {8 * kKb, 0.35, rnd}}));
+    lib.push_back(mix("omnetpp", Category::CacheFitting, 4.0,
+                      {{11 * kMb / 8, 0.6, seq}, {16 * kKb, 0.4, rnd}}));
+    lib.push_back(mix("sphinx3", Category::CacheFitting, 3.5,
+                      {{7 * kMb / 4, 0.65, seq}, {8 * kKb, 0.35, rnd}}));
+    lib.push_back(mix("xalancbmk", Category::CacheFitting, 4.5,
+                      {{9 * kMb / 8, 0.6, seq}, {12 * kKb, 0.4, rnd}}));
+
+    // ------------------------------------------------------------
+    // Thrashing/streaming ('s'): reuse distances beyond any realistic
+    // allocation; extra capacity never helps. High intensity.
+    // ------------------------------------------------------------
+    lib.push_back(mix("mcf", Category::Streaming, 2.0,
+                      {{64 * kMb, 0.6, rnd}, {4 * kKb, 0.4, rnd}}));
+    lib.push_back(mix("milc", Category::Streaming, 2.5,
+                      {{16 * kMb, 0.6, seq}, {4 * kKb, 0.4, rnd}}));
+    lib.push_back(mix("GemsFDTD", Category::Streaming, 3.0,
+                      {{20 * kMb, 0.65, seq}, {6 * kKb, 0.35, rnd}}));
+    lib.push_back(mix("libquantum", Category::Streaming, 2.0,
+                      {{32 * kMb, 0.7, seq}, {4 * kKb, 0.3, rnd}}));
+
+    return lib;
+}
+
+} // namespace
+
+const std::vector<AppSpec> &
+appLibrary()
+{
+    static const std::vector<AppSpec> lib = buildLibrary();
+    return lib;
+}
+
+std::vector<AppSpec>
+appsInCategory(Category c)
+{
+    std::vector<AppSpec> out;
+    for (const auto &app : appLibrary()) {
+        if (app.category == c) {
+            out.push_back(app);
+        }
+    }
+    return out;
+}
+
+const AppSpec &
+appByName(const std::string &name)
+{
+    for (const auto &app : appLibrary()) {
+        if (app.name == name) {
+            return app;
+        }
+    }
+    fatal("unknown application profile '%s'", name.c_str());
+}
+
+} // namespace vantage

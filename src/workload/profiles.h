@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The application library: 29 synthetic profiles named after the
+ * SPEC CPU2006 programs of the paper's Table 3, one per program,
+ * with the category's characteristic miss-curve shape.
+ *
+ * Working-set sizes assume 64-byte lines (1 MB = 16384 lines) and are
+ * chosen so the knees/gradients land where Table 3's classification
+ * puts them: insensitive apps stay under 5 L2 misses per
+ * kilo-instruction at any cache size, cache-friendly apps improve
+ * gradually up to ~4 MB, cache-fitting apps have a sharp drop between
+ * 1 and 2 MB, and streaming apps never benefit.
+ */
+
+#ifndef VANTAGE_WORKLOAD_PROFILES_H_
+#define VANTAGE_WORKLOAD_PROFILES_H_
+
+#include <vector>
+
+#include "workload/app_model.h"
+
+namespace vantage {
+
+/** All 29 application profiles (Table 3). */
+const std::vector<AppSpec> &appLibrary();
+
+/** Profiles belonging to one category. */
+std::vector<AppSpec> appsInCategory(Category c);
+
+/** Look up a profile by name; fatal() if unknown. */
+const AppSpec &appByName(const std::string &name);
+
+/** Lines per megabyte with 64-byte lines. */
+constexpr std::uint64_t kLinesPerMb = 16384;
+
+} // namespace vantage
+
+#endif // VANTAGE_WORKLOAD_PROFILES_H_

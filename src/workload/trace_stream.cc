@@ -1,0 +1,86 @@
+#include "workload/trace_stream.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace vantage {
+
+TraceStream::TraceStream(std::string name, std::vector<MemRef> refs,
+                         double instr_per_mem)
+    : name_(std::move(name)), refs_(std::move(refs)),
+      instrPerMem_(instr_per_mem)
+{
+    if (refs_.empty()) {
+        fatal("trace '%s' contains no references", name_.c_str());
+    }
+}
+
+TraceStream
+TraceStream::fromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        fatal("cannot open trace file '%s'", path.c_str());
+    }
+    return fromStream(in, path);
+}
+
+TraceStream
+TraceStream::fromStream(std::istream &in, const std::string &name)
+{
+    std::vector<MemRef> refs;
+    double instr_per_mem = 4.0;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty()) {
+            continue;
+        }
+        if (line[0] == '#') {
+            std::istringstream hdr(line.substr(1));
+            std::string key;
+            hdr >> key;
+            if (key == "instr_per_mem") {
+                hdr >> instr_per_mem;
+                if (!hdr || instr_per_mem < 0.0) {
+                    fatal("%s:%zu: bad instr_per_mem directive",
+                          name.c_str(), lineno);
+                }
+            }
+            continue; // Other '#' lines are comments.
+        }
+        std::istringstream rec(line);
+        std::string addr_str, type_str;
+        rec >> addr_str >> type_str;
+        MemRef ref{};
+        try {
+            ref.addr = std::stoull(addr_str, nullptr, 16);
+        } catch (const std::exception &) {
+            fatal("%s:%zu: bad address '%s'", name.c_str(), lineno,
+                  addr_str.c_str());
+        }
+        if (type_str.empty() || type_str == "L" || type_str == "l") {
+            ref.type = AccessType::Load;
+        } else if (type_str == "S" || type_str == "s") {
+            ref.type = AccessType::Store;
+        } else {
+            fatal("%s:%zu: bad access type '%s'", name.c_str(),
+                  lineno, type_str.c_str());
+        }
+        refs.push_back(ref);
+    }
+    return TraceStream(name, std::move(refs), instr_per_mem);
+}
+
+MemRef
+TraceStream::next()
+{
+    const MemRef ref = refs_[cursor_];
+    cursor_ = (cursor_ + 1) % refs_.size();
+    return ref;
+}
+
+} // namespace vantage

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Trace replay: run the simulator on recorded address streams.
+ *
+ * Format (plain text, one record per line):
+ *
+ *     # instr_per_mem 3.5        <- optional header directives
+ *     1a2b3c L                   <- hex line address, L(oad)/S(tore)
+ *     1a2b3d S
+ *     400                        <- type defaults to Load
+ *
+ * Lines starting with '#' are directives or comments. The trace loops
+ * when exhausted (the simulator's runs are fixed-length); a trace
+ * must contain at least one record.
+ */
+
+#ifndef VANTAGE_WORKLOAD_TRACE_STREAM_H_
+#define VANTAGE_WORKLOAD_TRACE_STREAM_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/access_stream.h"
+
+namespace vantage {
+
+/** Replays a recorded reference trace, looping at the end. */
+class TraceStream : public AccessStream
+{
+  public:
+    /** Parse from a file on disk. fatal() on missing/empty traces. */
+    static TraceStream fromFile(const std::string &path);
+
+    /** Parse from any istream (testing, embedded traces). */
+    static TraceStream fromStream(std::istream &in,
+                                  const std::string &name);
+
+    MemRef next() override;
+    double instrPerMem() const override { return instrPerMem_; }
+    const std::string &name() const override { return name_; }
+
+    std::size_t records() const { return refs_.size(); }
+
+  private:
+    TraceStream(std::string name, std::vector<MemRef> refs,
+                double instr_per_mem);
+
+    std::string name_;
+    std::vector<MemRef> refs_;
+    double instrPerMem_;
+    std::size_t cursor_ = 0;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_WORKLOAD_TRACE_STREAM_H_

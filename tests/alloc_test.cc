@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Tests for the allocation layer: UMON-DSS, UMON-RRIP, Lookahead,
+ * and the UCP policy wrapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "alloc/lookahead.h"
+#include "alloc/ucp.h"
+#include "alloc/umon.h"
+#include "alloc/umon_rrip.h"
+#include "common/rng.h"
+
+namespace vantage {
+namespace {
+
+// ---------------------------------------------------------------
+// Umon
+// ---------------------------------------------------------------
+
+TEST(Umon, CountsStackPositions)
+{
+    // Monitor everything: sampled == modeled == 1 set.
+    Umon umon(4, 1, 1);
+    umon.access(10); // Miss.
+    umon.access(10); // Hit at MRU (position 0).
+    umon.access(20); // Miss.
+    umon.access(10); // Hit at position 1.
+    EXPECT_EQ(umon.misses(), 2u);
+    EXPECT_EQ(umon.hitsUpTo(1), 1u);
+    EXPECT_EQ(umon.hitsUpTo(2), 2u);
+}
+
+TEST(Umon, LruStackProperty)
+{
+    // Inclusion property: hits at position p imply an allocation of
+    // p+1 ways captures them; the curve is non-decreasing.
+    Umon umon(8, 1, 1);
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        umon.access(rng.range(16));
+    }
+    const auto curve = umon.utilityCurve();
+    for (std::size_t w = 1; w < curve.size(); ++w) {
+        EXPECT_GE(curve[w], curve[w - 1]);
+    }
+}
+
+TEST(Umon, EvictsBeyondWays)
+{
+    Umon umon(2, 1, 1);
+    umon.access(1);
+    umon.access(2);
+    umon.access(3); // Evicts 1.
+    umon.access(1); // Miss again.
+    EXPECT_EQ(umon.misses(), 4u);
+    EXPECT_EQ(umon.hitsUpTo(2), 0u);
+}
+
+TEST(Umon, SamplesSubsetOfSets)
+{
+    Umon umon(4, 4, 64);
+    Rng rng(5);
+    for (int i = 0; i < 100000; ++i) {
+        umon.access(rng.next() >> 8);
+    }
+    // ~4/64 of accesses should be sampled.
+    EXPECT_NEAR(static_cast<double>(umon.sampledAccesses()), 6250.0,
+                1200.0);
+}
+
+TEST(Umon, CurveScalesBySamplingFactor)
+{
+    Umon umon(4, 4, 64);
+    Rng rng(7);
+    // Working set of 64 lines re-used heavily: big hit counts.
+    for (int i = 0; i < 100000; ++i) {
+        umon.access(rng.range(64));
+    }
+    const auto curve = umon.utilityCurve();
+    // Scaled hits should approximate total hits across the cache.
+    EXPECT_GT(curve[4], 100000.0 * 0.5);
+}
+
+TEST(Umon, AgeHalvesCounters)
+{
+    Umon umon(4, 1, 1);
+    umon.access(1);
+    umon.access(1);
+    umon.access(1);
+    EXPECT_EQ(umon.hitsUpTo(4), 2u);
+    umon.ageCounters();
+    EXPECT_EQ(umon.hitsUpTo(4), 1u);
+}
+
+TEST(Umon, InterpolatedCurveEndpoints)
+{
+    Umon umon(4, 1, 1);
+    Rng rng(9);
+    for (int i = 0; i < 5000; ++i) {
+        umon.access(rng.range(8));
+    }
+    const auto base = umon.utilityCurve();
+    const auto fine = umon.interpolatedCurve(256);
+    ASSERT_EQ(fine.size(), 257u);
+    EXPECT_DOUBLE_EQ(fine.front(), base.front());
+    EXPECT_DOUBLE_EQ(fine.back(), base.back());
+    // Way-aligned points match exactly.
+    EXPECT_DOUBLE_EQ(fine[64], base[1]);
+    EXPECT_DOUBLE_EQ(fine[128], base[2]);
+    // Interpolation is monotone for monotone inputs.
+    for (std::size_t i = 1; i < fine.size(); ++i) {
+        EXPECT_GE(fine[i], fine[i - 1]);
+    }
+}
+
+// ---------------------------------------------------------------
+// UmonRrip
+// ---------------------------------------------------------------
+
+TEST(UmonRrip, CountsHitsAndDuels)
+{
+    UmonRrip umon(4, 2, 2);
+    // Set 0 = SRRIP, set 1 = BRRIP (parity rule); feed reuse traffic.
+    Rng rng(11);
+    for (int i = 0; i < 20000; ++i) {
+        umon.access(rng.range(8));
+    }
+    EXPECT_GT(umon.srripHits() + umon.brripHits(), 0u);
+    const auto curve = umon.utilityCurve();
+    for (std::size_t w = 1; w < curve.size(); ++w) {
+        EXPECT_GE(curve[w], curve[w - 1]);
+    }
+}
+
+TEST(UmonRrip, AgeHalves)
+{
+    UmonRrip umon(4, 2, 2);
+    umon.access(1);
+    umon.access(1);
+    umon.access(1);
+    const auto before = umon.srripHits() + umon.brripHits();
+    umon.ageCounters();
+    EXPECT_EQ(umon.srripHits() + umon.brripHits(), before / 2);
+}
+
+// ---------------------------------------------------------------
+// lookaheadAllocate
+// ---------------------------------------------------------------
+
+TEST(Lookahead, LinearCurvesSplitBySlope)
+{
+    // Two linear curves; the steeper one takes everything above the
+    // minimum.
+    std::vector<std::vector<double>> curves(2);
+    for (int u = 0; u <= 16; ++u) {
+        curves[0].push_back(10.0 * u);
+        curves[1].push_back(1.0 * u);
+    }
+    const auto alloc = lookaheadAllocate(curves, 16, 1);
+    EXPECT_EQ(alloc[0], 15u);
+    EXPECT_EQ(alloc[1], 1u);
+}
+
+TEST(Lookahead, SumsToTotal)
+{
+    Rng rng(13);
+    std::vector<std::vector<double>> curves(4);
+    for (auto &c : curves) {
+        double acc = 0.0;
+        c.push_back(0.0);
+        for (int u = 1; u <= 64; ++u) {
+            acc += rng.uniform();
+            c.push_back(acc);
+        }
+    }
+    const auto alloc = lookaheadAllocate(curves, 64, 1);
+    std::uint32_t total = 0;
+    for (const auto a : alloc) {
+        EXPECT_GE(a, 1u);
+        total += a;
+    }
+    EXPECT_EQ(total, 64u);
+}
+
+TEST(Lookahead, SeesPastPlateau)
+{
+    // Partition 0: no gain until 8 units, then a huge jump (a
+    // cache-fitting app). Partition 1: small constant slope. Plain
+    // hill climbing would starve partition 0; Lookahead must not.
+    std::vector<std::vector<double>> curves(2);
+    for (int u = 0; u <= 16; ++u) {
+        curves[0].push_back(u >= 8 ? 1000.0 : 0.0);
+        curves[1].push_back(10.0 * u);
+    }
+    const auto alloc = lookaheadAllocate(curves, 16, 1);
+    EXPECT_GE(alloc[0], 8u) << "lookahead must jump the plateau";
+}
+
+TEST(Lookahead, FlatCurvesStillAssignEverything)
+{
+    std::vector<std::vector<double>> curves(3,
+                                            std::vector<double>(17,
+                                                                0.0));
+    const auto alloc = lookaheadAllocate(curves, 16, 1);
+    std::uint32_t total = 0;
+    for (const auto a : alloc) total += a;
+    EXPECT_EQ(total, 16u);
+}
+
+TEST(Lookahead, RespectsMinimum)
+{
+    std::vector<std::vector<double>> curves(4);
+    for (int p = 0; p < 4; ++p) {
+        for (int u = 0; u <= 32; ++u) {
+            curves[p].push_back(p == 0 ? 100.0 * u : 0.0);
+        }
+    }
+    const auto alloc = lookaheadAllocate(curves, 32, 2);
+    for (const auto a : alloc) {
+        EXPECT_GE(a, 2u);
+    }
+    EXPECT_EQ(alloc[0], 26u);
+}
+
+TEST(Lookahead, FineGrainQuantum)
+{
+    std::vector<std::vector<double>> curves(2);
+    for (int u = 0; u <= 256; ++u) {
+        curves[0].push_back(2.0 * u);
+        curves[1].push_back(1.0 * u);
+    }
+    const auto alloc = lookaheadAllocate(curves, 256, 1);
+    EXPECT_EQ(alloc[0] + alloc[1], 256u);
+    EXPECT_GT(alloc[0], 200u);
+}
+
+TEST(LookaheadDeath, ImpossibleMinimumPanics)
+{
+    std::vector<std::vector<double>> curves(4,
+                                            std::vector<double>(17,
+                                                                0.0));
+    EXPECT_DEATH(lookaheadAllocate(curves, 8, 4), "exceeds");
+}
+
+// ---------------------------------------------------------------
+// Ucp
+// ---------------------------------------------------------------
+
+TEST(Ucp, AllocatesMoreToUtilityHeavyCore)
+{
+    UcpConfig cfg;
+    cfg.umonWays = 16;
+    cfg.umonSets = 64;
+    cfg.modeledSets = 64; // Sample everything for the test.
+    Ucp ucp(2, cfg);
+
+    Rng rng(17);
+    // Core 0: strong reuse over a working set that needs many ways;
+    // core 1: pure streaming (no reuse at all).
+    for (int i = 0; i < 200000; ++i) {
+        ucp.observe(0, rng.range(768));
+        ucp.observe(1, rng.next() >> 8);
+    }
+    const auto alloc = ucp.computeAllocations(16, 1);
+    EXPECT_GT(alloc[0], 10u);
+    EXPECT_EQ(alloc[0] + alloc[1], 16u);
+}
+
+TEST(Ucp, FineQuantumForVantage)
+{
+    UcpConfig cfg;
+    cfg.umonWays = 16;
+    cfg.umonSets = 64;
+    cfg.modeledSets = 64;
+    Ucp ucp(2, cfg);
+    Rng rng(19);
+    for (int i = 0; i < 100000; ++i) {
+        ucp.observe(0, rng.range(512));
+        ucp.observe(1, rng.next() >> 8);
+    }
+    const auto alloc = ucp.computeAllocations(256, 1);
+    EXPECT_EQ(alloc.size(), 2u);
+    EXPECT_EQ(alloc[0] + alloc[1], 256u);
+    EXPECT_GT(alloc[0], 128u);
+}
+
+TEST(Ucp, RripMonitorsDuel)
+{
+    UcpConfig cfg;
+    cfg.umonWays = 8;
+    cfg.umonSets = 64;
+    cfg.modeledSets = 64;
+    cfg.rripMonitors = true;
+    Ucp ucp(1, cfg);
+    Rng rng(23);
+    for (int i = 0; i < 50000; ++i) {
+        ucp.observe(0, rng.range(128));
+    }
+    const auto choices = ucp.brripChoices();
+    ASSERT_EQ(choices.size(), 1u);
+    // Reuse-friendly traffic: either policy hits, but the call works
+    // and the curves are sane.
+    const auto alloc = ucp.computeAllocations(8, 1);
+    EXPECT_EQ(alloc[0], 8u);
+}
+
+TEST(UcpDeath, BadCorePanics)
+{
+    Ucp ucp(2, UcpConfig{});
+    EXPECT_DEATH(ucp.observe(5, 1), "out of range");
+}
+
+} // namespace
+} // namespace vantage

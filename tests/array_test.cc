@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Tests for the cache arrays: set-associative, zcache (walk and
+ * relocation), and the idealized random-candidates array.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "array/random_array.h"
+#include "array/set_assoc.h"
+#include "array/zarray.h"
+#include "common/rng.h"
+
+namespace vantage {
+namespace {
+
+/** Install addr, preferring an empty candidate slot (warmup fill). */
+void
+fillInsert(CacheArray &arr, Addr a, std::vector<Candidate> &cands)
+{
+    arr.candidates(a, cands);
+    std::int32_t victim = 0;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        if (!arr.line(cands[i].slot).valid()) {
+            victim = static_cast<std::int32_t>(i);
+            break;
+        }
+    }
+    arr.replace(a, cands, victim);
+}
+
+// ---------------------------------------------------------------
+// SetAssocArray
+// ---------------------------------------------------------------
+
+TEST(SetAssocArray, GeometryChecks)
+{
+    SetAssocArray arr(1024, 16);
+    EXPECT_EQ(arr.numLines(), 1024u);
+    EXPECT_EQ(arr.numWays(), 16u);
+    EXPECT_EQ(arr.numSets(), 64u);
+    EXPECT_EQ(arr.numCandidates(), 16u);
+}
+
+TEST(SetAssocArray, LookupMissesOnEmpty)
+{
+    SetAssocArray arr(256, 4);
+    EXPECT_EQ(arr.lookup(0x1234), kInvalidLine);
+}
+
+TEST(SetAssocArray, InstallThenLookup)
+{
+    SetAssocArray arr(256, 4);
+    std::vector<Candidate> cands;
+    arr.candidates(0x42, cands);
+    ASSERT_EQ(cands.size(), 4u);
+    const LineId slot = arr.replace(0x42, cands, 0);
+    EXPECT_EQ(arr.line(slot).addr, 0x42u);
+    EXPECT_EQ(arr.lookup(0x42), slot);
+}
+
+TEST(SetAssocArray, CandidatesAreTheMappedSet)
+{
+    SetAssocArray arr(256, 4);
+    std::vector<Candidate> cands;
+    arr.candidates(0x99, cands);
+    const std::uint64_t set = arr.setOf(0x99);
+    for (std::uint32_t w = 0; w < 4; ++w) {
+        EXPECT_EQ(cands[w].slot, set * 4 + w);
+        EXPECT_EQ(cands[w].parent, -1);
+    }
+}
+
+TEST(SetAssocArray, WayOfIsConsistent)
+{
+    SetAssocArray arr(256, 4);
+    for (LineId s = 0; s < 256; ++s) {
+        EXPECT_EQ(arr.wayOf(s), s % 4);
+    }
+}
+
+TEST(SetAssocArray, UnhashedUsesLowBits)
+{
+    SetAssocArray arr(256, 4, /*hash_index=*/false);
+    EXPECT_EQ(arr.setOf(0), 0u);
+    EXPECT_EQ(arr.setOf(63), 63u);
+    EXPECT_EQ(arr.setOf(64), 0u);
+}
+
+TEST(SetAssocArray, HashedIndexSpreadsStridedAddresses)
+{
+    // A pathological power-of-two stride maps to one set unhashed but
+    // spreads with H3 — the reason modern LLCs hash (Sec. 2).
+    SetAssocArray hashed(1024, 4, true);
+    std::set<std::uint64_t> sets;
+    for (Addr a = 0; a < 64; ++a) {
+        sets.insert(hashed.setOf(a * 256));
+    }
+    EXPECT_GT(sets.size(), 32u);
+}
+
+TEST(SetAssocArray, EvictionReplacesVictim)
+{
+    SetAssocArray arr(16, 4, false);
+    std::vector<Candidate> cands;
+    // Fill set 0 (addresses 0, 4, 8, 12 with 4 sets).
+    for (Addr a = 0; a < 16; a += 4) {
+        arr.candidates(a, cands);
+        std::int32_t victim = -1;
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+            if (!arr.line(cands[i].slot).valid()) {
+                victim = static_cast<std::int32_t>(i);
+                break;
+            }
+        }
+        ASSERT_GE(victim, 0);
+        arr.replace(a, cands, victim);
+    }
+    // Set 0 full; replacing evicts exactly the chosen victim.
+    arr.candidates(16, cands);
+    const Addr evicted = arr.line(cands[2].slot).addr;
+    arr.replace(16, cands, 2);
+    EXPECT_EQ(arr.lookup(evicted), kInvalidLine);
+    EXPECT_NE(arr.lookup(16), kInvalidLine);
+}
+
+// ---------------------------------------------------------------
+// ZArray
+// ---------------------------------------------------------------
+
+TEST(ZArray, WalkProducesExactlyR)
+{
+    ZArray arr(4096, 4, 52);
+    // Fill the array so the walk can expand fully.
+    Rng rng(7);
+    std::vector<Candidate> cands;
+    for (int i = 0; i < 20000; ++i) {
+        const Addr a = rng.next() >> 8;
+        if (arr.lookup(a) != kInvalidLine) continue;
+        fillInsert(arr, a, cands);
+    }
+    arr.candidates(0xdeadbeef, cands);
+    EXPECT_EQ(cands.size(), 52u);
+}
+
+TEST(ZArray, SkewAssociativeIsFirstLevelOnly)
+{
+    auto skew = ZArray::makeSkewAssociative(4096, 4);
+    std::vector<Candidate> cands;
+    skew->candidates(0x1234, cands);
+    EXPECT_LE(cands.size(), 4u);
+    for (const auto &c : cands) {
+        EXPECT_EQ(c.parent, -1);
+    }
+}
+
+TEST(ZArray, CandidateSlotsAreUnique)
+{
+    ZArray arr(4096, 4, 52);
+    Rng rng(3);
+    std::vector<Candidate> cands;
+    for (int i = 0; i < 20000; ++i) {
+        const Addr a = rng.next() >> 8;
+        if (arr.lookup(a) != kInvalidLine) continue;
+        arr.candidates(a, cands);
+        std::set<LineId> slots;
+        for (const auto &c : cands) {
+            EXPECT_TRUE(slots.insert(c.slot).second)
+                << "duplicate slot in walk";
+        }
+        fillInsert(arr, a, cands);
+    }
+}
+
+TEST(ZArray, ParentChainsAreWellFormed)
+{
+    ZArray arr(1024, 4, 16);
+    Rng rng(11);
+    std::vector<Candidate> cands;
+    for (int i = 0; i < 5000; ++i) {
+        const Addr a = rng.next() >> 8;
+        if (arr.lookup(a) != kInvalidLine) continue;
+        arr.candidates(a, cands);
+        for (std::size_t j = 0; j < cands.size(); ++j) {
+            // Parents precede children (BFS order).
+            EXPECT_LT(cands[j].parent, static_cast<std::int32_t>(j));
+            EXPECT_GE(cands[j].parent, -1);
+        }
+        fillInsert(arr, a, cands);
+    }
+}
+
+/**
+ * The crucial zcache property: after any replacement (including
+ * multi-level relocations), every cached line must still be reachable
+ * by lookup. This exercises the relocation chain logic heavily.
+ */
+TEST(ZArray, RelocationPreservesAllResidents)
+{
+    ZArray arr(512, 4, 16);
+    Rng rng(23);
+    std::unordered_set<Addr> resident;
+    std::vector<Candidate> cands;
+
+    for (int i = 0; i < 30000; ++i) {
+        const Addr a = (rng.next() >> 8) % 4096 + 1;
+        if (arr.lookup(a) != kInvalidLine) {
+            continue; // A hit; nothing changes.
+        }
+        arr.candidates(a, cands);
+        // Pick a random victim, exercising all chain depths.
+        const auto victim = static_cast<std::int32_t>(
+            rng.range(cands.size()));
+        const Line &victim_line = arr.line(cands[victim].slot);
+        if (victim_line.valid()) {
+            resident.erase(victim_line.addr);
+        }
+        arr.replace(a, cands, victim);
+        resident.insert(a);
+
+        if (i % 1000 == 0) {
+            for (const Addr r : resident) {
+                EXPECT_NE(arr.lookup(r), kInvalidLine)
+                    << "line lost after relocation";
+            }
+        }
+    }
+    EXPECT_EQ(resident.size(), 512u) << "array should be full";
+}
+
+TEST(ZArray, RelocationMovesMetadata)
+{
+    ZArray arr(512, 4, 16);
+    Rng rng(29);
+    std::unordered_map<Addr, std::uint8_t> tag;
+    std::vector<Candidate> cands;
+
+    for (int i = 0; i < 20000; ++i) {
+        const Addr a = (rng.next() >> 8) % 4096 + 1;
+        if (arr.lookup(a) != kInvalidLine) continue;
+        arr.candidates(a, cands);
+        const auto victim = static_cast<std::int32_t>(
+            rng.range(cands.size()));
+        const Line &victim_line = arr.line(cands[victim].slot);
+        if (victim_line.valid()) {
+            tag.erase(victim_line.addr);
+        }
+        const LineId root = arr.replace(a, cands, victim);
+        const auto mark = static_cast<std::uint8_t>(rng.range(256));
+        arr.line(root).rank = mark;
+        tag[a] = mark;
+    }
+    for (const auto &[addr, mark] : tag) {
+        const LineId slot = arr.lookup(addr);
+        ASSERT_NE(slot, kInvalidLine);
+        EXPECT_EQ(arr.line(slot).rank, mark)
+            << "metadata did not travel with the line";
+    }
+}
+
+TEST(ZArray, Z452WalkLevels)
+{
+    // With W = 4, the BFS yields 4 + 12 + 36 = 52 candidates in three
+    // levels — the paper's Z4/52 design point.
+    ZArray arr(1u << 14, 4, 52);
+    Rng rng(31);
+    std::vector<Candidate> cands;
+    for (int i = 0; i < 60000; ++i) {
+        const Addr a = rng.next() >> 4;
+        if (arr.lookup(a) != kInvalidLine) continue;
+        fillInsert(arr, a, cands);
+    }
+    arr.candidates(0xabcdef, cands);
+    ASSERT_EQ(cands.size(), 52u);
+    int roots = 0;
+    for (const auto &c : cands) {
+        if (c.parent == -1) ++roots;
+    }
+    EXPECT_EQ(roots, 4);
+}
+
+// ---------------------------------------------------------------
+// RandomArray
+// ---------------------------------------------------------------
+
+TEST(RandomArray, FillsSequentiallyThenRandom)
+{
+    RandomArray arr(64, 8);
+    std::vector<Candidate> cands;
+    for (Addr a = 1; a <= 64; ++a) {
+        arr.candidates(a, cands);
+        ASSERT_EQ(cands.size(), 8u);
+        // The leading candidate is the next free slot during warmup.
+        EXPECT_FALSE(arr.line(cands[0].slot).valid());
+        arr.replace(a, cands, 0);
+    }
+    arr.candidates(1000, cands);
+    EXPECT_EQ(cands.size(), 8u);
+    EXPECT_TRUE(arr.line(cands[0].slot).valid()) << "array is full";
+}
+
+TEST(RandomArray, LookupTracksReplacements)
+{
+    RandomArray arr(64, 8, 5);
+    Rng rng(17);
+    std::unordered_set<Addr> resident;
+    std::vector<Candidate> cands;
+    for (int i = 0; i < 5000; ++i) {
+        const Addr a = rng.range(512) + 1;
+        if (arr.lookup(a) != kInvalidLine) continue;
+        arr.candidates(a, cands);
+        const auto victim = static_cast<std::int32_t>(
+            rng.range(cands.size()));
+        const Line &v = arr.line(cands[victim].slot);
+        if (v.valid()) resident.erase(v.addr);
+        arr.replace(a, cands, victim);
+        resident.insert(a);
+    }
+    for (const Addr r : resident) {
+        EXPECT_NE(arr.lookup(r), kInvalidLine);
+    }
+    EXPECT_EQ(resident.size(), 64u);
+}
+
+TEST(RandomArray, CandidatesAreDistinct)
+{
+    RandomArray arr(64, 16, 9);
+    std::vector<Candidate> cands;
+    // Fill.
+    for (Addr a = 1; a <= 64; ++a) {
+        arr.candidates(a, cands);
+        arr.replace(a, cands, 0);
+    }
+    for (int i = 0; i < 100; ++i) {
+        arr.candidates(1, cands);
+        std::set<LineId> slots;
+        for (const auto &c : cands) {
+            EXPECT_TRUE(slots.insert(c.slot).second);
+        }
+    }
+}
+
+/**
+ * Uniformity check: over many draws, every slot should appear as a
+ * candidate with roughly equal frequency (this is the assumption the
+ * whole analysis rests on).
+ */
+TEST(RandomArray, CandidateDrawsAreUniform)
+{
+    RandomArray arr(256, 16, 13);
+    std::vector<Candidate> cands;
+    for (Addr a = 1; a <= 256; ++a) {
+        arr.candidates(a, cands);
+        arr.replace(a, cands, 0);
+    }
+    std::vector<std::uint64_t> counts(256, 0);
+    const int draws = 20000;
+    for (int i = 0; i < draws; ++i) {
+        arr.candidates(0, cands);
+        for (const auto &c : cands) {
+            ++counts[c.slot];
+        }
+    }
+    const double expected = draws * 16.0 / 256.0;
+    for (const auto count : counts) {
+        EXPECT_NEAR(static_cast<double>(count), expected,
+                    expected * 0.30);
+    }
+}
+
+} // namespace
+} // namespace vantage

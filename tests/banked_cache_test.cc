@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the banked shared cache (the paper's 4-bank 8 MB L2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "array/zarray.h"
+#include "cache/banked_cache.h"
+#include "common/rng.h"
+#include "core/vantage.h"
+
+namespace vantage {
+namespace {
+
+constexpr std::size_t kBankLines = 2048;
+constexpr std::uint32_t kBanks = 4;
+constexpr std::uint32_t kParts = 2;
+
+BankedCache
+makeBanked()
+{
+    std::vector<std::unique_ptr<Cache>> banks;
+    for (std::uint32_t b = 0; b < kBanks; ++b) {
+        VantageConfig cfg;
+        cfg.numPartitions = kParts;
+        cfg.unmanagedFraction = 0.1;
+        banks.push_back(std::make_unique<Cache>(
+            std::make_unique<ZArray>(kBankLines, 4, 52, 0x100 + b),
+            std::make_unique<VantageController>(kBankLines, cfg),
+            "bank" + std::to_string(b)));
+    }
+    return BankedCache(std::move(banks));
+}
+
+TEST(BankedCache, RoutesConsistently)
+{
+    BankedCache cache = makeBanked();
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const Addr a = rng.next() >> 16;
+        const std::uint32_t b1 = cache.bankOf(a);
+        const std::uint32_t b2 = cache.bankOf(a);
+        EXPECT_EQ(b1, b2);
+        EXPECT_LT(b1, kBanks);
+    }
+}
+
+TEST(BankedCache, SpreadsAddressesAcrossBanks)
+{
+    BankedCache cache = makeBanked();
+    std::vector<int> counts(kBanks, 0);
+    for (Addr a = 0; a < 40000; ++a) {
+        ++counts[cache.bankOf(a)];
+    }
+    for (const int c : counts) {
+        EXPECT_NEAR(c, 10000, 1000);
+    }
+}
+
+TEST(BankedCache, MissThenHit)
+{
+    BankedCache cache = makeBanked();
+    EXPECT_EQ(cache.access(0x42, 0), AccessResult::Miss);
+    EXPECT_EQ(cache.access(0x42, 0), AccessResult::Hit);
+    EXPECT_TRUE(cache.contains(0x42));
+}
+
+TEST(BankedCache, AggregateStats)
+{
+    BankedCache cache = makeBanked();
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        cache.access(rng.range(2000), 0);
+        cache.access((1ull << 40) | rng.range(2000), 1);
+    }
+    const CacheAccessStats total = cache.totalStats();
+    EXPECT_EQ(total.accesses(), 20000u);
+    EXPECT_EQ(cache.partAccessStats(0).accesses(), 10000u);
+    EXPECT_GT(total.hits, 0u);
+    cache.resetStats();
+    EXPECT_EQ(cache.totalStats().accesses(), 0u);
+}
+
+TEST(BankedCache, GlobalAllocationsEnforcedPerBank)
+{
+    BankedCache cache = makeBanked();
+    // 3/4 of each bank's quantum to partition 0.
+    cache.setAllocations({192, 64});
+    Rng rng(7);
+    for (int i = 0; i < 400000; ++i) {
+        cache.access((1ull << 40) | (rng.next() >> 16), 0);
+        cache.access((2ull << 40) | (rng.next() >> 16), 1);
+    }
+    // Aggregate sizes reflect the 3:1 split.
+    const auto s0 = static_cast<double>(cache.actualSize(0));
+    const auto s1 = static_cast<double>(cache.actualSize(1));
+    EXPECT_NEAR(s0 / (s0 + s1), 0.75, 0.05);
+    // And each bank individually enforces it (hash-spread churn).
+    for (std::uint32_t b = 0; b < kBanks; ++b) {
+        const auto &scheme = cache.bank(b).scheme();
+        EXPECT_GT(scheme.actualSize(0),
+                  scheme.actualSize(1) * 2)
+            << "bank " << b;
+    }
+}
+
+TEST(BankedCache, WritebacksAggregate)
+{
+    BankedCache cache = makeBanked();
+    Rng rng(9);
+    for (int i = 0; i < 60000; ++i) {
+        cache.access(rng.next() >> 16, 0, AccessType::Store);
+    }
+    EXPECT_GT(cache.writebacks(), 1000u);
+}
+
+TEST(BankedCacheDeath, MismatchedBanksPanic)
+{
+    std::vector<std::unique_ptr<Cache>> banks;
+    for (std::uint32_t parts : {2u, 3u}) {
+        VantageConfig cfg;
+        cfg.numPartitions = parts;
+        cfg.unmanagedFraction = 0.1;
+        banks.push_back(std::make_unique<Cache>(
+            std::make_unique<ZArray>(kBankLines, 4, 16, 1),
+            std::make_unique<VantageController>(kBankLines, cfg),
+            "b"));
+    }
+    EXPECT_DEATH(BankedCache(std::move(banks)), "disagree");
+}
+
+} // namespace
+} // namespace vantage

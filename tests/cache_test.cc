@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the Cache composition layer (array + scheme + stats).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "array/set_assoc.h"
+#include "array/zarray.h"
+#include "cache/cache.h"
+#include "common/rng.h"
+#include "core/vantage.h"
+#include "partition/unpartitioned.h"
+#include "replacement/lru.h"
+
+namespace vantage {
+namespace {
+
+std::unique_ptr<Cache>
+smallCache(std::uint32_t parts = 1)
+{
+    return std::make_unique<Cache>(
+        std::make_unique<SetAssocArray>(64, 4, true, 0xfe),
+        std::make_unique<Unpartitioned>(parts,
+                                        std::make_unique<ExactLru>()),
+        "test-cache");
+}
+
+TEST(Cache, MissThenHit)
+{
+    auto cache = smallCache();
+    EXPECT_EQ(cache->access(0x10, 0), AccessResult::Miss);
+    EXPECT_EQ(cache->access(0x10, 0), AccessResult::Hit);
+    EXPECT_TRUE(cache->contains(0x10));
+    EXPECT_FALSE(cache->contains(0x11));
+}
+
+TEST(Cache, StatsPerPartition)
+{
+    auto cache = smallCache(2);
+    cache->access(1, 0);
+    cache->access(1, 0);
+    cache->access(2, 1);
+    EXPECT_EQ(cache->partAccessStats(0).misses, 1u);
+    EXPECT_EQ(cache->partAccessStats(0).hits, 1u);
+    EXPECT_EQ(cache->partAccessStats(1).misses, 1u);
+    const auto total = cache->totalStats();
+    EXPECT_EQ(total.accesses(), 3u);
+    EXPECT_NEAR(total.missRate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Cache, ResetStatsZeroes)
+{
+    auto cache = smallCache();
+    cache->access(1, 0);
+    cache->resetStats();
+    EXPECT_EQ(cache->totalStats().accesses(), 0u);
+}
+
+TEST(Cache, NameIsKept)
+{
+    auto cache = smallCache();
+    EXPECT_EQ(cache->name(), "test-cache");
+}
+
+TEST(Cache, CapacityIsRespected)
+{
+    auto cache = smallCache();
+    // Touch 10x capacity; residents never exceed line count.
+    Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        cache->access(rng.range(640), 0);
+    }
+    std::uint64_t valid = 0;
+    for (LineId s = 0; s < cache->array().numLines(); ++s) {
+        if (cache->array().line(s).valid()) ++valid;
+    }
+    EXPECT_EQ(valid, 64u);
+}
+
+TEST(Cache, WorkingSetWithinCapacityStopsMissing)
+{
+    auto cache = smallCache();
+    Rng rng(5);
+    for (int i = 0; i < 5000; ++i) {
+        cache->access(rng.range(32), 0);
+    }
+    cache->resetStats();
+    for (int i = 0; i < 1000; ++i) {
+        cache->access(rng.range(32), 0);
+    }
+    EXPECT_GT(static_cast<double>(cache->totalStats().hits) /
+                  static_cast<double>(cache->totalStats().accesses()),
+              0.97);
+}
+
+TEST(Cache, PartitionIdIsStampedOnInsert)
+{
+    auto cache = smallCache(2);
+    cache->access(0x77, 1);
+    const LineId slot = cache->array().lookup(0x77);
+    ASSERT_NE(slot, kInvalidLine);
+    EXPECT_EQ(cache->array().line(slot).part, 1u);
+}
+
+TEST(CacheDeath, OutOfRangePartitionPanics)
+{
+    auto cache = smallCache(2);
+    EXPECT_DEATH(cache->access(1, 7), "out of range");
+}
+
+TEST(Cache, VantageOnZArrayEndToEnd)
+{
+    // Smoke test of the full paper stack: Z4/52 + Vantage.
+    VantageConfig cfg;
+    cfg.numPartitions = 2;
+    cfg.unmanagedFraction = 0.15;
+    auto cache = std::make_unique<Cache>(
+        std::make_unique<ZArray>(4096, 4, 52, 0x31),
+        std::make_unique<VantageController>(4096, cfg), "vz");
+    Rng rng(7);
+    for (int i = 0; i < 100000; ++i) {
+        cache->access((1ull << 40) | (rng.next() >> 16), 0);
+        cache->access((2ull << 40) | rng.range(1024), 1);
+    }
+    auto &ctl = static_cast<VantageController &>(cache->scheme());
+    // Partition 1's working set fits under its target and hits.
+    const auto &s1 = cache->partAccessStats(1);
+    EXPECT_GT(static_cast<double>(s1.hits) /
+                  static_cast<double>(s1.accesses()),
+              0.9);
+    // Sizes tracked.
+    EXPECT_GT(ctl.actualSize(0), 0u);
+    EXPECT_GE(ctl.actualSize(1), 1000u);
+}
+
+} // namespace
+} // namespace vantage

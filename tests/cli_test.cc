@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the vsim option parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cli.h"
+
+namespace vantage {
+namespace {
+
+CliOptions
+parseOk(const std::vector<std::string> &args)
+{
+    std::string error;
+    const CliOptions opts = parseCli(args, error);
+    EXPECT_TRUE(error.empty()) << error;
+    return opts;
+}
+
+std::string
+parseErr(const std::vector<std::string> &args)
+{
+    std::string error;
+    parseCli(args, error);
+    EXPECT_FALSE(error.empty());
+    return error;
+}
+
+TEST(Cli, DefaultsAreSane)
+{
+    const CliOptions opts = parseOk({});
+    EXPECT_EQ(opts.machine.numCores, 4u);
+    EXPECT_EQ(opts.l2.scheme, SchemeKind::Vantage);
+    EXPECT_EQ(opts.l2.array, ArrayKind::Z4_52);
+    EXPECT_EQ(opts.l2.lines, 32768u); // 2 MB small machine.
+    EXPECT_TRUE(opts.mix.has_value());
+    EXPECT_FALSE(opts.showHelp);
+}
+
+TEST(Cli, HelpShortCircuits)
+{
+    EXPECT_TRUE(parseOk({"--help"}).showHelp);
+    EXPECT_TRUE(parseOk({"-h"}).showHelp);
+    EXPECT_FALSE(cliUsage().empty());
+}
+
+TEST(Cli, SchemeAndArrayNames)
+{
+    const CliOptions opts =
+        parseOk({"--scheme", "pipp", "--array", "sa16"});
+    EXPECT_EQ(opts.l2.scheme, SchemeKind::Pipp);
+    EXPECT_EQ(opts.l2.array, ArrayKind::SA16);
+}
+
+TEST(Cli, AllSchemeNamesResolve)
+{
+    for (const char *name :
+         {"lru", "srrip", "drrip", "tadrrip", "waypart", "pipp",
+          "vantage", "vantage-drrip", "vantage-oracle"}) {
+        EXPECT_TRUE(schemeFromName(name).has_value()) << name;
+    }
+    EXPECT_FALSE(schemeFromName("bogus").has_value());
+}
+
+TEST(Cli, AllArrayNamesResolve)
+{
+    for (const char *name :
+         {"z4-52", "z4-16", "sa16", "sa64", "random"}) {
+        EXPECT_TRUE(arrayFromName(name).has_value()) << name;
+    }
+    EXPECT_FALSE(arrayFromName("bogus").has_value());
+}
+
+TEST(Cli, MixWithSeed)
+{
+    const CliOptions opts = parseOk({"--mix", "12:3"});
+    ASSERT_TRUE(opts.mix.has_value());
+    EXPECT_EQ(opts.mix->first, 12u);
+    EXPECT_EQ(opts.mix->second, 3u);
+}
+
+TEST(Cli, AppsInferCoreCount)
+{
+    const CliOptions opts = parseOk({"--apps", "mcf,gcc,lbm"});
+    EXPECT_EQ(opts.machine.numCores, 3u);
+    EXPECT_EQ(opts.apps.size(), 3u);
+    EXPECT_EQ(opts.apps[1], "gcc");
+    EXPECT_EQ(opts.l2.numPartitions, 3u);
+}
+
+TEST(Cli, TracesInferCoreCount)
+{
+    const CliOptions opts = parseOk({"--traces", "a.t,b.t"});
+    EXPECT_EQ(opts.machine.numCores, 2u);
+    EXPECT_EQ(opts.traces.size(), 2u);
+}
+
+TEST(Cli, BigMachinePicksLargeDefaults)
+{
+    const CliOptions opts = parseOk({"--mix", "0", "--cores", "32"});
+    EXPECT_EQ(opts.machine.numCores, 32u);
+    EXPECT_EQ(opts.l2.lines, 131072u); // 8 MB.
+    EXPECT_EQ(opts.machine.ucp.umonWays, 64u);
+}
+
+TEST(Cli, VantageKnobs)
+{
+    const CliOptions opts = parseOk({"--unmanaged", "0.2", "--amax",
+                                     "0.4", "--slack", "0.05"});
+    EXPECT_DOUBLE_EQ(opts.l2.vantage.unmanagedFraction, 0.2);
+    EXPECT_DOUBLE_EQ(opts.l2.vantage.maxAperture, 0.4);
+    EXPECT_DOUBLE_EQ(opts.l2.vantage.slack, 0.05);
+}
+
+TEST(Cli, RunControls)
+{
+    const CliOptions opts =
+        parseOk({"--instrs", "123", "--warmup", "45", "--seed", "9",
+                 "--no-ucp", "--repartition", "1000"});
+    EXPECT_EQ(opts.scale.instructions, 123u);
+    EXPECT_EQ(opts.scale.warmupAccesses, 45u);
+    EXPECT_EQ(opts.seed, 9u);
+    EXPECT_FALSE(opts.machine.useUcp);
+    EXPECT_EQ(opts.machine.repartitionCycles, 1000u);
+}
+
+TEST(Cli, Errors)
+{
+    EXPECT_NE(parseErr({"--bogus"}).find("unknown option"),
+              std::string::npos);
+    EXPECT_NE(parseErr({"--scheme", "nope"}).find("unknown scheme"),
+              std::string::npos);
+    EXPECT_NE(parseErr({"--mix", "99"}).find("0-34"),
+              std::string::npos);
+    EXPECT_NE(parseErr({"--instrs"}).find("value"),
+              std::string::npos);
+    EXPECT_NE(parseErr({"--mix", "1", "--apps", "gcc"})
+                  .find("choose one"),
+              std::string::npos);
+    EXPECT_NE(parseErr({"--cores", "0"}).find("cores"),
+              std::string::npos);
+    EXPECT_NE(parseErr({"--mix", "0", "--cores", "6"})
+                  .find("multiple of 4"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace vantage

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for common utilities: RNG, bit helpers, logging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace vantage {
+namespace {
+
+// ---------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next()) ++equal;
+    }
+    EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, RangeRespectsBound)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull,
+                                (1ull << 33) + 7}) {
+        for (int i = 0; i < 200; ++i) {
+            EXPECT_LT(rng.range(bound), bound);
+        }
+    }
+}
+
+TEST(Rng, RangeOneIsAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(rng.range(1), 0u);
+    }
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.uniform();
+        ASSERT_GE(x, 0.0);
+        ASSERT_LT(x, 1.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, RangeIsRoughlyUniform)
+{
+    Rng rng(13);
+    const std::uint64_t buckets = 16;
+    std::vector<int> counts(buckets, 0);
+    const int n = 160000;
+    for (int i = 0; i < n; ++i) {
+        ++counts[rng.range(buckets)];
+    }
+    for (const int c : counts) {
+        EXPECT_NEAR(c, n / static_cast<int>(buckets),
+                    n / static_cast<int>(buckets) / 10);
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(17);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        if (rng.chance(0.25)) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(RngDeath, ZeroBoundPanics)
+{
+    Rng rng(1);
+    EXPECT_DEATH(rng.range(0), "zero bound");
+}
+
+// ---------------------------------------------------------------
+// bits
+// ---------------------------------------------------------------
+
+TEST(Bits, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(1ull << 40));
+    EXPECT_FALSE(isPow2((1ull << 40) + 1));
+}
+
+TEST(Bits, Log2i)
+{
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(2), 1u);
+    EXPECT_EQ(log2i(1024), 10u);
+    EXPECT_EQ(log2i(1ull << 50), 50u);
+}
+
+TEST(BitsDeath, Log2iNonPow2Panics)
+{
+    EXPECT_DEATH(log2i(3), "non-power-of-two");
+}
+
+TEST(Bits, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0, 5), 0u);
+    EXPECT_EQ(ceilDiv(1, 5), 1u);
+    EXPECT_EQ(ceilDiv(5, 5), 1u);
+    EXPECT_EQ(ceilDiv(6, 5), 2u);
+}
+
+TEST(Bits, ModDistBasics)
+{
+    EXPECT_EQ(modDist(0, 0, 8), 0u);
+    EXPECT_EQ(modDist(0, 5, 8), 5u);
+    EXPECT_EQ(modDist(250, 4, 8), 10u); // Wraps across 256.
+    EXPECT_EQ(modDist(5, 0, 8), 251u);
+}
+
+TEST(Bits, InModRangeBasics)
+{
+    // [10, 20) in 8-bit arithmetic.
+    EXPECT_TRUE(inModRange(10, 10, 20, 8));
+    EXPECT_TRUE(inModRange(19, 10, 20, 8));
+    EXPECT_FALSE(inModRange(20, 10, 20, 8));
+    EXPECT_FALSE(inModRange(9, 10, 20, 8));
+}
+
+TEST(Bits, InModRangeWrapping)
+{
+    // [250, 4): wraps across zero.
+    EXPECT_TRUE(inModRange(250, 250, 4, 8));
+    EXPECT_TRUE(inModRange(255, 250, 4, 8));
+    EXPECT_TRUE(inModRange(0, 250, 4, 8));
+    EXPECT_TRUE(inModRange(3, 250, 4, 8));
+    EXPECT_FALSE(inModRange(4, 250, 4, 8));
+    EXPECT_FALSE(inModRange(128, 250, 4, 8));
+}
+
+TEST(Bits, InModRangeEmpty)
+{
+    for (std::uint32_t x = 0; x < 256; ++x) {
+        EXPECT_FALSE(inModRange(x, 42, 42, 8));
+    }
+}
+
+/** Exhaustive property: membership count equals window width. */
+TEST(Bits, InModRangeWidthProperty)
+{
+    for (std::uint32_t lo = 0; lo < 256; lo += 17) {
+        for (std::uint32_t width = 0; width < 256; width += 13) {
+            const auto hi = static_cast<std::uint8_t>(lo + width);
+            std::uint32_t members = 0;
+            for (std::uint32_t x = 0; x < 256; ++x) {
+                if (inModRange(x, lo, hi, 8)) ++members;
+            }
+            EXPECT_EQ(members, width);
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// log
+// ---------------------------------------------------------------
+
+TEST(LogDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 42), "boom 42");
+}
+
+TEST(LogDeath, FatalExitsWithOne)
+{
+    EXPECT_EXIT(fatal("bad config %s", "x"),
+                ::testing::ExitedWithCode(1), "bad config x");
+}
+
+TEST(LogDeath, AssertMacroFiresWithMessage)
+{
+    const int value = 3;
+    EXPECT_DEATH(vantage_assert(value == 4, "value was %d", value),
+                 "value was 3");
+}
+
+TEST(Log, WarnDoesNotTerminate)
+{
+    warn("this is only a warning (%d)", 1);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace vantage

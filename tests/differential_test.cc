@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Differential tests: the production implementations are checked
+ * against small, obviously-correct reference models under long
+ * randomized traffic.
+ *
+ *  - SetAssocArray + ExactLru vs a map-of-LRU-lists reference cache.
+ *  - Umon vs an exact per-set LRU-stack-distance counter.
+ *  - Pipp's chain bookkeeping vs a literal per-set vector model.
+ *  - CoarseLru vs ExactLru: the 8-bit approximation must agree with
+ *    exact LRU on the vast majority of victim decisions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "alloc/umon.h"
+#include "array/set_assoc.h"
+#include "cache/cache.h"
+#include "common/rng.h"
+#include "partition/pipp.h"
+#include "partition/unpartitioned.h"
+#include "replacement/lru.h"
+
+namespace vantage {
+namespace {
+
+// ---------------------------------------------------------------
+// Reference LRU cache: per-set std::list, MRU at front.
+// ---------------------------------------------------------------
+
+class RefLruCache
+{
+  public:
+    RefLruCache(std::uint64_t sets, std::uint32_t ways,
+                const SetAssocArray &geometry)
+        : sets_(sets), ways_(ways), geometry_(geometry),
+          lists_(sets)
+    {}
+
+    bool
+    access(Addr addr)
+    {
+        auto &list = lists_[geometry_.setOf(addr)];
+        const auto it = std::find(list.begin(), list.end(), addr);
+        if (it != list.end()) {
+            list.erase(it);
+            list.push_front(addr);
+            return true;
+        }
+        if (list.size() >= ways_) {
+            list.pop_back();
+        }
+        list.push_front(addr);
+        return false;
+    }
+
+  private:
+    std::uint64_t sets_;
+    std::uint32_t ways_;
+    const SetAssocArray &geometry_;
+    std::vector<std::list<Addr>> lists_;
+};
+
+TEST(Differential, SetAssocLruMatchesReference)
+{
+    constexpr std::size_t kLines = 1024;
+    constexpr std::uint32_t kWays = 8;
+    auto array =
+        std::make_unique<SetAssocArray>(kLines, kWays, true, 0x9);
+    const SetAssocArray &geometry = *array;
+    Cache cache(std::move(array),
+                std::make_unique<Unpartitioned>(
+                    1, std::make_unique<ExactLru>()),
+                "dut");
+    RefLruCache ref(kLines / kWays, kWays, geometry);
+
+    Rng rng(3);
+    for (int i = 0; i < 200000; ++i) {
+        // Zipf-ish: small addresses much more likely.
+        const Addr a = rng.range(rng.range(4096) + 1);
+        const bool dut_hit = cache.access(a, 0) == AccessResult::Hit;
+        const bool ref_hit = ref.access(a);
+        ASSERT_EQ(dut_hit, ref_hit) << "diverged at access " << i;
+    }
+}
+
+// ---------------------------------------------------------------
+// Umon vs exact stack-distance counting.
+// ---------------------------------------------------------------
+
+TEST(Differential, UmonMatchesExactStackDistances)
+{
+    constexpr std::uint32_t kWays = 16;
+    // Monitor everything: one set, modeled = 1.
+    Umon umon(kWays, 1, 1, 0x7);
+
+    std::list<Addr> stack;
+    std::vector<std::uint64_t> hits(kWays, 0);
+    std::uint64_t misses = 0;
+
+    Rng rng(5);
+    for (int i = 0; i < 100000; ++i) {
+        const Addr a = rng.range(rng.range(64) + 1);
+        umon.access(a);
+        const auto it = std::find(stack.begin(), stack.end(), a);
+        if (it != stack.end()) {
+            const auto depth = static_cast<std::uint32_t>(
+                std::distance(stack.begin(), it));
+            if (depth < kWays) {
+                ++hits[depth];
+            }
+            stack.erase(it);
+        } else {
+            ++misses;
+        }
+        stack.push_front(a);
+        if (stack.size() > kWays) {
+            stack.pop_back();
+        }
+    }
+
+    EXPECT_EQ(umon.misses(), misses);
+    std::uint64_t acc = 0;
+    for (std::uint32_t w = 0; w < kWays; ++w) {
+        acc += hits[w];
+        EXPECT_EQ(umon.hitsUpTo(w + 1), acc) << "way " << w;
+    }
+}
+
+// ---------------------------------------------------------------
+// PIPP chains vs a literal recency-vector model.
+// ---------------------------------------------------------------
+
+/** Reference: per-set vector, index 0 = bottom of the chain. */
+class RefPipp
+{
+  public:
+    RefPipp(std::uint64_t sets, std::uint32_t ways) : ways_(ways)
+    {
+        (void)sets;
+    }
+
+    /** @return evicted address, or kInvalidAddr. */
+    Addr
+    insert(std::uint64_t set, Addr addr, std::uint32_t position)
+    {
+        auto &chain = sets_[set];
+        Addr evicted = kInvalidAddr;
+        if (chain.size() >= ways_) {
+            evicted = chain.front();
+            chain.erase(chain.begin());
+        }
+        const std::size_t pos =
+            std::min<std::size_t>(position, chain.size());
+        chain.insert(chain.begin() + static_cast<long>(pos), addr);
+        return evicted;
+    }
+
+    void
+    promote(std::uint64_t set, Addr addr)
+    {
+        auto &chain = sets_[set];
+        const auto it = std::find(chain.begin(), chain.end(), addr);
+        ASSERT_NE(it, chain.end());
+        const auto pos = it - chain.begin();
+        if (static_cast<std::size_t>(pos) + 1 < chain.size()) {
+            std::swap(chain[pos], chain[pos + 1]);
+        }
+    }
+
+    std::uint32_t
+    positionOf(std::uint64_t set, Addr addr) const
+    {
+        const auto &chain = sets_.at(set);
+        const auto it = std::find(chain.begin(), chain.end(), addr);
+        EXPECT_NE(it, chain.end());
+        return static_cast<std::uint32_t>(it - chain.begin());
+    }
+
+    const std::vector<Addr> &chain(std::uint64_t set) const
+    {
+        return sets_.at(set);
+    }
+
+  private:
+    std::uint32_t ways_;
+    std::map<std::uint64_t, std::vector<Addr>> sets_;
+};
+
+TEST(Differential, PippChainsMatchReference)
+{
+    constexpr std::size_t kLines = 256;
+    constexpr std::uint32_t kWays = 8;
+    PippConfig cfg;
+    cfg.pprom = 1.0; // Deterministic for the comparison.
+    cfg.thetaM = 2.0; // Never classify as streaming.
+    auto array = std::make_unique<SetAssocArray>(kLines, kWays,
+                                                 true, 0xd);
+    const SetAssocArray &geometry = *array;
+    auto scheme = std::make_unique<Pipp>(2, kWays, kLines / kWays,
+                                         kLines, cfg, 0x11);
+    const Pipp &pipp = *scheme;
+    Cache cache(std::move(array), std::move(scheme), "dut");
+    RefPipp ref(kLines / kWays, kWays);
+
+    Rng rng(7);
+    for (int i = 0; i < 60000; ++i) {
+        const PartId part = static_cast<PartId>(rng.range(2));
+        const Addr a = (static_cast<Addr>(part + 1) << 40) |
+                       rng.range(512);
+        const std::uint64_t set = geometry.setOf(a);
+        const bool hit = cache.contains(a);
+        cache.access(a, part);
+        if (hit) {
+            ref.promote(set, a);
+        } else {
+            // Default allocation: ways/parts = 4 each -> position 4.
+            ref.insert(set, a, 4);
+        }
+
+        if (i % 500 == 0) {
+            // Full structural comparison of this set's chain.
+            const auto &chain = ref.chain(set);
+            for (std::size_t pos = 0; pos < chain.size(); ++pos) {
+                const LineId slot = geometry.lookup(chain[pos]);
+                ASSERT_NE(slot, kInvalidLine);
+                ASSERT_EQ(pipp.positionOf(slot), pos)
+                    << "chain order diverged at access " << i;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// CoarseLru vs ExactLru victim agreement.
+// ---------------------------------------------------------------
+
+TEST(Differential, CoarseLruAgreesWithExactLruMostly)
+{
+    // Two identical arrays driven with identical traffic; count how
+    // often the 8-bit-timestamp policy picks a victim that exact LRU
+    // considers "old" (in the oldest half of the candidates).
+    constexpr std::size_t kLines = 512;
+    constexpr std::uint32_t kWays = 8;
+    SetAssocArray arr(kLines, kWays, true, 0x21);
+    ExactLru exact;
+    CoarseLru coarse(kLines);
+
+    Rng rng(9);
+    std::vector<Candidate> cands;
+    int decisions = 0;
+    int agreements = 0;
+    for (int i = 0; i < 120000; ++i) {
+        const Addr a = rng.range(4096);
+        const LineId slot = arr.lookup(a);
+        if (slot != kInvalidLine) {
+            exact.onHit(arr.line(slot));
+            coarse.onHit(arr.line(slot));
+            continue;
+        }
+        arr.candidates(a, cands);
+        std::int32_t invalid = -1;
+        for (std::size_t j = 0; j < cands.size(); ++j) {
+            if (!arr.line(cands[j].slot).valid()) {
+                invalid = static_cast<std::int32_t>(j);
+                break;
+            }
+        }
+        std::int32_t victim;
+        if (invalid >= 0) {
+            victim = invalid;
+        } else {
+            victim = coarse.selectVictim(arr, cands);
+            // Rank of the coarse choice under exact LRU.
+            int older = 0;
+            for (const auto &cand : cands) {
+                if (arr.line(cand.slot).lastAccess <
+                    arr.line(cands[victim].slot).lastAccess) {
+                    ++older;
+                }
+            }
+            ++decisions;
+            if (older <= static_cast<int>(kWays) / 2) {
+                ++agreements;
+            }
+        }
+        const LineId root = arr.replace(a, cands, victim);
+        exact.onInsert(arr.line(root));
+        coarse.onInsert(arr.line(root));
+    }
+    ASSERT_GT(decisions, 10000);
+    EXPECT_GT(static_cast<double>(agreements) /
+                  static_cast<double>(decisions),
+              0.95)
+        << "coarse timestamps should rarely evict recent lines";
+}
+
+} // namespace
+} // namespace vantage

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the H3 universal hash family.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "hash/h3.h"
+
+namespace vantage {
+namespace {
+
+TEST(H3Hash, DeterministicPerSeed)
+{
+    H3Hash a(1), b(1);
+    for (Addr x = 0; x < 1000; ++x) {
+        EXPECT_EQ(a(x), b(x));
+    }
+}
+
+TEST(H3Hash, ZeroMapsToZero)
+{
+    // H3 is linear over GF(2): h(0) = 0 by construction.
+    H3Hash h(99);
+    EXPECT_EQ(h(0), 0u);
+}
+
+TEST(H3Hash, LinearOverXor)
+{
+    // The defining H3 property: h(a ^ b) == h(a) ^ h(b).
+    H3Hash h(7);
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t a = rng.next();
+        const std::uint64_t b = rng.next();
+        EXPECT_EQ(h(a ^ b), h(a) ^ h(b));
+    }
+}
+
+TEST(H3Hash, SeedsGiveDifferentFunctions)
+{
+    H3Hash a(1), b(2);
+    int same = 0;
+    for (Addr x = 1; x <= 100; ++x) {
+        if (a(x) == b(x)) ++same;
+    }
+    EXPECT_LE(same, 2);
+}
+
+TEST(H3Hash, ModStaysInBound)
+{
+    H3Hash h(5);
+    for (Addr x = 0; x < 10000; ++x) {
+        EXPECT_LT(h.mod(x, 64), 64u);
+    }
+}
+
+TEST(H3Hash, BucketsAreBalanced)
+{
+    H3Hash h(11);
+    const std::uint64_t buckets = 64;
+    std::vector<int> counts(buckets, 0);
+    const int n = 64000;
+    for (Addr x = 1; x <= n; ++x) {
+        ++counts[h.mod(x, buckets)];
+    }
+    for (const int c : counts) {
+        EXPECT_NEAR(c, n / static_cast<int>(buckets),
+                    n / static_cast<int>(buckets) / 4);
+    }
+}
+
+TEST(H3Hash, SequentialAddressesSpread)
+{
+    // Strided/sequential patterns — the pathological cases for plain
+    // index bits — must spread under H3.
+    H3Hash h(13);
+    std::vector<int> counts(16, 0);
+    for (Addr x = 0; x < 1600; ++x) {
+        ++counts[h.mod(x * 4096, 16)];
+    }
+    for (const int c : counts) {
+        EXPECT_GT(c, 40);
+        EXPECT_LT(c, 180);
+    }
+}
+
+TEST(H3Hash, SingleBitFlipsAvalanche)
+{
+    H3Hash h(17);
+    Rng rng(5);
+    double total_flips = 0.0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i) {
+        const std::uint64_t x = rng.next();
+        const int bit = static_cast<int>(rng.range(64));
+        const std::uint64_t d = h(x) ^ h(x ^ (1ull << bit));
+        total_flips += __builtin_popcountll(d);
+    }
+    // Each input bit XORs in a random 64-bit word: ~32 output bits
+    // flip on average.
+    EXPECT_NEAR(total_flips / n, 32.0, 3.0);
+}
+
+TEST(H3Hash, PairwiseIndependenceSample)
+{
+    // 2-universality: for x != y, Pr[h(x) = h(y) mod 64] ~ 1/64
+    // over random h.
+    int collisions = 0;
+    const int trials = 4000;
+    for (int t = 0; t < trials; ++t) {
+        H3Hash h(1000 + t);
+        if (h.mod(0x1234, 64) == h.mod(0x9876, 64)) {
+            ++collisions;
+        }
+    }
+    const double rate = static_cast<double>(collisions) / trials;
+    EXPECT_NEAR(rate, 1.0 / 64.0, 0.012);
+}
+
+} // namespace
+} // namespace vantage

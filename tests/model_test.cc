@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Tests for the analytical models (Eqs. 1-9), including the worked
+ * numeric examples the paper itself gives, and Monte-Carlo
+ * cross-checks of the closed forms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/model.h"
+
+namespace vantage {
+namespace {
+
+// ---------------------------------------------------------------
+// Eq. 1: FA(x) = x^R
+// ---------------------------------------------------------------
+
+TEST(AssocCdf, Boundaries)
+{
+    EXPECT_EQ(model::assocCdf(0.0, 16), 0.0);
+    EXPECT_EQ(model::assocCdf(1.0, 16), 1.0);
+    EXPECT_EQ(model::assocCdf(-1.0, 16), 0.0);
+    EXPECT_EQ(model::assocCdf(2.0, 16), 1.0);
+}
+
+TEST(AssocCdf, PaperExampleR64)
+{
+    // "with R = 64, the probability of evicting a line with eviction
+    //  priority e < 0.8 is FA(0.8) = 10^-6" (Sec. 3.2).
+    EXPECT_NEAR(model::assocCdf(0.8, 64), 1e-6, 5e-7);
+}
+
+TEST(AssocCdf, MonotoneInX)
+{
+    double prev = 0.0;
+    for (double x = 0.0; x <= 1.0; x += 0.01) {
+        const double v = model::assocCdf(x, 8);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(AssocCdf, MoreCandidatesSkewHigher)
+{
+    for (double x = 0.1; x < 1.0; x += 0.1) {
+        EXPECT_GT(model::assocCdf(x, 4), model::assocCdf(x, 8));
+        EXPECT_GT(model::assocCdf(x, 8), model::assocCdf(x, 64));
+    }
+}
+
+/** Monte-Carlo: max of R uniforms has CDF x^R. */
+TEST(AssocCdf, MatchesMonteCarlo)
+{
+    Rng rng(3);
+    const int n = 200000;
+    const std::uint32_t r = 16;
+    int below = 0;
+    const double x = 0.9;
+    for (int i = 0; i < n; ++i) {
+        double best = 0.0;
+        for (std::uint32_t k = 0; k < r; ++k) {
+            best = std::max(best, rng.uniform());
+        }
+        if (best <= x) ++below;
+    }
+    EXPECT_NEAR(static_cast<double>(below) / n,
+                model::assocCdf(x, r), 0.005);
+}
+
+// ---------------------------------------------------------------
+// Binomial PMF
+// ---------------------------------------------------------------
+
+TEST(BinomialPmf, SumsToOne)
+{
+    for (const double p : {0.1, 0.5, 0.7, 0.95}) {
+        double sum = 0.0;
+        for (std::uint32_t i = 0; i <= 52; ++i) {
+            sum += model::binomialPmf(i, 52, p);
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+}
+
+TEST(BinomialPmf, KnownValues)
+{
+    EXPECT_NEAR(model::binomialPmf(1, 2, 0.5), 0.5, 1e-12);
+    EXPECT_NEAR(model::binomialPmf(2, 4, 0.5), 6.0 / 16.0, 1e-12);
+    EXPECT_NEAR(model::binomialPmf(0, 10, 0.0), 1.0, 1e-12);
+    EXPECT_NEAR(model::binomialPmf(10, 10, 1.0), 1.0, 1e-12);
+    EXPECT_EQ(model::binomialPmf(3, 10, 0.0), 0.0);
+}
+
+TEST(BinomialPmf, MeanMatches)
+{
+    const std::uint32_t r = 16;
+    const double p = 0.7;
+    double mean = 0.0;
+    for (std::uint32_t i = 0; i <= r; ++i) {
+        mean += i * model::binomialPmf(i, r, p);
+    }
+    EXPECT_NEAR(mean, r * p, 1e-9);
+}
+
+// ---------------------------------------------------------------
+// Eq. 2 / Eq. 3: managed-region demotion CDFs
+// ---------------------------------------------------------------
+
+TEST(ManagedCdfExactOne, Boundaries)
+{
+    EXPECT_EQ(model::managedCdfExactOne(0.0, 16, 0.3), 0.0);
+    EXPECT_EQ(model::managedCdfExactOne(1.0, 16, 0.3), 1.0);
+    EXPECT_NEAR(model::managedCdfExactOne(0.999999, 16, 0.3), 1.0,
+                1e-3);
+}
+
+TEST(ManagedCdfExactOne, WorseThanOnAverage)
+{
+    // Demoting exactly one line per eviction touches much lower
+    // priorities than demoting on the average (Fig. 2b vs 2c): at
+    // R=16, u=0.3, Eq. 2 gives FM(0.9) ~= 0.31 — a third of
+    // demotions hit lines the policy ranks below the top 10% —
+    // versus exactly zero below 1 - A for the aperture scheme.
+    const double exact_one = model::managedCdfExactOne(0.9, 16, 0.3);
+    EXPECT_GT(exact_one, 0.25);
+    const double aperture = 1.0 / (16 * 0.7);
+    EXPECT_EQ(model::managedCdfOnAverage(0.9, aperture), 0.0);
+}
+
+TEST(ManagedCdfOnAverage, UniformOnAperture)
+{
+    const double a = 0.1;
+    EXPECT_EQ(model::managedCdfOnAverage(0.85, a), 0.0);
+    EXPECT_NEAR(model::managedCdfOnAverage(0.95, a), 0.5, 1e-12);
+    EXPECT_EQ(model::managedCdfOnAverage(1.0, a), 1.0);
+}
+
+// ---------------------------------------------------------------
+// Eq. 4: apertures — the paper's Sec. 3.4 worked example
+// ---------------------------------------------------------------
+
+TEST(Aperture, PaperWorkedExample)
+{
+    // 4 equally sized partitions, partition 1 with twice the churn of
+    // the others; R = 16, m = 0.625. The paper derives A1 = 16% and
+    // A2..4 = 8%.
+    const std::uint32_t r = 16;
+    const double m = 0.625;
+    const double churn1 = 2.0 / 5.0; // C1 / sum(C)
+    const double churn_rest = 1.0 / 5.0;
+    const double size_share = 0.25;
+    EXPECT_NEAR(model::aperture(churn1, size_share, r, m), 0.16,
+                1e-12);
+    EXPECT_NEAR(model::aperture(churn_rest, size_share, r, m), 0.08,
+                1e-12);
+}
+
+TEST(Aperture, BalancedEqualsInverseRm)
+{
+    const double a = model::balancedAperture(52, 0.95);
+    EXPECT_NEAR(a, 1.0 / (52 * 0.95), 1e-12);
+    EXPECT_NEAR(model::aperture(0.25, 0.25, 52, 0.95), a, 1e-12);
+}
+
+// ---------------------------------------------------------------
+// Eqs. 5/6: minimum stable sizes and worst-case borrow
+// ---------------------------------------------------------------
+
+TEST(MinStableSize, ScalesWithChurn)
+{
+    const double mss1 =
+        model::minStableSize(0.5, 0.9, 0.4, 52, 0.9);
+    const double mss2 =
+        model::minStableSize(0.25, 0.9, 0.4, 52, 0.9);
+    EXPECT_NEAR(mss1, 2.0 * mss2, 1e-12);
+}
+
+TEST(WorstCaseBorrow, PaperExample)
+{
+    // "if the cache has R = 52 candidates, with Amax = 0.4, we need
+    //  to assign an extra 1/(0.4*52) = 4.8% to the unmanaged region."
+    EXPECT_NEAR(model::worstCaseBorrow(0.4, 52), 0.048, 0.0005);
+}
+
+TEST(WorstCaseBorrow, SumOfMssEqualsBorrow)
+{
+    // Eq. 6: the borrow bound is independent of how churn is split.
+    const std::uint32_t r = 52;
+    const double amax = 0.4, m = 0.9;
+    double total = 0.0;
+    const double churn_shares[] = {0.5, 0.3, 0.2};
+    for (const double c : churn_shares) {
+        total += model::minStableSize(c, m, amax, r, m);
+    }
+    EXPECT_NEAR(total, model::worstCaseBorrow(amax, r) * (m / m),
+                0.01);
+}
+
+// ---------------------------------------------------------------
+// Eq. 9 and unmanaged sizing (Sec. 4.3)
+// ---------------------------------------------------------------
+
+TEST(AggregateOutgrowth, PaperExample)
+{
+    // "with R = 52 candidates, slack = 0.1 and Amax = 0.4,
+    //  sum(dSi) = 0.48% of the cache size."
+    EXPECT_NEAR(model::aggregateOutgrowth(0.1, 0.4, 52), 0.0048,
+                5e-5);
+}
+
+TEST(UnmanagedFraction, PaperFig5Examples)
+{
+    // "with 52 candidates, having Amax = 0.4 requires 13% of the
+    //  cache to be unmanaged for Pev = 1e-2, while going down to
+    //  Pev = 1e-4 would require 21%."
+    EXPECT_NEAR(model::unmanagedFraction(52, 0.4, 0.1, 1e-2), 0.13,
+                0.01);
+    EXPECT_NEAR(model::unmanagedFraction(52, 0.4, 0.1, 1e-4), 0.21,
+                0.015);
+}
+
+TEST(UnmanagedFraction, DecreasesWithMoreCandidates)
+{
+    EXPECT_GT(model::unmanagedFraction(16, 0.4, 0.1, 1e-2),
+              model::unmanagedFraction(52, 0.4, 0.1, 1e-2));
+}
+
+TEST(UnmanagedFraction, GrowsWithStricterPev)
+{
+    EXPECT_GT(model::unmanagedFraction(52, 0.4, 0.1, 1e-6),
+              model::unmanagedFraction(52, 0.4, 0.1, 1e-2));
+}
+
+TEST(WorstCaseEvictionProb, InvertsSizing)
+{
+    const std::uint32_t r = 52;
+    const double pev = 1e-3;
+    const double u_ev = 1.0 - std::pow(pev, 1.0 / r);
+    EXPECT_NEAR(model::worstCaseEvictionProb(r, u_ev), pev,
+                pev * 0.01);
+}
+
+TEST(WorstCaseEvictionProb, MonteCarlo)
+{
+    // Probability that none of R candidates lands in the unmanaged
+    // fraction u.
+    Rng rng(7);
+    const double u = 0.15;
+    const std::uint32_t r = 16;
+    int forced = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        bool any = false;
+        for (std::uint32_t k = 0; k < r && !any; ++k) {
+            any = rng.uniform() < u;
+        }
+        if (!any) ++forced;
+    }
+    EXPECT_NEAR(static_cast<double>(forced) / n,
+                model::worstCaseEvictionProb(r, u), 0.005);
+}
+
+// ---------------------------------------------------------------
+// State overhead (Sec. 4.3 / abstract: ~1.5% for 8 MB, 32 parts)
+// ---------------------------------------------------------------
+
+TEST(StateOverhead, PaperEightMbThirtyTwoPartitions)
+{
+    // 8 MB = 131072 lines, 32 partitions, 4 banks: 6 tag bits
+    // (1.17% of line capacity; the paper quotes 1.01% against its
+    // slightly larger nominal tag+data budget) plus 4 KB of
+    // controller registers — about 1.5% in total, matching the
+    // paper's headline overhead within rounding.
+    const model::StateOverhead o =
+        model::stateOverhead(131072, 32, 4);
+    EXPECT_EQ(o.tagBitsPerLine, 6u);
+    EXPECT_EQ(o.controllerBits, 256u * 32 * 4);
+    EXPECT_NEAR(o.totalOverhead, 0.015, 0.004);
+}
+
+TEST(StateOverhead, GrowsLogarithmicallyWithPartitions)
+{
+    const auto small = model::stateOverhead(131072, 8);
+    const auto large = model::stateOverhead(131072, 64);
+    EXPECT_EQ(small.tagBitsPerLine, 4u);  // 8 + unmanaged -> 9 ids.
+    EXPECT_EQ(large.tagBitsPerLine, 7u);  // 64 + unmanaged.
+    EXPECT_LT(large.totalOverhead, 0.03);
+}
+
+TEST(StateOverheadDeath, ZeroLinesPanics)
+{
+    EXPECT_DEATH(model::stateOverhead(0, 4), "empty");
+}
+
+} // namespace
+} // namespace vantage

@@ -1,0 +1,416 @@
+/**
+ * @file
+ * Parameterized property suites (TEST_P sweeps).
+ *
+ * - SchemeContract: every (scheme x array) combination obeys the
+ *   PartitionScheme contract under randomized traffic: consistent
+ *   size accounting, functional lookup after every operation, and
+ *   tolerance of repeated re-allocation.
+ * - VantageSweep: the controller's guarantees hold across the
+ *   (u, Amax, slack) configuration space.
+ * - ZGeometry: the zcache walk is exact for many (ways, R) shapes.
+ * - AssocModel: FA(x) = x^R matches the ideal array for many R.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "array/random_array.h"
+#include "array/set_assoc.h"
+#include "array/zarray.h"
+#include "cache/cache.h"
+#include "common/rng.h"
+#include "core/model.h"
+#include "core/vantage_variants.h"
+#include "partition/assoc_probe.h"
+#include "partition/pipp.h"
+#include "partition/unpartitioned.h"
+#include "partition/way_partition.h"
+#include "replacement/lru.h"
+#include "replacement/rrip.h"
+#include "sim/experiment.h"
+
+namespace vantage {
+namespace {
+
+// ---------------------------------------------------------------
+// SchemeContract
+// ---------------------------------------------------------------
+
+using SchemeArrayCase = std::tuple<SchemeKind, ArrayKind>;
+
+class SchemeContract
+    : public ::testing::TestWithParam<SchemeArrayCase>
+{
+  protected:
+    static constexpr std::size_t kLines = 4096;
+    static constexpr std::uint32_t kParts = 4;
+
+    std::unique_ptr<Cache>
+    build() const
+    {
+        L2Spec spec;
+        spec.scheme = std::get<0>(GetParam());
+        spec.array = std::get<1>(GetParam());
+        spec.lines = kLines;
+        spec.numPartitions = kParts;
+        spec.vantage.unmanagedFraction = 0.1;
+        return buildL2(spec);
+    }
+
+    bool
+    isVantage() const
+    {
+        const SchemeKind k = std::get<0>(GetParam());
+        return k == SchemeKind::Vantage ||
+               k == SchemeKind::VantageDrrip ||
+               k == SchemeKind::VantageOracle;
+    }
+};
+
+TEST_P(SchemeContract, SizeAccountingMatchesArray)
+{
+    auto cache = build();
+    Rng rng(3);
+    for (int round = 0; round < 30; ++round) {
+        for (PartId p = 0; p < kParts; ++p) {
+            const Addr space = static_cast<Addr>(p + 1) << 40;
+            for (int i = 0; i < 200; ++i) {
+                cache->access(space | (rng.next() >> 20), p);
+            }
+        }
+        std::uint64_t tracked = 0;
+        for (PartId p = 0; p < kParts; ++p) {
+            tracked += cache->scheme().actualSize(p);
+        }
+        if (isVantage()) {
+            tracked += static_cast<VantageController &>(
+                           cache->scheme())
+                           .unmanagedSize();
+        }
+        std::uint64_t valid = 0;
+        for (LineId s = 0; s < cache->array().numLines(); ++s) {
+            if (cache->array().line(s).valid()) ++valid;
+        }
+        ASSERT_EQ(tracked, valid);
+    }
+}
+
+TEST_P(SchemeContract, HitAfterInsert)
+{
+    auto cache = build();
+    for (PartId p = 0; p < kParts; ++p) {
+        const Addr addr = (static_cast<Addr>(p + 1) << 40) | 0x123;
+        cache->access(addr, p);
+        EXPECT_EQ(cache->access(addr, p), AccessResult::Hit);
+    }
+}
+
+TEST_P(SchemeContract, SurvivesRepeatedReallocation)
+{
+    auto cache = build();
+    Rng rng(7);
+    const std::uint32_t q = cache->scheme().allocationQuantum();
+    if (q < kParts) {
+        GTEST_SKIP() << "scheme does not support allocation";
+    }
+    for (int round = 0; round < 12; ++round) {
+        // A rotating skewed allocation.
+        std::vector<std::uint32_t> units(kParts, 0);
+        std::uint32_t left = q;
+        for (PartId p = 0; p < kParts; ++p) {
+            const auto share =
+                p + 1 < kParts
+                    ? std::min<std::uint32_t>(
+                          left, q / (2 + ((round + p) % 3)))
+                    : left;
+            units[p] = std::max(1u, share);
+            left -= std::min(left, units[p]);
+        }
+        // Clamp to quantum.
+        std::uint32_t total = 0;
+        for (auto &u : units) total += u;
+        ASSERT_GE(q, kParts);
+        while (total > q) {
+            bool trimmed = false;
+            for (auto &u : units) {
+                if (u > 1 && total > q) {
+                    --u;
+                    --total;
+                    trimmed = true;
+                }
+            }
+            ASSERT_TRUE(trimmed) << "cannot fit minimums in quantum";
+        }
+        cache->scheme().setAllocations(units);
+        for (PartId p = 0; p < kParts; ++p) {
+            const Addr space = static_cast<Addr>(p + 1) << 40;
+            for (int i = 0; i < 400; ++i) {
+                cache->access(space | (rng.next() >> 20), p);
+            }
+        }
+    }
+    SUCCEED();
+}
+
+TEST_P(SchemeContract, CapacityNeverExceeded)
+{
+    auto cache = build();
+    Rng rng(9);
+    for (int i = 0; i < 40000; ++i) {
+        cache->access((1ull << 40) | (rng.next() >> 18),
+                      static_cast<PartId>(i % kParts));
+    }
+    std::uint64_t valid = 0;
+    for (LineId s = 0; s < cache->array().numLines(); ++s) {
+        if (cache->array().line(s).valid()) ++valid;
+    }
+    EXPECT_LE(valid, cache->array().numLines());
+}
+
+std::string
+schemeCaseName(
+    const ::testing::TestParamInfo<SchemeArrayCase> &info)
+{
+    std::string name =
+        std::string(schemeKindName(std::get<0>(info.param))) + "_" +
+        arrayKindName(std::get<1>(info.param));
+    for (auto &c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+            c = '_';
+        }
+    }
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeContract,
+    ::testing::Values(
+        SchemeArrayCase{SchemeKind::UnpartLru, ArrayKind::SA16},
+        SchemeArrayCase{SchemeKind::UnpartLru, ArrayKind::Z4_52},
+        SchemeArrayCase{SchemeKind::UnpartSrrip, ArrayKind::Z4_52},
+        SchemeArrayCase{SchemeKind::UnpartDrrip, ArrayKind::Z4_16},
+        SchemeArrayCase{SchemeKind::UnpartTaDrrip, ArrayKind::Z4_52},
+        SchemeArrayCase{SchemeKind::WayPart, ArrayKind::SA16},
+        SchemeArrayCase{SchemeKind::WayPart, ArrayKind::SA64},
+        SchemeArrayCase{SchemeKind::Pipp, ArrayKind::SA16},
+        SchemeArrayCase{SchemeKind::Pipp, ArrayKind::SA64},
+        SchemeArrayCase{SchemeKind::Vantage, ArrayKind::Z4_52},
+        SchemeArrayCase{SchemeKind::Vantage, ArrayKind::Z4_16},
+        SchemeArrayCase{SchemeKind::Vantage, ArrayKind::SA16},
+        SchemeArrayCase{SchemeKind::Vantage, ArrayKind::SA64},
+        SchemeArrayCase{SchemeKind::Vantage, ArrayKind::Random},
+        SchemeArrayCase{SchemeKind::VantageDrrip, ArrayKind::Z4_52},
+        SchemeArrayCase{SchemeKind::VantageOracle,
+                        ArrayKind::Z4_52}),
+    schemeCaseName);
+
+// ---------------------------------------------------------------
+// VantageSweep over (u, Amax, slack)
+// ---------------------------------------------------------------
+
+using VantageCase = std::tuple<double, double, double>;
+
+class VantageSweep : public ::testing::TestWithParam<VantageCase>
+{
+};
+
+TEST_P(VantageSweep, ConvergesWithinSlackAndIsolates)
+{
+    const auto [u, amax, slack] = GetParam();
+    constexpr std::size_t kLines = 8192;
+    VantageConfig cfg;
+    cfg.numPartitions = 4;
+    cfg.unmanagedFraction = u;
+    cfg.maxAperture = amax;
+    cfg.slack = slack;
+    auto ctl = std::make_unique<VantageController>(kLines, cfg);
+    VantageController &c = *ctl;
+    Cache cache(std::make_unique<RandomArray>(kLines, 52, 5),
+                std::move(ctl), "l2");
+
+    Rng rng(21);
+    for (int round = 0; round < 120; ++round) {
+        for (PartId p = 0; p < 4; ++p) {
+            const Addr space = static_cast<Addr>(p + 1) << 40;
+            for (int i = 0; i < 400; ++i) {
+                cache.access(space | (rng.next() >> 16), p);
+            }
+        }
+    }
+    for (PartId p = 0; p < 4; ++p) {
+        const auto target = static_cast<double>(c.targetSize(p));
+        const auto actual = static_cast<double>(c.actualSize(p));
+        EXPECT_GE(actual, target * 0.93) << "u=" << u;
+        EXPECT_LE(actual, target * (1.0 + slack) + 96.0)
+            << "u=" << u << " Amax=" << amax;
+    }
+    // Forced evictions stay below the model's worst case for the
+    // *eviction* share of u (u minus the borrow/slack reserves).
+    const double reserve = (1.0 + slack) / (amax * 52.0);
+    const double u_ev = std::max(0.01, u - reserve);
+    const double bound = model::worstCaseEvictionProb(52, u_ev);
+    const auto &st = c.stats();
+    ASSERT_GT(st.evictions, 1000u);
+    const double measured =
+        static_cast<double>(st.evictionsFromManaged) /
+        static_cast<double>(st.evictions);
+    EXPECT_LE(measured, std::max(bound * 3.0, 1e-4))
+        << "u=" << u << " Amax=" << amax << " slack=" << slack;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigGrid, VantageSweep,
+    ::testing::Combine(::testing::Values(0.10, 0.20, 0.30), // u
+                       ::testing::Values(0.25, 0.5, 0.75),  // Amax
+                       ::testing::Values(0.05, 0.1, 0.3))); // slack
+
+// ---------------------------------------------------------------
+// ZGeometry over (ways, R)
+// ---------------------------------------------------------------
+
+using ZCase = std::tuple<std::uint32_t, std::uint32_t>;
+
+class ZGeometry : public ::testing::TestWithParam<ZCase>
+{
+};
+
+TEST_P(ZGeometry, WalkYieldsRAndPreservesResidents)
+{
+    const auto [ways, r] = GetParam();
+    const std::size_t lines = 256 * ways;
+    ZArray arr(lines, ways, r, 0x5);
+    Rng rng(ways * 1000 + r);
+    std::vector<Candidate> cands;
+    std::uint64_t resident = 0;
+
+    for (int i = 0; i < 20000; ++i) {
+        const Addr a = (rng.next() >> 8) % (lines * 8) + 1;
+        if (arr.lookup(a) != kInvalidLine) continue;
+        arr.candidates(a, cands);
+        ASSERT_LE(cands.size(), r);
+        // Pick a random victim; track occupancy.
+        const auto v =
+            static_cast<std::int32_t>(rng.range(cands.size()));
+        if (!arr.line(cands[v].slot).valid()) {
+            ++resident;
+        }
+        arr.replace(a, cands, v);
+        ASSERT_NE(arr.lookup(a), kInvalidLine);
+    }
+    EXPECT_GE(resident, lines * 98 / 100)
+        << "array should be nearly full";
+
+    // Top up the last empty slots (random victims may skip them),
+    // then the walk must produce exactly R candidates.
+    for (int i = 0; i < 20000 && resident < lines; ++i) {
+        const Addr a = (rng.next() >> 8) % (lines * 8) + 1;
+        if (arr.lookup(a) != kInvalidLine) continue;
+        arr.candidates(a, cands);
+        for (std::size_t j = 0; j < cands.size(); ++j) {
+            if (!arr.line(cands[j].slot).valid()) {
+                arr.replace(a, cands,
+                            static_cast<std::int32_t>(j));
+                ++resident;
+                break;
+            }
+        }
+    }
+    ASSERT_EQ(resident, lines);
+    arr.candidates(0xabcdef01, cands);
+    EXPECT_EQ(cands.size(), r);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ZGeometry,
+    ::testing::Values(ZCase{2, 2}, ZCase{2, 8}, ZCase{4, 4},
+                      ZCase{4, 16}, ZCase{4, 52}, ZCase{8, 8},
+                      ZCase{8, 32}, ZCase{8, 64}),
+    [](const ::testing::TestParamInfo<ZCase> &info) {
+        return "W" + std::to_string(std::get<0>(info.param)) + "_R" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------
+// AssocModel over R
+// ---------------------------------------------------------------
+
+class AssocModel : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(AssocModel, IdealArrayMatchesClosedForm)
+{
+    const std::uint32_t r = GetParam();
+    auto scheme = std::make_unique<Unpartitioned>(
+        1, std::make_unique<ExactLru>());
+    AssocProbe probe(128, 0x77);
+    scheme->attachProbe(&probe);
+    Cache cache(std::make_unique<RandomArray>(4096, r, 0x7),
+                std::move(scheme), "probe");
+    Rng rng(31);
+    for (int i = 0; i < 150000; ++i) {
+        cache.access(rng.next() >> 16, 0);
+    }
+    ASSERT_GT(probe.cdf().samples(), 50000u);
+    for (double x = 0.6; x < 1.0; x += 0.1) {
+        EXPECT_NEAR(probe.cdf().at(x), model::assocCdf(x, r),
+                    0.03 + model::assocCdf(x, r) * 0.25)
+            << "R=" << r << " x=" << x;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(CandidateCounts, AssocModel,
+                         ::testing::Values(2u, 4u, 8u, 16u, 32u),
+                         [](const auto &info) {
+                             return "R" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------
+// Lookahead properties over unit counts
+// ---------------------------------------------------------------
+
+class LookaheadSweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(LookaheadSweep, AlwaysSumsAndDominatesEqualSplit)
+{
+    const std::uint32_t units = GetParam();
+    Rng rng(units);
+    std::vector<std::vector<double>> curves(4);
+    for (auto &c : curves) {
+        double acc = 0.0;
+        c.push_back(0.0);
+        for (std::uint32_t v = 1; v <= units; ++v) {
+            acc += rng.uniform() * rng.uniform(); // Concave-ish.
+            c.push_back(acc);
+        }
+    }
+    const auto alloc = lookaheadAllocate(curves, units, 1);
+    std::uint32_t total = 0;
+    double utility = 0.0;
+    for (std::size_t p = 0; p < 4; ++p) {
+        total += alloc[p];
+        utility += curves[p][alloc[p]];
+    }
+    EXPECT_EQ(total, units);
+
+    double equal_utility = 0.0;
+    for (std::size_t p = 0; p < 4; ++p) {
+        equal_utility += curves[p][units / 4];
+    }
+    EXPECT_GE(utility, equal_utility * 0.999)
+        << "lookahead should not lose to a naive equal split";
+}
+
+INSTANTIATE_TEST_SUITE_P(UnitCounts, LookaheadSweep,
+                         ::testing::Values(8u, 16u, 64u, 256u),
+                         [](const auto &info) {
+                             return "U" + std::to_string(info.param);
+                         });
+
+} // namespace
+} // namespace vantage

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Tests for the replacement policies: exact LRU, coarse-timestamp
+ * LRU, the RRIP family, and LFU.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "array/set_assoc.h"
+#include "cache/cache.h"
+#include "common/rng.h"
+#include "partition/unpartitioned.h"
+#include "replacement/lfu.h"
+#include "replacement/lru.h"
+#include "replacement/nru.h"
+#include "replacement/rrip.h"
+
+namespace vantage {
+namespace {
+
+std::unique_ptr<Cache>
+makeCache(std::unique_ptr<ReplPolicy> policy, std::size_t lines = 256,
+          std::uint32_t ways = 4)
+{
+    return std::make_unique<Cache>(
+        std::make_unique<SetAssocArray>(lines, ways, true, 0xabc),
+        std::make_unique<Unpartitioned>(1, std::move(policy)), "c");
+}
+
+// ---------------------------------------------------------------
+// ExactLru
+// ---------------------------------------------------------------
+
+TEST(ExactLru, PrefersOlder)
+{
+    ExactLru lru;
+    Line a, b;
+    lru.onInsert(a);
+    lru.onInsert(b);
+    EXPECT_TRUE(lru.prefer(a, b));
+    lru.onHit(a);
+    EXPECT_TRUE(lru.prefer(b, a));
+}
+
+TEST(ExactLru, PriorityOrdersByAge)
+{
+    ExactLru lru;
+    Line a, b, c;
+    lru.onInsert(a);
+    lru.onInsert(b);
+    lru.onInsert(c);
+    EXPECT_GT(lru.priority(a), lru.priority(b));
+    EXPECT_GT(lru.priority(b), lru.priority(c));
+}
+
+TEST(ExactLru, CacheEvictsLeastRecentlyUsed)
+{
+    // Fully associative via 1 set: 4 ways, 4 lines.
+    auto cache = makeCache(std::make_unique<ExactLru>(), 4, 4);
+    for (Addr a = 1; a <= 4; ++a) {
+        cache->access(a, 0);
+    }
+    cache->access(1, 0); // Refresh 1; LRU is now 2.
+    cache->access(5, 0); // Evicts 2.
+    EXPECT_TRUE(cache->contains(1));
+    EXPECT_FALSE(cache->contains(2));
+    EXPECT_TRUE(cache->contains(5));
+}
+
+// ---------------------------------------------------------------
+// CoarseLru
+// ---------------------------------------------------------------
+
+TEST(CoarseLru, TimestampAdvancesEverySixteenth)
+{
+    CoarseLru lru(160); // Tick period = 10 accesses.
+    Line l;
+    const std::uint8_t t0 = lru.currentTimestamp();
+    for (int i = 0; i < 10; ++i) {
+        lru.onInsert(l);
+    }
+    EXPECT_EQ(lru.currentTimestamp(),
+              static_cast<std::uint8_t>(t0 + 1));
+}
+
+TEST(CoarseLru, PrefersLargerAge)
+{
+    CoarseLru lru(16); // Tick every access.
+    Line old_line, new_line;
+    lru.onInsert(old_line);
+    for (int i = 0; i < 50; ++i) {
+        Line tmp;
+        lru.onInsert(tmp);
+    }
+    lru.onInsert(new_line);
+    EXPECT_TRUE(lru.prefer(old_line, new_line));
+    EXPECT_GT(lru.priority(old_line), lru.priority(new_line));
+}
+
+TEST(CoarseLru, WrapAroundStillOrdersRecentPairs)
+{
+    CoarseLru lru(16);
+    // Push the timestamp through several wraparounds.
+    for (int i = 0; i < 1000; ++i) {
+        Line tmp;
+        lru.onInsert(tmp);
+    }
+    Line a;
+    lru.onInsert(a);
+    for (int i = 0; i < 20; ++i) {
+        Line tmp;
+        lru.onInsert(tmp);
+    }
+    Line b;
+    lru.onInsert(b);
+    EXPECT_TRUE(lru.prefer(a, b));
+}
+
+TEST(CoarseLru, ApproximatesLruInCache)
+{
+    // Working set just over capacity: LRU-ish behavior means very few
+    // hits; a small hot set re-accessed often keeps hitting.
+    auto cache = makeCache(std::make_unique<CoarseLru>(256), 256, 4);
+    Rng rng(3);
+    for (int i = 0; i < 20000; ++i) {
+        cache->access(1000 + rng.range(64), 0); // Hot set, 64 lines.
+        cache->access(2000 + rng.range(4096), 0); // Churn.
+    }
+    cache->resetStats();
+    for (int i = 0; i < 2000; ++i) {
+        cache->access(1000 + rng.range(64), 0);
+    }
+    const auto &stats = cache->partAccessStats(0);
+    EXPECT_GT(static_cast<double>(stats.hits) /
+                  static_cast<double>(stats.accesses()),
+              0.8);
+}
+
+// ---------------------------------------------------------------
+// RRIP family
+// ---------------------------------------------------------------
+
+TEST(Srrip, InsertsAtLongHitsToZero)
+{
+    Srrip policy;
+    Line l;
+    policy.onInsert(l);
+    EXPECT_EQ(l.rank, RripBase::kLong);
+    policy.onHit(l);
+    EXPECT_EQ(l.rank, 0);
+}
+
+TEST(Srrip, VictimIsMaxRrpvAndNeighborhoodAges)
+{
+    SetAssocArray arr(4, 4, false);
+    std::vector<Candidate> cands;
+    arr.candidates(0, cands);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        arr.replace(static_cast<Addr>(i * 4), cands, i);
+        arr.line(cands[i].slot).rank = static_cast<std::uint8_t>(i);
+    }
+    Srrip policy;
+    const std::int32_t victim = policy.selectVictim(arr, cands);
+    EXPECT_EQ(victim, 3);
+    // All candidates aged by 7 - 3 = 4.
+    EXPECT_EQ(arr.line(cands[0].slot).rank, 4);
+    EXPECT_EQ(arr.line(cands[2].slot).rank, 6);
+    EXPECT_EQ(arr.line(cands[3].slot).rank, 7);
+}
+
+TEST(Srrip, ScanResistance)
+{
+    // A hot working set plus a one-shot scan: SRRIP should keep the
+    // hot set (scan lines enter at RRPV 6 and get evicted first).
+    auto cache = makeCache(std::make_unique<Srrip>(), 256, 16);
+    Rng rng(5);
+    // Establish the hot set with reuse.
+    for (int i = 0; i < 8000; ++i) {
+        cache->access(1000 + rng.range(128), 0);
+    }
+    // Scan 4096 cold lines once.
+    for (Addr a = 0; a < 4096; ++a) {
+        cache->access(100000 + a, 0);
+    }
+    cache->resetStats();
+    for (int i = 0; i < 2000; ++i) {
+        cache->access(1000 + rng.range(128), 0);
+    }
+    const auto &stats = cache->partAccessStats(0);
+    EXPECT_GT(static_cast<double>(stats.hits) /
+                  static_cast<double>(stats.accesses()),
+              0.5);
+}
+
+TEST(Brrip, MostInsertionsAreDistant)
+{
+    Brrip policy(123);
+    int distant = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        Line l;
+        policy.onInsert(l);
+        if (l.rank == RripBase::kDistant) ++distant;
+    }
+    EXPECT_NEAR(static_cast<double>(distant) / n, 31.0 / 32.0, 0.01);
+}
+
+TEST(Drrip, DuelConvergesToBrripUnderThrash)
+{
+    // Thrashing working set (larger than cache): BRRIP wins the duel.
+    auto cache = makeCache(std::make_unique<Drrip>(512, 16, 7), 512, 16);
+    auto &drrip = static_cast<Drrip &>(
+        static_cast<Unpartitioned &>(cache->scheme()).policy());
+    for (int round = 0; round < 200; ++round) {
+        for (Addr a = 0; a < 2048; ++a) {
+            cache->access(a, 0);
+        }
+    }
+    EXPECT_TRUE(drrip.followersUseBrrip());
+}
+
+TEST(Drrip, DuelPrefersSrripUnderReuse)
+{
+    auto cache = makeCache(std::make_unique<Drrip>(512, 16, 9), 512, 16);
+    auto &drrip = static_cast<Drrip &>(
+        static_cast<Unpartitioned &>(cache->scheme()).policy());
+    Rng rng(11);
+    for (int i = 0; i < 50000; ++i) {
+        cache->access(rng.range(256), 0); // Fits comfortably.
+    }
+    EXPECT_FALSE(drrip.followersUseBrrip());
+}
+
+TEST(TaDrrip, PerPartitionInsertion)
+{
+    TaDrrip policy(2, 512, 16, 13);
+    Line a;
+    a.part = 0;
+    a.addr = 0x123;
+    policy.onInsert(a);
+    EXPECT_TRUE(a.rank == RripBase::kLong ||
+                a.rank == RripBase::kDistant);
+    Line b;
+    b.part = 1;
+    b.addr = 0x456;
+    policy.onInsert(b);
+    EXPECT_TRUE(b.rank == RripBase::kLong ||
+                b.rank == RripBase::kDistant);
+}
+
+TEST(TaDrripDeath, BadPartitionPanics)
+{
+    TaDrrip policy(2, 512, 16, 13);
+    Line l;
+    l.part = 5;
+    l.addr = 1;
+    EXPECT_DEATH(policy.onInsert(l), "out of range");
+}
+
+// ---------------------------------------------------------------
+// NRU / RandomRepl
+// ---------------------------------------------------------------
+
+TEST(Nru, EvictsNotRecentlyUsedFirst)
+{
+    SetAssocArray arr(4, 4, false);
+    std::vector<Candidate> cands;
+    arr.candidates(0, cands);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        arr.replace(static_cast<Addr>(i * 4), cands, i);
+        arr.line(cands[i].slot).rank = i == 2 ? 0 : 1;
+    }
+    Nru policy;
+    EXPECT_EQ(policy.selectVictim(arr, cands), 2);
+}
+
+TEST(Nru, ClearsNeighborhoodWhenAllUsed)
+{
+    SetAssocArray arr(4, 4, false);
+    std::vector<Candidate> cands;
+    arr.candidates(0, cands);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        arr.replace(static_cast<Addr>(i * 4), cands, i);
+        arr.line(cands[i].slot).rank = 1;
+    }
+    Nru policy;
+    EXPECT_EQ(policy.selectVictim(arr, cands), 0);
+    // All other candidates were aged to not-recently-used.
+    EXPECT_EQ(arr.line(cands[1].slot).rank, 0);
+    EXPECT_EQ(arr.line(cands[3].slot).rank, 0);
+}
+
+TEST(Nru, KeepsHotWorkingSet)
+{
+    auto cache = makeCache(std::make_unique<Nru>(), 256, 16);
+    Rng rng(21);
+    for (int i = 0; i < 20000; ++i) {
+        cache->access(1000 + rng.range(64), 0); // Hot.
+        cache->access(5000 + rng.range(2048), 0); // Churn.
+    }
+    cache->resetStats();
+    for (int i = 0; i < 2000; ++i) {
+        cache->access(1000 + rng.range(64), 0);
+    }
+    const auto &stats = cache->partAccessStats(0);
+    EXPECT_GT(static_cast<double>(stats.hits) /
+                  static_cast<double>(stats.accesses()),
+              0.6);
+}
+
+TEST(RandomRepl, DrawsAreSpreadAcrossCandidates)
+{
+    SetAssocArray arr(16, 16, false);
+    std::vector<Candidate> cands;
+    arr.candidates(0, cands);
+    for (std::uint32_t i = 0; i < 16; ++i) {
+        arr.replace(static_cast<Addr>(i * 1), cands, i);
+    }
+    RandomRepl policy(7);
+    std::vector<int> counts(16, 0);
+    for (int i = 0; i < 16000; ++i) {
+        ++counts[policy.selectVictim(arr, cands)];
+    }
+    for (const int c : counts) {
+        EXPECT_NEAR(c, 1000, 250);
+    }
+}
+
+// ---------------------------------------------------------------
+// LFU
+// ---------------------------------------------------------------
+
+TEST(Lfu, PrefersLessFrequent)
+{
+    Lfu lfu;
+    Line hot, cold;
+    lfu.onInsert(hot);
+    lfu.onInsert(cold);
+    for (int i = 0; i < 5; ++i) {
+        lfu.onHit(hot);
+    }
+    EXPECT_TRUE(lfu.prefer(cold, hot));
+    EXPECT_GT(lfu.priority(cold), lfu.priority(hot));
+}
+
+TEST(Lfu, CounterSaturates)
+{
+    Lfu lfu;
+    Line l;
+    lfu.onInsert(l);
+    for (int i = 0; i < 1000; ++i) {
+        lfu.onHit(l);
+    }
+    EXPECT_EQ(l.rank, 255);
+}
+
+} // namespace
+} // namespace vantage

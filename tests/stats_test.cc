@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for statistics utilities: counters, CDFs, time series, and
+ * the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "stats/cdf.h"
+#include "stats/counters.h"
+#include "stats/table.h"
+#include "stats/timeseries.h"
+
+namespace vantage {
+namespace {
+
+// ---------------------------------------------------------------
+// Counter / RunningStat
+// ---------------------------------------------------------------
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c("evictions");
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(9);
+    EXPECT_EQ(c.value(), 10u);
+    EXPECT_EQ(c.name(), "evictions");
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(RunningStat, MeanVarianceMinMax)
+{
+    RunningStat s;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+        s.add(x);
+    }
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleSampleHasZeroVariance)
+{
+    RunningStat s;
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+// ---------------------------------------------------------------
+// EmpiricalCdf
+// ---------------------------------------------------------------
+
+TEST(EmpiricalCdf, EmptyReturnsZero)
+{
+    EmpiricalCdf cdf;
+    EXPECT_EQ(cdf.samples(), 0u);
+    EXPECT_EQ(cdf.at(0.5), 0.0);
+}
+
+TEST(EmpiricalCdf, UniformSamplesMatchIdentity)
+{
+    EmpiricalCdf cdf;
+    Rng rng(3);
+    for (int i = 0; i < 200000; ++i) {
+        cdf.add(rng.uniform());
+    }
+    for (double x = 0.1; x < 1.0; x += 0.1) {
+        EXPECT_NEAR(cdf.at(x), x, 0.01);
+    }
+}
+
+TEST(EmpiricalCdf, PointMass)
+{
+    EmpiricalCdf cdf(100);
+    for (int i = 0; i < 100; ++i) {
+        cdf.add(0.75);
+    }
+    EXPECT_NEAR(cdf.at(0.74), 0.0, 1e-9);
+    EXPECT_NEAR(cdf.at(0.76), 1.0, 1e-9);
+    EXPECT_NEAR(cdf.quantile(0.5), 0.75, 0.02);
+}
+
+TEST(EmpiricalCdf, ClampsOutOfRange)
+{
+    EmpiricalCdf cdf(10);
+    cdf.add(-3.0);
+    cdf.add(17.0);
+    EXPECT_EQ(cdf.samples(), 2u);
+    EXPECT_NEAR(cdf.quantile(0.01), 0.1, 1e-9);
+    EXPECT_NEAR(cdf.quantile(1.0), 1.0, 1e-9);
+}
+
+TEST(EmpiricalCdf, QuantileInvertsAt)
+{
+    EmpiricalCdf cdf;
+    Rng rng(5);
+    for (int i = 0; i < 50000; ++i) {
+        cdf.add(rng.uniform() * rng.uniform()); // Skewed low.
+    }
+    for (double q = 0.1; q < 1.0; q += 0.2) {
+        const double x = cdf.quantile(q);
+        EXPECT_NEAR(cdf.at(x), q, 0.02);
+    }
+}
+
+TEST(EmpiricalCdf, ResetClears)
+{
+    EmpiricalCdf cdf;
+    cdf.add(0.4);
+    cdf.reset();
+    EXPECT_EQ(cdf.samples(), 0u);
+}
+
+TEST(EmpiricalCdfDeath, BadQuantilePanics)
+{
+    EmpiricalCdf cdf;
+    cdf.add(0.5);
+    EXPECT_DEATH(cdf.quantile(1.5), "out of range");
+}
+
+// ---------------------------------------------------------------
+// TimeSeries
+// ---------------------------------------------------------------
+
+TEST(TimeSeries, RecordsPointsInOrder)
+{
+    TimeSeries ts("size");
+    ts.add(10, 1.0);
+    ts.add(20, 3.0);
+    ASSERT_EQ(ts.points().size(), 2u);
+    EXPECT_EQ(ts.points()[0].time, 10u);
+    EXPECT_DOUBLE_EQ(ts.points()[1].value, 3.0);
+    EXPECT_DOUBLE_EQ(ts.mean(), 2.0);
+    EXPECT_EQ(ts.name(), "size");
+}
+
+TEST(TimeSeries, EmptyMeanIsZero)
+{
+    TimeSeries ts;
+    EXPECT_TRUE(ts.empty());
+    EXPECT_EQ(ts.mean(), 0.0);
+}
+
+// ---------------------------------------------------------------
+// TablePrinter
+// ---------------------------------------------------------------
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer-name", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    // Header/separator/rows: 4 lines.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TablePrinter, FormatHelpers)
+{
+    EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::fmt(2.0, 0), "2");
+    EXPECT_EQ(TablePrinter::fmtSci(0.000123, 1), "1.2e-04");
+}
+
+TEST(TablePrinterDeath, WrongArityPanics)
+{
+    TablePrinter t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "cells");
+}
+
+} // namespace
+} // namespace vantage

@@ -1,0 +1,414 @@
+/**
+ * @file
+ * Tests for the Vantage controller: size convergence, isolation,
+ * feedback bounds, promotions, deletion, and accounting invariants.
+ *
+ * Most tests drive a Cache built on the idealized RandomArray (the
+ * analysis' uniformity assumption holds exactly there) with synthetic
+ * per-partition traffic, then check the properties the paper proves.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "array/random_array.h"
+#include "array/zarray.h"
+#include "cache/cache.h"
+#include "common/rng.h"
+#include "core/model.h"
+#include "core/vantage.h"
+
+namespace vantage {
+namespace {
+
+constexpr std::size_t kLines = 8192;
+
+std::unique_ptr<Cache>
+makeVantageCache(const VantageConfig &cfg, bool zcache = false,
+                 std::uint32_t r = 52)
+{
+    std::unique_ptr<CacheArray> array;
+    if (zcache) {
+        array = std::make_unique<ZArray>(kLines, 4, r, 0x77);
+    } else {
+        array = std::make_unique<RandomArray>(kLines, r, 0x77);
+    }
+    return std::make_unique<Cache>(
+        std::move(array),
+        std::make_unique<VantageController>(kLines, cfg), "l2");
+}
+
+VantageController &
+controller(Cache &cache)
+{
+    return static_cast<VantageController &>(cache.scheme());
+}
+
+/** Per-partition streaming traffic: always-miss churn. */
+void
+streamTraffic(Cache &cache, PartId part, std::uint64_t accesses,
+              Rng &rng)
+{
+    const Addr space = static_cast<Addr>(part + 1) << 40;
+    for (std::uint64_t i = 0; i < accesses; ++i) {
+        cache.access(space | (rng.next() >> 16), part);
+    }
+}
+
+/** Re-use traffic over a fixed working set (mostly hits once warm). */
+void
+reuseTraffic(Cache &cache, PartId part, std::uint64_t ws_lines,
+             std::uint64_t accesses, Rng &rng)
+{
+    const Addr space = static_cast<Addr>(part + 1) << 40;
+    for (std::uint64_t i = 0; i < accesses; ++i) {
+        cache.access(space | rng.range(ws_lines), part);
+    }
+}
+
+TEST(VantageController, ConstructionDefaults)
+{
+    VantageConfig cfg;
+    cfg.numPartitions = 4;
+    cfg.unmanagedFraction = 0.25;
+    VantageController ctl(1000, cfg);
+    EXPECT_EQ(ctl.managedLines(), 750u);
+    EXPECT_EQ(ctl.allocationQuantum(), 256u);
+    std::uint64_t total = 0;
+    for (PartId p = 0; p < 4; ++p) {
+        total += ctl.targetSize(p);
+        EXPECT_EQ(ctl.actualSize(p), 0u);
+    }
+    EXPECT_EQ(total, 750u);
+}
+
+TEST(VantageController, SetAllocationsScalesToManagedRegion)
+{
+    VantageConfig cfg;
+    cfg.numPartitions = 2;
+    cfg.unmanagedFraction = 0.5;
+    VantageController ctl(1024, cfg);
+    ctl.setAllocations({192, 64}); // 3/4 and 1/4 of 256 units.
+    EXPECT_EQ(ctl.targetSize(0), 384u);
+    EXPECT_EQ(ctl.targetSize(1), 128u);
+}
+
+TEST(VantageControllerDeath, OversizedTargetsAreFatal)
+{
+    VantageConfig cfg;
+    cfg.numPartitions = 1;
+    cfg.unmanagedFraction = 0.5;
+    VantageController ctl(1024, cfg);
+    EXPECT_EXIT(ctl.setTargetLines({513}),
+                ::testing::ExitedWithCode(1), "managed region");
+}
+
+TEST(VantageController, SizesConvergeUnderEqualChurn)
+{
+    VantageConfig cfg;
+    cfg.numPartitions = 4;
+    cfg.unmanagedFraction = 0.15;
+    auto cache = makeVantageCache(cfg);
+    VantageController &ctl = controller(*cache);
+
+    Rng rng(5);
+    for (int round = 0; round < 200; ++round) {
+        for (PartId p = 0; p < 4; ++p) {
+            streamTraffic(*cache, p, 500, rng);
+        }
+    }
+    for (PartId p = 0; p < 4; ++p) {
+        const auto target = static_cast<double>(ctl.targetSize(p));
+        const auto actual = static_cast<double>(ctl.actualSize(p));
+        EXPECT_GE(actual, target * 0.97)
+            << "partition " << p << " under target";
+        EXPECT_LE(actual, target * (1.0 + cfg.slack) + 64.0)
+            << "partition " << p << " beyond feedback slack";
+    }
+}
+
+TEST(VantageController, UnequalTargetsAreTracked)
+{
+    VantageConfig cfg;
+    cfg.numPartitions = 4;
+    cfg.unmanagedFraction = 0.15;
+    auto cache = makeVantageCache(cfg);
+    VantageController &ctl = controller(*cache);
+    const std::uint64_t m = ctl.managedLines();
+    ctl.setTargetLines({m / 2, m / 4, m / 8, m / 8});
+
+    Rng rng(7);
+    for (int round = 0; round < 200; ++round) {
+        for (PartId p = 0; p < 4; ++p) {
+            streamTraffic(*cache, p, 500, rng);
+        }
+    }
+    for (PartId p = 0; p < 4; ++p) {
+        const auto target = static_cast<double>(ctl.targetSize(p));
+        const auto actual = static_cast<double>(ctl.actualSize(p));
+        EXPECT_GE(actual, target * 0.95);
+        EXPECT_LE(actual, target * (1.0 + cfg.slack) + 64.0);
+    }
+}
+
+TEST(VantageController, IsolationProtectsQuietPartition)
+{
+    // Partition 0 holds a working set below its target and re-uses
+    // it; partition 1 thrashes. P0 must keep (nearly) all its lines:
+    // Vantage eliminates inter-partition interference.
+    VantageConfig cfg;
+    cfg.numPartitions = 2;
+    cfg.unmanagedFraction = 0.15;
+    auto cache = makeVantageCache(cfg);
+    VantageController &ctl = controller(*cache);
+    const std::uint64_t ws = ctl.targetSize(0) / 2;
+
+    Rng rng(9);
+    reuseTraffic(*cache, 0, ws, 8 * ws, rng); // Warm P0.
+    const std::uint64_t before = ctl.actualSize(0);
+    EXPECT_GE(before, ws * 95 / 100);
+
+    streamTraffic(*cache, 1, 200000, rng); // Thrash P1 hard.
+
+    // P0 was never over target, so none of its lines were demoted.
+    EXPECT_EQ(ctl.partStats(0).demotions, 0u);
+    EXPECT_GE(ctl.actualSize(0), before * 95 / 100);
+
+    // And its content is still there: re-touching the set hits.
+    cache->resetStats();
+    reuseTraffic(*cache, 0, ws, ws, rng);
+    const auto &stats = cache->partAccessStats(0);
+    EXPECT_GT(static_cast<double>(stats.hits) /
+                  static_cast<double>(stats.accesses()),
+              0.95);
+}
+
+TEST(VantageController, EvictionsComeFromUnmanagedRegion)
+{
+    VantageConfig cfg;
+    cfg.numPartitions = 4;
+    cfg.unmanagedFraction = 0.15;
+    auto cache = makeVantageCache(cfg);
+    VantageController &ctl = controller(*cache);
+
+    Rng rng(11);
+    for (int round = 0; round < 100; ++round) {
+        for (PartId p = 0; p < 4; ++p) {
+            streamTraffic(*cache, p, 1000, rng);
+        }
+    }
+    const VantageStats &s = ctl.stats();
+    ASSERT_GT(s.evictions, 10000u);
+    const double forced_frac =
+        static_cast<double>(s.evictionsFromManaged) /
+        static_cast<double>(s.evictions);
+    EXPECT_LT(forced_frac, 0.02)
+        << "unmanaged region should absorb nearly all evictions";
+}
+
+TEST(VantageController, AccountingInvariantHolds)
+{
+    VantageConfig cfg;
+    cfg.numPartitions = 3;
+    cfg.unmanagedFraction = 0.2;
+    auto cache = makeVantageCache(cfg);
+    VantageController &ctl = controller(*cache);
+
+    Rng rng(13);
+    for (int round = 0; round < 50; ++round) {
+        for (PartId p = 0; p < 3; ++p) {
+            streamTraffic(*cache, p, 300, rng);
+            reuseTraffic(*cache, p, 200, 300, rng);
+        }
+        std::uint64_t tracked = ctl.unmanagedSize();
+        for (PartId p = 0; p < 3; ++p) {
+            tracked += ctl.actualSize(p);
+        }
+        std::uint64_t valid = 0;
+        for (LineId s = 0; s < cache->array().numLines(); ++s) {
+            if (cache->array().line(s).valid()) ++valid;
+        }
+        ASSERT_EQ(tracked, valid)
+            << "size accounting diverged from array contents";
+    }
+}
+
+TEST(VantageController, PromotionsRecoverReusedLines)
+{
+    VantageConfig cfg;
+    cfg.numPartitions = 2;
+    cfg.unmanagedFraction = 0.3;
+    auto cache = makeVantageCache(cfg);
+    VantageController &ctl = controller(*cache);
+
+    Rng rng(17);
+    // Working set slightly over target: constant demotions, but the
+    // lines keep being re-used, so demoted lines get promoted back.
+    const std::uint64_t ws = ctl.targetSize(0) + ctl.targetSize(0) / 4;
+    reuseTraffic(*cache, 0, ws, 30 * ws, rng);
+    EXPECT_GT(ctl.partStats(0).demotions, 0u);
+    EXPECT_GT(ctl.partStats(0).promotions, 0u);
+    EXPECT_GT(ctl.stats().promotions, 0u);
+}
+
+TEST(VantageController, DeletePartitionDrains)
+{
+    VantageConfig cfg;
+    cfg.numPartitions = 2;
+    cfg.unmanagedFraction = 0.15;
+    auto cache = makeVantageCache(cfg);
+    VantageController &ctl = controller(*cache);
+
+    Rng rng(19);
+    streamTraffic(*cache, 0, 30000, rng);
+    streamTraffic(*cache, 1, 30000, rng);
+    ASSERT_GT(ctl.actualSize(0), 1000u);
+
+    ctl.deletePartition(0);
+    EXPECT_EQ(ctl.targetSize(0), 0u);
+    // Keep churning partition 1; its misses demote P0's lines.
+    streamTraffic(*cache, 1, 300000, rng);
+    EXPECT_LT(ctl.actualSize(0), 64u)
+        << "deleted partition should drain to ~zero";
+}
+
+TEST(VantageController, DownsizeConvergesToNewTarget)
+{
+    VantageConfig cfg;
+    cfg.numPartitions = 2;
+    cfg.unmanagedFraction = 0.15;
+    auto cache = makeVantageCache(cfg);
+    VantageController &ctl = controller(*cache);
+
+    Rng rng(23);
+    for (int r = 0; r < 50; ++r) {
+        streamTraffic(*cache, 0, 1000, rng);
+        streamTraffic(*cache, 1, 1000, rng);
+    }
+    const std::uint64_t m = ctl.managedLines();
+    ctl.setTargetLines({m / 8, 7 * m / 8});
+    for (int r = 0; r < 100; ++r) {
+        streamTraffic(*cache, 0, 1000, rng);
+        streamTraffic(*cache, 1, 1000, rng);
+    }
+    const auto t0 = static_cast<double>(ctl.targetSize(0));
+    const auto a0 = static_cast<double>(ctl.actualSize(0));
+    EXPECT_LE(a0, t0 * (1.0 + cfg.slack) + 64.0);
+    const auto t1 = static_cast<double>(ctl.targetSize(1));
+    EXPECT_GE(static_cast<double>(ctl.actualSize(1)), t1 * 0.95);
+}
+
+TEST(VantageController, HighChurnTinyPartitionStaysBounded)
+{
+    // A 1-line-target partition with huge churn must stabilize at its
+    // minimum stable size, bounded by ~1/(Amax R) of the cache
+    // (Eq. 5/6), not grow without limit.
+    VantageConfig cfg;
+    cfg.numPartitions = 2;
+    cfg.unmanagedFraction = 0.25;
+    cfg.maxAperture = 0.4;
+    auto cache = makeVantageCache(cfg);
+    VantageController &ctl = controller(*cache);
+    const std::uint64_t m = ctl.managedLines();
+    ctl.setTargetLines({1, m - 1});
+
+    Rng rng(29);
+    // Warm P1 to its allocation, then thrash P0 only (worst case:
+    // other partitions have zero churn).
+    streamTraffic(*cache, 1, 8 * m, rng);
+    streamTraffic(*cache, 0, 400000, rng);
+
+    const double bound =
+        model::worstCaseBorrow(cfg.maxAperture, 52) *
+        static_cast<double>(kLines);
+    EXPECT_LE(static_cast<double>(ctl.actualSize(0)),
+              bound * 1.35 + 64.0)
+        << "minimum stable size exceeded the analytic bound";
+    EXPECT_GT(ctl.actualSize(0), 16u)
+        << "high-churn partition should hold a working size";
+}
+
+TEST(VantageController, WorksOnZcache)
+{
+    VantageConfig cfg;
+    cfg.numPartitions = 4;
+    cfg.unmanagedFraction = 0.15;
+    auto cache = makeVantageCache(cfg, /*zcache=*/true);
+    VantageController &ctl = controller(*cache);
+
+    Rng rng(31);
+    for (int round = 0; round < 150; ++round) {
+        for (PartId p = 0; p < 4; ++p) {
+            streamTraffic(*cache, p, 500, rng);
+        }
+    }
+    for (PartId p = 0; p < 4; ++p) {
+        const auto target = static_cast<double>(ctl.targetSize(p));
+        const auto actual = static_cast<double>(ctl.actualSize(p));
+        EXPECT_GE(actual, target * 0.95);
+        EXPECT_LE(actual, target * (1.0 + cfg.slack) + 96.0);
+    }
+    const VantageStats &s = ctl.stats();
+    const double forced_frac =
+        static_cast<double>(s.evictionsFromManaged) /
+        static_cast<double>(s.evictions);
+    EXPECT_LT(forced_frac, 0.05);
+}
+
+TEST(VantageController, TimestampWraparoundIsHarmless)
+{
+    // Run long enough for many 8-bit timestamp wraparounds.
+    VantageConfig cfg;
+    cfg.numPartitions = 1;
+    cfg.unmanagedFraction = 0.2;
+    auto cache = makeVantageCache(cfg);
+    VantageController &ctl = controller(*cache);
+
+    Rng rng(37);
+    reuseTraffic(*cache, 0, ctl.targetSize(0) + 200, 3'000'000, rng);
+    const auto target = static_cast<double>(ctl.targetSize(0));
+    EXPECT_LE(static_cast<double>(ctl.actualSize(0)),
+              target * (1.0 + cfg.slack) + 64.0);
+}
+
+TEST(VantageController, DemotionCdfIsSkewedHigh)
+{
+    // With healthy apertures, demoted lines should come from the top
+    // of the partition's eviction priorities (Fig. 2c).
+    VantageConfig cfg;
+    cfg.numPartitions = 2;
+    cfg.unmanagedFraction = 0.3;
+    auto cache = makeVantageCache(cfg);
+    VantageController &ctl = controller(*cache);
+    EmpiricalCdf cdf;
+    ctl.attachDemotionCdf(0, &cdf);
+
+    Rng rng(41);
+    for (int r = 0; r < 100; ++r) {
+        streamTraffic(*cache, 0, 1000, rng);
+        streamTraffic(*cache, 1, 1000, rng);
+    }
+    ASSERT_GT(cdf.samples(), 1000u);
+    // Median demotion priority should be well above 0.5.
+    EXPECT_GT(cdf.quantile(0.5), 0.7);
+}
+
+TEST(VantageController, StatsResetKeepsState)
+{
+    VantageConfig cfg;
+    cfg.numPartitions = 2;
+    cfg.unmanagedFraction = 0.2;
+    auto cache = makeVantageCache(cfg);
+    VantageController &ctl = controller(*cache);
+    Rng rng(43);
+    streamTraffic(*cache, 0, 20000, rng);
+    const std::uint64_t size = ctl.actualSize(0);
+    ctl.resetStats();
+    EXPECT_EQ(ctl.stats().evictions, 0u);
+    EXPECT_EQ(ctl.partStats(0).insertions, 0u);
+    EXPECT_EQ(ctl.actualSize(0), size);
+}
+
+} // namespace
+} // namespace vantage

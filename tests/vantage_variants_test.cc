@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the Vantage variants: the perfect-aperture oracle and the
+ * RRIP-ranked controller (Vantage-DRRIP's enforcement half).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "array/random_array.h"
+#include "cache/cache.h"
+#include "common/rng.h"
+#include "core/vantage_variants.h"
+
+namespace vantage {
+namespace {
+
+constexpr std::size_t kLines = 8192;
+
+template <typename Controller>
+std::unique_ptr<Cache>
+makeCache(const VantageConfig &cfg)
+{
+    return std::make_unique<Cache>(
+        std::make_unique<RandomArray>(kLines, 52, 0x99),
+        std::make_unique<Controller>(kLines, cfg), "l2");
+}
+
+void
+stream(Cache &cache, PartId part, std::uint64_t accesses, Rng &rng)
+{
+    const Addr space = static_cast<Addr>(part + 1) << 40;
+    for (std::uint64_t i = 0; i < accesses; ++i) {
+        cache.access(space | (rng.next() >> 16), part);
+    }
+}
+
+void
+reuse(Cache &cache, PartId part, std::uint64_t ws,
+      std::uint64_t accesses, Rng &rng)
+{
+    const Addr space = static_cast<Addr>(part + 1) << 40;
+    for (std::uint64_t i = 0; i < accesses; ++i) {
+        cache.access(space | rng.range(ws), part);
+    }
+}
+
+// ---------------------------------------------------------------
+// VantageOracle
+// ---------------------------------------------------------------
+
+TEST(VantageOracle, SizesConvergeLikePractical)
+{
+    VantageConfig cfg;
+    cfg.numPartitions = 4;
+    cfg.unmanagedFraction = 0.15;
+    auto cache = makeCache<VantageOracle>(cfg);
+    auto &ctl = static_cast<VantageController &>(cache->scheme());
+
+    Rng rng(3);
+    for (int round = 0; round < 150; ++round) {
+        for (PartId p = 0; p < 4; ++p) {
+            stream(*cache, p, 500, rng);
+        }
+    }
+    for (PartId p = 0; p < 4; ++p) {
+        const auto target = static_cast<double>(ctl.targetSize(p));
+        const auto actual = static_cast<double>(ctl.actualSize(p));
+        EXPECT_GE(actual, target * 0.95);
+        EXPECT_LE(actual, target * (1.0 + cfg.slack) + 96.0);
+    }
+}
+
+TEST(VantageOracle, MatchesPracticalControllerSizes)
+{
+    // Sec. 6.2: the oracle "performs exactly as the practical
+    // implementation". Compare steady-state sizes under identical
+    // traffic.
+    VantageConfig cfg;
+    cfg.numPartitions = 2;
+    cfg.unmanagedFraction = 0.15;
+    auto oracle = makeCache<VantageOracle>(cfg);
+    auto practical = makeCache<VantageController>(cfg);
+
+    Rng rng_a(7), rng_b(7);
+    for (int round = 0; round < 150; ++round) {
+        for (PartId p = 0; p < 2; ++p) {
+            stream(*oracle, p, 400, rng_a);
+            stream(*practical, p, 400, rng_b);
+        }
+    }
+    for (PartId p = 0; p < 2; ++p) {
+        const auto a = static_cast<double>(
+            static_cast<VantageController &>(oracle->scheme())
+                .actualSize(p));
+        const auto b = static_cast<double>(
+            static_cast<VantageController &>(practical->scheme())
+                .actualSize(p));
+        EXPECT_NEAR(a, b, 0.05 * b + 64.0);
+    }
+}
+
+TEST(VantageOracle, DemotionsAreTopOfDistribution)
+{
+    VantageConfig cfg;
+    cfg.numPartitions = 2;
+    cfg.unmanagedFraction = 0.25;
+    auto cache = makeCache<VantageOracle>(cfg);
+    auto &ctl = static_cast<VantageController &>(cache->scheme());
+    EmpiricalCdf cdf;
+    ctl.attachDemotionCdf(0, &cdf);
+
+    Rng rng(11);
+    for (int round = 0; round < 100; ++round) {
+        stream(*cache, 0, 800, rng);
+        stream(*cache, 1, 800, rng);
+    }
+    ASSERT_GT(cdf.samples(), 500u);
+    // Oracle demotions use the exact quantile, so nothing should be
+    // demoted below 1 - Amax.
+    EXPECT_LT(cdf.at(1.0 - cfg.maxAperture - 0.05), 0.02);
+}
+
+// ---------------------------------------------------------------
+// VantageRrip
+// ---------------------------------------------------------------
+
+TEST(VantageRrip, SizesConverge)
+{
+    VantageConfig cfg;
+    cfg.numPartitions = 4;
+    cfg.unmanagedFraction = 0.15;
+    auto cache = makeCache<VantageRrip>(cfg);
+    auto &ctl = static_cast<VantageController &>(cache->scheme());
+
+    Rng rng(13);
+    for (int round = 0; round < 150; ++round) {
+        for (PartId p = 0; p < 4; ++p) {
+            stream(*cache, p, 500, rng);
+        }
+    }
+    for (PartId p = 0; p < 4; ++p) {
+        const auto target = static_cast<double>(ctl.targetSize(p));
+        const auto actual = static_cast<double>(ctl.actualSize(p));
+        EXPECT_GE(actual, target * 0.90);
+        EXPECT_LE(actual, target * (1.0 + cfg.slack) + 128.0);
+    }
+}
+
+TEST(VantageRrip, InsertionPolicyPerPartition)
+{
+    VantageConfig cfg;
+    cfg.numPartitions = 2;
+    cfg.unmanagedFraction = 0.2;
+    VantageRrip ctl(1024, cfg);
+    ctl.setBrrip(0, false);
+    ctl.setBrrip(1, true);
+    EXPECT_FALSE(ctl.usesBrrip(0));
+    EXPECT_TRUE(ctl.usesBrrip(1));
+}
+
+TEST(VantageRrip, ScanResistantPartition)
+{
+    // With SRRIP insertion, a partition holding a hot set should
+    // survive its own scans (the Vantage layer protects it from the
+    // other partition anyway).
+    VantageConfig cfg;
+    cfg.numPartitions = 2;
+    cfg.unmanagedFraction = 0.2;
+    auto cache = makeCache<VantageRrip>(cfg);
+    auto &ctl = static_cast<VantageRrip &>(cache->scheme());
+    ctl.setBrrip(0, false);
+
+    Rng rng(17);
+    const std::uint64_t hot = ctl.targetSize(0) / 2;
+    reuse(*cache, 0, hot, 10 * hot, rng); // Warm hot set.
+    // Scan within the same partition: one pass over a large range.
+    const Addr scan_space = (1ull << 40) | (1ull << 30);
+    for (Addr a = 0; a < ctl.targetSize(0); ++a) {
+        cache->access(scan_space | a, 0);
+    }
+    cache->resetStats();
+    reuse(*cache, 0, hot, hot, rng);
+    const auto &stats = cache->partAccessStats(0);
+    EXPECT_GT(static_cast<double>(stats.hits) /
+                  static_cast<double>(stats.accesses()),
+              0.5);
+}
+
+TEST(VantageRrip, IsolationHolds)
+{
+    VantageConfig cfg;
+    cfg.numPartitions = 2;
+    cfg.unmanagedFraction = 0.2;
+    auto cache = makeCache<VantageRrip>(cfg);
+    auto &ctl = static_cast<VantageController &>(cache->scheme());
+
+    Rng rng(19);
+    const std::uint64_t ws = ctl.targetSize(0) / 2;
+    reuse(*cache, 0, ws, 8 * ws, rng);
+    stream(*cache, 1, 200000, rng);
+    EXPECT_EQ(ctl.partStats(0).demotions, 0u);
+
+    cache->resetStats();
+    reuse(*cache, 0, ws, ws, rng);
+    const auto &stats = cache->partAccessStats(0);
+    EXPECT_GT(static_cast<double>(stats.hits) /
+                  static_cast<double>(stats.accesses()),
+              0.9);
+}
+
+TEST(VantageRrip, SetpointStaysInRrpvRange)
+{
+    VantageConfig cfg;
+    cfg.numPartitions = 2;
+    cfg.unmanagedFraction = 0.15;
+    auto cache = makeCache<VantageRrip>(cfg);
+    auto &ctl = static_cast<VantageRrip &>(cache->scheme());
+
+    Rng rng(23);
+    for (int round = 0; round < 100; ++round) {
+        stream(*cache, 0, 1000, rng);
+        stream(*cache, 1, 1000, rng);
+    }
+    for (PartId p = 0; p < 2; ++p) {
+        EXPECT_GE(ctl.setpointRrpv(p), 1);
+        EXPECT_LE(ctl.setpointRrpv(p), RripBase::kDistant + 1);
+    }
+}
+
+} // namespace
+} // namespace vantage

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Parameterized per-profile miss-curve properties (TEST_P over all
+ * 29 Table-3 profiles): every synthetic application's *measured*
+ * cache behavior must have its category's shape. This is the
+ * workload layer's contract with the evaluation — if these hold,
+ * the mixes stress the partitioning schemes the way SPEC stresses
+ * them in the paper.
+ *
+ * To keep the suite fast, curves are measured with a raw cache (no
+ * CMP simulator) at three probe sizes per category.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "array/set_assoc.h"
+#include "cache/cache.h"
+#include "partition/unpartitioned.h"
+#include "replacement/lru.h"
+#include "workload/app_model.h"
+#include "workload/profiles.h"
+
+namespace vantage {
+namespace {
+
+/** Steady-state miss rate of `app` on a cache of `lines` lines. */
+double
+missRateAt(const AppSpec &spec, std::uint64_t lines,
+           std::uint64_t accesses = 120'000)
+{
+    Cache cache(std::make_unique<SetAssocArray>(lines, 16, true, 0x3),
+                std::make_unique<Unpartitioned>(
+                    1, std::make_unique<ExactLru>()),
+                "probe");
+    AppModel app(spec, 0, 0xbeef);
+    // Warm.
+    for (std::uint64_t i = 0; i < accesses / 2; ++i) {
+        cache.access(app.nextAddr(), 0);
+    }
+    cache.resetStats();
+    for (std::uint64_t i = 0; i < accesses; ++i) {
+        cache.access(app.nextAddr(), 0);
+    }
+    return cache.totalStats().missRate();
+}
+
+class ProfileCurve : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const AppSpec &spec() const { return appByName(GetParam()); }
+};
+
+TEST_P(ProfileCurve, ShapeMatchesCategory)
+{
+    const AppSpec &app = spec();
+    switch (app.category) {
+      case Category::Insensitive: {
+        // Small working set: a 1 MB cache captures essentially all
+        // reuse.
+        const double mr = missRateAt(app, 16384);
+        EXPECT_LT(mr, 0.02) << app.name;
+        break;
+      }
+      case Category::CacheFriendly: {
+        // Gradual: each doubling from 256 KB to 4 MB helps.
+        const double mr256k = missRateAt(app, 4096);
+        const double mr1m = missRateAt(app, 16384);
+        const double mr4m = missRateAt(app, 65536);
+        EXPECT_GT(mr256k, mr1m * 1.05) << app.name;
+        EXPECT_GT(mr1m, mr4m * 1.05) << app.name;
+        EXPECT_GT(mr4m, 0.0) << app.name;
+        break;
+      }
+      case Category::CacheFitting: {
+        // Sharp knee: 4 MB nearly eliminates misses, 512 KB does
+        // not come close.
+        const double mr512k = missRateAt(app, 8192);
+        const double mr4m = missRateAt(app, 65536);
+        EXPECT_GT(mr512k, 0.2) << app.name;
+        EXPECT_LT(mr4m, mr512k * 0.2) << app.name;
+        break;
+      }
+      case Category::Streaming: {
+        // Capacity never helps: 4 MB is no better than 256 KB
+        // (within 20%), and misses stay heavy.
+        const double mr256k = missRateAt(app, 4096);
+        const double mr4m = missRateAt(app, 65536);
+        EXPECT_GT(mr4m, 0.3) << app.name;
+        EXPECT_GT(mr4m, mr256k * 0.8) << app.name;
+        break;
+      }
+    }
+}
+
+TEST_P(ProfileCurve, GeneratorIsDeterministic)
+{
+    AppModel a(spec(), 1, 7), b(spec(), 1, 7);
+    for (int i = 0; i < 2000; ++i) {
+        ASSERT_EQ(a.nextAddr(), b.nextAddr());
+    }
+}
+
+TEST_P(ProfileCurve, StoresRoughlyMatchStoreFraction)
+{
+    AppModel app(spec(), 0, 11);
+    int stores = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        if (app.next().type == AccessType::Store) {
+            ++stores;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(stores) / n,
+                spec().storeFraction, 0.02);
+}
+
+std::vector<std::string>
+allProfileNames()
+{
+    std::vector<std::string> names;
+    for (const auto &app : appLibrary()) {
+        names.push_back(app.name);
+    }
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, ProfileCurve,
+                         ::testing::ValuesIn(allProfileNames()),
+                         [](const auto &info) { return info.param; });
+
+} // namespace
+} // namespace vantage

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Tests for the synthetic workload layer: generators, the profile
+ * library (Table 3), and mix construction (Sec. 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "workload/app_model.h"
+#include "workload/mixes.h"
+#include "workload/profiles.h"
+
+namespace vantage {
+namespace {
+
+AppSpec
+simpleSpec(std::uint64_t lines, AccessPattern pat,
+           std::uint64_t phase_len = 1000)
+{
+    return AppSpec{"test", Category::Insensitive, 2.0,
+                   {PhaseSpec{phase_len, {{lines, 1.0, pat}}}}};
+}
+
+// ---------------------------------------------------------------
+// AppModel
+// ---------------------------------------------------------------
+
+TEST(AppModel, SequentialCyclesThroughSegment)
+{
+    AppModel app(simpleSpec(4, AccessPattern::Sequential), 0, 1);
+    const Addr a0 = app.nextAddr();
+    const Addr a1 = app.nextAddr();
+    app.nextAddr(); // a2
+    const Addr a3 = app.nextAddr();
+    const Addr a4 = app.nextAddr();
+    EXPECT_EQ(a1, a0 + 1);
+    EXPECT_EQ(a3, a0 + 3);
+    EXPECT_EQ(a4, a0); // Wrapped.
+}
+
+TEST(AppModel, RandomStaysInSegment)
+{
+    AppModel app(simpleSpec(64, AccessPattern::Random), 0, 2);
+    std::set<Addr> seen;
+    Addr base = ~0ull;
+    for (int i = 0; i < 10000; ++i) {
+        const Addr a = app.nextAddr();
+        base = std::min(base, a);
+        seen.insert(a);
+    }
+    EXPECT_LE(seen.size(), 64u);
+    for (const Addr a : seen) {
+        EXPECT_LT(a - base, 64u);
+    }
+}
+
+TEST(AppModel, Deterministic)
+{
+    AppSpec spec = simpleSpec(1024, AccessPattern::Random);
+    AppModel a(spec, 3, 42), b(spec, 3, 42);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(a.nextAddr(), b.nextAddr());
+    }
+}
+
+TEST(AppModel, DistinctAppIdsAreDisjoint)
+{
+    AppSpec spec = simpleSpec(1024, AccessPattern::Random);
+    AppModel a(spec, 0, 1), b(spec, 1, 1);
+    std::unordered_set<Addr> from_a;
+    for (int i = 0; i < 2000; ++i) {
+        from_a.insert(a.nextAddr());
+    }
+    for (int i = 0; i < 2000; ++i) {
+        EXPECT_EQ(from_a.count(b.nextAddr()), 0u);
+    }
+}
+
+TEST(AppModel, PhasesRotate)
+{
+    AppSpec spec{"phased", Category::CacheFriendly, 1.0,
+                 {PhaseSpec{10, {{16, 1.0, AccessPattern::Random}}},
+                  PhaseSpec{10, {{16, 1.0, AccessPattern::Random}}}}};
+    AppModel app(spec, 0, 7);
+    std::set<Addr> first, second;
+    for (int i = 0; i < 10; ++i) first.insert(app.nextAddr());
+    for (int i = 0; i < 10; ++i) second.insert(app.nextAddr());
+    // Phases use different address bases, so the sets are disjoint.
+    for (const Addr a : second) {
+        EXPECT_EQ(first.count(a), 0u);
+    }
+    // Phase sequence loops back to the first phase's addresses.
+    std::set<Addr> third;
+    for (int i = 0; i < 10; ++i) third.insert(app.nextAddr());
+    for (const Addr a : third) {
+        EXPECT_EQ(second.count(a), 0u);
+    }
+}
+
+TEST(AppModel, MixtureRespectsWeights)
+{
+    AppSpec spec{"weighted", Category::CacheFriendly, 1.0,
+                 {PhaseSpec{1u << 20,
+                            {{16, 0.8, AccessPattern::Random},
+                             {1u << 20, 0.2, AccessPattern::Random}}}}};
+    AppModel app(spec, 0, 9);
+    int small = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        // The small segment occupies the low offsets of its base
+        // (segment index 0); the large one has a different base.
+        const Addr a = app.nextAddr();
+        if (((a >> 28) & 0xff) == 0) ++small;
+    }
+    EXPECT_NEAR(static_cast<double>(small) / n, 0.8, 0.02);
+}
+
+TEST(AppModelDeath, EmptySpecPanics)
+{
+    AppSpec bad{"bad", Category::Insensitive, 1.0, {}};
+    EXPECT_DEATH(AppModel(bad, 0, 1), "no phases");
+}
+
+// ---------------------------------------------------------------
+// Profiles (Table 3)
+// ---------------------------------------------------------------
+
+TEST(Profiles, LibraryHasAllTwentyNine)
+{
+    EXPECT_EQ(appLibrary().size(), 29u);
+}
+
+TEST(Profiles, CategoryCountsMatchTable3)
+{
+    EXPECT_EQ(appsInCategory(Category::Insensitive).size(), 14u);
+    EXPECT_EQ(appsInCategory(Category::CacheFriendly).size(), 6u);
+    EXPECT_EQ(appsInCategory(Category::CacheFitting).size(), 5u);
+    EXPECT_EQ(appsInCategory(Category::Streaming).size(), 4u);
+}
+
+TEST(Profiles, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto &app : appLibrary()) {
+        EXPECT_TRUE(names.insert(app.name).second)
+            << "duplicate profile " << app.name;
+    }
+}
+
+TEST(Profiles, LookupByName)
+{
+    EXPECT_EQ(appByName("mcf").category, Category::Streaming);
+    EXPECT_EQ(appByName("soplex").category, Category::CacheFitting);
+    EXPECT_EQ(appByName("gcc").category, Category::CacheFriendly);
+    EXPECT_EQ(appByName("povray").category, Category::Insensitive);
+}
+
+TEST(ProfilesDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(appByName("nosuchapp"),
+                ::testing::ExitedWithCode(1), "unknown application");
+}
+
+TEST(Profiles, StreamingWorkingSetsExceedCache)
+{
+    for (const auto &app : appsInCategory(Category::Streaming)) {
+        std::uint64_t ws = 0;
+        for (const auto &seg : app.phases[0].segments) {
+            ws += seg.lines;
+        }
+        EXPECT_GT(ws, 8 * kLinesPerMb) << app.name;
+    }
+}
+
+TEST(Profiles, InsensitiveWorkingSetsAreSmall)
+{
+    for (const auto &app : appsInCategory(Category::Insensitive)) {
+        std::uint64_t ws = 0;
+        for (const auto &seg : app.phases[0].segments) {
+            ws += seg.lines;
+        }
+        EXPECT_LT(ws, kLinesPerMb / 8) << app.name;
+    }
+}
+
+TEST(Profiles, CategoryCodes)
+{
+    EXPECT_EQ(categoryCode(Category::Insensitive), 'n');
+    EXPECT_EQ(categoryCode(Category::CacheFriendly), 'f');
+    EXPECT_EQ(categoryCode(Category::CacheFitting), 't');
+    EXPECT_EQ(categoryCode(Category::Streaming), 's');
+}
+
+// ---------------------------------------------------------------
+// Mixes
+// ---------------------------------------------------------------
+
+TEST(Mixes, ThirtyFiveClasses)
+{
+    EXPECT_EQ(allMixClasses().size(), 35u);
+}
+
+TEST(Mixes, ClassesAreUniqueAndSorted)
+{
+    std::set<std::string> names;
+    for (std::uint32_t c = 0; c < 35; ++c) {
+        const std::string name = mixName(c, 0);
+        EXPECT_TRUE(names.insert(name.substr(0, 4)).second)
+            << "duplicate class " << name;
+    }
+}
+
+TEST(Mixes, FourCoreMixHasFourApps)
+{
+    const auto apps = makeMix(0, 1, 0);
+    EXPECT_EQ(apps.size(), 4u);
+}
+
+TEST(Mixes, ThirtyTwoCoreMixHasThirtyTwoApps)
+{
+    const auto apps = makeMix(0, 8, 0);
+    EXPECT_EQ(apps.size(), 32u);
+}
+
+TEST(Mixes, AppsMatchClassCategories)
+{
+    const auto &classes = allMixClasses();
+    for (std::uint32_t c = 0; c < 35; c += 7) {
+        const auto apps = makeMix(c, 2, 1);
+        ASSERT_EQ(apps.size(), 8u);
+        for (std::size_t slot = 0; slot < 4; ++slot) {
+            for (std::size_t k = 0; k < 2; ++k) {
+                EXPECT_EQ(apps[slot * 2 + k].category,
+                          classes[c][slot]);
+            }
+        }
+    }
+}
+
+TEST(Mixes, SeedsVaryTheDraw)
+{
+    bool any_difference = false;
+    for (std::uint32_t c = 0; c < 35 && !any_difference; ++c) {
+        const auto a = makeMix(c, 1, 0);
+        const auto b = makeMix(c, 1, 1);
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            if (a[i].name != b[i].name) {
+                any_difference = true;
+            }
+        }
+    }
+    EXPECT_TRUE(any_difference);
+}
+
+TEST(Mixes, DeterministicForSameSeed)
+{
+    const auto a = makeMix(17, 8, 3);
+    const auto b = makeMix(17, 8, 3);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].name, b[i].name);
+    }
+}
+
+TEST(Mixes, NameFormat)
+{
+    EXPECT_EQ(mixName(0, 3).size(), 5u);
+    // Class 0 is all-streaming by construction order.
+    EXPECT_EQ(mixName(0, 3).substr(0, 4), "ssss");
+    // Last class is all-insensitive.
+    EXPECT_EQ(mixName(34, 0).substr(0, 4), "nnnn");
+}
+
+} // namespace
+} // namespace vantage
