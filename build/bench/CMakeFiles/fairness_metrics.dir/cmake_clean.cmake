@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairness_metrics.dir/fairness_metrics.cc.o"
+  "CMakeFiles/fairness_metrics.dir/fairness_metrics.cc.o.d"
+  "fairness_metrics"
+  "fairness_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairness_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

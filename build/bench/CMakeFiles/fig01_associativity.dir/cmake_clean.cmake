@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_associativity.dir/fig01_associativity.cc.o"
+  "CMakeFiles/fig01_associativity.dir/fig01_associativity.cc.o.d"
+  "fig01_associativity"
+  "fig01_associativity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_associativity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_managed_region.dir/fig02_managed_region.cc.o"
+  "CMakeFiles/fig02_managed_region.dir/fig02_managed_region.cc.o.d"
+  "fig02_managed_region"
+  "fig02_managed_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_managed_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_threshold_table.dir/fig03_threshold_table.cc.o"
+  "CMakeFiles/fig03_threshold_table.dir/fig03_threshold_table.cc.o.d"
+  "fig03_threshold_table"
+  "fig03_threshold_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_threshold_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

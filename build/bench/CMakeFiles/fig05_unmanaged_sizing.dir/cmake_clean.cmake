@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_unmanaged_sizing.dir/fig05_unmanaged_sizing.cc.o"
+  "CMakeFiles/fig05_unmanaged_sizing.dir/fig05_unmanaged_sizing.cc.o.d"
+  "fig05_unmanaged_sizing"
+  "fig05_unmanaged_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_unmanaged_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_4core.dir/fig06_4core.cc.o"
+  "CMakeFiles/fig06_4core.dir/fig06_4core.cc.o.d"
+  "fig06_4core"
+  "fig06_4core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_4core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

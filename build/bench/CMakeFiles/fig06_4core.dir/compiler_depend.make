@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06_4core.
+# This may be replaced when dependencies are built.

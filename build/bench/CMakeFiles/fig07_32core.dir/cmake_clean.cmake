@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_32core.dir/fig07_32core.cc.o"
+  "CMakeFiles/fig07_32core.dir/fig07_32core.cc.o.d"
+  "fig07_32core"
+  "fig07_32core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_32core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

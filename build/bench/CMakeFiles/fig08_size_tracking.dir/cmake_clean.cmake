@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_size_tracking.dir/fig08_size_tracking.cc.o"
+  "CMakeFiles/fig08_size_tracking.dir/fig08_size_tracking.cc.o.d"
+  "fig08_size_tracking"
+  "fig08_size_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_size_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_unmanaged_sweep.dir/fig09_unmanaged_sweep.cc.o"
+  "CMakeFiles/fig09_unmanaged_sweep.dir/fig09_unmanaged_sweep.cc.o.d"
+  "fig09_unmanaged_sweep"
+  "fig09_unmanaged_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_unmanaged_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

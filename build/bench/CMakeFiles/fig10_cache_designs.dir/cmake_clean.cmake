@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cache_designs.dir/fig10_cache_designs.cc.o"
+  "CMakeFiles/fig10_cache_designs.dir/fig10_cache_designs.cc.o.d"
+  "fig10_cache_designs"
+  "fig10_cache_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cache_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

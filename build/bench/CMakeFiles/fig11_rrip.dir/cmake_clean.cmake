@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_rrip.dir/fig11_rrip.cc.o"
+  "CMakeFiles/fig11_rrip.dir/fig11_rrip.cc.o.d"
+  "fig11_rrip"
+  "fig11_rrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_rrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

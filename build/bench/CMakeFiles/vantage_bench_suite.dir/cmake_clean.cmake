@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vantage_bench_suite.dir/suite.cc.o"
+  "CMakeFiles/vantage_bench_suite.dir/suite.cc.o.d"
+  "libvantage_bench_suite.a"
+  "libvantage_bench_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vantage_bench_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_partitions.dir/dynamic_partitions.cpp.o"
+  "CMakeFiles/dynamic_partitions.dir/dynamic_partitions.cpp.o.d"
+  "dynamic_partitions"
+  "dynamic_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprogrammed_cmp.dir/multiprogrammed_cmp.cpp.o"
+  "CMakeFiles/multiprogrammed_cmp.dir/multiprogrammed_cmp.cpp.o.d"
+  "multiprogrammed_cmp"
+  "multiprogrammed_cmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprogrammed_cmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

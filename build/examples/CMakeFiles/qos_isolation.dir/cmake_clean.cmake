@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_isolation.dir/qos_isolation.cpp.o"
+  "CMakeFiles/qos_isolation.dir/qos_isolation.cpp.o.d"
+  "qos_isolation"
+  "qos_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

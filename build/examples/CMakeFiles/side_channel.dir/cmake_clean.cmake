@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/side_channel.dir/side_channel.cpp.o"
+  "CMakeFiles/side_channel.dir/side_channel.cpp.o.d"
+  "side_channel"
+  "side_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/side_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/lookahead.cc" "src/alloc/CMakeFiles/vantage_alloc.dir/lookahead.cc.o" "gcc" "src/alloc/CMakeFiles/vantage_alloc.dir/lookahead.cc.o.d"
+  "/root/repo/src/alloc/ucp.cc" "src/alloc/CMakeFiles/vantage_alloc.dir/ucp.cc.o" "gcc" "src/alloc/CMakeFiles/vantage_alloc.dir/ucp.cc.o.d"
+  "/root/repo/src/alloc/umon.cc" "src/alloc/CMakeFiles/vantage_alloc.dir/umon.cc.o" "gcc" "src/alloc/CMakeFiles/vantage_alloc.dir/umon.cc.o.d"
+  "/root/repo/src/alloc/umon_rrip.cc" "src/alloc/CMakeFiles/vantage_alloc.dir/umon_rrip.cc.o" "gcc" "src/alloc/CMakeFiles/vantage_alloc.dir/umon_rrip.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vantage_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/vantage_array.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

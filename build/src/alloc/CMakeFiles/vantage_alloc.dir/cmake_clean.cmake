@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vantage_alloc.dir/lookahead.cc.o"
+  "CMakeFiles/vantage_alloc.dir/lookahead.cc.o.d"
+  "CMakeFiles/vantage_alloc.dir/ucp.cc.o"
+  "CMakeFiles/vantage_alloc.dir/ucp.cc.o.d"
+  "CMakeFiles/vantage_alloc.dir/umon.cc.o"
+  "CMakeFiles/vantage_alloc.dir/umon.cc.o.d"
+  "CMakeFiles/vantage_alloc.dir/umon_rrip.cc.o"
+  "CMakeFiles/vantage_alloc.dir/umon_rrip.cc.o.d"
+  "libvantage_alloc.a"
+  "libvantage_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vantage_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/array/random_array.cc" "src/array/CMakeFiles/vantage_array.dir/random_array.cc.o" "gcc" "src/array/CMakeFiles/vantage_array.dir/random_array.cc.o.d"
+  "/root/repo/src/array/set_assoc.cc" "src/array/CMakeFiles/vantage_array.dir/set_assoc.cc.o" "gcc" "src/array/CMakeFiles/vantage_array.dir/set_assoc.cc.o.d"
+  "/root/repo/src/array/zarray.cc" "src/array/CMakeFiles/vantage_array.dir/zarray.cc.o" "gcc" "src/array/CMakeFiles/vantage_array.dir/zarray.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vantage_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

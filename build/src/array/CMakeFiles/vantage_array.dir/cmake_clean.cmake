@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vantage_array.dir/random_array.cc.o"
+  "CMakeFiles/vantage_array.dir/random_array.cc.o.d"
+  "CMakeFiles/vantage_array.dir/set_assoc.cc.o"
+  "CMakeFiles/vantage_array.dir/set_assoc.cc.o.d"
+  "CMakeFiles/vantage_array.dir/zarray.cc.o"
+  "CMakeFiles/vantage_array.dir/zarray.cc.o.d"
+  "libvantage_array.a"
+  "libvantage_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vantage_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

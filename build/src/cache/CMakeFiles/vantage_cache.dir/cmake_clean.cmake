@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vantage_cache.dir/banked_cache.cc.o"
+  "CMakeFiles/vantage_cache.dir/banked_cache.cc.o.d"
+  "CMakeFiles/vantage_cache.dir/cache.cc.o"
+  "CMakeFiles/vantage_cache.dir/cache.cc.o.d"
+  "libvantage_cache.a"
+  "libvantage_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vantage_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvantage_cache.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vantage_common.dir/log.cc.o"
+  "CMakeFiles/vantage_common.dir/log.cc.o.d"
+  "libvantage_common.a"
+  "libvantage_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vantage_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

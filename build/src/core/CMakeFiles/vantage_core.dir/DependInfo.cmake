@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/model.cc" "src/core/CMakeFiles/vantage_core.dir/model.cc.o" "gcc" "src/core/CMakeFiles/vantage_core.dir/model.cc.o.d"
+  "/root/repo/src/core/vantage.cc" "src/core/CMakeFiles/vantage_core.dir/vantage.cc.o" "gcc" "src/core/CMakeFiles/vantage_core.dir/vantage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vantage_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/vantage_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vantage_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/vantage_part.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vantage_core.dir/model.cc.o"
+  "CMakeFiles/vantage_core.dir/model.cc.o.d"
+  "CMakeFiles/vantage_core.dir/vantage.cc.o"
+  "CMakeFiles/vantage_core.dir/vantage.cc.o.d"
+  "libvantage_core.a"
+  "libvantage_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vantage_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/pipp.cc" "src/partition/CMakeFiles/vantage_part.dir/pipp.cc.o" "gcc" "src/partition/CMakeFiles/vantage_part.dir/pipp.cc.o.d"
+  "/root/repo/src/partition/way_partition.cc" "src/partition/CMakeFiles/vantage_part.dir/way_partition.cc.o" "gcc" "src/partition/CMakeFiles/vantage_part.dir/way_partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vantage_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/vantage_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vantage_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vantage_part.dir/pipp.cc.o"
+  "CMakeFiles/vantage_part.dir/pipp.cc.o.d"
+  "CMakeFiles/vantage_part.dir/way_partition.cc.o"
+  "CMakeFiles/vantage_part.dir/way_partition.cc.o.d"
+  "libvantage_part.a"
+  "libvantage_part.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vantage_part.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

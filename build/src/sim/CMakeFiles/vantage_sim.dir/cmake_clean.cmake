@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vantage_sim.dir/cli.cc.o"
+  "CMakeFiles/vantage_sim.dir/cli.cc.o.d"
+  "CMakeFiles/vantage_sim.dir/cmp_sim.cc.o"
+  "CMakeFiles/vantage_sim.dir/cmp_sim.cc.o.d"
+  "CMakeFiles/vantage_sim.dir/experiment.cc.o"
+  "CMakeFiles/vantage_sim.dir/experiment.cc.o.d"
+  "libvantage_sim.a"
+  "libvantage_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vantage_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsim.dir/vsim_main.cc.o"
+  "CMakeFiles/vsim.dir/vsim_main.cc.o.d"
+  "vsim"
+  "vsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

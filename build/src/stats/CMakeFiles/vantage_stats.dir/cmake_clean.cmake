@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vantage_stats.dir/table.cc.o"
+  "CMakeFiles/vantage_stats.dir/table.cc.o.d"
+  "libvantage_stats.a"
+  "libvantage_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vantage_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vantage_workload.dir/app_model.cc.o"
+  "CMakeFiles/vantage_workload.dir/app_model.cc.o.d"
+  "CMakeFiles/vantage_workload.dir/mixes.cc.o"
+  "CMakeFiles/vantage_workload.dir/mixes.cc.o.d"
+  "CMakeFiles/vantage_workload.dir/profiles.cc.o"
+  "CMakeFiles/vantage_workload.dir/profiles.cc.o.d"
+  "CMakeFiles/vantage_workload.dir/trace_stream.cc.o"
+  "CMakeFiles/vantage_workload.dir/trace_stream.cc.o.d"
+  "libvantage_workload.a"
+  "libvantage_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vantage_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_banked_cache.dir/banked_cache_test.cc.o"
+  "CMakeFiles/test_banked_cache.dir/banked_cache_test.cc.o.d"
+  "test_banked_cache"
+  "test_banked_cache.pdb"
+  "test_banked_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_banked_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/replacement_test.cc" "tests/CMakeFiles/test_replacement.dir/replacement_test.cc.o" "gcc" "tests/CMakeFiles/test_replacement.dir/replacement_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vantage_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/vantage_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vantage_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/vantage_part.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/vantage_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vantage_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/vantage_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vantage_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vantage_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vantage_variants.dir/vantage_variants_test.cc.o"
+  "CMakeFiles/test_vantage_variants.dir/vantage_variants_test.cc.o.d"
+  "test_vantage_variants"
+  "test_vantage_variants.pdb"
+  "test_vantage_variants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vantage_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

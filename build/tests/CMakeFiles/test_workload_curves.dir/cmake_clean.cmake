@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_curves.dir/workload_curves_test.cc.o"
+  "CMakeFiles/test_workload_curves.dir/workload_curves_test.cc.o.d"
+  "test_workload_curves"
+  "test_workload_curves.pdb"
+  "test_workload_curves[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
