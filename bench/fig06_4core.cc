@@ -71,6 +71,7 @@ main()
                 "paper highlights sftn/ffft/ssst/fffn/ffnn/ttnn/"
                 "sfff/sssf):\n");
     printPerMix(rows, names);
+    writeBenchJson("fig06_4core", rows, names);
 
     std::printf("\nPaper expectation: Vantage improves ~98%% of "
                 "mixes (6.2%% geomean, up to 40%%); way-partitioning "

@@ -61,6 +61,7 @@ main()
 
     std::printf("\nSummary:\n");
     printSummary(rows, names);
+    writeBenchJson("fig07_32core", rows, names);
 
     std::printf("\nPaper expectation: Vantage keeps ~8%% geomean "
                 "gains with a 4-way zcache; way-partitioning and "

@@ -67,6 +67,7 @@ main()
 
     std::printf("Fig. 9a — throughput vs LRU-SA16:\n");
     printSummary(rows, names);
+    writeBenchJson("fig09_unmanaged_sweep", rows, names);
 
     // 9b: rerun one representative heavy mix per u and measure the
     // forced-eviction fraction from the controller's own counters.

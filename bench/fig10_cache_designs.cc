@@ -61,6 +61,7 @@ main()
 
     std::printf("\nSummary:\n");
     printSummary(rows, names);
+    writeBenchJson("fig10_cache_designs", rows, names);
 
     std::printf("\nPaper expectation: Z4/52 ~= SA64 > Z4/16 > SA16, "
                 "with graceful degradation — even Vantage-SA16 beats "

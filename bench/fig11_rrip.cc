@@ -86,6 +86,7 @@ main()
 
     std::printf("\nSummary:\n");
     printSummary(rows, names);
+    writeBenchJson("fig11_rrip", rows, names);
 
     std::printf("\nPaper expectation: Vantage-LRU beats all "
                 "unpartitioned RRIP variants (geomeans: TA-DRRIP "

@@ -4,7 +4,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
+#include "common/log.h"
+#include "stats/json.h"
 #include "stats/table.h"
 #include "workload/mixes.h"
 
@@ -191,6 +194,67 @@ printPerMix(const std::vector<MixRow> &rows,
         table.addRow(cells);
     }
     table.print();
+}
+
+void
+writeBenchJson(const std::string &bench,
+               const std::vector<MixRow> &rows,
+               const std::vector<std::string> &names)
+{
+    std::string dir = ".";
+    if (const char *d = std::getenv("VANTAGE_BENCH_DIR")) {
+        if (*d != '\0') {
+            dir = d;
+        }
+    }
+    const std::string path = dir + "/BENCH_" + bench + ".json";
+    std::ofstream out(path);
+    if (!out) {
+        // Benches should still report their tables when the export
+        // directory is missing; don't kill the run.
+        warn("cannot open bench export '%s'", path.c_str());
+        return;
+    }
+
+    JsonWriter w(out);
+    w.beginObject();
+    w.kv("bench", bench);
+    w.kv("mixes", static_cast<std::uint64_t>(rows.size()));
+    w.key("configs");
+    w.beginObject();
+    for (std::size_t k = 0; k < names.size(); ++k) {
+        const auto [lo, hi] = minMax(rows, k);
+        w.key(names[k]);
+        w.beginObject();
+        w.kv("geomean", geomean(rows, k));
+        w.kv("improved_frac", fractionImproved(rows, k));
+        w.kv("min", lo);
+        w.kv("max", hi);
+        w.endObject();
+    }
+    w.endObject();
+    w.key("per_mix");
+    w.beginArray();
+    for (const auto &row : rows) {
+        w.beginObject();
+        w.kv("mix", row.mix);
+        w.kv("baseline_throughput", row.baseline);
+        w.key("normalized");
+        w.beginArray();
+        for (const double v : row.normalized) {
+            w.value(v);
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    out.flush();
+    if (!out) {
+        warn("failed writing bench export '%s'", path.c_str());
+        return;
+    }
+    std::fprintf(stderr, "bench: wrote %s\n", path.c_str());
 }
 
 } // namespace bench

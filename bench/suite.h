@@ -9,6 +9,8 @@
  *   VANTAGE_INSTRS        measured instructions per core
  *   VANTAGE_WARMUP        warmup memory accesses per core
  *   VANTAGE_CLASS_STRIDE  run every k-th mix class (default 1)
+ *   VANTAGE_BENCH_DIR     directory for BENCH_<name>.json exports
+ *                         (default: current directory)
  */
 
 #ifndef VANTAGE_BENCH_SUITE_H_
@@ -81,6 +83,18 @@ void printSummary(const std::vector<MixRow> &rows,
 /** Print per-mix rows (Fig. 6b style). */
 void printPerMix(const std::vector<MixRow> &rows,
                  const std::vector<std::string> &names);
+
+/**
+ * Export the suite results as BENCH_<bench>.json (written into
+ * $VANTAGE_BENCH_DIR, default the current directory): per-config
+ * geomean / fraction-improved / min / max plus every per-mix
+ * normalized throughput. These files are the machine-readable
+ * counterpart of the printed tables and serve as the perf-trajectory
+ * baseline across PRs.
+ */
+void writeBenchJson(const std::string &bench,
+                    const std::vector<MixRow> &rows,
+                    const std::vector<std::string> &names);
 
 } // namespace bench
 } // namespace vantage

@@ -18,9 +18,9 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/cache/CMakeFiles/vantage_cache.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/vantage_core.dir/DependInfo.cmake"
   "/root/repo/build/src/partition/CMakeFiles/vantage_part.dir/DependInfo.cmake"
-  "/root/repo/build/src/stats/CMakeFiles/vantage_stats.dir/DependInfo.cmake"
   "/root/repo/build/src/alloc/CMakeFiles/vantage_alloc.dir/DependInfo.cmake"
   "/root/repo/build/src/array/CMakeFiles/vantage_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vantage_stats.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/vantage_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/vantage_common.dir/DependInfo.cmake"
   )

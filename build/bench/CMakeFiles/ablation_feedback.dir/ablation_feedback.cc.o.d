@@ -234,4 +234,4 @@ bench/CMakeFiles/ablation_feedback.dir/ablation_feedback.cc.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/stats/table.h
+ /root/repo/src/stats/trace.h /root/repo/src/stats/table.h

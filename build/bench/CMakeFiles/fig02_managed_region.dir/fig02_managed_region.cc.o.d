@@ -216,4 +216,4 @@ bench/CMakeFiles/fig02_managed_region.dir/fig02_managed_region.cc.o: \
  /root/repo/src/partition/scheme.h /root/repo/src/stats/counters.h \
  /root/repo/src/core/model.h /root/repo/src/core/vantage.h \
  /usr/include/c++/12/array /root/repo/src/stats/cdf.h \
- /root/repo/src/stats/table.h
+ /root/repo/src/stats/trace.h /root/repo/src/stats/table.h

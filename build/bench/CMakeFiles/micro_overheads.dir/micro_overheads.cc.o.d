@@ -220,7 +220,7 @@ bench/CMakeFiles/micro_overheads.dir/micro_overheads.cc.o: \
  /root/repo/src/array/zarray.h /root/repo/src/cache/cache.h \
  /root/repo/src/partition/scheme.h /root/repo/src/stats/counters.h \
  /root/repo/src/core/vantage.h /root/repo/src/stats/cdf.h \
- /root/repo/src/partition/unpartitioned.h \
+ /root/repo/src/stats/trace.h /root/repo/src/partition/unpartitioned.h \
  /root/repo/src/partition/assoc_probe.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \

@@ -211,7 +211,7 @@ examples/CMakeFiles/qos_isolation.dir/qos_isolation.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/partition/unpartitioned.h \
+ /root/repo/src/stats/trace.h /root/repo/src/partition/unpartitioned.h \
  /root/repo/src/partition/assoc_probe.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \

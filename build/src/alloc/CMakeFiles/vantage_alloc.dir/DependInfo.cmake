@@ -17,6 +17,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/common/CMakeFiles/vantage_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vantage_stats.dir/DependInfo.cmake"
   "/root/repo/build/src/array/CMakeFiles/vantage_array.dir/DependInfo.cmake"
   )
 

@@ -200,4 +200,24 @@ src/cache/CMakeFiles/vantage_cache.dir/cache.cc.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/array/cache_array.h \
  /root/repo/src/common/log.h /usr/include/c++/12/cstdarg \
  /root/repo/src/common/types.h /usr/include/c++/12/limits \
- /root/repo/src/partition/scheme.h /root/repo/src/stats/counters.h
+ /root/repo/src/partition/scheme.h /root/repo/src/stats/counters.h \
+ /root/repo/src/core/vantage.h /usr/include/c++/12/array \
+ /root/repo/src/stats/cdf.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/stats/trace.h /root/repo/src/stats/registry.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
+ /root/repo/src/stats/timeseries.h

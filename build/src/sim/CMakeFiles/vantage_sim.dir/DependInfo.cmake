@@ -21,8 +21,8 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/partition/CMakeFiles/vantage_part.dir/DependInfo.cmake"
   "/root/repo/build/src/alloc/CMakeFiles/vantage_alloc.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/vantage_workload.dir/DependInfo.cmake"
-  "/root/repo/build/src/stats/CMakeFiles/vantage_stats.dir/DependInfo.cmake"
   "/root/repo/build/src/array/CMakeFiles/vantage_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vantage_stats.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

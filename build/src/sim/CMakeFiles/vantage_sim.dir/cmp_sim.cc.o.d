@@ -224,6 +224,7 @@ src/sim/CMakeFiles/vantage_sim.dir/cmp_sim.cc.o: \
  /root/repo/src/workload/profiles.h /root/repo/src/workload/app_model.h \
  /root/repo/src/workload/access_stream.h /root/repo/src/array/set_assoc.h \
  /root/repo/src/core/vantage_variants.h /root/repo/src/core/vantage.h \
- /root/repo/src/stats/cdf.h /root/repo/src/partition/unpartitioned.h \
+ /root/repo/src/stats/cdf.h /root/repo/src/stats/trace.h \
+ /root/repo/src/partition/unpartitioned.h \
  /root/repo/src/partition/assoc_probe.h /root/repo/src/replacement/lru.h \
  /root/repo/src/common/bits.h

@@ -194,13 +194,13 @@ src/sim/CMakeFiles/vsim.dir/vsim_main.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/core/vantage.h \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/common/log.h \
+ /usr/include/c++/12/cstdarg /root/repo/src/core/vantage.h \
  /usr/include/c++/12/array /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/partition/scheme.h \
- /root/repo/src/array/cache_array.h /root/repo/src/common/log.h \
- /usr/include/c++/12/cstdarg /root/repo/src/common/types.h \
+ /root/repo/src/array/cache_array.h /root/repo/src/common/types.h \
  /usr/include/c++/12/limits /root/repo/src/stats/cdf.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
@@ -208,7 +208,8 @@ src/sim/CMakeFiles/vsim.dir/vsim_main.cc.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h /root/repo/src/sim/cli.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/stats/trace.h /root/repo/src/sim/cli.h \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/sim/experiment.h /root/repo/src/cache/cache.h \
@@ -226,5 +227,14 @@ src/sim/CMakeFiles/vsim.dir/vsim_main.cc.o: \
  /root/repo/src/replacement/repl_policy.h \
  /root/repo/src/replacement/rrip_monitor.h \
  /root/repo/src/workload/profiles.h /root/repo/src/workload/app_model.h \
- /root/repo/src/workload/access_stream.h /root/repo/src/stats/table.h \
+ /root/repo/src/workload/access_stream.h /root/repo/src/stats/prof.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/stats/registry.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/stats/timeseries.h /root/repo/src/stats/table.h \
  /root/repo/src/workload/mixes.h /root/repo/src/workload/trace_stream.h

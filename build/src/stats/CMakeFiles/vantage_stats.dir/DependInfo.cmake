@@ -8,7 +8,11 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/json.cc" "src/stats/CMakeFiles/vantage_stats.dir/json.cc.o" "gcc" "src/stats/CMakeFiles/vantage_stats.dir/json.cc.o.d"
+  "/root/repo/src/stats/prof.cc" "src/stats/CMakeFiles/vantage_stats.dir/prof.cc.o" "gcc" "src/stats/CMakeFiles/vantage_stats.dir/prof.cc.o.d"
+  "/root/repo/src/stats/registry.cc" "src/stats/CMakeFiles/vantage_stats.dir/registry.cc.o" "gcc" "src/stats/CMakeFiles/vantage_stats.dir/registry.cc.o.d"
   "/root/repo/src/stats/table.cc" "src/stats/CMakeFiles/vantage_stats.dir/table.cc.o" "gcc" "src/stats/CMakeFiles/vantage_stats.dir/table.cc.o.d"
+  "/root/repo/src/stats/trace.cc" "src/stats/CMakeFiles/vantage_stats.dir/trace.cc.o" "gcc" "src/stats/CMakeFiles/vantage_stats.dir/trace.cc.o.d"
   )
 
 # Targets to which this target links.

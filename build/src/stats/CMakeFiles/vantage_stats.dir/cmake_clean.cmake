@@ -1,6 +1,14 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/vantage_stats.dir/json.cc.o"
+  "CMakeFiles/vantage_stats.dir/json.cc.o.d"
+  "CMakeFiles/vantage_stats.dir/prof.cc.o"
+  "CMakeFiles/vantage_stats.dir/prof.cc.o.d"
+  "CMakeFiles/vantage_stats.dir/registry.cc.o"
+  "CMakeFiles/vantage_stats.dir/registry.cc.o.d"
   "CMakeFiles/vantage_stats.dir/table.cc.o"
   "CMakeFiles/vantage_stats.dir/table.cc.o.d"
+  "CMakeFiles/vantage_stats.dir/trace.cc.o"
+  "CMakeFiles/vantage_stats.dir/trace.cc.o.d"
   "libvantage_stats.a"
   "libvantage_stats.pdb"
 )

@@ -302,4 +302,5 @@ tests/CMakeFiles/test_banked_cache.dir/banked_cache_test.cc.o: \
  /root/repo/src/stats/cdf.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/stats/trace.h

@@ -303,7 +303,7 @@ tests/CMakeFiles/test_cache.dir/cache_test.cc.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/partition/unpartitioned.h \
+ /root/repo/src/stats/trace.h /root/repo/src/partition/unpartitioned.h \
  /root/repo/src/partition/assoc_probe.h \
  /root/repo/src/replacement/repl_policy.h \
  /root/repo/src/replacement/lru.h /root/repo/src/common/bits.h

@@ -304,7 +304,8 @@ tests/CMakeFiles/test_extensions.dir/extensions_test.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/core/vantage.h /root/repo/src/stats/cdf.h \
- /root/repo/src/core/vantage_variants.h /root/repo/src/replacement/rrip.h \
+ /root/repo/src/stats/trace.h /root/repo/src/core/vantage_variants.h \
+ /root/repo/src/replacement/rrip.h \
  /root/repo/src/replacement/repl_policy.h \
  /root/repo/src/replacement/rrip_monitor.h \
  /root/repo/src/partition/unpartitioned.h \

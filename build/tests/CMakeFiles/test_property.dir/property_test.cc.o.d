@@ -304,7 +304,7 @@ tests/CMakeFiles/test_property.dir/property_test.cc.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/replacement/rrip.h \
+ /root/repo/src/stats/trace.h /root/repo/src/replacement/rrip.h \
  /root/repo/src/replacement/repl_policy.h \
  /root/repo/src/replacement/rrip_monitor.h \
  /root/repo/src/partition/assoc_probe.h /root/repo/src/partition/pipp.h \

@@ -302,11 +302,11 @@ tests/CMakeFiles/test_sim.dir/sim_test.cc.o: /root/repo/tests/sim_test.cc \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/sim/cmp_sim.h /root/repo/src/sim/cmp_config.h \
- /root/repo/src/alloc/ucp.h /root/repo/src/alloc/lookahead.h \
- /root/repo/src/alloc/umon.h /root/repo/src/hash/h3.h \
- /root/repo/src/common/rng.h /root/repo/src/alloc/umon_rrip.h \
- /root/repo/src/replacement/rrip.h \
+ /root/repo/src/stats/trace.h /root/repo/src/sim/cmp_sim.h \
+ /root/repo/src/sim/cmp_config.h /root/repo/src/alloc/ucp.h \
+ /root/repo/src/alloc/lookahead.h /root/repo/src/alloc/umon.h \
+ /root/repo/src/hash/h3.h /root/repo/src/common/rng.h \
+ /root/repo/src/alloc/umon_rrip.h /root/repo/src/replacement/rrip.h \
  /root/repo/src/replacement/repl_policy.h \
  /root/repo/src/replacement/rrip_monitor.h \
  /root/repo/src/workload/profiles.h /root/repo/src/workload/app_model.h \

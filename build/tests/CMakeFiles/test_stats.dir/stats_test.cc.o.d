@@ -295,8 +295,43 @@ tests/CMakeFiles/test_stats.dir/stats_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/common/rng.h /root/repo/src/common/log.h \
- /usr/include/c++/12/cstdarg /root/repo/src/stats/cdf.h \
- /root/repo/src/stats/counters.h /root/repo/src/stats/table.h \
- /root/repo/src/stats/timeseries.h
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
+ /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-fast.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-helper-functions.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
+ /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/tr1/special_function_util.h \
+ /usr/include/c++/12/tr1/bessel_function.tcc \
+ /usr/include/c++/12/tr1/beta_function.tcc \
+ /usr/include/c++/12/tr1/ell_integral.tcc \
+ /usr/include/c++/12/tr1/exp_integral.tcc \
+ /usr/include/c++/12/tr1/hypergeometric.tcc \
+ /usr/include/c++/12/tr1/legendre_function.tcc \
+ /usr/include/c++/12/tr1/modified_bessel_func.tcc \
+ /usr/include/c++/12/tr1/poly_hermite.tcc \
+ /usr/include/c++/12/tr1/poly_laguerre.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/rng.h \
+ /root/repo/src/common/log.h /usr/include/c++/12/cstdarg \
+ /root/repo/src/core/vantage.h /root/repo/src/partition/scheme.h \
+ /root/repo/src/array/cache_array.h /root/repo/src/common/types.h \
+ /root/repo/src/stats/cdf.h /root/repo/src/stats/trace.h \
+ /root/repo/src/sim/experiment.h /root/repo/src/cache/cache.h \
+ /root/repo/src/stats/counters.h /root/repo/src/sim/cmp_sim.h \
+ /root/repo/src/sim/cmp_config.h /root/repo/src/alloc/ucp.h \
+ /root/repo/src/alloc/lookahead.h /root/repo/src/alloc/umon.h \
+ /root/repo/src/hash/h3.h /root/repo/src/alloc/umon_rrip.h \
+ /root/repo/src/replacement/rrip.h \
+ /root/repo/src/replacement/repl_policy.h \
+ /root/repo/src/replacement/rrip_monitor.h \
+ /root/repo/src/workload/profiles.h /root/repo/src/workload/app_model.h \
+ /root/repo/src/workload/access_stream.h /root/repo/src/stats/json.h \
+ /root/repo/src/stats/prof.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/stats/registry.h /root/repo/src/stats/timeseries.h \
+ /root/repo/src/stats/table.h /root/repo/src/workload/mixes.h

@@ -302,6 +302,6 @@ tests/CMakeFiles/test_vantage_variants.dir/vantage_variants_test.cc.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/replacement/rrip.h /root/repo/src/hash/h3.h \
- /root/repo/src/replacement/repl_policy.h \
+ /root/repo/src/stats/trace.h /root/repo/src/replacement/rrip.h \
+ /root/repo/src/hash/h3.h /root/repo/src/replacement/repl_policy.h \
  /root/repo/src/replacement/rrip_monitor.h

@@ -23,3 +23,5 @@ include("/root/repo/build/tests/test_workload_curves[1]_include.cmake")
 include("/root/repo/build/tests/test_banked_cache[1]_include.cmake")
 include("/root/repo/build/tests/test_cli[1]_include.cmake")
 include("/root/repo/build/tests/test_differential[1]_include.cmake")
+add_test(stats_json_smoke "/usr/bin/cmake" "-DVSIM=/root/repo/build/src/sim/vsim" "-DPYTHON=/root/.pyenv/shims/python3" "-DCHECKER=/root/repo/scripts/check_json.py" "-DWORKDIR=/root/repo/build/tests" "-P" "/root/repo/tests/stats_smoke.cmake")
+set_tests_properties(stats_json_smoke PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;40;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Validate simulator/bench JSON exports.
+
+Usage: check_json.py FILE.json [FILE.json ...]
+
+Each file must parse as JSON and contain a non-empty object; with
+--require KEY (repeatable, dotted paths allowed) the object must also
+contain that key. Exits non-zero on the first failure so it can gate
+scripts and ctest cases on well-formed exports.
+"""
+
+import argparse
+import json
+import sys
+
+
+def lookup(obj, dotted):
+    """Navigate a dotted path through nested dicts."""
+    node = obj
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def check(path, required):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            obj = json.load(f)
+    except OSError as e:
+        return f"{path}: cannot read: {e}"
+    except json.JSONDecodeError as e:
+        return f"{path}: invalid JSON: {e}"
+    if not isinstance(obj, dict) or not obj:
+        return f"{path}: expected a non-empty JSON object"
+    for key in required:
+        if lookup(obj, key) is None:
+            return f"{path}: missing required key '{key}'"
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("files", nargs="+", metavar="FILE.json")
+    ap.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="KEY",
+        help="dotted key that must be present (repeatable)",
+    )
+    args = ap.parse_args()
+
+    for path in args.files:
+        err = check(path, args.require)
+        if err:
+            print(f"check_json: {err}", file=sys.stderr)
+            return 1
+        print(f"check_json: {path} OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,12 +10,14 @@ set -eu
 
 BUILD=${BUILD:-build}
 OUT=${OUT:-results}
+SCRIPTS=$(dirname "$0")
 mkdir -p "$OUT"
 
 export VANTAGE_MIX_SEEDS=${VANTAGE_MIX_SEEDS:-10}
 export VANTAGE_CLASS_STRIDE=1
 export VANTAGE_INSTRS=${VANTAGE_INSTRS:-20000000}
 export VANTAGE_WARMUP=${VANTAGE_WARMUP:-1000000}
+export VANTAGE_BENCH_DIR="$OUT"
 
 for bench in \
     fig01_associativity fig02_managed_region fig03_threshold_table \
@@ -27,5 +29,16 @@ do
     echo "=== $bench ==="
     "$BUILD/bench/$bench" | tee "$OUT/$bench.txt"
 done
+
+# One instrumented vsim run: full stats registry + controller trace.
+echo "=== vsim observability run ==="
+"$BUILD/src/sim/vsim" --mix 0 \
+    --stats-out "$OUT/vsim_mix0.stats.json" \
+    --trace-out "$OUT/vsim_mix0.trace.csv"
+
+# Fail the reproduction if any machine-readable export is malformed.
+python3 "$SCRIPTS/check_json.py" --require configs "$OUT"/BENCH_*.json
+python3 "$SCRIPTS/check_json.py" --require cache.l2.vantage \
+    "$OUT/vsim_mix0.stats.json"
 
 echo "Paper-scale outputs written to $OUT/"

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bits.h"
+#include "stats/prof.h"
 
 namespace vantage {
 
@@ -48,6 +49,7 @@ ZArray::lookup(Addr addr) const
 void
 ZArray::candidates(Addr addr, std::vector<Candidate> &out) const
 {
+    VANTAGE_PROF("zarray.walk");
     out.clear();
     out.reserve(numCands_);
 

@@ -1,6 +1,8 @@
 #include "cache/cache.h"
 
 #include "common/log.h"
+#include "core/vantage.h"
+#include "stats/registry.h"
 
 namespace vantage {
 
@@ -82,6 +84,30 @@ Cache::totalStats() const
         total.misses += s.misses;
     }
     return total;
+}
+
+void
+Cache::registerStats(StatsRegistry &reg,
+                     const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".writebacks", &writebacks_);
+    reg.addCounter(prefix + ".hits",
+                   [this] { return totalStats().hits; });
+    reg.addCounter(prefix + ".misses",
+                   [this] { return totalStats().misses; });
+    reg.addGauge(prefix + ".miss_rate",
+                 [this] { return totalStats().missRate(); });
+    for (PartId p = 0; p < stats_.size(); ++p) {
+        const std::string base =
+            prefix + ".part" + std::to_string(p);
+        const CacheAccessStats *s = &stats_[p];
+        reg.addCounter(base + ".hits", &s->hits);
+        reg.addCounter(base + ".misses", &s->misses);
+    }
+    if (const auto *v =
+            dynamic_cast<const VantageController *>(scheme_.get())) {
+        v->registerStats(reg, prefix + ".vantage");
+    }
 }
 
 void

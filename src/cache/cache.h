@@ -22,6 +22,8 @@
 
 namespace vantage {
 
+class StatsRegistry;
+
 /** Per-partition hit/miss counters. */
 struct CacheAccessStats
 {
@@ -79,6 +81,17 @@ class Cache
 
     /** Dirty evictions since the last resetStats(). */
     std::uint64_t writebacks() const { return writebacks_; }
+
+    /**
+     * Register this cache's counters under `prefix`: writebacks,
+     * aggregate hits/misses/miss_rate, and per-partition
+     * `prefix`.partN.{hits,misses}. If the scheme is a Vantage
+     * controller its registerStats() is chained under
+     * `prefix`.vantage. The registry reads live counters; it must not
+     * outlive this cache.
+     */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const;
 
   private:
     std::unique_ptr<CacheArray> array_;

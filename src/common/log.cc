@@ -49,6 +49,15 @@ warn(const char *fmt, ...)
 }
 
 void
+warnOnceImpl(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("warn(once)", fmt, args);
+    va_end(args);
+}
+
+void
 panicAssert(const char *cond, const char *file, int line,
             const char *fmt, ...)
 {

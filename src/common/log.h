@@ -27,6 +27,24 @@ namespace vantage {
 /** Print a formatted warning to stderr and continue. */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/** Implementation hook for warn_once; use the macro instead. */
+void warnOnceImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Like warn(), but each call site reports at most once per process —
+ * for hot-path complaints (config clamps, saturation) that would
+ * otherwise flood stderr during long runs.
+ */
+#define warn_once(...)                                                   \
+    do {                                                                 \
+        static bool vantage_warned_once_ = false;                        \
+        if (!vantage_warned_once_) {                                     \
+            vantage_warned_once_ = true;                                 \
+            ::vantage::warnOnceImpl(__VA_ARGS__);                        \
+        }                                                                \
+    } while (0)
+
 /** Implementation hook for vantage_assert; use the macro instead. */
 [[noreturn]] void panicAssert(const char *cond, const char *file,
                               int line, const char *fmt, ...)

@@ -6,6 +6,8 @@
 
 #include "common/bits.h"
 #include "common/log.h"
+#include "stats/prof.h"
+#include "stats/registry.h"
 
 namespace vantage {
 
@@ -121,6 +123,36 @@ VantageController::rebuildThresholds(PartId part)
         ps.thrDems[k] = std::max<std::uint32_t>(
             1, static_cast<std::uint32_t>(std::llround(
                    c_amax * static_cast<double>(k + 1) / n)));
+    }
+}
+
+void
+VantageController::noteAccess()
+{
+    ++accessesSeen_;
+    if (trace_ != nullptr && trace_->due(accessesSeen_)) {
+        sampleTrace();
+    }
+}
+
+void
+VantageController::sampleTrace()
+{
+    for (PartId p = 0; p < cfg_.numPartitions; ++p) {
+        const PartState &ps = parts_[p];
+        TraceSample s;
+        s.access = accessesSeen_;
+        s.part = p;
+        s.targetSize = ps.targetSize;
+        s.actualSize = ps.actualSize;
+        s.aperture = apertureOf(ps);
+        s.currentTs = ps.currentTs;
+        s.setpointTs = ps.setpointTs;
+        s.candsSeen = ps.candsSeen;
+        s.candsDemoted = ps.candsDemoted;
+        s.demotions = partStats_[p].demotions;
+        s.promotions = partStats_[p].promotions;
+        trace_->record(s);
     }
 }
 
@@ -295,6 +327,7 @@ VantageController::onHit(LineId slot, Line &line, PartId accessor)
     (void)slot;
     vantage_assert(accessor < cfg_.numPartitions,
                    "accessor %u out of range", accessor);
+    noteAccess();
     if (line.part == kUnmanagedPart) {
         // Promotion: the line rejoins the accessor's partition.
         PartState &ps = parts_[accessor];
@@ -332,6 +365,7 @@ VantageController::selectVictim(CacheArray &array, PartId inserting,
 {
     (void)inserting;
     (void)addr;
+    VANTAGE_PROF("vantage.select_victim");
 
     std::int32_t first_invalid = -1;
     std::int32_t oldest_unmanaged = -1;
@@ -438,6 +472,7 @@ VantageController::onInsert(LineId slot, Line &line, PartId part)
     (void)slot;
     vantage_assert(part < cfg_.numPartitions,
                    "insertion into bad partition %u", part);
+    noteAccess();
     PartState &ps = parts_[part];
 
     if (cfg_.throttleHighChurn) {
@@ -520,6 +555,67 @@ VantageController::setpointTs(PartId part) const
     vantage_assert(part < cfg_.numPartitions,
                    "partition %u out of range", part);
     return parts_[part].setpointTs;
+}
+
+double
+VantageController::aperture(PartId part) const
+{
+    vantage_assert(part < cfg_.numPartitions,
+                   "partition %u out of range", part);
+    return apertureOf(parts_[part]);
+}
+
+void
+VantageController::attachTrace(ControllerTrace *trace)
+{
+    trace_ = trace;
+}
+
+void
+VantageController::registerStats(StatsRegistry &reg,
+                                 const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".evictions", &stats_.evictions);
+    reg.addCounter(prefix + ".evictions_from_managed",
+                   &stats_.evictionsFromManaged);
+    reg.addCounter(prefix + ".demotions", &stats_.demotions);
+    reg.addCounter(prefix + ".promotions", &stats_.promotions);
+    reg.addCounter(prefix + ".setpoint_adjusts",
+                   &stats_.setpointAdjusts);
+    reg.addCounter(prefix + ".accesses", &accessesSeen_);
+    reg.addGauge(prefix + ".unmanaged_size",
+                 [this] { return static_cast<double>(unmanagedSize_); });
+    reg.addGauge(prefix + ".managed_lines", [this] {
+        return static_cast<double>(managedLines_);
+    });
+    for (PartId p = 0; p < cfg_.numPartitions; ++p) {
+        const std::string base =
+            prefix + ".part" + std::to_string(p);
+        const PartState *ps = &parts_[p];
+        const VantagePartStats *st = &partStats_[p];
+        reg.addGauge(base + ".target", [ps] {
+            return static_cast<double>(ps->targetSize);
+        });
+        reg.addGauge(base + ".actual", [ps] {
+            return static_cast<double>(ps->actualSize);
+        });
+        reg.addGauge(base + ".aperture",
+                     [this, ps] { return apertureOf(*ps); });
+        reg.addGauge(base + ".setpoint_ts", [ps] {
+            return static_cast<double>(ps->setpointTs);
+        });
+        reg.addGauge(base + ".current_ts", [ps] {
+            return static_cast<double>(ps->currentTs);
+        });
+        reg.addCounter(base + ".hits", &st->hits);
+        reg.addCounter(base + ".insertions", &st->insertions);
+        reg.addCounter(base + ".demotions", &st->demotions);
+        reg.addCounter(base + ".promotions", &st->promotions);
+        reg.addCounter(base + ".forced_evictions",
+                       &st->forcedEvictions);
+        reg.addCounter(base + ".throttled_inserts",
+                       &st->throttledInserts);
+    }
 }
 
 } // namespace vantage

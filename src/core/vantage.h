@@ -43,8 +43,11 @@
 
 #include "partition/scheme.h"
 #include "stats/cdf.h"
+#include "stats/trace.h"
 
 namespace vantage {
+
+class StatsRegistry;
 
 /** Configuration of the Vantage controller. */
 struct VantageConfig
@@ -162,6 +165,30 @@ class VantageController : public PartitionScheme
     std::uint8_t currentTs(PartId part) const;
     std::uint8_t setpointTs(PartId part) const;
 
+    /** Estimated aperture of `part` (Eq. 7), in [0, Amax]. */
+    double aperture(PartId part) const;
+
+    /**
+     * Attach a periodic state trace: every trace->period() controller
+     * accesses (hits + fills), one TraceSample per partition is
+     * recorded. Pass nullptr to detach. The trace must outlive the
+     * controller's use of it.
+     */
+    void attachTrace(ControllerTrace *trace);
+
+    /** Controller accesses (hits + fills) seen so far. */
+    std::uint64_t accessesSeen() const { return accessesSeen_; }
+
+    /**
+     * Register controller statistics under `prefix`: global
+     * demotion/promotion/eviction counters plus per-partition
+     * `prefix`.partN.{target,actual,aperture,hits,insertions,
+     * demotions,promotions,forced_evictions,throttled_inserts}.
+     * The registry reads live state; export after the run.
+     */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const;
+
     const VantageConfig &config() const { return cfg_; }
 
   protected:
@@ -210,6 +237,10 @@ class VantageController : public PartitionScheme
     virtual void onDemotionCheckKept(PartId part, Line &line);
 
     void rebuildThresholds(PartId part);
+    /** Count a controller access; sample the trace when one is due. */
+    void noteAccess();
+    /** Append one TraceSample per partition to the attached trace. */
+    void sampleTrace();
     /** Advance the coarse timestamp clock; no-op for RRIP variants. */
     virtual void tickAccessCounter(PartId part);
     void tickUnmanagedTs();
@@ -241,6 +272,10 @@ class VantageController : public PartitionScheme
 
     PartId demotionCdfPart_ = kInvalidPart;
     EmpiricalCdf *demotionCdf_ = nullptr;
+
+    // Observability: optional periodic state trace.
+    ControllerTrace *trace_ = nullptr;
+    std::uint64_t accessesSeen_ = 0;
 };
 
 } // namespace vantage

@@ -95,6 +95,15 @@ cliUsage()
            "  --instrs N           measured instructions per core\n"
            "  --warmup N           warmup accesses per core\n"
            "  --seed N             simulation seed\n"
+           "\n"
+           "observability:\n"
+           "  --stats-out FILE     write end-of-run stats as JSON\n"
+           "  --trace-out FILE     write a controller trace as CSV\n"
+           "                       (vantage schemes only)\n"
+           "  --stats-period N     controller accesses between trace\n"
+           "                       samples (default 10000)\n"
+           "\n"
+           "Options also accept the --option=value form.\n"
            "  --help               this text\n";
 }
 
@@ -113,8 +122,23 @@ parseCli(const std::vector<std::string> &args, std::string &error)
     std::uint64_t cores = 0;
 
     for (std::size_t i = 0; i < args.size(); ++i) {
-        const std::string &arg = args[i];
+        std::string arg = args[i];
+        // --option=value is equivalent to --option value.
+        std::string inline_value;
+        bool has_inline = false;
+        if (arg.size() > 2 && arg.compare(0, 2, "--") == 0) {
+            const std::size_t eq = arg.find('=');
+            if (eq != std::string::npos) {
+                inline_value = arg.substr(eq + 1);
+                arg = arg.substr(0, eq);
+                has_inline = true;
+            }
+        }
         auto next = [&](std::string &out) {
+            if (has_inline) {
+                out = inline_value;
+                return true;
+            }
             if (i + 1 >= args.size()) {
                 error = arg + " needs a value";
                 return false;
@@ -124,7 +148,15 @@ parseCli(const std::vector<std::string> &args, std::string &error)
         };
 
         std::string value;
-        if (arg == "--help" || arg == "-h") {
+        if (arg == "--help" || arg == "-h" || arg == "--no-ucp") {
+            if (has_inline) {
+                error = arg + " takes no value";
+                return opts;
+            }
+            if (arg == "--no-ucp") {
+                opts.machine.useUcp = false;
+                continue;
+            }
             opts.showHelp = true;
             return opts;
         } else if (arg == "--cores") {
@@ -208,8 +240,6 @@ parseCli(const std::vector<std::string> &args, std::string &error)
                 error = "bad --slack value";
                 return opts;
             }
-        } else if (arg == "--no-ucp") {
-            opts.machine.useUcp = false;
         } else if (arg == "--repartition") {
             if (!next(value) ||
                 !parseU64(value,
@@ -220,6 +250,25 @@ parseCli(const std::vector<std::string> &args, std::string &error)
         } else if (arg == "--seed") {
             if (!next(value) || !parseU64(value, opts.seed)) {
                 error = "bad --seed value";
+                return opts;
+            }
+        } else if (arg == "--stats-out") {
+            if (!next(value) || value.empty()) {
+                error = "bad --stats-out value";
+                return opts;
+            }
+            opts.statsOut = value;
+        } else if (arg == "--trace-out") {
+            if (!next(value) || value.empty()) {
+                error = "bad --trace-out value";
+                return opts;
+            }
+            opts.traceOut = value;
+        } else if (arg == "--stats-period") {
+            if (!next(value) ||
+                !parseU64(value, opts.scale.statsPeriod) ||
+                opts.scale.statsPeriod == 0) {
+                error = "bad --stats-period value";
                 return opts;
             }
         } else {

@@ -10,6 +10,9 @@
  *        [--instrs N] [--warmup N] [--l2-lines N]
  *        [--unmanaged F] [--amax F] [--slack F]
  *        [--no-ucp] [--repartition N] [--seed N]
+ *        [--stats-out FILE] [--trace-out FILE] [--stats-period N]
+ *
+ * Every value-taking option also accepts the --option=value form.
  *
  * Scheme names: lru, srrip, drrip, tadrrip, waypart, pipp, vantage,
  * vantage-drrip, vantage-oracle.
@@ -39,6 +42,10 @@ struct CliOptions
     std::optional<std::pair<std::uint32_t, std::uint32_t>> mix;
     std::vector<std::string> apps;   ///< Profile names.
     std::vector<std::string> traces; ///< Trace file paths.
+
+    /** Observability outputs (empty: disabled). */
+    std::string statsOut; ///< End-of-run stats registry, JSON.
+    std::string traceOut; ///< Controller trace, CSV.
 
     bool showHelp = false;
 };

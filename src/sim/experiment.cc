@@ -188,6 +188,13 @@ RunScale::fromEnv()
         scale.mixSeedsPerClass = static_cast<std::uint32_t>(
             std::strtoul(s, nullptr, 10));
     }
+    if (const char *s = std::getenv("VANTAGE_STATS_PERIOD")) {
+        scale.statsPeriod = std::strtoull(s, nullptr, 10);
+        if (scale.statsPeriod == 0) {
+            warn_once("VANTAGE_STATS_PERIOD=0 clamped to 1");
+            scale.statsPeriod = 1;
+        }
+    }
     return scale;
 }
 

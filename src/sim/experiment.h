@@ -6,9 +6,10 @@
  *
  * Run scale: the quick defaults finish each figure in minutes. The
  * environment overrides let a user reproduce paper-scale runs:
- *   VANTAGE_MIX_SEEDS   mixes per class (paper: 10)
- *   VANTAGE_INSTRS      measured instructions per core
- *   VANTAGE_WARMUP      warmup memory accesses per core
+ *   VANTAGE_MIX_SEEDS     mixes per class (paper: 10)
+ *   VANTAGE_INSTRS        measured instructions per core
+ *   VANTAGE_WARMUP        warmup memory accesses per core
+ *   VANTAGE_STATS_PERIOD  controller accesses between trace samples
  */
 
 #ifndef VANTAGE_SIM_EXPERIMENT_H_
@@ -75,6 +76,8 @@ struct RunScale
     std::uint64_t warmupAccesses = 50'000;  ///< Per core.
     std::uint64_t instructions = 1'500'000; ///< Measured, per core.
     std::uint32_t mixSeedsPerClass = 1;
+    /** Controller accesses between ControllerTrace samples. */
+    std::uint64_t statsPeriod = 10'000;
 
     /** Defaults overridden by VANTAGE_* environment variables. */
     static RunScale fromEnv();

@@ -10,14 +10,69 @@
 #include <cstdio>
 #include <memory>
 
+#include "common/log.h"
 #include "core/vantage.h"
 #include "sim/cli.h"
+#include "stats/prof.h"
+#include "stats/registry.h"
 #include "stats/table.h"
+#include "stats/trace.h"
 #include "workload/mixes.h"
 #include "workload/profiles.h"
 #include "workload/trace_stream.h"
 
 using namespace vantage;
+
+namespace {
+
+/** Register run metadata, per-core results and L2 stats. */
+void
+buildRegistry(StatsRegistry &reg, const CliOptions &opts,
+              const CmpSim &sim,
+              const std::vector<std::string> &core_names)
+{
+    reg.addString("run.config", opts.l2.name());
+    reg.addGauge("run.cores", [&opts] {
+        return static_cast<double>(opts.machine.numCores);
+    });
+    reg.addGauge("run.l2_lines", [&opts] {
+        return static_cast<double>(opts.l2.lines);
+    });
+    reg.addGauge("run.seed",
+                 [&opts] { return static_cast<double>(opts.seed); });
+    reg.addGauge("run.instructions", [&opts] {
+        return static_cast<double>(opts.scale.instructions);
+    });
+    reg.addGauge("run.warmup_accesses", [&opts] {
+        return static_cast<double>(opts.scale.warmupAccesses);
+    });
+    reg.addGauge("run.throughput",
+                 [&sim] { return sim.throughput(); });
+    for (std::uint32_t c = 0; c < opts.machine.numCores; ++c) {
+        const std::string base = "core." + std::to_string(c);
+        reg.addString(base + ".workload", core_names[c]);
+        reg.addCounter(base + ".instructions", [&sim, c] {
+            return sim.result(c).instructions;
+        });
+        reg.addCounter(base + ".cycles", [&sim, c] {
+            return sim.result(c).cycles;
+        });
+        reg.addCounter(base + ".l2_accesses", [&sim, c] {
+            return sim.result(c).l2Accesses;
+        });
+        reg.addCounter(base + ".l2_misses", [&sim, c] {
+            return sim.result(c).l2Misses;
+        });
+        reg.addGauge(base + ".ipc",
+                     [&sim, c] { return sim.result(c).ipc(); });
+        reg.addGauge(base + ".mpki",
+                     [&sim, c] { return sim.result(c).mpki(); });
+    }
+    sim.l2().registerStats(reg, "cache.l2");
+    profExport(reg);
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -76,8 +131,21 @@ main(int argc, char **argv)
                  static_cast<unsigned long long>(
                      opts.scale.instructions));
 
+    // Controller trace (--trace-out): samples the measured phase.
+    ControllerTrace trace(opts.scale.statsPeriod);
+    auto *vctl =
+        dynamic_cast<VantageController *>(&sim->l2().scheme());
+    if (!opts.traceOut.empty() && vctl == nullptr) {
+        fatal("--trace-out requires a vantage scheme, got %s",
+              opts.l2.name().c_str());
+    }
+
     sim->warmup(opts.scale.warmupAccesses);
     sim->l2().resetStats();
+    profResetAll();
+    if (!opts.traceOut.empty()) {
+        vctl->attachTrace(&trace);
+    }
     sim->run(opts.scale.instructions);
 
     TablePrinter table({"core", "workload", "IPC", "L2 accesses",
@@ -96,6 +164,21 @@ main(int argc, char **argv)
     std::printf("L2 writebacks: %llu\n",
                 static_cast<unsigned long long>(
                     sim->l2().writebacks()));
+
+    // Observability exports.
+    if (!opts.statsOut.empty()) {
+        StatsRegistry reg;
+        buildRegistry(reg, opts, *sim, core_names);
+        reg.writeJsonFile(opts.statsOut);
+        std::fprintf(stderr, "vsim: stats written to %s\n",
+                     opts.statsOut.c_str());
+    }
+    if (!opts.traceOut.empty()) {
+        trace.writeCsvFile(opts.traceOut);
+        std::fprintf(stderr,
+                     "vsim: trace written to %s (%zu samples)\n",
+                     opts.traceOut.c_str(), trace.samples().size());
+    }
 
     // Partition detail where the scheme has meaningful sizes.
     if (opts.l2.scheme != SchemeKind::UnpartLru &&

@@ -1,0 +1,426 @@
+#include "stats/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace vantage {
+
+// ---------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------
+
+void
+JsonWriter::pad(bool is_key)
+{
+    if (afterKey_) {
+        // Value directly follows its key.
+        vantage_assert(!is_key, "two consecutive JSON keys");
+        afterKey_ = false;
+        return;
+    }
+    if (hasMember_.empty()) {
+        return; // Top-level value.
+    }
+    if (hasMember_.back()) {
+        out_ << ",";
+    }
+    hasMember_.back() = true;
+    out_ << "\n"
+         << std::string(2 * hasMember_.size(), ' ');
+}
+
+void
+JsonWriter::open(char c)
+{
+    pad(false);
+    out_ << c;
+    hasMember_.push_back(false);
+}
+
+void
+JsonWriter::close(char c)
+{
+    vantage_assert(!hasMember_.empty(), "JSON container underflow");
+    vantage_assert(!afterKey_, "JSON key without a value");
+    const bool had = hasMember_.back();
+    hasMember_.pop_back();
+    if (had) {
+        out_ << "\n" << std::string(2 * hasMember_.size(), ' ');
+    }
+    out_ << c;
+    if (hasMember_.empty()) {
+        out_ << "\n";
+    }
+}
+
+void
+JsonWriter::beginObject()
+{
+    open('{');
+}
+
+void
+JsonWriter::endObject()
+{
+    close('}');
+}
+
+void
+JsonWriter::beginArray()
+{
+    open('[');
+}
+
+void
+JsonWriter::endArray()
+{
+    close(']');
+}
+
+void
+JsonWriter::key(const std::string &k)
+{
+    vantage_assert(!hasMember_.empty(),
+                   "JSON key '%s' outside an object", k.c_str());
+    pad(true);
+    out_ << '"' << escape(k) << "\": ";
+    afterKey_ = true;
+}
+
+void
+JsonWriter::value(double v)
+{
+    pad(false);
+    if (!std::isfinite(v)) {
+        out_ << "null"; // JSON has no NaN/Inf.
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ << buf;
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    pad(false);
+    out_ << v;
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    pad(false);
+    out_ << v;
+}
+
+void
+JsonWriter::value(bool v)
+{
+    pad(false);
+    out_ << (v ? "true" : "false");
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    pad(false);
+    out_ << '"' << escape(v) << '"';
+}
+
+void
+JsonWriter::value(const char *v)
+{
+    value(std::string(v));
+}
+
+void
+JsonWriter::valueNull()
+{
+    pad(false);
+    out_ << "null";
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------
+// JsonValue parser
+// ---------------------------------------------------------------
+
+namespace {
+
+/** Recursive-descent parser over a string; sets fail() on error. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string &error)
+        : text_(text), error_(error)
+    {
+    }
+
+    JsonValue
+    document()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (error_.empty() && pos_ != text_.size()) {
+            fail("trailing characters");
+        }
+        return error_.empty() ? v : JsonValue{};
+    }
+
+  private:
+    void
+    fail(const std::string &what)
+    {
+        if (error_.empty()) {
+            error_ = what + " at offset " + std::to_string(pos_);
+        }
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWs();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return {};
+        }
+        const char c = text_[pos_];
+        if (c == '{') return parseObject();
+        if (c == '[') return parseArray();
+        if (c == '"') return parseString();
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+            return parseNumber();
+        }
+        JsonValue v;
+        if (literal("true")) {
+            v.type = JsonValue::Type::Bool;
+            v.boolean = true;
+        } else if (literal("false")) {
+            v.type = JsonValue::Type::Bool;
+        } else if (literal("null")) {
+            v.type = JsonValue::Type::Null;
+        } else {
+            fail("unexpected character");
+        }
+        return v;
+    }
+
+    JsonValue
+    parseObject()
+    {
+        JsonValue v;
+        v.type = JsonValue::Type::Object;
+        consume('{');
+        skipWs();
+        if (consume('}')) return v;
+        do {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                fail("expected object key");
+                return v;
+            }
+            const JsonValue k = parseString();
+            if (!consume(':')) {
+                fail("expected ':'");
+                return v;
+            }
+            v.object[k.str] = parseValue();
+            if (!error_.empty()) return v;
+        } while (consume(','));
+        if (!consume('}')) {
+            fail("expected '}'");
+        }
+        return v;
+    }
+
+    JsonValue
+    parseArray()
+    {
+        JsonValue v;
+        v.type = JsonValue::Type::Array;
+        consume('[');
+        skipWs();
+        if (consume(']')) return v;
+        do {
+            v.array.push_back(parseValue());
+            if (!error_.empty()) return v;
+        } while (consume(','));
+        if (!consume(']')) {
+            fail("expected ']'");
+        }
+        return v;
+    }
+
+    JsonValue
+    parseString()
+    {
+        JsonValue v;
+        v.type = JsonValue::Type::String;
+        ++pos_; // Opening quote.
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\' && pos_ < text_.size()) {
+                const char esc = text_[pos_++];
+                switch (esc) {
+                  case 'n':
+                    c = '\n';
+                    break;
+                  case 't':
+                    c = '\t';
+                    break;
+                  case 'r':
+                    c = '\r';
+                    break;
+                  case 'u': {
+                    // Only the \u00xx range this writer emits.
+                    if (pos_ + 4 > text_.size()) {
+                        fail("bad \\u escape");
+                        return v;
+                    }
+                    c = static_cast<char>(std::strtoul(
+                        text_.substr(pos_, 4).c_str(), nullptr, 16));
+                    pos_ += 4;
+                    break;
+                  }
+                  default:
+                    c = esc; // \" \\ \/ and friends.
+                }
+            }
+            v.str += c;
+        }
+        if (pos_ >= text_.size()) {
+            fail("unterminated string");
+            return v;
+        }
+        ++pos_; // Closing quote.
+        return v;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        JsonValue v;
+        v.type = JsonValue::Type::Number;
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        v.number = std::strtod(start, &end);
+        if (end == start) {
+            fail("bad number");
+            return v;
+        }
+        pos_ += static_cast<std::size_t>(end - start);
+        return v;
+    }
+
+    const std::string &text_;
+    std::string &error_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue
+JsonValue::parse(const std::string &text, std::string &error)
+{
+    error.clear();
+    return Parser(text, error).document();
+}
+
+const JsonValue *
+JsonValue::find(const std::string &dotted) const
+{
+    const JsonValue *node = this;
+    std::size_t start = 0;
+    while (start <= dotted.size()) {
+        const std::size_t dot = dotted.find('.', start);
+        const std::string seg =
+            dotted.substr(start, dot == std::string::npos
+                                     ? std::string::npos
+                                     : dot - start);
+        if (node->type != Type::Object) {
+            return nullptr;
+        }
+        const auto it = node->object.find(seg);
+        if (it == node->object.end()) {
+            return nullptr;
+        }
+        node = &it->second;
+        if (dot == std::string::npos) {
+            return node;
+        }
+        start = dot + 1;
+    }
+    return nullptr;
+}
+
+} // namespace vantage

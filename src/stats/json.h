@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Minimal JSON support for stats export.
+ *
+ * JsonWriter is a streaming emitter with automatic comma/indent
+ * handling, used by the StatsRegistry and bench exporters. JsonValue
+ * is a small recursive-descent parser used by the tests (round-trip
+ * validation of exported files) and by tools that read BENCH_*.json
+ * perf-trajectory baselines. Neither aims for full spec coverage —
+ * just the subset this simulator emits (objects, arrays, numbers,
+ * strings, booleans, null).
+ */
+
+#ifndef VANTAGE_STATS_JSON_H_
+#define VANTAGE_STATS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vantage {
+
+/** Streaming JSON emitter with comma/newline/indent management. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &out) : out_(out) {}
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit an object key; must be followed by a value or begin*(). */
+    void key(const std::string &k);
+
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(bool v);
+    void value(const std::string &v);
+    void value(const char *v);
+    void valueNull();
+
+    /** Convenience: key + scalar value. */
+    template <typename T>
+    void
+    kv(const std::string &k, const T &v)
+    {
+        key(k);
+        value(v);
+    }
+
+    /** Escape a string per JSON rules (quotes not included). */
+    static std::string escape(const std::string &s);
+
+  private:
+    /** Called before any value/key; writes commas and indentation. */
+    void pad(bool is_key);
+    void open(char c);
+    void close(char c);
+
+    std::ostream &out_;
+    /** One entry per open container: true once it has a member. */
+    std::vector<bool> hasMember_;
+    bool afterKey_ = false;
+};
+
+/** Parsed JSON document (tests and checkers only; not hot-path). */
+struct JsonValue
+{
+    enum class Type { Null, Bool, Number, String, Object, Array };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::map<std::string, JsonValue> object;
+    std::vector<JsonValue> array;
+
+    bool isNull() const { return type == Type::Null; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isObject() const { return type == Type::Object; }
+    bool isArray() const { return type == Type::Array; }
+
+    /**
+     * Parse a complete document. On failure returns a Null value and
+     * sets `error`; on success `error` is cleared.
+     */
+    static JsonValue parse(const std::string &text, std::string &error);
+
+    /**
+     * Navigate a dotted path ("cache.l2.part3.demotions") through
+     * nested objects. @return the node, or nullptr when missing.
+     */
+    const JsonValue *find(const std::string &dotted) const;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_STATS_JSON_H_

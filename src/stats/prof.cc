@@ -1,0 +1,61 @@
+#include "stats/prof.h"
+
+#include "stats/registry.h"
+
+namespace vantage {
+
+namespace {
+
+std::vector<ProfSite *> &
+sites()
+{
+    static std::vector<ProfSite *> list;
+    return list;
+}
+
+} // namespace
+
+ProfSite::ProfSite(const char *name) : name_(name)
+{
+    profRegisterSite(this);
+}
+
+void
+profRegisterSite(ProfSite *site)
+{
+    sites().push_back(site);
+}
+
+const std::vector<ProfSite *> &
+profSites()
+{
+    return sites();
+}
+
+void
+profExport(StatsRegistry &reg, const std::string &prefix)
+{
+    for (const ProfSite *site : sites()) {
+        const std::string base = prefix + "." + site->name();
+        reg.addCounter(base + ".calls",
+                       [site] { return site->calls(); });
+        reg.addCounter(base + ".total_ns",
+                       [site] { return site->totalNs(); });
+        reg.addGauge(base + ".avg_ns", [site] {
+            return site->calls()
+                       ? static_cast<double>(site->totalNs()) /
+                             static_cast<double>(site->calls())
+                       : 0.0;
+        });
+    }
+}
+
+void
+profResetAll()
+{
+    for (ProfSite *site : sites()) {
+        site->reset();
+    }
+}
+
+} // namespace vantage

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Scoped-timer profiling hooks for the simulator's hot paths.
+ *
+ * Instrument a scope with VANTAGE_PROF("zarray.walk"): when the build
+ * enables profiling (cmake -DVANTAGE_PROF=ON, which defines
+ * VANTAGE_PROF_ENABLED), every pass through the scope accumulates
+ * wall-clock nanoseconds and a call count into a process-wide site
+ * list that profExport() dumps into a StatsRegistry under
+ * "prof.<site>". In default builds the macro expands to nothing, so
+ * the hot paths pay zero cost.
+ *
+ * The ProfSite/ProfScope classes themselves always compile (tests use
+ * them directly); only the macro is build-gated. Single-threaded by
+ * design, like the simulator.
+ */
+
+#ifndef VANTAGE_STATS_PROF_H_
+#define VANTAGE_STATS_PROF_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vantage {
+
+class StatsRegistry;
+
+/** One instrumented site: name, call count, accumulated time. */
+class ProfSite
+{
+  public:
+    /** Registers the site in the global list on construction. */
+    explicit ProfSite(const char *name);
+
+    void
+    add(std::uint64_t ns)
+    {
+        ++calls_;
+        totalNs_ += ns;
+    }
+
+    const std::string &name() const { return name_; }
+    std::uint64_t calls() const { return calls_; }
+    std::uint64_t totalNs() const { return totalNs_; }
+
+    void
+    reset()
+    {
+        calls_ = 0;
+        totalNs_ = 0;
+    }
+
+  private:
+    std::string name_;
+    std::uint64_t calls_ = 0;
+    std::uint64_t totalNs_ = 0;
+};
+
+/** RAII timer: adds its lifetime to a ProfSite. */
+class ProfScope
+{
+  public:
+    explicit ProfScope(ProfSite &site)
+        : site_(site), start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ProfScope(const ProfScope &) = delete;
+    ProfScope &operator=(const ProfScope &) = delete;
+
+    ~ProfScope()
+    {
+        const auto ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        site_.add(static_cast<std::uint64_t>(ns));
+    }
+
+  private:
+    ProfSite &site_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** All sites constructed so far (registration order). */
+const std::vector<ProfSite *> &profSites();
+
+/**
+ * Register every site's calls / total_ns / avg_ns under
+ * `prefix`.<site> in `reg`. No-op when no sites exist (the default
+ * build instruments nothing).
+ */
+void profExport(StatsRegistry &reg,
+                const std::string &prefix = "prof");
+
+/** Zero all site counters (between warmup and measurement). */
+void profResetAll();
+
+/** Internal: sites self-register here. */
+void profRegisterSite(ProfSite *site);
+
+#define VANTAGE_PROF_CAT2(a, b) a##b
+#define VANTAGE_PROF_CAT(a, b) VANTAGE_PROF_CAT2(a, b)
+
+#ifdef VANTAGE_PROF_ENABLED
+/** Time the rest of the enclosing scope under `name`. */
+#define VANTAGE_PROF(name)                                               \
+    static ::vantage::ProfSite VANTAGE_PROF_CAT(vantage_prof_site_,      \
+                                                __LINE__){name};         \
+    ::vantage::ProfScope VANTAGE_PROF_CAT(vantage_prof_scope_,           \
+                                          __LINE__)                      \
+    {                                                                    \
+        VANTAGE_PROF_CAT(vantage_prof_site_, __LINE__)                   \
+    }
+#else
+/** Profiling disabled: compiles to nothing. */
+#define VANTAGE_PROF(name)                                               \
+    do {                                                                 \
+    } while (0)
+#endif
+
+} // namespace vantage
+
+#endif // VANTAGE_STATS_PROF_H_

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Hierarchical statistics registry.
+ *
+ * Components register named statistics under dotted paths
+ * ("cache.l2.part3.demotions"); the registry snapshots them on demand
+ * and exports the whole tree as JSON (nested by path segment) or CSV
+ * (flat rows). Registration stores *accessors*, not copies: counters
+ * and gauges are read at export time, so a registry built before a
+ * run automatically reports end-of-run values.
+ *
+ * Lifetime: the registry holds raw pointers/closures into the
+ * registered objects. Export before tearing down the components, and
+ * never export a registry that outlives its registrants.
+ */
+
+#ifndef VANTAGE_STATS_REGISTRY_H_
+#define VANTAGE_STATS_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "stats/counters.h"
+#include "stats/timeseries.h"
+
+namespace vantage {
+
+class JsonWriter;
+
+/** Registry of named statistics, exported as one JSON/CSV document. */
+class StatsRegistry
+{
+  public:
+    using CounterFn = std::function<std::uint64_t()>;
+    using GaugeFn = std::function<double()>;
+
+    /** Monotonic event count, read through `fn` at export time. */
+    void addCounter(const std::string &path, CounterFn fn);
+    void addCounter(const std::string &path, const Counter *counter);
+    void addCounter(const std::string &path, const std::uint64_t *v);
+
+    /** Point-in-time value, read through `fn` at export time. */
+    void addGauge(const std::string &path, GaugeFn fn);
+
+    /** Histogram summary: count/mean/min/max/variance. */
+    void addStat(const std::string &path, const RunningStat *stat);
+
+    /** Sampled (time, value) series; exported as parallel arrays. */
+    void addSeries(const std::string &path, const TimeSeries *series);
+
+    /** Fixed string annotation (config names, workload labels). */
+    void addString(const std::string &path, std::string text);
+
+    bool contains(const std::string &path) const;
+    std::size_t size() const { return entries_.size(); }
+
+    /** All registered paths, sorted. */
+    std::vector<std::string> paths() const;
+
+    /**
+     * Snapshot a scalar entry (counter or gauge) by path.
+     * @return nullopt for missing paths and non-scalar kinds.
+     */
+    std::optional<double> value(const std::string &path) const;
+
+    /** Export the full tree as nested JSON. */
+    void writeJson(std::ostream &out) const;
+
+    /**
+     * Export scalar entries as flat CSV rows (`path,kind,value`).
+     * RunningStats flatten to one row per summary field; series are
+     * omitted (use the JSON export or a ControllerTrace CSV).
+     */
+    void writeCsv(std::ostream &out) const;
+
+    /** writeJson to `path`; fatal() when the file cannot be written. */
+    void writeJsonFile(const std::string &path) const;
+
+    /** writeCsv to `path`; fatal() when the file cannot be written. */
+    void writeCsvFile(const std::string &path) const;
+
+  private:
+    enum class Kind { Counter, Gauge, Stat, Series, String };
+
+    struct Entry
+    {
+        Kind kind;
+        CounterFn counter;
+        GaugeFn gauge;
+        const RunningStat *stat = nullptr;
+        const TimeSeries *series = nullptr;
+        std::string text;
+    };
+
+    /** Reject duplicate paths and leaf/subtree collisions. */
+    void checkPath(const std::string &path) const;
+    void insert(const std::string &path, Entry entry);
+
+    static void writeEntryJson(JsonWriter &w, const Entry &e);
+
+    /** Sorted, so the dotted paths group into a tree naturally. */
+    std::map<std::string, Entry> entries_;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_STATS_REGISTRY_H_

@@ -1,0 +1,62 @@
+#include "stats/trace.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/log.h"
+
+namespace vantage {
+
+ControllerTrace::ControllerTrace(std::uint64_t period)
+    : period_(period)
+{
+    if (period_ == 0) {
+        warn_once("trace period 0 clamped to 1");
+        period_ = 1;
+    }
+}
+
+void
+ControllerTrace::record(const TraceSample &sample)
+{
+    samples_.push_back(sample);
+}
+
+const char *
+ControllerTrace::csvHeader()
+{
+    return "access,part,target,actual,aperture,current_ts,"
+           "setpoint_ts,cands_seen,cands_demoted,demotions,"
+           "promotions";
+}
+
+void
+ControllerTrace::writeCsv(std::ostream &out) const
+{
+    out << csvHeader() << "\n";
+    char buf[32];
+    for (const auto &s : samples_) {
+        std::snprintf(buf, sizeof(buf), "%.6f", s.aperture);
+        out << s.access << "," << s.part << "," << s.targetSize << ","
+            << s.actualSize << "," << buf << "," << s.currentTs << ","
+            << s.setpointTs << "," << s.candsSeen << ","
+            << s.candsDemoted << "," << s.demotions << ","
+            << s.promotions << "\n";
+    }
+}
+
+void
+ControllerTrace::writeCsvFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        fatal("cannot open trace output '%s'", path.c_str());
+    }
+    writeCsv(out);
+    out.flush();
+    if (!out) {
+        fatal("failed writing trace output '%s'", path.c_str());
+    }
+}
+
+} // namespace vantage

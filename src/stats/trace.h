@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Periodic sampling of Vantage controller state.
+ *
+ * A ControllerTrace attached to a VantageController records, every
+ * `period` controller accesses, one row per partition with the full
+ * Fig. 4 register file plus the derived aperture: ActualSize,
+ * TargetSize, aperture, SetpointTS/CurrentTS, CandsSeen/CandsDemoted,
+ * and cumulative promotions/demotions. This is the machine-readable
+ * successor of the ad-hoc Fig. 8 plumbing: the same samples drive the
+ * target-vs-actual size traces, the aperture/setpoint dynamics of
+ * Sec. 4, and per-partition churn trajectories.
+ */
+
+#ifndef VANTAGE_STATS_TRACE_H_
+#define VANTAGE_STATS_TRACE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vantage {
+
+/** One sampled row of per-partition controller state. */
+struct TraceSample
+{
+    std::uint64_t access = 0; ///< Controller access count at sample.
+    std::uint32_t part = 0;
+    std::uint64_t targetSize = 0;
+    std::uint64_t actualSize = 0;
+    double aperture = 0.0; ///< Eq. 7 estimate at sample time.
+    std::uint32_t currentTs = 0;
+    std::uint32_t setpointTs = 0;
+    std::uint32_t candsSeen = 0;
+    std::uint32_t candsDemoted = 0;
+    std::uint64_t demotions = 0;  ///< Cumulative.
+    std::uint64_t promotions = 0; ///< Cumulative.
+};
+
+/** Accumulates TraceSamples and renders them as CSV. */
+class ControllerTrace
+{
+  public:
+    /** @param period controller accesses between samples (>= 1). */
+    explicit ControllerTrace(std::uint64_t period = 10'000);
+
+    std::uint64_t period() const { return period_; }
+
+    /** True when a controller at `access` accesses should sample. */
+    bool
+    due(std::uint64_t access) const
+    {
+        return access % period_ == 0;
+    }
+
+    void record(const TraceSample &sample);
+
+    const std::vector<TraceSample> &samples() const
+    {
+        return samples_;
+    }
+
+    bool empty() const { return samples_.empty(); }
+    void clear() { samples_.clear(); }
+
+    /** The CSV column names, in row order. */
+    static const char *csvHeader();
+
+    /** Render header + one CSV row per sample. */
+    void writeCsv(std::ostream &out) const;
+
+    /** writeCsv to `path`; fatal() when the file cannot be written. */
+    void writeCsvFile(const std::string &path) const;
+
+  private:
+    std::uint64_t period_;
+    std::vector<TraceSample> samples_;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_STATS_TRACE_H_

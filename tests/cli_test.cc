@@ -126,6 +126,56 @@ TEST(Cli, RunControls)
     EXPECT_EQ(opts.machine.repartitionCycles, 1000u);
 }
 
+TEST(Cli, ObservabilityFlags)
+{
+    const CliOptions opts =
+        parseOk({"--stats-out", "out.json", "--trace-out",
+                 "trace.csv", "--stats-period", "500"});
+    EXPECT_EQ(opts.statsOut, "out.json");
+    EXPECT_EQ(opts.traceOut, "trace.csv");
+    EXPECT_EQ(opts.scale.statsPeriod, 500u);
+}
+
+TEST(Cli, ObservabilityDefaultsAreOff)
+{
+    const CliOptions opts = parseOk({});
+    EXPECT_TRUE(opts.statsOut.empty());
+    EXPECT_TRUE(opts.traceOut.empty());
+    EXPECT_EQ(opts.scale.statsPeriod, 10'000u);
+}
+
+TEST(Cli, InlineValueForm)
+{
+    const CliOptions opts =
+        parseOk({"--stats-out=s.json", "--trace-out=t.csv",
+                 "--stats-period=250", "--scheme=pipp",
+                 "--instrs=77"});
+    EXPECT_EQ(opts.statsOut, "s.json");
+    EXPECT_EQ(opts.traceOut, "t.csv");
+    EXPECT_EQ(opts.scale.statsPeriod, 250u);
+    EXPECT_EQ(opts.l2.scheme, SchemeKind::Pipp);
+    EXPECT_EQ(opts.scale.instructions, 77u);
+}
+
+TEST(Cli, ObservabilityErrors)
+{
+    EXPECT_NE(parseErr({"--stats-out"}).find("value"),
+              std::string::npos);
+    EXPECT_NE(parseErr({"--stats-out", ""}).find("value"),
+              std::string::npos);
+    EXPECT_NE(parseErr({"--trace-out="}).find("value"),
+              std::string::npos);
+    EXPECT_NE(parseErr({"--stats-period", "0"})
+                  .find("stats-period"),
+              std::string::npos);
+    EXPECT_NE(parseErr({"--stats-period", "junk"})
+                  .find("stats-period"),
+              std::string::npos);
+    // Flags that take no value reject the inline form.
+    EXPECT_NE(parseErr({"--no-ucp=x"}).find("takes no value"),
+              std::string::npos);
+}
+
 TEST(Cli, Errors)
 {
     EXPECT_NE(parseErr({"--bogus"}).find("unknown option"),

@@ -215,5 +215,30 @@ TEST(Log, WarnDoesNotTerminate)
     SUCCEED();
 }
 
+TEST(Log, WarnOnceFiresOncePerSite)
+{
+    testing::internal::CaptureStderr();
+    for (int i = 0; i < 5; ++i) {
+        warn_once("deprecated knob used (%d)", i);
+    }
+    const std::string out = testing::internal::GetCapturedStderr();
+    // One emission, from the first pass only.
+    EXPECT_NE(out.find("deprecated knob used (0)"),
+              std::string::npos);
+    EXPECT_EQ(out.find("deprecated knob used (1)"),
+              std::string::npos);
+    EXPECT_EQ(out.find("(0)"), out.rfind("(0)"));
+}
+
+TEST(Log, WarnOnceSitesAreIndependent)
+{
+    testing::internal::CaptureStderr();
+    warn_once("site A");
+    warn_once("site B");
+    const std::string out = testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("site A"), std::string::npos);
+    EXPECT_NE(out.find("site B"), std::string::npos);
+}
+
 } // namespace
 } // namespace vantage

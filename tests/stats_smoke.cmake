@@ -1,0 +1,39 @@
+# End-to-end observability smoke test, driven from ctest.
+#
+# Runs a short instrumented vsim mix, then validates the emitted JSON
+# with scripts/check_json.py and sanity-checks the trace CSV. Invoked
+# with -DVSIM=... -DPYTHON=... -DCHECKER=... -DWORKDIR=...
+
+set(stats_json "${WORKDIR}/smoke.stats.json")
+set(trace_csv "${WORKDIR}/smoke.trace.csv")
+file(REMOVE "${stats_json}" "${trace_csv}")
+
+execute_process(
+    COMMAND "${VSIM}" --mix 0 --instrs 30000 --warmup 2000
+        --stats-out "${stats_json}" --trace-out "${trace_csv}"
+        --stats-period 1000
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "vsim exited with ${rc}")
+endif()
+
+execute_process(
+    COMMAND "${PYTHON}" "${CHECKER}"
+        --require cache.l2.vantage --require run.config
+        "${stats_json}"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "check_json.py rejected ${stats_json}")
+endif()
+
+# The trace must have the header plus at least one sample row.
+file(STRINGS "${trace_csv}" trace_lines)
+list(LENGTH trace_lines n_lines)
+if(n_lines LESS 2)
+    message(FATAL_ERROR "trace CSV ${trace_csv} has no samples")
+endif()
+list(GET trace_lines 0 header)
+if(NOT header MATCHES "^access,part,target,actual,aperture")
+    message(FATAL_ERROR "unexpected trace header: ${header}")
+endif()

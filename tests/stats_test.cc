@@ -1,18 +1,28 @@
 /**
  * @file
- * Tests for statistics utilities: counters, CDFs, time series, and
- * the table printer.
+ * Tests for statistics utilities: counters, CDFs, time series, the
+ * table printer, and the observability layer (JSON writer/parser,
+ * stats registry, controller trace, profiling sites).
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <sstream>
 
 #include "common/rng.h"
+#include "core/vantage.h"
+#include "sim/experiment.h"
 #include "stats/cdf.h"
 #include "stats/counters.h"
+#include "stats/json.h"
+#include "stats/prof.h"
+#include "stats/registry.h"
 #include "stats/table.h"
 #include "stats/timeseries.h"
+#include "stats/trace.h"
+#include "workload/mixes.h"
 
 namespace vantage {
 namespace {
@@ -186,6 +196,302 @@ TEST(TablePrinterDeath, WrongArityPanics)
 {
     TablePrinter t({"a", "b"});
     EXPECT_DEATH(t.addRow({"only-one"}), "cells");
+}
+
+// ---------------------------------------------------------------
+// JsonWriter / JsonValue
+// ---------------------------------------------------------------
+
+TEST(Json, WriterEmitsNestedDocument)
+{
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.kv("n", std::uint64_t{42});
+    w.kv("x", 0.5);
+    w.kv("s", "hi\"there");
+    w.kv("b", true);
+    w.key("arr");
+    w.beginArray();
+    w.value(std::uint64_t{1});
+    w.value(std::uint64_t{2});
+    w.endArray();
+    w.key("inner");
+    w.beginObject();
+    w.kv("y", std::int64_t{-3});
+    w.endObject();
+    w.endObject();
+
+    std::string error;
+    const JsonValue doc = JsonValue::parse(out.str(), error);
+    ASSERT_TRUE(error.empty()) << error;
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_DOUBLE_EQ(doc.find("n")->number, 42.0);
+    EXPECT_DOUBLE_EQ(doc.find("x")->number, 0.5);
+    EXPECT_EQ(doc.find("s")->str, "hi\"there");
+    EXPECT_TRUE(doc.find("b")->boolean);
+    ASSERT_TRUE(doc.find("arr")->isArray());
+    EXPECT_EQ(doc.find("arr")->array.size(), 2u);
+    EXPECT_DOUBLE_EQ(doc.find("inner.y")->number, -3.0);
+    EXPECT_EQ(doc.find("inner.missing"), nullptr);
+}
+
+TEST(Json, NonFiniteBecomesNull)
+{
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.kv("nan", std::nan(""));
+    w.endObject();
+    EXPECT_NE(out.str().find("null"), std::string::npos);
+}
+
+TEST(Json, ParseRejectsGarbage)
+{
+    std::string error;
+    JsonValue::parse("{\"a\": }", error);
+    EXPECT_FALSE(error.empty());
+    JsonValue::parse("{\"a\": 1} trailing", error);
+    EXPECT_FALSE(error.empty());
+    JsonValue::parse("{\"a\": 1}", error);
+    EXPECT_TRUE(error.empty());
+}
+
+// ---------------------------------------------------------------
+// StatsRegistry
+// ---------------------------------------------------------------
+
+TEST(StatsRegistry, RegistersAndReadsLive)
+{
+    StatsRegistry reg;
+    Counter c("demotions");
+    std::uint64_t raw = 0;
+    double gauge = 1.5;
+    reg.addCounter("cache.l2.demotions", &c);
+    reg.addCounter("cache.l2.raw", &raw);
+    reg.addGauge("cache.l2.occupancy", [&] { return gauge; });
+    reg.addString("run.config", "vantage-z4");
+
+    EXPECT_EQ(reg.size(), 4u);
+    EXPECT_TRUE(reg.contains("cache.l2.demotions"));
+    EXPECT_FALSE(reg.contains("cache.l2.missing"));
+
+    // Accessors read current values at export time, not copies.
+    c.inc(7);
+    raw = 11;
+    gauge = 2.5;
+    EXPECT_DOUBLE_EQ(*reg.value("cache.l2.demotions"), 7.0);
+    EXPECT_DOUBLE_EQ(*reg.value("cache.l2.raw"), 11.0);
+    EXPECT_DOUBLE_EQ(*reg.value("cache.l2.occupancy"), 2.5);
+    EXPECT_FALSE(reg.value("run.config").has_value()); // Not scalar.
+    EXPECT_FALSE(reg.value("nope").has_value());
+
+    const auto paths = reg.paths();
+    ASSERT_EQ(paths.size(), 4u);
+    EXPECT_TRUE(std::is_sorted(paths.begin(), paths.end()));
+}
+
+TEST(StatsRegistry, JsonRoundTrip)
+{
+    StatsRegistry reg;
+    Counter hits("hits");
+    hits.inc(123);
+    RunningStat rs;
+    rs.add(1.0);
+    rs.add(3.0);
+    TimeSeries ts("size");
+    ts.add(10, 4.0);
+    ts.add(20, 8.0);
+    reg.addCounter("cache.l2.part0.hits", &hits);
+    reg.addGauge("cache.l2.miss_rate", [] { return 0.25; });
+    reg.addStat("cache.l2.latency", &rs);
+    reg.addSeries("cache.l2.size", &ts);
+    reg.addString("run.config", "test");
+
+    std::ostringstream out;
+    reg.writeJson(out);
+
+    std::string error;
+    const JsonValue doc = JsonValue::parse(out.str(), error);
+    ASSERT_TRUE(error.empty()) << error << "\n" << out.str();
+    EXPECT_DOUBLE_EQ(doc.find("cache.l2.part0.hits")->number, 123.0);
+    EXPECT_DOUBLE_EQ(doc.find("cache.l2.miss_rate")->number, 0.25);
+    EXPECT_DOUBLE_EQ(doc.find("cache.l2.latency.count")->number, 2.0);
+    EXPECT_DOUBLE_EQ(doc.find("cache.l2.latency.mean")->number, 2.0);
+    ASSERT_NE(doc.find("cache.l2.size.time"), nullptr);
+    EXPECT_EQ(doc.find("cache.l2.size.time")->array.size(), 2u);
+    EXPECT_DOUBLE_EQ(doc.find("cache.l2.size.value")->array[1].number,
+                     8.0);
+    EXPECT_EQ(doc.find("run.config")->str, "test");
+}
+
+TEST(StatsRegistry, CsvFlattensScalars)
+{
+    StatsRegistry reg;
+    Counter c("hits");
+    c.inc(5);
+    RunningStat rs;
+    rs.add(2.0);
+    reg.addCounter("a.hits", &c);
+    reg.addGauge("a.rate", [] { return 0.5; });
+    reg.addStat("a.lat", &rs);
+
+    std::ostringstream out;
+    reg.writeCsv(out);
+    const std::string csv = out.str();
+    EXPECT_NE(csv.find("path,kind,value"), std::string::npos);
+    EXPECT_NE(csv.find("a.hits,counter,5"), std::string::npos);
+    EXPECT_NE(csv.find("a.rate,gauge,0.5"), std::string::npos);
+    EXPECT_NE(csv.find("a.lat.count,stat,1"), std::string::npos);
+    EXPECT_NE(csv.find("a.lat.mean,stat,2"), std::string::npos);
+}
+
+TEST(StatsRegistryDeath, DuplicateAndCollidingPathsPanic)
+{
+    StatsRegistry reg;
+    reg.addGauge("cache.l2.size", [] { return 0.0; });
+    // Exact duplicate.
+    EXPECT_DEATH(reg.addGauge("cache.l2.size", [] { return 0.0; }),
+                 "duplicate");
+    // Leaf used as a subtree.
+    EXPECT_DEATH(
+        reg.addGauge("cache.l2.size.bytes", [] { return 0.0; }),
+        "collides");
+    // Subtree used as a leaf.
+    EXPECT_DEATH(reg.addGauge("cache.l2", [] { return 0.0; }),
+                 "collides");
+}
+
+TEST(StatsRegistryDeath, UnwritablePathIsFatal)
+{
+    StatsRegistry reg;
+    reg.addGauge("x", [] { return 1.0; });
+    EXPECT_EXIT(reg.writeJsonFile("/nonexistent-dir/stats.json"),
+                testing::ExitedWithCode(1), "cannot open");
+    EXPECT_EXIT(reg.writeCsvFile("/nonexistent-dir/stats.csv"),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+// ---------------------------------------------------------------
+// ControllerTrace
+// ---------------------------------------------------------------
+
+TEST(ControllerTrace, DueEveryPeriod)
+{
+    ControllerTrace trace(100);
+    EXPECT_EQ(trace.period(), 100u);
+    EXPECT_TRUE(trace.due(100));
+    EXPECT_TRUE(trace.due(200));
+    EXPECT_FALSE(trace.due(101));
+    EXPECT_FALSE(trace.due(199));
+}
+
+TEST(ControllerTrace, CsvRendersAllColumns)
+{
+    ControllerTrace trace(10);
+    TraceSample s;
+    s.access = 10;
+    s.part = 2;
+    s.targetSize = 100;
+    s.actualSize = 104;
+    s.aperture = 0.125;
+    s.currentTs = 9;
+    s.setpointTs = 7;
+    s.candsSeen = 52;
+    s.candsDemoted = 3;
+    s.demotions = 400;
+    s.promotions = 20;
+    trace.record(s);
+
+    std::ostringstream out;
+    trace.writeCsv(out);
+    const std::string csv = out.str();
+    EXPECT_NE(csv.find(ControllerTrace::csvHeader()),
+              std::string::npos);
+    EXPECT_NE(csv.find("10,2,100,104,0.125"), std::string::npos);
+    EXPECT_NE(csv.find("9,7,52,3,400,20"), std::string::npos);
+}
+
+TEST(ControllerTraceDeath, UnwritablePathIsFatal)
+{
+    ControllerTrace trace(10);
+    EXPECT_EXIT(trace.writeCsvFile("/nonexistent-dir/trace.csv"),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(ControllerTrace, SamplesVantageControllerAtExactCadence)
+{
+    CmpConfig machine = CmpConfig::small4Core();
+    L2Spec spec;
+    spec.scheme = SchemeKind::Vantage;
+    spec.array = ArrayKind::Z4_52;
+    spec.numPartitions = machine.numCores;
+    spec.lines = machine.l2Lines();
+    CmpSim sim(machine, makeMix(0, 1, 0), buildL2(spec));
+    auto &ctl = static_cast<VantageController &>(sim.l2().scheme());
+
+    const std::uint64_t kPeriod = 1'000;
+    ControllerTrace trace(kPeriod);
+    ctl.attachTrace(&trace);
+    sim.warmup(2'000);
+    sim.run(30'000);
+
+    ASSERT_FALSE(trace.empty());
+    // One row per partition per sample point.
+    ASSERT_EQ(trace.samples().size() % machine.numCores, 0u);
+
+    std::uint64_t last_access = 0;
+    for (std::size_t i = 0; i < trace.samples().size(); ++i) {
+        const TraceSample &s = trace.samples()[i];
+        EXPECT_EQ(s.part, i % machine.numCores);
+        EXPECT_EQ(s.access % kPeriod, 0u);
+        if (s.part == 0 && last_access != 0) {
+            EXPECT_EQ(s.access, last_access + kPeriod);
+        }
+        if (s.part == 0) {
+            last_access = s.access;
+        }
+        // Register-file sanity: sizes bounded by the cache, aperture
+        // within [0, Amax].
+        EXPECT_LE(s.actualSize, spec.lines);
+        EXPECT_LE(s.targetSize, spec.lines);
+        EXPECT_GE(s.aperture, 0.0);
+        EXPECT_LE(s.aperture, spec.vantage.maxAperture + 1e-12);
+    }
+    // The last sample sits at the final full period boundary.
+    EXPECT_EQ(trace.samples().back().access,
+              (ctl.accessesSeen() / kPeriod) * kPeriod);
+
+    trace.clear();
+    EXPECT_TRUE(trace.empty());
+}
+
+// ---------------------------------------------------------------
+// ProfSite / ProfScope / profExport
+// ---------------------------------------------------------------
+
+TEST(Prof, SiteAccumulatesAndExports)
+{
+    static ProfSite site("test.prof_site");
+    site.reset();
+    {
+        ProfScope scope(site);
+    }
+    site.add(500);
+    EXPECT_EQ(site.calls(), 2u);
+    EXPECT_GE(site.totalNs(), 500u);
+
+    const auto &sites = profSites();
+    EXPECT_NE(std::find(sites.begin(), sites.end(), &site),
+              sites.end());
+
+    StatsRegistry reg;
+    profExport(reg);
+    EXPECT_DOUBLE_EQ(*reg.value("prof.test.prof_site.calls"), 2.0);
+    EXPECT_GE(*reg.value("prof.test.prof_site.total_ns"), 500.0);
+
+    profResetAll();
+    EXPECT_EQ(site.calls(), 0u);
 }
 
 } // namespace
