@@ -5,11 +5,18 @@
  * zcache lookups and walks, Vantage demotion checks (via full miss
  * handling), and the baseline policies, plus UMON and Lookahead —
  * the simulator-side costs of each component.
+ *
+ * Results also land in BENCH_micro.json (via the suite's JSON
+ * export, honoring $VANTAGE_BENCH_DIR) so serial hot-path changes
+ * show up in the bench trajectory alongside the figure suites.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
+
+#include "suite.h"
 
 #include "alloc/lookahead.h"
 #include "alloc/umon.h"
@@ -168,6 +175,50 @@ BM_Lookahead(benchmark::State &state)
 }
 BENCHMARK(BM_Lookahead)->Arg(64)->Arg(256);
 
+/**
+ * Console output as usual, while collecting per-benchmark real
+ * times for the BENCH_micro.json export.
+ */
+class CollectingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &report) override
+    {
+        ConsoleReporter::ReportRuns(report);
+        for (const Run &run : report) {
+            if (run.run_type != Run::RT_Iteration ||
+                run.error_occurred) {
+                continue;
+            }
+            results_.push_back(
+                {run.benchmark_name(), run.GetAdjustedRealTime(),
+                 static_cast<std::uint64_t>(run.iterations)});
+        }
+    }
+
+    const std::vector<vantage::bench::MicroResult> &
+    results() const
+    {
+        return results_;
+    }
+
+  private:
+    std::vector<vantage::bench::MicroResult> results_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    CollectingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    vantage::bench::writeMicroJson("micro", reporter.results());
+    return 0;
+}

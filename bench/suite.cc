@@ -1,18 +1,71 @@
 #include "suite.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 
 #include "common/log.h"
+#include "common/thread_pool.h"
 #include "stats/json.h"
 #include "stats/table.h"
 #include "workload/mixes.h"
 
 namespace vantage {
 namespace bench {
+
+namespace {
+
+/**
+ * Concurrency-safe progress reporting: an atomic done-counter plus
+ * whole-line, mutex-guarded writes, so lines from parallel jobs
+ * never interleave. On a tty the current line is rewritten in
+ * place; on a pipe/file each completion is a plain line.
+ */
+class SuiteProgress
+{
+  public:
+    explicit SuiteProgress(std::size_t total)
+        : total_(total), tty_(isatty(fileno(stderr)) != 0)
+    {
+    }
+
+    /** Report one finished mix. */
+    void
+    done(const std::string &name)
+    {
+        const std::uint64_t n =
+            done_.fetch_add(1, std::memory_order_relaxed) + 1;
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (tty_) {
+            // \x1b[K clears leftovers of a longer previous name.
+            std::fprintf(stderr, "\r[%llu/%zu] %s\x1b[K",
+                         static_cast<unsigned long long>(n), total_,
+                         name.c_str());
+            if (n >= total_) {
+                std::fputc('\n', stderr);
+            }
+        } else {
+            std::fprintf(stderr, "[%llu/%zu] %s\n",
+                         static_cast<unsigned long long>(n), total_,
+                         name.c_str());
+        }
+        std::fflush(stderr);
+    }
+
+  private:
+    std::size_t total_;
+    bool tty_;
+    std::atomic<std::uint64_t> done_{0};
+    std::mutex mutex_;
+};
+
+} // namespace
 
 SuiteOptions
 SuiteOptions::fromEnv(const CmpConfig &machine,
@@ -47,45 +100,56 @@ std::vector<MixRow>
 runSuite(const SuiteOptions &opts, const L2Spec &baseline,
          const std::vector<L2Spec> &configs)
 {
-    std::vector<MixRow> rows;
+    // Enumerate the (class, seed) jobs up front, in class order:
+    // each is a fully independent simulation, and collecting results
+    // by job index keeps the output order — and the bits — identical
+    // to a serial run no matter how jobs are scheduled.
+    struct MixJob
+    {
+        std::uint32_t cls;
+        std::uint32_t seed;
+    };
+    std::vector<MixJob> jobs;
     const std::uint32_t num_classes =
         static_cast<std::uint32_t>(allMixClasses().size());
-    std::uint32_t done = 0;
-    std::uint32_t total = 0;
-    for (std::uint32_t c = 0; c < num_classes; c += opts.classStride) {
-        total += opts.scale.mixSeedsPerClass;
-    }
-
     for (std::uint32_t cls = 0; cls < num_classes;
          cls += opts.classStride) {
         for (std::uint32_t seed = 0;
              seed < opts.scale.mixSeedsPerClass; ++seed) {
-            const auto apps = makeMix(cls, opts.coresPerSlot, seed);
-            const std::string name = mixName(cls, seed);
-
-            MixRow row;
-            row.mix = name;
-            const MixResult base = runMix(opts.machine, baseline,
-                                          apps, opts.scale, name,
-                                          seed + 1);
-            row.baseline = base.throughput;
-            for (const auto &spec : configs) {
-                const MixResult r = runMix(opts.machine, spec, apps,
-                                           opts.scale, name,
-                                           seed + 1);
-                row.normalized.push_back(
-                    base.throughput > 0.0
-                        ? r.throughput / base.throughput
-                        : 0.0);
-            }
-            rows.push_back(std::move(row));
-            ++done;
-            std::fprintf(stderr, "\r[%u/%u] %s", done, total,
-                         name.c_str());
-            std::fflush(stderr);
+            jobs.push_back({cls, seed});
         }
     }
-    std::fprintf(stderr, "\n");
+
+    std::vector<MixRow> rows(jobs.size());
+    SuiteProgress progress(jobs.size());
+    const unsigned workers =
+        ThreadPool::resolveJobs(opts.scale.jobs);
+    // One worker degenerates to inline serial execution (no threads).
+    ThreadPool pool(workers > 1 ? workers : 0);
+    pool.parallelFor(jobs.size(), [&](std::size_t i) {
+        const MixJob &job = jobs[i];
+        const auto apps = makeMix(job.cls, opts.coresPerSlot,
+                                  job.seed);
+        const std::string name = mixName(job.cls, job.seed);
+
+        MixRow row;
+        row.mix = name;
+        const MixResult base = runMix(opts.machine, baseline, apps,
+                                      opts.scale, name,
+                                      job.seed + 1);
+        row.baseline = base.throughput;
+        for (const auto &spec : configs) {
+            const MixResult r = runMix(opts.machine, spec, apps,
+                                       opts.scale, name,
+                                       job.seed + 1);
+            row.normalized.push_back(base.throughput > 0.0
+                                         ? r.throughput /
+                                               base.throughput
+                                         : 0.0);
+        }
+        rows[i] = std::move(row);
+        progress.done(name);
+    });
     return rows;
 }
 
@@ -196,10 +260,11 @@ printPerMix(const std::vector<MixRow> &rows,
     table.print();
 }
 
-void
-writeBenchJson(const std::string &bench,
-               const std::vector<MixRow> &rows,
-               const std::vector<std::string> &names)
+namespace {
+
+/** $VANTAGE_BENCH_DIR/BENCH_<bench>.json (default: cwd). */
+std::string
+benchJsonPath(const std::string &bench)
 {
     std::string dir = ".";
     if (const char *d = std::getenv("VANTAGE_BENCH_DIR")) {
@@ -207,7 +272,17 @@ writeBenchJson(const std::string &bench,
             dir = d;
         }
     }
-    const std::string path = dir + "/BENCH_" + bench + ".json";
+    return dir + "/BENCH_" + bench + ".json";
+}
+
+} // namespace
+
+void
+writeBenchJson(const std::string &bench,
+               const std::vector<MixRow> &rows,
+               const std::vector<std::string> &names)
+{
+    const std::string path = benchJsonPath(bench);
     std::ofstream out(path);
     if (!out) {
         // Benches should still report their tables when the export
@@ -248,6 +323,39 @@ writeBenchJson(const std::string &bench,
         w.endObject();
     }
     w.endArray();
+    w.endObject();
+    out.flush();
+    if (!out) {
+        warn("failed writing bench export '%s'", path.c_str());
+        return;
+    }
+    std::fprintf(stderr, "bench: wrote %s\n", path.c_str());
+}
+
+void
+writeMicroJson(const std::string &bench,
+               const std::vector<MicroResult> &results)
+{
+    const std::string path = benchJsonPath(bench);
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot open bench export '%s'", path.c_str());
+        return;
+    }
+
+    JsonWriter w(out);
+    w.beginObject();
+    w.kv("bench", bench);
+    w.key("benchmarks");
+    w.beginObject();
+    for (const auto &r : results) {
+        w.key(r.name);
+        w.beginObject();
+        w.kv("ns_per_op", r.nsPerOp);
+        w.kv("iterations", r.iterations);
+        w.endObject();
+    }
+    w.endObject();
     w.endObject();
     out.flush();
     if (!out) {

@@ -9,6 +9,9 @@
  *   VANTAGE_INSTRS        measured instructions per core
  *   VANTAGE_WARMUP        warmup memory accesses per core
  *   VANTAGE_CLASS_STRIDE  run every k-th mix class (default 1)
+ *   VANTAGE_JOBS          parallel runMix jobs (default: hardware
+ *                         concurrency); results are bit-identical
+ *                         at any job count
  *   VANTAGE_BENCH_DIR     directory for BENCH_<name>.json exports
  *                         (default: current directory)
  */
@@ -50,7 +53,13 @@ struct SuiteOptions
 
 /**
  * Run `baseline` and each of `configs` over the mix suite.
- * Progress goes to stderr; rows come back in class order.
+ *
+ * Mixes are independent simulations, so they fan out across a
+ * ThreadPool of `opts.scale.jobs` workers (0 = auto: $VANTAGE_JOBS,
+ * else hardware concurrency). Every job owns its RNG seeds, caches
+ * and scratch state, and rows are collected by job index, so the
+ * output is bit-identical regardless of the job count or completion
+ * order. Progress goes to stderr; rows come back in class order.
  */
 std::vector<MixRow> runSuite(const SuiteOptions &opts,
                              const L2Spec &baseline,
@@ -95,6 +104,23 @@ void printPerMix(const std::vector<MixRow> &rows,
 void writeBenchJson(const std::string &bench,
                     const std::vector<MixRow> &rows,
                     const std::vector<std::string> &names);
+
+/** One microbenchmark measurement for writeMicroJson(). */
+struct MicroResult
+{
+    std::string name;        ///< Benchmark name, e.g. "BM_H3Hash".
+    double nsPerOp = 0.0;    ///< Real time per iteration.
+    std::uint64_t iterations = 0;
+};
+
+/**
+ * Export microbenchmark results as BENCH_<bench>.json (same
+ * $VANTAGE_BENCH_DIR resolution as writeBenchJson): a "benchmarks"
+ * object mapping each benchmark to its ns/op and iteration count,
+ * so serial hot-path changes show up in the bench trajectory.
+ */
+void writeMicroJson(const std::string &bench,
+                    const std::vector<MicroResult> &results);
 
 } // namespace bench
 } // namespace vantage

@@ -18,6 +18,10 @@ export VANTAGE_CLASS_STRIDE=1
 export VANTAGE_INSTRS=${VANTAGE_INSTRS:-20000000}
 export VANTAGE_WARMUP=${VANTAGE_WARMUP:-1000000}
 export VANTAGE_BENCH_DIR="$OUT"
+# Suite benches fan independent mixes across cores; results are
+# bit-identical at any job count. Override with VANTAGE_JOBS=N.
+export VANTAGE_JOBS=${VANTAGE_JOBS:-$(nproc 2>/dev/null || echo 1)}
+echo "reproduce_paper: running suites with VANTAGE_JOBS=$VANTAGE_JOBS"
 
 for bench in \
     fig01_associativity fig02_managed_region fig03_threshold_table \
@@ -30,14 +34,25 @@ do
     "$BUILD/bench/$bench" | tee "$OUT/$bench.txt"
 done
 
+# Microbenchmarks of the serial hot paths (exports BENCH_micro.json).
+echo "=== micro_overheads ==="
+"$BUILD/bench/micro_overheads" | tee "$OUT/micro_overheads.txt"
+
 # One instrumented vsim run: full stats registry + controller trace.
 echo "=== vsim observability run ==="
-"$BUILD/src/sim/vsim" --mix 0 \
+"$BUILD/src/sim/vsim" --mix 0 --jobs "$VANTAGE_JOBS" \
     --stats-out "$OUT/vsim_mix0.stats.json" \
     --trace-out "$OUT/vsim_mix0.trace.csv"
 
 # Fail the reproduction if any machine-readable export is malformed.
-python3 "$SCRIPTS/check_json.py" --require configs "$OUT"/BENCH_*.json
+for f in "$OUT"/BENCH_*.json; do
+    case "$f" in
+      */BENCH_micro.json)
+        python3 "$SCRIPTS/check_json.py" --require benchmarks "$f" ;;
+      *)
+        python3 "$SCRIPTS/check_json.py" --require configs "$f" ;;
+    esac
+done
 python3 "$SCRIPTS/check_json.py" --require cache.l2.vantage \
     "$OUT/vsim_mix0.stats.json"
 

@@ -36,8 +36,11 @@ LineId
 SetAssocArray::lookup(Addr addr) const
 {
     const std::uint64_t set = setOf(addr);
+    memoAddr_ = addr;
+    memoSet_ = set;
+    const LineId base = slotOf(set, 0);
     for (std::uint32_t w = 0; w < ways_; ++w) {
-        const LineId slot = slotOf(set, w);
+        const LineId slot = base + w;
         if (lines_[slot].addr == addr) {
             return slot;
         }
@@ -49,9 +52,17 @@ void
 SetAssocArray::candidates(Addr addr, std::vector<Candidate> &out) const
 {
     out.clear();
-    const std::uint64_t set = setOf(addr);
+    if (out.capacity() < ways_) {
+        out.reserve(ways_);
+    }
+    // Reuse the set index the preceding lookup() hashed for the same
+    // address (the common path: Cache::access misses then asks for
+    // candidates).
+    const std::uint64_t set =
+        memoAddr_ == addr ? memoSet_ : setOf(addr);
+    const LineId base = slotOf(set, 0);
     for (std::uint32_t w = 0; w < ways_; ++w) {
-        out.push_back({slotOf(set, w), -1});
+        out.push_back({base + w, -1});
     }
 }
 

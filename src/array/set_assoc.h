@@ -59,6 +59,14 @@ class SetAssocArray : public CacheArray
     std::uint64_t sets_;
     bool hashIndex_;
     H3Hash hash_;
+    /**
+     * Set index memoized by the last lookup(); candidates() reuses
+     * it instead of rehashing. The index is a pure function of the
+     * address, so a stale memo is never wrong — the address check
+     * alone decides reuse.
+     */
+    mutable Addr memoAddr_ = kInvalidAddr;
+    mutable std::uint64_t memoSet_ = 0;
 };
 
 } // namespace vantage

@@ -10,7 +10,8 @@ namespace vantage {
 ZArray::ZArray(std::size_t num_lines, std::uint32_t ways,
                std::uint32_t num_candidates, std::uint64_t seed)
     : CacheArray(num_lines), ways_(ways), numCands_(num_candidates),
-      linesPerWay_(num_lines / ways), visitEpoch_(num_lines, 0)
+      linesPerWay_(num_lines / ways), visitEpoch_(num_lines, 0),
+      memoPos_(ways, 0)
 {
     vantage_assert(ways >= 2, "a zcache needs at least 2 ways");
     vantage_assert(num_lines % ways == 0,
@@ -19,30 +20,57 @@ ZArray::ZArray(std::size_t num_lines, std::uint32_t ways,
     vantage_assert(isPow2(linesPerWay_),
                    "lines per way %llu must be a power of two",
                    static_cast<unsigned long long>(linesPerWay_));
+    vantage_assert(linesPerWay_ <= (1ull << 32),
+                   "lines per way %llu exceeds 32-bit positions",
+                   static_cast<unsigned long long>(linesPerWay_));
     vantage_assert(num_candidates >= ways,
                    "R = %u below way count %u", num_candidates, ways);
-    hashes_.reserve(ways);
+    wayShift_ = static_cast<std::uint32_t>(log2i(linesPerWay_));
+
+    // Premask each way's H3 tables into position tables (see
+    // wayHash()); the draws are identical to the previous
+    // vector<H3Hash> layout, so positions are bit-compatible.
+    const std::uint64_t mask = linesPerWay_ - 1;
+    posTables_.resize(static_cast<std::size_t>(ways) * 2048);
     for (std::uint32_t w = 0; w < ways; ++w) {
-        hashes_.emplace_back(seed * 0x9e3779b97f4a7c15ULL + w + 1);
+        const H3Hash h(seed * 0x9e3779b97f4a7c15ULL + w + 1);
+        std::uint32_t *table = &posTables_[w * 2048];
+        for (int byte = 0; byte < 8; ++byte) {
+            for (int v = 0; v < 256; ++v) {
+                table[byte * 256 + v] = static_cast<std::uint32_t>(
+                    h.tableWord(byte, v) & mask);
+            }
+        }
     }
 }
 
 LineId
 ZArray::positionIn(std::uint32_t w, Addr addr) const
 {
-    return static_cast<LineId>(w * linesPerWay_ +
-                               hashes_[w].mod(addr, linesPerWay_));
+    return static_cast<LineId>(
+        (static_cast<std::uint64_t>(w) << wayShift_) +
+        wayHash(&posTables_[w * 2048], addr));
 }
 
 LineId
 ZArray::lookup(Addr addr) const
 {
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        const LineId slot = positionIn(w, addr);
+    const std::uint32_t *table = posTables_.data();
+    LineId *const memo = memoPos_.data();
+    std::uint64_t base = 0;
+    for (std::uint32_t w = 0; w < ways_;
+         ++w, table += 2048, base += linesPerWay_) {
+        const LineId slot =
+            static_cast<LineId>(base + wayHash(table, addr));
+        memo[w] = slot;
         if (lines_[slot].addr == addr) {
+            // Hit: the memo stops at way w; don't let candidates()
+            // reuse a partial set.
+            memoAddr_ = kInvalidAddr;
             return slot;
         }
     }
+    memoAddr_ = addr;
     return kInvalidLine;
 }
 
@@ -51,44 +79,73 @@ ZArray::candidates(Addr addr, std::vector<Candidate> &out) const
 {
     VANTAGE_PROF("zarray.walk");
     out.clear();
-    out.reserve(numCands_);
+    if (out.capacity() < numCands_) {
+        out.reserve(numCands_); // First call only; capacity persists.
+    }
 
     // Epoch-stamped visited set: O(1) dedup, no per-walk clearing.
-    const std::uint32_t epoch = ++walkEpoch_;
-    auto visited = [&](LineId slot) {
-        if (visitEpoch_[slot] == epoch) {
-            return true;
-        }
-        visitEpoch_[slot] = epoch;
-        return false;
-    };
+    // On the (rare) 32-bit wrap, clear the stamps so stale epochs
+    // from 2^32 walks ago cannot alias.
+    std::uint32_t epoch = ++walkEpoch_;
+    if (epoch == 0) {
+        std::fill(visitEpoch_.begin(), visitEpoch_.end(), 0u);
+        epoch = walkEpoch_ = 1;
+    }
+    std::uint32_t *const stamps = visitEpoch_.data();
 
-    // First level: the incoming address's own positions.
-    for (std::uint32_t w = 0; w < ways_ && out.size() < numCands_;
-         ++w) {
-        const LineId slot = positionIn(w, addr);
-        if (!visited(slot)) {
-            out.push_back({slot, -1});
+    // First level: the incoming address's own positions — reuse the
+    // ones the preceding missing lookup() already computed when we
+    // can (the common path: Cache::access misses then walks).
+    if (memoAddr_ == addr) {
+        const LineId *const memo = memoPos_.data();
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            const LineId slot = memo[w];
+            if (stamps[slot] != epoch) {
+                stamps[slot] = epoch;
+                out.push_back({slot, -1});
+            }
+        }
+    } else {
+        const std::uint32_t *table = posTables_.data();
+        std::uint64_t base = 0;
+        for (std::uint32_t w = 0; w < ways_;
+             ++w, table += 2048, base += linesPerWay_) {
+            const LineId slot =
+                static_cast<LineId>(base + wayHash(table, addr));
+            if (stamps[slot] != epoch) {
+                stamps[slot] = epoch;
+                out.push_back({slot, -1});
+            }
         }
     }
 
     // Breadth-first expansion: each valid candidate line can move to
     // its positions in the other ways; the occupants of those slots
-    // are further candidates.
+    // are further candidates. Flat loops, no virtual calls: wayOf is
+    // a shift and positions come straight from the way tables.
+    const Line *const lines = lines_.data();
+    const std::uint32_t *const tables = posTables_.data();
     for (std::size_t head = 0;
          head < out.size() && out.size() < numCands_; ++head) {
-        const Line &occupant = lines_[out[head].slot];
+        const LineId head_slot = out[head].slot;
+        const Line &occupant = lines[head_slot];
         if (!occupant.valid()) {
             continue; // An empty slot is a perfect victim; don't expand.
         }
-        const std::uint32_t own_way = wayOf(out[head].slot);
+        const Addr oaddr = occupant.addr;
+        const std::uint32_t own_way =
+            static_cast<std::uint32_t>(head_slot >> wayShift_);
+        std::uint64_t base = 0;
         for (std::uint32_t w = 0;
-             w < ways_ && out.size() < numCands_; ++w) {
+             w < ways_ && out.size() < numCands_;
+             ++w, base += linesPerWay_) {
             if (w == own_way) {
                 continue;
             }
-            const LineId slot = positionIn(w, occupant.addr);
-            if (!visited(slot)) {
+            const LineId slot = static_cast<LineId>(
+                base + wayHash(&tables[w * 2048], oaddr));
+            if (stamps[slot] != epoch) {
+                stamps[slot] = epoch;
                 out.push_back({slot,
                                static_cast<std::int32_t>(head)});
             }

@@ -53,7 +53,7 @@ class ZArray : public CacheArray
     std::uint32_t
     wayOf(LineId slot) const override
     {
-        return static_cast<std::uint32_t>(slot / linesPerWay_);
+        return static_cast<std::uint32_t>(slot >> wayShift_);
     }
 
     /** Make a skew-associative cache: a zcache with R = W. */
@@ -68,13 +68,49 @@ class ZArray : public CacheArray
     /** Slot of `addr` in way `w`. */
     LineId positionIn(std::uint32_t w, Addr addr) const;
 
+    /**
+     * Hash `addr` into [0, linesPerWay_) with way `w`'s function:
+     * 8 byte-indexed lookups in that way's premasked table, XORed.
+     * Bit-identical to H3Hash::mod (masking distributes over XOR);
+     * the tables are a quarter the size of full H3Hash state, so the
+     * four ways' tables stay hot in L1/L2 during walks.
+     */
+    std::uint64_t
+    wayHash(const std::uint32_t *table, Addr addr) const
+    {
+        std::uint32_t out = table[addr & 0xff];
+        out ^= table[256 + ((addr >> 8) & 0xff)];
+        out ^= table[512 + ((addr >> 16) & 0xff)];
+        out ^= table[768 + ((addr >> 24) & 0xff)];
+        out ^= table[1024 + ((addr >> 32) & 0xff)];
+        out ^= table[1280 + ((addr >> 40) & 0xff)];
+        out ^= table[1536 + ((addr >> 48) & 0xff)];
+        out ^= table[1792 + (addr >> 56)];
+        return out;
+    }
+
     std::uint32_t ways_;
     std::uint32_t numCands_;
     std::uint64_t linesPerWay_;
-    std::vector<H3Hash> hashes_;
+    std::uint32_t wayShift_; ///< log2(linesPerWay_); wayOf is a shift.
+    /**
+     * Per-way position tables: ways_ x 8 x 256 premasked H3 words
+     * (way w's table starts at posTables_[w * 2048]). Derived from
+     * the same seeds as before; positions are unchanged.
+     */
+    std::vector<std::uint32_t> posTables_;
     // Per-slot visit stamps for O(1) dedup during walks.
     mutable std::vector<std::uint32_t> visitEpoch_;
     mutable std::uint32_t walkEpoch_ = 0;
+    /**
+     * First-level positions memoized by the last missing lookup();
+     * candidates() reuses them instead of rehashing. Positions are a
+     * pure function of the address, so a stale memo is never wrong —
+     * the address check alone decides reuse. Invalid (kInvalidAddr)
+     * after a hit, which fills the memo only partially.
+     */
+    mutable Addr memoAddr_ = kInvalidAddr;
+    mutable std::vector<LineId> memoPos_;
 };
 
 } // namespace vantage

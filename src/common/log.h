@@ -11,6 +11,7 @@
 #ifndef VANTAGE_COMMON_LOG_H_
 #define VANTAGE_COMMON_LOG_H_
 
+#include <atomic>
 #include <cstdarg>
 #include <string>
 
@@ -34,13 +35,14 @@ void warnOnceImpl(const char *fmt, ...)
 /**
  * Like warn(), but each call site reports at most once per process —
  * for hot-path complaints (config clamps, saturation) that would
- * otherwise flood stderr during long runs.
+ * otherwise flood stderr during long runs. The latch is atomic so
+ * call sites reached from parallel suite jobs stay race-free.
  */
 #define warn_once(...)                                                   \
     do {                                                                 \
-        static bool vantage_warned_once_ = false;                        \
-        if (!vantage_warned_once_) {                                     \
-            vantage_warned_once_ = true;                                 \
+        static std::atomic<bool> vantage_warned_once_{false};            \
+        if (!vantage_warned_once_.exchange(                              \
+                true, std::memory_order_relaxed)) {                      \
             ::vantage::warnOnceImpl(__VA_ARGS__);                        \
         }                                                                \
     } while (0)

@@ -72,6 +72,17 @@ class H3Hash
         return (*this)(key) & (pow2_bound - 1);
     }
 
+    /**
+     * Raw tabulation word for input byte `byte` holding value `v` —
+     * lets callers derive reduced (e.g. premasked) tables that
+     * evaluate the identical function. @pre byte < 8, v < 256.
+     */
+    std::uint64_t
+    tableWord(int byte, int v) const
+    {
+        return tables_[byte][v];
+    }
+
   private:
     std::array<std::array<std::uint64_t, 256>, 8> tables_;
 };

@@ -95,6 +95,11 @@ cliUsage()
            "  --instrs N           measured instructions per core\n"
            "  --warmup N           warmup accesses per core\n"
            "  --seed N             simulation seed\n"
+           "  --jobs N             parallel jobs for suite-style\n"
+           "                       runs (or $VANTAGE_JOBS; default\n"
+           "                       hardware concurrency; a single\n"
+           "                       vsim simulation always runs on\n"
+           "                       one thread)\n"
            "\n"
            "observability:\n"
            "  --stats-out FILE     write end-of-run stats as JSON\n"
@@ -252,6 +257,14 @@ parseCli(const std::vector<std::string> &args, std::string &error)
                 error = "bad --seed value";
                 return opts;
             }
+        } else if (arg == "--jobs") {
+            std::uint64_t jobs = 0;
+            if (!next(value) || !parseU64(value, jobs) ||
+                jobs == 0) {
+                error = "bad --jobs value";
+                return opts;
+            }
+            opts.scale.jobs = static_cast<std::uint32_t>(jobs);
         } else if (arg == "--stats-out") {
             if (!next(value) || value.empty()) {
                 error = "bad --stats-out value";

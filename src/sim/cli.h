@@ -9,7 +9,7 @@
  *        [--mix CLASS[:SEED] | --apps a,b,c | --traces f1,f2,...]
  *        [--instrs N] [--warmup N] [--l2-lines N]
  *        [--unmanaged F] [--amax F] [--slack F]
- *        [--no-ucp] [--repartition N] [--seed N]
+ *        [--no-ucp] [--repartition N] [--seed N] [--jobs N]
  *        [--stats-out FILE] [--trace-out FILE] [--stats-period N]
  *
  * Every value-taking option also accepts the --option=value form.

@@ -195,6 +195,10 @@ RunScale::fromEnv()
             scale.statsPeriod = 1;
         }
     }
+    if (const char *s = std::getenv("VANTAGE_JOBS")) {
+        scale.jobs = static_cast<std::uint32_t>(
+            std::strtoul(s, nullptr, 10));
+    }
     return scale;
 }
 

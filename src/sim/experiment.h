@@ -10,6 +10,8 @@
  *   VANTAGE_INSTRS        measured instructions per core
  *   VANTAGE_WARMUP        warmup memory accesses per core
  *   VANTAGE_STATS_PERIOD  controller accesses between trace samples
+ *   VANTAGE_JOBS          parallel runMix jobs for suite runs
+ *                         (default: hardware concurrency)
  */
 
 #ifndef VANTAGE_SIM_EXPERIMENT_H_
@@ -78,6 +80,13 @@ struct RunScale
     std::uint32_t mixSeedsPerClass = 1;
     /** Controller accesses between ControllerTrace samples. */
     std::uint64_t statsPeriod = 10'000;
+    /**
+     * Parallel runMix jobs for suite-style runs (each simulation
+     * stays single-threaded). 0 = auto: $VANTAGE_JOBS if set, else
+     * hardware concurrency. Results are independent of this value —
+     * a parallel suite run is bit-identical to a serial one.
+     */
+    std::uint32_t jobs = 0;
 
     /** Defaults overridden by VANTAGE_* environment variables. */
     static RunScale fromEnv();

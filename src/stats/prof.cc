@@ -1,5 +1,7 @@
 #include "stats/prof.h"
 
+#include <mutex>
+
 #include "stats/registry.h"
 
 namespace vantage {
@@ -13,6 +15,18 @@ sites()
     return list;
 }
 
+/**
+ * Guards registration: function-local ProfSites are lazily
+ * constructed on first execution, which can happen on any suite
+ * worker thread.
+ */
+std::mutex &
+sitesMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
 } // namespace
 
 ProfSite::ProfSite(const char *name) : name_(name)
@@ -23,6 +37,7 @@ ProfSite::ProfSite(const char *name) : name_(name)
 void
 profRegisterSite(ProfSite *site)
 {
+    std::lock_guard<std::mutex> lock(sitesMutex());
     sites().push_back(site);
 }
 

@@ -11,13 +11,20 @@
  * the hot paths pay zero cost.
  *
  * The ProfSite/ProfScope classes themselves always compile (tests use
- * them directly); only the macro is build-gated. Single-threaded by
- * design, like the simulator.
+ * them directly); only the macro is build-gated.
+ *
+ * Thread model: each simulation is single-threaded, but the suite
+ * runner fans simulations across a thread pool, so sites can be hit
+ * (and lazily constructed) from several workers at once. Counters
+ * are relaxed atomics and registration is mutex-guarded;
+ * profExport()/profResetAll() must run while no workers are active
+ * (they read/zero without synchronizing against add()).
  */
 
 #ifndef VANTAGE_STATS_PROF_H_
 #define VANTAGE_STATS_PROF_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -37,25 +44,35 @@ class ProfSite
     void
     add(std::uint64_t ns)
     {
-        ++calls_;
-        totalNs_ += ns;
+        calls_.fetch_add(1, std::memory_order_relaxed);
+        totalNs_.fetch_add(ns, std::memory_order_relaxed);
     }
 
     const std::string &name() const { return name_; }
-    std::uint64_t calls() const { return calls_; }
-    std::uint64_t totalNs() const { return totalNs_; }
+
+    std::uint64_t
+    calls() const
+    {
+        return calls_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    totalNs() const
+    {
+        return totalNs_.load(std::memory_order_relaxed);
+    }
 
     void
     reset()
     {
-        calls_ = 0;
-        totalNs_ = 0;
+        calls_.store(0, std::memory_order_relaxed);
+        totalNs_.store(0, std::memory_order_relaxed);
     }
 
   private:
     std::string name_;
-    std::uint64_t calls_ = 0;
-    std::uint64_t totalNs_ = 0;
+    std::atomic<std::uint64_t> calls_{0};
+    std::atomic<std::uint64_t> totalNs_{0};
 };
 
 /** RAII timer: adds its lifetime to a ProfSite. */

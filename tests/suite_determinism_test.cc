@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Parallel-suite determinism: runSuite() must produce row-for-row
+ * bit-identical MixRow output at any job count, because each mix is
+ * a self-contained simulation (own RNG seeds, caches and scratch)
+ * and rows are collected by job index, not completion order.
+ *
+ * The suite here is tiny (3 classes, 1 seed, short runs) so the
+ * whole comparison stays in the seconds range; it still crosses
+ * every layer a real suite does (mix generation, CmpSim, Vantage on
+ * a zcache, UCP repartitioning).
+ */
+
+#include "suite.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+using namespace vantage;
+using namespace vantage::bench;
+
+namespace {
+
+/** Tiny but layer-complete suite configuration. */
+SuiteOptions
+tinyOptions()
+{
+    // Read VANTAGE_JOBS (set by the tests below) exactly the way the
+    // bench binaries do.
+    RunScale defaults;
+    defaults.warmupAccesses = 2'000;
+    defaults.instructions = 30'000;
+    defaults.mixSeedsPerClass = 1;
+    SuiteOptions opts = SuiteOptions::fromEnv(
+        CmpConfig::small4Core(), 1, defaults, /*default_stride=*/13);
+    // The env may carry suite-scale overrides (VANTAGE_INSTRS etc.)
+    // when run from a wrapper; pin the values so both runs agree.
+    opts.scale.warmupAccesses = defaults.warmupAccesses;
+    opts.scale.instructions = defaults.instructions;
+    opts.scale.mixSeedsPerClass = defaults.mixSeedsPerClass;
+    opts.classStride = 13; // Classes 0, 13, 26 -> 3 mixes.
+    return opts;
+}
+
+std::vector<MixRow>
+runTinySuite(const char *jobs_env)
+{
+    setenv("VANTAGE_JOBS", jobs_env, 1);
+    const SuiteOptions opts = tinyOptions();
+    L2Spec baseline;
+    baseline.scheme = SchemeKind::UnpartLru;
+    baseline.array = ArrayKind::SA16;
+    baseline.numPartitions = opts.machine.numCores;
+    baseline.lines = opts.machine.l2Lines();
+
+    L2Spec vantage_spec;
+    vantage_spec.scheme = SchemeKind::Vantage;
+    vantage_spec.array = ArrayKind::Z4_52;
+    vantage_spec.numPartitions = opts.machine.numCores;
+    vantage_spec.lines = opts.machine.l2Lines();
+
+    L2Spec waypart;
+    waypart.scheme = SchemeKind::WayPart;
+    waypart.array = ArrayKind::SA16;
+    waypart.numPartitions = opts.machine.numCores;
+    waypart.lines = opts.machine.l2Lines();
+
+    const auto rows =
+        runSuite(opts, baseline, {vantage_spec, waypart});
+    unsetenv("VANTAGE_JOBS");
+    return rows;
+}
+
+/** Bit-exact double comparison (1.0 vs 1.0+ulp must fail). */
+bool
+sameBits(double a, double b)
+{
+    std::uint64_t ba = 0, bb = 0;
+    std::memcpy(&ba, &a, sizeof(a));
+    std::memcpy(&bb, &b, sizeof(b));
+    return ba == bb;
+}
+
+} // namespace
+
+TEST(SuiteDeterminism, ParallelRunIsBitIdenticalToSerial)
+{
+    const std::vector<MixRow> serial = runTinySuite("1");
+    const std::vector<MixRow> parallel = runTinySuite("4");
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    ASSERT_EQ(serial.size(), 3u); // Classes 0, 13, 26.
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE("row " + std::to_string(i));
+        EXPECT_EQ(serial[i].mix, parallel[i].mix);
+        EXPECT_TRUE(
+            sameBits(serial[i].baseline, parallel[i].baseline))
+            << serial[i].baseline << " vs " << parallel[i].baseline;
+        ASSERT_EQ(serial[i].normalized.size(),
+                  parallel[i].normalized.size());
+        for (std::size_t k = 0; k < serial[i].normalized.size();
+             ++k) {
+            EXPECT_TRUE(sameBits(serial[i].normalized[k],
+                                 parallel[i].normalized[k]))
+                << "config " << k << ": "
+                << serial[i].normalized[k] << " vs "
+                << parallel[i].normalized[k];
+        }
+    }
+}
+
+TEST(SuiteDeterminism, RerunAtSameJobCountIsBitIdentical)
+{
+    // Guards against accidental global mutable state between runs
+    // (the property the parallel runner depends on).
+    const std::vector<MixRow> a = runTinySuite("4");
+    const std::vector<MixRow> b = runTinySuite("4");
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].mix, b[i].mix);
+        EXPECT_TRUE(sameBits(a[i].baseline, b[i].baseline));
+        ASSERT_EQ(a[i].normalized, b[i].normalized);
+    }
+}

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * ThreadPool unit tests: result ordering, exception propagation,
+ * and the zero/one-worker edge cases the suite runner relies on.
+ */
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace vantage;
+
+TEST(ThreadPool, ZeroWorkersRunsInlineOnCaller)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.numWorkers(), 0u);
+
+    const auto caller = std::this_thread::get_id();
+    std::thread::id ran_on;
+    auto fut = pool.submit([&] { ran_on = std::this_thread::get_id(); });
+    // With zero workers the job completed before submit() returned.
+    EXPECT_EQ(fut.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    fut.get();
+    EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPool, OneWorkerRunsJobsInSubmissionOrder)
+{
+    ThreadPool pool(1);
+    std::vector<int> order;
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 64; ++i) {
+        futs.push_back(pool.submit([&order, i] {
+            order.push_back(i); // Single worker: no racing appends.
+        }));
+    }
+    for (auto &f : futs) {
+        f.get();
+    }
+    std::vector<int> expect(64);
+    std::iota(expect.begin(), expect.end(), 0);
+    EXPECT_EQ(order, expect);
+}
+
+TEST(ThreadPool, SubmitReturnsValues)
+{
+    ThreadPool pool(2);
+    auto a = pool.submit([] { return 21; });
+    auto b = pool.submit([] { return std::string("ok"); });
+    EXPECT_EQ(a.get(), 21);
+    EXPECT_EQ(b.get(), "ok");
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    for (const unsigned workers : {0u, 1u, 4u}) {
+        ThreadPool pool(workers);
+        constexpr std::size_t kN = 200;
+        std::vector<std::atomic<int>> hits(kN);
+        pool.parallelFor(kN, [&](std::size_t i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+        });
+        for (std::size_t i = 0; i < kN; ++i) {
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i
+                                         << " workers " << workers;
+        }
+    }
+}
+
+TEST(ThreadPool, ParallelForCollectsResultsByIndex)
+{
+    // The determinism contract: slot i holds f(i) regardless of
+    // which worker ran it or in what order jobs finished.
+    ThreadPool pool(4);
+    constexpr std::size_t kN = 100;
+    std::vector<std::uint64_t> out(kN, 0);
+    pool.parallelFor(kN, [&](std::size_t i) {
+        out[i] = i * i + 1;
+    });
+    for (std::size_t i = 0; i < kN; ++i) {
+        EXPECT_EQ(out[i], i * i + 1);
+    }
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions)
+{
+    for (const unsigned workers : {0u, 1u, 4u}) {
+        ThreadPool pool(workers);
+        std::atomic<int> completed{0};
+        EXPECT_THROW(
+            pool.parallelFor(50,
+                             [&](std::size_t i) {
+                                 if (i == 17) {
+                                     throw std::runtime_error("boom");
+                                 }
+                                 completed.fetch_add(1);
+                             }),
+            std::runtime_error)
+            << "workers " << workers;
+        // Every non-throwing iteration still ran to completion.
+        EXPECT_EQ(completed.load(), 49) << "workers " << workers;
+    }
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionsThroughFutures)
+{
+    ThreadPool pool(1);
+    auto fut = pool.submit(
+        []() -> int { throw std::logic_error("bad"); });
+    EXPECT_THROW(fut.get(), std::logic_error);
+}
+
+TEST(ThreadPool, ParallelForZeroJobsIsANoOp)
+{
+    ThreadPool pool(2);
+    bool ran = false;
+    pool.parallelFor(0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ResolveJobsPrefersExplicitRequest)
+{
+    setenv("VANTAGE_JOBS", "3", 1);
+    EXPECT_EQ(ThreadPool::resolveJobs(7), 7u);
+    EXPECT_EQ(ThreadPool::resolveJobs(0), 3u);
+    unsetenv("VANTAGE_JOBS");
+    // Env unset: falls back to hardware concurrency, always >= 1.
+    EXPECT_GE(ThreadPool::resolveJobs(0), 1u);
+}
+
+TEST(ThreadPool, ResolveJobsIgnoresBadEnv)
+{
+    setenv("VANTAGE_JOBS", "0", 1);
+    EXPECT_GE(ThreadPool::resolveJobs(0), 1u);
+    setenv("VANTAGE_JOBS", "junk", 1);
+    EXPECT_GE(ThreadPool::resolveJobs(0), 1u);
+    unsetenv("VANTAGE_JOBS");
+}
+
+TEST(ThreadPool, ManySmallJobsDrainCleanly)
+{
+    // Destructor joins with a non-empty history of finished work;
+    // also exercises queue contention under TSAN.
+    ThreadPool pool(4);
+    std::atomic<std::uint64_t> sum{0};
+    pool.parallelFor(1000, [&](std::size_t i) {
+        sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 1000ull * 999ull / 2ull);
+}
