@@ -33,6 +33,11 @@ lookaheadAllocate(const std::vector<std::vector<double>> &curves,
 
         for (std::uint32_t p = 0; p < num_parts; ++p) {
             const std::uint32_t cur = alloc[p];
+            if (cur > cap(p)) {
+                // Curve exhausted (shorter than the floor): no
+                // marginal utility left to read.
+                continue;
+            }
             const std::uint32_t limit =
                 std::min(cap(p), cur + remaining);
             const double base = curves[p][cur];
@@ -77,6 +82,20 @@ lookaheadAllocate(const std::vector<std::vector<double>> &curves,
         alloc[best_part] += best_jump;
         remaining -= best_jump;
     }
+
+    // Post-conditions (cold path, so always on): the budget is fully
+    // assigned and every partition keeps its floor.
+    std::uint64_t sum = 0;
+    for (std::uint32_t p = 0; p < num_parts; ++p) {
+        vantage_assert(alloc[p] >= min_units,
+                       "lookahead gave partition %u only %u units, "
+                       "floor is %u",
+                       p, alloc[p], min_units);
+        sum += alloc[p];
+    }
+    vantage_assert(sum == total_units,
+                   "lookahead assigned %llu of %u units",
+                   static_cast<unsigned long long>(sum), total_units);
     return alloc;
 }
 

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/check.h"
 #include "common/log.h"
 #include "common/types.h"
 
@@ -111,6 +112,19 @@ class CacheArray
 
     /** The way a given slot belongs to. */
     virtual std::uint32_t wayOf(LineId slot) const = 0;
+
+    /**
+     * Verify the array's structural invariants (every valid line sits
+     * in a slot its address actually maps to, no duplicate tags) by
+     * rescanning the line table, recording violations in `rep`.
+     * Must not change observable behavior: a checked run produces the
+     * same access outcomes as an unchecked one.
+     */
+    virtual void
+    checkInvariants(InvariantReport &rep) const
+    {
+        (void)rep;
+    }
 
     std::size_t numLines() const { return lines_.size(); }
 

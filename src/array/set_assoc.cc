@@ -66,6 +66,36 @@ SetAssocArray::candidates(Addr addr, std::vector<Candidate> &out) const
     }
 }
 
+void
+SetAssocArray::checkInvariants(InvariantReport &rep) const
+{
+    for (std::uint64_t set = 0; set < sets_; ++set) {
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            const LineId slot = slotOf(set, w);
+            const Line &line = lines_[slot];
+            if (!line.valid()) {
+                continue;
+            }
+            rep.expect(setOf(line.addr) == set,
+                       "set-assoc: line %#llx in set %llu indexes set "
+                       "%llu",
+                       static_cast<unsigned long long>(line.addr),
+                       static_cast<unsigned long long>(set),
+                       static_cast<unsigned long long>(
+                           setOf(line.addr)));
+            for (std::uint32_t w2 = w + 1; w2 < ways_; ++w2) {
+                const Line &other = lines_[slotOf(set, w2)];
+                rep.expect(!other.valid() ||
+                               other.addr != line.addr,
+                           "set-assoc: address %#llx duplicated in "
+                           "set %llu",
+                           static_cast<unsigned long long>(line.addr),
+                           static_cast<unsigned long long>(set));
+            }
+        }
+    }
+}
+
 LineId
 SetAssocArray::replace(Addr addr, const std::vector<Candidate> &cands,
                        std::int32_t victim_idx)

@@ -52,6 +52,12 @@ class SetAssocArray : public CacheArray
     /** The set an address maps to (exposed for UMON-style sampling). */
     std::uint64_t setOf(Addr addr) const;
 
+    /**
+     * Every valid line must reside in the set its address indexes,
+     * with no duplicate tags within a set.
+     */
+    void checkInvariants(InvariantReport &rep) const override;
+
   private:
     LineId slotOf(std::uint64_t set, std::uint32_t way) const;
 

@@ -1,6 +1,7 @@
 #include "array/zarray.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/bits.h"
 #include "stats/prof.h"
@@ -150,6 +151,31 @@ ZArray::candidates(Addr addr, std::vector<Candidate> &out) const
                                static_cast<std::int32_t>(head)});
             }
         }
+    }
+}
+
+void
+ZArray::checkInvariants(InvariantReport &rep) const
+{
+    // Relocations move whole Line structs between hash positions; a
+    // line parked anywhere its address does not map to would be
+    // unreachable by lookup() (a silent leak), and a duplicated tag
+    // would make lookups ambiguous. Recheck both from scratch.
+    std::unordered_set<Addr> seen;
+    seen.reserve(lines_.size());
+    for (LineId slot = 0; slot < lines_.size(); ++slot) {
+        const Line &line = lines_[slot];
+        if (!line.valid()) {
+            continue;
+        }
+        const std::uint32_t w = wayOf(slot);
+        rep.expect(positionIn(w, line.addr) == slot,
+                   "zarray: line %#llx at slot %u is not at its way-%u "
+                   "position",
+                   static_cast<unsigned long long>(line.addr), slot, w);
+        rep.expect(seen.insert(line.addr).second,
+                   "zarray: address %#llx resident in two slots",
+                   static_cast<unsigned long long>(line.addr));
     }
 }
 

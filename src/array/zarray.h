@@ -56,6 +56,13 @@ class ZArray : public CacheArray
         return static_cast<std::uint32_t>(slot >> wayShift_);
     }
 
+    /**
+     * Every valid line must sit at its own way-hash position, and no
+     * address may be resident twice (a relocation bug would violate
+     * either).
+     */
+    void checkInvariants(InvariantReport &rep) const override;
+
     /** Make a skew-associative cache: a zcache with R = W. */
     static std::unique_ptr<ZArray>
     makeSkewAssociative(std::size_t num_lines, std::uint32_t ways,

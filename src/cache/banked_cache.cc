@@ -120,4 +120,20 @@ BankedCache::resetStats()
     }
 }
 
+void
+BankedCache::attachDigest(AccessDigest *digest)
+{
+    for (auto &bank : banks_) {
+        bank->attachDigest(digest);
+    }
+}
+
+void
+BankedCache::checkInvariants(InvariantReport &rep) const
+{
+    for (const auto &bank : banks_) {
+        bank->checkInvariants(rep);
+    }
+}
+
 } // namespace vantage

@@ -70,6 +70,12 @@ class BankedCache
     std::uint64_t writebacks() const;
     void resetStats();
 
+    /** Fold every bank's access outcomes into one digest. */
+    void attachDigest(AccessDigest *digest);
+
+    /** Run every bank's invariant checks into one report. */
+    void checkInvariants(InvariantReport &rep) const;
+
   private:
     std::vector<std::unique_ptr<Cache>> banks_;
     H3Hash hash_;

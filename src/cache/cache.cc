@@ -6,6 +6,12 @@
 
 namespace vantage {
 
+namespace {
+/// Victim-partition field of the digest word when nothing valid was
+/// evicted.
+constexpr std::uint64_t kNoVictim = 0xffff;
+} // namespace
+
 Cache::Cache(std::unique_ptr<CacheArray> array,
              std::unique_ptr<PartitionScheme> scheme, std::string name)
     : array_(std::move(array)), scheme_(std::move(scheme)),
@@ -31,6 +37,7 @@ Cache::access(Addr addr, PartId part, AccessType type)
             line.dirty = true;
         }
         scheme_->onHit(slot, line, part);
+        afterAccess(0, kNoVictim);
         return AccessResult::Hit;
     }
 
@@ -41,11 +48,14 @@ Cache::access(Addr addr, PartId part, AccessType type)
     const VictimChoice choice =
         scheme_->selectVictim(*array_, part, addr, candScratch_);
     if (choice.bypass) {
+        afterAccess(2, kNoVictim);
         return AccessResult::Miss;
     }
 
     const LineId victim_slot = candScratch_[choice.candIdx].slot;
     const Line &victim = array_->line(victim_slot);
+    const std::uint64_t victim_part =
+        victim.valid() ? (victim.part & 0xffff) : kNoVictim;
     if (victim.valid()) {
         if (victim.dirty) {
             ++writebacks_;
@@ -58,7 +68,53 @@ Cache::access(Addr addr, PartId part, AccessType type)
     fresh.part = part;
     fresh.dirty = type == AccessType::Store;
     scheme_->onInsert(root, fresh, part);
+    afterAccess(1, victim_part);
     return AccessResult::Miss;
+}
+
+void
+Cache::attachDigest(AccessDigest *digest)
+{
+    digest_ = digest;
+    lastDemotions_ = scheme_->demotionCount();
+}
+
+void
+Cache::afterAccess(std::uint64_t outcome, std::uint64_t victim_part)
+{
+    if (digest_) {
+        const std::uint64_t dems = scheme_->demotionCount();
+        const std::uint64_t delta = dems - lastDemotions_;
+        lastDemotions_ = dems;
+        digest_->fold(outcome | (victim_part << 16) | (delta << 32));
+    }
+    // Periodic structural self-check; compiled out by default so the
+    // hot path stays untouched in release builds.
+    VANTAGE_IFCHECK({
+        constexpr std::uint64_t kCheckPeriod = 4096;
+        if (++accessesSinceCheck_ >= kCheckPeriod) {
+            accessesSinceCheck_ = 0;
+            checkNow();
+        }
+    });
+}
+
+void
+Cache::checkInvariants(InvariantReport &rep) const
+{
+    array_->checkInvariants(rep);
+    scheme_->checkInvariants(*array_, rep);
+}
+
+void
+Cache::checkNow() const
+{
+    InvariantReport rep;
+    checkInvariants(rep);
+    if (!rep.ok()) {
+        panic("cache %s failed invariant checks:\n%s",
+              name_.c_str(), rep.summary().c_str());
+    }
 }
 
 bool

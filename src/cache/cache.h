@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "array/cache_array.h"
+#include "common/check.h"
+#include "common/digest.h"
 #include "partition/scheme.h"
 #include "stats/counters.h"
 
@@ -93,13 +95,39 @@ class Cache
     void registerStats(StatsRegistry &reg,
                        const std::string &prefix) const;
 
+    /**
+     * Fold every subsequent access outcome into `digest` (pass
+     * nullptr to detach). Each access contributes one word:
+     * outcome | victimPart << 16 | demotionDelta << 32, where
+     * outcome is 0 = hit, 1 = miss+fill, 2 = miss+bypass and
+     * victimPart is 0xffff when no valid line was evicted.
+     */
+    void attachDigest(AccessDigest *digest);
+
+    /**
+     * Run the array's and the scheme's structural invariant checks,
+     * collecting violations into `rep`. Always compiled (tests and
+     * the fuzz driver call it in any build); costs nothing unless
+     * called.
+     */
+    void checkInvariants(InvariantReport &rep) const;
+
+    /** checkInvariants() that panics with a summary on failure. */
+    void checkNow() const;
+
   private:
+    /** Digest fold + (in VANTAGE_CHECK builds) periodic self-check. */
+    void afterAccess(std::uint64_t outcome, std::uint64_t victim_part);
+
     std::unique_ptr<CacheArray> array_;
     std::unique_ptr<PartitionScheme> scheme_;
     std::string name_;
     std::vector<CacheAccessStats> stats_;
     std::vector<Candidate> candScratch_;
     std::uint64_t writebacks_ = 0;
+    AccessDigest *digest_ = nullptr;
+    std::uint64_t lastDemotions_ = 0;
+    std::uint64_t accessesSinceCheck_ = 0;
 };
 
 } // namespace vantage

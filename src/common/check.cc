@@ -1,0 +1,63 @@
+#include "common/check.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace vantage {
+
+namespace {
+
+std::string
+vformat(const char *fmt, va_list args)
+{
+    va_list copy;
+    va_copy(copy, args);
+    const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (n <= 0) {
+        return std::string(fmt);
+    }
+    std::string out(static_cast<std::size_t>(n), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    return out;
+}
+
+} // namespace
+
+void
+InvariantReport::fail(const char *fmt, ...)
+{
+    ++checksRun_;
+    va_list args;
+    va_start(args, fmt);
+    failures_.push_back(vformat(fmt, args));
+    va_end(args);
+}
+
+bool
+InvariantReport::expect(bool cond, const char *fmt, ...)
+{
+    ++checksRun_;
+    if (!cond) {
+        va_list args;
+        va_start(args, fmt);
+        failures_.push_back(vformat(fmt, args));
+        va_end(args);
+    }
+    return cond;
+}
+
+std::string
+InvariantReport::summary() const
+{
+    std::string out;
+    for (const auto &f : failures_) {
+        if (!out.empty()) {
+            out += "; ";
+        }
+        out += f;
+    }
+    return out;
+}
+
+} // namespace vantage

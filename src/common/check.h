@@ -1,0 +1,96 @@
+/**
+ * @file
+ * In-run invariant checking (the correctness harness).
+ *
+ * Vantage's guarantees are stated as invariants — partition sizes
+ * track targets, demotions only move lines managed -> unmanaged, the
+ * Fig. 4 register file stays self-consistent — but asserts alone only
+ * catch violations at the site that trips them. This layer lets every
+ * module expose a checkInvariants() method that *recomputes* its
+ * redundant state (size counters, histograms, chain positions) from
+ * ground truth (the line array) and reports every mismatch.
+ *
+ * Two consumers:
+ *
+ *  - Tests and the fuzz driver call checkInvariants() explicitly with
+ *    an InvariantReport and inspect the failures as data (so a
+ *    minimizing reducer can keep running after a violation). These
+ *    methods are compiled in every build.
+ *  - With -DVANTAGE_CHECK=ON, Cache::access() additionally runs the
+ *    checks every kCheckPeriod accesses and panics on the first
+ *    failure. The hook is wrapped in VANTAGE_IFCHECK, which compiles
+ *    to nothing in default builds — the hot path pays zero cost when
+ *    the option is off.
+ *
+ * Checks must be side-effect free on simulation state: a VANTAGE_CHECK
+ * build must produce bit-identical digests to a default build.
+ */
+
+#ifndef VANTAGE_COMMON_CHECK_H_
+#define VANTAGE_COMMON_CHECK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vantage {
+
+/** Collects invariant violations as data instead of aborting. */
+class InvariantReport
+{
+  public:
+    /** Record one violation (printf-style message). */
+    void fail(const char *fmt, ...)
+        __attribute__((format(printf, 2, 3)));
+
+    /**
+     * Check one invariant: when `cond` is false, record the formatted
+     * message. @return cond, so callers can skip dependent checks.
+     */
+    bool expect(bool cond, const char *fmt, ...)
+        __attribute__((format(printf, 3, 4)));
+
+    bool ok() const { return failures_.empty(); }
+
+    const std::vector<std::string> &failures() const
+    {
+        return failures_;
+    }
+
+    /** Invariants evaluated so far (passes + failures). */
+    std::uint64_t checksRun() const { return checksRun_; }
+
+    /** All failures joined with "; " (empty when ok()). */
+    std::string summary() const;
+
+    void
+    clear()
+    {
+        failures_.clear();
+        checksRun_ = 0;
+    }
+
+  private:
+    std::vector<std::string> failures_;
+    std::uint64_t checksRun_ = 0;
+};
+
+} // namespace vantage
+
+/**
+ * Compile `stmt` only in -DVANTAGE_CHECK=ON builds. Used to wire
+ * periodic checkInvariants() sweeps into hot paths at zero cost to
+ * default builds.
+ */
+#ifdef VANTAGE_CHECK_ENABLED
+#define VANTAGE_IFCHECK(stmt)                                            \
+    do {                                                                 \
+        stmt;                                                            \
+    } while (0)
+#else
+#define VANTAGE_IFCHECK(stmt)                                            \
+    do {                                                                 \
+    } while (0)
+#endif
+
+#endif // VANTAGE_COMMON_CHECK_H_

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Per-access outcome digest for golden-trace regression testing.
+ *
+ * AccessDigest folds a stream of 64-bit words into a single FNV-1a
+ * hash. The Cache folds one packed word per access — hit/miss/bypass,
+ * the evicted line's partition, and the demotion-count delta — so two
+ * runs produce the same digest iff they made the same per-access
+ * decisions in the same order. `vsim --digest` prints the final value;
+ * tests/golden/ pins values for a matrix of (scheme x array x mix)
+ * points so behavior drift is caught at PR time (see scripts/golden.py
+ * and the "Correctness harness" section of the README).
+ *
+ * The digest deliberately covers replacement *decisions*, not derived
+ * statistics: IPC and MPKI follow from the decision stream, while
+ * stats-only refactors (new counters, report formatting) must not
+ * disturb it. See DESIGN.md for the scope discussion.
+ */
+
+#ifndef VANTAGE_COMMON_DIGEST_H_
+#define VANTAGE_COMMON_DIGEST_H_
+
+#include <cstdint>
+
+namespace vantage {
+
+/** FNV-1a accumulator over 64-bit words. */
+class AccessDigest
+{
+  public:
+    /** Fold one word, byte by byte (FNV-1a, little-endian order). */
+    void
+    fold(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h_ ^= (v >> (8 * i)) & 0xff;
+            h_ *= kPrime;
+        }
+    }
+
+    std::uint64_t value() const { return h_; }
+
+    void reset() { h_ = kOffset; }
+
+  private:
+    static constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+    static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+    std::uint64_t h_ = kOffset;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_COMMON_DIGEST_H_

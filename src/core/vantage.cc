@@ -517,6 +517,107 @@ VantageController::targetSize(PartId part) const
     return parts_[part].targetSize;
 }
 
+void
+VantageController::checkInvariants(const CacheArray &array,
+                                   InvariantReport &rep) const
+{
+    const std::uint32_t num_parts = cfg_.numPartitions;
+
+    // Ground truth: rescan the array and rebuild sizes + histograms.
+    std::vector<std::uint64_t> counted(num_parts, 0);
+    std::vector<std::array<std::uint64_t, 256>> hist(num_parts);
+    for (auto &h : hist) {
+        h.fill(0);
+    }
+    std::uint64_t counted_unmanaged = 0;
+    for (LineId slot = 0; slot < array.numLines(); ++slot) {
+        const Line &line = array.line(slot);
+        if (!line.valid()) {
+            continue;
+        }
+        if (line.part == kUnmanagedPart) {
+            ++counted_unmanaged;
+            continue;
+        }
+        if (!rep.expect(line.part < num_parts,
+                        "vantage: line %#llx carries illegal "
+                        "partition %u",
+                        static_cast<unsigned long long>(line.addr),
+                        line.part)) {
+            continue;
+        }
+        ++counted[line.part];
+        ++hist[line.part][line.rank];
+    }
+
+    // Conservation: demotions/promotions/evictions must only move
+    // lines between the managed partitions and the unmanaged region,
+    // never create or leak them.
+    rep.expect(counted_unmanaged == unmanagedSize_,
+               "vantage: unmanaged recount %llu != UnmanagedSize %llu",
+               static_cast<unsigned long long>(counted_unmanaged),
+               static_cast<unsigned long long>(unmanagedSize_));
+
+    std::uint64_t target_total = 0;
+    for (PartId p = 0; p < num_parts; ++p) {
+        const PartState &ps = parts_[p];
+        rep.expect(counted[p] == ps.actualSize,
+                   "vantage: part %u recount %llu != ActualSize %llu",
+                   p, static_cast<unsigned long long>(counted[p]),
+                   static_cast<unsigned long long>(ps.actualSize));
+        for (std::uint32_t ts = 0; ts < 256; ++ts) {
+            if (hist[p][ts] != ps.tsHist[ts]) {
+                rep.fail("vantage: part %u tsHist[%u] = %llu, recount "
+                         "%llu",
+                         p, ts,
+                         static_cast<unsigned long long>(
+                             ps.tsHist[ts]),
+                         static_cast<unsigned long long>(hist[p][ts]));
+                break; // One histogram mismatch per partition.
+            }
+        }
+
+        // Fig. 4 register file self-consistency.
+        rep.expect(ps.candsDemoted <= ps.candsSeen,
+                   "vantage: part %u CandsDemoted %u > CandsSeen %u",
+                   p, ps.candsDemoted, ps.candsSeen);
+        rep.expect(ps.candsSeen <= cfg_.candsPerAdjust,
+                   "vantage: part %u CandsSeen %u exceeds c = %u", p,
+                   ps.candsSeen, cfg_.candsPerAdjust);
+        rep.expect(apertureOf(ps) <=
+                       cfg_.maxAperture + 1e-9,
+                   "vantage: part %u aperture %f above Amax %f", p,
+                   apertureOf(ps), cfg_.maxAperture);
+
+        // Threshold table (Fig. 3c): a staircase approximation of the
+        // linear transfer function must be monotone in both columns
+        // and never allow more demotions than candidates seen.
+        for (std::uint32_t k = 0; k < cfg_.thresholdEntries; ++k) {
+            if (k > 0) {
+                rep.expect(ps.thrSize[k] >= ps.thrSize[k - 1],
+                           "vantage: part %u ThrSize not monotone at "
+                           "entry %u",
+                           p, k);
+                rep.expect(ps.thrDems[k] >= ps.thrDems[k - 1],
+                           "vantage: part %u ThrDems not monotone at "
+                           "entry %u",
+                           p, k);
+            }
+            rep.expect(ps.thrDems[k] >= 1 &&
+                           ps.thrDems[k] <= cfg_.candsPerAdjust,
+                       "vantage: part %u ThrDems[%u] = %u outside "
+                       "[1, c = %u]",
+                       p, k, ps.thrDems[k], cfg_.candsPerAdjust);
+        }
+        target_total += ps.targetSize;
+    }
+    rep.expect(target_total <= managedLines_,
+               "vantage: targets total %llu above managed capacity "
+               "%llu",
+               static_cast<unsigned long long>(target_total),
+               static_cast<unsigned long long>(managedLines_));
+}
+
 const VantagePartStats &
 VantageController::partStats(PartId part) const
 {

@@ -141,6 +141,24 @@ class VantageController : public PartitionScheme
     std::uint64_t actualSize(PartId part) const override;
     std::uint64_t targetSize(PartId part) const override;
 
+    std::uint64_t
+    demotionCount() const override
+    {
+        return stats_.demotions;
+    }
+
+    /**
+     * Verify the Fig. 4 register file against ground truth (Secs.
+     * 3.4-3.6): conservation of lines (per-partition recounts match
+     * ActualSize, the unmanaged recount matches unmanagedSize(), and
+     * every valid line carries a legal partition tag), timestamp-
+     * histogram consistency, threshold-table monotonicity, candidate
+     * accounting (CandsDemoted <= CandsSeen <= c), aperture <= Amax,
+     * and sum(TargetSize) <= managed capacity.
+     */
+    void checkInvariants(const CacheArray &array,
+                         InvariantReport &rep) const override;
+
     /** Lines currently tagged unmanaged. */
     std::uint64_t unmanagedSize() const { return unmanagedSize_; }
 

@@ -183,6 +183,83 @@ Pipp::onInsert(LineId slot, Line &line, PartId part)
     ++sizes_[part];
 }
 
+void
+Pipp::checkInvariants(const CacheArray &array,
+                      InvariantReport &rep) const
+{
+    const std::uint64_t num_sets = validCnt_.size();
+    std::vector<std::uint64_t> counted(numParts_, 0);
+    for (std::uint64_t set = 0; set < num_sets; ++set) {
+        const LineId base = static_cast<LineId>(set * ways_);
+        std::uint32_t valid = 0;
+        std::uint64_t pos_mask = 0;
+        // The mask covers up to 64 ways; wider arrays (none today)
+        // skip only the density check.
+        const bool maskable = ways_ <= 64;
+        bool dense = maskable;
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            const LineId slot = base + w;
+            const Line &line = array.line(slot);
+            if (!line.valid()) {
+                dense &= rep.expect(
+                    pos_[slot] == kNoPos,
+                    "pipp: empty slot %u in set %llu has chain "
+                    "position %u",
+                    slot, static_cast<unsigned long long>(set),
+                    pos_[slot]);
+                continue;
+            }
+            ++valid;
+            if (rep.expect(line.part < numParts_,
+                           "pipp: line %#llx carries illegal "
+                           "partition %u",
+                           static_cast<unsigned long long>(line.addr),
+                           line.part)) {
+                ++counted[line.part];
+            }
+            const std::uint8_t pos = pos_[slot];
+            if (!rep.expect(pos != kNoPos && pos < ways_,
+                            "pipp: valid slot %u in set %llu has no "
+                            "chain position",
+                            slot,
+                            static_cast<unsigned long long>(set))) {
+                dense = false;
+                continue;
+            }
+            if (maskable) {
+                if (!rep.expect(
+                        (pos_mask & (1ull << pos)) == 0,
+                        "pipp: chain position %u duplicated in "
+                        "set %llu",
+                        pos,
+                        static_cast<unsigned long long>(set))) {
+                    dense = false;
+                }
+                pos_mask |= 1ull << pos;
+            }
+        }
+        rep.expect(valid == validCnt_[set],
+                   "pipp: set %llu recount %u != validCnt %u",
+                   static_cast<unsigned long long>(set), valid,
+                   validCnt_[set]);
+        // Dense chain: positions of the valid lines are exactly
+        // {0, ..., valid-1}.
+        if (dense) {
+            const std::uint64_t want =
+                valid >= 64 ? ~0ull : (1ull << valid) - 1;
+            rep.expect(pos_mask == want,
+                       "pipp: set %llu chain positions not dense",
+                       static_cast<unsigned long long>(set));
+        }
+    }
+    for (std::uint32_t p = 0; p < numParts_; ++p) {
+        rep.expect(counted[p] == sizes_[p],
+                   "pipp: part %u recount %llu != size counter %llu",
+                   p, static_cast<unsigned long long>(counted[p]),
+                   static_cast<unsigned long long>(sizes_[p]));
+    }
+}
+
 std::uint64_t
 Pipp::actualSize(PartId part) const
 {

@@ -75,6 +75,14 @@ class Pipp : public PartitionScheme
     /** Sentinel chain position of an empty slot. */
     static constexpr std::uint8_t kNoPos = 0xff;
 
+    /**
+     * Each set's chain positions must form a dense permutation of
+     * [0, validCnt), tracked exactly by the slots' validity; size
+     * counters must match a recount.
+     */
+    void checkInvariants(const CacheArray &array,
+                         InvariantReport &rep) const override;
+
   private:
     std::uint64_t setOf(LineId slot) const { return slot / ways_; }
 

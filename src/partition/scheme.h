@@ -84,6 +84,27 @@ class PartitionScheme
 
     /** Current target size of a partition, in lines. */
     virtual std::uint64_t targetSize(PartId part) const = 0;
+
+    /**
+     * Lines demoted managed -> unmanaged so far (Vantage schemes);
+     * 0 for schemes without a region split. Folded into the access
+     * digest so demotion-accounting drift is caught by golden tests.
+     */
+    virtual std::uint64_t demotionCount() const { return 0; }
+
+    /**
+     * Verify the scheme's bookkeeping against ground truth: recount
+     * per-partition sizes (and any per-line metadata the scheme
+     * shadows) from `array`'s line table and compare with the scheme's
+     * counters, recording every mismatch in `rep`. Side-effect free on
+     * simulation state.
+     */
+    virtual void
+    checkInvariants(const CacheArray &array, InvariantReport &rep) const
+    {
+        (void)array;
+        (void)rep;
+    }
 };
 
 } // namespace vantage

@@ -157,6 +157,47 @@ WayPartitioning::targetSize(PartId part) const
 }
 
 void
+WayPartitioning::checkInvariants(const CacheArray &array,
+                                 InvariantReport &rep) const
+{
+    for (std::uint32_t p = 0; p < numParts_; ++p) {
+        rep.expect(wayStart_[p] <= wayStart_[p + 1],
+                   "waypart: way boundaries not monotone at "
+                   "partition %u",
+                   p);
+    }
+    rep.expect(wayStart_[numParts_] <= ways_,
+               "waypart: boundaries reach way %u of %u",
+               wayStart_[numParts_], ways_);
+
+    // Resident lines may sit in ways their partition no longer owns
+    // (repartitioning displaces lazily), so only size accounting is
+    // checkable: each partition's counter must equal a recount of the
+    // lines tagged with it.
+    std::vector<std::uint64_t> counted(numParts_, 0);
+    for (LineId slot = 0; slot < array.numLines(); ++slot) {
+        const Line &line = array.line(slot);
+        if (!line.valid()) {
+            continue;
+        }
+        if (rep.expect(line.part < numParts_,
+                       "waypart: line %#llx carries illegal "
+                       "partition %u",
+                       static_cast<unsigned long long>(line.addr),
+                       line.part)) {
+            ++counted[line.part];
+        }
+    }
+    for (std::uint32_t p = 0; p < numParts_; ++p) {
+        rep.expect(counted[p] == sizes_[p],
+                   "waypart: part %u recount %llu != size counter "
+                   "%llu",
+                   p, static_cast<unsigned long long>(counted[p]),
+                   static_cast<unsigned long long>(sizes_[p]));
+    }
+}
+
+void
 WayPartitioning::attachProbe(AssocProbe *probe, PartId part)
 {
     probe_ = probe;

@@ -66,6 +66,14 @@ class WayPartitioning : public PartitionScheme
     /** Attach a per-partition eviction-priority probe. */
     void attachProbe(AssocProbe *probe, PartId part);
 
+    /**
+     * Way boundaries must be monotone within the array's ways, and
+     * per-partition size counters must match a recount of tagged
+     * lines.
+     */
+    void checkInvariants(const CacheArray &array,
+                         InvariantReport &rep) const override;
+
   private:
     bool ownsWay(PartId part, std::uint32_t way) const;
 

@@ -107,6 +107,9 @@ cliUsage()
            "                       (vantage schemes only)\n"
            "  --stats-period N     controller accesses between trace\n"
            "                       samples (default 10000)\n"
+           "  --digest             print a 64-bit FNV-1a digest of\n"
+           "                       per-access L2 outcomes (golden\n"
+           "                       regression tests)\n"
            "\n"
            "Options also accept the --option=value form.\n"
            "  --help               this text\n";
@@ -153,13 +156,18 @@ parseCli(const std::vector<std::string> &args, std::string &error)
         };
 
         std::string value;
-        if (arg == "--help" || arg == "-h" || arg == "--no-ucp") {
+        if (arg == "--help" || arg == "-h" || arg == "--no-ucp" ||
+            arg == "--digest") {
             if (has_inline) {
                 error = arg + " takes no value";
                 return opts;
             }
             if (arg == "--no-ucp") {
                 opts.machine.useUcp = false;
+                continue;
+            }
+            if (arg == "--digest") {
+                opts.digest = true;
                 continue;
             }
             opts.showHelp = true;
@@ -322,6 +330,22 @@ parseCli(const std::vector<std::string> &args, std::string &error)
         opts.machine.ucp = big.ucp;
         opts.machine.useUcp = opts.machine.useUcp && true;
     }
+    // Range-check the Vantage knobs here so a bad value exits with a
+    // message instead of tripping an assert deep in the controller.
+    const VantageConfig &v = opts.l2.vantage;
+    if (!(v.unmanagedFraction > 0.0 && v.unmanagedFraction < 1.0)) {
+        error = "--unmanaged must be in (0, 1)";
+        return opts;
+    }
+    if (!(v.maxAperture > 0.0 && v.maxAperture <= 1.0)) {
+        error = "--amax must be in (0, 1]";
+        return opts;
+    }
+    if (!(v.slack > 0.0 && v.slack < 1.0)) {
+        error = "--slack must be in (0, 1)";
+        return opts;
+    }
+
     if (opts.l2.lines == 0) {
         opts.l2.lines = opts.machine.l2Lines();
     }

@@ -11,6 +11,7 @@
  *        [--unmanaged F] [--amax F] [--slack F]
  *        [--no-ucp] [--repartition N] [--seed N] [--jobs N]
  *        [--stats-out FILE] [--trace-out FILE] [--stats-period N]
+ *        [--digest]
  *
  * Every value-taking option also accepts the --option=value form.
  *
@@ -46,6 +47,9 @@ struct CliOptions
     /** Observability outputs (empty: disabled). */
     std::string statsOut; ///< End-of-run stats registry, JSON.
     std::string traceOut; ///< Controller trace, CSV.
+
+    /** Print a 64-bit digest of per-access L2 outcomes. */
+    bool digest = false;
 
     bool showHelp = false;
 };

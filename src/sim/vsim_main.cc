@@ -140,6 +140,14 @@ main(int argc, char **argv)
               opts.l2.name().c_str());
     }
 
+    // The digest covers warmup too: array state after warmup feeds
+    // into every measured outcome, so folding from the first access
+    // catches divergence as early as possible.
+    AccessDigest digest;
+    if (opts.digest) {
+        sim->l2().attachDigest(&digest);
+    }
+
     sim->warmup(opts.scale.warmupAccesses);
     sim->l2().resetStats();
     profResetAll();
@@ -164,6 +172,10 @@ main(int argc, char **argv)
     std::printf("L2 writebacks: %llu\n",
                 static_cast<unsigned long long>(
                     sim->l2().writebacks()));
+    if (opts.digest) {
+        std::printf("digest: 0x%016llx\n",
+                    static_cast<unsigned long long>(digest.value()));
+    }
 
     // Observability exports.
     if (!opts.statsOut.empty()) {

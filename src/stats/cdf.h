@@ -37,6 +37,7 @@ class EmpiricalCdf
         if (bin == counts_.size()) --bin;
         ++counts_[bin];
         ++total_;
+        cumValid_ = false;
     }
 
     std::uint64_t samples() const { return total_; }
@@ -51,8 +52,7 @@ class EmpiricalCdf
         if (x >= 1.0) return 1.0;
         const auto upto = static_cast<std::size_t>(
             x * static_cast<double>(counts_.size()));
-        std::uint64_t acc = 0;
-        for (std::size_t i = 0; i < upto; ++i) acc += counts_[i];
+        const std::uint64_t acc = upto ? cumulative()[upto - 1] : 0;
         return static_cast<double>(acc) / static_cast<double>(total_);
     }
 
@@ -64,15 +64,21 @@ class EmpiricalCdf
                        q);
         if (total_ == 0) return 0.0;
         const double want = q * static_cast<double>(total_);
-        std::uint64_t acc = 0;
-        for (std::size_t i = 0; i < counts_.size(); ++i) {
-            acc += counts_[i];
-            if (static_cast<double>(acc) >= want) {
-                return static_cast<double>(i + 1) /
-                       static_cast<double>(counts_.size());
+        const std::vector<std::uint64_t> &cum = cumulative();
+        // First bin whose running total reaches `want`; the running
+        // totals are nondecreasing, so binary search applies.
+        std::size_t lo = 0, hi = cum.size();
+        while (lo < hi) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            if (static_cast<double>(cum[mid]) >= want) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
             }
         }
-        return 1.0;
+        if (lo == cum.size()) return 1.0;
+        return static_cast<double>(lo + 1) /
+               static_cast<double>(counts_.size());
     }
 
     void
@@ -80,11 +86,30 @@ class EmpiricalCdf
     {
         std::fill(counts_.begin(), counts_.end(), 0);
         total_ = 0;
+        cumValid_ = false;
     }
 
   private:
+    /** Prefix sums of counts_, rebuilt lazily after add()/reset(). */
+    const std::vector<std::uint64_t> &
+    cumulative() const
+    {
+        if (!cumValid_) {
+            cum_.resize(counts_.size());
+            std::uint64_t acc = 0;
+            for (std::size_t i = 0; i < counts_.size(); ++i) {
+                acc += counts_[i];
+                cum_[i] = acc;
+            }
+            cumValid_ = true;
+        }
+        return cum_;
+    }
+
     std::vector<std::uint64_t> counts_;
     std::uint64_t total_ = 0;
+    mutable std::vector<std::uint64_t> cum_;
+    mutable bool cumValid_ = false;
 };
 
 } // namespace vantage

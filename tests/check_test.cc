@@ -1,0 +1,437 @@
+/**
+ * @file
+ * Tests for the correctness harness: InvariantReport, the per-module
+ * checkInvariants() implementations (both that healthy caches pass
+ * and that injected corruption is caught), the outcome digest, the
+ * EmpiricalCdf cumulative cache, and the Lookahead post-conditions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "alloc/lookahead.h"
+#include "cache/banked_cache.h"
+#include "cache/cache.h"
+#include "common/check.h"
+#include "common/digest.h"
+#include "common/rng.h"
+#include "core/vantage.h"
+#include "sim/experiment.h"
+#include "stats/cdf.h"
+
+namespace vantage {
+namespace {
+
+// ---------------------------------------------------------------
+// InvariantReport.
+
+TEST(InvariantReport, CollectsFailuresAsData)
+{
+    InvariantReport rep;
+    EXPECT_TRUE(rep.ok());
+    EXPECT_TRUE(rep.expect(true, "never recorded"));
+    EXPECT_TRUE(rep.ok());
+    EXPECT_EQ(rep.checksRun(), 1u);
+
+    EXPECT_FALSE(rep.expect(false, "part %u short by %llu lines", 3u,
+                            7ull));
+    EXPECT_FALSE(rep.ok());
+    ASSERT_EQ(rep.failures().size(), 1u);
+    EXPECT_EQ(rep.failures()[0], "part 3 short by 7 lines");
+    EXPECT_NE(rep.summary().find("short by 7"), std::string::npos);
+
+    rep.fail("second failure");
+    EXPECT_EQ(rep.failures().size(), 2u);
+
+    rep.clear();
+    EXPECT_TRUE(rep.ok());
+    EXPECT_EQ(rep.checksRun(), 0u);
+}
+
+// ---------------------------------------------------------------
+// Healthy caches pass their invariants under load.
+
+L2Spec
+smallSpec(SchemeKind scheme, ArrayKind array)
+{
+    L2Spec spec;
+    spec.scheme = scheme;
+    spec.array = array;
+    spec.lines = 2048;
+    spec.numPartitions = 4;
+    spec.vantage.numPartitions = 4;
+    spec.seed = 0x77;
+    return spec;
+}
+
+/** Drive a mixed load/store stream with periodic check sweeps. */
+void
+driveAndCheck(Cache &cache, std::uint32_t parts,
+              std::uint64_t accesses)
+{
+    Rng rng(0xd01ce);
+    for (std::uint64_t i = 0; i < accesses; ++i) {
+        const auto part = static_cast<PartId>(rng.range(parts));
+        const Addr addr = rng.range(6000);
+        cache.access(addr, part,
+                     rng.chance(0.3) ? AccessType::Store
+                                     : AccessType::Load);
+        if ((i + 1) % 1000 == 0) {
+            InvariantReport rep;
+            cache.checkInvariants(rep);
+            ASSERT_TRUE(rep.ok())
+                << "after " << (i + 1)
+                << " accesses: " << rep.summary();
+            EXPECT_GT(rep.checksRun(), 0u);
+        }
+    }
+}
+
+TEST(CheckInvariants, HealthySchemesPass)
+{
+    const struct
+    {
+        SchemeKind scheme;
+        ArrayKind array;
+    } points[] = {
+        {SchemeKind::Vantage, ArrayKind::Z4_52},
+        {SchemeKind::Vantage, ArrayKind::SA16},
+        {SchemeKind::VantageDrrip, ArrayKind::Z4_16},
+        {SchemeKind::VantageOracle, ArrayKind::Z4_52},
+        {SchemeKind::WayPart, ArrayKind::SA16},
+        {SchemeKind::Pipp, ArrayKind::SA16},
+        {SchemeKind::UnpartLru, ArrayKind::Z4_52},
+    };
+    for (const auto &pt : points) {
+        const L2Spec spec = smallSpec(pt.scheme, pt.array);
+        std::unique_ptr<Cache> cache = buildL2(spec);
+        SCOPED_TRACE(spec.name());
+        driveAndCheck(*cache, spec.numPartitions, 5000);
+    }
+}
+
+TEST(CheckInvariants, SurvivesReallocation)
+{
+    const L2Spec spec =
+        smallSpec(SchemeKind::Vantage, ArrayKind::Z4_52);
+    std::unique_ptr<Cache> cache = buildL2(spec);
+    Rng rng(0xa110c);
+    for (int round = 0; round < 8; ++round) {
+        driveAndCheck(*cache, spec.numPartitions, 2000);
+        // Random split of the 256-unit quantum.
+        std::vector<std::uint32_t> units(4, 1);
+        std::uint32_t left =
+            cache->scheme().allocationQuantum() - 4;
+        for (int p = 0; p < 3; ++p) {
+            const auto grab =
+                static_cast<std::uint32_t>(rng.range(left + 1));
+            units[p] += grab;
+            left -= grab;
+        }
+        units[3] += left;
+        cache->scheme().setAllocations(units);
+        InvariantReport rep;
+        cache->checkInvariants(rep);
+        ASSERT_TRUE(rep.ok()) << rep.summary();
+    }
+}
+
+// ---------------------------------------------------------------
+// Injected corruption is caught.
+
+/** Fill a cache, then return a slot holding a valid line. */
+LineId
+someValidSlot(Cache &cache)
+{
+    for (LineId slot = 0; slot < cache.array().numLines(); ++slot) {
+        if (cache.array().line(slot).valid()) {
+            return slot;
+        }
+    }
+    ADD_FAILURE() << "no valid line after warmup";
+    return 0;
+}
+
+TEST(CheckInvariants, CatchesMispartitionedLine)
+{
+    for (const SchemeKind scheme :
+         {SchemeKind::Vantage, SchemeKind::WayPart}) {
+        const L2Spec spec = smallSpec(
+            scheme, scheme == SchemeKind::WayPart ? ArrayKind::SA16
+                                                  : ArrayKind::Z4_52);
+        std::unique_ptr<Cache> cache = buildL2(spec);
+        SCOPED_TRACE(spec.name());
+        driveAndCheck(*cache, spec.numPartitions, 3000);
+
+        // Retag one resident line: partition size counters no longer
+        // match a recount.
+        Line &line = cache->array().line(someValidSlot(*cache));
+        line.part = (line.part + 1) % spec.numPartitions;
+
+        InvariantReport rep;
+        cache->checkInvariants(rep);
+        EXPECT_FALSE(rep.ok())
+            << "retagged line went undetected";
+    }
+}
+
+TEST(CheckInvariants, CatchesCorruptChainPosition)
+{
+    const L2Spec spec = smallSpec(SchemeKind::Pipp, ArrayKind::SA16);
+    std::unique_ptr<Cache> cache = buildL2(spec);
+    driveAndCheck(*cache, spec.numPartitions, 3000);
+
+    // Invalidate a tracked line behind the scheme's back: PIPP's
+    // dense-chain recount must notice.
+    Line &line = cache->array().line(someValidSlot(*cache));
+    line.addr = kInvalidAddr;
+
+    InvariantReport rep;
+    cache->checkInvariants(rep);
+    EXPECT_FALSE(rep.ok()) << "corrupt chain went undetected";
+}
+
+TEST(CheckInvariants, CatchesVantageSizeDrift)
+{
+    const L2Spec spec =
+        smallSpec(SchemeKind::Vantage, ArrayKind::Z4_52);
+    std::unique_ptr<Cache> cache = buildL2(spec);
+    driveAndCheck(*cache, spec.numPartitions, 5000);
+
+    auto *ctl =
+        dynamic_cast<VantageController *>(&cache->scheme());
+    ASSERT_NE(ctl, nullptr);
+    InvariantReport before;
+    cache->checkInvariants(before);
+    ASSERT_TRUE(before.ok()) << before.summary();
+
+    // Steal a line from partition 0 by retagging it as unmanaged:
+    // both the partition recount and the unmanaged recount drift.
+    Line &line = cache->array().line(someValidSlot(*cache));
+    line.part = kUnmanagedPart;
+
+    InvariantReport rep;
+    cache->checkInvariants(rep);
+    EXPECT_FALSE(rep.ok()) << "size drift went undetected";
+}
+
+TEST(CheckInvariants, BankedCacheAggregatesReports)
+{
+    std::vector<std::unique_ptr<Cache>> banks;
+    for (int b = 0; b < 2; ++b) {
+        L2Spec spec =
+            smallSpec(SchemeKind::Vantage, ArrayKind::Z4_52);
+        spec.lines = 1024;
+        spec.seed = 0x77 + b;
+        banks.push_back(buildL2(spec));
+    }
+    BankedCache banked(std::move(banks));
+    Rng rng(0xbac);
+    for (int i = 0; i < 4000; ++i) {
+        banked.access(rng.range(5000),
+                      static_cast<PartId>(rng.range(4)));
+    }
+    InvariantReport rep;
+    banked.checkInvariants(rep);
+    EXPECT_TRUE(rep.ok()) << rep.summary();
+
+    Line &line = banked.bank(1).array().line(
+        someValidSlot(banked.bank(1)));
+    line.part = (line.part + 1) % 4;
+    rep.clear();
+    banked.checkInvariants(rep);
+    EXPECT_FALSE(rep.ok());
+}
+
+// ---------------------------------------------------------------
+// The outcome digest.
+
+TEST(AccessDigest, FoldIsOrderSensitive)
+{
+    AccessDigest a, b, c;
+    a.fold(1);
+    a.fold(2);
+    b.fold(2);
+    b.fold(1);
+    c.fold(1);
+    c.fold(2);
+    EXPECT_NE(a.value(), b.value());
+    EXPECT_EQ(a.value(), c.value());
+
+    AccessDigest fresh;
+    b.reset();
+    EXPECT_EQ(b.value(), fresh.value());
+}
+
+/** Digest of a fixed stream against a fixed spec. */
+std::uint64_t
+digestOfRun(const L2Spec &spec, std::uint64_t accesses,
+            std::uint64_t stream_seed)
+{
+    std::unique_ptr<Cache> cache = buildL2(spec);
+    AccessDigest digest;
+    cache->attachDigest(&digest);
+    Rng rng(stream_seed);
+    for (std::uint64_t i = 0; i < accesses; ++i) {
+        cache->access(rng.range(6000),
+                      static_cast<PartId>(rng.range(4)),
+                      rng.chance(0.3) ? AccessType::Store
+                                      : AccessType::Load);
+    }
+    return digest.value();
+}
+
+TEST(AccessDigest, RunsAreReproducible)
+{
+    const L2Spec spec =
+        smallSpec(SchemeKind::Vantage, ArrayKind::Z4_52);
+    const std::uint64_t first = digestOfRun(spec, 8000, 0xfeed);
+    const std::uint64_t second = digestOfRun(spec, 8000, 0xfeed);
+    EXPECT_EQ(first, second);
+}
+
+TEST(AccessDigest, DigestSeesBehaviorChanges)
+{
+    const L2Spec spec =
+        smallSpec(SchemeKind::Vantage, ArrayKind::Z4_52);
+    L2Spec other = spec;
+    other.vantage.unmanagedFraction = 0.15;
+    EXPECT_NE(digestOfRun(spec, 8000, 0xfeed),
+              digestOfRun(other, 8000, 0xfeed));
+    // A different stream also moves it.
+    EXPECT_NE(digestOfRun(spec, 8000, 0xfeed),
+              digestOfRun(spec, 8000, 0xbeef));
+}
+
+// ---------------------------------------------------------------
+// EmpiricalCdf: cumulative cache keeps exact semantics.
+
+/** Reference O(bins) implementations (the pre-cache behavior). */
+double
+naiveAt(const std::vector<std::uint64_t> &counts, std::uint64_t total,
+        double x)
+{
+    if (total == 0) return 0.0;
+    if (x < 0.0) return 0.0;
+    if (x >= 1.0) return 1.0;
+    const auto upto = static_cast<std::size_t>(
+        x * static_cast<double>(counts.size()));
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < upto; ++i) acc += counts[i];
+    return static_cast<double>(acc) / static_cast<double>(total);
+}
+
+double
+naiveQuantile(const std::vector<std::uint64_t> &counts,
+              std::uint64_t total, double q)
+{
+    if (total == 0) return 0.0;
+    const double want = q * static_cast<double>(total);
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        acc += counts[i];
+        if (static_cast<double>(acc) >= want) {
+            return static_cast<double>(i + 1) /
+                   static_cast<double>(counts.size());
+        }
+    }
+    return 1.0;
+}
+
+TEST(EmpiricalCdf, EmptyCdf)
+{
+    EmpiricalCdf cdf(100);
+    EXPECT_EQ(cdf.samples(), 0u);
+    EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 0.0);
+}
+
+TEST(EmpiricalCdf, SingleBin)
+{
+    EmpiricalCdf cdf(1);
+    cdf.add(0.3);
+    cdf.add(0.9);
+    EXPECT_EQ(cdf.samples(), 2u);
+    EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0); // Bin not yet complete.
+    EXPECT_DOUBLE_EQ(cdf.at(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 1.0);
+}
+
+TEST(EmpiricalCdf, QuantileExtremes)
+{
+    EmpiricalCdf cdf(10);
+    for (int i = 0; i < 100; ++i) {
+        cdf.add(0.55); // All mass in bin 5.
+    }
+    // q=0 finds the first bin (running total 0 >= 0).
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 0.1);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 0.6);
+    EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 0.6);
+    EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.at(0.6), 1.0);
+}
+
+TEST(EmpiricalCdf, MatchesNaiveReference)
+{
+    EmpiricalCdf cdf(97); // Deliberately not a round number.
+    std::vector<std::uint64_t> counts(97, 0);
+    std::uint64_t total = 0;
+    Rng rng(0xcdf);
+    for (int i = 0; i < 5000; ++i) {
+        const double x = rng.uniform();
+        cdf.add(x);
+        auto bin = static_cast<std::size_t>(x * 97.0);
+        if (bin == 97) --bin;
+        ++counts[bin];
+        ++total;
+        if (i % 611 == 0) {
+            // Interleave queries with adds to stress invalidation.
+            const double q = rng.uniform();
+            EXPECT_DOUBLE_EQ(cdf.at(q), naiveAt(counts, total, q));
+            EXPECT_DOUBLE_EQ(cdf.quantile(q),
+                             naiveQuantile(counts, total, q));
+        }
+    }
+    for (const double q : {0.0, 0.01, 0.25, 0.5, 0.75, 0.999, 1.0}) {
+        EXPECT_DOUBLE_EQ(cdf.at(q), naiveAt(counts, total, q));
+        EXPECT_DOUBLE_EQ(cdf.quantile(q),
+                         naiveQuantile(counts, total, q));
+    }
+    cdf.reset();
+    EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+}
+
+// ---------------------------------------------------------------
+// Lookahead post-conditions.
+
+TEST(Lookahead, AssignsFullBudgetWithFloors)
+{
+    Rng rng(0x10cae);
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::uint32_t parts =
+            2 + static_cast<std::uint32_t>(rng.range(6));
+        const std::uint32_t total = 32;
+        std::vector<std::vector<double>> curves(parts);
+        for (auto &curve : curves) {
+            curve.resize(1 + rng.range(total));
+            double acc = 0.0;
+            for (double &v : curve) {
+                acc += rng.uniform();
+                v = acc;
+            }
+        }
+        const std::vector<std::uint32_t> alloc =
+            lookaheadAllocate(curves, total, 1);
+        std::uint64_t sum = 0;
+        for (const std::uint32_t a : alloc) {
+            EXPECT_GE(a, 1u);
+            sum += a;
+        }
+        EXPECT_EQ(sum, total);
+    }
+}
+
+} // namespace
+} // namespace vantage

@@ -1,0 +1,55 @@
+# CLI error-path checks: each bad invocation must exit non-zero and
+# say something useful on stderr — never abort via vantage_assert.
+# Driven by tests/CMakeLists.txt (test name: cli_errors).
+#
+# Expects: -DVSIM=<path to the vsim binary>.
+
+if(NOT VSIM)
+    message(FATAL_ERROR "pass -DVSIM=<vsim binary>")
+endif()
+
+# expect_error(<description> <expected stderr substring> <args...>)
+function(expect_error desc expect)
+    execute_process(
+        COMMAND ${VSIM} ${ARGN}
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(rc EQUAL 0)
+        message(FATAL_ERROR
+            "${desc}: expected failure, got exit 0\nstdout: ${out}")
+    endif()
+    # An assert abort exits via SIGABRT (rc is a signal string);
+    # parse errors must exit(1) with a clean message instead.
+    if(NOT rc EQUAL 1)
+        message(FATAL_ERROR
+            "${desc}: expected exit 1, got '${rc}'\nstderr: ${err}")
+    endif()
+    string(FIND "${err}" "${expect}" found)
+    if(found EQUAL -1)
+        message(FATAL_ERROR
+            "${desc}: stderr missing '${expect}'\nstderr: ${err}")
+    endif()
+endfunction()
+
+expect_error("zero jobs" "bad --jobs value" --jobs 0)
+expect_error("non-numeric jobs" "bad --jobs value" --jobs lots)
+expect_error("unmanaged too big" "--unmanaged must be in (0, 1)"
+    --unmanaged 1.5)
+expect_error("unmanaged zero" "--unmanaged must be in (0, 1)"
+    --unmanaged 0)
+expect_error("negative unmanaged" "--unmanaged must be in (0, 1)"
+    --unmanaged=-0.2)
+expect_error("amax out of range" "--amax must be in (0, 1]"
+    --amax 1.5)
+expect_error("slack out of range" "--slack must be in (0, 1)"
+    --slack 0)
+expect_error("unknown option" "unknown option '--frobnicate'"
+    --frobnicate=3)
+expect_error("unknown scheme" "unknown scheme 'zcache'"
+    --scheme zcache)
+expect_error("flag with value" "--digest takes no value" --digest=1)
+expect_error("two workloads" "choose one of --mix / --apps / --traces"
+    --mix 3 --apps libquantum)
+
+message(STATUS "all CLI error paths exit 1 with a message")

@@ -196,5 +196,48 @@ TEST(Cli, Errors)
               std::string::npos);
 }
 
+TEST(Cli, VantageKnobRangesAreParseErrors)
+{
+    // Out-of-range knobs must fail parsing (exit 1 in vsim), not
+    // reach the controller and trip an assert there.
+    EXPECT_NE(parseErr({"--unmanaged", "1.5"}).find("(0, 1)"),
+              std::string::npos);
+    EXPECT_NE(parseErr({"--unmanaged", "0"}).find("(0, 1)"),
+              std::string::npos);
+    EXPECT_NE(parseErr({"--unmanaged", "-0.3"}).find("(0, 1)"),
+              std::string::npos);
+    EXPECT_NE(parseErr({"--amax", "0"}).find("(0, 1]"),
+              std::string::npos);
+    EXPECT_NE(parseErr({"--amax", "2"}).find("(0, 1]"),
+              std::string::npos);
+    EXPECT_NE(parseErr({"--slack", "0"}).find("(0, 1)"),
+              std::string::npos);
+    EXPECT_NE(parseErr({"--slack", "1.5"}).find("(0, 1)"),
+              std::string::npos);
+    // In-range values parse.
+    const CliOptions opts =
+        parseOk({"--unmanaged", "0.1", "--amax", "1.0", "--slack",
+                 "0.2"});
+    EXPECT_DOUBLE_EQ(opts.l2.vantage.unmanagedFraction, 0.1);
+    EXPECT_DOUBLE_EQ(opts.l2.vantage.maxAperture, 1.0);
+}
+
+TEST(Cli, JobsValidation)
+{
+    EXPECT_NE(parseErr({"--jobs", "0"}).find("jobs"),
+              std::string::npos);
+    EXPECT_NE(parseErr({"--jobs", "many"}).find("jobs"),
+              std::string::npos);
+    EXPECT_EQ(parseOk({"--jobs", "4"}).scale.jobs, 4u);
+}
+
+TEST(Cli, DigestFlag)
+{
+    EXPECT_FALSE(parseOk({}).digest);
+    EXPECT_TRUE(parseOk({"--digest"}).digest);
+    EXPECT_NE(parseErr({"--digest=1"}).find("takes no value"),
+              std::string::npos);
+}
+
 } // namespace
 } // namespace vantage
