@@ -9,14 +9,32 @@
  * Results also land in BENCH_micro.json (via the suite's JSON
  * export, honoring $VANTAGE_BENCH_DIR) so serial hot-path changes
  * show up in the bench trajectory alongside the figure suites.
+ *
+ * Baseline comparison (environment):
+ *   VANTAGE_MICRO_BASELINE  path to a previous BENCH_micro.json;
+ *                           each benchmark's ns/op is compared
+ *                           against it and the comparison is printed
+ *                           and exported under "baseline"
+ *   VANTAGE_MICRO_TOL       max allowed current/baseline ratio
+ *                           (default 1.5 — wide, to ride out shared
+ *                           CI machines)
+ *   VANTAGE_MICRO_STRICT    when set nonzero, exit 1 if any
+ *                           benchmark exceeds the tolerance
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "suite.h"
+
+#include "stats/json.h"
 
 #include "alloc/lookahead.h"
 #include "alloc/umon.h"
@@ -207,6 +225,73 @@ class CollectingReporter : public benchmark::ConsoleReporter
     std::vector<vantage::bench::MicroResult> results_;
 };
 
+/**
+ * Compare the collected results against $VANTAGE_MICRO_BASELINE.
+ * @return true when a comparison was made (baseline readable).
+ */
+bool
+compareToBaseline(const std::vector<bench::MicroResult> &results,
+                  bench::MicroComparison &cmp)
+{
+    const char *path = std::getenv("VANTAGE_MICRO_BASELINE");
+    if (path == nullptr || *path == '\0') {
+        return false;
+    }
+    cmp.baselinePath = path;
+    if (const char *t = std::getenv("VANTAGE_MICRO_TOL")) {
+        const double v = std::strtod(t, nullptr);
+        if (v > 0.0) {
+            cmp.tolerance = v;
+        }
+    }
+
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "micro: cannot read baseline %s\n",
+                     path);
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    const JsonValue doc = JsonValue::parse(buf.str(), error);
+    if (!error.empty()) {
+        std::fprintf(stderr, "micro: baseline %s: %s\n", path,
+                     error.c_str());
+        return false;
+    }
+
+    for (const auto &r : results) {
+        const JsonValue *node =
+            doc.find("benchmarks." + r.name + ".ns_per_op");
+        if (node == nullptr || !node->isNumber() ||
+            node->number <= 0.0) {
+            continue; // New benchmark: nothing to compare against.
+        }
+        bench::MicroCompareEntry e;
+        e.name = r.name;
+        e.baselineNs = node->number;
+        e.currentNs = r.nsPerOp;
+        e.ratio = r.nsPerOp / node->number;
+        if (e.ratio > cmp.tolerance) {
+            cmp.withinTolerance = false;
+        }
+        cmp.entries.push_back(std::move(e));
+    }
+
+    std::fprintf(stderr,
+                 "micro: baseline %s (tolerance %.2fx)\n", path,
+                 cmp.tolerance);
+    for (const auto &e : cmp.entries) {
+        std::fprintf(stderr, "  %-28s %10.2f -> %10.2f ns/op "
+                             "(%.2fx)%s\n",
+                     e.name.c_str(), e.baselineNs, e.currentNs,
+                     e.ratio,
+                     e.ratio > cmp.tolerance ? "  ** SLOW **" : "");
+    }
+    return true;
+}
+
 } // namespace
 
 int
@@ -219,6 +304,22 @@ main(int argc, char **argv)
     CollectingReporter reporter;
     benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
-    vantage::bench::writeMicroJson("micro", reporter.results());
+
+    bench::MicroComparison cmp;
+    const bool compared =
+        compareToBaseline(reporter.results(), cmp);
+    vantage::bench::writeMicroJson("micro", reporter.results(),
+                                   compared ? &cmp : nullptr);
+    if (compared && !cmp.withinTolerance) {
+        const char *strict = std::getenv("VANTAGE_MICRO_STRICT");
+        if (strict != nullptr && std::strtol(strict, nullptr, 10)) {
+            std::fprintf(stderr,
+                         "micro: benchmarks exceeded tolerance\n");
+            return 1;
+        }
+        std::fprintf(stderr, "micro: benchmarks exceeded tolerance "
+                             "(advisory; set VANTAGE_MICRO_STRICT=1 "
+                             "to fail)\n");
+    }
     return 0;
 }

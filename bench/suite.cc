@@ -14,6 +14,7 @@
 #include "common/thread_pool.h"
 #include "stats/json.h"
 #include "stats/table.h"
+#include "trace/event_trace.h"
 #include "workload/mixes.h"
 
 namespace vantage {
@@ -120,36 +121,82 @@ runSuite(const SuiteOptions &opts, const L2Spec &baseline,
         }
     }
 
+    // Optional suite timeline: $VANTAGE_EVENTS_OUT arms the trace
+    // session (observational; results stay bit-identical).
+    TraceSession &session = TraceSession::instance();
+    std::string events_out;
+    if (const char *p = std::getenv("VANTAGE_EVENTS_OUT")) {
+        if (*p != '\0') {
+            events_out = p;
+            std::uint32_t mask = kTraceAllCategories;
+            if (const char *c =
+                    std::getenv("VANTAGE_TRACE_CATEGORIES")) {
+                std::string err;
+                mask = TraceSession::parseCategories(c, err);
+                if (!err.empty()) {
+                    warn("VANTAGE_TRACE_CATEGORIES: %s", err.c_str());
+                    mask = kTraceAllCategories;
+                }
+            }
+            session.enable(mask);
+            session.setProcessName("bench-suite");
+            traceSetThreadName("main");
+        }
+    }
+
     std::vector<MixRow> rows(jobs.size());
     SuiteProgress progress(jobs.size());
     const unsigned workers =
         ThreadPool::resolveJobs(opts.scale.jobs);
-    // One worker degenerates to inline serial execution (no threads).
-    ThreadPool pool(workers > 1 ? workers : 0);
-    pool.parallelFor(jobs.size(), [&](std::size_t i) {
-        const MixJob &job = jobs[i];
-        const auto apps = makeMix(job.cls, opts.coresPerSlot,
-                                  job.seed);
-        const std::string name = mixName(job.cls, job.seed);
+    {
+        // One worker degenerates to inline serial execution (no
+        // threads). The scope joins the pool before the trace export
+        // below, so every trace writer is quiescent.
+        ThreadPool pool(workers > 1 ? workers : 0);
+        pool.parallelFor(jobs.size(), [&](std::size_t i) {
+            const MixJob &job = jobs[i];
+            const auto apps = makeMix(job.cls, opts.coresPerSlot,
+                                      job.seed);
+            const std::string name = mixName(job.cls, job.seed);
+            // Span names must outlive the event buffer; intern when
+            // tracing, else use a throwaway constant.
+            TraceSpan mix_span(kTraceSuite,
+                               session.enabledAny()
+                                   ? session.intern(name)
+                                   : "mix");
 
-        MixRow row;
-        row.mix = name;
-        const MixResult base = runMix(opts.machine, baseline, apps,
-                                      opts.scale, name,
-                                      job.seed + 1);
-        row.baseline = base.throughput;
-        for (const auto &spec : configs) {
-            const MixResult r = runMix(opts.machine, spec, apps,
-                                       opts.scale, name,
-                                       job.seed + 1);
-            row.normalized.push_back(base.throughput > 0.0
-                                         ? r.throughput /
-                                               base.throughput
-                                         : 0.0);
+            MixRow row;
+            row.mix = name;
+            const MixResult base = runMix(opts.machine, baseline,
+                                          apps, opts.scale, name,
+                                          job.seed + 1);
+            row.baseline = base.throughput;
+            for (const auto &spec : configs) {
+                const MixResult r = runMix(opts.machine, spec, apps,
+                                           opts.scale, name,
+                                           job.seed + 1);
+                row.normalized.push_back(base.throughput > 0.0
+                                             ? r.throughput /
+                                                   base.throughput
+                                             : 0.0);
+            }
+            rows[i] = std::move(row);
+            progress.done(name);
+        });
+    }
+    if (!events_out.empty()) {
+        if (session.writeJsonFile(events_out)) {
+            std::fprintf(
+                stderr,
+                "bench: events written to %s (%llu recorded, %llu "
+                "dropped)\n",
+                events_out.c_str(),
+                static_cast<unsigned long long>(session.recorded()),
+                static_cast<unsigned long long>(session.dropped()));
+        } else {
+            warn("cannot write events to '%s'", events_out.c_str());
         }
-        rows[i] = std::move(row);
-        progress.done(name);
-    });
+    }
     return rows;
 }
 
@@ -334,7 +381,8 @@ writeBenchJson(const std::string &bench,
 
 void
 writeMicroJson(const std::string &bench,
-               const std::vector<MicroResult> &results)
+               const std::vector<MicroResult> &results,
+               const MicroComparison *cmp)
 {
     const std::string path = benchJsonPath(bench);
     std::ofstream out(path);
@@ -356,6 +404,24 @@ writeMicroJson(const std::string &bench,
         w.endObject();
     }
     w.endObject();
+    if (cmp != nullptr) {
+        w.key("baseline");
+        w.beginObject();
+        w.kv("path", cmp->baselinePath);
+        w.kv("tolerance", cmp->tolerance);
+        w.kv("within_tolerance", cmp->withinTolerance);
+        w.key("benchmarks");
+        w.beginObject();
+        for (const auto &e : cmp->entries) {
+            w.key(e.name);
+            w.beginObject();
+            w.kv("baseline_ns_per_op", e.baselineNs);
+            w.kv("ratio", e.ratio);
+            w.endObject();
+        }
+        w.endObject();
+        w.endObject();
+    }
     w.endObject();
     out.flush();
     if (!out) {

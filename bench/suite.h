@@ -14,6 +14,10 @@
  *                         at any job count
  *   VANTAGE_BENCH_DIR     directory for BENCH_<name>.json exports
  *                         (default: current directory)
+ *   VANTAGE_EVENTS_OUT    write a Chrome trace_event timeline of the
+ *                         suite run (mix spans, pool jobs) here
+ *   VANTAGE_TRACE_CATEGORIES  category filter for the timeline
+ *                         (comma list; default all)
  */
 
 #ifndef VANTAGE_BENCH_SUITE_H_
@@ -113,14 +117,39 @@ struct MicroResult
     std::uint64_t iterations = 0;
 };
 
+/** One benchmark's current-vs-baseline comparison. */
+struct MicroCompareEntry
+{
+    std::string name;
+    double baselineNs = 0.0; ///< ns/op recorded in the baseline file.
+    double currentNs = 0.0;  ///< ns/op measured this run.
+    double ratio = 0.0;      ///< current / baseline.
+};
+
+/**
+ * Comparison of a micro run against a stored BENCH_micro.json
+ * baseline (see VANTAGE_MICRO_BASELINE in micro_overheads).
+ */
+struct MicroComparison
+{
+    std::string baselinePath;
+    double tolerance = 1.5;     ///< Max allowed current/baseline.
+    bool withinTolerance = true;
+    std::vector<MicroCompareEntry> entries;
+};
+
 /**
  * Export microbenchmark results as BENCH_<bench>.json (same
  * $VANTAGE_BENCH_DIR resolution as writeBenchJson): a "benchmarks"
  * object mapping each benchmark to its ns/op and iteration count,
- * so serial hot-path changes show up in the bench trajectory.
+ * so serial hot-path changes show up in the bench trajectory. When
+ * `cmp` is non-null a "baseline" object records the comparison
+ * against the stored baseline file (per-benchmark ratio plus the
+ * overall within_tolerance verdict).
  */
 void writeMicroJson(const std::string &bench,
-                    const std::vector<MicroResult> &results);
+                    const std::vector<MicroResult> &results,
+                    const MicroComparison *cmp = nullptr);
 
 } // namespace bench
 } // namespace vantage

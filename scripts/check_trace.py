@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Validate Chrome trace_event JSON exported by --events-out.
+
+Usage: check_trace.py TRACE.json [options]
+
+Checks, in order:
+  * the file parses as JSON and has the expected top-level shape
+    ({"displayTimeUnit", "otherData", "traceEvents": [...]});
+  * every event has a valid phase (B, E, i, C or M), a name, and
+    integer pid/tid;
+  * timestamps are non-decreasing per (pid, tid) track — the exporter
+    merges per-thread buffers with a stable sort, so any inversion
+    means a broken clock or merge;
+  * B/E span events nest properly per track: every E matches the
+    name of the innermost open B. Spans still open at the end of the
+    trace are an error unless events were dropped (otherData.dropped
+    > 0), because a full ring buffer may swallow an E whose B
+    survived... the exporter suppresses the E of a dropped B, but a
+    dropped *E* cannot be detected at record time;
+  * counter (C) events carry a numeric value in "args".
+
+Options:
+  --require-cat CAT   at least one event whose "cat" equals CAT must
+                      be present (repeatable)
+  --min-events N      require at least N non-metadata events
+  --heartbeat-log F   also validate heartbeat records in F: every
+                      line starting with '{' must parse as JSON with
+                      heartbeat/phase/accesses/parts keys, and at
+                      least one such record must exist
+
+Exits non-zero on the first failure so it can gate ctest cases and CI
+jobs on well-formed traces.
+"""
+
+import argparse
+import json
+import sys
+
+PHASES = {"B", "E", "i", "C", "M"}
+HEARTBEAT_KEYS = ("heartbeat", "phase", "accesses", "parts")
+
+
+def fail(msg):
+    print(f"check_trace: {msg}", file=sys.stderr)
+    return 1
+
+
+def check_trace(path, require_cats, min_events):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        return f"{path}: cannot read: {e}"
+    except json.JSONDecodeError as e:
+        return f"{path}: invalid JSON: {e}"
+
+    if not isinstance(doc, dict):
+        return f"{path}: expected a JSON object at top level"
+    for key in ("displayTimeUnit", "otherData", "traceEvents"):
+        if key not in doc:
+            return f"{path}: missing top-level key '{key}'"
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return f"{path}: traceEvents is not a list"
+    dropped = doc["otherData"].get("dropped", 0)
+
+    last_ts = {}  # (pid, tid) -> ts
+    stacks = {}  # (pid, tid) -> [open span names]
+    cats_seen = set()
+    n_real = 0
+    for i, ev in enumerate(events):
+        where = f"{path}: event {i}"
+        if not isinstance(ev, dict):
+            return f"{where}: not an object"
+        ph = ev.get("ph")
+        if ph not in PHASES:
+            return f"{where}: bad phase {ph!r}"
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            return f"{where}: missing name"
+        if not isinstance(ev.get("pid"), int) or not isinstance(
+            ev.get("tid"), int
+        ):
+            return f"{where}: pid/tid must be integers"
+        if ph == "M":
+            continue  # Metadata carries no timestamp ordering.
+        n_real += 1
+        cats_seen.add(ev.get("cat"))
+
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            return f"{where}: missing ts"
+        track = (ev["pid"], ev["tid"])
+        if ts < last_ts.get(track, float("-inf")):
+            return (
+                f"{where}: ts {ts} goes backwards on track "
+                f"pid={track[0]} tid={track[1]}"
+            )
+        last_ts[track] = ts
+
+        if ph == "B":
+            stacks.setdefault(track, []).append(ev["name"])
+        elif ph == "E":
+            stack = stacks.get(track, [])
+            if not stack:
+                return f"{where}: E '{ev['name']}' without open B"
+            top = stack.pop()
+            if top != ev["name"]:
+                return (
+                    f"{where}: E '{ev['name']}' does not match "
+                    f"innermost B '{top}'"
+                )
+        elif ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                return f"{where}: counter without args"
+            for k, v in args.items():
+                if not isinstance(v, (int, float)):
+                    return (
+                        f"{where}: counter arg '{k}' is not numeric"
+                    )
+
+    open_spans = sum(len(s) for s in stacks.values())
+    if open_spans and not dropped:
+        return (
+            f"{path}: {open_spans} span(s) left open with no "
+            f"dropped events"
+        )
+    if n_real < min_events:
+        return (
+            f"{path}: only {n_real} events, expected >= {min_events}"
+        )
+    for cat in require_cats:
+        if cat not in cats_seen:
+            return (
+                f"{path}: no event with category '{cat}' "
+                f"(saw: {sorted(c for c in cats_seen if c)})"
+            )
+    print(
+        f"check_trace: {path} OK ({n_real} events, "
+        f"{len(last_ts)} tracks, {dropped} dropped)"
+    )
+    return None
+
+
+def check_heartbeats(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.readlines()
+    except OSError as e:
+        return f"{path}: cannot read: {e}"
+    n = 0
+    for i, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line.startswith("{"):
+            continue  # Interleaved non-heartbeat stderr output.
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            return f"{path}:{i}: invalid heartbeat JSON: {e}"
+        for key in HEARTBEAT_KEYS:
+            if key not in rec:
+                return f"{path}:{i}: heartbeat missing '{key}'"
+        if not isinstance(rec["parts"], list):
+            return f"{path}:{i}: heartbeat 'parts' is not a list"
+        n += 1
+    if n == 0:
+        return f"{path}: no heartbeat records found"
+    print(f"check_trace: {path} OK ({n} heartbeats)")
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", metavar="TRACE.json")
+    ap.add_argument(
+        "--require-cat",
+        action="append",
+        default=[],
+        metavar="CAT",
+        help="category that must appear at least once (repeatable)",
+    )
+    ap.add_argument(
+        "--min-events",
+        type=int,
+        default=1,
+        metavar="N",
+        help="minimum non-metadata event count (default 1)",
+    )
+    ap.add_argument(
+        "--heartbeat-log",
+        metavar="FILE",
+        help="also validate heartbeat JSON lines in FILE",
+    )
+    args = ap.parse_args()
+
+    err = check_trace(args.trace, args.require_cat, args.min_events)
+    if err:
+        return fail(err)
+    if args.heartbeat_log:
+        err = check_heartbeats(args.heartbeat_log)
+        if err:
+            return fail(err)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,14 +35,22 @@ do
 done
 
 # Microbenchmarks of the serial hot paths (exports BENCH_micro.json).
+# Point VANTAGE_MICRO_BASELINE at a previous run's BENCH_micro.json to
+# get a per-benchmark comparison (tolerance VANTAGE_MICRO_TOL, default
+# 1.5x; VANTAGE_MICRO_STRICT=1 turns regressions into a failure).
 echo "=== micro_overheads ==="
-"$BUILD/bench/micro_overheads" | tee "$OUT/micro_overheads.txt"
+VANTAGE_MICRO_BASELINE=${VANTAGE_MICRO_BASELINE:-} \
+    "$BUILD/bench/micro_overheads" | tee "$OUT/micro_overheads.txt"
 
-# One instrumented vsim run: full stats registry + controller trace.
+# One instrumented vsim run: full stats registry + controller trace
+# + Chrome event trace (load vsim_mix0.events.json in Perfetto) +
+# live heartbeats on stderr.
 echo "=== vsim observability run ==="
 "$BUILD/src/sim/vsim" --mix 0 --jobs "$VANTAGE_JOBS" \
     --stats-out "$OUT/vsim_mix0.stats.json" \
-    --trace-out "$OUT/vsim_mix0.trace.csv"
+    --trace-out "$OUT/vsim_mix0.trace.csv" \
+    --events-out "$OUT/vsim_mix0.events.json" \
+    --heartbeat 1000000
 
 # Fail the reproduction if any machine-readable export is malformed.
 for f in "$OUT"/BENCH_*.json; do
@@ -54,6 +62,9 @@ for f in "$OUT"/BENCH_*.json; do
     esac
 done
 python3 "$SCRIPTS/check_json.py" --require cache.l2.vantage \
+    --require sim.realloc_gap_accesses \
     "$OUT/vsim_mix0.stats.json"
+python3 "$SCRIPTS/check_trace.py" "$OUT/vsim_mix0.events.json" \
+    --require-cat sim --require-cat pool
 
 echo "Paper-scale outputs written to $OUT/"

@@ -1,6 +1,9 @@
 #include "alloc/ucp.h"
 
+#include <string>
+
 #include "common/log.h"
+#include "trace/event_trace.h"
 
 namespace vantage {
 
@@ -48,7 +51,22 @@ Ucp::computeAllocations(std::uint32_t quantum,
                             : umons_[c]->interpolatedCurve(quantum);
         }
     }
-    return lookaheadAllocate(curves, quantum, min_units);
+    std::vector<std::uint32_t> alloc =
+        lookaheadAllocate(curves, quantum, min_units);
+    if (TraceSession::instance().enabled(kTraceAlloc)) {
+        // One instant per reallocation decision (cold: runs once per
+        // repartitioning interval).
+        traceInstant(kTraceAlloc, "ucp.compute_allocations", "quantum",
+                     static_cast<double>(quantum));
+        for (std::uint32_t c = 0; c < numCores_; ++c) {
+            traceCounter(kTraceAlloc,
+                         TraceSession::instance().intern(
+                             "ucp.allocation.core" +
+                             std::to_string(c)),
+                         "units", static_cast<double>(alloc[c]));
+        }
+    }
+    return alloc;
 }
 
 std::vector<bool>

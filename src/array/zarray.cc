@@ -5,6 +5,7 @@
 
 #include "common/bits.h"
 #include "stats/prof.h"
+#include "trace/event_trace.h"
 
 namespace vantage {
 
@@ -152,6 +153,8 @@ ZArray::candidates(Addr addr, std::vector<Candidate> &out) const
             }
         }
     }
+    VANTAGE_TRACE_INSTANT(kTraceZcache, "zarray.walk", "cands",
+                          out.size());
 }
 
 void

@@ -3,6 +3,7 @@
 #include "common/log.h"
 #include "core/vantage.h"
 #include "stats/registry.h"
+#include "trace/event_trace.h"
 
 namespace vantage {
 
@@ -29,6 +30,7 @@ Cache::access(Addr addr, PartId part, AccessType type)
     vantage_assert(part < stats_.size(),
                    "partition %u out of range in cache %s", part,
                    name_.c_str());
+    VANTAGE_TRACE_SPAN(kTraceAccess, name_.c_str());
     const LineId slot = array_->lookup(addr);
     if (slot != kInvalidLine) {
         ++stats_[part].hits;
@@ -45,6 +47,9 @@ Cache::access(Addr addr, PartId part, AccessType type)
     array_->candidates(addr, candScratch_);
     vantage_assert(!candScratch_.empty(),
                    "array produced no candidates");
+    if (walkLenHist_) {
+        walkLenHist_->add(candScratch_.size());
+    }
     const VictimChoice choice =
         scheme_->selectVictim(*array_, part, addr, candScratch_);
     if (choice.bypass) {
@@ -160,9 +165,23 @@ Cache::registerStats(StatsRegistry &reg,
         reg.addCounter(base + ".hits", &s->hits);
         reg.addCounter(base + ".misses", &s->misses);
     }
+    if (walkLenHist_) {
+        reg.addHistogram(prefix + ".hist.walk_len", walkLenHist_.get());
+    }
     if (const auto *v =
             dynamic_cast<const VantageController *>(scheme_.get())) {
         v->registerStats(reg, prefix + ".vantage");
+    }
+}
+
+void
+Cache::enableHistograms()
+{
+    if (!walkLenHist_) {
+        walkLenHist_ = std::make_unique<Histogram>();
+    }
+    if (auto *v = dynamic_cast<VantageController *>(scheme_.get())) {
+        v->enableHistograms();
     }
 }
 
@@ -173,6 +192,9 @@ Cache::resetStats()
         s = CacheAccessStats{};
     }
     writebacks_ = 0;
+    if (walkLenHist_) {
+        walkLenHist_->reset();
+    }
 }
 
 } // namespace vantage

@@ -21,6 +21,7 @@
 #include "common/digest.h"
 #include "partition/scheme.h"
 #include "stats/counters.h"
+#include "stats/histogram.h"
 
 namespace vantage {
 
@@ -81,6 +82,16 @@ class Cache
     CacheAccessStats totalStats() const;
     void resetStats();
 
+    /**
+     * Allocate distribution histograms: candidate-walk length on
+     * misses here, and the per-partition VantagePartHists when the
+     * scheme is a Vantage controller. Off by default (the miss path
+     * then pays a single null check). Registered under
+     * `prefix`.hist.walk_len by registerStats(); cleared by
+     * resetStats().
+     */
+    void enableHistograms();
+
     /** Dirty evictions since the last resetStats(). */
     std::uint64_t writebacks() const { return writebacks_; }
 
@@ -125,6 +136,7 @@ class Cache
     std::vector<CacheAccessStats> stats_;
     std::vector<Candidate> candScratch_;
     std::uint64_t writebacks_ = 0;
+    std::unique_ptr<Histogram> walkLenHist_;
     AccessDigest *digest_ = nullptr;
     std::uint64_t lastDemotions_ = 0;
     std::uint64_t accessesSinceCheck_ = 0;

@@ -33,10 +33,13 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "trace/event_trace.h"
 
 namespace vantage {
 
@@ -53,7 +56,7 @@ class ThreadPool
     {
         threads_.reserve(workers);
         for (unsigned i = 0; i < workers; ++i) {
-            threads_.emplace_back([this] { workerLoop(); });
+            threads_.emplace_back([this, i] { workerLoop(i); });
         }
     }
 
@@ -90,6 +93,7 @@ class ThreadPool
             std::forward<F>(job));
         std::future<R> result = task->get_future();
         if (threads_.empty()) {
+            TraceSpan span(kTracePool, "pool.job");
             (*task)();
             return result;
         }
@@ -169,8 +173,11 @@ class ThreadPool
 
   private:
     void
-    workerLoop()
+    workerLoop(unsigned index)
     {
+        // Tracing is observational: the name registration and the
+        // per-job spans never touch job state or ordering.
+        traceSetThreadName("pool-worker-" + std::to_string(index));
         for (;;) {
             std::function<void()> job;
             {
@@ -184,6 +191,8 @@ class ThreadPool
                 job = std::move(queue_.front());
                 queue_.pop_front();
             }
+            TraceSpan span(kTracePool, "pool.job", "worker",
+                           static_cast<double>(index));
             job();
         }
     }

@@ -212,6 +212,26 @@ VantageController::adjustSetpoint(PartId part)
     ++stats_.setpointAdjusts;
     const std::uint32_t desired = desiredDemotions(ps);
 
+    if (!hists_.empty()) {
+        hists_[part].apertureBp.add(static_cast<std::uint64_t>(
+            std::llround(apertureOf(ps) * 1e4)));
+    }
+#ifdef VANTAGE_TRACE_ENABLED
+    if (TraceSession::instance().enabled(kTraceVantage)) {
+        if (traceCounterNames_.empty()) {
+            traceCounterNames_.resize(cfg_.numPartitions);
+            for (PartId p = 0; p < cfg_.numPartitions; ++p) {
+                traceCounterNames_[p] = TraceSession::instance().intern(
+                    "vantage.aperture.part" + std::to_string(p));
+            }
+        }
+        traceCounter(kTraceVantage, traceCounterNames_[part],
+                     "aperture", apertureOf(ps));
+        traceInstant(kTraceVantage, "vantage.setpoint_adjust", "part",
+                     static_cast<double>(part));
+    }
+#endif
+
     const std::uint32_t window =
         modDist(ps.setpointTs,
                 static_cast<std::uint8_t>(ps.currentTs + 1), 8);
@@ -305,6 +325,14 @@ void
 VantageController::demote(Line &line, PartId from)
 {
     PartState &ps = parts_[from];
+    if (!hists_.empty()) {
+        VantagePartHists &h = hists_[from];
+        h.demotionAge.add(modDist(line.rank, ps.currentTs, 8));
+        h.demotionGap.add(accessesSeen_ - h.lastDemotionAccess);
+        h.lastDemotionAccess = accessesSeen_;
+    }
+    VANTAGE_TRACE_INSTANT(kTraceVantage, "vantage.demote", "part",
+                          from);
     vantage_assert(ps.tsHist[line.rank] > 0,
                    "timestamp histogram underflow in partition %u",
                    from);
@@ -330,6 +358,8 @@ VantageController::onHit(LineId slot, Line &line, PartId accessor)
     noteAccess();
     if (line.part == kUnmanagedPart) {
         // Promotion: the line rejoins the accessor's partition.
+        VANTAGE_TRACE_INSTANT(kTraceVantage, "vantage.promote", "part",
+                              accessor);
         PartState &ps = parts_[accessor];
         line.part = accessor;
         line.rank = hitRank(accessor, 0);
@@ -366,6 +396,7 @@ VantageController::selectVictim(CacheArray &array, PartId inserting,
     (void)inserting;
     (void)addr;
     VANTAGE_PROF("vantage.select_victim");
+    VANTAGE_TRACE_SPAN(kTraceVantage, "vantage.select_victim");
 
     std::int32_t first_invalid = -1;
     std::int32_t oldest_unmanaged = -1;
@@ -458,6 +489,10 @@ VantageController::onEvict(LineId slot, const Line &line)
     vantage_assert(line.part < cfg_.numPartitions,
                    "eviction of line with bad partition %u", line.part);
     PartState &ps = parts_[line.part];
+    if (!hists_.empty()) {
+        hists_[line.part].evictionAge.add(
+            modDist(line.rank, ps.currentTs, 8));
+    }
     vantage_assert(ps.tsHist[line.rank] > 0,
                    "timestamp histogram underflow in partition %u",
                    line.part);
@@ -633,6 +668,32 @@ VantageController::resetStats()
     for (auto &s : partStats_) {
         s = VantagePartStats{};
     }
+    for (auto &h : hists_) {
+        h.apertureBp.reset();
+        h.demotionAge.reset();
+        h.evictionAge.reset();
+        h.demotionGap.reset();
+        // Anchor the gap series at the reset point, not at the last
+        // pre-warmup demotion.
+        h.lastDemotionAccess = accessesSeen_;
+    }
+}
+
+void
+VantageController::enableHistograms()
+{
+    if (hists_.empty()) {
+        hists_.resize(cfg_.numPartitions);
+    }
+}
+
+const VantagePartHists &
+VantageController::partHists(PartId part) const
+{
+    vantage_assert(part < cfg_.numPartitions,
+                   "partition %u out of range", part);
+    vantage_assert(!hists_.empty(), "histograms not enabled");
+    return hists_[part];
 }
 
 void
@@ -716,6 +777,17 @@ VantageController::registerStats(StatsRegistry &reg,
                        &st->forcedEvictions);
         reg.addCounter(base + ".throttled_inserts",
                        &st->throttledInserts);
+        if (!hists_.empty()) {
+            const VantagePartHists *h = &hists_[p];
+            reg.addHistogram(base + ".hist.aperture_bp",
+                             &h->apertureBp);
+            reg.addHistogram(base + ".hist.demotion_age",
+                             &h->demotionAge);
+            reg.addHistogram(base + ".hist.eviction_age",
+                             &h->evictionAge);
+            reg.addHistogram(base + ".hist.demotion_gap",
+                             &h->demotionGap);
+        }
     }
 }
 

@@ -43,7 +43,9 @@
 
 #include "partition/scheme.h"
 #include "stats/cdf.h"
+#include "stats/histogram.h"
 #include "stats/trace.h"
+#include "trace/event_trace.h"
 
 namespace vantage {
 
@@ -84,6 +86,24 @@ struct VantagePartStats
     std::uint64_t hits = 0;
     std::uint64_t forcedEvictions = 0; ///< Evicted while still managed.
     std::uint64_t throttledInserts = 0; ///< Fills sent unmanaged.
+};
+
+/**
+ * Opt-in per-partition distribution histograms (log2-bucketed); see
+ * VantageController::enableHistograms(). All record quantities the
+ * paper reasons about in Secs. 3.4/4.1-4.2.
+ */
+struct VantagePartHists
+{
+    /** Aperture at each setpoint adjustment, in basis points. */
+    Histogram apertureBp;
+    /** Line age (current - rank timestamp ticks) at demotion. */
+    Histogram demotionAge;
+    /** Line age at forced eviction from the managed region. */
+    Histogram evictionAge;
+    /** Controller accesses between consecutive demotions. */
+    Histogram demotionGap;
+    std::uint64_t lastDemotionAccess = 0;
 };
 
 /** Global controller statistics. */
@@ -167,6 +187,17 @@ class VantageController : public PartitionScheme
 
     const VantageStats &stats() const { return stats_; }
     const VantagePartStats &partStats(PartId part) const;
+
+    /**
+     * Allocate the per-partition distribution histograms
+     * (VantagePartHists); off by default so the demotion/eviction
+     * paths pay nothing. Registered under
+     * `prefix`.partN.hist.* by registerStats(); cleared by
+     * resetStats().
+     */
+    void enableHistograms();
+    bool histogramsEnabled() const { return !hists_.empty(); }
+    const VantagePartHists &partHists(PartId part) const;
 
     /** Reset statistics (not controller state). */
     void resetStats();
@@ -294,6 +325,12 @@ class VantageController : public PartitionScheme
     // Observability: optional periodic state trace.
     ControllerTrace *trace_ = nullptr;
     std::uint64_t accessesSeen_ = 0;
+
+    // Opt-in distribution telemetry; empty unless enableHistograms().
+    std::vector<VantagePartHists> hists_;
+    // Interned per-partition counter-event names, built lazily by the
+    // tracing hooks ("vantage.aperture.partN").
+    mutable std::vector<const char *> traceCounterNames_;
 };
 
 } // namespace vantage

@@ -107,6 +107,16 @@ cliUsage()
            "                       (vantage schemes only)\n"
            "  --stats-period N     controller accesses between trace\n"
            "                       samples (default 10000)\n"
+           "  --events-out FILE    write a Chrome trace_event JSON\n"
+           "                       timeline (open in Perfetto or\n"
+           "                       chrome://tracing)\n"
+           "  --trace-categories L comma list for --events-out:\n"
+           "                       access,vantage,zcache,alloc,pool,\n"
+           "                       suite,sim or all (default all;\n"
+           "                       access/vantage/zcache detail needs\n"
+           "                       a -DVANTAGE_TRACE=ON build)\n"
+           "  --heartbeat N        single-line JSON progress record\n"
+           "                       on stderr every N memory accesses\n"
            "  --digest             print a 64-bit FNV-1a digest of\n"
            "                       per-access L2 outcomes (golden\n"
            "                       regression tests)\n"
@@ -290,6 +300,29 @@ parseCli(const std::vector<std::string> &args, std::string &error)
                 !parseU64(value, opts.scale.statsPeriod) ||
                 opts.scale.statsPeriod == 0) {
                 error = "bad --stats-period value";
+                return opts;
+            }
+        } else if (arg == "--events-out") {
+            if (!next(value) || value.empty()) {
+                error = "bad --events-out value";
+                return opts;
+            }
+            opts.eventsOut = value;
+        } else if (arg == "--trace-categories") {
+            if (!next(value)) return opts;
+            std::string cat_error;
+            const std::uint32_t mask =
+                TraceSession::parseCategories(value, cat_error);
+            if (!cat_error.empty()) {
+                error = cat_error;
+                return opts;
+            }
+            opts.traceCategories = mask;
+        } else if (arg == "--heartbeat") {
+            if (!next(value) ||
+                !parseU64(value, opts.scale.heartbeatEvery) ||
+                opts.scale.heartbeatEvery == 0) {
+                error = "bad --heartbeat value";
                 return opts;
             }
         } else {

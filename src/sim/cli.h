@@ -11,7 +11,8 @@
  *        [--unmanaged F] [--amax F] [--slack F]
  *        [--no-ucp] [--repartition N] [--seed N] [--jobs N]
  *        [--stats-out FILE] [--trace-out FILE] [--stats-period N]
- *        [--digest]
+ *        [--events-out FILE] [--trace-categories LIST]
+ *        [--heartbeat N] [--digest]
  *
  * Every value-taking option also accepts the --option=value form.
  *
@@ -28,6 +29,7 @@
 #include <vector>
 
 #include "sim/experiment.h"
+#include "trace/event_trace.h"
 
 namespace vantage {
 
@@ -45,8 +47,11 @@ struct CliOptions
     std::vector<std::string> traces; ///< Trace file paths.
 
     /** Observability outputs (empty: disabled). */
-    std::string statsOut; ///< End-of-run stats registry, JSON.
-    std::string traceOut; ///< Controller trace, CSV.
+    std::string statsOut;  ///< End-of-run stats registry, JSON.
+    std::string traceOut;  ///< Controller trace, CSV.
+    std::string eventsOut; ///< Chrome trace_event timeline, JSON.
+    /** Category mask for --events-out (default: all). */
+    std::uint32_t traceCategories = kTraceAllCategories;
 
     /** Print a 64-bit digest of per-access L2 outcomes. */
     bool digest = false;

@@ -1,12 +1,17 @@
 #include "sim/cmp_sim.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
 
 #include "array/set_assoc.h"
 #include "common/log.h"
 #include "core/vantage_variants.h"
 #include "partition/unpartitioned.h"
 #include "replacement/lru.h"
+#include "stats/json.h"
+#include "trace/event_trace.h"
 
 namespace vantage {
 
@@ -139,6 +144,13 @@ CmpSim::maybeRepartition()
         }
         // Way-granular schemes need at least one way per partition;
         // fine-grain quanta can go down to a single unit.
+        TraceSpan span(kTraceAlloc, "ucp.repartition");
+        std::uint64_t l2_accesses = 0;
+        for (const auto &cs : cores_) {
+            l2_accesses += cs.l2Accesses;
+        }
+        reallocGap_.add(l2_accesses - lastReallocAccesses_);
+        lastReallocAccesses_ = l2_accesses;
         const std::uint32_t min_units = 1;
         scheme.setAllocations(
             ucp_->computeAllocations(quantum, min_units));
@@ -178,6 +190,7 @@ CmpSim::warmup(std::uint64_t accesses)
         const std::uint32_t core = nextCore();
         step(core);
         maybeRepartition();
+        heartbeatTick("warmup");
         if (issued[core] < accesses && ++issued[core] == accesses) {
             --remaining;
         }
@@ -194,6 +207,7 @@ CmpSim::run(std::uint64_t instructions)
         CoreState &cs = cores_[core];
         step(core);
         maybeRepartition();
+        heartbeatTick("run");
         if (!cs.done &&
             cs.instructions - cs.startInstructions >= instructions) {
             cs.done = true;
@@ -206,6 +220,99 @@ CmpSim::run(std::uint64_t instructions)
             --remaining;
         }
     }
+}
+
+void
+CmpSim::setHeartbeat(std::uint64_t every, std::string label)
+{
+    heartbeatEvery_ = every;
+    heartbeatLabel_ = std::move(label);
+    heartbeatTick_ = 0;
+    heartbeatSeq_ = 0;
+    heartbeatLastInstrs_ = 0;
+    heartbeatLastAccesses_ = 0;
+    heartbeatLastTime_ = std::chrono::steady_clock::now();
+}
+
+namespace {
+
+/** Append a JSON number, mapping non-finite values to null. */
+void
+appendRate(std::string &out, double v)
+{
+    if (!std::isfinite(v)) {
+        out += "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out += buf;
+}
+
+} // namespace
+
+void
+CmpSim::emitHeartbeat(const char *phase)
+{
+    ++heartbeatSeq_;
+    const auto now_t = std::chrono::steady_clock::now();
+    const double dt =
+        std::chrono::duration<double>(now_t - heartbeatLastTime_)
+            .count();
+    heartbeatLastTime_ = now_t;
+
+    // Accesses stepped since setHeartbeat(); the tick counter rolls
+    // over exactly at heartbeatEvery_, so the product is exact.
+    const std::uint64_t accesses = heartbeatSeq_ * heartbeatEvery_;
+    std::uint64_t instrs = 0;
+    for (const auto &cs : cores_) {
+        instrs += cs.instructions;
+    }
+
+    const double acc_per_s =
+        dt > 0.0 ? static_cast<double>(accesses -
+                                       heartbeatLastAccesses_) /
+                       dt
+                 : std::numeric_limits<double>::infinity();
+    const double instr_per_s =
+        dt > 0.0
+            ? static_cast<double>(instrs - heartbeatLastInstrs_) / dt
+            : std::numeric_limits<double>::infinity();
+    heartbeatLastAccesses_ = accesses;
+    heartbeatLastInstrs_ = instrs;
+
+    std::string line = "{\"heartbeat\":";
+    line += std::to_string(heartbeatSeq_);
+    line += ",\"phase\":\"";
+    line += phase;
+    line += "\",\"label\":\"";
+    line += JsonWriter::escape(heartbeatLabel_);
+    line += "\",\"accesses\":";
+    line += std::to_string(accesses);
+    line += ",\"instructions\":";
+    line += std::to_string(instrs);
+    line += ",\"acc_per_s\":";
+    appendRate(line, acc_per_s);
+    line += ",\"instr_per_s\":";
+    appendRate(line, instr_per_s);
+    line += ",\"parts\":[";
+    const PartitionScheme &scheme = l2_->scheme();
+    for (PartId p = 0; p < scheme.numPartitions(); ++p) {
+        if (p != 0) {
+            line += ',';
+        }
+        line += "{\"target\":";
+        line += std::to_string(scheme.targetSize(p));
+        line += ",\"actual\":";
+        line += std::to_string(scheme.actualSize(p));
+        line += '}';
+    }
+    line += "],\"trace_dropped\":";
+    line += std::to_string(TraceSession::instance().dropped());
+    line += '}';
+    // Single fprintf so concurrent writers can't interleave inside a
+    // record.
+    std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 const CoreResult &

@@ -16,12 +16,15 @@
 #ifndef VANTAGE_SIM_CMP_SIM_H_
 #define VANTAGE_SIM_CMP_SIM_H_
 
+#include <chrono>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cache/cache.h"
 #include "sim/cmp_config.h"
+#include "stats/histogram.h"
 #include "workload/access_stream.h"
 #include "workload/app_model.h"
 
@@ -114,6 +117,26 @@ class CmpSim
     Cycle now() const;
 
     /**
+     * Emit a single-line JSON progress record ("heartbeat") to stderr
+     * every `every` memory accesses stepped, tagged with `label`.
+     * Records carry accesses/instructions done, sim-loop rates,
+     * per-partition target/actual sizes and trace drop counts.
+     * Observational only — results and digests are unaffected.
+     * `every` = 0 disables.
+     */
+    void setHeartbeat(std::uint64_t every, std::string label);
+
+    /**
+     * Distribution of shared-L2 accesses between UCP reallocations
+     * (the repartition interval is fixed in cycles, so the access gap
+     * is the interesting distribution). Empty when UCP is off.
+     */
+    const Histogram &reallocGapHistogram() const
+    {
+        return reallocGap_;
+    }
+
+    /**
      * Invoked after every repartitioning with the current cycle —
      * hook for time-series capture (Fig. 8).
      */
@@ -146,6 +169,20 @@ class CmpSim
 
     void buildCaches();
 
+    /** One heartbeat line; `phase` is "warmup" or "run". */
+    void emitHeartbeat(const char *phase);
+
+    /** Count a stepped access toward the heartbeat cadence. */
+    void
+    heartbeatTick(const char *phase)
+    {
+        if (heartbeatEvery_ != 0 &&
+            ++heartbeatTick_ >= heartbeatEvery_) {
+            heartbeatTick_ = 0;
+            emitHeartbeat(phase);
+        }
+    }
+
     CmpConfig cfg_;
     std::vector<std::unique_ptr<AccessStream>> apps_;
     std::vector<std::unique_ptr<Cache>> l1s_;
@@ -156,6 +193,19 @@ class CmpSim
     Cycle memFree_ = 0;
     std::uint64_t l2WritebacksSeen_ = 0;
     Cycle nextRepartition_;
+
+    // Accesses between reallocations (telemetry; cold path).
+    Histogram reallocGap_;
+    std::uint64_t lastReallocAccesses_ = 0;
+
+    // Heartbeat state (observational only).
+    std::uint64_t heartbeatEvery_ = 0;
+    std::uint64_t heartbeatTick_ = 0;
+    std::uint64_t heartbeatSeq_ = 0;
+    std::uint64_t heartbeatLastInstrs_ = 0;
+    std::uint64_t heartbeatLastAccesses_ = 0;
+    std::string heartbeatLabel_;
+    std::chrono::steady_clock::time_point heartbeatLastTime_{};
 };
 
 } // namespace vantage

@@ -12,6 +12,7 @@
 #include "partition/way_partition.h"
 #include "replacement/lru.h"
 #include "replacement/rrip.h"
+#include "trace/event_trace.h"
 
 namespace vantage {
 
@@ -199,6 +200,9 @@ RunScale::fromEnv()
         scale.jobs = static_cast<std::uint32_t>(
             std::strtoul(s, nullptr, 10));
     }
+    if (const char *s = std::getenv("VANTAGE_HEARTBEAT")) {
+        scale.heartbeatEvery = std::strtoull(s, nullptr, 10);
+    }
     return scale;
 }
 
@@ -208,9 +212,19 @@ runMix(const CmpConfig &cfg, const L2Spec &spec,
        const std::string &mix_name, std::uint64_t seed)
 {
     CmpSim sim(cfg, apps, buildL2(spec), seed);
-    sim.warmup(scale.warmupAccesses);
+    if (scale.heartbeatEvery != 0) {
+        sim.setHeartbeat(scale.heartbeatEvery,
+                         mix_name + "/" + spec.name());
+    }
+    {
+        TraceSpan span(kTraceSim, "sim.warmup");
+        sim.warmup(scale.warmupAccesses);
+    }
     sim.l2().resetStats();
-    sim.run(scale.instructions);
+    {
+        TraceSpan span(kTraceSim, "sim.run");
+        sim.run(scale.instructions);
+    }
 
     MixResult result;
     result.mix = mix_name;

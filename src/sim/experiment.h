@@ -12,6 +12,8 @@
  *   VANTAGE_STATS_PERIOD  controller accesses between trace samples
  *   VANTAGE_JOBS          parallel runMix jobs for suite runs
  *                         (default: hardware concurrency)
+ *   VANTAGE_HEARTBEAT     memory accesses between one-line JSON
+ *                         progress records on stderr (0 = off)
  */
 
 #ifndef VANTAGE_SIM_EXPERIMENT_H_
@@ -87,6 +89,12 @@ struct RunScale
      * a parallel suite run is bit-identical to a serial one.
      */
     std::uint32_t jobs = 0;
+    /**
+     * Emit a single-line JSON heartbeat to stderr every this many
+     * memory accesses stepped (0 = disabled). Observational only:
+     * results and digests are unaffected.
+     */
+    std::uint64_t heartbeatEvery = 0;
 
     /** Defaults overridden by VANTAGE_* environment variables. */
     static RunScale fromEnv();

@@ -11,12 +11,14 @@
 #include <memory>
 
 #include "common/log.h"
+#include "common/thread_pool.h"
 #include "core/vantage.h"
 #include "sim/cli.h"
 #include "stats/prof.h"
 #include "stats/registry.h"
 #include "stats/table.h"
 #include "stats/trace.h"
+#include "trace/event_trace.h"
 #include "workload/mixes.h"
 #include "workload/profiles.h"
 #include "workload/trace_stream.h"
@@ -69,6 +71,11 @@ buildRegistry(StatsRegistry &reg, const CliOptions &opts,
                      [&sim, c] { return sim.result(c).mpki(); });
     }
     sim.l2().registerStats(reg, "cache.l2");
+    reg.addHistogram("sim.realloc_gap_accesses",
+                     &sim.reallocGapHistogram());
+    if (TraceSession::instance().enabledAny()) {
+        TraceSession::instance().registerStats(reg, "trace");
+    }
     profExport(reg);
 }
 
@@ -88,6 +95,14 @@ main(int argc, char **argv)
         std::fprintf(stderr, "vsim: %s\n%s", error.c_str(),
                      cliUsage().c_str());
         return 1;
+    }
+
+    // Arm event tracing before any instrumented code runs.
+    if (!opts.eventsOut.empty()) {
+        TraceSession &session = TraceSession::instance();
+        session.enable(opts.traceCategories);
+        session.setProcessName("vsim");
+        traceSetThreadName("main");
     }
 
     // Build the per-core workload.
@@ -148,13 +163,49 @@ main(int argc, char **argv)
         sim->l2().attachDigest(&digest);
     }
 
-    sim->warmup(opts.scale.warmupAccesses);
-    sim->l2().resetStats();
-    profResetAll();
-    if (!opts.traceOut.empty()) {
-        vctl->attachTrace(&trace);
+    // Per-partition histograms ride along with --stats-out (they are
+    // observational, but skipping the adds keeps the default path
+    // untouched).
+    if (!opts.statsOut.empty()) {
+        sim->l2().enableHistograms();
     }
-    sim->run(opts.scale.instructions);
+    if (opts.scale.heartbeatEvery != 0) {
+        sim->setHeartbeat(opts.scale.heartbeatEvery,
+                          opts.l2.name());
+    }
+
+    {
+        // When tracing, run the sim phases as pool jobs on a
+        // one-worker pool so the timeline shows the same
+        // pool.job/worker structure the suite runner produces. The
+        // pool is scoped: its destructor joins the worker before the
+        // trace is exported, guaranteeing writer quiescence.
+        std::unique_ptr<ThreadPool> pool;
+        if (TraceSession::instance().enabledAny()) {
+            pool = std::make_unique<ThreadPool>(1);
+        }
+        auto run_phase = [&pool](const char *name, auto &&fn) {
+            if (pool) {
+                pool->submit([&fn, name] {
+                        TraceSpan span(kTraceSim, name);
+                        fn();
+                    })
+                    .get();
+            } else {
+                fn();
+            }
+        };
+        run_phase("sim.warmup", [&] {
+            sim->warmup(opts.scale.warmupAccesses);
+        });
+        sim->l2().resetStats();
+        profResetAll();
+        if (!opts.traceOut.empty()) {
+            vctl->attachTrace(&trace);
+        }
+        run_phase("sim.run",
+                  [&] { sim->run(opts.scale.instructions); });
+    }
 
     TablePrinter table({"core", "workload", "IPC", "L2 accesses",
                         "L2 misses", "L2 MPKI"});
@@ -190,6 +241,23 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "vsim: trace written to %s (%zu samples)\n",
                      opts.traceOut.c_str(), trace.samples().size());
+    }
+    if (!opts.eventsOut.empty()) {
+        TraceSession &session = TraceSession::instance();
+        if (session.writeJsonFile(opts.eventsOut)) {
+            std::fprintf(
+                stderr,
+                "vsim: events written to %s (%llu recorded, %llu "
+                "dropped)\n",
+                opts.eventsOut.c_str(),
+                static_cast<unsigned long long>(session.recorded()),
+                static_cast<unsigned long long>(session.dropped()));
+        } else {
+            std::fprintf(stderr,
+                         "vsim: failed to write events to %s\n",
+                         opts.eventsOut.c_str());
+            return 1;
+        }
     }
 
     // Partition detail where the scheme has meaningful sizes.

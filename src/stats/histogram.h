@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Log2-bucketed histogram for per-partition distribution telemetry.
+ *
+ * 65 power-of-two buckets cover the full uint64 range: bucket 0 holds
+ * the value 0 and bucket k (k >= 1) holds [2^(k-1), 2^k - 1]. That
+ * resolution matches what the paper reasons about — demotion aperture
+ * in basis points, line age at demotion/eviction in timestamp ticks,
+ * candidate-walk lengths, accesses between reallocations — where
+ * order of magnitude matters and exact counts do not. add() is O(1)
+ * (a bit_width plus three updates), cheap enough for opt-in hot-path
+ * recording.
+ *
+ * Empty histograms report NaN means/quantiles; the JSON exporters
+ * serialize non-finite doubles as null.
+ */
+
+#ifndef VANTAGE_STATS_HISTOGRAM_H_
+#define VANTAGE_STATS_HISTOGRAM_H_
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+namespace vantage {
+
+/** Power-of-two-bucketed distribution of uint64 samples. */
+class Histogram
+{
+  public:
+    static constexpr std::uint32_t kBuckets = 65;
+
+    /** Bucket index for a value: 0 for 0, else floor(log2 v) + 1. */
+    static std::uint32_t
+    bucketIndex(std::uint64_t v)
+    {
+        return v == 0 ? 0u : static_cast<std::uint32_t>(
+                                 std::bit_width(v));
+    }
+
+    /** Smallest value in bucket `i`. */
+    static std::uint64_t
+    bucketLow(std::uint32_t i)
+    {
+        return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+    }
+
+    /** Largest value in bucket `i`. */
+    static std::uint64_t
+    bucketHigh(std::uint32_t i)
+    {
+        if (i == 0) return 0;
+        if (i >= 64) return std::numeric_limits<std::uint64_t>::max();
+        return (std::uint64_t{1} << i) - 1;
+    }
+
+    void
+    add(std::uint64_t v)
+    {
+        ++buckets_[bucketIndex(v)];
+        ++count_;
+        sum_ += v;
+        if (count_ == 1 || v < min_) min_ = v;
+        if (count_ == 1 || v > max_) max_ = v;
+    }
+
+    void
+    merge(const Histogram &other)
+    {
+        if (other.count_ == 0) return;
+        for (std::uint32_t i = 0; i < kBuckets; ++i)
+            buckets_[i] += other.buckets_[i];
+        if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+        if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+        count_ += other.count_;
+        sum_ += other.sum_;
+    }
+
+    void
+    reset()
+    {
+        buckets_.fill(0);
+        count_ = 0;
+        sum_ = 0;
+        min_ = 0;
+        max_ = 0;
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    /** Smallest/largest sample seen; 0 when empty. */
+    std::uint64_t min() const { return min_; }
+    std::uint64_t max() const { return max_; }
+    std::uint64_t
+    bucketCount(std::uint32_t i) const
+    {
+        return buckets_[i];
+    }
+
+    /** NaN when empty (exported as JSON null). */
+    double
+    mean() const
+    {
+        if (count_ == 0)
+            return std::numeric_limits<double>::quiet_NaN();
+        return static_cast<double>(sum_) / static_cast<double>(count_);
+    }
+
+    /**
+     * Approximate quantile (q in [0,1]) by linear interpolation
+     * inside the target bucket, clamped to the observed [min, max].
+     * NaN when empty.
+     */
+    double
+    quantile(double q) const
+    {
+        if (count_ == 0)
+            return std::numeric_limits<double>::quiet_NaN();
+        q = std::clamp(q, 0.0, 1.0);
+        const double rank =
+            q * static_cast<double>(count_ - 1);
+        std::uint64_t cumulative = 0;
+        for (std::uint32_t i = 0; i < kBuckets; ++i) {
+            const std::uint64_t n = buckets_[i];
+            if (n == 0) continue;
+            if (rank < static_cast<double>(cumulative + n)) {
+                const double lo = static_cast<double>(
+                    std::max(bucketLow(i), min_));
+                const double hi = static_cast<double>(
+                    std::min(bucketHigh(i), max_));
+                if (n == 1 || hi <= lo) return lo;
+                const double frac =
+                    (rank - static_cast<double>(cumulative)) /
+                    static_cast<double>(n - 1);
+                return lo + frac * (hi - lo);
+            }
+            cumulative += n;
+        }
+        return static_cast<double>(max_);
+    }
+
+  private:
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_STATS_HISTOGRAM_H_

@@ -109,6 +109,18 @@ StatsRegistry::addStat(const std::string &path, const RunningStat *stat)
 }
 
 void
+StatsRegistry::addHistogram(const std::string &path,
+                            const Histogram *hist)
+{
+    vantage_assert(hist != nullptr, "null histogram at '%s'",
+                   path.c_str());
+    Entry e;
+    e.kind = Kind::Histogram;
+    e.hist = hist;
+    insert(path, std::move(e));
+}
+
+void
 StatsRegistry::addSeries(const std::string &path,
                          const TimeSeries *series)
 {
@@ -185,6 +197,37 @@ StatsRegistry::writeEntryJson(JsonWriter &w, const Entry &e)
         w.kv("variance", e.stat->variance());
         w.endObject();
         break;
+      case Kind::Histogram: {
+        // mean/p* are NaN for empty histograms and serialize as null.
+        const Histogram &h = *e.hist;
+        w.beginObject();
+        w.kv("count", h.count());
+        w.kv("sum", h.sum());
+        w.kv("mean", h.mean());
+        w.kv("min", h.min());
+        w.kv("max", h.max());
+        w.kv("p50", h.quantile(0.50));
+        w.kv("p90", h.quantile(0.90));
+        w.kv("p99", h.quantile(0.99));
+        w.key("bucket_low");
+        w.beginArray();
+        for (std::uint32_t i = 0; i < Histogram::kBuckets; ++i) {
+            if (h.bucketCount(i) != 0) {
+                w.value(Histogram::bucketLow(i));
+            }
+        }
+        w.endArray();
+        w.key("bucket_count");
+        w.beginArray();
+        for (std::uint32_t i = 0; i < Histogram::kBuckets; ++i) {
+            if (h.bucketCount(i) != 0) {
+                w.value(h.bucketCount(i));
+            }
+        }
+        w.endArray();
+        w.endObject();
+        break;
+      }
       case Kind::Series:
         w.beginObject();
         w.key("time");
@@ -274,6 +317,19 @@ StatsRegistry::writeCsv(std::ostream &out) const
             num.str("");
             num << s.variance();
             out << path << ".variance,stat," << num.str() << "\n";
+            break;
+          }
+          case Kind::Histogram: {
+            const Histogram &h = *entry.hist;
+            out << path << ".count,histogram," << h.count() << "\n";
+            if (h.count() != 0) {
+                out << path << ".sum,histogram," << h.sum() << "\n";
+                num.str("");
+                num << h.mean();
+                out << path << ".mean,histogram," << num.str() << "\n";
+                out << path << ".min,histogram," << h.min() << "\n";
+                out << path << ".max,histogram," << h.max() << "\n";
+            }
             break;
           }
           case Kind::Series:

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "stats/counters.h"
+#include "stats/histogram.h"
 #include "stats/timeseries.h"
 
 namespace vantage {
@@ -49,6 +50,9 @@ class StatsRegistry
 
     /** Histogram summary: count/mean/min/max/variance. */
     void addStat(const std::string &path, const RunningStat *stat);
+
+    /** Log2-bucketed distribution: summary + bucket arrays. */
+    void addHistogram(const std::string &path, const Histogram *hist);
 
     /** Sampled (time, value) series; exported as parallel arrays. */
     void addSeries(const std::string &path, const TimeSeries *series);
@@ -85,7 +89,7 @@ class StatsRegistry
     void writeCsvFile(const std::string &path) const;
 
   private:
-    enum class Kind { Counter, Gauge, Stat, Series, String };
+    enum class Kind { Counter, Gauge, Stat, Histogram, Series, String };
 
     struct Entry
     {
@@ -93,6 +97,7 @@ class StatsRegistry
         CounterFn counter;
         GaugeFn gauge;
         const RunningStat *stat = nullptr;
+        const Histogram *hist = nullptr;
         const TimeSeries *series = nullptr;
         std::string text;
     };

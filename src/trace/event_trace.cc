@@ -1,0 +1,259 @@
+#include "trace/event_trace.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+#include "stats/json.h"
+#include "stats/registry.h"
+
+namespace vantage {
+
+namespace {
+
+/** Default per-thread buffer: 2^18 events (~12 MiB per thread). */
+constexpr std::size_t kDefaultCapacity = std::size_t{1} << 18;
+
+constexpr const char *kCategoryNames[kTraceCategoryCount] = {
+    "access", "vantage", "zcache", "alloc", "pool", "suite", "sim",
+};
+
+std::size_t envCapacity() {
+    const char *env = std::getenv("VANTAGE_TRACE_BUFFER");
+    if (env == nullptr || *env == '\0') return kDefaultCapacity;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0' || v == 0) return kDefaultCapacity;
+    return static_cast<std::size_t>(v);
+}
+
+} // namespace
+
+void TraceSession::enable(std::uint32_t mask,
+                          std::size_t per_thread_capacity) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    mask &= kTraceAllCategories;
+    if (mask == 0) return;
+    if (mask_.load(std::memory_order_relaxed) != 0) {
+        // Already armed: widen the mask, keep clock and buffers.
+        mask_.fetch_or(mask, std::memory_order_relaxed);
+        return;
+    }
+    capacity_ =
+        per_thread_capacity != 0 ? per_thread_capacity : envCapacity();
+    epoch_ = std::chrono::steady_clock::now();
+    generation_.fetch_add(1, std::memory_order_release);
+    mask_.store(mask, std::memory_order_relaxed);
+}
+
+void TraceSession::disable() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    mask_.store(0, std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_release);
+    buffers_.clear();
+    internStorage_.clear();
+    interned_.clear();
+}
+
+TraceBuffer *TraceSession::threadBuffer() {
+    thread_local TraceBuffer *buffer = nullptr;
+    thread_local std::uint64_t generation = 0;
+    const std::uint64_t current =
+        generation_.load(std::memory_order_acquire);
+    if (buffer == nullptr || generation != current) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (mask_.load(std::memory_order_relaxed) == 0) return nullptr;
+        const std::uint32_t tid =
+            static_cast<std::uint32_t>(buffers_.size()) + 1;
+        buffers_.push_back(
+            std::make_unique<TraceBuffer>(tid, capacity_));
+        buffer = buffers_.back().get();
+        generation = current;
+    }
+    return buffer;
+}
+
+const char *TraceSession::intern(const std::string &s) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = interned_.find(s);
+    if (it != interned_.end()) return it->second;
+    internStorage_.push_back(s);
+    const char *ptr = internStorage_.back().c_str();
+    interned_.emplace(s, ptr);
+    return ptr;
+}
+
+void TraceSession::setProcessName(std::string name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    processName_ = std::move(name);
+}
+
+void TraceSession::setThreadName(const std::string &name) {
+    if (TraceBuffer *buf = threadBuffer()) buf->setName(name);
+}
+
+std::uint64_t TraceSession::recorded() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t total = 0;
+    for (const auto &buf : buffers_) total += buf->recorded();
+    return total;
+}
+
+std::uint64_t TraceSession::dropped() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t total = 0;
+    for (const auto &buf : buffers_) total += buf->dropped();
+    return total;
+}
+
+std::size_t TraceSession::threads() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return buffers_.size();
+}
+
+void TraceSession::writeJson(std::ostream &out) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    std::uint64_t total_recorded = 0;
+    std::uint64_t total_dropped = 0;
+    std::vector<std::pair<const TraceEvent *, std::uint32_t>> events;
+    for (const auto &buf : buffers_) {
+        const std::uint64_t n = buf->recorded();
+        total_recorded += n;
+        total_dropped += buf->dropped();
+        for (std::uint64_t i = 0; i < n; ++i)
+            events.emplace_back(&buf->event(i), buf->tid());
+    }
+    // Per-buffer order is already chronological; a stable sort merges
+    // the threads without reordering equal timestamps within one tid.
+    std::stable_sort(events.begin(), events.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first->ts < b.first->ts;
+                     });
+
+    JsonWriter w(out);
+    w.beginObject();
+    w.kv("displayTimeUnit", "ns");
+    w.key("otherData");
+    w.beginObject();
+    w.kv("tool", "vantage-sim");
+    w.kv("recorded", total_recorded);
+    w.kv("dropped", total_dropped);
+    w.endObject();
+    w.key("traceEvents");
+    w.beginArray();
+
+    w.beginObject();
+    w.kv("name", "process_name");
+    w.kv("ph", "M");
+    w.kv("pid", std::uint64_t{1});
+    w.kv("tid", std::uint64_t{0});
+    w.key("args");
+    w.beginObject();
+    w.kv("name", processName_);
+    w.endObject();
+    w.endObject();
+    for (const auto &buf : buffers_) {
+        w.beginObject();
+        w.kv("name", "thread_name");
+        w.kv("ph", "M");
+        w.kv("pid", std::uint64_t{1});
+        w.kv("tid", std::uint64_t{buf->tid()});
+        w.key("args");
+        w.beginObject();
+        w.kv("name", buf->name().empty()
+                         ? "thread-" + std::to_string(buf->tid())
+                         : buf->name());
+        w.endObject();
+        w.endObject();
+    }
+
+    for (const auto &[ev, tid] : events) {
+        const char phase[2] = {ev->phase, '\0'};
+        w.beginObject();
+        w.kv("name", ev->name);
+        w.kv("cat", categoryName(ev->cat));
+        w.kv("ph", static_cast<const char *>(phase));
+        // Chrome's ts unit is microseconds; fractional values keep
+        // nanosecond resolution.
+        w.kv("ts", static_cast<double>(ev->ts) / 1000.0);
+        w.kv("pid", std::uint64_t{1});
+        w.kv("tid", std::uint64_t{tid});
+        if (ev->phase == 'i') w.kv("s", "t");
+        if (ev->arg != nullptr || ev->phase == 'C') {
+            w.key("args");
+            w.beginObject();
+            w.kv(ev->arg != nullptr ? ev->arg : "value", ev->value);
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    out << '\n';
+}
+
+bool TraceSession::writeJsonFile(const std::string &path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    writeJson(out);
+    return static_cast<bool>(out);
+}
+
+void TraceSession::registerStats(StatsRegistry &reg,
+                                 const std::string &prefix) const {
+    const TraceSession *self = this;
+    reg.addCounter(prefix + ".events_recorded",
+                   [self] { return self->recorded(); });
+    reg.addCounter(prefix + ".events_dropped",
+                   [self] { return self->dropped(); });
+    reg.addCounter(prefix + ".threads", [self] {
+        return static_cast<std::uint64_t>(self->threads());
+    });
+}
+
+std::uint32_t TraceSession::parseCategories(const std::string &spec,
+                                            std::string &error) {
+    error.clear();
+    std::uint32_t mask = 0;
+    std::size_t start = 0;
+    bool any = false;
+    while (start <= spec.size()) {
+        std::size_t end = spec.find(',', start);
+        if (end == std::string::npos) end = spec.size();
+        const std::string name = spec.substr(start, end - start);
+        start = end + 1;
+        if (name.empty()) continue;
+        any = true;
+        if (name == "all") {
+            mask = kTraceAllCategories;
+            continue;
+        }
+        bool found = false;
+        for (std::uint8_t bit = 0; bit < kTraceCategoryCount; ++bit) {
+            if (name == kCategoryNames[bit]) {
+                mask |= 1u << bit;
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            error = "unknown trace category '" + name +
+                    "' (valid: access,vantage,zcache,alloc,pool,"
+                    "suite,sim,all)";
+            return 0;
+        }
+    }
+    if (!any) {
+        error = "empty trace category list";
+        return 0;
+    }
+    return mask;
+}
+
+const char *TraceSession::categoryName(std::uint8_t bit) {
+    return bit < kTraceCategoryCount ? kCategoryNames[bit] : "?";
+}
+
+} // namespace vantage

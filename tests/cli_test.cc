@@ -157,6 +157,52 @@ TEST(Cli, InlineValueForm)
     EXPECT_EQ(opts.scale.instructions, 77u);
 }
 
+TEST(Cli, EventTracingFlags)
+{
+    const CliOptions opts =
+        parseOk({"--events-out", "events.json",
+                 "--trace-categories", "vantage,pool",
+                 "--heartbeat", "5000"});
+    EXPECT_EQ(opts.eventsOut, "events.json");
+    EXPECT_EQ(opts.traceCategories, kTraceVantage | kTracePool);
+    EXPECT_EQ(opts.scale.heartbeatEvery, 5000u);
+}
+
+TEST(Cli, EventTracingDefaults)
+{
+    const CliOptions opts = parseOk({});
+    EXPECT_TRUE(opts.eventsOut.empty());
+    EXPECT_EQ(opts.traceCategories, kTraceAllCategories);
+    EXPECT_EQ(opts.scale.heartbeatEvery, 0u);
+}
+
+TEST(Cli, EventTracingInlineForm)
+{
+    const CliOptions opts =
+        parseOk({"--events-out=e.json", "--trace-categories=all",
+                 "--heartbeat=100"});
+    EXPECT_EQ(opts.eventsOut, "e.json");
+    EXPECT_EQ(opts.traceCategories, kTraceAllCategories);
+    EXPECT_EQ(opts.scale.heartbeatEvery, 100u);
+}
+
+TEST(Cli, EventTracingErrors)
+{
+    EXPECT_NE(parseErr({"--events-out"}).find("value"),
+              std::string::npos);
+    EXPECT_NE(parseErr({"--events-out", ""}).find("value"),
+              std::string::npos);
+    EXPECT_NE(parseErr({"--trace-categories", "bogus"})
+                  .find("unknown trace category"),
+              std::string::npos);
+    EXPECT_NE(parseErr({"--trace-categories="}).find("empty"),
+              std::string::npos);
+    EXPECT_NE(parseErr({"--heartbeat", "0"}).find("heartbeat"),
+              std::string::npos);
+    EXPECT_NE(parseErr({"--heartbeat", "junk"}).find("heartbeat"),
+              std::string::npos);
+}
+
 TEST(Cli, ObservabilityErrors)
 {
     EXPECT_NE(parseErr({"--stats-out"}).find("value"),

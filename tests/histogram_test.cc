@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Histogram: bucket boundaries, moments, merge, quantiles, and the
+ * registry JSON/CSV export (including NaN -> null for empty
+ * histograms).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "stats/histogram.h"
+#include "stats/json.h"
+#include "stats/registry.h"
+
+using namespace vantage;
+
+TEST(Histogram, BucketIndexBoundaries)
+{
+    EXPECT_EQ(Histogram::bucketIndex(0), 0u);
+    EXPECT_EQ(Histogram::bucketIndex(1), 1u);
+    EXPECT_EQ(Histogram::bucketIndex(2), 2u);
+    EXPECT_EQ(Histogram::bucketIndex(3), 2u);
+    EXPECT_EQ(Histogram::bucketIndex(4), 3u);
+    EXPECT_EQ(Histogram::bucketIndex(7), 3u);
+    EXPECT_EQ(Histogram::bucketIndex(8), 4u);
+    EXPECT_EQ(Histogram::bucketIndex(1023), 10u);
+    EXPECT_EQ(Histogram::bucketIndex(1024), 11u);
+    EXPECT_EQ(Histogram::bucketIndex(
+                  std::numeric_limits<std::uint64_t>::max()),
+              64u);
+}
+
+TEST(Histogram, BucketBoundsRoundTrip)
+{
+    // Every bucket's [low, high] must map back to that bucket.
+    for (std::uint32_t i = 0; i < Histogram::kBuckets; ++i) {
+        EXPECT_EQ(Histogram::bucketIndex(Histogram::bucketLow(i)), i)
+            << "bucket " << i;
+        EXPECT_EQ(Histogram::bucketIndex(Histogram::bucketHigh(i)), i)
+            << "bucket " << i;
+    }
+    EXPECT_EQ(Histogram::bucketLow(0), 0u);
+    EXPECT_EQ(Histogram::bucketHigh(0), 0u);
+    EXPECT_EQ(Histogram::bucketLow(1), 1u);
+    EXPECT_EQ(Histogram::bucketHigh(1), 1u);
+    EXPECT_EQ(Histogram::bucketHigh(64),
+              std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Histogram, MomentsAndCounts)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_TRUE(std::isnan(h.mean()));
+    EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+
+    for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 10ull}) {
+        h.add(v);
+    }
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 16u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 10u);
+    EXPECT_DOUBLE_EQ(h.mean(), 16.0 / 5.0);
+    EXPECT_EQ(h.bucketCount(0), 1u); // 0
+    EXPECT_EQ(h.bucketCount(1), 1u); // 1
+    EXPECT_EQ(h.bucketCount(2), 2u); // 2, 3
+    EXPECT_EQ(h.bucketCount(4), 1u); // 10
+}
+
+TEST(Histogram, Merge)
+{
+    Histogram a, b, empty;
+    a.add(1);
+    a.add(100);
+    b.add(7);
+    b.add(5000);
+
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.sum(), 1u + 100u + 7u + 5000u);
+    EXPECT_EQ(a.min(), 1u);
+    EXPECT_EQ(a.max(), 5000u);
+
+    // Merging an empty histogram is a no-op; merging into an empty
+    // one copies the source's extremes.
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 4u);
+    Histogram c;
+    c.merge(b);
+    EXPECT_EQ(c.min(), 7u);
+    EXPECT_EQ(c.max(), 5000u);
+}
+
+TEST(Histogram, QuantilesMonotoneAndClamped)
+{
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 1000; ++v) {
+        h.add(v);
+    }
+    double prev = -1.0;
+    for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+        const double x = h.quantile(q);
+        EXPECT_GE(x, static_cast<double>(h.min()));
+        EXPECT_LE(x, static_cast<double>(h.max()));
+        EXPECT_GE(x, prev) << "quantile not monotone at q=" << q;
+        prev = x;
+    }
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+    // Out-of-range q clamps instead of misbehaving.
+    EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+    EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+    // Median of 1..1000 should land near 500 (log-bucket precision).
+    EXPECT_NEAR(h.quantile(0.5), 500.0, 130.0);
+}
+
+TEST(Histogram, SingleValue)
+{
+    Histogram h;
+    h.add(42);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 42.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 42.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+}
+
+TEST(Histogram, Reset)
+{
+    Histogram h;
+    h.add(3);
+    h.add(9);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_TRUE(std::isnan(h.mean()));
+    for (std::uint32_t i = 0; i < Histogram::kBuckets; ++i) {
+        EXPECT_EQ(h.bucketCount(i), 0u);
+    }
+}
+
+TEST(HistogramRegistry, JsonExportRoundTrips)
+{
+    Histogram h;
+    for (std::uint64_t v : {1ull, 2ull, 2ull, 3ull, 100ull}) {
+        h.add(v);
+    }
+    StatsRegistry reg;
+    reg.addHistogram("cache.walk", &h);
+
+    std::ostringstream out;
+    reg.writeJson(out);
+    std::string error;
+    const JsonValue doc = JsonValue::parse(out.str(), error);
+    ASSERT_TRUE(error.empty()) << error;
+
+    const JsonValue *node = doc.find("cache.walk");
+    ASSERT_NE(node, nullptr);
+    EXPECT_DOUBLE_EQ(node->find("count")->number, 5.0);
+    EXPECT_DOUBLE_EQ(node->find("sum")->number, 108.0);
+    EXPECT_DOUBLE_EQ(node->find("min")->number, 1.0);
+    EXPECT_DOUBLE_EQ(node->find("max")->number, 100.0);
+    EXPECT_NEAR(node->find("mean")->number, 108.0 / 5.0, 1e-9);
+    ASSERT_NE(node->find("p50"), nullptr);
+    ASSERT_NE(node->find("p90"), nullptr);
+    ASSERT_NE(node->find("p99"), nullptr);
+
+    // Only non-empty buckets are listed, as parallel arrays.
+    const JsonValue *lows = node->find("bucket_low");
+    const JsonValue *counts = node->find("bucket_count");
+    ASSERT_NE(lows, nullptr);
+    ASSERT_NE(counts, nullptr);
+    ASSERT_TRUE(lows->isArray());
+    ASSERT_EQ(lows->array.size(), counts->array.size());
+    ASSERT_EQ(lows->array.size(), 3u); // buckets for 1, {2,3}, 100
+    double total = 0.0;
+    for (const auto &c : counts->array) {
+        total += c.number;
+    }
+    EXPECT_DOUBLE_EQ(total, 5.0);
+}
+
+TEST(HistogramRegistry, EmptyHistogramExportsNulls)
+{
+    // The empty histogram's NaN mean/quantiles must serialize as
+    // JSON null (satellite of the non-finite JsonWriter fix), and
+    // the file must still parse.
+    Histogram h;
+    StatsRegistry reg;
+    reg.addHistogram("empty", &h);
+
+    std::ostringstream out;
+    reg.writeJson(out);
+    std::string error;
+    const JsonValue doc = JsonValue::parse(out.str(), error);
+    ASSERT_TRUE(error.empty()) << error;
+
+    const JsonValue *node = doc.find("empty");
+    ASSERT_NE(node, nullptr);
+    EXPECT_DOUBLE_EQ(node->find("count")->number, 0.0);
+    EXPECT_TRUE(node->find("mean")->isNull());
+    EXPECT_TRUE(node->find("p50")->isNull());
+    EXPECT_TRUE(node->find("p99")->isNull());
+    EXPECT_EQ(out.str().find("nan"), std::string::npos);
+}
+
+TEST(HistogramRegistry, CsvExport)
+{
+    Histogram h;
+    h.add(4);
+    h.add(4);
+    Histogram empty;
+    StatsRegistry reg;
+    reg.addHistogram("filled", &h);
+    reg.addHistogram("none", &empty);
+
+    std::ostringstream out;
+    reg.writeCsv(out);
+    const std::string csv = out.str();
+    EXPECT_NE(csv.find("filled.count,histogram,2"), std::string::npos);
+    EXPECT_NE(csv.find("filled.sum,histogram,8"), std::string::npos);
+    // Empty histograms emit only their count row.
+    EXPECT_NE(csv.find("none.count,histogram,0"), std::string::npos);
+    EXPECT_EQ(csv.find("none.sum"), std::string::npos);
+}

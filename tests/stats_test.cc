@@ -9,7 +9,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "core/vantage.h"
@@ -167,6 +170,48 @@ TEST(TimeSeries, EmptyMeanIsZero)
     TimeSeries ts;
     EXPECT_TRUE(ts.empty());
     EXPECT_EQ(ts.mean(), 0.0);
+    EXPECT_TRUE(ts.name().empty());
+}
+
+TEST(TimeSeries, NegativeAndRepeatedTimesArePreserved)
+{
+    // The series is a plain capture: it must not sort, deduplicate
+    // or reject repeated timestamps (a controller can sample twice
+    // at the same access count), and negative values are legal.
+    TimeSeries ts("aperture");
+    ts.add(5, -1.0);
+    ts.add(5, 3.0);
+    ts.add(2, 0.0); // Out-of-order time is stored as given.
+    ASSERT_EQ(ts.points().size(), 3u);
+    EXPECT_EQ(ts.points()[0].time, 5u);
+    EXPECT_EQ(ts.points()[1].time, 5u);
+    EXPECT_EQ(ts.points()[2].time, 2u);
+    EXPECT_DOUBLE_EQ(ts.points()[0].value, -1.0);
+    EXPECT_DOUBLE_EQ(ts.mean(), 2.0 / 3.0);
+    EXPECT_FALSE(ts.empty());
+}
+
+TEST(TimeSeries, RegistryJsonExportsParallelArrays)
+{
+    TimeSeries ts("size");
+    ts.add(100, 1.5);
+    ts.add(200, 2.5);
+    StatsRegistry reg;
+    reg.addSeries("part0.size", &ts);
+
+    std::ostringstream out;
+    reg.writeJson(out);
+    std::string error;
+    const JsonValue doc = JsonValue::parse(out.str(), error);
+    ASSERT_TRUE(error.empty()) << error;
+    const JsonValue *time = doc.find("part0.size.time");
+    const JsonValue *value = doc.find("part0.size.value");
+    ASSERT_NE(time, nullptr);
+    ASSERT_NE(value, nullptr);
+    ASSERT_EQ(time->array.size(), 2u);
+    ASSERT_EQ(value->array.size(), 2u);
+    EXPECT_DOUBLE_EQ(time->array[0].number, 100.0);
+    EXPECT_DOUBLE_EQ(value->array[1].number, 2.5);
 }
 
 // ---------------------------------------------------------------
@@ -244,6 +289,31 @@ TEST(Json, NonFiniteBecomesNull)
     w.kv("nan", std::nan(""));
     w.endObject();
     EXPECT_NE(out.str().find("null"), std::string::npos);
+}
+
+TEST(Json, AllNonFiniteFormsRoundTripAsNull)
+{
+    // NaN, +Inf and -Inf must all serialize as null, and the
+    // resulting document must parse back with null at those keys
+    // (a NaN leak would produce invalid JSON instead).
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.kv("a", std::nan(""));
+    w.kv("b", std::numeric_limits<double>::infinity());
+    w.kv("c", -std::numeric_limits<double>::infinity());
+    w.kv("d", 1.5);
+    w.endObject();
+
+    std::string error;
+    const JsonValue doc = JsonValue::parse(out.str(), error);
+    ASSERT_TRUE(error.empty()) << error;
+    EXPECT_TRUE(doc.find("a")->isNull());
+    EXPECT_TRUE(doc.find("b")->isNull());
+    EXPECT_TRUE(doc.find("c")->isNull());
+    EXPECT_DOUBLE_EQ(doc.find("d")->number, 1.5);
+    EXPECT_EQ(out.str().find("inf"), std::string::npos);
+    EXPECT_EQ(out.str().find("nan"), std::string::npos);
 }
 
 TEST(Json, ParseRejectsGarbage)
@@ -410,6 +480,59 @@ TEST(ControllerTrace, CsvRendersAllColumns)
               std::string::npos);
     EXPECT_NE(csv.find("10,2,100,104,0.125"), std::string::npos);
     EXPECT_NE(csv.find("9,7,52,3,400,20"), std::string::npos);
+}
+
+TEST(ControllerTrace, CsvRoundTripsEveryField)
+{
+    // Parse the rendered CSV back field by field: a column drift
+    // (reordering, dropped field, truncated precision) must fail
+    // here even if substring spot-checks still pass.
+    ControllerTrace trace(10);
+    for (std::uint32_t p = 0; p < 3; ++p) {
+        TraceSample s;
+        s.access = 1000 + p;
+        s.part = p;
+        s.targetSize = 200 * (p + 1);
+        s.actualSize = 200 * (p + 1) + 7;
+        s.aperture = 0.0625 * (p + 1);
+        s.currentTs = 30 + p;
+        s.setpointTs = 20 + p;
+        s.candsSeen = 52;
+        s.candsDemoted = p;
+        s.demotions = 1'000'000 + p;
+        s.promotions = 500 + p;
+        trace.record(s);
+    }
+
+    std::ostringstream out;
+    trace.writeCsv(out);
+    std::istringstream in(out.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, ControllerTrace::csvHeader());
+    for (std::uint32_t p = 0; p < 3; ++p) {
+        ASSERT_TRUE(std::getline(in, line)) << "row " << p;
+        std::istringstream row(line);
+        std::string cell;
+        std::vector<std::string> cells;
+        while (std::getline(row, cell, ',')) {
+            cells.push_back(cell);
+        }
+        const TraceSample &s = trace.samples()[p];
+        ASSERT_EQ(cells.size(), 11u);
+        EXPECT_EQ(std::stoull(cells[0]), s.access);
+        EXPECT_EQ(std::stoul(cells[1]), s.part);
+        EXPECT_EQ(std::stoull(cells[2]), s.targetSize);
+        EXPECT_EQ(std::stoull(cells[3]), s.actualSize);
+        EXPECT_NEAR(std::stod(cells[4]), s.aperture, 1e-9);
+        EXPECT_EQ(std::stoul(cells[5]), s.currentTs);
+        EXPECT_EQ(std::stoul(cells[6]), s.setpointTs);
+        EXPECT_EQ(std::stoul(cells[7]), s.candsSeen);
+        EXPECT_EQ(std::stoul(cells[8]), s.candsDemoted);
+        EXPECT_EQ(std::stoull(cells[9]), s.demotions);
+        EXPECT_EQ(std::stoull(cells[10]), s.promotions);
+    }
+    EXPECT_FALSE(std::getline(in, line)); // No trailing rows.
 }
 
 TEST(ControllerTraceDeath, UnwritablePathIsFatal)

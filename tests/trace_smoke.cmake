@@ -1,0 +1,76 @@
+# End-to-end event-tracing smoke test, driven from ctest.
+#
+# Runs a short vsim mix with --events-out/--heartbeat/--stats-out and
+# validates the exported Chrome trace with scripts/check_trace.py, the
+# stats JSON (histogram + trace-counter subtrees) with check_json.py,
+# and the heartbeat stderr records. A second run without any tracing
+# must produce the same outcome digest: tracing is observational.
+#
+# Invoked with -DVSIM=... -DPYTHON=... -DTRACE_CHECKER=...
+# -DJSON_CHECKER=... -DWORKDIR=... -DHOT_TRACE=ON|OFF (whether the
+# build compiled the hot-path hooks, i.e. -DVANTAGE_TRACE=ON).
+
+set(events_json "${WORKDIR}/trace.events.json")
+set(stats_json "${WORKDIR}/trace.stats.json")
+set(hb_log "${WORKDIR}/trace.heartbeat.log")
+file(REMOVE "${events_json}" "${stats_json}" "${hb_log}")
+
+execute_process(
+    COMMAND "${VSIM}" --mix 0 --instrs 30000 --warmup 2000
+        --events-out "${events_json}" --trace-categories all
+        --heartbeat 10000 --stats-out "${stats_json}" --digest
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE traced_out
+    ERROR_FILE "${hb_log}")
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "traced vsim exited with ${rc}")
+endif()
+
+# Same workload, no tracing/heartbeat/stats: the digest must match.
+execute_process(
+    COMMAND "${VSIM}" --mix 0 --instrs 30000 --warmup 2000 --digest
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE plain_out
+    ERROR_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "plain vsim exited with ${rc}")
+endif()
+
+string(REGEX MATCH "digest: 0x[0-9a-f]+" traced_digest
+    "${traced_out}")
+string(REGEX MATCH "digest: 0x[0-9a-f]+" plain_digest "${plain_out}")
+if(traced_digest STREQUAL "" OR plain_digest STREQUAL "")
+    message(FATAL_ERROR "digest line missing from vsim output")
+endif()
+if(NOT traced_digest STREQUAL plain_digest)
+    message(FATAL_ERROR
+        "tracing changed the outcome digest: "
+        "'${traced_digest}' vs '${plain_digest}'")
+endif()
+
+# The cold-site categories are always recorded; access/vantage detail
+# needs the hot-path hooks compiled in.
+set(cat_args --require-cat sim --require-cat pool)
+if(HOT_TRACE)
+    list(APPEND cat_args --require-cat access --require-cat vantage)
+endif()
+execute_process(
+    COMMAND "${PYTHON}" "${TRACE_CHECKER}" "${events_json}"
+        ${cat_args} --min-events 4 --heartbeat-log "${hb_log}"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "check_trace.py rejected ${events_json}")
+endif()
+
+execute_process(
+    COMMAND "${PYTHON}" "${JSON_CHECKER}"
+        --require cache.l2.hist.walk_len
+        --require cache.l2.vantage.part0.hist.aperture_bp
+        --require cache.l2.vantage.part0.hist.demotion_age
+        --require sim.realloc_gap_accesses
+        --require trace.events_recorded
+        "${stats_json}"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "check_json.py rejected ${stats_json}")
+endif()

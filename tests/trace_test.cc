@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Event-tracing subsystem: category parsing, span pairing, drop
+ * accounting, category filtering, interning and the Chrome
+ * trace_event JSON export (validated by round-tripping through the
+ * JsonValue parser).
+ *
+ * The TraceSession is a process-wide singleton, so every test arms it
+ * in its body and disables it on exit (gtest runs tests in one
+ * process, sequentially).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stats/json.h"
+#include "stats/registry.h"
+#include "trace/event_trace.h"
+
+using namespace vantage;
+
+namespace {
+
+/** Arm the session on construction, tear it down on destruction. */
+class SessionGuard
+{
+  public:
+    explicit SessionGuard(std::uint32_t mask,
+                          std::size_t capacity = 0)
+    {
+        TraceSession::instance().disable();
+        TraceSession::instance().enable(mask, capacity);
+    }
+    ~SessionGuard() { TraceSession::instance().disable(); }
+};
+
+/** Export the current session and parse it back. */
+JsonValue
+exportedTrace()
+{
+    std::ostringstream out;
+    TraceSession::instance().writeJson(out);
+    std::string error;
+    JsonValue doc = JsonValue::parse(out.str(), error);
+    EXPECT_TRUE(error.empty()) << error;
+    return doc;
+}
+
+/** Non-metadata events with the given name. */
+std::vector<const JsonValue *>
+eventsNamed(const JsonValue &doc, const std::string &name)
+{
+    std::vector<const JsonValue *> out;
+    for (const auto &ev : doc.find("traceEvents")->array) {
+        if (ev.find("name")->str == name &&
+            ev.find("ph")->str != "M") {
+            out.push_back(&ev);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(TraceCategories, ParseValidLists)
+{
+    std::string error;
+    EXPECT_EQ(TraceSession::parseCategories("all", error),
+              kTraceAllCategories);
+    EXPECT_TRUE(error.empty());
+    EXPECT_EQ(TraceSession::parseCategories("vantage", error),
+              kTraceVantage);
+    EXPECT_EQ(TraceSession::parseCategories("vantage,pool", error),
+              kTraceVantage | kTracePool);
+    EXPECT_EQ(TraceSession::parseCategories("access,zcache,sim",
+                                            error),
+              kTraceAccess | kTraceZcache | kTraceSim);
+    // Stray commas are tolerated as long as one name remains.
+    EXPECT_EQ(TraceSession::parseCategories(",alloc,", error),
+              kTraceAlloc);
+    EXPECT_TRUE(error.empty());
+}
+
+TEST(TraceCategories, ParseErrors)
+{
+    std::string error;
+    EXPECT_EQ(TraceSession::parseCategories("bogus", error), 0u);
+    EXPECT_NE(error.find("bogus"), std::string::npos);
+    EXPECT_EQ(TraceSession::parseCategories("", error), 0u);
+    EXPECT_FALSE(error.empty());
+    EXPECT_EQ(TraceSession::parseCategories("vantage,nope", error),
+              0u);
+    EXPECT_NE(error.find("nope"), std::string::npos);
+}
+
+TEST(TraceCategories, NamesRoundTrip)
+{
+    std::string error;
+    for (std::uint8_t bit = 0; bit < kTraceCategoryCount; ++bit) {
+        const char *name = TraceSession::categoryName(bit);
+        EXPECT_EQ(TraceSession::parseCategories(name, error),
+                  1u << bit)
+            << name;
+    }
+}
+
+TEST(TraceSessionTest, DisabledRecordsNothing)
+{
+    TraceSession &s = TraceSession::instance();
+    s.disable();
+    EXPECT_FALSE(s.enabledAny());
+    traceInstant(kTraceSim, "ignored");
+    {
+        TraceSpan span(kTraceSim, "ignored-span");
+    }
+    EXPECT_EQ(s.recorded(), 0u);
+    EXPECT_EQ(s.threads(), 0u);
+}
+
+TEST(TraceSessionTest, SpanPairingInExport)
+{
+    SessionGuard guard(kTraceAllCategories);
+    {
+        TraceSpan outer(kTraceSim, "outer");
+        {
+            TraceSpan inner(kTracePool, "inner", "worker", 3.0);
+        }
+        traceInstant(kTraceVantage, "blip", "part", 2.0);
+        traceCounter(kTraceVantage, "gauge", "value", 0.25);
+    }
+
+    const JsonValue doc = exportedTrace();
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.find("displayTimeUnit")->str, "ns");
+    EXPECT_DOUBLE_EQ(doc.find("otherData.dropped")->number, 0.0);
+    EXPECT_DOUBLE_EQ(doc.find("otherData.recorded")->number, 6.0);
+
+    const auto outer_evs = eventsNamed(doc, "outer");
+    ASSERT_EQ(outer_evs.size(), 2u);
+    EXPECT_EQ(outer_evs[0]->find("ph")->str, "B");
+    EXPECT_EQ(outer_evs[1]->find("ph")->str, "E");
+    EXPECT_EQ(outer_evs[0]->find("cat")->str, "sim");
+    EXPECT_LE(outer_evs[0]->find("ts")->number,
+              outer_evs[1]->find("ts")->number);
+
+    const auto inner_evs = eventsNamed(doc, "inner");
+    ASSERT_EQ(inner_evs.size(), 2u);
+    // The inner span nests inside the outer one.
+    EXPECT_GE(inner_evs[0]->find("ts")->number,
+              outer_evs[0]->find("ts")->number);
+    EXPECT_LE(inner_evs[1]->find("ts")->number,
+              outer_evs[1]->find("ts")->number);
+    EXPECT_DOUBLE_EQ(inner_evs[0]->find("args.worker")->number, 3.0);
+
+    const auto blips = eventsNamed(doc, "blip");
+    ASSERT_EQ(blips.size(), 1u);
+    EXPECT_EQ(blips[0]->find("ph")->str, "i");
+    EXPECT_EQ(blips[0]->find("s")->str, "t");
+    EXPECT_DOUBLE_EQ(blips[0]->find("args.part")->number, 2.0);
+
+    const auto gauges = eventsNamed(doc, "gauge");
+    ASSERT_EQ(gauges.size(), 1u);
+    EXPECT_EQ(gauges[0]->find("ph")->str, "C");
+    EXPECT_DOUBLE_EQ(gauges[0]->find("args.value")->number, 0.25);
+}
+
+TEST(TraceSessionTest, CategoryFiltering)
+{
+    SessionGuard guard(kTracePool);
+    TraceSession &s = TraceSession::instance();
+    EXPECT_TRUE(s.enabled(kTracePool));
+    EXPECT_FALSE(s.enabled(kTraceVantage));
+
+    traceInstant(kTraceVantage, "filtered");
+    traceInstant(kTracePool, "kept");
+    {
+        TraceSpan span(kTraceVantage, "filtered-span");
+    }
+    EXPECT_EQ(s.recorded(), 1u);
+
+    const JsonValue doc = exportedTrace();
+    EXPECT_TRUE(eventsNamed(doc, "filtered").empty());
+    EXPECT_EQ(eventsNamed(doc, "kept").size(), 1u);
+}
+
+TEST(TraceSessionTest, DropAccountingAndMatchedSpans)
+{
+    // Capacity 4: the first two spans fit (B+E each); everything
+    // after is dropped and counted.
+    SessionGuard guard(kTraceAllCategories, 4);
+    TraceSession &s = TraceSession::instance();
+    for (int i = 0; i < 10; ++i) {
+        TraceSpan span(kTraceSim, "tight");
+    }
+    EXPECT_EQ(s.recorded(), 4u);
+    EXPECT_GT(s.dropped(), 0u);
+
+    // A span whose B was dropped must not emit a dangling E: every
+    // recorded B still pairs with the next E of the same name.
+    const JsonValue doc = exportedTrace();
+    EXPECT_GT(doc.find("otherData.dropped")->number, 0.0);
+    const auto evs = eventsNamed(doc, "tight");
+    ASSERT_EQ(evs.size(), 4u);
+    EXPECT_EQ(evs[0]->find("ph")->str, "B");
+    EXPECT_EQ(evs[1]->find("ph")->str, "E");
+    EXPECT_EQ(evs[2]->find("ph")->str, "B");
+    EXPECT_EQ(evs[3]->find("ph")->str, "E");
+}
+
+TEST(TraceSessionTest, PerThreadBuffersAndNames)
+{
+    SessionGuard guard(kTraceAllCategories);
+    TraceSession &s = TraceSession::instance();
+    traceSetThreadName("main-test");
+    traceInstant(kTraceSim, "from-main");
+    std::thread t([] {
+        traceSetThreadName("helper");
+        traceInstant(kTraceSim, "from-helper");
+    });
+    t.join();
+
+    EXPECT_EQ(s.threads(), 2u);
+    EXPECT_EQ(s.recorded(), 2u);
+
+    const JsonValue doc = exportedTrace();
+    const auto main_evs = eventsNamed(doc, "from-main");
+    const auto helper_evs = eventsNamed(doc, "from-helper");
+    ASSERT_EQ(main_evs.size(), 1u);
+    ASSERT_EQ(helper_evs.size(), 1u);
+    EXPECT_NE(main_evs[0]->find("tid")->number,
+              helper_evs[0]->find("tid")->number);
+
+    // thread_name metadata must cover both registered names.
+    std::vector<std::string> names;
+    for (const auto &ev : doc.find("traceEvents")->array) {
+        if (ev.find("ph")->str == "M" &&
+            ev.find("name")->str == "thread_name") {
+            names.push_back(ev.find("args.name")->str);
+        }
+    }
+    EXPECT_NE(std::find(names.begin(), names.end(), "main-test"),
+              names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "helper"),
+              names.end());
+}
+
+TEST(TraceSessionTest, InternIsStableAndDeduplicated)
+{
+    SessionGuard guard(kTraceAllCategories);
+    TraceSession &s = TraceSession::instance();
+    const char *a = s.intern("mix3/Vantage");
+    const char *b = s.intern("mix3/Vantage");
+    const char *c = s.intern("other");
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_STREQ(a, "mix3/Vantage");
+
+    // Interned names survive for event use.
+    traceInstant(kTraceSuite, a);
+    const JsonValue doc = exportedTrace();
+    EXPECT_EQ(eventsNamed(doc, "mix3/Vantage").size(), 1u);
+}
+
+TEST(TraceSessionTest, RegisterStats)
+{
+    SessionGuard guard(kTraceAllCategories);
+    traceInstant(kTraceSim, "one");
+    traceInstant(kTraceSim, "two");
+
+    StatsRegistry reg;
+    TraceSession::instance().registerStats(reg, "trace");
+    EXPECT_EQ(reg.value("trace.events_recorded"), 2.0);
+    EXPECT_EQ(reg.value("trace.events_dropped"), 0.0);
+    EXPECT_EQ(reg.value("trace.threads"), 1.0);
+}
+
+TEST(TraceSessionTest, ReenableWidensMask)
+{
+    SessionGuard guard(kTracePool);
+    TraceSession &s = TraceSession::instance();
+    traceInstant(kTraceVantage, "early"); // Filtered out.
+    s.enable(kTraceVantage);              // Widen, keep buffers.
+    traceInstant(kTraceVantage, "late");
+    EXPECT_EQ(s.recorded(), 1u);
+    EXPECT_EQ(s.mask(), kTracePool | kTraceVantage);
+}
