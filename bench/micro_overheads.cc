@@ -40,12 +40,14 @@
 #include "alloc/umon.h"
 #include "array/set_assoc.h"
 #include "array/zarray.h"
+#include "cache/banked_cache.h"
 #include "cache/cache.h"
 #include "common/rng.h"
 #include "core/vantage.h"
 #include "hash/h3.h"
 #include "partition/unpartitioned.h"
 #include "replacement/lru.h"
+#include "sim/core_heap.h"
 
 using namespace vantage;
 
@@ -81,7 +83,7 @@ BM_ZArrayWalk(benchmark::State &state)
     const auto r = static_cast<std::uint32_t>(state.range(0));
     ZArray arr(32768, 4, r, 1);
     Rng rng(3);
-    std::vector<Candidate> cands;
+    CandidateBuf cands;
     // Fill the array first.
     for (int i = 0; i < 300000; ++i) {
         const Addr a = rng.next() >> 16;
@@ -142,6 +144,62 @@ BM_VantageMiss(benchmark::State &state)
 BENCHMARK(BM_VantageMiss);
 
 void
+BM_VantageDemote(benchmark::State &state)
+{
+    // Forced-demotion pressure: partition 0 keeps filling while its
+    // target is squeezed to a sliver, so nearly every miss scan runs
+    // demotion checks and demotes part-0 candidates.
+    VantageConfig cfg;
+    cfg.numPartitions = 2;
+    cfg.unmanagedFraction = 0.05;
+    auto ctl = std::make_unique<VantageController>(32768, cfg);
+    VantageController *v = ctl.get();
+    Cache cache(std::make_unique<ZArray>(32768, 4, 52, 1),
+                std::move(ctl), "vd");
+    Rng rng(9);
+    for (int i = 0; i < 200000; ++i) {
+        cache.access((1ull << 40) | (rng.next() >> 16), i & 1);
+    }
+    v->setTargetLines({512, v->targetSize(1)});
+    int part = 0;
+    for (auto _ : state) {
+        part ^= 1;
+        benchmark::DoNotOptimize(
+            cache.access((1ull << 40) | (rng.next() >> 16), part));
+    }
+}
+BENCHMARK(BM_VantageDemote);
+
+void
+BM_BankedAccess(benchmark::State &state)
+{
+    // 4 banks of Z4/52 with one Vantage controller each (the paper's
+    // banked L2 organization), random routed accesses.
+    VantageConfig cfg;
+    cfg.numPartitions = 4;
+    cfg.unmanagedFraction = 0.05;
+    std::vector<std::unique_ptr<Cache>> banks;
+    for (int b = 0; b < 4; ++b) {
+        banks.push_back(std::make_unique<Cache>(
+            std::make_unique<ZArray>(8192, 4, 52, 100 + b),
+            std::make_unique<VantageController>(8192, cfg),
+            "bank" + std::to_string(b)));
+    }
+    BankedCache cache(std::move(banks));
+    Rng rng(10);
+    for (int i = 0; i < 200000; ++i) {
+        cache.access((1ull << 40) | (rng.next() >> 16), i & 3);
+    }
+    int part = 0;
+    for (auto _ : state) {
+        part = (part + 1) & 3;
+        benchmark::DoNotOptimize(
+            cache.access((1ull << 40) | (rng.next() >> 16), part));
+    }
+}
+BENCHMARK(BM_BankedAccess);
+
+void
 BM_VantageHit(benchmark::State &state)
 {
     VantageConfig cfg;
@@ -192,6 +250,43 @@ BM_Lookahead(benchmark::State &state)
     }
 }
 BENCHMARK(BM_Lookahead)->Arg(64)->Arg(256);
+
+void
+BM_NextCore(benchmark::State &state)
+{
+    // Heap-based next-core scheduling: pop the minimum, advance its
+    // clock by a pseudo-random service time, repeat.
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    CoreClockHeap heap;
+    heap.reset(n);
+    Rng rng(11);
+    for (auto _ : state) {
+        const std::uint32_t c = heap.top();
+        heap.update(c, heap.key(c) + 1 + rng.range(200));
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_NextCore)->Arg(32);
+
+void
+BM_NextCoreScan(benchmark::State &state)
+{
+    // The O(cores) linear scan the heap replaces, for comparison.
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    std::vector<Cycle> clocks(n, 0);
+    Rng rng(11);
+    for (auto _ : state) {
+        std::uint32_t best = 0;
+        for (std::uint32_t c = 1; c < n; ++c) {
+            if (clocks[c] < clocks[best]) {
+                best = c;
+            }
+        }
+        clocks[best] += 1 + rng.range(200);
+        benchmark::DoNotOptimize(best);
+    }
+}
+BENCHMARK(BM_NextCoreScan)->Arg(32);
 
 /**
  * Console output as usual, while collecting per-benchmark real

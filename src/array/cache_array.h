@@ -8,9 +8,13 @@
  * *replacement policy / partitioning scheme*, which ranks those
  * candidates. This header defines the array side.
  *
- * The array owns the per-line tag state (the Line struct: address,
- * partition id, replacement metadata) so that arrays which physically
- * relocate lines — the zcache — can move the whole tag in one place.
+ * Line metadata is split structure-of-arrays style. The hot array
+ * (Line: tag, partition id, rank) is everything lookup(), the zcache
+ * walk, and the Vantage demotion check read — 16 bytes per line, four
+ * lines per hardware cache line. The cold array (LineCold: dirty bit,
+ * exact-LRU timestamp) is only touched on hits, insertions, and
+ * writeback accounting, and never during candidate scans, so the scan
+ * working set is not diluted by simulator-only bookkeeping.
  */
 
 #ifndef VANTAGE_ARRAY_CACHE_ARRAY_H_
@@ -19,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "array/candidate_buf.h"
 #include "common/check.h"
 #include "common/log.h"
 #include "common/types.h"
@@ -26,21 +31,18 @@
 namespace vantage {
 
 /**
- * Per-line tag state.
+ * Hot per-line tag state, scanned on every miss.
  *
  * Mirrors the tag fields of the paper's Fig. 4: the partition id
  * (6 bits there) and an 8-bit coarse timestamp. `rank` doubles as the
  * LRU coarse timestamp or the RRIP re-reference prediction value,
- * depending on the active policy. `lastAccess` supports exact-LRU
- * baselines; real hardware would not store it, but the simulator can.
+ * depending on the active policy.
  */
 struct Line
 {
     Addr addr = kInvalidAddr;
     PartId part = kInvalidPart;
     std::uint8_t rank = 0;
-    bool dirty = false;
-    std::uint64_t lastAccess = 0;
 
     bool valid() const { return addr != kInvalidAddr; }
 
@@ -50,31 +52,50 @@ struct Line
         addr = kInvalidAddr;
         part = kInvalidPart;
         rank = 0;
-        dirty = false;
-        lastAccess = 0;
     }
 };
 
+static_assert(sizeof(Line) == 16,
+              "hot line metadata must stay cache-line packed "
+              "(4 lines per 64B)");
+
 /**
- * One replacement candidate produced by an array.
+ * Cold per-line state, off the candidate-scan path.
  *
- * `slot` identifies the line; `parent` is the index (within the same
- * candidate list) of the candidate whose line would move into `slot`
- * if this candidate is evicted, or -1 when the incoming line itself
- * lands in `slot`. Set-associative arrays always use parent == -1;
- * zcache walks build multi-level relocation chains.
+ * `lastAccess` supports exact-LRU baselines; real hardware would not
+ * store it, but the simulator can. `dirty` only matters when a line
+ * is finally evicted (writeback accounting). Both travel with the
+ * line when an array relocates it.
  */
-struct Candidate
+struct LineCold
 {
-    LineId slot;
-    std::int32_t parent;
+    // Packed into one 8-byte word (8 entries per 64B cache line): a
+    // 63-bit access counter cannot wrap in any feasible run, and the
+    // dirty flag rides in the top bit.
+    std::uint64_t lastAccess : 63;
+    std::uint64_t dirty : 1;
+
+    LineCold() : lastAccess(0), dirty(0) {}
+
+    void
+    reset()
+    {
+        lastAccess = 0;
+        dirty = 0;
+    }
 };
+
+static_assert(sizeof(LineCold) == 8,
+              "cold line metadata must stay word-packed");
 
 /** Abstract cache array: lookup + candidate generation + replacement. */
 class CacheArray
 {
   public:
-    explicit CacheArray(std::size_t num_lines) : lines_(num_lines) {}
+    explicit CacheArray(std::size_t num_lines)
+        : lines_(num_lines), cold_(num_lines)
+    {
+    }
     virtual ~CacheArray() = default;
 
     CacheArray(const CacheArray &) = delete;
@@ -86,22 +107,20 @@ class CacheArray
     /**
      * Produce the replacement candidates for an incoming address.
      * Candidates may include invalid (empty) slots; callers should
-     * prefer those. The list is cleared first.
+     * prefer those. The buffer is cleared first.
      */
-    virtual void candidates(Addr addr,
-                            std::vector<Candidate> &out) const = 0;
+    virtual void candidates(Addr addr, CandidateBuf &out) const = 0;
 
     /**
      * Install `addr`, evicting the candidate at `victim_idx` of the
      * list previously returned by candidates() for this address.
      * Performs any relocations the array needs (zcache) — relocations
-     * move the entire Line struct, so policy metadata follows the
-     * line. @return the slot where the new line's tag now lives; its
-     * Line has addr set and all other fields reset for the caller to
-     * initialize.
+     * move the hot Line and its LineCold entry together, so policy
+     * metadata follows the line. @return the slot where the new
+     * line's tag now lives; its Line has addr set and all other
+     * (hot and cold) fields reset for the caller to initialize.
      */
-    virtual LineId replace(Addr addr,
-                           const std::vector<Candidate> &cands,
+    virtual LineId replace(Addr addr, const CandidateBuf &cands,
                            std::int32_t victim_idx) = 0;
 
     /** Nominal number of replacement candidates per eviction. */
@@ -142,8 +161,35 @@ class CacheArray
         return lines_[id];
     }
 
+    LineCold &
+    cold(LineId id)
+    {
+        vantage_assert(id < cold_.size(), "line id %u out of range", id);
+        return cold_[id];
+    }
+
+    const LineCold &
+    cold(LineId id) const
+    {
+        vantage_assert(id < cold_.size(), "line id %u out of range", id);
+        return cold_[id];
+    }
+
+    /**
+     * Raw hot array, for per-candidate scans (the Vantage demotion
+     * pass) that have already validated their slots: skips the
+     * per-access bounds assert of line().
+     */
+    Line *linesData() { return lines_.data(); }
+    const Line *linesData() const { return lines_.data(); }
+
+    /** Raw cold array, for single-plane policy scans (exact LRU). */
+    LineCold *coldData() { return cold_.data(); }
+    const LineCold *coldData() const { return cold_.data(); }
+
   protected:
     std::vector<Line> lines_;
+    std::vector<LineCold> cold_;
 };
 
 } // namespace vantage

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fixed-capacity candidate buffer for the miss path.
+ *
+ * Every miss produces a bounded candidate list — at most the array's
+ * associativity (zcache: the R-candidate walk, set-associative: the
+ * ways of one set). The bound is small and known at build time, so
+ * the buffer lives inline in the Cache object and on test stacks:
+ * the miss path performs no heap allocation, and the candidate slots
+ * occupy a handful of consecutive cache lines that the walk and the
+ * demotion pass stream through.
+ *
+ * The API is the subset of std::vector the arrays and schemes use,
+ * so call sites read identically to the previous vector-based code.
+ */
+
+#ifndef VANTAGE_ARRAY_CANDIDATE_BUF_H_
+#define VANTAGE_ARRAY_CANDIDATE_BUF_H_
+
+#include <cstdint>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace vantage {
+
+/**
+ * One replacement candidate produced by an array.
+ *
+ * `slot` identifies the line; `parent` is the index (within the same
+ * candidate list) of the candidate whose line would move into `slot`
+ * if this candidate is evicted, or -1 when the incoming line itself
+ * lands in `slot`. Set-associative arrays always use parent == -1;
+ * zcache walks build multi-level relocation chains.
+ */
+struct Candidate
+{
+    LineId slot;
+    std::int32_t parent;
+};
+
+/**
+ * Inline, fixed-capacity list of replacement candidates.
+ *
+ * Capacity covers the largest candidate list any array emits: the
+ * Z4/52 walk (52) and the 64-way set-associative baseline (64).
+ * Arrays assert their numCandidates() fits at construction, so
+ * push_back can never overflow on a well-formed configuration; the
+ * assert here catches misuse in new code.
+ */
+class CandidateBuf
+{
+  public:
+    static constexpr std::uint32_t kCapacity = 64;
+
+    void clear() { size_ = 0; }
+
+    void
+    push_back(const Candidate &c)
+    {
+        vantage_assert(size_ < kCapacity,
+                       "candidate buffer overflow (%u)", size_);
+        items_[size_++] = c;
+    }
+
+    std::uint32_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    static constexpr std::uint32_t capacity() { return kCapacity; }
+
+    Candidate &operator[](std::uint32_t i) { return items_[i]; }
+    const Candidate &
+    operator[](std::uint32_t i) const
+    {
+        return items_[i];
+    }
+
+    Candidate *data() { return items_; }
+    const Candidate *data() const { return items_; }
+
+    Candidate *begin() { return items_; }
+    Candidate *end() { return items_ + size_; }
+    const Candidate *begin() const { return items_; }
+    const Candidate *end() const { return items_ + size_; }
+
+  private:
+    Candidate items_[kCapacity];
+    std::uint32_t size_ = 0;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_ARRAY_CANDIDATE_BUF_H_

@@ -13,6 +13,9 @@ RandomArray::RandomArray(std::size_t num_lines,
     vantage_assert(num_candidates <= num_lines,
                    "R = %u exceeds %zu lines", num_candidates,
                    num_lines);
+    vantage_assert(num_candidates <= CandidateBuf::kCapacity,
+                   "R = %u exceeds the candidate buffer capacity %u",
+                   num_candidates, CandidateBuf::kCapacity);
     map_.reserve(num_lines * 2);
 }
 
@@ -24,11 +27,10 @@ RandomArray::lookup(Addr addr) const
 }
 
 void
-RandomArray::candidates(Addr addr, std::vector<Candidate> &out) const
+RandomArray::candidates(Addr addr, CandidateBuf &out) const
 {
     (void)addr;
     out.clear();
-    out.reserve(numCands_);
 
     // While the array still has free slots, the next free slot leads
     // the list (so fills complete deterministically), followed by
@@ -51,11 +53,12 @@ RandomArray::candidates(Addr addr, std::vector<Candidate> &out) const
 }
 
 LineId
-RandomArray::replace(Addr addr, const std::vector<Candidate> &cands,
+RandomArray::replace(Addr addr, const CandidateBuf &cands,
                      std::int32_t victim_idx)
 {
     vantage_assert(victim_idx >= 0 &&
-                   static_cast<std::size_t>(victim_idx) < cands.size(),
+                   static_cast<std::uint32_t>(victim_idx) <
+                       cands.size(),
                    "victim index %d out of range", victim_idx);
     const LineId slot = cands[victim_idx].slot;
     Line &victim = lines_[slot];
@@ -63,6 +66,7 @@ RandomArray::replace(Addr addr, const std::vector<Candidate> &cands,
         map_.erase(victim.addr);
     }
     victim.invalidate();
+    cold_[slot].reset();
     victim.addr = addr;
     map_[addr] = slot;
     if (slot == nextFree_ && nextFree_ < lines_.size()) {

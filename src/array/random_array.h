@@ -29,9 +29,8 @@ class RandomArray : public CacheArray
                 std::uint64_t seed = 0xa11d0);
 
     LineId lookup(Addr addr) const override;
-    void candidates(Addr addr,
-                    std::vector<Candidate> &out) const override;
-    LineId replace(Addr addr, const std::vector<Candidate> &cands,
+    void candidates(Addr addr, CandidateBuf &out) const override;
+    LineId replace(Addr addr, const CandidateBuf &cands,
                    std::int32_t victim_idx) override;
 
     std::uint32_t numCandidates() const override { return numCands_; }

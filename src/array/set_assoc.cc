@@ -15,6 +15,9 @@ SetAssocArray::SetAssocArray(std::size_t num_lines, std::uint32_t ways,
                    ways);
     vantage_assert(isPow2(sets_), "set count %llu not a power of two",
                    static_cast<unsigned long long>(sets_));
+    vantage_assert(ways <= CandidateBuf::kCapacity,
+                   "%u ways exceed the candidate buffer capacity %u",
+                   ways, CandidateBuf::kCapacity);
 }
 
 std::uint64_t
@@ -49,12 +52,9 @@ SetAssocArray::lookup(Addr addr) const
 }
 
 void
-SetAssocArray::candidates(Addr addr, std::vector<Candidate> &out) const
+SetAssocArray::candidates(Addr addr, CandidateBuf &out) const
 {
     out.clear();
-    if (out.capacity() < ways_) {
-        out.reserve(ways_);
-    }
     // Reuse the set index the preceding lookup() hashed for the same
     // address (the common path: Cache::access misses then asks for
     // candidates).
@@ -97,15 +97,17 @@ SetAssocArray::checkInvariants(InvariantReport &rep) const
 }
 
 LineId
-SetAssocArray::replace(Addr addr, const std::vector<Candidate> &cands,
+SetAssocArray::replace(Addr addr, const CandidateBuf &cands,
                        std::int32_t victim_idx)
 {
     vantage_assert(victim_idx >= 0 &&
-                   static_cast<std::size_t>(victim_idx) < cands.size(),
+                   static_cast<std::uint32_t>(victim_idx) <
+                       cands.size(),
                    "victim index %d out of range", victim_idx);
     const LineId slot = cands[victim_idx].slot;
     Line &victim = lines_[slot];
     victim.invalidate();
+    cold_[slot].reset();
     victim.addr = addr;
     return slot;
 }

@@ -33,9 +33,8 @@ class SetAssocArray : public CacheArray
                   bool hash_index = true, std::uint64_t seed = 0xcafe);
 
     LineId lookup(Addr addr) const override;
-    void candidates(Addr addr,
-                    std::vector<Candidate> &out) const override;
-    LineId replace(Addr addr, const std::vector<Candidate> &cands,
+    void candidates(Addr addr, CandidateBuf &out) const override;
+    LineId replace(Addr addr, const CandidateBuf &cands,
                    std::int32_t victim_idx) override;
 
     std::uint32_t numCandidates() const override { return ways_; }

@@ -7,6 +7,14 @@
 #include "stats/prof.h"
 #include "trace/event_trace.h"
 
+// Hint the next BFS level's hot slots into cache while the current
+// level is still being hashed; read-only, low temporal locality.
+#if defined(__GNUC__) || defined(__clang__)
+#define VANTAGE_PREFETCH_R(p) __builtin_prefetch((p), 0, 1)
+#else
+#define VANTAGE_PREFETCH_R(p) ((void)0)
+#endif
+
 namespace vantage {
 
 ZArray::ZArray(std::size_t num_lines, std::uint32_t ways,
@@ -16,6 +24,9 @@ ZArray::ZArray(std::size_t num_lines, std::uint32_t ways,
       memoPos_(ways, 0)
 {
     vantage_assert(ways >= 2, "a zcache needs at least 2 ways");
+    vantage_assert(num_candidates <= CandidateBuf::kCapacity,
+                   "R = %u exceeds the candidate buffer capacity %u",
+                   num_candidates, CandidateBuf::kCapacity);
     vantage_assert(num_lines % ways == 0,
                    "%zu lines not divisible by %u ways", num_lines,
                    ways);
@@ -41,6 +52,19 @@ ZArray::ZArray(std::size_t num_lines, std::uint32_t ways,
             for (int v = 0; v < 256; ++v) {
                 table[byte * 256 + v] = static_cast<std::uint32_t>(
                     h.tableWord(byte, v) & mask);
+            }
+        }
+    }
+
+    // Interleave the same words way-minor for the walk (see
+    // wayHashAll): row ((byte << 8) | value) holds all ways' words
+    // for that input byte value contiguously.
+    walkTables_.resize(static_cast<std::size_t>(ways) * 2048);
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        for (std::uint32_t byte = 0; byte < 8; ++byte) {
+            for (std::uint32_t v = 0; v < 256; ++v) {
+                walkTables_[(((byte << 8) | v) * ways) + w] =
+                    posTables_[w * 2048 + byte * 256 + v];
             }
         }
     }
@@ -77,13 +101,10 @@ ZArray::lookup(Addr addr) const
 }
 
 void
-ZArray::candidates(Addr addr, std::vector<Candidate> &out) const
+ZArray::candidates(Addr addr, CandidateBuf &out) const
 {
     VANTAGE_PROF("zarray.walk");
     out.clear();
-    if (out.capacity() < numCands_) {
-        out.reserve(numCands_); // First call only; capacity persists.
-    }
 
     // Epoch-stamped visited set: O(1) dedup, no per-walk clearing.
     // On the (rare) 32-bit wrap, clear the stamps so stale epochs
@@ -94,6 +115,17 @@ ZArray::candidates(Addr addr, std::vector<Candidate> &out) const
         epoch = walkEpoch_ = 1;
     }
     std::uint32_t *const stamps = visitEpoch_.data();
+    const Line *const lines = lines_.data();
+    // Only candidates pushed below this index can become BFS heads
+    // (each expanded head contributes up to W-1 new candidates);
+    // everything later is scanned once by the caller, not re-read.
+    const std::uint32_t expandBound =
+        numCands_ > ways_
+            ? (numCands_ - 2) / (ways_ - 1)
+            : 0;
+    // Level-position scratch on the stack: the compiler sees it
+    // cannot alias the tables or the stamp array.
+    std::uint32_t pos[CandidateBuf::kCapacity];
 
     // First level: the incoming address's own positions — reuse the
     // ones the preceding missing lookup() already computed when we
@@ -108,12 +140,11 @@ ZArray::candidates(Addr addr, std::vector<Candidate> &out) const
             }
         }
     } else {
-        const std::uint32_t *table = posTables_.data();
+        wayHashAll(addr, pos);
         std::uint64_t base = 0;
         for (std::uint32_t w = 0; w < ways_;
-             ++w, table += 2048, base += linesPerWay_) {
-            const LineId slot =
-                static_cast<LineId>(base + wayHash(table, addr));
+             ++w, base += linesPerWay_) {
+            const LineId slot = static_cast<LineId>(base + pos[w]);
             if (stamps[slot] != epoch) {
                 stamps[slot] = epoch;
                 out.push_back({slot, -1});
@@ -124,19 +155,20 @@ ZArray::candidates(Addr addr, std::vector<Candidate> &out) const
     // Breadth-first expansion: each valid candidate line can move to
     // its positions in the other ways; the occupants of those slots
     // are further candidates. Flat loops, no virtual calls: wayOf is
-    // a shift and positions come straight from the way tables.
-    const Line *const lines = lines_.data();
-    const std::uint32_t *const tables = posTables_.data();
-    for (std::size_t head = 0;
+    // a shift, all W positions of a level come from one batched pass
+    // over the interleaved tables (wayHashAll), and each discovered
+    // slot's hot line is prefetched so the next level's expansion —
+    // and the demotion scan after the walk — find it resident.
+    for (std::uint32_t head = 0;
          head < out.size() && out.size() < numCands_; ++head) {
         const LineId head_slot = out[head].slot;
         const Line &occupant = lines[head_slot];
         if (!occupant.valid()) {
             continue; // An empty slot is a perfect victim; don't expand.
         }
-        const Addr oaddr = occupant.addr;
         const std::uint32_t own_way =
             static_cast<std::uint32_t>(head_slot >> wayShift_);
+        wayHashAll(occupant.addr, pos);
         std::uint64_t base = 0;
         for (std::uint32_t w = 0;
              w < ways_ && out.size() < numCands_;
@@ -144,10 +176,15 @@ ZArray::candidates(Addr addr, std::vector<Candidate> &out) const
             if (w == own_way) {
                 continue;
             }
-            const LineId slot = static_cast<LineId>(
-                base + wayHash(&tables[w * 2048], oaddr));
+            const LineId slot = static_cast<LineId>(base + pos[w]);
             if (stamps[slot] != epoch) {
                 stamps[slot] = epoch;
+                // Prefetch only slots that will be re-read as heads
+                // of the next level; hinting every candidate costs
+                // more than it saves on an L2-resident array.
+                if (out.size() < expandBound) {
+                    VANTAGE_PREFETCH_R(&lines[slot]);
+                }
                 out.push_back({slot,
                                static_cast<std::int32_t>(head)});
             }
@@ -183,27 +220,31 @@ ZArray::checkInvariants(InvariantReport &rep) const
 }
 
 LineId
-ZArray::replace(Addr addr, const std::vector<Candidate> &cands,
+ZArray::replace(Addr addr, const CandidateBuf &cands,
                 std::int32_t victim_idx)
 {
     vantage_assert(victim_idx >= 0 &&
-                   static_cast<std::size_t>(victim_idx) < cands.size(),
+                   static_cast<std::uint32_t>(victim_idx) <
+                       cands.size(),
                    "victim index %d out of range", victim_idx);
 
     // Relocate lines up the parent chain: the parent's line moves into
     // the victim's (now free) slot, and so on until a first-level slot
-    // is free for the incoming line.
+    // is free for the incoming line. Cold metadata belongs to the
+    // relocated line, so it moves in lockstep with the hot tag.
     std::int32_t idx = victim_idx;
     lines_[cands[idx].slot].invalidate();
     while (cands[idx].parent >= 0) {
         const std::int32_t parent = cands[idx].parent;
         lines_[cands[idx].slot] = lines_[cands[parent].slot];
+        cold_[cands[idx].slot] = cold_[cands[parent].slot];
         lines_[cands[parent].slot].invalidate();
         idx = parent;
     }
 
     const LineId root = cands[idx].slot;
     lines_[root].invalidate();
+    cold_[root].reset();
     lines_[root].addr = addr;
     return root;
 }

@@ -42,9 +42,8 @@ class ZArray : public CacheArray
            std::uint32_t num_candidates, std::uint64_t seed = 0x2ca);
 
     LineId lookup(Addr addr) const override;
-    void candidates(Addr addr,
-                    std::vector<Candidate> &out) const override;
-    LineId replace(Addr addr, const std::vector<Candidate> &cands,
+    void candidates(Addr addr, CandidateBuf &out) const override;
+    LineId replace(Addr addr, const CandidateBuf &cands,
                    std::int32_t victim_idx) override;
 
     std::uint32_t numCandidates() const override { return numCands_; }
@@ -96,6 +95,59 @@ class ZArray : public CacheArray
         return out;
     }
 
+    /**
+     * Batched way hashing for the walk: compute the in-way position
+     * of `addr` for ALL ways in one pass over the interleaved tables
+     * (walkTables_), writing ways_ masked positions to `pos`. For
+     * W = 4 each of the 8 byte rows is 16 contiguous bytes, so the
+     * whole level's hashing is 8 dense row loads XORed — identical
+     * results to calling wayHash() per way, in one streaming pass.
+     */
+    void
+    wayHashAll(Addr addr, std::uint32_t *pos) const
+    {
+        const std::uint32_t *const t = walkTables_.data();
+        if (ways_ == 4) {
+            // Fully unrolled W = 4 path (the paper's Z4 designs):
+            // four accumulators stay in registers across the eight
+            // 16-byte row loads — the compiler turns this into a
+            // straight-line SIMD XOR chain.
+            const std::uint32_t *r = t + (addr & 0xff) * 4;
+            std::uint32_t p0 = r[0], p1 = r[1], p2 = r[2], p3 = r[3];
+            r = t + (256 + ((addr >> 8) & 0xff)) * 4;
+            p0 ^= r[0]; p1 ^= r[1]; p2 ^= r[2]; p3 ^= r[3];
+            r = t + (512 + ((addr >> 16) & 0xff)) * 4;
+            p0 ^= r[0]; p1 ^= r[1]; p2 ^= r[2]; p3 ^= r[3];
+            r = t + (768 + ((addr >> 24) & 0xff)) * 4;
+            p0 ^= r[0]; p1 ^= r[1]; p2 ^= r[2]; p3 ^= r[3];
+            r = t + (1024 + ((addr >> 32) & 0xff)) * 4;
+            p0 ^= r[0]; p1 ^= r[1]; p2 ^= r[2]; p3 ^= r[3];
+            r = t + (1280 + ((addr >> 40) & 0xff)) * 4;
+            p0 ^= r[0]; p1 ^= r[1]; p2 ^= r[2]; p3 ^= r[3];
+            r = t + (1536 + ((addr >> 48) & 0xff)) * 4;
+            p0 ^= r[0]; p1 ^= r[1]; p2 ^= r[2]; p3 ^= r[3];
+            r = t + (1792 + (addr >> 56)) * 4;
+            pos[0] = p0 ^ r[0];
+            pos[1] = p1 ^ r[1];
+            pos[2] = p2 ^ r[2];
+            pos[3] = p3 ^ r[3];
+            return;
+        }
+        const std::uint32_t stride = ways_;
+        const std::uint32_t *row =
+            &t[(addr & 0xff) * stride];
+        for (std::uint32_t w = 0; w < stride; ++w) {
+            pos[w] = row[w];
+        }
+        for (std::uint32_t byte = 1; byte < 8; ++byte) {
+            row = &t[((byte << 8) | ((addr >> (byte * 8)) & 0xff)) *
+                     stride];
+            for (std::uint32_t w = 0; w < stride; ++w) {
+                pos[w] ^= row[w];
+            }
+        }
+    }
+
     std::uint32_t ways_;
     std::uint32_t numCands_;
     std::uint64_t linesPerWay_;
@@ -103,9 +155,16 @@ class ZArray : public CacheArray
     /**
      * Per-way position tables: ways_ x 8 x 256 premasked H3 words
      * (way w's table starts at posTables_[w * 2048]). Derived from
-     * the same seeds as before; positions are unchanged.
+     * the same seeds as before; positions are unchanged. lookup()
+     * walks these way-major so it can early-exit on a hit.
      */
     std::vector<std::uint32_t> posTables_;
+    /**
+     * The same premasked words interleaved way-minor for the walk:
+     * entry [((byte << 8) | value) * ways_ + w]. One BFS level's W
+     * hashes read 8 contiguous rows instead of W scattered tables.
+     */
+    std::vector<std::uint32_t> walkTables_;
     // Per-slot visit stamps for O(1) dedup during walks.
     mutable std::vector<std::uint32_t> visitEpoch_;
     mutable std::uint32_t walkEpoch_ = 0;

@@ -21,7 +21,9 @@ Cache::Cache(std::unique_ptr<CacheArray> array,
     vantage_assert(array_ != nullptr, "cache needs an array");
     vantage_assert(scheme_ != nullptr, "cache needs a scheme");
     stats_.resize(scheme_->numPartitions());
-    candScratch_.reserve(array_->numCandidates());
+    vantage_assert(array_->numCandidates() <= CandidateBuf::kCapacity,
+                   "array offers %u candidates, buffer holds %u",
+                   array_->numCandidates(), CandidateBuf::kCapacity);
 }
 
 AccessResult
@@ -34,45 +36,41 @@ Cache::access(Addr addr, PartId part, AccessType type)
     const LineId slot = array_->lookup(addr);
     if (slot != kInvalidLine) {
         ++stats_[part].hits;
-        Line &line = array_->line(slot);
         if (type == AccessType::Store) {
-            line.dirty = true;
+            array_->cold(slot).dirty = true;
         }
-        scheme_->onHit(slot, line, part);
+        scheme_->onHit(*array_, slot, part);
         afterAccess(0, kNoVictim);
         return AccessResult::Hit;
     }
 
     ++stats_[part].misses;
-    array_->candidates(addr, candScratch_);
-    vantage_assert(!candScratch_.empty(),
-                   "array produced no candidates");
+    array_->candidates(addr, candBuf_);
+    vantage_assert(!candBuf_.empty(), "array produced no candidates");
     if (walkLenHist_) {
-        walkLenHist_->add(candScratch_.size());
+        walkLenHist_->add(candBuf_.size());
     }
     const VictimChoice choice =
-        scheme_->selectVictim(*array_, part, addr, candScratch_);
+        scheme_->selectVictim(*array_, part, addr, candBuf_);
     if (choice.bypass) {
         afterAccess(2, kNoVictim);
         return AccessResult::Miss;
     }
 
-    const LineId victim_slot = candScratch_[choice.candIdx].slot;
+    const LineId victim_slot = candBuf_[choice.candIdx].slot;
     const Line &victim = array_->line(victim_slot);
     const std::uint64_t victim_part =
         victim.valid() ? (victim.part & 0xffff) : kNoVictim;
     if (victim.valid()) {
-        if (victim.dirty) {
+        if (array_->cold(victim_slot).dirty) {
             ++writebacks_;
         }
-        scheme_->onEvict(victim_slot, victim);
+        scheme_->onEvict(*array_, victim_slot);
     }
-    const LineId root =
-        array_->replace(addr, candScratch_, choice.candIdx);
-    Line &fresh = array_->line(root);
-    fresh.part = part;
-    fresh.dirty = type == AccessType::Store;
-    scheme_->onInsert(root, fresh, part);
+    const LineId root = array_->replace(addr, candBuf_, choice.candIdx);
+    array_->line(root).part = part;
+    array_->cold(root).dirty = type == AccessType::Store;
+    scheme_->onInsert(*array_, root, part);
     afterAccess(1, victim_part);
     return AccessResult::Miss;
 }

@@ -134,7 +134,7 @@ class Cache
     std::unique_ptr<PartitionScheme> scheme_;
     std::string name_;
     std::vector<CacheAccessStats> stats_;
-    std::vector<Candidate> candScratch_;
+    CandidateBuf candBuf_; ///< Inline, reused — no per-miss heap use.
     std::uint64_t writebacks_ = 0;
     std::unique_ptr<Histogram> walkLenHist_;
     AccessDigest *digest_ = nullptr;

@@ -350,9 +350,10 @@ VantageController::demote(Line &line, PartId from)
 }
 
 void
-VantageController::onHit(LineId slot, Line &line, PartId accessor)
+VantageController::onHit(CacheArray &array, LineId slot,
+                         PartId accessor)
 {
-    (void)slot;
+    Line &line = array.line(slot);
     vantage_assert(accessor < cfg_.numPartitions,
                    "accessor %u out of range", accessor);
     noteAccess();
@@ -390,8 +391,7 @@ VantageController::onHit(LineId slot, Line &line, PartId accessor)
 
 VictimChoice
 VantageController::selectVictim(CacheArray &array, PartId inserting,
-                                Addr addr,
-                                const std::vector<Candidate> &cands)
+                                Addr addr, const CandidateBuf &cands)
 {
     (void)inserting;
     (void)addr;
@@ -403,8 +403,27 @@ VantageController::selectVictim(CacheArray &array, PartId inserting,
     std::uint32_t oldest_age = 0;
     std::int32_t first_demoted = -1;
 
-    for (std::size_t i = 0; i < cands.size(); ++i) {
-        Line &line = array.line(cands[i].slot);
+    // Branch-light demotion pass over the hot SoA plane: the scan
+    // reads only the 16-byte {addr, part, rank} records the walk just
+    // prefetched. Variants that override the demotion hooks clear
+    // fastDemote_ and take the virtual calls instead.
+    Line *const lines = array.linesData();
+    const Candidate *const cv = cands.data();
+    const bool fast = fastDemote_;
+    const std::uint32_t cands_per_adjust = cfg_.candsPerAdjust;
+    EmpiricalCdf *const cdf = demotionCdf_;
+    const PartId cdf_part = demotionCdfPart_;
+
+    const std::size_t n = cands.size();
+    for (std::size_t i = 0; i < n; ++i) {
+#if defined(__GNUC__) || defined(__clang__)
+        // Hide the hot-array load latency of candidate i+8 behind the
+        // demotion work on candidate i.
+        if (i + 8 < n) {
+            __builtin_prefetch(&lines[cv[i + 8].slot], 0, 1);
+        }
+#endif
+        Line &line = lines[cv[i].slot];
         if (!line.valid()) {
             if (first_invalid < 0) {
                 first_invalid = static_cast<std::int32_t>(i);
@@ -427,18 +446,22 @@ VantageController::selectVictim(CacheArray &array, PartId inserting,
                        "candidate with bad partition %u", p);
         PartState &ps = parts_[p];
         ++ps.candsSeen;
-        if (shouldDemote(p, ps, line)) {
-            if (demotionCdf_ != nullptr && p == demotionCdfPart_) {
-                demotionCdf_->add(demotionPriority(ps, line.rank));
+        const bool dem =
+            fast ? (ps.actualSize > ps.targetSize &&
+                    (ps.targetSize == 0 || !inKeepWindow(ps, line.rank)))
+                 : shouldDemote(p, ps, line);
+        if (dem) {
+            if (cdf != nullptr && p == cdf_part) {
+                cdf->add(demotionPriority(ps, line.rank));
             }
             demote(line, p);
             if (first_demoted < 0) {
                 first_demoted = static_cast<std::int32_t>(i);
             }
-        } else {
+        } else if (!fast) {
             onDemotionCheckKept(p, line);
         }
-        if (ps.candsSeen >= cfg_.candsPerAdjust) {
+        if (ps.candsSeen >= cands_per_adjust) {
             adjustSetpoint(p);
         }
     }
@@ -464,7 +487,7 @@ VantageController::selectVictim(CacheArray &array, PartId inserting,
     std::int32_t victim = 0;
     double victim_age = -1.0;
     for (std::size_t i = 0; i < cands.size(); ++i) {
-        const Line &line = array.line(cands[i].slot);
+        const Line &line = lines[cv[i].slot];
         const PartState &ps = parts_[line.part];
         const double age = demotionPriority(ps, line.rank);
         if (age > victim_age) {
@@ -477,9 +500,9 @@ VantageController::selectVictim(CacheArray &array, PartId inserting,
 }
 
 void
-VantageController::onEvict(LineId slot, const Line &line)
+VantageController::onEvict(CacheArray &array, LineId slot)
 {
-    (void)slot;
+    const Line &line = array.line(slot);
     if (line.part == kUnmanagedPart) {
         vantage_assert(unmanagedSize_ > 0,
                        "eviction from empty unmanaged region");
@@ -502,9 +525,10 @@ VantageController::onEvict(LineId slot, const Line &line)
 }
 
 void
-VantageController::onInsert(LineId slot, Line &line, PartId part)
+VantageController::onInsert(CacheArray &array, LineId slot,
+                            PartId part)
 {
-    (void)slot;
+    Line &line = array.line(slot);
     vantage_assert(part < cfg_.numPartitions,
                    "insertion into bad partition %u", part);
     noteAccess();

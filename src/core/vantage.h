@@ -151,12 +151,14 @@ class VantageController : public PartitionScheme
      */
     void deletePartition(PartId part);
 
-    void onHit(LineId slot, Line &line, PartId accessor) override;
-    VictimChoice selectVictim(
-        CacheArray &array, PartId inserting, Addr addr,
-        const std::vector<Candidate> &cands) override;
-    void onEvict(LineId slot, const Line &line) override;
-    void onInsert(LineId slot, Line &line, PartId part) override;
+    void onHit(CacheArray &array, LineId slot,
+               PartId accessor) override;
+    VictimChoice selectVictim(CacheArray &array, PartId inserting,
+                              Addr addr,
+                              const CandidateBuf &cands) override;
+    void onEvict(CacheArray &array, LineId slot) override;
+    void onInsert(CacheArray &array, LineId slot,
+                  PartId part) override;
 
     std::uint64_t actualSize(PartId part) const override;
     std::uint64_t targetSize(PartId part) const override;
@@ -303,6 +305,17 @@ class VantageController : public PartitionScheme
 
     /** Aperture from the linear transfer function of Eq. 7. */
     double apertureOf(const PartState &ps) const;
+
+    /**
+     * True while the demotion decision is exactly the base
+     * controller's (setpoint window over the hot rank array):
+     * selectVictim() then runs a single flattened, branch-light pass
+     * that inlines the check instead of calling the shouldDemote /
+     * onDemotionCheckKept virtuals per candidate. Any variant that
+     * overrides either hook must clear this in its constructor to
+     * get the virtual dispatch back.
+     */
+    bool fastDemote_ = true;
 
     VantageConfig cfg_;
     std::uint64_t numLines_;

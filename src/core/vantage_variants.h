@@ -33,7 +33,9 @@ class VantageOracle : public VantageController
   public:
     VantageOracle(std::size_t num_lines, const VantageConfig &cfg)
         : VantageController(num_lines, cfg)
-    {}
+    {
+        fastDemote_ = false; // Overrides shouldDemote().
+    }
 
     std::string name() const override { return "vantage-oracle"; }
 
@@ -61,7 +63,9 @@ class VantageRrip : public VantageController
         : VantageController(num_lines, cfg), rng_(seed),
           useBrrip_(cfg.numPartitions, false),
           setpointRrpv_(cfg.numPartitions, RripBase::kDistant)
-    {}
+    {
+        fastDemote_ = false; // Overrides the demotion hooks.
+    }
 
     std::string name() const override { return "vantage-rrip"; }
 
@@ -194,7 +198,9 @@ class VantageLfu : public VantageController
     VantageLfu(std::size_t num_lines, const VantageConfig &cfg)
         : VantageController(num_lines, cfg),
           setpointFreq_(cfg.numPartitions, 0)
-    {}
+    {
+        fastDemote_ = false; // Overrides shouldDemote().
+    }
 
     std::string name() const override { return "vantage-lfu"; }
 

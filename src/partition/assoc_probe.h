@@ -35,16 +35,17 @@ class AssocProbe
     {}
 
     /**
-     * Record the eviction of `victim`. The estimated priority is the
-     * fraction of sampled valid lines (optionally filtered) that the
-     * policy prefers to keep over the victim.
+     * Record the eviction of the (still-resident) line in
+     * `victim_slot`. The estimated priority is the fraction of
+     * sampled valid lines (optionally filtered) that the policy
+     * prefers to keep over the victim.
      *
      * @param filter restricts the comparison population (e.g. to one
      *        partition's ways); nullptr means all valid lines.
      */
     void
     recordEviction(const CacheArray &array, const ReplPolicy &policy,
-                   const Line &victim,
+                   LineId victim_slot,
                    const std::function<bool(LineId)> &filter = nullptr)
     {
         std::uint32_t seen = 0;
@@ -65,7 +66,7 @@ class AssocProbe
             ++seen;
             // The victim has higher eviction priority than `other`
             // iff the policy would evict the victim first.
-            if (policy.prefer(victim, other)) {
+            if (policy.prefer(array, victim_slot, slot)) {
                 ++kept;
             }
         }

@@ -67,9 +67,9 @@ Pipp::isStreaming(PartId part) const
 }
 
 void
-Pipp::onHit(LineId slot, Line &line, PartId accessor)
+Pipp::onHit(CacheArray &array, LineId slot, PartId accessor)
 {
-    (void)line;
+    (void)array;
     if (accessor < numParts_) {
         ++intervalAccesses_[accessor];
     }
@@ -102,7 +102,7 @@ Pipp::onHit(LineId slot, Line &line, PartId accessor)
 
 VictimChoice
 Pipp::selectVictim(CacheArray &array, PartId inserting, Addr addr,
-                   const std::vector<Candidate> &cands)
+                   const CandidateBuf &cands)
 {
     (void)addr;
     vantage_assert(inserting < numParts_, "partition %u out of range",
@@ -116,7 +116,7 @@ Pipp::selectVictim(CacheArray &array, PartId inserting, Addr addr,
 
     // Prefer empty slots; otherwise evict the chain bottom (pos 0).
     std::int32_t bottom = -1;
-    for (std::size_t i = 0; i < cands.size(); ++i) {
+    for (std::uint32_t i = 0; i < cands.size(); ++i) {
         const LineId slot = cands[i].slot;
         if (!array.line(slot).valid()) {
             return {static_cast<std::int32_t>(i), false};
@@ -130,8 +130,9 @@ Pipp::selectVictim(CacheArray &array, PartId inserting, Addr addr,
 }
 
 void
-Pipp::onEvict(LineId slot, const Line &line)
+Pipp::onEvict(CacheArray &array, LineId slot)
 {
+    const PartId victim_part = array.line(slot).part;
     const std::uint64_t set = setOf(slot);
     const std::uint8_t gone = pos_[slot];
     vantage_assert(gone != kNoPos, "evicting an untracked slot");
@@ -145,15 +146,15 @@ Pipp::onEvict(LineId slot, const Line &line)
     pos_[slot] = kNoPos;
     vantage_assert(validCnt_[set] > 0, "evicting from an empty set");
     --validCnt_[set];
-    if (line.part < sizes_.size() && sizes_[line.part] > 0) {
-        --sizes_[line.part];
+    if (victim_part < sizes_.size() && sizes_[victim_part] > 0) {
+        --sizes_[victim_part];
     }
 }
 
 void
-Pipp::onInsert(LineId slot, Line &line, PartId part)
+Pipp::onInsert(CacheArray &array, LineId slot, PartId part)
 {
-    (void)line;
+    (void)array;
     vantage_assert(part < numParts_, "partition %u out of range", part);
     const std::uint64_t set = setOf(slot);
     vantage_assert(pos_[slot] == kNoPos, "inserting into a live slot");

@@ -58,26 +58,34 @@ class PartitionScheme
     virtual void setAllocations(
         const std::vector<std::uint32_t> &units) = 0;
 
-    /** A line of `accessor` hit; update bookkeeping and metadata. */
-    virtual void onHit(LineId slot, Line &line, PartId accessor) = 0;
+    /**
+     * The line in `slot` hit for `accessor`; update bookkeeping and
+     * metadata via the array's hot/cold planes.
+     */
+    virtual void onHit(CacheArray &array, LineId slot,
+                       PartId accessor) = 0;
 
     /**
      * Pick the victim for a fill by `inserting` among `cands`.
      * Schemes must cope with invalid (empty) candidates, preferring
      * them where their placement rules allow.
      */
-    virtual VictimChoice selectVictim(
-        CacheArray &array, PartId inserting, Addr addr,
-        const std::vector<Candidate> &cands) = 0;
-
-    /** The chosen victim (valid lines only) is about to be evicted. */
-    virtual void onEvict(LineId slot, const Line &line) = 0;
+    virtual VictimChoice selectVictim(CacheArray &array,
+                                      PartId inserting, Addr addr,
+                                      const CandidateBuf &cands) = 0;
 
     /**
-     * A new line was installed (line.addr/part already set); set the
-     * scheme's replacement metadata and size accounting.
+     * The chosen victim (valid lines only) is about to be evicted;
+     * it is still resident in `slot` when this runs.
      */
-    virtual void onInsert(LineId slot, Line &line, PartId part) = 0;
+    virtual void onEvict(CacheArray &array, LineId slot) = 0;
+
+    /**
+     * A new line was installed in `slot` (addr/part already set); set
+     * the scheme's replacement metadata and size accounting.
+     */
+    virtual void onInsert(CacheArray &array, LineId slot,
+                          PartId part) = 0;
 
     /** Current actual size of a partition, in lines. */
     virtual std::uint64_t actualSize(PartId part) const = 0;

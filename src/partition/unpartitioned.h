@@ -46,22 +46,21 @@ class Unpartitioned : public PartitionScheme
     }
 
     void
-    onHit(LineId slot, Line &line, PartId accessor) override
+    onHit(CacheArray &array, LineId slot, PartId accessor) override
     {
-        (void)slot;
         (void)accessor;
-        policy_->onHit(line);
+        policy_->onHit(array, slot);
     }
 
     VictimChoice
     selectVictim(CacheArray &array, PartId inserting, Addr addr,
-                 const std::vector<Candidate> &cands) override
+                 const CandidateBuf &cands) override
     {
         (void)inserting;
         (void)addr;
         // Prefer an empty slot; candidate order ties break toward the
         // earliest (shortest relocation chain in a zcache).
-        for (std::size_t i = 0; i < cands.size(); ++i) {
+        for (std::uint32_t i = 0; i < cands.size(); ++i) {
             if (!array.line(cands[i].slot).valid()) {
                 return {static_cast<std::int32_t>(i), false};
             }
@@ -69,26 +68,25 @@ class Unpartitioned : public PartitionScheme
         const std::int32_t victim = policy_->selectVictim(array, cands);
         if (probe_) {
             probe_->recordEviction(array, *policy_,
-                                   array.line(cands[victim].slot));
+                                   cands[victim].slot);
         }
         return {victim, false};
     }
 
     void
-    onEvict(LineId slot, const Line &line) override
+    onEvict(CacheArray &array, LineId slot) override
     {
-        (void)slot;
-        if (line.part < sizes_.size() && sizes_[line.part] > 0) {
-            --sizes_[line.part];
+        const PartId part = array.line(slot).part;
+        if (part < sizes_.size() && sizes_[part] > 0) {
+            --sizes_[part];
         }
-        policy_->onEvict(line);
+        policy_->onEvict(array, slot);
     }
 
     void
-    onInsert(LineId slot, Line &line, PartId part) override
+    onInsert(CacheArray &array, LineId slot, PartId part) override
     {
-        (void)slot;
-        policy_->onInsert(line);
+        policy_->onInsert(array, slot);
         if (part < sizes_.size()) {
             ++sizes_[part];
         }

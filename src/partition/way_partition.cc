@@ -68,33 +68,31 @@ WayPartitioning::wayCount(PartId part) const
 }
 
 void
-WayPartitioning::onHit(LineId slot, Line &line, PartId accessor)
+WayPartitioning::onHit(CacheArray &array, LineId slot, PartId accessor)
 {
-    (void)slot;
     (void)accessor;
-    policy_->onHit(line);
+    policy_->onHit(array, slot);
 }
 
 VictimChoice
 WayPartitioning::selectVictim(CacheArray &array, PartId inserting,
-                              Addr addr,
-                              const std::vector<Candidate> &cands)
+                              Addr addr, const CandidateBuf &cands)
 {
     (void)addr;
     vantage_assert(inserting < numParts_, "partition %u out of range",
                    inserting);
 
     std::int32_t best = -1;
-    for (std::size_t i = 0; i < cands.size(); ++i) {
+    for (std::uint32_t i = 0; i < cands.size(); ++i) {
         if (!ownsWay(inserting, array.wayOf(cands[i].slot))) {
             continue;
         }
-        const Line &line = array.line(cands[i].slot);
-        if (!line.valid()) {
+        if (!array.line(cands[i].slot).valid()) {
             return {static_cast<std::int32_t>(i), false};
         }
         if (best < 0 ||
-            policy_->prefer(line, array.line(cands[best].slot))) {
+            policy_->prefer(array, cands[i].slot,
+                            cands[best].slot)) {
             best = static_cast<std::int32_t>(i);
         }
     }
@@ -110,11 +108,11 @@ WayPartitioning::selectVictim(CacheArray &array, PartId inserting,
         best = policy_->selectVictim(array, cands);
     }
 
-    const Line &victim = array.line(cands[best].slot);
-    if (probe_ && victim.part == probePart_) {
+    const LineId victim_slot = cands[best].slot;
+    if (probe_ && array.line(victim_slot).part == probePart_) {
         // Priority within the victim's own partition population.
         probe_->recordEviction(
-            array, *policy_, victim,
+            array, *policy_, victim_slot,
             [this, &array](LineId slot) {
                 return array.line(slot).part == probePart_;
             });
@@ -123,20 +121,19 @@ WayPartitioning::selectVictim(CacheArray &array, PartId inserting,
 }
 
 void
-WayPartitioning::onEvict(LineId slot, const Line &line)
+WayPartitioning::onEvict(CacheArray &array, LineId slot)
 {
-    (void)slot;
-    if (line.part < sizes_.size() && sizes_[line.part] > 0) {
-        --sizes_[line.part];
+    const PartId part = array.line(slot).part;
+    if (part < sizes_.size() && sizes_[part] > 0) {
+        --sizes_[part];
     }
-    policy_->onEvict(line);
+    policy_->onEvict(array, slot);
 }
 
 void
-WayPartitioning::onInsert(LineId slot, Line &line, PartId part)
+WayPartitioning::onInsert(CacheArray &array, LineId slot, PartId part)
 {
-    (void)slot;
-    policy_->onInsert(line);
+    policy_->onInsert(array, slot);
     if (part < sizes_.size()) {
         ++sizes_[part];
     }

@@ -48,12 +48,14 @@ class WayPartitioning : public PartitionScheme
     void setAllocations(
         const std::vector<std::uint32_t> &units) override;
 
-    void onHit(LineId slot, Line &line, PartId accessor) override;
-    VictimChoice selectVictim(
-        CacheArray &array, PartId inserting, Addr addr,
-        const std::vector<Candidate> &cands) override;
-    void onEvict(LineId slot, const Line &line) override;
-    void onInsert(LineId slot, Line &line, PartId part) override;
+    void onHit(CacheArray &array, LineId slot,
+               PartId accessor) override;
+    VictimChoice selectVictim(CacheArray &array, PartId inserting,
+                              Addr addr,
+                              const CandidateBuf &cands) override;
+    void onEvict(CacheArray &array, LineId slot) override;
+    void onInsert(CacheArray &array, LineId slot,
+                  PartId part) override;
 
     std::uint64_t actualSize(PartId part) const override;
     std::uint64_t targetSize(PartId part) const override;

@@ -19,32 +19,37 @@ class Lfu : public ReplPolicy
 {
   public:
     void
-    onHit(Line &line) override
+    onHit(CacheArray &array, LineId slot) override
     {
+        Line &line = array.line(slot);
         if (line.rank < 255) {
             ++line.rank;
         }
     }
 
     void
-    onInsert(Line &line) override
+    onInsert(CacheArray &array, LineId slot) override
     {
-        line.rank = 0;
+        array.line(slot).rank = 0;
     }
 
     bool
-    prefer(const Line &a, const Line &b) const override
+    prefer(const CacheArray &array, LineId a, LineId b) const override
     {
-        if (a.rank != b.rank) {
-            return a.rank < b.rank;
+        const std::uint8_t ra = array.line(a).rank;
+        const std::uint8_t rb = array.line(b).rank;
+        if (ra != rb) {
+            return ra < rb;
         }
-        return a.lastAccess < b.lastAccess; // Tie-break toward older.
+        // Tie-break toward older (cold-plane stamp; zero unless a
+        // composed policy maintains it).
+        return array.cold(a).lastAccess < array.cold(b).lastAccess;
     }
 
     double
-    priority(const Line &line) const override
+    priority(const CacheArray &array, LineId slot) const override
     {
-        return 1.0 - static_cast<double>(line.rank) / 255.0;
+        return 1.0 - static_cast<double>(array.line(slot).rank) / 255.0;
     }
 };
 

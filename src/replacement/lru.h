@@ -4,14 +4,17 @@
  *
  * ExactLru stamps each line with a monotonically increasing access
  * count — the simulator's luxury version of LRU, used for the paper's
- * set-associative baselines.
+ * set-associative baselines. The 64-bit stamp lives in the cold
+ * metadata plane (LineCold::lastAccess): real hardware would not
+ * store it, and it must not dilute the hot candidate-scan arrays.
  *
  * CoarseLru is the paper's implementable variant [21]: an 8-bit
  * timestamp counter incremented every cacheLines/16 accesses, with
- * ages computed in modulo-256 arithmetic. It is also the base policy
- * Vantage builds its setpoint mechanism on (Sec. 4.2), though the
- * Vantage controller keeps its own *per-partition* timestamps; this
- * class is the single-stream flavor for unpartitioned caches.
+ * ages computed in modulo-256 arithmetic over the hot `rank` field.
+ * It is also the base policy Vantage builds its setpoint mechanism on
+ * (Sec. 4.2), though the Vantage controller keeps its own
+ * *per-partition* timestamps; this class is the single-stream flavor
+ * for unpartitioned caches.
  */
 
 #ifndef VANTAGE_REPLACEMENT_LRU_H_
@@ -22,34 +25,57 @@
 
 namespace vantage {
 
-/** Exact LRU via 64-bit access counters. */
+/** Exact LRU via 64-bit access counters (cold plane). */
 class ExactLru : public ReplPolicy
 {
   public:
     void
-    onHit(Line &line) override
+    onHit(CacheArray &array, LineId slot) override
     {
-        line.lastAccess = ++clock_;
+        array.cold(slot).lastAccess = ++clock_;
     }
 
     void
-    onInsert(Line &line) override
+    onInsert(CacheArray &array, LineId slot) override
     {
-        line.lastAccess = ++clock_;
+        array.cold(slot).lastAccess = ++clock_;
     }
 
     bool
-    prefer(const Line &a, const Line &b) const override
+    prefer(const CacheArray &array, LineId a, LineId b) const override
     {
-        return a.lastAccess < b.lastAccess;
+        return array.cold(a).lastAccess < array.cold(b).lastAccess;
+    }
+
+    /**
+     * Same earliest-wins min fold as the generic prefer() loop, but
+     * as one tight pass over the cold plane — no per-candidate
+     * virtual calls on the miss path.
+     */
+    std::int32_t
+    selectVictim(CacheArray &array,
+                 const CandidateBuf &cands) override
+    {
+        const LineCold *const cold = array.coldData();
+        const Candidate *const cv = cands.data();
+        std::int32_t best = 0;
+        std::uint64_t best_la = cold[cv[0].slot].lastAccess;
+        for (std::uint32_t i = 1; i < cands.size(); ++i) {
+            const std::uint64_t la = cold[cv[i].slot].lastAccess;
+            if (la < best_la) {
+                best = static_cast<std::int32_t>(i);
+                best_la = la;
+            }
+        }
+        return best;
     }
 
     double
-    priority(const Line &line) const override
+    priority(const CacheArray &array, LineId slot) const override
     {
         if (clock_ == 0) return 0.0;
-        const double age = static_cast<double>(clock_ -
-                                               line.lastAccess);
+        const double age = static_cast<double>(
+            clock_ - array.cold(slot).lastAccess);
         return age / static_cast<double>(clock_);
     }
 
@@ -70,29 +96,51 @@ class CoarseLru : public ReplPolicy
     {}
 
     void
-    onHit(Line &line) override
+    onHit(CacheArray &array, LineId slot) override
     {
-        line.rank = currentTs_;
+        array.line(slot).rank = currentTs_;
         tick();
     }
 
     void
-    onInsert(Line &line) override
+    onInsert(CacheArray &array, LineId slot) override
     {
-        line.rank = currentTs_;
+        array.line(slot).rank = currentTs_;
         tick();
     }
 
     bool
-    prefer(const Line &a, const Line &b) const override
+    prefer(const CacheArray &array, LineId a, LineId b) const override
     {
-        return age(a) > age(b);
+        return age(array.line(a)) > age(array.line(b));
+    }
+
+    /**
+     * Oldest-age max fold (first wins ties), identical to the
+     * generic prefer() loop but in one pass over the hot plane.
+     */
+    std::int32_t
+    selectVictim(CacheArray &array,
+                 const CandidateBuf &cands) override
+    {
+        const Line *const lines = array.linesData();
+        const Candidate *const cv = cands.data();
+        std::int32_t best = 0;
+        std::uint32_t best_age = age(lines[cv[0].slot]);
+        for (std::uint32_t i = 1; i < cands.size(); ++i) {
+            const std::uint32_t a = age(lines[cv[i].slot]);
+            if (a > best_age) {
+                best = static_cast<std::int32_t>(i);
+                best_age = a;
+            }
+        }
+        return best;
     }
 
     double
-    priority(const Line &line) const override
+    priority(const CacheArray &array, LineId slot) const override
     {
-        return static_cast<double>(age(line)) / 255.0;
+        return static_cast<double>(age(array.line(slot))) / 255.0;
     }
 
     std::uint8_t currentTimestamp() const { return currentTs_; }

@@ -25,28 +25,27 @@ class Nru : public ReplPolicy
 {
   public:
     void
-    onHit(Line &line) override
+    onHit(CacheArray &array, LineId slot) override
     {
-        line.rank = 1;
+        array.line(slot).rank = 1;
     }
 
     void
-    onInsert(Line &line) override
+    onInsert(CacheArray &array, LineId slot) override
     {
-        line.rank = 1;
+        array.line(slot).rank = 1;
     }
 
     bool
-    prefer(const Line &a, const Line &b) const override
+    prefer(const CacheArray &array, LineId a, LineId b) const override
     {
-        return a.rank < b.rank;
+        return array.line(a).rank < array.line(b).rank;
     }
 
     std::int32_t
-    selectVictim(CacheArray &array,
-                 const std::vector<Candidate> &cands) override
+    selectVictim(CacheArray &array, const CandidateBuf &cands) override
     {
-        for (std::size_t i = 0; i < cands.size(); ++i) {
+        for (std::uint32_t i = 0; i < cands.size(); ++i) {
             if (array.line(cands[i].slot).rank == 0) {
                 return static_cast<std::int32_t>(i);
             }
@@ -61,9 +60,9 @@ class Nru : public ReplPolicy
     }
 
     double
-    priority(const Line &line) const override
+    priority(const CacheArray &array, LineId slot) const override
     {
-        return line.rank ? 0.25 : 0.75;
+        return array.line(slot).rank ? 0.25 : 0.75;
     }
 };
 
@@ -73,20 +72,31 @@ class RandomRepl : public ReplPolicy
   public:
     explicit RandomRepl(std::uint64_t seed = 0x4a4d) : rng_(seed) {}
 
-    void onHit(Line &line) override { (void)line; }
-    void onInsert(Line &line) override { (void)line; }
+    void
+    onHit(CacheArray &array, LineId slot) override
+    {
+        (void)array;
+        (void)slot;
+    }
+
+    void
+    onInsert(CacheArray &array, LineId slot) override
+    {
+        (void)array;
+        (void)slot;
+    }
 
     bool
-    prefer(const Line &a, const Line &b) const override
+    prefer(const CacheArray &array, LineId a, LineId b) const override
     {
+        (void)array;
         (void)a;
         (void)b;
         return false; // No ordering; selectVictim draws uniformly.
     }
 
     std::int32_t
-    selectVictim(CacheArray &array,
-                 const std::vector<Candidate> &cands) override
+    selectVictim(CacheArray &array, const CandidateBuf &cands) override
     {
         (void)array;
         return static_cast<std::int32_t>(rng_.range(cands.size()));

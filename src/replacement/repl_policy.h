@@ -7,37 +7,50 @@
  * deliberately independent of partitioning (paper Table 1: Vantage,
  * unlike PIPP, composes with any replacement policy); partitioning
  * schemes that need a base policy hold one of these.
+ *
+ * The interface is slot-based: hooks receive the array and a LineId
+ * so each policy decides which metadata plane it touches — rank-based
+ * policies (RRIP, coarse LRU, NRU) read only the hot Line array,
+ * while ExactLru's 64-bit timestamps live in the cold plane and stay
+ * off the candidate-scan path.
  */
 
 #ifndef VANTAGE_REPLACEMENT_REPL_POLICY_H_
 #define VANTAGE_REPLACEMENT_REPL_POLICY_H_
 
-#include <vector>
-
 #include "array/cache_array.h"
 
 namespace vantage {
 
-/** Abstract replacement policy over Line metadata. */
+/** Abstract replacement policy over per-line metadata. */
 class ReplPolicy
 {
   public:
     virtual ~ReplPolicy() = default;
 
     /** Update metadata on a cache hit. */
-    virtual void onHit(Line &line) = 0;
+    virtual void onHit(CacheArray &array, LineId slot) = 0;
 
     /** Initialize metadata for a newly inserted line. */
-    virtual void onInsert(Line &line) = 0;
-
-    /** Notification that a line was evicted. */
-    virtual void onEvict(const Line &line) { (void)line; }
+    virtual void onInsert(CacheArray &array, LineId slot) = 0;
 
     /**
-     * True when `a` should be evicted in preference to `b`
-     * (i.e. `a` has the higher eviction priority).
+     * Notification that the line in `slot` is about to be evicted
+     * (it is still resident when this runs).
      */
-    virtual bool prefer(const Line &a, const Line &b) const = 0;
+    virtual void
+    onEvict(const CacheArray &array, LineId slot)
+    {
+        (void)array;
+        (void)slot;
+    }
+
+    /**
+     * True when the line in `a` should be evicted in preference to
+     * the line in `b` (i.e. `a` has the higher eviction priority).
+     */
+    virtual bool prefer(const CacheArray &array, LineId a,
+                        LineId b) const = 0;
 
     /**
      * Pick a victim among the candidates and perform any policy
@@ -46,12 +59,11 @@ class ReplPolicy
      * valid. @return index into `cands`.
      */
     virtual std::int32_t
-    selectVictim(CacheArray &array, const std::vector<Candidate> &cands)
+    selectVictim(CacheArray &array, const CandidateBuf &cands)
     {
         std::int32_t best = 0;
-        for (std::size_t i = 1; i < cands.size(); ++i) {
-            if (prefer(array.line(cands[i].slot),
-                       array.line(cands[best].slot))) {
+        for (std::uint32_t i = 1; i < cands.size(); ++i) {
+            if (prefer(array, cands[i].slot, cands[best].slot)) {
                 best = static_cast<std::int32_t>(i);
             }
         }
@@ -59,15 +71,16 @@ class ReplPolicy
     }
 
     /**
-     * Eviction priority of a line in [0, 1] for statistics capture;
-     * 1.0 means "the line the policy most wants gone". The default
-     * returns 0.5 (unknown); policies with a natural normalized rank
-     * override this.
+     * Eviction priority of the line in `slot` in [0, 1] for
+     * statistics capture; 1.0 means "the line the policy most wants
+     * gone". The default returns 0.5 (unknown); policies with a
+     * natural normalized rank override this.
      */
     virtual double
-    priority(const Line &line) const
+    priority(const CacheArray &array, LineId slot) const
     {
-        (void)line;
+        (void)array;
+        (void)slot;
         return 0.5;
     }
 };

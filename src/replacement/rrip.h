@@ -41,23 +41,23 @@ class RripBase : public ReplPolicy
     static constexpr std::uint8_t kLong = kDistant - 1;         // 6
 
     void
-    onHit(Line &line) override
+    onHit(CacheArray &array, LineId slot) override
     {
-        line.rank = 0; // Hit priority: predict near-immediate reuse.
+        // Hit priority: predict near-immediate reuse.
+        array.line(slot).rank = 0;
     }
 
     bool
-    prefer(const Line &a, const Line &b) const override
+    prefer(const CacheArray &array, LineId a, LineId b) const override
     {
-        return a.rank > b.rank;
+        return array.line(a).rank > array.line(b).rank;
     }
 
     std::int32_t
-    selectVictim(CacheArray &array,
-                 const std::vector<Candidate> &cands) override
+    selectVictim(CacheArray &array, const CandidateBuf &cands) override
     {
         std::int32_t best = 0;
-        for (std::size_t i = 1; i < cands.size(); ++i) {
+        for (std::uint32_t i = 1; i < cands.size(); ++i) {
             if (array.line(cands[i].slot).rank >
                 array.line(cands[best].slot).rank) {
                 best = static_cast<std::int32_t>(i);
@@ -79,9 +79,9 @@ class RripBase : public ReplPolicy
     }
 
     double
-    priority(const Line &line) const override
+    priority(const CacheArray &array, LineId slot) const override
     {
-        return static_cast<double>(line.rank) /
+        return static_cast<double>(array.line(slot).rank) /
                static_cast<double>(kDistant);
     }
 };
@@ -91,9 +91,9 @@ class Srrip : public RripBase
 {
   public:
     void
-    onInsert(Line &line) override
+    onInsert(CacheArray &array, LineId slot) override
     {
-        line.rank = kLong;
+        array.line(slot).rank = kLong;
     }
 };
 
@@ -104,9 +104,10 @@ class Brrip : public RripBase
     explicit Brrip(std::uint64_t seed = 0xb441) : rng_(seed) {}
 
     void
-    onInsert(Line &line) override
+    onInsert(CacheArray &array, LineId slot) override
     {
-        line.rank = rng_.chance(1.0 / 32.0) ? kLong : kDistant;
+        array.line(slot).rank =
+            rng_.chance(1.0 / 32.0) ? kLong : kDistant;
     }
 
   private:
@@ -137,15 +138,16 @@ class Drrip : public RripBase
     {}
 
     void
-    onHit(Line &line) override
+    onHit(CacheArray &array, LineId slot) override
     {
-        observe(line.addr);
-        RripBase::onHit(line);
+        observe(array.line(slot).addr);
+        RripBase::onHit(array, slot);
     }
 
     void
-    onInsert(Line &line) override
+    onInsert(CacheArray &array, LineId slot) override
     {
+        Line &line = array.line(slot);
         observe(line.addr);
         if (followersUseBrrip()) {
             line.rank = rng_.chance(1.0 / 32.0) ? kLong : kDistant;
@@ -204,15 +206,17 @@ class TaDrrip : public RripBase
     }
 
     void
-    onHit(Line &line) override
+    onHit(CacheArray &array, LineId slot) override
     {
+        const Line &line = array.line(slot);
         observe(line.part, line.addr);
-        RripBase::onHit(line);
+        RripBase::onHit(array, slot);
     }
 
     void
-    onInsert(Line &line) override
+    onInsert(CacheArray &array, LineId slot) override
     {
+        Line &line = array.line(slot);
         vantage_assert(line.part < psel_.size(),
                        "partition %u out of range", line.part);
         observe(line.part, line.addr);

@@ -60,21 +60,10 @@ CmpSim::buildCaches()
             "l1-" + std::to_string(c)));
     }
     cores_.resize(cfg_.numCores);
+    clockHeap_.reset(cfg_.numCores);
     if (cfg_.useUcp) {
         ucp_ = std::make_unique<Ucp>(cfg_.numCores, cfg_.ucp);
     }
-}
-
-std::uint32_t
-CmpSim::nextCore() const
-{
-    std::uint32_t best = 0;
-    for (std::uint32_t c = 1; c < cfg_.numCores; ++c) {
-        if (cores_[c].cycle < cores_[best].cycle) {
-            best = c;
-        }
-    }
-    return best;
 }
 
 void
@@ -95,6 +84,7 @@ CmpSim::step(std::uint32_t core)
     if (l1s_[core]->access(ref.addr, 0, ref.type) ==
         AccessResult::Hit) {
         cs.cycle += cfg_.l1HitLatency;
+        clockHeap_.update(core, cs.cycle);
         return;
     }
 
@@ -107,6 +97,7 @@ CmpSim::step(std::uint32_t core)
     }
     if (l2_->access(ref.addr, core, ref.type) == AccessResult::Hit) {
         cs.cycle += cfg_.l2HitLatency;
+        clockHeap_.update(core, cs.cycle);
         return;
     }
 
@@ -123,6 +114,7 @@ CmpSim::step(std::uint32_t core)
     const Cycle start = std::max(cs.cycle, memFree_);
     memFree_ = start + service;
     cs.cycle = start + cfg_.memLatency;
+    clockHeap_.update(core, cs.cycle);
 }
 
 void

@@ -24,6 +24,7 @@
 
 #include "cache/cache.h"
 #include "sim/cmp_config.h"
+#include "sim/core_heap.h"
 #include "stats/histogram.h"
 #include "workload/access_stream.h"
 #include "workload/app_model.h"
@@ -161,8 +162,11 @@ class CmpSim
     /** Advance the lowest-timestamp core by one memory access. */
     void step(std::uint32_t core);
 
-    /** Core with the smallest local clock. */
-    std::uint32_t nextCore() const;
+    /**
+     * Core with the smallest local clock (lowest index on ties) —
+     * O(1) off the scheduling heap.
+     */
+    std::uint32_t nextCore() const { return clockHeap_.top(); }
 
     void maybeRepartition();
     void markStart();
@@ -190,6 +194,7 @@ class CmpSim
     std::unique_ptr<Ucp> ucp_;
 
     std::vector<CoreState> cores_;
+    CoreClockHeap clockHeap_;
     Cycle memFree_ = 0;
     std::uint64_t l2WritebacksSeen_ = 0;
     Cycle nextRepartition_;

@@ -20,7 +20,7 @@ namespace {
 
 /** Install addr, preferring an empty candidate slot (warmup fill). */
 void
-fillInsert(CacheArray &arr, Addr a, std::vector<Candidate> &cands)
+fillInsert(CacheArray &arr, Addr a, CandidateBuf &cands)
 {
     arr.candidates(a, cands);
     std::int32_t victim = 0;
@@ -55,7 +55,7 @@ TEST(SetAssocArray, LookupMissesOnEmpty)
 TEST(SetAssocArray, InstallThenLookup)
 {
     SetAssocArray arr(256, 4);
-    std::vector<Candidate> cands;
+    CandidateBuf cands;
     arr.candidates(0x42, cands);
     ASSERT_EQ(cands.size(), 4u);
     const LineId slot = arr.replace(0x42, cands, 0);
@@ -66,7 +66,7 @@ TEST(SetAssocArray, InstallThenLookup)
 TEST(SetAssocArray, CandidatesAreTheMappedSet)
 {
     SetAssocArray arr(256, 4);
-    std::vector<Candidate> cands;
+    CandidateBuf cands;
     arr.candidates(0x99, cands);
     const std::uint64_t set = arr.setOf(0x99);
     for (std::uint32_t w = 0; w < 4; ++w) {
@@ -106,7 +106,7 @@ TEST(SetAssocArray, HashedIndexSpreadsStridedAddresses)
 TEST(SetAssocArray, EvictionReplacesVictim)
 {
     SetAssocArray arr(16, 4, false);
-    std::vector<Candidate> cands;
+    CandidateBuf cands;
     // Fill set 0 (addresses 0, 4, 8, 12 with 4 sets).
     for (Addr a = 0; a < 16; a += 4) {
         arr.candidates(a, cands);
@@ -137,7 +137,7 @@ TEST(ZArray, WalkProducesExactlyR)
     ZArray arr(4096, 4, 52);
     // Fill the array so the walk can expand fully.
     Rng rng(7);
-    std::vector<Candidate> cands;
+    CandidateBuf cands;
     for (int i = 0; i < 20000; ++i) {
         const Addr a = rng.next() >> 8;
         if (arr.lookup(a) != kInvalidLine) continue;
@@ -150,7 +150,7 @@ TEST(ZArray, WalkProducesExactlyR)
 TEST(ZArray, SkewAssociativeIsFirstLevelOnly)
 {
     auto skew = ZArray::makeSkewAssociative(4096, 4);
-    std::vector<Candidate> cands;
+    CandidateBuf cands;
     skew->candidates(0x1234, cands);
     EXPECT_LE(cands.size(), 4u);
     for (const auto &c : cands) {
@@ -162,7 +162,7 @@ TEST(ZArray, CandidateSlotsAreUnique)
 {
     ZArray arr(4096, 4, 52);
     Rng rng(3);
-    std::vector<Candidate> cands;
+    CandidateBuf cands;
     for (int i = 0; i < 20000; ++i) {
         const Addr a = rng.next() >> 8;
         if (arr.lookup(a) != kInvalidLine) continue;
@@ -180,7 +180,7 @@ TEST(ZArray, ParentChainsAreWellFormed)
 {
     ZArray arr(1024, 4, 16);
     Rng rng(11);
-    std::vector<Candidate> cands;
+    CandidateBuf cands;
     for (int i = 0; i < 5000; ++i) {
         const Addr a = rng.next() >> 8;
         if (arr.lookup(a) != kInvalidLine) continue;
@@ -204,7 +204,7 @@ TEST(ZArray, RelocationPreservesAllResidents)
     ZArray arr(512, 4, 16);
     Rng rng(23);
     std::unordered_set<Addr> resident;
-    std::vector<Candidate> cands;
+    CandidateBuf cands;
 
     for (int i = 0; i < 30000; ++i) {
         const Addr a = (rng.next() >> 8) % 4096 + 1;
@@ -237,7 +237,7 @@ TEST(ZArray, RelocationMovesMetadata)
     ZArray arr(512, 4, 16);
     Rng rng(29);
     std::unordered_map<Addr, std::uint8_t> tag;
-    std::vector<Candidate> cands;
+    CandidateBuf cands;
 
     for (int i = 0; i < 20000; ++i) {
         const Addr a = (rng.next() >> 8) % 4096 + 1;
@@ -268,7 +268,7 @@ TEST(ZArray, Z452WalkLevels)
     // levels — the paper's Z4/52 design point.
     ZArray arr(1u << 14, 4, 52);
     Rng rng(31);
-    std::vector<Candidate> cands;
+    CandidateBuf cands;
     for (int i = 0; i < 60000; ++i) {
         const Addr a = rng.next() >> 4;
         if (arr.lookup(a) != kInvalidLine) continue;
@@ -290,7 +290,7 @@ TEST(ZArray, Z452WalkLevels)
 TEST(RandomArray, FillsSequentiallyThenRandom)
 {
     RandomArray arr(64, 8);
-    std::vector<Candidate> cands;
+    CandidateBuf cands;
     for (Addr a = 1; a <= 64; ++a) {
         arr.candidates(a, cands);
         ASSERT_EQ(cands.size(), 8u);
@@ -308,7 +308,7 @@ TEST(RandomArray, LookupTracksReplacements)
     RandomArray arr(64, 8, 5);
     Rng rng(17);
     std::unordered_set<Addr> resident;
-    std::vector<Candidate> cands;
+    CandidateBuf cands;
     for (int i = 0; i < 5000; ++i) {
         const Addr a = rng.range(512) + 1;
         if (arr.lookup(a) != kInvalidLine) continue;
@@ -329,7 +329,7 @@ TEST(RandomArray, LookupTracksReplacements)
 TEST(RandomArray, CandidatesAreDistinct)
 {
     RandomArray arr(64, 16, 9);
-    std::vector<Candidate> cands;
+    CandidateBuf cands;
     // Fill.
     for (Addr a = 1; a <= 64; ++a) {
         arr.candidates(a, cands);
@@ -352,7 +352,7 @@ TEST(RandomArray, CandidatesAreDistinct)
 TEST(RandomArray, CandidateDrawsAreUniform)
 {
     RandomArray arr(256, 16, 13);
-    std::vector<Candidate> cands;
+    CandidateBuf cands;
     for (Addr a = 1; a <= 256; ++a) {
         arr.candidates(a, cands);
         arr.replace(a, cands, 0);

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * CandidateBuf and walk-shape tests.
+ *
+ * The miss path stores its candidate list in a fixed-capacity inline
+ * buffer (array/candidate_buf.h); these tests pin the container
+ * semantics, the overflow assert, and the shape of the lists the
+ * arrays emit into it: a walk never exceeds numCandidates(), and on
+ * a full array a Z4 walk's BFS levels hold exactly 4 / 12 / 36
+ * candidates (the paper's Z4/4, Z4/16 and Z4/52 designs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "array/candidate_buf.h"
+#include "array/set_assoc.h"
+#include "array/zarray.h"
+#include "common/rng.h"
+
+namespace vantage {
+namespace {
+
+TEST(CandidateBuf, StartsEmptyAndClears)
+{
+    CandidateBuf buf;
+    EXPECT_TRUE(buf.empty());
+    EXPECT_EQ(buf.size(), 0u);
+    buf.push_back({3, -1});
+    buf.push_back({7, 0});
+    EXPECT_FALSE(buf.empty());
+    ASSERT_EQ(buf.size(), 2u);
+    EXPECT_EQ(buf[0].slot, 3u);
+    EXPECT_EQ(buf[0].parent, -1);
+    EXPECT_EQ(buf[1].slot, 7u);
+    EXPECT_EQ(buf[1].parent, 0);
+    buf.clear();
+    EXPECT_TRUE(buf.empty());
+}
+
+TEST(CandidateBuf, IterationCoversExactlyTheContents)
+{
+    CandidateBuf buf;
+    for (std::uint32_t i = 0; i < 10; ++i) {
+        buf.push_back({i, static_cast<std::int32_t>(i) - 1});
+    }
+    std::uint32_t n = 0;
+    for (const Candidate &c : buf) {
+        EXPECT_EQ(c.slot, n);
+        ++n;
+    }
+    EXPECT_EQ(n, 10u);
+    EXPECT_EQ(buf.end() - buf.begin(), 10);
+}
+
+TEST(CandidateBufDeath, OverflowAsserts)
+{
+    CandidateBuf buf;
+    for (std::uint32_t i = 0; i < CandidateBuf::kCapacity; ++i) {
+        buf.push_back({i, -1});
+    }
+    EXPECT_DEATH(buf.push_back({0, -1}), "overflow");
+}
+
+// ---------------------------------------------------------------
+// Walk-shape properties.
+// ---------------------------------------------------------------
+
+/** BFS level of candidate i: root candidates are level 0. */
+int
+levelOf(const CandidateBuf &cands, std::uint32_t i)
+{
+    int level = 0;
+    std::int32_t idx = cands[i].parent;
+    while (idx >= 0) {
+        ++level;
+        idx = cands[idx].parent;
+    }
+    return level;
+}
+
+/** Fill `arr` completely with distinct addresses. */
+void
+fillArray(CacheArray &arr, Rng &rng)
+{
+    CandidateBuf cands;
+    Addr next = 1;
+    // Random inserts until every slot is valid; eviction of valid
+    // lines is fine — only full occupancy matters here.
+    for (int i = 0; i < 400000; ++i) {
+        const Addr a = next++;
+        if (arr.lookup(a) != kInvalidLine) {
+            continue;
+        }
+        arr.candidates(a, cands);
+        const auto victim = static_cast<std::int32_t>(
+            rng.range(cands.size()));
+        arr.replace(a, cands, victim);
+        bool full = true;
+        for (LineId s = 0; s < arr.numLines(); ++s) {
+            if (!arr.line(s).valid()) {
+                full = false;
+                break;
+            }
+        }
+        if (full) {
+            return;
+        }
+    }
+    FAIL() << "array never filled";
+}
+
+struct WalkShapeParam
+{
+    std::uint32_t ways;
+    std::uint32_t cands;
+};
+
+class WalkShape : public ::testing::TestWithParam<WalkShapeParam>
+{};
+
+TEST_P(WalkShape, NeverExceedsNumCandidatesAndLevelsAreDense)
+{
+    const WalkShapeParam p = GetParam();
+    ZArray arr(4096, p.ways, p.cands, 0x77);
+    Rng rng(13);
+    fillArray(arr, rng);
+
+    CandidateBuf cands;
+    int full_walks = 0;
+    int exact_walks = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const Addr a = 0x5000000ull + rng.range(1 << 20);
+        arr.candidates(a, cands);
+        ASSERT_LE(cands.size(), arr.numCandidates());
+        ASSERT_GE(cands.size(), arr.numWays());
+
+        // Parents must precede children; ways occupy disjoint slot
+        // ranges, so the first level is always exactly W distinct
+        // slots; deeper levels can only lose slots to dedup.
+        std::vector<int> perLevel(8, 0);
+        for (std::uint32_t j = 0; j < cands.size(); ++j) {
+            ASSERT_LT(cands[j].parent, static_cast<std::int32_t>(j));
+            const int lvl = levelOf(cands, j);
+            ASSERT_LT(lvl, 8);
+            ++perLevel[static_cast<std::size_t>(lvl)];
+        }
+        ASSERT_EQ(perLevel[0], static_cast<int>(p.ways));
+        if (p.ways == 4) {
+            ASSERT_LE(perLevel[1], 12);
+            if (p.cands <= 16) {
+                ASSERT_LE(perLevel[1], static_cast<int>(p.cands) - 4);
+            }
+        }
+
+        if (cands.size() == arr.numCandidates()) {
+            ++full_walks;
+        }
+        // Collision-free composition on W = 4: exactly 4 / 12 / 36
+        // (each expanded head contributes W - 1 children).
+        const bool exact =
+            p.cands == 4
+                ? perLevel[0] == 4
+                : (p.cands == 16
+                       ? perLevel[0] == 4 && perLevel[1] == 12
+                       : perLevel[0] == 4 && perLevel[1] == 12 &&
+                             perLevel[2] == 36);
+        if (exact) {
+            ++exact_walks;
+        }
+    }
+    // On a full 4K-line array, dedup collisions that shrink a walk
+    // or shift a candidate to a deeper level are rare: nearly every
+    // walk reaches the full R, and most have the clean per-level
+    // composition.
+    EXPECT_GT(full_walks, 1800);
+    EXPECT_GT(exact_walks, 1200);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ZWalks, WalkShape,
+    ::testing::Values(WalkShapeParam{4, 4}, WalkShapeParam{4, 16},
+                      WalkShapeParam{4, 52}),
+    [](const ::testing::TestParamInfo<WalkShapeParam> &info) {
+        return "Z" + std::to_string(info.param.ways) + "_" +
+               std::to_string(info.param.cands);
+    });
+
+TEST(WalkShapeSetAssoc, EmitsExactlyTheSetWays)
+{
+    SetAssocArray arr(1024, 8, true, 0x3);
+    Rng rng(17);
+    CandidateBuf cands;
+    for (int i = 0; i < 1000; ++i) {
+        arr.candidates(rng.next(), cands);
+        ASSERT_EQ(cands.size(), 8u);
+        for (const Candidate &c : cands) {
+            ASSERT_EQ(c.parent, -1);
+        }
+    }
+}
+
+} // namespace
+} // namespace vantage

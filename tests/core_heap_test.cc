@@ -1,0 +1,104 @@
+/**
+ * @file
+ * CoreClockHeap tests: the indexed min-heap CmpSim uses to pick the
+ * next core to step must agree exactly with the linear scan it
+ * replaced — minimum cycle, ties broken toward the lowest core
+ * index — under long randomized update sequences.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/core_heap.h"
+
+namespace vantage {
+namespace {
+
+/** The replaced implementation: strict-<, lowest index wins ties. */
+std::uint32_t
+scanMin(const std::vector<Cycle> &clocks)
+{
+    std::uint32_t best = 0;
+    for (std::uint32_t c = 1; c < clocks.size(); ++c) {
+        if (clocks[c] < clocks[best]) {
+            best = c;
+        }
+    }
+    return best;
+}
+
+TEST(CoreClockHeap, FreshHeapPicksCoreZero)
+{
+    CoreClockHeap heap;
+    heap.reset(8);
+    EXPECT_EQ(heap.top(), 0u);
+    EXPECT_EQ(heap.key(7), 0u);
+}
+
+TEST(CoreClockHeap, TiesBreakTowardLowestIndex)
+{
+    CoreClockHeap heap;
+    heap.reset(4);
+    heap.update(0, 10);
+    heap.update(1, 5);
+    heap.update(2, 5);
+    heap.update(3, 5);
+    EXPECT_EQ(heap.top(), 1u);
+    heap.update(1, 5); // Re-setting the same key keeps the order.
+    EXPECT_EQ(heap.top(), 1u);
+    heap.update(1, 6);
+    EXPECT_EQ(heap.top(), 2u);
+}
+
+TEST(CoreClockHeap, SingleCore)
+{
+    CoreClockHeap heap;
+    heap.reset(1);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(heap.top(), 0u);
+        heap.update(0, heap.key(0) + 3);
+    }
+}
+
+/** Simulation-shaped traffic: always advance the minimum core. */
+TEST(CoreClockHeap, AgreesWithLinearScanUnderSimTraffic)
+{
+    constexpr std::uint32_t kCores = 32;
+    CoreClockHeap heap;
+    heap.reset(kCores);
+    std::vector<Cycle> ref(kCores, 0);
+
+    Rng rng(41);
+    for (int i = 0; i < 200000; ++i) {
+        const std::uint32_t next = heap.top();
+        ASSERT_EQ(next, scanMin(ref)) << "at step " << i;
+        const Cycle advance = 1 + rng.range(200);
+        ref[next] += advance;
+        heap.update(next, heap.key(next) + advance);
+        ASSERT_EQ(heap.key(next), ref[next]);
+    }
+}
+
+/** Arbitrary updates (any core, up or down) must also agree. */
+TEST(CoreClockHeap, AgreesWithLinearScanUnderRandomUpdates)
+{
+    constexpr std::uint32_t kCores = 17; // Odd, non-power-of-two.
+    CoreClockHeap heap;
+    heap.reset(kCores);
+    std::vector<Cycle> ref(kCores, 0);
+
+    Rng rng(43);
+    for (int i = 0; i < 100000; ++i) {
+        const auto core =
+            static_cast<std::uint32_t>(rng.range(kCores));
+        const Cycle value = rng.range(1000);
+        ref[core] = value;
+        heap.update(core, value);
+        ASSERT_EQ(heap.top(), scanMin(ref)) << "at step " << i;
+    }
+}
+
+} // namespace
+} // namespace vantage

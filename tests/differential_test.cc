@@ -254,15 +254,15 @@ TEST(Differential, CoarseLruAgreesWithExactLruMostly)
     CoarseLru coarse(kLines);
 
     Rng rng(9);
-    std::vector<Candidate> cands;
+    CandidateBuf cands;
     int decisions = 0;
     int agreements = 0;
     for (int i = 0; i < 120000; ++i) {
         const Addr a = rng.range(4096);
         const LineId slot = arr.lookup(a);
         if (slot != kInvalidLine) {
-            exact.onHit(arr.line(slot));
-            coarse.onHit(arr.line(slot));
+            exact.onHit(arr, slot);
+            coarse.onHit(arr, slot);
             continue;
         }
         arr.candidates(a, cands);
@@ -281,8 +281,8 @@ TEST(Differential, CoarseLruAgreesWithExactLruMostly)
             // Rank of the coarse choice under exact LRU.
             int older = 0;
             for (const auto &cand : cands) {
-                if (arr.line(cand.slot).lastAccess <
-                    arr.line(cands[victim].slot).lastAccess) {
+                if (arr.cold(cand.slot).lastAccess <
+                    arr.cold(cands[victim].slot).lastAccess) {
                     ++older;
                 }
             }
@@ -292,8 +292,8 @@ TEST(Differential, CoarseLruAgreesWithExactLruMostly)
             }
         }
         const LineId root = arr.replace(a, cands, victim);
-        exact.onInsert(arr.line(root));
-        coarse.onInsert(arr.line(root));
+        exact.onInsert(arr, root);
+        coarse.onInsert(arr, root);
     }
     ASSERT_GT(decisions, 10000);
     EXPECT_GT(static_cast<double>(agreements) /

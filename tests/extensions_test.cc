@@ -167,7 +167,7 @@ TEST(Writebacks, ZcacheRelocationCarriesDirtyBit)
 {
     ZArray arr(512, 4, 16, 3);
     Rng rng(5);
-    std::vector<Candidate> cands;
+    CandidateBuf cands;
     // Fill with dirty lines, relocating aggressively.
     for (int i = 0; i < 20000; ++i) {
         const Addr a = (rng.next() >> 8) % 2048 + 1;
@@ -176,12 +176,13 @@ TEST(Writebacks, ZcacheRelocationCarriesDirtyBit)
         const auto victim =
             static_cast<std::int32_t>(rng.range(cands.size()));
         const LineId root = arr.replace(a, cands, victim);
-        arr.line(root).dirty = true;
+        arr.cold(root).dirty = true;
     }
-    // Every resident line must still be dirty, wherever it moved.
+    // Every resident line must still be dirty, wherever it moved
+    // (relocations carry the cold plane along with the hot tags).
     for (LineId s = 0; s < 512; ++s) {
         if (arr.line(s).valid()) {
-            EXPECT_TRUE(arr.line(s).dirty);
+            EXPECT_TRUE(arr.cold(s).dirty);
         }
     }
 }

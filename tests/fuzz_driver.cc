@@ -19,7 +19,14 @@
  * global state — so a failure printed by CI reproduces anywhere.
  *
  * Usage: fuzz_driver [--iters N] [--seed S] [--accesses N]
- *                    [--check-every N] [--no-realloc] [--verbose]
+ *                    [--check-every N] [--banks N] [--no-realloc]
+ *                    [--verbose]
+ *
+ * --banks N (N > 0) routes every case through an N-bank BankedCache
+ * of Z4/52 zcaches instead of a single flat cache. The option is
+ * applied after the seed-derived case is drawn, so it never perturbs
+ * the rng sequences: `--seed S` replays the same addresses with and
+ * without banking.
  *
  * Exit status: 0 when every iteration holds all invariants, 1 on the
  * first (minimized) violation, 2 on usage errors.
@@ -33,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/banked_cache.h"
 #include "cache/cache.h"
 #include "common/rng.h"
 #include "sim/experiment.h"
@@ -50,6 +58,7 @@ struct FuzzCase
     std::uint64_t sharedLines = 0;   ///< Shared warm region.
     std::uint64_t reallocEvery = 0;  ///< 0 = never repartition.
     std::uint64_t seed = 0;
+    std::uint32_t banks = 0;         ///< 0 = flat cache (CLI-forced).
 
     std::string
     describe() const
@@ -66,7 +75,12 @@ struct FuzzCase
             static_cast<unsigned long long>(hotLines),
             static_cast<unsigned long long>(sharedLines),
             static_cast<unsigned long long>(reallocEvery));
-        return buf;
+        std::string out = buf;
+        if (banks > 0) {
+            std::snprintf(buf, sizeof(buf), " banks=%u", banks);
+            out += buf;
+        }
+        return out;
     }
 };
 
@@ -180,9 +194,34 @@ std::int64_t
 runCase(const FuzzCase &fc, std::uint64_t check_every,
         bool allow_realloc, InvariantReport &rep)
 {
-    std::unique_ptr<Cache> cache = buildL2(fc.spec);
+    // --banks routes everything through a BankedCache; the flat path
+    // is otherwise untouched.
+    std::unique_ptr<Cache> cache;
+    std::unique_ptr<BankedCache> banked;
+    if (fc.banks > 0) {
+        std::vector<std::unique_ptr<Cache>> bs;
+        bs.reserve(fc.banks);
+        for (std::uint32_t b = 0; b < fc.banks; ++b) {
+            L2Spec bank_spec = fc.spec;
+            bank_spec.seed = fc.spec.seed + 0x9e37ull * (b + 1);
+            bs.push_back(buildL2(bank_spec));
+        }
+        banked = std::make_unique<BankedCache>(std::move(bs),
+                                               fc.seed ^ 0xba4cull);
+    } else {
+        cache = buildL2(fc.spec);
+    }
     Rng rng(fc.seed ^ 0xacce55ull);
     std::uint64_t scan_counter = 0;
+
+    const auto check = [&](InvariantReport &r) {
+        r.clear();
+        if (banked) {
+            banked->checkInvariants(r);
+        } else {
+            cache->checkInvariants(r);
+        }
+    };
 
     for (std::uint64_t i = 0; i < fc.accesses; ++i) {
         const auto part = static_cast<PartId>(
@@ -190,34 +229,62 @@ runCase(const FuzzCase &fc, std::uint64_t check_every,
         const Addr addr = nextAddr(rng, fc, part, scan_counter);
         const AccessType type = rng.chance(0.3) ? AccessType::Store
                                                 : AccessType::Load;
-        cache->access(addr, part, type);
+        if (banked) {
+            banked->access(addr, part, type);
+        } else {
+            cache->access(addr, part, type);
+        }
 
         // Reallocation events are part of the stream derivation even
         // when suppressed, so --no-realloc replays identical
         // addresses.
         if (fc.reallocEvery && (i + 1) % fc.reallocEvery == 0) {
+            PartitionScheme &scheme =
+                banked ? banked->bank(0).scheme() : cache->scheme();
             const std::vector<std::uint32_t> units =
                 randomAllocations(rng, fc.spec.numPartitions,
-                                  cache->scheme().allocationQuantum());
+                                  scheme.allocationQuantum());
             if (allow_realloc) {
-                cache->scheme().setAllocations(units);
+                if (banked) {
+                    banked->setAllocations(units);
+                } else {
+                    cache->scheme().setAllocations(units);
+                }
             }
         }
 
         if ((i + 1) % check_every == 0) {
-            rep.clear();
-            cache->checkInvariants(rep);
+            check(rep);
             if (!rep.ok()) {
                 return static_cast<std::int64_t>(i);
             }
         }
     }
-    rep.clear();
-    cache->checkInvariants(rep);
+    check(rep);
     if (!rep.ok()) {
         return static_cast<std::int64_t>(fc.accesses - 1);
     }
     return -1;
+}
+
+/**
+ * Force a seed-derived case onto N banks of Z4/52 zcaches. Applied
+ * after makeCase so no rng draws change; schemes that require a
+ * set-associative array (PIPP) or cap partitions at the way count
+ * (way-partitioning) are adjusted to stay constructible.
+ */
+void
+forceBanks(FuzzCase &fc, std::uint32_t banks)
+{
+    fc.banks = banks;
+    fc.spec.array = ArrayKind::Z4_52;
+    if (fc.spec.scheme == SchemeKind::Pipp) {
+        fc.spec.scheme = SchemeKind::Vantage;
+    }
+    if (fc.spec.scheme == SchemeKind::WayPart) {
+        fc.spec.numPartitions = std::min(fc.spec.numPartitions, 4u);
+        fc.spec.vantage.numPartitions = fc.spec.numPartitions;
+    }
 }
 
 /** Minimize and print a failing case; never returns success. */
@@ -260,9 +327,13 @@ reportFailure(FuzzCase fc, std::uint64_t coarse_idx)
     }
     std::fprintf(stderr,
                  "reproduce: fuzz_driver --seed %llu --iters 1 "
-                 "--accesses %lld --check-every 1\n",
+                 "--accesses %lld --check-every 1",
                  static_cast<unsigned long long>(fc.seed),
                  static_cast<long long>(first + 1));
+    if (fc.banks > 0) {
+        std::fprintf(stderr, " --banks %u", fc.banks);
+    }
+    std::fprintf(stderr, "\n");
     return 1;
 }
 
@@ -302,6 +373,7 @@ main(int argc, char **argv)
     std::uint64_t base_seed = 1;
     std::uint64_t accesses = 20'000;
     std::uint64_t check_every = 512;
+    std::uint64_t banks = 0;
     bool allow_realloc = true;
     bool verbose = false;
 
@@ -326,6 +398,15 @@ main(int argc, char **argv)
             if (check_every == 0) {
                 check_every = 1;
             }
+        } else if (arg == "--banks") {
+            numArg(banks);
+            if (banks > 64) {
+                std::fprintf(stderr,
+                             "fuzz_driver: --banks %llu too large "
+                             "(max 64)\n",
+                             static_cast<unsigned long long>(banks));
+                return 2;
+            }
         } else if (arg == "--no-realloc") {
             allow_realloc = false;
         } else if (arg == "--verbose") {
@@ -335,7 +416,7 @@ main(int argc, char **argv)
                          "fuzz_driver: unknown option '%s'\n"
                          "usage: fuzz_driver [--iters N] [--seed S] "
                          "[--accesses N] [--check-every N] "
-                         "[--no-realloc] [--verbose]\n",
+                         "[--banks N] [--no-realloc] [--verbose]\n",
                          arg.c_str());
             return 2;
         }
@@ -343,7 +424,10 @@ main(int argc, char **argv)
 
     for (std::uint64_t it = 0; it < iters; ++it) {
         const std::uint64_t seed = base_seed + it;
-        const FuzzCase fc = makeCase(seed, accesses);
+        FuzzCase fc = makeCase(seed, accesses);
+        if (banks > 0) {
+            forceBanks(fc, static_cast<std::uint32_t>(banks));
+        }
         if (verbose) {
             std::fprintf(stderr, "fuzz[%llu]: seed %llu: %s\n",
                          static_cast<unsigned long long>(it),

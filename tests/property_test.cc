@@ -283,7 +283,7 @@ TEST_P(ZGeometry, WalkYieldsRAndPreservesResidents)
     const std::size_t lines = 256 * ways;
     ZArray arr(lines, ways, r, 0x5);
     Rng rng(ways * 1000 + r);
-    std::vector<Candidate> cands;
+    CandidateBuf cands;
     std::uint64_t resident = 0;
 
     for (int i = 0; i < 20000; ++i) {

@@ -1,7 +1,9 @@
 /**
  * @file
  * Tests for the replacement policies: exact LRU, coarse-timestamp
- * LRU, the RRIP family, and LFU.
+ * LRU, the RRIP family, and LFU. Policies operate on array slots
+ * (hot rank plane + cold lastAccess plane), so the unit tests stage
+ * their lines inside a small SetAssocArray.
  */
 
 #include <gtest/gtest.h>
@@ -29,30 +31,37 @@ makeCache(std::unique_ptr<ReplPolicy> policy, std::size_t lines = 256,
         std::make_unique<Unpartitioned>(1, std::move(policy)), "c");
 }
 
+/** A small slot pool for exercising policies directly. */
+SetAssocArray
+makeSlots(std::size_t lines = 8, std::uint32_t ways = 8)
+{
+    return SetAssocArray(lines, ways, false);
+}
+
 // ---------------------------------------------------------------
 // ExactLru
 // ---------------------------------------------------------------
 
 TEST(ExactLru, PrefersOlder)
 {
+    SetAssocArray arr = makeSlots();
     ExactLru lru;
-    Line a, b;
-    lru.onInsert(a);
-    lru.onInsert(b);
-    EXPECT_TRUE(lru.prefer(a, b));
-    lru.onHit(a);
-    EXPECT_TRUE(lru.prefer(b, a));
+    lru.onInsert(arr, 0);
+    lru.onInsert(arr, 1);
+    EXPECT_TRUE(lru.prefer(arr, 0, 1));
+    lru.onHit(arr, 0);
+    EXPECT_TRUE(lru.prefer(arr, 1, 0));
 }
 
 TEST(ExactLru, PriorityOrdersByAge)
 {
+    SetAssocArray arr = makeSlots();
     ExactLru lru;
-    Line a, b, c;
-    lru.onInsert(a);
-    lru.onInsert(b);
-    lru.onInsert(c);
-    EXPECT_GT(lru.priority(a), lru.priority(b));
-    EXPECT_GT(lru.priority(b), lru.priority(c));
+    lru.onInsert(arr, 0);
+    lru.onInsert(arr, 1);
+    lru.onInsert(arr, 2);
+    EXPECT_GT(lru.priority(arr, 0), lru.priority(arr, 1));
+    EXPECT_GT(lru.priority(arr, 1), lru.priority(arr, 2));
 }
 
 TEST(ExactLru, CacheEvictsLeastRecentlyUsed)
@@ -75,11 +84,11 @@ TEST(ExactLru, CacheEvictsLeastRecentlyUsed)
 
 TEST(CoarseLru, TimestampAdvancesEverySixteenth)
 {
+    SetAssocArray arr = makeSlots();
     CoarseLru lru(160); // Tick period = 10 accesses.
-    Line l;
     const std::uint8_t t0 = lru.currentTimestamp();
     for (int i = 0; i < 10; ++i) {
-        lru.onInsert(l);
+        lru.onInsert(arr, 7); // Scratch slot.
     }
     EXPECT_EQ(lru.currentTimestamp(),
               static_cast<std::uint8_t>(t0 + 1));
@@ -87,35 +96,31 @@ TEST(CoarseLru, TimestampAdvancesEverySixteenth)
 
 TEST(CoarseLru, PrefersLargerAge)
 {
+    SetAssocArray arr = makeSlots();
     CoarseLru lru(16); // Tick every access.
-    Line old_line, new_line;
-    lru.onInsert(old_line);
+    lru.onInsert(arr, 0); // Old line.
     for (int i = 0; i < 50; ++i) {
-        Line tmp;
-        lru.onInsert(tmp);
+        lru.onInsert(arr, 7); // Scratch slot.
     }
-    lru.onInsert(new_line);
-    EXPECT_TRUE(lru.prefer(old_line, new_line));
-    EXPECT_GT(lru.priority(old_line), lru.priority(new_line));
+    lru.onInsert(arr, 1); // New line.
+    EXPECT_TRUE(lru.prefer(arr, 0, 1));
+    EXPECT_GT(lru.priority(arr, 0), lru.priority(arr, 1));
 }
 
 TEST(CoarseLru, WrapAroundStillOrdersRecentPairs)
 {
+    SetAssocArray arr = makeSlots();
     CoarseLru lru(16);
     // Push the timestamp through several wraparounds.
     for (int i = 0; i < 1000; ++i) {
-        Line tmp;
-        lru.onInsert(tmp);
+        lru.onInsert(arr, 7);
     }
-    Line a;
-    lru.onInsert(a);
+    lru.onInsert(arr, 0); // a
     for (int i = 0; i < 20; ++i) {
-        Line tmp;
-        lru.onInsert(tmp);
+        lru.onInsert(arr, 7);
     }
-    Line b;
-    lru.onInsert(b);
-    EXPECT_TRUE(lru.prefer(a, b));
+    lru.onInsert(arr, 1); // b
+    EXPECT_TRUE(lru.prefer(arr, 0, 1));
 }
 
 TEST(CoarseLru, ApproximatesLruInCache)
@@ -144,18 +149,18 @@ TEST(CoarseLru, ApproximatesLruInCache)
 
 TEST(Srrip, InsertsAtLongHitsToZero)
 {
+    SetAssocArray arr = makeSlots();
     Srrip policy;
-    Line l;
-    policy.onInsert(l);
-    EXPECT_EQ(l.rank, RripBase::kLong);
-    policy.onHit(l);
-    EXPECT_EQ(l.rank, 0);
+    policy.onInsert(arr, 0);
+    EXPECT_EQ(arr.line(0).rank, RripBase::kLong);
+    policy.onHit(arr, 0);
+    EXPECT_EQ(arr.line(0).rank, 0);
 }
 
 TEST(Srrip, VictimIsMaxRrpvAndNeighborhoodAges)
 {
     SetAssocArray arr(4, 4, false);
-    std::vector<Candidate> cands;
+    CandidateBuf cands;
     arr.candidates(0, cands);
     for (std::uint32_t i = 0; i < 4; ++i) {
         arr.replace(static_cast<Addr>(i * 4), cands, i);
@@ -196,13 +201,13 @@ TEST(Srrip, ScanResistance)
 
 TEST(Brrip, MostInsertionsAreDistant)
 {
+    SetAssocArray arr = makeSlots();
     Brrip policy(123);
     int distant = 0;
     const int n = 10000;
     for (int i = 0; i < n; ++i) {
-        Line l;
-        policy.onInsert(l);
-        if (l.rank == RripBase::kDistant) ++distant;
+        policy.onInsert(arr, 0);
+        if (arr.line(0).rank == RripBase::kDistant) ++distant;
     }
     EXPECT_NEAR(static_cast<double>(distant) / n, 31.0 / 32.0, 0.01);
 }
@@ -235,28 +240,27 @@ TEST(Drrip, DuelPrefersSrripUnderReuse)
 
 TEST(TaDrrip, PerPartitionInsertion)
 {
+    SetAssocArray arr = makeSlots();
     TaDrrip policy(2, 512, 16, 13);
-    Line a;
-    a.part = 0;
-    a.addr = 0x123;
-    policy.onInsert(a);
-    EXPECT_TRUE(a.rank == RripBase::kLong ||
-                a.rank == RripBase::kDistant);
-    Line b;
-    b.part = 1;
-    b.addr = 0x456;
-    policy.onInsert(b);
-    EXPECT_TRUE(b.rank == RripBase::kLong ||
-                b.rank == RripBase::kDistant);
+    arr.line(0).part = 0;
+    arr.line(0).addr = 0x123;
+    policy.onInsert(arr, 0);
+    EXPECT_TRUE(arr.line(0).rank == RripBase::kLong ||
+                arr.line(0).rank == RripBase::kDistant);
+    arr.line(1).part = 1;
+    arr.line(1).addr = 0x456;
+    policy.onInsert(arr, 1);
+    EXPECT_TRUE(arr.line(1).rank == RripBase::kLong ||
+                arr.line(1).rank == RripBase::kDistant);
 }
 
 TEST(TaDrripDeath, BadPartitionPanics)
 {
+    SetAssocArray arr = makeSlots();
     TaDrrip policy(2, 512, 16, 13);
-    Line l;
-    l.part = 5;
-    l.addr = 1;
-    EXPECT_DEATH(policy.onInsert(l), "out of range");
+    arr.line(0).part = 5;
+    arr.line(0).addr = 1;
+    EXPECT_DEATH(policy.onInsert(arr, 0), "out of range");
 }
 
 // ---------------------------------------------------------------
@@ -266,7 +270,7 @@ TEST(TaDrripDeath, BadPartitionPanics)
 TEST(Nru, EvictsNotRecentlyUsedFirst)
 {
     SetAssocArray arr(4, 4, false);
-    std::vector<Candidate> cands;
+    CandidateBuf cands;
     arr.candidates(0, cands);
     for (std::uint32_t i = 0; i < 4; ++i) {
         arr.replace(static_cast<Addr>(i * 4), cands, i);
@@ -279,7 +283,7 @@ TEST(Nru, EvictsNotRecentlyUsedFirst)
 TEST(Nru, ClearsNeighborhoodWhenAllUsed)
 {
     SetAssocArray arr(4, 4, false);
-    std::vector<Candidate> cands;
+    CandidateBuf cands;
     arr.candidates(0, cands);
     for (std::uint32_t i = 0; i < 4; ++i) {
         arr.replace(static_cast<Addr>(i * 4), cands, i);
@@ -313,7 +317,7 @@ TEST(Nru, KeepsHotWorkingSet)
 TEST(RandomRepl, DrawsAreSpreadAcrossCandidates)
 {
     SetAssocArray arr(16, 16, false);
-    std::vector<Candidate> cands;
+    CandidateBuf cands;
     arr.candidates(0, cands);
     for (std::uint32_t i = 0; i < 16; ++i) {
         arr.replace(static_cast<Addr>(i * 1), cands, i);
@@ -334,26 +338,26 @@ TEST(RandomRepl, DrawsAreSpreadAcrossCandidates)
 
 TEST(Lfu, PrefersLessFrequent)
 {
+    SetAssocArray arr = makeSlots();
     Lfu lfu;
-    Line hot, cold;
-    lfu.onInsert(hot);
-    lfu.onInsert(cold);
+    lfu.onInsert(arr, 0); // Hot.
+    lfu.onInsert(arr, 1); // Cold.
     for (int i = 0; i < 5; ++i) {
-        lfu.onHit(hot);
+        lfu.onHit(arr, 0);
     }
-    EXPECT_TRUE(lfu.prefer(cold, hot));
-    EXPECT_GT(lfu.priority(cold), lfu.priority(hot));
+    EXPECT_TRUE(lfu.prefer(arr, 1, 0));
+    EXPECT_GT(lfu.priority(arr, 1), lfu.priority(arr, 0));
 }
 
 TEST(Lfu, CounterSaturates)
 {
+    SetAssocArray arr = makeSlots();
     Lfu lfu;
-    Line l;
-    lfu.onInsert(l);
+    lfu.onInsert(arr, 0);
     for (int i = 0; i < 1000; ++i) {
-        lfu.onHit(l);
+        lfu.onHit(arr, 0);
     }
-    EXPECT_EQ(l.rank, 255);
+    EXPECT_EQ(arr.line(0).rank, 255);
 }
 
 } // namespace
