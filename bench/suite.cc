@@ -8,10 +8,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <mutex>
 
 #include "common/log.h"
 #include "common/thread_pool.h"
+#include "obs/metrics_service.h"
 #include "stats/json.h"
 #include "stats/table.h"
 #include "trace/event_trace.h"
@@ -43,11 +45,10 @@ class SuiteProgress
         const std::uint64_t n =
             done_.fetch_add(1, std::memory_order_relaxed) + 1;
         std::lock_guard<std::mutex> lock(mutex_);
+        lastDone_ = n;
+        lastName_ = name;
         if (tty_) {
-            // \x1b[K clears leftovers of a longer previous name.
-            std::fprintf(stderr, "\r[%llu/%zu] %s\x1b[K",
-                         static_cast<unsigned long long>(n), total_,
-                         name.c_str());
+            drawProgressLocked();
             if (n >= total_) {
                 std::fputc('\n', stderr);
             }
@@ -59,11 +60,45 @@ class SuiteProgress
         std::fflush(stderr);
     }
 
+    /**
+     * Emit one full line (e.g. a job's heartbeat record) without
+     * corrupting the progress display: on a tty the in-place
+     * progress line is cleared first and redrawn after, and the
+     * shared mutex keeps lines from parallel jobs whole.
+     */
+    void
+    line(const std::string &text)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (tty_) {
+            std::fprintf(stderr, "\r\x1b[K%s\n", text.c_str());
+            drawProgressLocked();
+        } else {
+            std::fprintf(stderr, "%s\n", text.c_str());
+        }
+        std::fflush(stderr);
+    }
+
   private:
+    /** Redraw the current [n/total] line; requires mutex_ held. */
+    void
+    drawProgressLocked()
+    {
+        if (lastDone_ == 0) {
+            return;
+        }
+        // \x1b[K clears leftovers of a longer previous name.
+        std::fprintf(stderr, "\r[%llu/%zu] %s\x1b[K",
+                     static_cast<unsigned long long>(lastDone_),
+                     total_, lastName_.c_str());
+    }
+
     std::size_t total_;
     bool tty_;
     std::atomic<std::uint64_t> done_{0};
     std::mutex mutex_;
+    std::uint64_t lastDone_ = 0;   ///< Guarded by mutex_.
+    std::string lastName_;         ///< Guarded by mutex_.
 };
 
 } // namespace
@@ -146,6 +181,38 @@ runSuite(const SuiteOptions &opts, const L2Spec &baseline,
 
     std::vector<MixRow> rows(jobs.size());
     SuiteProgress progress(jobs.size());
+
+    // Optional live metrics endpoint: $VANTAGE_METRICS_PORT starts
+    // one service for the whole suite; every in-flight mix registers
+    // under its own job label. Observational only.
+    std::unique_ptr<MetricsService> metrics;
+    if (const char *p = std::getenv("VANTAGE_METRICS_PORT")) {
+        if (*p != '\0') {
+            MetricsServiceConfig mcfg;
+            mcfg.port = static_cast<std::uint16_t>(
+                std::strtoul(p, nullptr, 10));
+            if (const char *ms =
+                    std::getenv("VANTAGE_METRICS_PERIOD_MS")) {
+                const auto v = std::strtoull(ms, nullptr, 10);
+                if (v != 0) {
+                    mcfg.epochMillis = v;
+                }
+            }
+            metrics = std::make_unique<MetricsService>(mcfg);
+            std::string merror;
+            if (!metrics->start(merror)) {
+                warn("cannot start metrics service: %s",
+                     merror.c_str());
+                metrics.reset();
+            } else {
+                std::fprintf(stderr,
+                             "bench: metrics listening on "
+                             "http://127.0.0.1:%d/metrics\n",
+                             metrics->port());
+            }
+        }
+    }
+
     const unsigned workers =
         ThreadPool::resolveJobs(opts.scale.jobs);
     {
@@ -165,16 +232,29 @@ runSuite(const SuiteOptions &opts, const L2Spec &baseline,
                                    ? session.intern(name)
                                    : "mix");
 
+            // Heartbeats route through the progress display (whole
+            // lines under one mutex), so `--jobs > 1` output never
+            // interleaves mid-record; each in-flight config exposes
+            // its live stats under a distinct job label.
+            MixHooks hooks;
+            hooks.heartbeatSink = [&progress](
+                                      const std::string &text) {
+                progress.line(text);
+            };
+            hooks.metrics = metrics.get();
+
             MixRow row;
             row.mix = name;
+            hooks.job = name + "/" + baseline.name();
             const MixResult base = runMix(opts.machine, baseline,
                                           apps, opts.scale, name,
-                                          job.seed + 1);
+                                          job.seed + 1, hooks);
             row.baseline = base.throughput;
             for (const auto &spec : configs) {
+                hooks.job = name + "/" + spec.name();
                 const MixResult r = runMix(opts.machine, spec, apps,
                                            opts.scale, name,
-                                           job.seed + 1);
+                                           job.seed + 1, hooks);
                 row.normalized.push_back(base.throughput > 0.0
                                              ? r.throughput /
                                                    base.throughput

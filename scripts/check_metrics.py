@@ -1,0 +1,298 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition document from vsim.
+
+Two modes:
+
+  Scrape an already-running endpoint (or read a saved scrape):
+
+    scripts/check_metrics.py --url http://127.0.0.1:9464/metrics
+    scripts/check_metrics.py --file scrape.txt
+
+  Drive a vsim: start it with --metrics-port 0, parse the announced
+  port off stderr, scrape while the simulation runs, validate, then
+  wait for a clean exit:
+
+    scripts/check_metrics.py --vsim build/src/sim/vsim \
+        --vsim-args "--mix 3 --instrs 20000000" \
+        --require vantage_aperture_bp --require vantage_target_lines
+
+Validation enforces the text-format 0.0.4 rules that matter for real
+scrapers: every sample parses, at most one `# TYPE` per metric and it
+precedes the samples, all samples of a metric are contiguous, no
+duplicate (name, labels) series, summary quantile/_sum/_count
+structure, and legal metric/label names. --require NAME asserts the
+metric exists with at least one sample.
+
+Exit status: 0 valid (and all required metrics present), 1 invalid,
+2 usage/spawn error.
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+import time
+import urllib.request
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)(?: \d+)?$")
+LABEL_RE = re.compile(
+    r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>(?:[^"\\]|\\.)*)"$')
+TYPE_RE = re.compile(
+    r"^# TYPE (?P<name>\S+) "
+    r"(?P<type>counter|gauge|summary|histogram|untyped)$")
+PORT_RE = re.compile(
+    r"metrics listening on http://127\.0\.0\.1:(\d+)/metrics")
+VALUE_RE = re.compile(
+    r"^([+-]?(\d+(\.\d*)?|\.\d+)([eE][+-]?\d+)?|[+-]?Inf|NaN)$")
+
+
+def split_labels(text):
+    """Split a label body on top-level commas, respecting escapes."""
+    parts, cur, in_str, esc = [], "", False, False
+    for ch in text:
+        if esc:
+            cur += ch
+            esc = False
+            continue
+        if ch == "\\" and in_str:
+            cur += ch
+            esc = True
+        elif ch == '"':
+            cur += ch
+            in_str = not in_str
+        elif ch == "," and not in_str:
+            parts.append(cur)
+            cur = ""
+        else:
+            cur += ch
+    if cur:
+        parts.append(cur)
+    return parts
+
+
+def base_name(name):
+    """Metric family a sample belongs to (strips summary suffixes)."""
+    for suffix in ("_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def validate(text, require):
+    """Return a list of error strings (empty = valid)."""
+    errors = []
+    types = {}          # family -> declared type
+    seen_groups = []    # family order of appearance
+    closed = set()      # families whose sample block has ended
+    series = set()      # (name, labels) uniqueness
+    samples_per_family = {}
+    last_family = None
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            m = TYPE_RE.match(line)
+            if line.startswith("# TYPE") and not m:
+                errors.append(f"line {lineno}: malformed TYPE line")
+                continue
+            if not m:
+                continue  # Other comments are free-form.
+            name = m.group("name")
+            if not NAME_RE.match(name):
+                errors.append(
+                    f"line {lineno}: illegal metric name '{name}'")
+            if name in types:
+                errors.append(
+                    f"line {lineno}: duplicate TYPE for '{name}'")
+            if name in samples_per_family:
+                errors.append(
+                    f"line {lineno}: TYPE for '{name}' after its "
+                    f"samples")
+            types[name] = m.group("type")
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample: "
+                          f"{line!r}")
+            continue
+        name = m.group("name")
+        family = base_name(name)
+        if family not in types and name in types:
+            # A metric legitimately named *_sum/_count on its own.
+            family = name
+        declared = types.get(family)
+        if name != family and declared != "summary" \
+                and name in types:
+            family = name
+            declared = types.get(family)
+        if declared is None:
+            errors.append(
+                f"line {lineno}: sample '{name}' has no TYPE line")
+            family = name
+        if name != family and declared not in ("summary",
+                                               "histogram"):
+            errors.append(
+                f"line {lineno}: suffixed sample '{name}' under "
+                f"non-summary family")
+
+        # Grouping: all samples of a family must be contiguous.
+        if family != last_family:
+            if family in closed:
+                errors.append(
+                    f"line {lineno}: samples of '{family}' are not "
+                    f"contiguous")
+            if last_family is not None:
+                closed.add(last_family)
+            if family not in seen_groups:
+                seen_groups.append(family)
+            last_family = family
+        samples_per_family[family] = \
+            samples_per_family.get(family, 0) + 1
+
+        labels = m.group("labels")
+        label_keys = []
+        canonical = []
+        if labels is not None:
+            if labels.strip() == "":
+                errors.append(f"line {lineno}: empty label braces")
+            for part in split_labels(labels):
+                lm = LABEL_RE.match(part)
+                if not lm:
+                    errors.append(
+                        f"line {lineno}: bad label '{part}'")
+                    continue
+                if lm.group("key") in label_keys:
+                    errors.append(
+                        f"line {lineno}: duplicate label key "
+                        f"'{lm.group('key')}'")
+                label_keys.append(lm.group("key"))
+                canonical.append(
+                    (lm.group("key"), lm.group("val")))
+        key = (name, tuple(sorted(canonical)))
+        if key in series:
+            errors.append(
+                f"line {lineno}: duplicate series {key}")
+        series.add(key)
+
+        if not VALUE_RE.match(m.group("value")):
+            errors.append(
+                f"line {lineno}: bad value '{m.group('value')}'")
+
+    for name in require or []:
+        if samples_per_family.get(base_name(name), 0) == 0 and \
+                samples_per_family.get(name, 0) == 0:
+            errors.append(f"required metric '{name}' missing")
+    return errors
+
+
+def scrape(url, timeout=5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        ctype = resp.headers.get("Content-Type", "")
+        body = resp.read().decode("utf-8")
+    if "text/plain" not in ctype:
+        sys.exit(f"unexpected Content-Type: {ctype}")
+    return body
+
+
+def drive_vsim(opts):
+    """Spawn vsim with an ephemeral metrics port and scrape it."""
+    cmd = [opts.vsim] + opts.vsim_args.split() + \
+        ["--metrics-port", "0", "--metrics-period-ms", "25"]
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE, text=True)
+    port = None
+    deadline = time.monotonic() + 30.0
+    stderr_lines = []
+    try:
+        while time.monotonic() < deadline:
+            line = proc.stderr.readline()
+            if not line:
+                break
+            stderr_lines.append(line)
+            m = PORT_RE.search(line)
+            if m:
+                port = int(m.group(1))
+                break
+        if port is None:
+            proc.kill()
+            sys.exit("vsim never announced a metrics port:\n" +
+                     "".join(stderr_lines))
+
+        url = f"http://127.0.0.1:{port}/metrics"
+        body = None
+        # Poll until the sampler has taken at least one epoch and
+        # the required metrics show up, while the sim still runs.
+        last_err = None
+        while time.monotonic() < deadline:
+            try:
+                body = scrape(url)
+            except OSError as e:
+                last_err = e
+                time.sleep(0.1)
+                continue
+            if not validate(body, opts.require):
+                break
+            time.sleep(0.1)
+        if body is None:
+            proc.kill()
+            sys.exit(f"could not scrape {url}: {last_err}")
+        return proc, body
+    except BaseException:
+        proc.kill()
+        raise
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    src = ap.add_mutually_exclusive_group(required=True)
+    src.add_argument("--url", help="endpoint to scrape")
+    src.add_argument("--file", help="saved exposition document")
+    src.add_argument("--vsim", help="vsim binary to drive")
+    ap.add_argument("--vsim-args", default="--mix 3",
+                    help="workload arguments for --vsim mode")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="NAME",
+                    help="assert this metric exists (repeatable)")
+    opts = ap.parse_args()
+
+    proc = None
+    if opts.url:
+        body = scrape(opts.url)
+    elif opts.file:
+        with open(opts.file, encoding="utf-8") as f:
+            body = f.read()
+    else:
+        proc, body = drive_vsim(opts)
+
+    errors = validate(body, opts.require)
+    for err in errors[:50]:
+        print(f"check_metrics: {err}", file=sys.stderr)
+
+    if proc is not None:
+        # Let the simulation finish; its exit status matters too.
+        out, err = proc.communicate(timeout=600)
+        if proc.returncode != 0:
+            print(f"check_metrics: vsim exited "
+                  f"{proc.returncode}:\n{err}", file=sys.stderr)
+            return 1
+
+    n_samples = sum(1 for line in body.splitlines()
+                    if line and not line.startswith("#"))
+    if errors:
+        print(f"check_metrics: INVALID ({len(errors)} errors, "
+              f"{n_samples} samples)")
+        return 1
+    print(f"check_metrics: ok ({n_samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

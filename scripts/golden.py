@@ -25,6 +25,7 @@ Exit status: 0 all match, 1 any mismatch/failure, 2 usage error.
 import argparse
 import pathlib
 import re
+import shlex
 import subprocess
 import sys
 
@@ -47,9 +48,9 @@ def parse_lines(path):
             sys.exit(f"{path}:{lineno}: bad digest field '{pinned}'")
 
 
-def run_digest(vsim, args):
+def run_digest(vsim, args, extra_args=None):
     """Run one vsim point, return its printed digest string."""
-    cmd = [vsim] + args + ["--digest"]
+    cmd = [vsim] + args + ["--digest"] + (extra_args or [])
     proc = subprocess.run(cmd, capture_output=True, text=True)
     if proc.returncode != 0:
         print(f"FAIL  {' '.join(args)}", flush=True)
@@ -74,7 +75,13 @@ def main():
         help="digest file (default: tests/golden/digests.txt)")
     ap.add_argument("--repin", action="store_true",
                     help="rewrite the file with measured digests")
+    ap.add_argument(
+        "--extra-args", default="",
+        help="extra vsim arguments appended to every point "
+             "(e.g. '--metrics-port 0' to assert observability "
+             "features are digest-neutral)")
     opts = ap.parse_args()
+    extra = shlex.split(opts.extra_args)
 
     path = pathlib.Path(opts.file)
     entries = list(parse_lines(path))
@@ -84,7 +91,7 @@ def main():
     measured = {}
     failures = 0
     for lineno, pinned, args in entries:
-        got = run_digest(opts.vsim, args)
+        got = run_digest(opts.vsim, args, extra)
         if got is None:
             failures += 1
             continue

@@ -1,0 +1,316 @@
+#!/usr/bin/env python3
+"""Live dashboard for a running vsim / suite run.
+
+Consumes either the Prometheus endpoint started by
+`vsim --metrics-port N` (or a suite run with $VANTAGE_METRICS_PORT):
+
+    scripts/vsim_top.py --url http://127.0.0.1:9464/metrics
+
+or a heartbeat file written by `vsim --heartbeat-out FILE`:
+
+    scripts/vsim_top.py --heartbeat /tmp/hb.jsonl
+
+Shows, per job: core progress (instructions, IPC), cache hit/miss
+rates, and the Vantage controller's convergence state — one row per
+partition with target/actual lines, aperture (basis points) and
+demotion/promotion rates. Counter rates are computed client-side
+between refreshes, so the dashboard works against any scrape.
+
+Runs a curses UI on a tty; --plain (or a pipe) prints one text block
+per refresh. --once prints a single snapshot and exits (handy for
+scripts and docs). Exits when the endpoint disappears (sim ended).
+"""
+
+import argparse
+import json
+import re
+import sys
+import time
+import urllib.error
+import urllib.request
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$")
+LABEL_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prom(text):
+    """Exposition text -> {(name, ((k,v),...)): float}."""
+    out = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            continue
+        labels = tuple(sorted(LABEL_RE.findall(m.group("labels") or
+                                               "")))
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            continue
+        out[(m.group("name"), labels)] = value
+    return out
+
+
+def label(labels, key):
+    for k, v in labels:
+        if k == key:
+            return v
+    return None
+
+
+def fmt_count(v):
+    if v is None:
+        return "-"
+    for unit, div in (("G", 1e9), ("M", 1e6), ("k", 1e3)):
+        if abs(v) >= div:
+            return f"{v / div:.2f}{unit}"
+    return f"{v:.0f}"
+
+
+class RateTracker:
+    """Client-side counter rates between refreshes."""
+
+    def __init__(self):
+        self.prev = {}
+        self.prev_time = None
+
+    def rates(self, samples, now):
+        dt = (now - self.prev_time) if self.prev_time else 0.0
+        out = {}
+        if dt > 0:
+            for key, value in samples.items():
+                if key in self.prev and value >= self.prev[key]:
+                    out[key] = (value - self.prev[key]) / dt
+        self.prev = dict(samples)
+        self.prev_time = now
+        return out
+
+
+def render_metrics(samples, rates):
+    """One text block from a parsed scrape."""
+    lines = []
+    jobs = sorted({label(ls, "job") for (_, ls) in samples
+                   if label(ls, "job")})
+    for job in jobs:
+
+        def js(name):
+            """Samples of `name` for this job."""
+            return {ls: v for (n, ls), v in samples.items()
+                    if n == name and label(ls, "job") == job}
+
+        def jr(name):
+            return {ls: v for (n, ls), v in rates.items()
+                    if n == name and label(ls, "job") == job}
+
+        lines.append(f"job: {job}")
+        cores = js("core_instructions")
+        ipcs = js("core_ipc")
+        if cores:
+            total = sum(cores.values())
+            parts = []
+            for ls in sorted(cores,
+                             key=lambda l: int(label(l, "core")
+                                               or 0)):
+                c = label(ls, "core")
+                ipc = ipcs.get(ls)
+                parts.append(
+                    f"c{c} {fmt_count(cores[ls])}"
+                    + (f"@{ipc:.2f}" if ipc is not None else ""))
+            lines.append(
+                f"  cores: {fmt_count(total)} instrs  "
+                + "  ".join(parts))
+        hit_rate = {ls: v for ls, v in jr("cache_hits").items()
+                    if label(ls, "part") is None}
+        miss_rate = {ls: v for ls, v in jr("cache_misses").items()
+                     if label(ls, "part") is None}
+        if hit_rate or miss_rate:
+            h = sum(hit_rate.values())
+            m = sum(miss_rate.values())
+            total = h + m
+            mr = (m / total) if total else 0.0
+            lines.append(
+                f"  cache: {fmt_count(h)}/s hits "
+                f"{fmt_count(m)}/s misses  "
+                f"miss-rate {100.0 * mr:.1f}%")
+
+        target = js("vantage_target_lines")
+        actual = js("vantage_actual_lines")
+        aperture = js("vantage_aperture_bp")
+        dem = jr("vantage_demotions")
+        pro = jr("vantage_promotions")
+        ins = jr("vantage_insertions")
+        pids = sorted({label(ls, "part") for ls in target
+                       if label(ls, "part") is not None},
+                      key=int)
+        if pids:
+            lines.append("  part  target  actual  aperture_bp"
+                         "   demote/s  promote/s  insert/s")
+
+            def by_part(table, pid):
+                for ls, v in table.items():
+                    if label(ls, "part") == pid:
+                        return v
+                return None
+
+            for pid in pids:
+                t = by_part(target, pid)
+                a = by_part(actual, pid)
+                ap = by_part(aperture, pid)
+                lines.append(
+                    f"  {pid:>4}  {fmt_count(t):>6}  "
+                    f"{fmt_count(a):>6}  "
+                    f"{ap if ap is not None else 0:>11.0f}  "
+                    f"{fmt_count(by_part(dem, pid)):>9}  "
+                    f"{fmt_count(by_part(pro, pid)):>9}  "
+                    f"{fmt_count(by_part(ins, pid)):>8}")
+        unman = js("vantage_unmanaged_lines")
+        if unman:
+            lines.append(
+                f"  unmanaged: {fmt_count(sum(unman.values()))} "
+                f"lines")
+        lines.append("")
+    if not jobs:
+        lines.append("(no jobs exported yet)")
+    return lines
+
+
+def render_heartbeat(record):
+    """One text block from the latest heartbeat JSON record."""
+    lines = [
+        f"label: {record.get('label', '?')}   phase: "
+        f"{record.get('phase', '?')}   beat "
+        f"#{record.get('heartbeat', 0)}",
+        f"accesses: {fmt_count(record.get('accesses'))}   "
+        f"instructions: {fmt_count(record.get('instructions'))}   "
+        f"acc/s: {fmt_count(record.get('acc_per_s'))}   "
+        f"instr/s: {fmt_count(record.get('instr_per_s'))}",
+    ]
+    parts = record.get("parts") or []
+    if parts:
+        lines.append("  part  target  actual")
+        for i, part in enumerate(parts):
+            lines.append(
+                f"  {i:>4}  {fmt_count(part.get('target')):>6}  "
+                f"{fmt_count(part.get('actual')):>6}")
+    return lines
+
+
+def read_last_heartbeat(path):
+    last = None
+    try:
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if line:
+                    last = line
+    except OSError:
+        return None
+    if last is None:
+        return None
+    try:
+        return json.loads(last)
+    except json.JSONDecodeError:
+        return None
+
+
+def snapshot(opts, tracker):
+    """Fetch and render one frame; None when the source is gone."""
+    if opts.url:
+        try:
+            with urllib.request.urlopen(opts.url, timeout=5) as r:
+                text = r.read().decode("utf-8")
+        except (urllib.error.URLError, OSError):
+            return None
+        samples = parse_prom(text)
+        rates = tracker.rates(
+            {k: v for k, v in samples.items()},
+            time.monotonic())
+        return render_metrics(samples, rates)
+    record = read_last_heartbeat(opts.heartbeat)
+    if record is None:
+        return ["(waiting for heartbeat records...)"]
+    return render_heartbeat(record)
+
+
+def run_plain(opts, tracker):
+    while True:
+        frame = snapshot(opts, tracker)
+        if frame is None:
+            print("vsim_top: endpoint gone (run finished?)")
+            return 0
+        print("\n".join(frame))
+        if opts.once:
+            return 0
+        print("-" * 64)
+        sys.stdout.flush()
+        time.sleep(opts.interval)
+
+
+def run_curses(opts, tracker):
+    import curses
+
+    def loop(screen):
+        curses.use_default_colors()
+        screen.nodelay(True)
+        while True:
+            frame = snapshot(opts, tracker)
+            if frame is None:
+                return
+            screen.erase()
+            height, width = screen.getmaxyx()
+            header = (f"vsim_top  {time.strftime('%H:%M:%S')}  "
+                      f"(q quits)")
+            try:
+                screen.addnstr(0, 0, header, width - 1,
+                               curses.A_BOLD)
+                for i, line in enumerate(frame[: height - 2]):
+                    screen.addnstr(i + 1, 0, line, width - 1)
+            except curses.error:
+                pass  # Terminal shrank mid-draw.
+            screen.refresh()
+            deadline = time.monotonic() + opts.interval
+            while time.monotonic() < deadline:
+                ch = screen.getch()
+                if ch in (ord("q"), ord("Q")):
+                    return
+                time.sleep(0.05)
+
+    curses.wrapper(loop)
+    print("vsim_top: endpoint gone (run finished?)")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    src = ap.add_mutually_exclusive_group(required=True)
+    src.add_argument("--url",
+                     help="Prometheus endpoint, e.g. "
+                          "http://127.0.0.1:9464/metrics")
+    src.add_argument("--heartbeat",
+                     help="heartbeat file from --heartbeat-out")
+    ap.add_argument("--interval", type=float, default=1.0,
+                    help="refresh seconds (default 1)")
+    ap.add_argument("--plain", action="store_true",
+                    help="plain text blocks instead of curses")
+    ap.add_argument("--once", action="store_true",
+                    help="print one snapshot and exit")
+    opts = ap.parse_args()
+
+    tracker = RateTracker()
+    if opts.once or opts.plain or not sys.stdout.isatty():
+        return run_plain(opts, tracker)
+    try:
+        return run_curses(opts, tracker)
+    except ImportError:
+        return run_plain(opts, tracker)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/log.h"
+#include "stats/registry.h"
 #include "trace/event_trace.h"
 
 namespace vantage {
@@ -98,6 +99,42 @@ Ucp::umon(PartId core) const
     vantage_assert(core < numCores_, "core %u out of range", core);
     vantage_assert(!cfg_.rripMonitors, "LRU monitors not in use");
     return *umons_[core];
+}
+
+void
+Ucp::registerIntrospection(StatsRegistry &reg,
+                           const std::string &prefix) const
+{
+    for (std::uint32_t c = 0; c < numCores_; ++c) {
+        const std::string base =
+            prefix + ".core" + std::to_string(c);
+        if (cfg_.rripMonitors) {
+            const UmonRrip *u = rripUmons_[c].get();
+            reg.addCounter(base + ".misses",
+                           [u] { return u->misses(); });
+            reg.addCounter(base + ".srrip_hits",
+                           [u] { return u->srripHits(); });
+            reg.addCounter(base + ".brrip_hits",
+                           [u] { return u->brripHits(); });
+            reg.addGauge(base + ".brrip_wins", [u] {
+                return u->brripWins() ? 1.0 : 0.0;
+            });
+            continue;
+        }
+        const Umon *u = umons_[c].get();
+        reg.addCounter(base + ".sampled_accesses",
+                       [u] { return u->sampledAccesses(); });
+        reg.addCounter(base + ".misses",
+                       [u] { return u->misses(); });
+        // Cumulative utility-curve hit counts per allocated way;
+        // ageCounters() halves them each interval, which the
+        // snapshot layer's wrap guard absorbs.
+        for (std::uint32_t w = 0; w < u->ways(); ++w) {
+            reg.addCounter(
+                base + ".way" + std::to_string(w) + ".cum_hits",
+                [u, w] { return u->hitsUpTo(w + 1); });
+        }
+    }
 }
 
 } // namespace vantage

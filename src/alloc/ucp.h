@@ -13,13 +13,17 @@
 #define VANTAGE_ALLOC_UCP_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "alloc/lookahead.h"
 #include "alloc/umon.h"
 #include "alloc/umon_rrip.h"
+#include "obs/introspect.h"
 
 namespace vantage {
+
+class StatsRegistry;
 
 /** UCP configuration. */
 struct UcpConfig
@@ -42,7 +46,7 @@ struct UcpConfig
 };
 
 /** Utility-based allocation policy over per-core monitors. */
-class Ucp
+class Ucp : public Introspectable
 {
   public:
     Ucp(std::uint32_t num_cores, const UcpConfig &cfg);
@@ -70,6 +74,17 @@ class Ucp
 
     const Umon &umon(PartId core) const;
     std::uint32_t numCores() const { return numCores_; }
+
+    /**
+     * Live-introspection export: per-core monitor activity
+     * (sampled accesses, misses) and the utility-curve cumulative
+     * hit counts per way (`coreN.wayW.cum_hits`, LRU monitors), or
+     * the SRRIP/BRRIP duel counters for RRIP monitors. Lets an
+     * operator watch the curves the Lookahead allocator is acting
+     * on while a run converges.
+     */
+    void registerIntrospection(
+        StatsRegistry &reg, const std::string &prefix) const override;
 
   private:
     std::uint32_t numCores_;

@@ -43,6 +43,7 @@ class UmonRrip
 
     std::uint64_t srripHits() const { return srripHits_; }
     std::uint64_t brripHits() const { return brripHits_; }
+    std::uint64_t misses() const { return misses_; }
 
     void ageCounters();
 

@@ -136,4 +136,16 @@ BankedCache::checkInvariants(InvariantReport &rep) const
     }
 }
 
+void
+BankedCache::registerIntrospection(StatsRegistry &reg,
+                                   const std::string &prefix) const
+{
+    for (std::uint32_t b = 0; b < numBanks(); ++b) {
+        const std::string base =
+            prefix + ".bank" + std::to_string(b);
+        banks_[b]->registerIntrospection(reg, base + ".cache");
+        banks_[b]->scheme().registerIntrospection(reg, base);
+    }
+}
+
 } // namespace vantage

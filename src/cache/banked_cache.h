@@ -70,6 +70,15 @@ class BankedCache
     std::uint64_t writebacks() const;
     void resetStats();
 
+    /**
+     * Live-introspection export: each bank's cache counters under
+     * `prefix`.bankB.cache and its scheme state under
+     * `prefix`.bankB (so per-bank Vantage controllers render with
+     * both bank and part labels on the Prometheus endpoint).
+     */
+    void registerIntrospection(StatsRegistry &reg,
+                               const std::string &prefix) const;
+
     /** Fold every bank's access outcomes into one digest. */
     void attachDigest(AccessDigest *digest);
 

@@ -173,6 +173,28 @@ Cache::registerStats(StatsRegistry &reg,
 }
 
 void
+Cache::registerIntrospection(StatsRegistry &reg,
+                             const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".writebacks", &writebacks_);
+    reg.addCounter(prefix + ".hits",
+                   [this] { return totalStats().hits; });
+    reg.addCounter(prefix + ".misses",
+                   [this] { return totalStats().misses; });
+    for (PartId p = 0; p < stats_.size(); ++p) {
+        const std::string base =
+            prefix + ".part" + std::to_string(p);
+        const CacheAccessStats *s = &stats_[p];
+        reg.addCounter(base + ".hits", &s->hits);
+        reg.addCounter(base + ".misses", &s->misses);
+    }
+    if (walkLenHist_) {
+        reg.addHistogram(prefix + ".hist.walk_len",
+                         walkLenHist_.get());
+    }
+}
+
+void
 Cache::enableHistograms()
 {
     if (!walkLenHist_) {

@@ -107,6 +107,17 @@ class Cache
                        const std::string &prefix) const;
 
     /**
+     * Live-introspection export for the metrics service: writebacks,
+     * aggregate and per-partition hit/miss counters under `prefix`.
+     * Unlike registerStats() this does NOT chain the scheme — the
+     * caller registers it separately (typically under a top-level
+     * "vantage" prefix) so the exporter-facing metric names stay
+     * flat. See obs/introspect.h for the threading contract.
+     */
+    void registerIntrospection(StatsRegistry &reg,
+                               const std::string &prefix) const;
+
+    /**
      * Fold every subsequent access outcome into `digest` (pass
      * nullptr to detach). Each access contributes one word:
      * outcome | victimPart << 16 | demotionDelta << 32, where

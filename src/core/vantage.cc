@@ -815,4 +815,83 @@ VantageController::registerStats(StatsRegistry &reg,
     }
 }
 
+void
+VantageController::registerIntrospection(
+    StatsRegistry &reg, const std::string &prefix) const
+{
+    reg.addString(prefix + ".scheme", name());
+
+    // Global region split and churn counters. Counters register by
+    // raw pointer so the sampler thread reads them with relaxed
+    // atomic loads; gauges are single-word reads.
+    reg.addGauge(prefix + ".managed_lines", [this] {
+        return static_cast<double>(managedLines_);
+    });
+    reg.addGauge(prefix + ".unmanaged_lines", [this] {
+        return static_cast<double>(unmanagedSize_);
+    });
+    reg.addCounter(prefix + ".evictions", &stats_.evictions);
+    reg.addCounter(prefix + ".evictions_from_managed",
+                   &stats_.evictionsFromManaged);
+    reg.addCounter(prefix + ".demotions", &stats_.demotions);
+    reg.addCounter(prefix + ".promotions", &stats_.promotions);
+    reg.addCounter(prefix + ".setpoint_adjusts",
+                   &stats_.setpointAdjusts);
+    reg.addCounter(prefix + ".accesses", &accessesSeen_);
+
+    for (PartId p = 0; p < cfg_.numPartitions; ++p) {
+        const std::string base =
+            prefix + ".part" + std::to_string(p);
+        const PartState *ps = &parts_[p];
+        const VantagePartStats *st = &partStats_[p];
+
+        // Convergence state: aperture in basis points (Eq. 7 over
+        // live outgrowth) plus the Fig. 4 timestamp registers.
+        reg.addGauge(base + ".aperture_bp", [this, ps] {
+            return apertureOf(*ps) * 10000.0;
+        });
+        reg.addGauge(base + ".target_lines", [ps] {
+            return static_cast<double>(ps->targetSize);
+        });
+        reg.addGauge(base + ".actual_lines", [ps] {
+            return static_cast<double>(ps->actualSize);
+        });
+        reg.addGauge(base + ".setpoint_ts", [ps] {
+            return static_cast<double>(ps->setpointTs);
+        });
+        reg.addGauge(base + ".current_ts", [ps] {
+            return static_cast<double>(ps->currentTs);
+        });
+
+        // Churn counters; rates come from the snapshot deltas.
+        reg.addCounter(base + ".hits", &st->hits);
+        reg.addCounter(base + ".insertions", &st->insertions);
+        reg.addCounter(base + ".demotions", &st->demotions);
+        reg.addCounter(base + ".promotions", &st->promotions);
+        reg.addCounter(base + ".forced_evictions",
+                       &st->forcedEvictions);
+        reg.addCounter(base + ".throttled_inserts",
+                       &st->throttledInserts);
+
+        // Threshold-table summary (Fig. 3c): enough to see whether
+        // the table is built and how aggressive its top bin is,
+        // without exporting all 8 rows. The table vectors are only
+        // resized at construction; rebuilds rewrite elements in
+        // place, so these reads stay within bounds concurrently.
+        reg.addGauge(base + ".thr_entries", [ps] {
+            return static_cast<double>(ps->thrSize.size());
+        });
+        reg.addGauge(base + ".thr_size_floor", [ps] {
+            return ps->thrSize.empty()
+                       ? 0.0
+                       : static_cast<double>(ps->thrSize.front());
+        });
+        reg.addGauge(base + ".thr_dems_max", [ps] {
+            return ps->thrDems.empty()
+                       ? 0.0
+                       : static_cast<double>(ps->thrDems.back());
+        });
+    }
+}
+
 } // namespace vantage

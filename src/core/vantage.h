@@ -240,6 +240,19 @@ class VantageController : public PartitionScheme
     void registerStats(StatsRegistry &reg,
                        const std::string &prefix) const;
 
+    /**
+     * Live-introspection export for the metrics service: extends the
+     * base scheme's target/actual gauges with the controller's
+     * convergence state — per-partition aperture (basis points),
+     * setpoint/current timestamps, demotion/promotion/insertion
+     * counters, a threshold-table summary, and the global
+     * managed/unmanaged split. Paths use exporter-facing names, so
+     * `prefix` = "vantage" yields vantage_aperture_bp{part="N"} etc.
+     * on the Prometheus endpoint.
+     */
+    void registerIntrospection(
+        StatsRegistry &reg, const std::string &prefix) const override;
+
     const VantageConfig &config() const { return cfg_; }
 
   protected:

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Controller-introspection hook.
+ *
+ * A component that implements Introspectable publishes its live
+ * internal state — the quantities an operator watches while a
+ * long-running simulation converges — into a StatsRegistry under a
+ * caller-chosen prefix. The live metrics service
+ * (obs/metrics_service.h) samples that registry on a fixed cadence
+ * and serves it over HTTP in Prometheus text format.
+ *
+ * The contract differs from the post-mortem registerStats() exports:
+ * introspection entries use exporter-facing names (aperture_bp,
+ * target_lines, actual_lines, ...) chosen so the dotted paths map to
+ * the documented Prometheus metric names, and every registered
+ * accessor must tolerate being read from a sampler thread while the
+ * owner keeps simulating — register plain counters by raw pointer
+ * (relaxed loads) and keep gauge closures to single-word reads.
+ *
+ * This header is dependency-free on purpose: low layers (partition
+ * schemes, allocators) implement the interface without linking
+ * against the obs library.
+ */
+
+#ifndef VANTAGE_OBS_INTROSPECT_H_
+#define VANTAGE_OBS_INTROSPECT_H_
+
+#include <string>
+
+namespace vantage {
+
+class StatsRegistry;
+
+/** Publishes live internal state for the metrics service. */
+class Introspectable
+{
+  public:
+    virtual ~Introspectable() = default;
+
+    /**
+     * Register live-readable entries under `prefix`. Called at most
+     * once per registry, before any sampler thread starts reading.
+     */
+    virtual void registerIntrospection(
+        StatsRegistry &reg, const std::string &prefix) const = 0;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_OBS_INTROSPECT_H_

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Live metrics service: epoch snapshots plus an embedded HTTP
+ * endpoint serving Prometheus text exposition.
+ *
+ * A MetricsService owns two background threads:
+ *
+ *  - a sampler that, every epoch (default 250 ms), snapshots each
+ *    registered StatsRegistry via takeSnapshot() and computes the
+ *    delta/rate against the previous epoch. Snapshots read counters
+ *    through relaxed atomic loads (see StatsRegistry::readCounter),
+ *    so the simulation hot path is untouched and digests stay
+ *    bit-identical with the service enabled;
+ *
+ *  - an HTTP server with a blocking accept loop serving
+ *    `GET /metrics` (and `/`) as `text/plain; version=0.0.4`. One
+ *    request per connection, no keep-alive, no third-party deps.
+ *
+ * Multiple sources may be registered, each under a `job` label, so a
+ * suite run can expose every in-flight mix from one port. Sources
+ * must outlive the service or be removed before destruction; the
+ * registries must be fully built before addSource() (registration is
+ * not thread-safe against sampling).
+ */
+
+#ifndef VANTAGE_OBS_METRICS_SERVICE_H_
+#define VANTAGE_OBS_METRICS_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stats/snapshot.h"
+
+namespace vantage {
+
+class StatsRegistry;
+
+struct MetricsServiceConfig
+{
+    /** TCP port; 0 binds an ephemeral port (see port()). */
+    std::uint16_t port = 0;
+    /** Bind address; loopback by default. */
+    std::string bindAddress = "127.0.0.1";
+    /** Sampling epoch length. */
+    std::uint64_t epochMillis = 250;
+};
+
+/** Samples stats registries and serves them over HTTP. */
+class MetricsService
+{
+  public:
+    explicit MetricsService(MetricsServiceConfig cfg);
+    ~MetricsService();
+
+    MetricsService(const MetricsService &) = delete;
+    MetricsService &operator=(const MetricsService &) = delete;
+
+    /**
+     * Bind the listen socket and start the sampler and server
+     * threads. Returns false (with `error` set) if the socket could
+     * not be bound; the service is then inert and stop() is a no-op.
+     */
+    bool start(std::string &error);
+
+    /** Stop both threads and close the socket. Idempotent. */
+    void stop();
+
+    /** Actual bound port (resolves port 0); 0 before start(). */
+    int port() const { return port_; }
+
+    /**
+     * Register a registry to be sampled, labeled job=`job`. Takes an
+     * immediate first snapshot so rates are defined from the second
+     * epoch on. The registry must be fully built and must stay alive
+     * until removeSource() or stop().
+     */
+    void addSource(const std::string &job, const StatsRegistry *reg);
+
+    /** Unregister a registry; safe to call for unknown pointers. */
+    void removeSource(const StatsRegistry *reg);
+
+    /** Completed sampling epochs across all sources. */
+    std::uint64_t epochs() const
+    {
+        return epochs_.load(std::memory_order_relaxed);
+    }
+
+    /** Served /metrics requests. */
+    std::uint64_t scrapes() const
+    {
+        return scrapes_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Render the current exposition document (what /metrics serves).
+     * Public so tests can validate output without a socket.
+     */
+    std::string render();
+
+  private:
+    struct Source
+    {
+        std::string job;
+        const StatsRegistry *reg = nullptr;
+        StatsSnapshot prev;
+        SnapshotDelta delta;
+        std::uint64_t epochsSampled = 0;
+    };
+
+    void samplerLoop();
+    void serverLoop();
+    void sampleAll();
+    void handleClient(int fd);
+
+    double nowSeconds() const;
+
+    MetricsServiceConfig cfg_;
+    std::chrono::steady_clock::time_point startTime_;
+
+    std::mutex mutex_; ///< guards sources_
+    std::vector<Source> sources_;
+
+    std::atomic<bool> running_{false};
+    std::atomic<std::uint64_t> epochs_{0};
+    std::atomic<std::uint64_t> scrapes_{0};
+
+    std::condition_variable samplerCv_;
+    std::mutex samplerMutex_;
+
+    int listenFd_ = -1;
+    int port_ = 0;
+    std::thread sampler_;
+    std::thread server_;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_OBS_METRICS_SERVICE_H_

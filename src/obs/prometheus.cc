@@ -1,0 +1,242 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.h"
+#include "stats/histogram.h"
+
+namespace vantage {
+
+namespace {
+
+/** Split a dotted path into segments (no empty segments expected;
+ *  registry paths are validated at registration). */
+std::vector<std::string>
+segmentsOf(const std::string &path)
+{
+    std::vector<std::string> segs;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t dot = path.find('.', start);
+        if (dot == std::string::npos) {
+            segs.push_back(path.substr(start));
+            return segs;
+        }
+        segs.push_back(path.substr(start, dot - start));
+        start = dot + 1;
+    }
+}
+
+bool
+allDigits(const std::string &s)
+{
+    if (s.empty()) return false;
+    for (const char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * `part3` / `bank0` / `core12` / `way4` → {key, index}. These are
+ * the index-bearing segment shapes the simulator's registries emit.
+ */
+bool
+indexedSegment(const std::string &seg, std::string &key,
+               std::string &index)
+{
+    static const char *const kKeys[] = {"part", "bank", "core", "way"};
+    for (const char *k : kKeys) {
+        const std::size_t n = std::string(k).size();
+        if (seg.size() > n && seg.compare(0, n, k) == 0 &&
+            allDigits(seg.substr(n))) {
+            key = k;
+            index = seg.substr(n);
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+std::string
+promSanitizeName(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (const char c : raw) {
+        const bool ok = std::isalnum(static_cast<unsigned char>(c)) ||
+                        c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    if (out.empty()) {
+        out.push_back('_');
+    }
+    if (std::isdigit(static_cast<unsigned char>(out.front()))) {
+        out.insert(out.begin(), '_');
+    }
+    return out;
+}
+
+std::string
+promEscapeLabel(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (const char c : raw) {
+        switch (c) {
+          case '\\':
+            out += "\\\\";
+            break;
+          case '"':
+            out += "\\\"";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+PromName
+promName(const std::string &dotted_path)
+{
+    PromName out;
+    std::string name;
+    const std::vector<std::string> segs = segmentsOf(dotted_path);
+    for (std::size_t i = 0; i < segs.size(); ++i) {
+        const std::string &seg = segs[i];
+        std::string key, index;
+        if (indexedSegment(seg, key, index)) {
+            out.labels.push_back({key, index});
+            continue;
+        }
+        if (allDigits(seg) && !name.empty()) {
+            // `core.0.ipc` style: the parent segment names the label
+            // and stays in the metric name.
+            std::string parent = segs[i - 1];
+            out.labels.push_back({promSanitizeName(parent), seg});
+            continue;
+        }
+        if (!name.empty()) {
+            name.push_back('_');
+        }
+        name += seg;
+    }
+    out.name = promSanitizeName(name);
+    return out;
+}
+
+PromDoc::Metric &
+PromDoc::metricFor(const std::string &name, Type type)
+{
+    Metric &m = metrics_[name];
+    if (m.samples.empty() && m.type == Type::Untyped) {
+        m.type = type;
+    }
+    return m;
+}
+
+void
+PromDoc::add(const std::string &name, std::vector<PromLabel> labels,
+             Type type, double value)
+{
+    Metric &m = metricFor(name, type);
+    m.samples.push_back({"", std::move(labels), value});
+}
+
+void
+PromDoc::addSummary(const std::string &name,
+                    std::vector<PromLabel> labels,
+                    const Histogram &hist)
+{
+    // Snapshot count/sum first: the histogram may be concurrently
+    // updated, and a count of 0 must suppress the quantile samples
+    // (their NaNs would otherwise render as NaN quantiles, which is
+    // legal but useless).
+    const std::uint64_t count = hist.count();
+    const std::uint64_t sum = hist.sum();
+    Metric &m = metricFor(name, Type::Summary);
+    if (count != 0) {
+        static constexpr double kQuantiles[] = {0.5, 0.9, 0.99};
+        static const char *const kQuantileText[] = {"0.5", "0.9",
+                                                    "0.99"};
+        for (std::size_t i = 0; i < 3; ++i) {
+            const double q = hist.quantile(kQuantiles[i]);
+            if (std::isnan(q)) {
+                continue;
+            }
+            std::vector<PromLabel> ql = labels;
+            ql.push_back({"quantile", kQuantileText[i]});
+            m.samples.push_back({"", std::move(ql), q});
+        }
+    }
+    // _sum/_count live inside the summary family: same TYPE line,
+    // suffixed sample names, no quantile label.
+    m.samples.push_back({"_sum", labels, static_cast<double>(sum)});
+    m.samples.push_back(
+        {"_count", std::move(labels), static_cast<double>(count)});
+}
+
+std::string
+PromDoc::formatValue(double v)
+{
+    if (std::isnan(v)) return "NaN";
+    if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+PromDoc::writeSample(std::ostream &out, const std::string &name,
+                     const Sample &sample)
+{
+    out << name << sample.suffix;
+    if (!sample.labels.empty()) {
+        out << '{';
+        for (std::size_t i = 0; i < sample.labels.size(); ++i) {
+            if (i != 0) out << ',';
+            out << sample.labels[i].key << "=\""
+                << promEscapeLabel(sample.labels[i].value) << '"';
+        }
+        out << '}';
+    }
+    out << ' ' << formatValue(sample.value) << '\n';
+}
+
+void
+PromDoc::write(std::ostream &out) const
+{
+    for (const auto &[name, metric] : metrics_) {
+        const char *type = nullptr;
+        switch (metric.type) {
+          case Type::Counter:
+            type = "counter";
+            break;
+          case Type::Gauge:
+            type = "gauge";
+            break;
+          case Type::Summary:
+            type = "summary";
+            break;
+          case Type::Untyped:
+            type = "untyped";
+            break;
+        }
+        out << "# TYPE " << name << ' ' << type << '\n';
+        for (const Sample &sample : metric.samples) {
+            writeSample(out, name, sample);
+        }
+    }
+}
+
+} // namespace vantage

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Prometheus text-exposition rendering (format version 0.0.4).
+ *
+ * Two layers:
+ *
+ *  - promName() maps a dotted stats path to a metric name plus
+ *    labels: segments like `part3`, `bank1`, `core2`, `way4` (and
+ *    bare numeric segments, labeled by their parent segment) become
+ *    labels, the remaining segments join with '_', and illegal
+ *    characters sanitize to '_'. So
+ *    `cache.l2.vantage.part0.demotions` renders as
+ *    `cache_l2_vantage_demotions{part="0"}` and
+ *    `vantage.part3.aperture_bp` as `vantage_aperture_bp{part="3"}`.
+ *
+ *  - PromDoc accumulates samples and writes one well-formed
+ *    exposition document: all samples of a metric grouped under a
+ *    single `# TYPE` line, label values escaped, non-finite values
+ *    spelled NaN/+Inf/-Inf. Histograms export as summaries
+ *    (quantile-labeled samples plus `_sum`/`_count`).
+ *
+ * Rendering is presentation only; it never touches simulation state.
+ */
+
+#ifndef VANTAGE_OBS_PROMETHEUS_H_
+#define VANTAGE_OBS_PROMETHEUS_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vantage {
+
+class Histogram;
+
+/** One metric label. */
+struct PromLabel
+{
+    std::string key;
+    std::string value;
+};
+
+/** A mapped metric name: base name plus path-derived labels. */
+struct PromName
+{
+    std::string name;
+    std::vector<PromLabel> labels;
+};
+
+/** Map a dotted stats path to a metric name and labels. */
+PromName promName(const std::string &dotted_path);
+
+/** Sanitize into a legal metric name ([a-zA-Z_:][a-zA-Z0-9_:]*). */
+std::string promSanitizeName(const std::string &raw);
+
+/** Escape a label value (backslash, double quote, newline). */
+std::string promEscapeLabel(const std::string &raw);
+
+/** Accumulates samples; writes one grouped exposition document. */
+class PromDoc
+{
+  public:
+    enum class Type { Counter, Gauge, Summary, Untyped };
+
+    /**
+     * Add one scalar sample. Samples of the same metric name are
+     * grouped on output regardless of insertion order; the first
+     * type registered for a name wins (mixed registrations keep
+     * their samples but a single TYPE line).
+     */
+    void add(const std::string &name, std::vector<PromLabel> labels,
+             Type type, double value);
+
+    /**
+     * Add a histogram as a summary: p50/p90/p99 quantile samples
+     * (skipped while the histogram is empty and its quantiles are
+     * NaN) plus `_sum` and `_count`. The histogram is read live;
+     * concurrent updates may skew quantiles by a sample, which the
+     * live endpoint tolerates.
+     */
+    void addSummary(const std::string &name,
+                    std::vector<PromLabel> labels,
+                    const Histogram &hist);
+
+    /** Number of distinct metric names so far. */
+    std::size_t metricCount() const { return metrics_.size(); }
+
+    /** Write the full exposition document. */
+    void write(std::ostream &out) const;
+
+    /** Format one sample value (17 significant digits; NaN/+Inf). */
+    static std::string formatValue(double v);
+
+  private:
+    struct Sample
+    {
+        /** "_sum" / "_count" for summary component samples. */
+        std::string suffix;
+        std::vector<PromLabel> labels;
+        double value;
+    };
+
+    struct Metric
+    {
+        Type type = Type::Untyped;
+        std::vector<Sample> samples;
+    };
+
+    static void writeSample(std::ostream &out,
+                            const std::string &name,
+                            const Sample &sample);
+
+    Metric &metricFor(const std::string &name, Type type);
+
+    /** Sorted by name, so related metrics render adjacently. */
+    std::map<std::string, Metric> metrics_;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_OBS_PROMETHEUS_H_

@@ -1,0 +1,27 @@
+#include "partition/scheme.h"
+
+#include "stats/registry.h"
+
+namespace vantage {
+
+void
+PartitionScheme::registerIntrospection(StatsRegistry &reg,
+                                       const std::string &prefix) const
+{
+    reg.addString(prefix + ".scheme", name());
+    for (std::uint32_t p = 0; p < numPartitions(); ++p) {
+        const std::string pp = prefix + ".part" + std::to_string(p);
+        // Closures over `this` + the partition id: single-word reads
+        // of size counters, tolerant of a concurrent sampler.
+        reg.addGauge(pp + ".target_lines", [this, p] {
+            return static_cast<double>(targetSize(p));
+        });
+        reg.addGauge(pp + ".actual_lines", [this, p] {
+            return static_cast<double>(actualSize(p));
+        });
+    }
+    reg.addCounter(prefix + ".demotions",
+                   [this] { return demotionCount(); });
+}
+
+} // namespace vantage

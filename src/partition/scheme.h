@@ -23,8 +23,11 @@
 #include <vector>
 
 #include "array/cache_array.h"
+#include "obs/introspect.h"
 
 namespace vantage {
+
+class StatsRegistry;
 
 /** Outcome of victim selection for one fill. */
 struct VictimChoice
@@ -36,7 +39,7 @@ struct VictimChoice
 };
 
 /** Abstract allocation-enforcement scheme. */
-class PartitionScheme
+class PartitionScheme : public Introspectable
 {
   public:
     virtual ~PartitionScheme() = default;
@@ -113,6 +116,16 @@ class PartitionScheme
         (void)array;
         (void)rep;
     }
+
+    /**
+     * Default live-introspection export: per-partition target/actual
+     * sizes (gauges, in lines) plus the scheme-wide demotion counter
+     * under `prefix`. Schemes with richer internal state (Vantage's
+     * apertures, UCP's utility curves) override and extend this.
+     * See obs/introspect.h for the threading contract.
+     */
+    void registerIntrospection(
+        StatsRegistry &reg, const std::string &prefix) const override;
 };
 
 } // namespace vantage

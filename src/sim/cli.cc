@@ -117,6 +117,17 @@ cliUsage()
            "                       a -DVANTAGE_TRACE=ON build)\n"
            "  --heartbeat N        single-line JSON progress record\n"
            "                       on stderr every N memory accesses\n"
+           "  --heartbeat-out FILE append heartbeat records to FILE\n"
+           "                       instead of stderr (implies\n"
+           "                       --heartbeat with its default\n"
+           "                       cadence when not given)\n"
+           "  --metrics-port N     serve live Prometheus metrics on\n"
+           "                       127.0.0.1:N (0 picks a free port,\n"
+           "                       announced on stderr); scrape\n"
+           "                       /metrics, or watch with\n"
+           "                       scripts/vsim_top.py\n"
+           "  --metrics-period-ms N  metrics sampling epoch\n"
+           "                       (default 250)\n"
            "  --digest             print a 64-bit FNV-1a digest of\n"
            "                       per-access L2 outcomes (golden\n"
            "                       regression tests)\n"
@@ -323,6 +334,27 @@ parseCli(const std::vector<std::string> &args, std::string &error)
                 !parseU64(value, opts.scale.heartbeatEvery) ||
                 opts.scale.heartbeatEvery == 0) {
                 error = "bad --heartbeat value";
+                return opts;
+            }
+        } else if (arg == "--heartbeat-out") {
+            if (!next(value) || value.empty()) {
+                error = "bad --heartbeat-out value";
+                return opts;
+            }
+            opts.heartbeatOut = value;
+        } else if (arg == "--metrics-port") {
+            std::uint64_t port = 0;
+            if (!next(value) || !parseU64(value, port) ||
+                port > 65535) {
+                error = "bad --metrics-port value (0-65535)";
+                return opts;
+            }
+            opts.metricsPort = static_cast<int>(port);
+        } else if (arg == "--metrics-period-ms") {
+            if (!next(value) ||
+                !parseU64(value, opts.metricsPeriodMs) ||
+                opts.metricsPeriodMs == 0) {
+                error = "bad --metrics-period-ms value";
                 return opts;
             }
         } else {

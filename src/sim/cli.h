@@ -12,7 +12,8 @@
  *        [--no-ucp] [--repartition N] [--seed N] [--jobs N]
  *        [--stats-out FILE] [--trace-out FILE] [--stats-period N]
  *        [--events-out FILE] [--trace-categories LIST]
- *        [--heartbeat N] [--digest]
+ *        [--heartbeat N] [--heartbeat-out FILE]
+ *        [--metrics-port N] [--metrics-period-ms N] [--digest]
  *
  * Every value-taking option also accepts the --option=value form.
  *
@@ -52,6 +53,17 @@ struct CliOptions
     std::string eventsOut; ///< Chrome trace_event timeline, JSON.
     /** Category mask for --events-out (default: all). */
     std::uint32_t traceCategories = kTraceAllCategories;
+
+    /** Heartbeat JSON lines to this file instead of stderr. */
+    std::string heartbeatOut;
+
+    /**
+     * Live Prometheus endpoint port: -1 disabled, 0 ephemeral (the
+     * bound port is announced on stderr), else the given port.
+     */
+    int metricsPort = -1;
+    /** Metrics sampling epoch, in milliseconds. */
+    std::uint64_t metricsPeriodMs = 250;
 
     /** Print a 64-bit digest of per-access L2 outcomes. */
     bool digest = false;

@@ -11,6 +11,7 @@
 #include "partition/unpartitioned.h"
 #include "replacement/lru.h"
 #include "stats/json.h"
+#include "stats/registry.h"
 #include "trace/event_trace.h"
 
 namespace vantage {
@@ -226,6 +227,40 @@ CmpSim::setHeartbeat(std::uint64_t every, std::string label)
     heartbeatLastTime_ = std::chrono::steady_clock::now();
 }
 
+void
+CmpSim::registerLiveStats(StatsRegistry &reg) const
+{
+    for (std::uint32_t c = 0; c < cfg_.numCores; ++c) {
+        const std::string base = "core." + std::to_string(c);
+        const CoreState *cs = &cores_[c];
+        reg.addCounter(base + ".instructions", &cs->instructions);
+        reg.addCounter(base + ".cycles", &cs->cycle);
+        reg.addCounter(base + ".l2_accesses", &cs->l2Accesses);
+        reg.addCounter(base + ".l2_misses", &cs->l2Misses);
+        reg.addGauge(base + ".ipc", [cs] {
+            return cs->cycle ? static_cast<double>(cs->instructions) /
+                                   static_cast<double>(cs->cycle)
+                             : 0.0;
+        });
+    }
+
+    l2_->registerIntrospection(reg, "cache");
+    if (const auto *v = dynamic_cast<const VantageController *>(
+            &l2_->scheme())) {
+        v->registerIntrospection(reg, "vantage");
+    } else {
+        l2_->scheme().registerIntrospection(reg, "scheme");
+    }
+    if (ucp_) {
+        ucp_->registerIntrospection(reg, "umon");
+        reg.addHistogram("sim.realloc_gap", &reallocGap_);
+    }
+
+    reg.addGauge("sim.cycle",
+                 [this] { return static_cast<double>(now()); });
+    reg.addCounter("sim.heartbeats", &heartbeatSeq_);
+}
+
 namespace {
 
 /** Append a JSON number, mapping non-finite values to null. */
@@ -251,7 +286,6 @@ CmpSim::emitHeartbeat(const char *phase)
     const double dt =
         std::chrono::duration<double>(now_t - heartbeatLastTime_)
             .count();
-    heartbeatLastTime_ = now_t;
 
     // Accesses stepped since setHeartbeat(); the tick counter rolls
     // over exactly at heartbeatEvery_, so the product is exact.
@@ -261,17 +295,25 @@ CmpSim::emitHeartbeat(const char *phase)
         instrs += cs.instructions;
     }
 
+    // A zero-elapsed interval (coarse clock, or beats closer than
+    // its resolution) has no defined rate. Emit nulls and keep the
+    // window open — the next beat computes its rate over the
+    // combined interval instead of dividing by zero.
+    const bool timed = dt > 0.0;
     const double acc_per_s =
-        dt > 0.0 ? static_cast<double>(accesses -
-                                       heartbeatLastAccesses_) /
-                       dt
-                 : std::numeric_limits<double>::infinity();
+        timed ? static_cast<double>(accesses -
+                                    heartbeatLastAccesses_) /
+                    dt
+              : std::numeric_limits<double>::quiet_NaN();
     const double instr_per_s =
-        dt > 0.0
+        timed
             ? static_cast<double>(instrs - heartbeatLastInstrs_) / dt
-            : std::numeric_limits<double>::infinity();
-    heartbeatLastAccesses_ = accesses;
-    heartbeatLastInstrs_ = instrs;
+            : std::numeric_limits<double>::quiet_NaN();
+    if (timed) {
+        heartbeatLastTime_ = now_t;
+        heartbeatLastAccesses_ = accesses;
+        heartbeatLastInstrs_ = instrs;
+    }
 
     std::string line = "{\"heartbeat\":";
     line += std::to_string(heartbeatSeq_);
@@ -302,9 +344,20 @@ CmpSim::emitHeartbeat(const char *phase)
     line += "],\"trace_dropped\":";
     line += std::to_string(TraceSession::instance().dropped());
     line += '}';
+    if (heartbeatSink_) {
+        heartbeatSink_(line);
+        return;
+    }
     // Single fprintf so concurrent writers can't interleave inside a
     // record.
     std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+void
+CmpSim::setHeartbeatSink(
+    std::function<void(const std::string &)> sink)
+{
+    heartbeatSink_ = std::move(sink);
 }
 
 const CoreResult &

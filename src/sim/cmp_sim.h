@@ -128,6 +128,27 @@ class CmpSim
     void setHeartbeat(std::uint64_t every, std::string label);
 
     /**
+     * Route heartbeat records to `sink` instead of stderr (one
+     * complete JSON line per call, no trailing newline). Suite
+     * runners use this to interleave heartbeats cleanly with their
+     * progress display; --heartbeat-out points it at a file. Pass
+     * nullptr to restore stderr.
+     */
+    void setHeartbeatSink(std::function<void(const std::string &)> sink);
+
+    /**
+     * Register live-readable state for the metrics service: per-core
+     * progress counters (instructions, cycles, L2 accesses/misses)
+     * and an IPC gauge under core.N, the shared cache's counters
+     * under "cache", the partitioning scheme's introspection subtree
+     * under "vantage" (Vantage controllers) or "scheme" (others),
+     * UCP's monitors under "umon", and simulator-level gauges under
+     * "sim". The registry must be fully built before any sampler
+     * thread reads it and must not outlive this simulator.
+     */
+    void registerLiveStats(StatsRegistry &reg) const;
+
+    /**
      * Distribution of shared-L2 accesses between UCP reallocations
      * (the repartition interval is fixed in cycles, so the access gap
      * is the interesting distribution). Empty when UCP is off.
@@ -211,6 +232,7 @@ class CmpSim
     std::uint64_t heartbeatLastAccesses_ = 0;
     std::string heartbeatLabel_;
     std::chrono::steady_clock::time_point heartbeatLastTime_{};
+    std::function<void(const std::string &)> heartbeatSink_;
 };
 
 } // namespace vantage

@@ -7,11 +7,13 @@
 #include "array/zarray.h"
 #include "common/log.h"
 #include "core/vantage_variants.h"
+#include "obs/metrics_service.h"
 #include "partition/pipp.h"
 #include "partition/unpartitioned.h"
 #include "partition/way_partition.h"
 #include "replacement/lru.h"
 #include "replacement/rrip.h"
+#include "stats/registry.h"
 #include "trace/event_trace.h"
 
 namespace vantage {
@@ -209,13 +211,30 @@ RunScale::fromEnv()
 MixResult
 runMix(const CmpConfig &cfg, const L2Spec &spec,
        const std::vector<AppSpec> &apps, const RunScale &scale,
-       const std::string &mix_name, std::uint64_t seed)
+       const std::string &mix_name, std::uint64_t seed,
+       const MixHooks &hooks)
 {
     CmpSim sim(cfg, apps, buildL2(spec), seed);
     if (scale.heartbeatEvery != 0) {
         sim.setHeartbeat(scale.heartbeatEvery,
                          mix_name + "/" + spec.name());
+        if (hooks.heartbeatSink) {
+            sim.setHeartbeatSink(hooks.heartbeatSink);
+        }
     }
+
+    // Live metrics: the registry must outlive the service's view of
+    // it, so it is scoped to the whole run and unregistered before
+    // the sim is torn down.
+    StatsRegistry live_reg;
+    if (hooks.metrics != nullptr) {
+        sim.registerLiveStats(live_reg);
+        hooks.metrics->addSource(
+            hooks.job.empty() ? mix_name + "/" + spec.name()
+                              : hooks.job,
+            &live_reg);
+    }
+
     {
         TraceSpan span(kTraceSim, "sim.warmup");
         sim.warmup(scale.warmupAccesses);
@@ -224,6 +243,10 @@ runMix(const CmpConfig &cfg, const L2Spec &spec,
     {
         TraceSpan span(kTraceSim, "sim.run");
         sim.run(scale.instructions);
+    }
+
+    if (hooks.metrics != nullptr) {
+        hooks.metrics->removeSource(&live_reg);
     }
 
     MixResult result;

@@ -109,6 +109,31 @@ struct MixResult
     std::vector<CoreResult> cores;
 };
 
+class MetricsService;
+
+/**
+ * Observability hooks for one runMix invocation. All optional and
+ * purely observational — results and digests are unaffected.
+ */
+struct MixHooks
+{
+    /**
+     * Receives each heartbeat record (one complete JSON line, no
+     * trailing newline) instead of stderr. Suite runners route
+     * heartbeats through their progress display so parallel jobs
+     * never interleave mid-line.
+     */
+    std::function<void(const std::string &)> heartbeatSink;
+
+    /**
+     * When set, the run registers its live stats with the service
+     * under `job` for its duration, so one endpoint exposes every
+     * in-flight mix of a suite run.
+     */
+    MetricsService *metrics = nullptr;
+    std::string job;
+};
+
 /**
  * Run one mix: build the L2, warm up, measure.
  * @param cfg machine model (numCores must match apps.size()).
@@ -116,7 +141,8 @@ struct MixResult
 MixResult runMix(const CmpConfig &cfg, const L2Spec &spec,
                  const std::vector<AppSpec> &apps,
                  const RunScale &scale, const std::string &mix_name,
-                 std::uint64_t seed = 1);
+                 std::uint64_t seed = 1,
+                 const MixHooks &hooks = MixHooks());
 
 } // namespace vantage
 

@@ -13,6 +13,7 @@
 #include "common/log.h"
 #include "common/thread_pool.h"
 #include "core/vantage.h"
+#include "obs/metrics_service.h"
 #include "sim/cli.h"
 #include "stats/prof.h"
 #include "stats/registry.h"
@@ -163,15 +164,60 @@ main(int argc, char **argv)
         sim->l2().attachDigest(&digest);
     }
 
-    // Per-partition histograms ride along with --stats-out (they are
-    // observational, but skipping the adds keeps the default path
-    // untouched).
-    if (!opts.statsOut.empty()) {
+    // Per-partition histograms ride along with --stats-out and the
+    // live endpoint (they are observational, but skipping the adds
+    // keeps the default path untouched).
+    if (!opts.statsOut.empty() || opts.metricsPort >= 0) {
         sim->l2().enableHistograms();
     }
-    if (opts.scale.heartbeatEvery != 0) {
-        sim->setHeartbeat(opts.scale.heartbeatEvery,
-                          opts.l2.name());
+
+    // Heartbeats: --heartbeat-out routes the records to a file and
+    // implies a default cadence when --heartbeat was not given.
+    FILE *heartbeat_file = nullptr;
+    std::uint64_t heartbeat_every = opts.scale.heartbeatEvery;
+    if (!opts.heartbeatOut.empty() && heartbeat_every == 0) {
+        heartbeat_every = 1'000'000;
+    }
+    if (heartbeat_every != 0) {
+        sim->setHeartbeat(heartbeat_every, opts.l2.name());
+        if (!opts.heartbeatOut.empty()) {
+            heartbeat_file = std::fopen(opts.heartbeatOut.c_str(),
+                                        "a");
+            if (heartbeat_file == nullptr) {
+                fatal("cannot open --heartbeat-out file %s",
+                      opts.heartbeatOut.c_str());
+            }
+            sim->setHeartbeatSink(
+                [heartbeat_file](const std::string &line) {
+                    std::fprintf(heartbeat_file, "%s\n",
+                                 line.c_str());
+                    std::fflush(heartbeat_file);
+                });
+        }
+    }
+
+    // Live metrics endpoint (--metrics-port). The registry must be
+    // fully built before the service's sampler thread starts, and
+    // both must be torn down before the sim (declaration order
+    // handles the service; it stops its threads in the destructor).
+    StatsRegistry live_reg;
+    std::unique_ptr<MetricsService> metrics;
+    if (opts.metricsPort >= 0) {
+        sim->registerLiveStats(live_reg);
+        MetricsServiceConfig mcfg;
+        mcfg.port = static_cast<std::uint16_t>(opts.metricsPort);
+        mcfg.epochMillis = opts.metricsPeriodMs;
+        metrics = std::make_unique<MetricsService>(mcfg);
+        std::string merror;
+        if (!metrics->start(merror)) {
+            fatal("cannot start metrics service: %s",
+                  merror.c_str());
+        }
+        metrics->addSource("vsim/" + opts.l2.name(), &live_reg);
+        std::fprintf(
+            stderr,
+            "vsim: metrics listening on http://127.0.0.1:%d/metrics\n",
+            metrics->port());
     }
 
     {
@@ -290,6 +336,20 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(
                             v->unmanagedSize()));
         }
+    }
+
+    if (metrics) {
+        std::fprintf(stderr,
+                     "vsim: metrics served %llu scrapes over %llu "
+                     "epochs\n",
+                     static_cast<unsigned long long>(
+                         metrics->scrapes()),
+                     static_cast<unsigned long long>(
+                         metrics->epochs()));
+        metrics->stop();
+    }
+    if (heartbeat_file != nullptr) {
+        std::fclose(heartbeat_file);
     }
     return 0;
 }

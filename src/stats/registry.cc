@@ -86,7 +86,21 @@ StatsRegistry::addCounter(const std::string &path,
                           const std::uint64_t *v)
 {
     vantage_assert(v != nullptr, "null counter at '%s'", path.c_str());
-    addCounter(path, [v] { return *v; });
+    Entry e;
+    e.kind = Kind::Counter;
+    e.raw = v;
+    insert(path, std::move(e));
+}
+
+std::uint64_t
+StatsRegistry::readCounter(const Entry &e)
+{
+    if (e.raw != nullptr) {
+        // The owning thread increments with plain stores; a relaxed
+        // load never tears and is all a live sampler needs.
+        return __atomic_load_n(e.raw, __ATOMIC_RELAXED);
+    }
+    return e.counter();
 }
 
 void
@@ -167,7 +181,7 @@ StatsRegistry::value(const std::string &path) const
     }
     switch (it->second.kind) {
       case Kind::Counter:
-        return static_cast<double>(it->second.counter());
+        return static_cast<double>(readCounter(it->second));
       case Kind::Gauge:
         return it->second.gauge();
       default:
@@ -176,11 +190,65 @@ StatsRegistry::value(const std::string &path) const
 }
 
 void
+StatsRegistry::forEachScalar(
+    const std::function<void(const std::string &, bool, double)> &fn)
+    const
+{
+    for (const auto &[path, entry] : entries_) {
+        switch (entry.kind) {
+          case Kind::Counter:
+            fn(path, true, static_cast<double>(readCounter(entry)));
+            break;
+          case Kind::Gauge:
+            fn(path, false, entry.gauge());
+            break;
+          case Kind::Stat: {
+            const RunningStat &s = *entry.stat;
+            fn(path + ".count", true,
+               static_cast<double>(s.count()));
+            fn(path + ".mean", false, s.mean());
+            fn(path + ".min", false, s.min());
+            fn(path + ".max", false, s.max());
+            break;
+          }
+          case Kind::Histogram:
+          case Kind::Series:
+          case Kind::String:
+            break;
+        }
+    }
+}
+
+void
+StatsRegistry::forEachHistogram(
+    const std::function<void(const std::string &, const Histogram &)>
+        &fn) const
+{
+    for (const auto &[path, entry] : entries_) {
+        if (entry.kind == Kind::Histogram) {
+            fn(path, *entry.hist);
+        }
+    }
+}
+
+void
+StatsRegistry::forEachString(
+    const std::function<void(const std::string &,
+                             const std::string &)> &fn) const
+{
+    for (const auto &[path, entry] : entries_) {
+        if (entry.kind == Kind::String) {
+            fn(path, entry.text);
+        }
+    }
+}
+
+void
 StatsRegistry::writeEntryJson(JsonWriter &w, const Entry &e)
 {
     switch (e.kind) {
       case Kind::Counter:
-        w.value(e.counter());
+        w.value(readCounter(e));
         break;
       case Kind::Gauge:
         w.value(e.gauge());
@@ -292,7 +360,7 @@ StatsRegistry::writeCsv(std::ostream &out) const
     for (const auto &[path, entry] : entries_) {
         switch (entry.kind) {
           case Kind::Counter:
-            out << path << ",counter," << entry.counter() << "\n";
+            out << path << ",counter," << readCounter(entry) << "\n";
             break;
           case Kind::Gauge:
             num.str("");

@@ -63,6 +63,39 @@ class StatsRegistry
     bool contains(const std::string &path) const;
     std::size_t size() const { return entries_.size(); }
 
+    /**
+     * Visit every scalar projection, in sorted path order:
+     * counters and gauges directly, RunningStats flattened to
+     * `path.count` (counter) plus `path.mean/min/max` (gauges).
+     * Histograms, series and strings are skipped — use the dedicated
+     * visitors. `is_counter` distinguishes monotonic counts from
+     * point-in-time gauges (the snapshot layer's delta semantics
+     * differ).
+     *
+     * Counters registered by raw pointer are read with a relaxed
+     * atomic load, so a sampler thread may call this while the
+     * owning thread keeps counting; closure-backed entries read
+     * whatever the closure reads (single words in practice) and are
+     * likewise tolerant of concurrent writers, at the cost of
+     * possibly-stale values. Registration itself is NOT thread-safe:
+     * finish building the registry before sampling it from another
+     * thread.
+     */
+    void forEachScalar(
+        const std::function<void(const std::string &path,
+                                 bool is_counter, double value)> &fn)
+        const;
+
+    /** Visit every histogram entry, in sorted path order. */
+    void forEachHistogram(
+        const std::function<void(const std::string &path,
+                                 const Histogram &hist)> &fn) const;
+
+    /** Visit every string annotation, in sorted path order. */
+    void forEachString(
+        const std::function<void(const std::string &path,
+                                 const std::string &text)> &fn) const;
+
     /** All registered paths, sorted. */
     std::vector<std::string> paths() const;
 
@@ -96,11 +129,17 @@ class StatsRegistry
         Kind kind;
         CounterFn counter;
         GaugeFn gauge;
+        /** Set for pointer-registered counters: read with a relaxed
+         *  atomic load so sampler threads never tear. */
+        const std::uint64_t *raw = nullptr;
         const RunningStat *stat = nullptr;
         const Histogram *hist = nullptr;
         const TimeSeries *series = nullptr;
         std::string text;
     };
+
+    /** Counter value; relaxed atomic load for raw-pointer entries. */
+    static std::uint64_t readCounter(const Entry &e);
 
     /** Reject duplicate paths and leaf/subtree collisions. */
     void checkPath(const std::string &path) const;

@@ -1,0 +1,57 @@
+#include "stats/snapshot.h"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/registry.h"
+
+namespace vantage {
+
+StatsSnapshot
+takeSnapshot(const StatsRegistry &reg, std::uint64_t epoch,
+             double wall_seconds)
+{
+    StatsSnapshot snap;
+    snap.epoch = epoch;
+    snap.wallSeconds = wall_seconds;
+    reg.forEachScalar([&snap](const std::string &path, bool is_counter,
+                              double value) {
+        snap.values.emplace_hint(snap.values.end(), path,
+                                 ScalarSample{is_counter, value});
+    });
+    return snap;
+}
+
+SnapshotDelta
+deltaBetween(const StatsSnapshot &prev, const StatsSnapshot &cur)
+{
+    SnapshotDelta d;
+    d.fromEpoch = prev.epoch;
+    d.toEpoch = cur.epoch;
+    d.elapsedSeconds = cur.wallSeconds - prev.wallSeconds;
+    const bool timed = d.elapsedSeconds > 0.0;
+
+    for (const auto &[path, sample] : cur.values) {
+        DeltaEntry e;
+        e.isCounter = sample.isCounter;
+        e.current = sample.value;
+        const auto it = prev.values.find(path);
+        if (it == prev.values.end()) {
+            e.fresh = true;
+            e.delta = sample.isCounter ? sample.value : 0.0;
+        } else if (sample.isCounter &&
+                   sample.value < it->second.value) {
+            e.wrapped = true;
+            e.delta = sample.value;
+        } else {
+            e.delta = sample.value - it->second.value;
+        }
+        e.rate = timed
+                     ? e.delta / d.elapsedSeconds
+                     : std::numeric_limits<double>::quiet_NaN();
+        d.entries.emplace_hint(d.entries.end(), path, e);
+    }
+    return d;
+}
+
+} // namespace vantage

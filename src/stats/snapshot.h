@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Epoch snapshots and deltas over a StatsRegistry.
+ *
+ * A snapshot captures every scalar projection of a registry (see
+ * StatsRegistry::forEachScalar) at one instant, tagged with an epoch
+ * number and a monotonic capture time. Two snapshots of the same
+ * registry yield a SnapshotDelta: per-path change and per-second rate
+ * over the epoch, with counter-reset ("wrap") detection and support
+ * for paths that appear mid-run (partitions created dynamically).
+ *
+ * This is the data model behind the live metrics service
+ * (src/obs/metrics_service.h): a sampler thread takes snapshots on a
+ * fixed cadence and the Prometheus endpoint serves the latest
+ * snapshot plus its delta-derived rates. Snapshots only read; they
+ * never perturb simulation state or digests.
+ */
+
+#ifndef VANTAGE_STATS_SNAPSHOT_H_
+#define VANTAGE_STATS_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace vantage {
+
+class StatsRegistry;
+
+/** One scalar sample: counters are monotonic, gauges point-in-time. */
+struct ScalarSample
+{
+    bool isCounter = false;
+    double value = 0.0;
+};
+
+/** Point-in-time scalar capture of a registry. */
+struct StatsSnapshot
+{
+    std::uint64_t epoch = 0;
+    /** Capture time on a monotonic clock (caller-defined origin). */
+    double wallSeconds = 0.0;
+    /** Sorted by path (map order), one sample per scalar path. */
+    std::map<std::string, ScalarSample> values;
+
+    bool empty() const { return values.empty(); }
+};
+
+/**
+ * Capture every scalar of `reg` now. `epoch` and `wall_seconds` are
+ * caller-provided so the sampler controls numbering and the clock
+ * origin (tests pass synthetic times).
+ */
+StatsSnapshot takeSnapshot(const StatsRegistry &reg,
+                           std::uint64_t epoch, double wall_seconds);
+
+/** Per-path change between two snapshots. */
+struct DeltaEntry
+{
+    bool isCounter = false;
+    /** Path absent from the previous snapshot (e.g. a partition
+     *  registered mid-run): delta counts from zero. */
+    bool fresh = false;
+    /** Counter went backwards (reset/wrap): delta restarts at the
+     *  current value, Prometheus-rate style. Never set for gauges. */
+    bool wrapped = false;
+    double current = 0.0;
+    double delta = 0.0;
+    /** delta / elapsed; NaN when the epoch elapsed no time. */
+    double rate = 0.0;
+};
+
+/** All per-path changes from one snapshot to the next. */
+struct SnapshotDelta
+{
+    std::uint64_t fromEpoch = 0;
+    std::uint64_t toEpoch = 0;
+    double elapsedSeconds = 0.0;
+    std::map<std::string, DeltaEntry> entries;
+};
+
+/**
+ * Compute the change from `prev` to `cur`. Paths present only in
+ * `prev` (unregistered entries) are dropped; paths present only in
+ * `cur` are marked fresh and deltas count from zero. Counter deltas
+ * guard against resets: a counter below its previous value restarts
+ * the delta at the current value instead of going negative.
+ */
+SnapshotDelta deltaBetween(const StatsSnapshot &prev,
+                           const StatsSnapshot &cur);
+
+} // namespace vantage
+
+#endif // VANTAGE_STATS_SNAPSHOT_H_

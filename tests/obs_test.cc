@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Tests for the live metrics layer (src/obs): path-to-metric-name
+ * mapping, Prometheus exposition rendering (grouping, escaping,
+ * summaries, non-finite values), the MetricsService HTTP endpoint,
+ * and controller introspection paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "core/vantage.h"
+#include "obs/metrics_service.h"
+#include "obs/prometheus.h"
+#include "stats/histogram.h"
+#include "stats/registry.h"
+
+namespace vantage {
+namespace {
+
+// ---------------------------------------------------------------
+// promName: dotted path -> metric name + labels
+// ---------------------------------------------------------------
+
+TEST(PromName, IndexedSegmentsBecomeLabels)
+{
+    PromName n = promName("vantage.part3.aperture_bp");
+    EXPECT_EQ(n.name, "vantage_aperture_bp");
+    ASSERT_EQ(n.labels.size(), 1u);
+    EXPECT_EQ(n.labels[0].key, "part");
+    EXPECT_EQ(n.labels[0].value, "3");
+
+    n = promName("cache.bank1.part0.hits");
+    EXPECT_EQ(n.name, "cache_hits");
+    ASSERT_EQ(n.labels.size(), 2u);
+    EXPECT_EQ(n.labels[0].key, "bank");
+    EXPECT_EQ(n.labels[0].value, "1");
+    EXPECT_EQ(n.labels[1].key, "part");
+    EXPECT_EQ(n.labels[1].value, "0");
+}
+
+TEST(PromName, BareNumericSegmentLabeledByParent)
+{
+    // `core.0.ipc`: the parent stays in the name AND names the label.
+    PromName n = promName("core.0.ipc");
+    EXPECT_EQ(n.name, "core_ipc");
+    ASSERT_EQ(n.labels.size(), 1u);
+    EXPECT_EQ(n.labels[0].key, "core");
+    EXPECT_EQ(n.labels[0].value, "0");
+}
+
+TEST(PromName, PlainPathJoinsWithUnderscore)
+{
+    PromName n = promName("sim.heartbeats");
+    EXPECT_EQ(n.name, "sim_heartbeats");
+    EXPECT_TRUE(n.labels.empty());
+}
+
+TEST(PromName, SanitizesIllegalCharacters)
+{
+    PromName n = promName("l2-cache.miss%rate");
+    EXPECT_EQ(n.name, "l2_cache_miss_rate");
+}
+
+TEST(PromSanitize, EdgeCases)
+{
+    EXPECT_EQ(promSanitizeName(""), "_");
+    EXPECT_EQ(promSanitizeName("9lives"), "_9lives");
+    EXPECT_EQ(promSanitizeName("a:b_c1"), "a:b_c1");
+}
+
+TEST(PromEscape, LabelValues)
+{
+    EXPECT_EQ(promEscapeLabel("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+}
+
+// ---------------------------------------------------------------
+// PromDoc rendering
+// ---------------------------------------------------------------
+
+TEST(PromDoc, GroupsSamplesUnderOneTypeLine)
+{
+    PromDoc doc;
+    doc.add("hits", {{"part", "0"}}, PromDoc::Type::Counter, 1);
+    doc.add("misses", {}, PromDoc::Type::Counter, 2);
+    doc.add("hits", {{"part", "1"}}, PromDoc::Type::Counter, 3);
+    EXPECT_EQ(doc.metricCount(), 2u);
+
+    std::ostringstream out;
+    doc.write(out);
+    EXPECT_EQ(out.str(),
+              "# TYPE hits counter\n"
+              "hits{part=\"0\"} 1\n"
+              "hits{part=\"1\"} 3\n"
+              "# TYPE misses counter\n"
+              "misses 2\n");
+}
+
+TEST(PromDoc, NonFiniteValues)
+{
+    PromDoc doc;
+    doc.add("a", {}, PromDoc::Type::Gauge,
+            std::numeric_limits<double>::quiet_NaN());
+    doc.add("b", {}, PromDoc::Type::Gauge,
+            std::numeric_limits<double>::infinity());
+    doc.add("c", {}, PromDoc::Type::Gauge,
+            -std::numeric_limits<double>::infinity());
+
+    std::ostringstream out;
+    doc.write(out);
+    EXPECT_NE(out.str().find("a NaN\n"), std::string::npos);
+    EXPECT_NE(out.str().find("b +Inf\n"), std::string::npos);
+    EXPECT_NE(out.str().find("c -Inf\n"), std::string::npos);
+}
+
+TEST(PromDoc, EmptyHistogramSummary)
+{
+    // No quantile samples while empty — but _sum/_count must still be
+    // present, under a single summary TYPE line.
+    Histogram h;
+    PromDoc doc;
+    doc.addSummary("walk", {}, h);
+
+    std::ostringstream out;
+    doc.write(out);
+    EXPECT_EQ(out.str(),
+              "# TYPE walk summary\n"
+              "walk_sum 0\n"
+              "walk_count 0\n");
+}
+
+TEST(PromDoc, SingleBucketHistogramSummary)
+{
+    Histogram h;
+    h.add(7);
+    PromDoc doc;
+    doc.addSummary("walk", {{"job", "j"}}, h);
+
+    std::ostringstream out;
+    doc.write(out);
+    const std::string text = out.str();
+    // All three quantiles exist and collapse onto the lone bucket.
+    EXPECT_NE(text.find("quantile=\"0.5\""), std::string::npos);
+    EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+    EXPECT_NE(text.find("walk_sum{job=\"j\"} 7\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("walk_count{job=\"j\"} 1\n"),
+              std::string::npos);
+    // Exactly one TYPE line for the family.
+    EXPECT_EQ(text.find("# TYPE"), text.rfind("# TYPE"));
+}
+
+TEST(PromDoc, ValueFormatting)
+{
+    EXPECT_EQ(PromDoc::formatValue(0.0), "0");
+    EXPECT_EQ(PromDoc::formatValue(1.5), "1.5");
+    EXPECT_EQ(PromDoc::formatValue(
+                  std::numeric_limits<double>::quiet_NaN()),
+              "NaN");
+    // Round-trip exactness at 17 significant digits.
+    EXPECT_EQ(std::stod(PromDoc::formatValue(0.1)), 0.1);
+}
+
+// ---------------------------------------------------------------
+// Controller introspection paths
+// ---------------------------------------------------------------
+
+TEST(Introspection, VantageControllerRegistersApertureAndSizes)
+{
+    VantageConfig cfg;
+    cfg.numPartitions = 4;
+    VantageController ctl(4096, cfg);
+
+    StatsRegistry reg;
+    ctl.registerIntrospection(reg, "vantage");
+
+    for (int p = 0; p < 4; ++p) {
+        const std::string base = "vantage.part" + std::to_string(p);
+        EXPECT_TRUE(reg.contains(base + ".aperture_bp")) << base;
+        EXPECT_TRUE(reg.contains(base + ".target_lines")) << base;
+        EXPECT_TRUE(reg.contains(base + ".actual_lines")) << base;
+        EXPECT_TRUE(reg.contains(base + ".demotions")) << base;
+    }
+    EXPECT_TRUE(reg.contains("vantage.demotions"));
+    EXPECT_TRUE(reg.contains("vantage.unmanaged_lines"));
+    EXPECT_TRUE(reg.contains("vantage.part0.thr_entries"));
+
+    // The acceptance-critical names must map as promised.
+    PromName n = promName("vantage.part2.aperture_bp");
+    EXPECT_EQ(n.name, "vantage_aperture_bp");
+    ASSERT_EQ(n.labels.size(), 1u);
+    EXPECT_EQ(n.labels[0].value, "2");
+
+    // Values are readable straight away (all zero before any access).
+    const std::optional<double> ap =
+        reg.value("vantage.part0.aperture_bp");
+    ASSERT_TRUE(ap.has_value());
+    EXPECT_GE(*ap, 0.0);
+}
+
+// ---------------------------------------------------------------
+// MetricsService end-to-end
+// ---------------------------------------------------------------
+
+/** One-shot HTTP GET against 127.0.0.1:port; returns the raw
+ *  response (headers + body), empty on failure. */
+std::string
+httpGet(int port, const std::string &path)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return "";
+    }
+    const std::string req =
+        "GET " + path + " HTTP/1.1\r\nHost: x\r\n\r\n";
+    (void)!::send(fd, req.data(), req.size(), 0);
+    std::string resp;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+        resp.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return resp;
+}
+
+TEST(MetricsService, ServesRegisteredSource)
+{
+    StatsRegistry reg;
+    std::uint64_t hits = 123;
+    double fill = 0.5;
+    reg.addCounter("cache.hits", &hits);
+    reg.addGauge("cache.fill", [&fill] { return fill; });
+
+    MetricsServiceConfig cfg;
+    cfg.port = 0; // ephemeral
+    cfg.epochMillis = 10;
+    MetricsService svc(cfg);
+    std::string error;
+    ASSERT_TRUE(svc.start(error)) << error;
+    ASSERT_GT(svc.port(), 0);
+    svc.addSource("test-job", &reg);
+
+    const std::string resp = httpGet(svc.port(), "/metrics");
+    EXPECT_NE(resp.find("HTTP/1.1 200"), std::string::npos);
+    EXPECT_NE(resp.find("text/plain; version=0.0.4"),
+              std::string::npos);
+    EXPECT_NE(resp.find("cache_hits{job=\"test-job\"} 123"),
+              std::string::npos);
+    EXPECT_NE(resp.find("cache_fill{job=\"test-job\"} 0.5"),
+              std::string::npos);
+    EXPECT_GE(svc.scrapes(), 1u);
+
+    svc.removeSource(&reg);
+    svc.stop();
+}
+
+TEST(MetricsService, UnknownPathIs404)
+{
+    MetricsServiceConfig cfg;
+    cfg.port = 0;
+    MetricsService svc(cfg);
+    std::string error;
+    ASSERT_TRUE(svc.start(error)) << error;
+
+    const std::string resp = httpGet(svc.port(), "/nope");
+    EXPECT_NE(resp.find("HTTP/1.1 404"), std::string::npos);
+    svc.stop();
+}
+
+TEST(MetricsService, RenderIsValidWithoutSocket)
+{
+    StatsRegistry reg;
+    std::uint64_t n = 9;
+    reg.addCounter("n", &n);
+    Histogram h;
+    h.add(3);
+    reg.addHistogram("lat", &h);
+    reg.addString("scheme", "Vantage");
+
+    MetricsService svc(MetricsServiceConfig{});
+    svc.addSource("job-a", &reg);
+
+    const std::string text = svc.render();
+    EXPECT_NE(text.find("# TYPE n counter\n"), std::string::npos);
+    EXPECT_NE(text.find("n{job=\"job-a\"} 9"), std::string::npos);
+    EXPECT_NE(text.find("lat_count{job=\"job-a\"} 1"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("scheme_info{job=\"job-a\",value=\"Vantage\"} 1"),
+        std::string::npos);
+    EXPECT_NE(text.find("vsim_exporter_epochs_total"),
+              std::string::npos);
+    svc.removeSource(&reg);
+}
+
+TEST(MetricsService, StopIsIdempotentAndRestartIsSafe)
+{
+    MetricsServiceConfig cfg;
+    cfg.port = 0;
+    MetricsService svc(cfg);
+    std::string error;
+    ASSERT_TRUE(svc.start(error)) << error;
+    svc.stop();
+    svc.stop();
+}
+
+TEST(MetricsService, BindFailureReportsError)
+{
+    MetricsServiceConfig cfg;
+    cfg.port = 0;
+    MetricsService a(cfg);
+    std::string error;
+    ASSERT_TRUE(a.start(error)) << error;
+
+    MetricsServiceConfig busy = cfg;
+    busy.port = static_cast<std::uint16_t>(a.port());
+    MetricsService b(busy);
+    EXPECT_FALSE(b.start(error));
+    EXPECT_FALSE(error.empty());
+    a.stop();
+}
+
+} // namespace
+} // namespace vantage

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for epoch snapshots and deltas (stats/snapshot.h): counter
+ * wrap, gauge vs counter semantics, paths appearing mid-run, rate
+ * computation including the zero-elapsed guard, and the scalar
+ * projections the snapshot layer inherits from the registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "stats/counters.h"
+#include "stats/registry.h"
+#include "stats/snapshot.h"
+
+namespace vantage {
+namespace {
+
+TEST(Snapshot, CapturesCountersAndGauges)
+{
+    StatsRegistry reg;
+    std::uint64_t evictions = 42;
+    double level = 0.75;
+    reg.addCounter("cache.evictions", &evictions);
+    reg.addGauge("cache.fill", [&level] { return level; });
+
+    StatsSnapshot snap = takeSnapshot(reg, 7, 1.5);
+    EXPECT_EQ(snap.epoch, 7u);
+    EXPECT_DOUBLE_EQ(snap.wallSeconds, 1.5);
+    ASSERT_EQ(snap.values.size(), 2u);
+
+    const ScalarSample &ev = snap.values.at("cache.evictions");
+    EXPECT_TRUE(ev.isCounter);
+    EXPECT_DOUBLE_EQ(ev.value, 42.0);
+
+    const ScalarSample &fill = snap.values.at("cache.fill");
+    EXPECT_FALSE(fill.isCounter);
+    EXPECT_DOUBLE_EQ(fill.value, 0.75);
+}
+
+TEST(Snapshot, RunningStatProjectsToScalars)
+{
+    StatsRegistry reg;
+    RunningStat stat;
+    stat.add(2.0);
+    stat.add(4.0);
+    stat.add(9.0);
+    reg.addStat("walk.len", &stat);
+
+    StatsSnapshot snap = takeSnapshot(reg, 0, 0.0);
+    EXPECT_TRUE(snap.values.at("walk.len.count").isCounter);
+    EXPECT_DOUBLE_EQ(snap.values.at("walk.len.count").value, 3.0);
+    EXPECT_FALSE(snap.values.at("walk.len.mean").isCounter);
+    EXPECT_DOUBLE_EQ(snap.values.at("walk.len.mean").value, 5.0);
+    EXPECT_DOUBLE_EQ(snap.values.at("walk.len.min").value, 2.0);
+    EXPECT_DOUBLE_EQ(snap.values.at("walk.len.max").value, 9.0);
+}
+
+TEST(Snapshot, DeltaAndRate)
+{
+    StatsRegistry reg;
+    std::uint64_t hits = 100;
+    reg.addCounter("hits", &hits);
+
+    StatsSnapshot a = takeSnapshot(reg, 1, 10.0);
+    hits = 350;
+    StatsSnapshot b = takeSnapshot(reg, 2, 12.0);
+
+    SnapshotDelta d = deltaBetween(a, b);
+    EXPECT_EQ(d.fromEpoch, 1u);
+    EXPECT_EQ(d.toEpoch, 2u);
+    EXPECT_DOUBLE_EQ(d.elapsedSeconds, 2.0);
+
+    const DeltaEntry &e = d.entries.at("hits");
+    EXPECT_TRUE(e.isCounter);
+    EXPECT_FALSE(e.fresh);
+    EXPECT_FALSE(e.wrapped);
+    EXPECT_DOUBLE_EQ(e.current, 350.0);
+    EXPECT_DOUBLE_EQ(e.delta, 250.0);
+    EXPECT_DOUBLE_EQ(e.rate, 125.0);
+}
+
+TEST(Snapshot, CounterWrapRestartsDelta)
+{
+    // A counter that goes backwards (reset/wrap) must not produce a
+    // negative delta; Prometheus-rate semantics restart the delta at
+    // the current value.
+    StatsRegistry reg;
+    std::uint64_t n = 1000;
+    reg.addCounter("n", &n);
+
+    StatsSnapshot a = takeSnapshot(reg, 1, 0.0);
+    n = 30; // reset
+    StatsSnapshot b = takeSnapshot(reg, 2, 1.0);
+
+    const DeltaEntry &e = deltaBetween(a, b).entries.at("n");
+    EXPECT_TRUE(e.wrapped);
+    EXPECT_DOUBLE_EQ(e.delta, 30.0);
+    EXPECT_DOUBLE_EQ(e.rate, 30.0);
+}
+
+TEST(Snapshot, GaugesDeltaSignedAndNeverWrap)
+{
+    // Gauges move both ways; a drop is a real (negative) delta, not a
+    // wrap.
+    StatsRegistry reg;
+    double g = 10.0;
+    reg.addGauge("g", [&g] { return g; });
+
+    StatsSnapshot a = takeSnapshot(reg, 1, 0.0);
+    g = 4.0;
+    StatsSnapshot b = takeSnapshot(reg, 2, 2.0);
+
+    const DeltaEntry &e = deltaBetween(a, b).entries.at("g");
+    EXPECT_FALSE(e.isCounter);
+    EXPECT_FALSE(e.wrapped);
+    EXPECT_DOUBLE_EQ(e.delta, -6.0);
+    EXPECT_DOUBLE_EQ(e.rate, -3.0);
+}
+
+TEST(Snapshot, FreshPathsCountFromZero)
+{
+    // A partition registered mid-run shows up in the newer snapshot
+    // only; its delta counts from zero and is flagged fresh.
+    StatsRegistry reg;
+    std::uint64_t base = 5;
+    reg.addCounter("part0.hits", &base);
+    StatsSnapshot a = takeSnapshot(reg, 1, 0.0);
+
+    std::uint64_t late = 17;
+    reg.addCounter("part1.hits", &late);
+    base = 9;
+    StatsSnapshot b = takeSnapshot(reg, 2, 1.0);
+
+    SnapshotDelta d = deltaBetween(a, b);
+    const DeltaEntry &old_e = d.entries.at("part0.hits");
+    EXPECT_FALSE(old_e.fresh);
+    EXPECT_DOUBLE_EQ(old_e.delta, 4.0);
+
+    const DeltaEntry &new_e = d.entries.at("part1.hits");
+    EXPECT_TRUE(new_e.fresh);
+    EXPECT_FALSE(new_e.wrapped);
+    EXPECT_DOUBLE_EQ(new_e.current, 17.0);
+    EXPECT_DOUBLE_EQ(new_e.delta, 17.0);
+    EXPECT_DOUBLE_EQ(new_e.rate, 17.0);
+}
+
+TEST(Snapshot, RemovedPathsDropFromDelta)
+{
+    StatsRegistry old_reg;
+    std::uint64_t a_val = 1, b_val = 2;
+    old_reg.addCounter("a", &a_val);
+    old_reg.addCounter("b", &b_val);
+    StatsSnapshot a = takeSnapshot(old_reg, 1, 0.0);
+
+    StatsRegistry new_reg;
+    new_reg.addCounter("a", &a_val);
+    StatsSnapshot b = takeSnapshot(new_reg, 2, 1.0);
+
+    SnapshotDelta d = deltaBetween(a, b);
+    EXPECT_EQ(d.entries.size(), 1u);
+    EXPECT_TRUE(d.entries.count("a"));
+}
+
+TEST(Snapshot, ZeroElapsedYieldsNanRate)
+{
+    // Two snapshots at the same instant: the delta is still exact but
+    // a rate would divide by zero — it must be NaN, not Inf, so the
+    // exporter can suppress it.
+    StatsRegistry reg;
+    std::uint64_t n = 10;
+    reg.addCounter("n", &n);
+
+    StatsSnapshot a = takeSnapshot(reg, 1, 5.0);
+    n = 25;
+    StatsSnapshot b = takeSnapshot(reg, 2, 5.0);
+
+    SnapshotDelta d = deltaBetween(a, b);
+    EXPECT_DOUBLE_EQ(d.elapsedSeconds, 0.0);
+    const DeltaEntry &e = d.entries.at("n");
+    EXPECT_DOUBLE_EQ(e.delta, 15.0);
+    EXPECT_TRUE(std::isnan(e.rate));
+}
+
+TEST(Snapshot, BackwardsClockAlsoYieldsNanRate)
+{
+    StatsRegistry reg;
+    std::uint64_t n = 0;
+    reg.addCounter("n", &n);
+
+    StatsSnapshot a = takeSnapshot(reg, 1, 5.0);
+    StatsSnapshot b = takeSnapshot(reg, 2, 4.0);
+    EXPECT_TRUE(std::isnan(deltaBetween(a, b).entries.at("n").rate));
+}
+
+TEST(Snapshot, EmptyRegistry)
+{
+    StatsRegistry reg;
+    StatsSnapshot a = takeSnapshot(reg, 1, 0.0);
+    EXPECT_TRUE(a.empty());
+    StatsSnapshot b = takeSnapshot(reg, 2, 1.0);
+    EXPECT_TRUE(deltaBetween(a, b).entries.empty());
+}
+
+TEST(Snapshot, CounterObjectAndClosureKindsAgree)
+{
+    // All three counter registration forms must project as counters.
+    StatsRegistry reg;
+    Counter c("c");
+    c.inc(3);
+    std::uint64_t raw = 4;
+    reg.addCounter("obj", &c);
+    reg.addCounter("raw", &raw);
+    reg.addCounter("fn", [] { return std::uint64_t{5}; });
+
+    StatsSnapshot snap = takeSnapshot(reg, 0, 0.0);
+    EXPECT_TRUE(snap.values.at("obj").isCounter);
+    EXPECT_DOUBLE_EQ(snap.values.at("obj").value, 3.0);
+    EXPECT_TRUE(snap.values.at("raw").isCounter);
+    EXPECT_DOUBLE_EQ(snap.values.at("raw").value, 4.0);
+    EXPECT_TRUE(snap.values.at("fn").isCounter);
+    EXPECT_DOUBLE_EQ(snap.values.at("fn").value, 5.0);
+}
+
+} // namespace
+} // namespace vantage
