@@ -200,6 +200,59 @@ BM_BankedAccess(benchmark::State &state)
 BENCHMARK(BM_BankedAccess);
 
 void
+BM_SetAssocAccessLarge(benchmark::State &state)
+{
+    // 256 MB modeled capacity (4M 64-byte lines, 16-way): the
+    // large-CMP L2 size the sharded runtime targets. Exercises the
+    // access path at a metadata footprint that spills far outside
+    // the host LLC.
+    Cache cache(std::make_unique<SetAssocArray>(4194304, 16, true, 1),
+                std::make_unique<Unpartitioned>(
+                    1, std::make_unique<ExactLru>()),
+                "sa-large");
+    Rng rng(12);
+    for (int i = 0; i < 1000000; ++i) {
+        cache.access(rng.next() >> 16, 0);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.next() >> 16, 0));
+    }
+}
+BENCHMARK(BM_SetAssocAccessLarge);
+
+void
+BM_BankedAccessLarge(benchmark::State &state)
+{
+    // 256 MB modeled capacity split over 8 banks of 512K-line Z4/52
+    // zcaches with one Vantage controller each — the per-bank unit
+    // of work a shard worker executes in the 128-core scaling
+    // configuration.
+    VantageConfig cfg;
+    cfg.numPartitions = 4;
+    cfg.unmanagedFraction = 0.05;
+    std::vector<std::unique_ptr<Cache>> banks;
+    for (int b = 0; b < 8; ++b) {
+        banks.push_back(std::make_unique<Cache>(
+            std::make_unique<ZArray>(524288, 4, 52, 100 + b),
+            std::make_unique<VantageController>(524288, cfg),
+            "bank" + std::to_string(b)));
+    }
+    BankedCache cache(std::move(banks));
+    Rng rng(13);
+    for (int i = 0; i < 1000000; ++i) {
+        cache.access((1ull << 40) | (rng.next() >> 12), i & 3);
+    }
+    int part = 0;
+    for (auto _ : state) {
+        part = (part + 1) & 3;
+        benchmark::DoNotOptimize(
+            cache.access((1ull << 40) | (rng.next() >> 12), part));
+    }
+}
+BENCHMARK(BM_BankedAccessLarge);
+
+void
 BM_VantageHit(benchmark::State &state)
 {
     VantageConfig cfg;

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Sharded-simulation scaling bench: wall-clock time of ONE large
+ * banked simulation as the bank-worker count grows, at two scales:
+ *
+ *  - fig07 machine: 32 cores, 8 MB L2 in 8 banks (the paper's
+ *    scalability configuration, sharded);
+ *  - large CMP: 128 cores, 256 MB L2 in 8 banks — the configuration
+ *    the sharded runtime exists for, where per-bank Vantage state no
+ *    longer fits any host cache level.
+ *
+ * Every run also cross-checks the outcome digest against the serial
+ * (--shard-workers 0 equivalent) run: speedups that change results
+ * are bugs, so the bench doubles as a parity test at scale.
+ *
+ * Scale controls (environment): VANTAGE_WARMUP / VANTAGE_INSTRS per
+ * core (defaults 10'000 / 60'000 — minutes on one host core). Edit
+ * kWorkerSweep for custom worker sweeps.
+ *
+ * Results land in BENCH_shard_scaling.json (wall ms per point) via
+ * the micro-JSON exporter.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/digest.h"
+#include "suite.h"
+#include "workload/mixes.h"
+
+using namespace vantage;
+using namespace vantage::bench;
+
+namespace {
+
+constexpr std::uint32_t kWorkerSweep[] = {0, 1, 2, 4, 8};
+
+struct ScalePoint
+{
+    std::string name;
+    std::uint32_t workers = 0;
+    double wallMs = 0.0;
+    std::uint64_t digest = 0;
+};
+
+/** Run one sharded sim, returning wall time and outcome digest. */
+ScalePoint
+runPoint(const std::string &tag, const CmpConfig &cfg,
+         const L2Spec &spec, std::uint32_t banks,
+         std::uint32_t workers, const RunScale &scale)
+{
+    const auto apps = makeMix(2, cfg.numCores / 4, 0);
+    CmpSim sim(cfg, apps, buildBankedL2(spec, banks), 1, workers);
+    AccessDigest digest;
+    sim.sharedL2().attachDigest(&digest);
+
+    const auto start = std::chrono::steady_clock::now();
+    sim.warmup(scale.warmupAccesses);
+    sim.sharedL2().resetStats();
+    sim.run(scale.instructions);
+    const auto end = std::chrono::steady_clock::now();
+
+    sim.sharedL2().finalizeDigest();
+    ScalePoint p;
+    p.name = tag + ".w" + std::to_string(workers);
+    p.workers = workers;
+    p.wallMs = std::chrono::duration<double, std::milli>(end - start)
+                   .count();
+    p.digest = digest.value();
+    return p;
+}
+
+/** Sweep worker counts for one machine/L2 configuration. */
+std::vector<ScalePoint>
+sweep(const std::string &tag, const CmpConfig &cfg,
+      const L2Spec &spec, std::uint32_t banks, const RunScale &scale)
+{
+    std::printf("%s: %u cores, %llu lines (%llu MB) in %u banks, "
+                "%llu+%llu instrs/core\n",
+                tag.c_str(), cfg.numCores,
+                static_cast<unsigned long long>(spec.lines),
+                static_cast<unsigned long long>(spec.lines / 16384),
+                banks,
+                static_cast<unsigned long long>(
+                    scale.warmupAccesses),
+                static_cast<unsigned long long>(
+                    scale.instructions));
+    std::printf("  %-8s %12s %10s %8s\n", "workers", "wall ms",
+                "speedup", "digest");
+    std::vector<ScalePoint> points;
+    for (const std::uint32_t w : kWorkerSweep) {
+        if (w > banks) {
+            continue;
+        }
+        points.push_back(runPoint(tag, cfg, spec, banks, w, scale));
+        const ScalePoint &p = points.back();
+        const double speedup =
+            points.front().wallMs > 0.0
+                ? points.front().wallMs / p.wallMs
+                : 0.0;
+        const bool parity = p.digest == points.front().digest;
+        std::printf("  %-8u %12.1f %9.2fx %s%s\n", w, p.wallMs,
+                    speedup, parity ? "ok" : "MISMATCH",
+                    w == 0 ? " (serial reference)" : "");
+        if (!parity) {
+            std::fprintf(stderr,
+                         "shard_scaling: digest mismatch at %u "
+                         "workers (0x%016llx != 0x%016llx)\n",
+                         w,
+                         static_cast<unsigned long long>(p.digest),
+                         static_cast<unsigned long long>(
+                             points.front().digest));
+            std::exit(1);
+        }
+    }
+    std::printf("\n");
+    return points;
+}
+
+} // namespace
+
+int
+main()
+{
+    RunScale scale = RunScale::fromEnv();
+    if (std::getenv("VANTAGE_WARMUP") == nullptr) {
+        scale.warmupAccesses = 10'000;
+    }
+    if (std::getenv("VANTAGE_INSTRS") == nullptr) {
+        scale.instructions = 60'000;
+    }
+
+    // fig07 machine, sharded: 32 cores, 8 MB L2 in 8 banks.
+    CmpConfig m32 = CmpConfig::large32Core();
+    L2Spec s32;
+    s32.scheme = SchemeKind::Vantage;
+    s32.array = ArrayKind::Z4_52;
+    s32.numPartitions = m32.numCores;
+    s32.lines = m32.l2Lines();
+    s32.vantage.unmanagedFraction = 0.05;
+    s32.vantage.maxAperture = 0.5;
+    s32.vantage.slack = 0.1;
+
+    // Large CMP: 128 cores, 256 MB in 8 banks (32 MB/bank).
+    CmpConfig m128 = CmpConfig::large32Core();
+    m128.numCores = 128;
+    L2Spec s128 = s32;
+    s128.numPartitions = m128.numCores;
+    s128.lines = 4'194'304; // 256 MB of 64 B lines.
+
+    std::printf("Sharded-simulation scaling "
+                "(one sim, per-bank worker threads)\n\n");
+    const auto p32 = sweep("fig07_32core", m32, s32, 8, scale);
+    const auto p128 = sweep("large128core", m128, s128, 8, scale);
+
+    std::vector<MicroResult> results;
+    for (const auto *points : {&p32, &p128}) {
+        for (const ScalePoint &p : *points) {
+            // ns_per_op carries wall milliseconds; the name encodes
+            // config + worker count.
+            results.push_back({p.name, p.wallMs, 1});
+        }
+    }
+    writeMicroJson("shard_scaling", results);
+
+    std::printf("Note: speedups require free host cores; on a "
+                "single-CPU host the sweep degenerates to parity "
+                "checking (speedup <= 1).\n");
+    return 0;
+}

@@ -9,22 +9,58 @@
  * are expressed globally and divided evenly across banks, which is
  * exact in expectation because the hash spreads every partition's
  * lines uniformly over banks.
+ *
+ * Sharded execution (vsim --shard-workers=N): banks are statically
+ * assigned to N worker threads (bank % N), each fed by a bounded
+ * lock-free SPSC request ring and answered over a matching result
+ * ring (common/spsc_ring.h). Because a bank's accesses always land
+ * in one ring, in issue order, every bank processes exactly the
+ * serial access sequence — the sequencing property the bit-identical
+ * digest guarantee rests on (DESIGN.md §12). Digests fold into
+ * per-bank streams and finalizeDigest() merges them in canonical
+ * bank-major order, so the merged value is independent of worker
+ * count (including 0 = serial). The coordinator (CmpSim) owns all
+ * shard telemetry; workers touch only their banks and rings, which
+ * keeps the mode clean under ThreadSanitizer.
  */
 
 #ifndef VANTAGE_CACHE_BANKED_CACHE_H_
 #define VANTAGE_CACHE_BANKED_CACHE_H_
 
 #include <functional>
+#include <future>
 #include <memory>
 #include <vector>
 
 #include "cache/cache.h"
+#include "cache/shared_l2.h"
+#include "common/spsc_ring.h"
+#include "common/thread_pool.h"
 #include "hash/h3.h"
+#include "stats/histogram.h"
 
 namespace vantage {
 
+/** One routed access, coordinator -> bank worker. */
+struct ShardRequest
+{
+    Addr addr = 0;
+    PartId part = 0;
+    AccessType type = AccessType::Load;
+    std::uint32_t bank = 0;
+    bool stop = false; ///< Sentinel: worker exits, access ignored.
+};
+
+/** One access outcome, bank worker -> coordinator. */
+struct ShardResult
+{
+    AccessResult result = AccessResult::Miss;
+    /** Dirty evictions this access caused (its bank's delta). */
+    std::uint32_t wbDelta = 0;
+};
+
 /** N independent banks behind one access interface. */
-class BankedCache
+class BankedCache : public SharedL2
 {
   public:
     /**
@@ -35,9 +71,11 @@ class BankedCache
     explicit BankedCache(std::vector<std::unique_ptr<Cache>> banks,
                          std::uint64_t seed = 0xba4c);
 
+    ~BankedCache() override;
+
     /** Route and access; same semantics as Cache::access. */
     AccessResult access(Addr addr, PartId part,
-                        AccessType type = AccessType::Load);
+                        AccessType type = AccessType::Load) override;
 
     bool contains(Addr addr) const;
 
@@ -52,42 +90,149 @@ class BankedCache
     Cache &bank(std::uint32_t b);
     const Cache &bank(std::uint32_t b) const;
 
+    std::uint32_t numPartitions() const override;
+    std::uint32_t allocationQuantum() const override;
+
     /**
      * Set global allocations (in each bank-scheme's units); each
-     * bank receives the same per-partition share.
+     * bank receives the same per-partition share. In shard mode the
+     * caller must quiesce (drain every in-flight access) first —
+     * this is the epoch barrier at UCP reallocation points.
      */
-    void setAllocations(const std::vector<std::uint32_t> &units);
+    void
+    setAllocations(const std::vector<std::uint32_t> &units) override;
+
+    /** Apply DRRIP duel winners to every bank's VantageRrip. */
+    void applyBrrip(const std::vector<bool> &brrip) override;
+    bool wantsBrrip() const override;
 
     /** Aggregate actual size of a partition across banks. */
-    std::uint64_t actualSize(PartId part) const;
+    std::uint64_t actualSize(PartId part) const override;
 
     /** Aggregate target size of a partition across banks. */
-    std::uint64_t targetSize(PartId part) const;
+    std::uint64_t targetSize(PartId part) const override;
 
     /** Aggregate hit/miss stats across banks. */
-    CacheAccessStats totalStats() const;
-    CacheAccessStats partAccessStats(PartId part) const;
-    std::uint64_t writebacks() const;
-    void resetStats();
+    CacheAccessStats totalStats() const override;
+    CacheAccessStats partAccessStats(PartId part) const override;
+    std::uint64_t writebacks() const override;
+    void resetStats() override;
 
     /**
-     * Live-introspection export: each bank's cache counters under
-     * `prefix`.bankB.cache and its scheme state under
-     * `prefix`.bankB (so per-bank Vantage controllers render with
-     * both bank and part labels on the Prometheus endpoint).
+     * Live-introspection export with the simulator's top-level
+     * prefixes: each bank's cache counters under cache.bankB and its
+     * scheme state under vantage.bankB (Vantage controllers) or
+     * scheme.bankB, so per-bank metrics render with both bank and
+     * part labels on the Prometheus endpoint.
+     */
+    void
+    registerLiveIntrospection(StatsRegistry &reg) const override;
+
+    /**
+     * Legacy explicit-prefix export: each bank's cache counters
+     * under `prefix`.bankB.cache and its scheme state under
+     * `prefix`.bankB.
      */
     void registerIntrospection(StatsRegistry &reg,
                                const std::string &prefix) const;
 
-    /** Fold every bank's access outcomes into one digest. */
-    void attachDigest(AccessDigest *digest);
+    /** Post-mortem export: every bank under `prefix`.bankB. */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const override;
+
+    void enableHistograms() override;
+
+    /**
+     * Fold access outcomes into per-bank streams merged into
+     * `digest` by finalizeDigest(). The per-bank streams make the
+     * digest independent of the worker count: each bank observes its
+     * serial access order no matter which thread runs it.
+     */
+    void attachDigest(AccessDigest *digest) override;
+
+    /** Merge the per-bank streams, bank-major (order is part of the
+     *  digest definition). Call once, after the last access, with
+     *  shard workers quiesced. */
+    void finalizeDigest() override;
 
     /** Run every bank's invariant checks into one report. */
-    void checkInvariants(InvariantReport &rep) const;
+    void checkInvariants(InvariantReport &rep) const override;
+
+    BankedCache *banked() override { return this; }
+
+    // ------------------------------------------------------------------
+    // Shard runtime (driven by CmpSim; see DESIGN.md §12).
+
+    /**
+     * Spin up `workers` bank workers (<= numBanks()), each on its
+     * own thread-pool thread with request/result rings of at least
+     * `ringCapacity` slots. Until shardStop(), access() must not be
+     * called — route through shardTryEnqueue()/shardPopResult().
+     */
+    void shardStart(std::uint32_t workers, std::size_t ringCapacity);
+
+    /** Stop and join the workers (in-flight results are drained). */
+    void shardStop();
+
+    bool shardActive() const { return shardWorkers_ > 0; }
+    std::uint32_t shardWorkers() const { return shardWorkers_; }
+
+    /**
+     * Route one access to its bank's worker. On success sets
+     * `worker` (the ring to pop the result from) and records the
+     * queue-depth sample; on a full ring counts a stall and returns
+     * false — the caller must pop a result and retry.
+     */
+    bool shardTryEnqueue(Addr addr, PartId part, AccessType type,
+                         std::uint32_t &worker);
+
+    /** Pop `worker`'s oldest outcome, sleeping until one arrives. */
+    ShardResult shardPopResult(std::uint32_t worker);
+
+    /**
+     * Coordinator-side writeback accumulator: CmpSim folds each
+     * result's wbDelta in resolution (= issue) order, reproducing
+     * the serial `writebacks()` reads bit for bit. Reset together
+     * with the bank counters by resetStats().
+     */
+    void shardNoteWb(std::uint32_t delta) { shardWbFolded_ += delta; }
+    std::uint64_t shardWbFolded() const { return shardWbFolded_; }
+
+    /**
+     * Per-worker shard telemetry under `prefix`.worker.W: accesses
+     * routed, enqueue stalls, and a queue-depth histogram. All
+     * coordinator-written; safe for the metrics sampler under the
+     * registry's relaxed-read contract.
+     */
+    void registerShardStats(StatsRegistry &reg,
+                            const std::string &prefix) const;
 
   private:
+    void shardWorkerLoop(std::uint32_t w);
+
+    /** Per-worker telemetry, written only by the coordinator. */
+    struct ShardWorkerStats
+    {
+        std::uint64_t accesses = 0;
+        std::uint64_t enqueueStalls = 0;
+        Histogram queueDepth;
+    };
+
     std::vector<std::unique_ptr<Cache>> banks_;
     H3Hash hash_;
+
+    // Digest plumbing: the external digest plus one stream per bank.
+    AccessDigest *extDigest_ = nullptr;
+    std::vector<AccessDigest> bankDigests_;
+
+    // Shard runtime state (empty while serial).
+    std::uint32_t shardWorkers_ = 0;
+    std::uint64_t shardWbFolded_ = 0;
+    std::unique_ptr<ThreadPool> shardPool_;
+    std::vector<std::unique_ptr<SpscRing<ShardRequest>>> shardReq_;
+    std::vector<std::unique_ptr<SpscRing<ShardResult>>> shardRes_;
+    std::vector<std::future<void>> shardJoin_;
+    std::vector<std::unique_ptr<ShardWorkerStats>> shardStats_;
 };
 
 } // namespace vantage

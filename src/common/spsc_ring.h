@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Lock-free bounded single-producer/single-consumer ring.
+ *
+ * The in-sim sharding runtime (cache/banked_cache.h) moves one
+ * ShardRequest and one ShardResult per shared-L2 access between the
+ * coordinator thread and a bank worker, so the queue is on the
+ * simulator's critical path. The design is the classic Lamport ring
+ * with cached indices:
+ *
+ *  - head_ (pop cursor) is written only by the consumer, tail_ (push
+ *    cursor) only by the producer; each side keeps a cached copy of
+ *    the other's cursor and re-reads it only when the cached value
+ *    says the ring looks full/empty. In steady state a push or pop is
+ *    one relaxed load, one store-release, and no shared-line
+ *    ping-pong beyond the slot itself.
+ *
+ *  - Blocking waits use C++20 atomic wait/notify (futex-backed on
+ *    Linux) instead of spinning. That matters beyond politeness: the
+ *    shard scheduler must make progress even when the host has fewer
+ *    CPUs than workers (CI runners, laptops), where a spin-wait
+ *    coordinator would starve the very worker it is waiting on for a
+ *    whole timeslice. Notifies are elided unless the other side
+ *    announced it sleeps (waiters_ flag), keeping the futex syscall
+ *    off the fast path.
+ *
+ * Determinism: the ring is FIFO, so the consumer observes items in
+ * exactly the order the producer pushed them — the property the
+ * per-bank access sequencing argument (DESIGN.md §12) rests on.
+ * Capacity is rounded up to a power of two; index arithmetic wraps
+ * through uint64, which never overflows in practice (2^64 pushes).
+ */
+
+#ifndef VANTAGE_COMMON_SPSC_RING_H_
+#define VANTAGE_COMMON_SPSC_RING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/log.h"
+
+namespace vantage {
+
+/** Bounded SPSC FIFO; one producer thread, one consumer thread. */
+template <typename T>
+class SpscRing
+{
+  public:
+    /** @param capacity minimum slot count (rounded up to 2^k). */
+    explicit SpscRing(std::size_t capacity)
+    {
+        vantage_assert(capacity > 0, "ring needs capacity");
+        std::size_t cap = 1;
+        while (cap < capacity) {
+            cap <<= 1;
+        }
+        slots_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    std::size_t capacity() const { return slots_.size(); }
+
+    /**
+     * Items currently queued. Exact from either owning thread;
+     * a sampler thread sees a possibly-stale but tear-free value.
+     */
+    std::size_t
+    size() const
+    {
+        const std::uint64_t t = tail_.load(std::memory_order_acquire);
+        const std::uint64_t h = head_.load(std::memory_order_acquire);
+        return static_cast<std::size_t>(t - h);
+    }
+
+    /** Producer: push without blocking. @return false when full. */
+    bool
+    tryPush(const T &item)
+    {
+        const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+        if (t - headCache_ > mask_) {
+            headCache_ = head_.load(std::memory_order_acquire);
+            if (t - headCache_ > mask_) {
+                return false;
+            }
+        }
+        slots_[t & mask_] = item;
+        // seq_cst (not just release): the store must be ordered
+        // before the waiter-flag load below, or a consumer that
+        // announces itself and re-checks between the two could sleep
+        // through an elided notify (classic Dekker store/load).
+        tail_.store(t + 1, std::memory_order_seq_cst);
+        if (popWaiters_.load(std::memory_order_seq_cst) != 0) {
+            tail_.notify_one();
+        }
+        return true;
+    }
+
+    /** Producer: push, sleeping while the ring is full. */
+    void
+    push(const T &item)
+    {
+        while (!tryPush(item)) {
+            const std::uint64_t h =
+                head_.load(std::memory_order_acquire);
+            pushWaiters_.store(1, std::memory_order_seq_cst);
+            // Re-check after announcing: the consumer may have
+            // popped between tryPush and the store.
+            if (tail_.load(std::memory_order_relaxed) - h > mask_ &&
+                head_.load(std::memory_order_seq_cst) == h) {
+                head_.wait(h, std::memory_order_acquire);
+            }
+            pushWaiters_.store(0, std::memory_order_relaxed);
+        }
+    }
+
+    /** Consumer: pop without blocking. @return false when empty. */
+    bool
+    tryPop(T &out)
+    {
+        const std::uint64_t h = head_.load(std::memory_order_relaxed);
+        if (h == tailCache_) {
+            tailCache_ = tail_.load(std::memory_order_acquire);
+            if (h == tailCache_) {
+                return false;
+            }
+        }
+        out = slots_[h & mask_];
+        // seq_cst for the same Dekker reason as tryPush.
+        head_.store(h + 1, std::memory_order_seq_cst);
+        if (pushWaiters_.load(std::memory_order_seq_cst) != 0) {
+            head_.notify_one();
+        }
+        return true;
+    }
+
+    /** Consumer: pop, sleeping while the ring is empty. */
+    void
+    pop(T &out)
+    {
+        while (!tryPop(out)) {
+            const std::uint64_t t =
+                tail_.load(std::memory_order_acquire);
+            popWaiters_.store(1, std::memory_order_seq_cst);
+            if (head_.load(std::memory_order_relaxed) == t &&
+                tail_.load(std::memory_order_seq_cst) == t) {
+                tail_.wait(t, std::memory_order_acquire);
+            }
+            popWaiters_.store(0, std::memory_order_relaxed);
+        }
+    }
+
+  private:
+    std::vector<T> slots_;
+    std::size_t mask_ = 0;
+
+    // Producer-owned line: tail cursor + cached head.
+    alignas(64) std::atomic<std::uint64_t> tail_{0};
+    std::uint64_t headCache_ = 0;
+
+    // Consumer-owned line: head cursor + cached tail.
+    alignas(64) std::atomic<std::uint64_t> head_{0};
+    std::uint64_t tailCache_ = 0;
+
+    // Sleep announcements, so the fast path skips futex wakes.
+    alignas(64) std::atomic<std::uint32_t> pushWaiters_{0};
+    std::atomic<std::uint32_t> popWaiters_{0};
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_COMMON_SPSC_RING_H_

@@ -79,6 +79,16 @@ cliUsage()
            "machine:\n"
            "  --cores N            core count (default: app count)\n"
            "  --l2-lines N         L2 lines (default: paper machine)\n"
+           "  --banks N            split the L2 into N banks, each\n"
+           "                       with its own controller (paper\n"
+           "                       Table 2; N must divide the line\n"
+           "                       count; default: flat cache)\n"
+           "  --shard-workers N    run the banks of a single\n"
+           "                       simulation on N worker threads\n"
+           "                       (requires --banks, N <= banks;\n"
+           "                       0 = serial, the default; results\n"
+           "                       and digests are identical for\n"
+           "                       every value)\n"
            "  --no-ucp             static equal allocations\n"
            "  --repartition N      UCP interval in cycles\n"
            "\n"
@@ -256,6 +266,22 @@ parseCli(const std::vector<std::string> &args, std::string &error)
                 error = "bad --l2-lines value";
                 return opts;
             }
+        } else if (arg == "--banks") {
+            std::uint64_t banks = 0;
+            if (!next(value) || !parseU64(value, banks) ||
+                banks == 0 || banks > 1024) {
+                error = "bad --banks value (1-1024)";
+                return opts;
+            }
+            opts.banks = static_cast<std::uint32_t>(banks);
+        } else if (arg == "--shard-workers") {
+            std::uint64_t workers = 0;
+            if (!next(value) || !parseU64(value, workers) ||
+                workers > 256) {
+                error = "bad --shard-workers value (0-256)";
+                return opts;
+            }
+            opts.shardWorkers = static_cast<std::uint32_t>(workers);
         } else if (arg == "--unmanaged") {
             if (!next(value) ||
                 !parseF(value, opts.l2.vantage.unmanagedFraction)) {
@@ -413,6 +439,21 @@ parseCli(const std::vector<std::string> &args, std::string &error)
 
     if (opts.l2.lines == 0) {
         opts.l2.lines = opts.machine.l2Lines();
+    }
+    // Sharding only exists for banked caches, and a worker with no
+    // bank (or a bank split that does not divide the lines) is a
+    // configuration error, not an assert.
+    if (opts.shardWorkers > 0 && opts.banks == 0) {
+        error = "--shard-workers requires --banks";
+        return opts;
+    }
+    if (opts.banks > 0 && opts.shardWorkers > opts.banks) {
+        error = "--shard-workers must not exceed --banks";
+        return opts;
+    }
+    if (opts.banks > 0 && opts.l2.lines % opts.banks != 0) {
+        error = "--banks must divide the L2 line count";
+        return opts;
     }
     opts.l2.numPartitions = opts.machine.numCores;
     opts.l2.seed = opts.seed + 0x5ec;

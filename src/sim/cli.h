@@ -8,6 +8,7 @@
  *   vsim [--cores N] [--scheme NAME] [--array NAME]
  *        [--mix CLASS[:SEED] | --apps a,b,c | --traces f1,f2,...]
  *        [--instrs N] [--warmup N] [--l2-lines N]
+ *        [--banks N] [--shard-workers N]
  *        [--unmanaged F] [--amax F] [--slack F]
  *        [--no-ucp] [--repartition N] [--seed N] [--jobs N]
  *        [--stats-out FILE] [--trace-out FILE] [--stats-period N]
@@ -41,6 +42,19 @@ struct CliOptions
     L2Spec l2;
     RunScale scale;
     std::uint64_t seed = 1;
+
+    /**
+     * Bank count for a banked L2 (0 = flat cache). Must divide the
+     * L2 line count.
+     */
+    std::uint32_t banks = 0;
+
+    /**
+     * Bank-worker threads for a single sharded simulation (0 =
+     * serial, the default). Requires --banks and must not exceed it;
+     * results and digests are bit-identical for every value.
+     */
+    std::uint32_t shardWorkers = 0;
 
     /** Exactly one of these selects the workload. */
     std::optional<std::pair<std::uint32_t, std::uint32_t>> mix;

@@ -18,6 +18,22 @@ namespace vantage {
 
 CmpSim::CmpSim(const CmpConfig &cfg, std::vector<AppSpec> apps,
                std::unique_ptr<Cache> l2, std::uint64_t seed)
+    : CmpSim(cfg, std::move(apps),
+             std::make_unique<MonoL2>(std::move(l2)), seed, 0)
+{
+}
+
+CmpSim::CmpSim(const CmpConfig &cfg,
+               std::vector<std::unique_ptr<AccessStream>> streams,
+               std::unique_ptr<Cache> l2)
+    : CmpSim(cfg, std::move(streams),
+             std::make_unique<MonoL2>(std::move(l2)), 0)
+{
+}
+
+CmpSim::CmpSim(const CmpConfig &cfg, std::vector<AppSpec> apps,
+               std::unique_ptr<SharedL2> l2, std::uint64_t seed,
+               std::uint32_t shardWorkers)
     : cfg_(cfg), l2_(std::move(l2)),
       nextRepartition_(cfg.repartitionCycles)
 {
@@ -27,12 +43,13 @@ CmpSim::CmpSim(const CmpConfig &cfg, std::vector<AppSpec> apps,
         apps_.push_back(std::make_unique<AppModel>(
             std::move(apps[c]), c, seed * 7919 + c));
     }
-    buildCaches();
+    buildCaches(shardWorkers);
 }
 
 CmpSim::CmpSim(const CmpConfig &cfg,
                std::vector<std::unique_ptr<AccessStream>> streams,
-               std::unique_ptr<Cache> l2)
+               std::unique_ptr<SharedL2> l2,
+               std::uint32_t shardWorkers)
     : cfg_(cfg), apps_(std::move(streams)), l2_(std::move(l2)),
       nextRepartition_(cfg.repartitionCycles)
 {
@@ -42,16 +59,16 @@ CmpSim::CmpSim(const CmpConfig &cfg,
     for (const auto &stream : apps_) {
         vantage_assert(stream != nullptr, "null access stream");
     }
-    buildCaches();
+    buildCaches(shardWorkers);
 }
 
 void
-CmpSim::buildCaches()
+CmpSim::buildCaches(std::uint32_t shardWorkers)
 {
     vantage_assert(l2_ != nullptr, "need a shared L2");
-    vantage_assert(l2_->scheme().numPartitions() == cfg_.numCores,
+    vantage_assert(l2_->numPartitions() == cfg_.numCores,
                    "L2 has %u partitions for %u cores",
-                   l2_->scheme().numPartitions(), cfg_.numCores);
+                   l2_->numPartitions(), cfg_.numCores);
     for (std::uint32_t c = 0; c < cfg_.numCores; ++c) {
         l1s_.push_back(std::make_unique<Cache>(
             std::make_unique<SetAssocArray>(cfg_.l1Lines, cfg_.l1Ways,
@@ -65,6 +82,34 @@ CmpSim::buildCaches()
     if (cfg_.useUcp) {
         ucp_ = std::make_unique<Ucp>(cfg_.numCores, cfg_.ucp);
     }
+    if (shardWorkers > 0) {
+        shardL2_ = l2_->banked();
+        vantage_assert(shardL2_ != nullptr,
+                       "shard workers need a banked L2");
+        // One in-flight access per core bounds every ring, so the
+        // coordinator's blocking pushes can never deadlock.
+        const std::size_t cap =
+            std::max<std::size_t>(8, cfg_.numCores);
+        shardL2_->shardStart(shardWorkers, cap);
+        corePending_.assign(cfg_.numCores, 0);
+        snapshotOnResolve_.assign(cfg_.numCores, 0);
+    }
+}
+
+Cache &
+CmpSim::l2()
+{
+    Cache *mono = l2_->monoCache();
+    vantage_assert(mono != nullptr, "l2() needs a flat L2 cache");
+    return *mono;
+}
+
+const Cache &
+CmpSim::l2() const
+{
+    Cache *mono = const_cast<SharedL2 &>(*l2_).monoCache();
+    vantage_assert(mono != nullptr, "l2() needs a flat L2 cache");
+    return *mono;
 }
 
 void
@@ -119,6 +164,120 @@ CmpSim::step(std::uint32_t core)
 }
 
 void
+CmpSim::stepSharded(std::uint32_t core)
+{
+    CoreState &cs = cores_[core];
+    AccessStream &app = *apps_[core];
+
+    // Front end: identical to step().
+    const double gap_f = app.instrPerMem() + cs.instrCarry;
+    const auto gap = static_cast<std::uint64_t>(gap_f);
+    cs.instrCarry = gap_f - static_cast<double>(gap);
+    cs.cycle += gap;
+    cs.instructions += gap + 1;
+
+    const MemRef ref = app.next();
+    if (l1s_[core]->access(ref.addr, 0, ref.type) ==
+        AccessResult::Hit) {
+        cs.cycle += cfg_.l1HitLatency;
+        clockHeap_.update(core, cs.cycle);
+        return;
+    }
+
+    ++cs.l2Accesses;
+    if (ucp_) {
+        ucp_->observe(core, ref.addr);
+    }
+    // Ship the L2 access to its bank worker. A full ring can only
+    // mean older accesses are in flight, so resolving the oldest is
+    // both safe and guaranteed to make space eventually.
+    std::uint32_t worker = 0;
+    while (!shardL2_->shardTryEnqueue(ref.addr, core, ref.type,
+                                      worker)) {
+        resolveOldest();
+    }
+    corePending_[core] = 1;
+    pendingFifo_.push_back(PendingAccess{core, worker, cs.cycle});
+    // Conservative scheduling key: every L2 outcome costs at least
+    // the L2 hit latency, and any pending core whose true finish
+    // time could precede (or tie-and-win against) another core's is
+    // forced to resolve before that core issues — so issue order
+    // equals the serial step order.
+    clockHeap_.update(core, cs.cycle + cfg_.l2HitLatency);
+}
+
+void
+CmpSim::resolveOldest()
+{
+    vantage_assert(!pendingFifo_.empty(),
+                   "resolve with nothing in flight");
+    const PendingAccess pa = pendingFifo_.front();
+    pendingFifo_.pop_front();
+    const ShardResult r = shardL2_->shardPopResult(pa.worker);
+    // FIFO = issue = serial order, so the writeback accumulator and
+    // the memory-bus state below see the exact serial sequence.
+    shardL2_->shardNoteWb(r.wbDelta);
+
+    CoreState &cs = cores_[pa.core];
+    if (r.result == AccessResult::Hit) {
+        cs.cycle = pa.issueCycle + cfg_.l2HitLatency;
+    } else {
+        ++cs.l2Misses;
+        const std::uint64_t wbs = shardL2_->shardWbFolded();
+        Cycle service = static_cast<Cycle>(cfg_.memCyclesPerLine);
+        if (wbs != l2WritebacksSeen_) {
+            service += static_cast<Cycle>(cfg_.memCyclesPerLine) *
+                       (wbs - l2WritebacksSeen_);
+            l2WritebacksSeen_ = wbs;
+        }
+        const Cycle start = std::max(pa.issueCycle, memFree_);
+        memFree_ = start + service;
+        cs.cycle = start + cfg_.memLatency;
+    }
+    corePending_[pa.core] = 0;
+    clockHeap_.update(pa.core, cs.cycle);
+    if (snapshotOnResolve_[pa.core]) {
+        snapshotOnResolve_[pa.core] = 0;
+        fillSnapshot(cs);
+    }
+}
+
+void
+CmpSim::quiesce()
+{
+    while (!pendingFifo_.empty()) {
+        resolveOldest();
+    }
+}
+
+void
+CmpSim::barrierQuiesce()
+{
+    ++shardBarriers_;
+    if (pendingFifo_.empty()) {
+        barrierWait_.add(0);
+        return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    quiesce();
+    const auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    barrierWait_.add(static_cast<std::uint64_t>(us));
+}
+
+void
+CmpSim::fillSnapshot(CoreState &cs)
+{
+    cs.snapshot.instructions =
+        cs.instructions - cs.startInstructions;
+    cs.snapshot.cycles = cs.cycle - cs.startCycle;
+    cs.snapshot.l2Accesses = cs.l2Accesses - cs.startL2Accesses;
+    cs.snapshot.l2Misses = cs.l2Misses - cs.startL2Misses;
+}
+
+void
 CmpSim::maybeRepartition()
 {
     if (!ucp_) {
@@ -127,13 +286,20 @@ CmpSim::maybeRepartition()
     const Cycle min_cycle =
         cores_[nextCore()].cycle; // Trailing core defines "now".
     while (min_cycle >= nextRepartition_) {
-        PartitionScheme &scheme = l2_->scheme();
-        const std::uint32_t quantum = scheme.allocationQuantum();
+        const std::uint32_t quantum = l2_->allocationQuantum();
         if (quantum < cfg_.numCores) {
             // Unpartitioned baselines: nothing to allocate.
             ucp_->nextInterval();
             nextRepartition_ += cfg_.repartitionCycles;
             continue;
+        }
+        // Epoch barrier: setAllocations mutates bank state, so
+        // every in-flight access must land first. Serial order is
+        // preserved — all accesses issued before this point resolve
+        // before the new allocations apply, exactly as in a serial
+        // run.
+        if (shardL2_ != nullptr) {
+            barrierQuiesce();
         }
         // Way-granular schemes need at least one way per partition;
         // fine-grain quanta can go down to a single unit.
@@ -145,14 +311,11 @@ CmpSim::maybeRepartition()
         reallocGap_.add(l2_accesses - lastReallocAccesses_);
         lastReallocAccesses_ = l2_accesses;
         const std::uint32_t min_units = 1;
-        scheme.setAllocations(
+        l2_->setAllocations(
             ucp_->computeAllocations(quantum, min_units));
         // Vantage-DRRIP: apply the per-partition dueling winners.
-        if (auto *vr = dynamic_cast<VantageRrip *>(&scheme)) {
-            const std::vector<bool> brrip = ucp_->brripChoices();
-            for (PartId p = 0; p < cfg_.numCores; ++p) {
-                vr->setBrrip(p, brrip[p]);
-            }
+        if (l2_->wantsBrrip()) {
+            l2_->applyBrrip(ucp_->brripChoices());
         }
         ucp_->nextInterval();
         if (onRepartition) {
@@ -177,6 +340,10 @@ CmpSim::markStart()
 void
 CmpSim::warmup(std::uint64_t accesses)
 {
+    if (shardL2_ != nullptr) {
+        warmupSharded(accesses);
+        return;
+    }
     std::vector<std::uint64_t> issued(cfg_.numCores, 0);
     std::uint32_t remaining = cfg_.numCores;
     while (remaining > 0) {
@@ -191,8 +358,39 @@ CmpSim::warmup(std::uint64_t accesses)
 }
 
 void
+CmpSim::warmupSharded(std::uint64_t accesses)
+{
+    std::vector<std::uint64_t> issued(cfg_.numCores, 0);
+    std::uint32_t remaining = cfg_.numCores;
+    while (remaining > 0) {
+        const std::uint32_t core = nextCore();
+        if (corePending_[core]) {
+            // The trailing core's true clock is unknown; resolving
+            // the oldest in-flight access either settles it or
+            // tightens the schedule.
+            resolveOldest();
+            continue;
+        }
+        // The top core's key is its exact clock here, so this check
+        // is bit-equivalent to the serial post-step check.
+        maybeRepartition();
+        stepSharded(core);
+        heartbeatTick("warmup");
+        if (issued[core] < accesses && ++issued[core] == accesses) {
+            --remaining;
+        }
+    }
+    quiesce();
+    maybeRepartition(); // The serial loop's final post-step check.
+}
+
+void
 CmpSim::run(std::uint64_t instructions)
 {
+    if (shardL2_ != nullptr) {
+        runSharded(instructions);
+        return;
+    }
     markStart();
     std::uint32_t remaining = cfg_.numCores;
     while (remaining > 0) {
@@ -204,15 +402,42 @@ CmpSim::run(std::uint64_t instructions)
         if (!cs.done &&
             cs.instructions - cs.startInstructions >= instructions) {
             cs.done = true;
-            cs.snapshot.instructions =
-                cs.instructions - cs.startInstructions;
-            cs.snapshot.cycles = cs.cycle - cs.startCycle;
-            cs.snapshot.l2Accesses =
-                cs.l2Accesses - cs.startL2Accesses;
-            cs.snapshot.l2Misses = cs.l2Misses - cs.startL2Misses;
+            fillSnapshot(cs);
             --remaining;
         }
     }
+}
+
+void
+CmpSim::runSharded(std::uint64_t instructions)
+{
+    markStart();
+    std::uint32_t remaining = cfg_.numCores;
+    while (remaining > 0) {
+        const std::uint32_t core = nextCore();
+        if (corePending_[core]) {
+            resolveOldest();
+            continue;
+        }
+        maybeRepartition();
+        stepSharded(core);
+        heartbeatTick("run");
+        CoreState &cs = cores_[core];
+        if (!cs.done &&
+            cs.instructions - cs.startInstructions >= instructions) {
+            cs.done = true;
+            if (corePending_[core]) {
+                // The finishing access is in flight; snapshot when
+                // its outcome (cycle, miss count) lands.
+                snapshotOnResolve_[core] = 1;
+            } else {
+                fillSnapshot(cs);
+            }
+            --remaining;
+        }
+    }
+    quiesce();
+    maybeRepartition();
 }
 
 void
@@ -244,21 +469,27 @@ CmpSim::registerLiveStats(StatsRegistry &reg) const
         });
     }
 
-    l2_->registerIntrospection(reg, "cache");
-    if (const auto *v = dynamic_cast<const VantageController *>(
-            &l2_->scheme())) {
-        v->registerIntrospection(reg, "vantage");
-    } else {
-        l2_->scheme().registerIntrospection(reg, "scheme");
-    }
+    l2_->registerLiveIntrospection(reg);
     if (ucp_) {
         ucp_->registerIntrospection(reg, "umon");
         reg.addHistogram("sim.realloc_gap", &reallocGap_);
     }
+    registerShardStats(reg);
 
     reg.addGauge("sim.cycle",
                  [this] { return static_cast<double>(now()); });
     reg.addCounter("sim.heartbeats", &heartbeatSeq_);
+}
+
+void
+CmpSim::registerShardStats(StatsRegistry &reg) const
+{
+    if (shardL2_ == nullptr) {
+        return;
+    }
+    shardL2_->registerShardStats(reg, "shard");
+    reg.addHistogram("shard.barrier_wait_us", &barrierWait_);
+    reg.addCounter("shard.barriers", &shardBarriers_);
 }
 
 namespace {
@@ -330,15 +561,14 @@ CmpSim::emitHeartbeat(const char *phase)
     line += ",\"instr_per_s\":";
     appendRate(line, instr_per_s);
     line += ",\"parts\":[";
-    const PartitionScheme &scheme = l2_->scheme();
-    for (PartId p = 0; p < scheme.numPartitions(); ++p) {
+    for (PartId p = 0; p < l2_->numPartitions(); ++p) {
         if (p != 0) {
             line += ',';
         }
         line += "{\"target\":";
-        line += std::to_string(scheme.targetSize(p));
+        line += std::to_string(l2_->targetSize(p));
         line += ",\"actual\":";
-        line += std::to_string(scheme.actualSize(p));
+        line += std::to_string(l2_->actualSize(p));
         line += '}';
     }
     line += "],\"trace_dropped\":";

@@ -177,6 +177,28 @@ buildL2(const L2Spec &spec)
                                    std::move(scheme), spec.name());
 }
 
+std::unique_ptr<BankedCache>
+buildBankedL2(const L2Spec &spec, std::uint32_t banks)
+{
+    vantage_assert(banks > 0, "need at least one bank");
+    vantage_assert(spec.lines % banks == 0,
+                   "%llu lines do not split into %u banks",
+                   static_cast<unsigned long long>(spec.lines),
+                   banks);
+    std::vector<std::unique_ptr<Cache>> bs;
+    bs.reserve(banks);
+    for (std::uint32_t b = 0; b < banks; ++b) {
+        // Same per-bank derivation as the fuzz driver: distinct
+        // array/scheme seeds per bank, per-bank share of the lines.
+        L2Spec bank_spec = spec;
+        bank_spec.lines = spec.lines / banks;
+        bank_spec.seed = spec.seed + 0x9e37ull * (b + 1);
+        bs.push_back(buildL2(bank_spec));
+    }
+    return std::make_unique<BankedCache>(std::move(bs),
+                                         spec.seed ^ 0xba4cull);
+}
+
 RunScale
 RunScale::fromEnv()
 {

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/banked_cache.h"
 #include "cache/cache.h"
 #include "core/vantage.h"
 #include "sim/cmp_sim.h"
@@ -73,6 +74,16 @@ std::unique_ptr<CacheArray> buildArray(const L2Spec &spec);
 
 /** Construct the full L2 cache for a spec. */
 std::unique_ptr<Cache> buildL2(const L2Spec &spec);
+
+/**
+ * Construct a banked L2 for a spec: `banks` banks of lines/banks
+ * lines each (lines must divide evenly), every bank its own complete
+ * Cache with a bank-distinct seed, routed by an H3 hash derived from
+ * the spec seed. Matches the fuzz driver's banked construction so a
+ * (spec, banks) pair means the same cache everywhere.
+ */
+std::unique_ptr<BankedCache> buildBankedL2(const L2Spec &spec,
+                                           std::uint32_t banks);
 
 /** Scale of a simulation run. */
 struct RunScale

@@ -71,7 +71,8 @@ buildRegistry(StatsRegistry &reg, const CliOptions &opts,
         reg.addGauge(base + ".mpki",
                      [&sim, c] { return sim.result(c).mpki(); });
     }
-    sim.l2().registerStats(reg, "cache.l2");
+    sim.sharedL2().registerStats(reg, "cache.l2");
+    sim.registerShardStats(reg);
     reg.addHistogram("sim.realloc_gap_accesses",
                      &sim.reallocGapHistogram());
     if (TraceSession::instance().enabledAny()) {
@@ -106,7 +107,15 @@ main(int argc, char **argv)
         traceSetThreadName("main");
     }
 
-    // Build the per-core workload.
+    // Build the per-core workload. The shared L2 is flat by default
+    // or banked under --banks; --shard-workers runs the banks on
+    // worker threads (results are identical either way).
+    auto build_shared_l2 = [&opts]() -> std::unique_ptr<SharedL2> {
+        if (opts.banks > 0) {
+            return buildBankedL2(opts.l2, opts.banks);
+        }
+        return std::make_unique<MonoL2>(buildL2(opts.l2));
+    };
     std::vector<std::string> core_names;
     std::unique_ptr<CmpSim> sim;
     if (!opts.traces.empty()) {
@@ -118,7 +127,8 @@ main(int argc, char **argv)
         }
         sim = std::make_unique<CmpSim>(opts.machine,
                                        std::move(streams),
-                                       buildL2(opts.l2));
+                                       build_shared_l2(),
+                                       opts.shardWorkers);
     } else {
         std::vector<AppSpec> apps;
         if (opts.mix) {
@@ -134,7 +144,8 @@ main(int argc, char **argv)
             core_names.push_back(app.name);
         }
         sim = std::make_unique<CmpSim>(opts.machine, apps,
-                                       buildL2(opts.l2), opts.seed);
+                                       build_shared_l2(), opts.seed,
+                                       opts.shardWorkers);
     }
 
     std::fprintf(stderr,
@@ -146,14 +157,29 @@ main(int argc, char **argv)
                      opts.scale.warmupAccesses),
                  static_cast<unsigned long long>(
                      opts.scale.instructions));
+    if (opts.banks > 0) {
+        std::fprintf(stderr,
+                     "vsim: %u banks of %llu lines, %u shard "
+                     "worker(s)\n",
+                     opts.banks,
+                     static_cast<unsigned long long>(opts.l2.lines /
+                                                     opts.banks),
+                     opts.shardWorkers);
+    }
 
     // Controller trace (--trace-out): samples the measured phase.
+    // Banked L2s have one controller per bank, so there is no single
+    // controller to trace.
     ControllerTrace trace(opts.scale.statsPeriod);
-    auto *vctl =
-        dynamic_cast<VantageController *>(&sim->l2().scheme());
+    VantageController *vctl = nullptr;
+    if (Cache *mono = sim->sharedL2().monoCache()) {
+        vctl = dynamic_cast<VantageController *>(&mono->scheme());
+    }
     if (!opts.traceOut.empty() && vctl == nullptr) {
-        fatal("--trace-out requires a vantage scheme, got %s",
-              opts.l2.name().c_str());
+        fatal("--trace-out requires a vantage scheme on a flat "
+              "(non-banked) L2, got %s%s",
+              opts.l2.name().c_str(),
+              opts.banks > 0 ? " with --banks" : "");
     }
 
     // The digest covers warmup too: array state after warmup feeds
@@ -161,14 +187,14 @@ main(int argc, char **argv)
     // catches divergence as early as possible.
     AccessDigest digest;
     if (opts.digest) {
-        sim->l2().attachDigest(&digest);
+        sim->sharedL2().attachDigest(&digest);
     }
 
     // Per-partition histograms ride along with --stats-out and the
     // live endpoint (they are observational, but skipping the adds
     // keeps the default path untouched).
     if (!opts.statsOut.empty() || opts.metricsPort >= 0) {
-        sim->l2().enableHistograms();
+        sim->sharedL2().enableHistograms();
     }
 
     // Heartbeats: --heartbeat-out routes the records to a file and
@@ -244,7 +270,7 @@ main(int argc, char **argv)
         run_phase("sim.warmup", [&] {
             sim->warmup(opts.scale.warmupAccesses);
         });
-        sim->l2().resetStats();
+        sim->sharedL2().resetStats();
         profResetAll();
         if (!opts.traceOut.empty()) {
             vctl->attachTrace(&trace);
@@ -268,8 +294,11 @@ main(int argc, char **argv)
                 sim->throughput());
     std::printf("L2 writebacks: %llu\n",
                 static_cast<unsigned long long>(
-                    sim->l2().writebacks()));
+                    sim->sharedL2().writebacks()));
     if (opts.digest) {
+        // Banked digests fold their per-bank streams into the
+        // external digest bank-major; a no-op for flat caches.
+        sim->sharedL2().finalizeDigest();
         std::printf("digest: 0x%016llx\n",
                     static_cast<unsigned long long>(digest.value()));
     }
@@ -315,12 +344,11 @@ main(int argc, char **argv)
         for (PartId p = 0; p < opts.machine.numCores; ++p) {
             parts.addRow(
                 {std::to_string(p),
-                 std::to_string(sim->l2().scheme().targetSize(p)),
-                 std::to_string(sim->l2().scheme().actualSize(p))});
+                 std::to_string(sim->sharedL2().targetSize(p)),
+                 std::to_string(sim->sharedL2().actualSize(p))});
         }
         parts.print();
-        if (auto *v = dynamic_cast<VantageController *>(
-                &sim->l2().scheme())) {
+        if (VantageController *v = vctl) {
             const VantageStats &vs = v->stats();
             std::printf("vantage: %llu demotions, %llu promotions, "
                         "%.2e forced managed evictions, unmanaged "

@@ -51,5 +51,19 @@ expect_error("unknown scheme" "unknown scheme 'zcache'"
 expect_error("flag with value" "--digest takes no value" --digest=1)
 expect_error("two workloads" "choose one of --mix / --apps / --traces"
     --mix 3 --apps libquantum)
+expect_error("zero banks" "bad --banks value" --banks 0)
+expect_error("non-numeric banks" "bad --banks value" --banks lots)
+expect_error("banks out of range" "bad --banks value" --banks 2000)
+expect_error("banks do not divide lines"
+    "--banks must divide the L2 line count" --banks 7)
+expect_error("non-numeric shard workers" "bad --shard-workers value"
+    --shard-workers nope)
+expect_error("shard workers out of range" "bad --shard-workers value"
+    --shard-workers 300)
+expect_error("shard workers without banks"
+    "--shard-workers requires --banks" --shard-workers 2)
+expect_error("more shard workers than banks"
+    "--shard-workers must not exceed --banks"
+    --banks 4 --shard-workers 8)
 
 message(STATUS "all CLI error paths exit 1 with a message")

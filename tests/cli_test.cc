@@ -285,5 +285,53 @@ TEST(Cli, DigestFlag)
               std::string::npos);
 }
 
+TEST(Cli, BanksAndShardWorkers)
+{
+    const CliOptions defaults = parseOk({});
+    EXPECT_EQ(defaults.banks, 0u);
+    EXPECT_EQ(defaults.shardWorkers, 0u);
+
+    const CliOptions opts =
+        parseOk({"--banks", "8", "--shard-workers", "3"});
+    EXPECT_EQ(opts.banks, 8u);
+    EXPECT_EQ(opts.shardWorkers, 3u);
+
+    // --shard-workers 0 with banks is the serial banked mode.
+    EXPECT_EQ(parseOk({"--banks", "4", "--shard-workers", "0"})
+                  .shardWorkers,
+              0u);
+    // Inline value form.
+    EXPECT_EQ(parseOk({"--banks=16"}).banks, 16u);
+}
+
+TEST(Cli, BanksValidation)
+{
+    EXPECT_NE(parseErr({"--banks", "0"}).find("--banks"),
+              std::string::npos);
+    EXPECT_NE(parseErr({"--banks", "lots"}).find("--banks"),
+              std::string::npos);
+    EXPECT_NE(parseErr({"--banks", "2000"}).find("--banks"),
+              std::string::npos);
+    // Banks must divide the L2 line count (32768 default).
+    EXPECT_NE(parseErr({"--banks", "7"}).find("divide"),
+              std::string::npos);
+}
+
+TEST(Cli, ShardWorkersValidation)
+{
+    EXPECT_NE(parseErr({"--shard-workers", "nope"})
+                  .find("--shard-workers"),
+              std::string::npos);
+    EXPECT_NE(parseErr({"--shard-workers", "300"})
+                  .find("--shard-workers"),
+              std::string::npos);
+    // Workers without banks, or exceeding banks, are config errors.
+    EXPECT_NE(parseErr({"--shard-workers", "2"}).find("requires"),
+              std::string::npos);
+    EXPECT_NE(parseErr({"--banks", "4", "--shard-workers", "8"})
+                  .find("exceed"),
+              std::string::npos);
+}
+
 } // namespace
 } // namespace vantage

@@ -19,14 +19,20 @@
  * global state — so a failure printed by CI reproduces anywhere.
  *
  * Usage: fuzz_driver [--iters N] [--seed S] [--accesses N]
- *                    [--check-every N] [--banks N] [--no-realloc]
- *                    [--verbose]
+ *                    [--check-every N] [--banks N]
+ *                    [--shard-workers N] [--no-realloc] [--verbose]
  *
  * --banks N (N > 0) routes every case through an N-bank BankedCache
  * of Z4/52 zcaches instead of a single flat cache. The option is
  * applied after the seed-derived case is drawn, so it never perturbs
  * the rng sequences: `--seed S` replays the same addresses with and
  * without banking.
+ *
+ * --shard-workers N (requires --banks, N <= banks) replays each
+ * banked case twice: once serially and once through the sharded
+ * bank-worker runtime, with invariant checks and reallocations
+ * landing at the same stream positions (quiescing in-flight accesses
+ * first). The two replays must produce identical access digests.
  *
  * Exit status: 0 when every iteration holds all invariants, 1 on the
  * first (minimized) violation, 2 on usage errors.
@@ -36,12 +42,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "cache/banked_cache.h"
 #include "cache/cache.h"
+#include "common/digest.h"
 #include "common/rng.h"
 #include "sim/experiment.h"
 
@@ -59,6 +67,7 @@ struct FuzzCase
     std::uint64_t reallocEvery = 0;  ///< 0 = never repartition.
     std::uint64_t seed = 0;
     std::uint32_t banks = 0;         ///< 0 = flat cache (CLI-forced).
+    std::uint32_t shardWorkers = 0;  ///< 0 = serial replay.
 
     std::string
     describe() const
@@ -78,6 +87,11 @@ struct FuzzCase
         std::string out = buf;
         if (banks > 0) {
             std::snprintf(buf, sizeof(buf), " banks=%u", banks);
+            out += buf;
+        }
+        if (shardWorkers > 0) {
+            std::snprintf(buf, sizeof(buf), " shard-workers=%u",
+                          shardWorkers);
             out += buf;
         }
         return out;
@@ -192,7 +206,8 @@ nextAddr(Rng &rng, const FuzzCase &fc, PartId part,
  */
 std::int64_t
 runCase(const FuzzCase &fc, std::uint64_t check_every,
-        bool allow_realloc, InvariantReport &rep)
+        bool allow_realloc, InvariantReport &rep,
+        AccessDigest *digest = nullptr)
 {
     // --banks routes everything through a BankedCache; the flat path
     // is otherwise untouched.
@@ -211,10 +226,45 @@ runCase(const FuzzCase &fc, std::uint64_t check_every,
     } else {
         cache = buildL2(fc.spec);
     }
+    if (digest != nullptr) {
+        if (banked) {
+            banked->attachDigest(digest);
+        } else {
+            cache->attachDigest(digest);
+        }
+    }
     Rng rng(fc.seed ^ 0xacce55ull);
     std::uint64_t scan_counter = 0;
 
+    // --shard-workers: route accesses through the bank-worker
+    // runtime, keeping a bounded in-flight window popped in issue
+    // order. Checks and reallocations quiesce the window first so
+    // they observe the same stream positions the serial replay does.
+    const bool sharded = banked && fc.shardWorkers > 0;
+    std::deque<std::uint32_t> inflight;
+    const auto quiesce = [&] {
+        while (!inflight.empty()) {
+            banked->shardPopResult(inflight.front());
+            inflight.pop_front();
+        }
+    };
+    if (sharded) {
+        banked->shardStart(fc.shardWorkers, 64);
+    }
+    const auto finish = [&] {
+        if (sharded) {
+            quiesce();
+            banked->shardStop();
+        }
+        if (digest != nullptr && banked) {
+            banked->finalizeDigest();
+        }
+    };
+
     const auto check = [&](InvariantReport &r) {
+        if (sharded) {
+            quiesce();
+        }
         r.clear();
         if (banked) {
             banked->checkInvariants(r);
@@ -229,7 +279,18 @@ runCase(const FuzzCase &fc, std::uint64_t check_every,
         const Addr addr = nextAddr(rng, fc, part, scan_counter);
         const AccessType type = rng.chance(0.3) ? AccessType::Store
                                                 : AccessType::Load;
-        if (banked) {
+        if (sharded) {
+            std::uint32_t w = 0;
+            while (!banked->shardTryEnqueue(addr, part, type, w)) {
+                banked->shardPopResult(inflight.front());
+                inflight.pop_front();
+            }
+            inflight.push_back(w);
+            if (inflight.size() >= 32) {
+                banked->shardPopResult(inflight.front());
+                inflight.pop_front();
+            }
+        } else if (banked) {
             banked->access(addr, part, type);
         } else {
             cache->access(addr, part, type);
@@ -245,6 +306,9 @@ runCase(const FuzzCase &fc, std::uint64_t check_every,
                 randomAllocations(rng, fc.spec.numPartitions,
                                   scheme.allocationQuantum());
             if (allow_realloc) {
+                if (sharded) {
+                    quiesce();
+                }
                 if (banked) {
                     banked->setAllocations(units);
                 } else {
@@ -256,11 +320,13 @@ runCase(const FuzzCase &fc, std::uint64_t check_every,
         if ((i + 1) % check_every == 0) {
             check(rep);
             if (!rep.ok()) {
+                finish();
                 return static_cast<std::int64_t>(i);
             }
         }
     }
     check(rep);
+    finish();
     if (!rep.ok()) {
         return static_cast<std::int64_t>(fc.accesses - 1);
     }
@@ -333,6 +399,9 @@ reportFailure(FuzzCase fc, std::uint64_t coarse_idx)
     if (fc.banks > 0) {
         std::fprintf(stderr, " --banks %u", fc.banks);
     }
+    if (fc.shardWorkers > 0) {
+        std::fprintf(stderr, " --shard-workers %u", fc.shardWorkers);
+    }
     std::fprintf(stderr, "\n");
     return 1;
 }
@@ -374,6 +443,7 @@ main(int argc, char **argv)
     std::uint64_t accesses = 20'000;
     std::uint64_t check_every = 512;
     std::uint64_t banks = 0;
+    std::uint64_t shard_workers = 0;
     bool allow_realloc = true;
     bool verbose = false;
 
@@ -407,6 +477,8 @@ main(int argc, char **argv)
                              static_cast<unsigned long long>(banks));
                 return 2;
             }
+        } else if (arg == "--shard-workers") {
+            numArg(shard_workers);
         } else if (arg == "--no-realloc") {
             allow_realloc = false;
         } else if (arg == "--verbose") {
@@ -416,10 +488,18 @@ main(int argc, char **argv)
                          "fuzz_driver: unknown option '%s'\n"
                          "usage: fuzz_driver [--iters N] [--seed S] "
                          "[--accesses N] [--check-every N] "
-                         "[--banks N] [--no-realloc] [--verbose]\n",
+                         "[--banks N] [--shard-workers N] "
+                         "[--no-realloc] [--verbose]\n",
                          arg.c_str());
             return 2;
         }
+    }
+    if (shard_workers > 0 &&
+        (banks == 0 || shard_workers > banks)) {
+        std::fprintf(stderr,
+                     "fuzz_driver: --shard-workers needs --banks >= "
+                     "the worker count\n");
+        return 2;
     }
 
     for (std::uint64_t it = 0; it < iters; ++it) {
@@ -435,6 +515,47 @@ main(int argc, char **argv)
                          fc.describe().c_str());
         }
         InvariantReport rep;
+        if (shard_workers > 0) {
+            // Sharded mode: replay serially for the reference
+            // digest, then through the worker runtime. Both must
+            // hold the invariants and produce identical digests.
+            AccessDigest serial_digest;
+            const std::int64_t bad_serial = runCase(
+                fc, check_every, allow_realloc, rep, &serial_digest);
+            if (bad_serial >= 0) {
+                return reportFailure(
+                    fc, static_cast<std::uint64_t>(bad_serial));
+            }
+            fc.shardWorkers =
+                static_cast<std::uint32_t>(shard_workers);
+            AccessDigest shard_digest;
+            const std::int64_t bad = runCase(
+                fc, check_every, allow_realloc, rep, &shard_digest);
+            if (bad >= 0) {
+                return reportFailure(fc,
+                                     static_cast<std::uint64_t>(bad));
+            }
+            if (serial_digest.value() != shard_digest.value()) {
+                std::fprintf(
+                    stderr,
+                    "FUZZ FAILURE\n  seed:    %llu\n  config:  %s\n"
+                    "  digest mismatch: serial 0x%016llx != sharded "
+                    "0x%016llx\n"
+                    "reproduce: fuzz_driver --seed %llu --iters 1 "
+                    "--accesses %llu --banks %u --shard-workers %u\n",
+                    static_cast<unsigned long long>(seed),
+                    fc.describe().c_str(),
+                    static_cast<unsigned long long>(
+                        serial_digest.value()),
+                    static_cast<unsigned long long>(
+                        shard_digest.value()),
+                    static_cast<unsigned long long>(seed),
+                    static_cast<unsigned long long>(accesses),
+                    fc.banks, fc.shardWorkers);
+                return 1;
+            }
+            continue;
+        }
         const std::int64_t bad =
             runCase(fc, check_every, allow_realloc, rep);
         if (bad >= 0) {
