@@ -23,11 +23,13 @@ Exit status: 0 all match, 1 any mismatch/failure, 2 usage error.
 """
 
 import argparse
+import os
 import pathlib
 import re
 import shlex
 import subprocess
 import sys
+import tempfile
 
 DIGEST_RE = re.compile(r"^digest: (0x[0-9a-f]{16})$", re.M)
 
@@ -65,6 +67,32 @@ def run_digest(vsim, args, extra_args=None):
     return match.group(1)
 
 
+def run_lifecycle_point(vsim, args, extra_args):
+    """Record one dynamic-tenant point to a temp journal, then replay
+    the journal and require the identical digest. Returns the digest
+    string, or None on any failure or record/replay mismatch."""
+    fd, journal = tempfile.mkstemp(suffix=".journal")
+    os.close(fd)
+    try:
+        got = run_digest(
+            vsim, args,
+            (extra_args or []) + ["--serve-journal", journal])
+        if got is None:
+            return None
+        replayed = run_digest(vsim, ["--replay", journal])
+        if replayed is None:
+            return None
+        if replayed != got:
+            print(f"FAIL  {' '.join(args)}: replay diverged",
+                  flush=True)
+            print(f"      recorded {got}", flush=True)
+            print(f"      replayed {replayed}", flush=True)
+            return None
+        return got
+    finally:
+        os.unlink(journal)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--vsim", required=True, help="vsim binary")
@@ -90,11 +118,25 @@ def main():
     ap.add_argument(
         "--shard-banks", type=int, default=8,
         help="--banks value for --shard-parity runs (default 8)")
+    ap.add_argument(
+        "--lifecycle", action="store_true",
+        help="run only the dynamic-tenant points (lines whose args "
+             "contain --lifecycle); each records its journal to a "
+             "temp file and must replay to the identical digest")
     opts = ap.parse_args()
     extra = shlex.split(opts.extra_args)
 
     path = pathlib.Path(opts.file)
     entries = list(parse_lines(path))
+    # Lifecycle points are their own population: the static modes
+    # (pinned compare, shard parity) skip them, and --lifecycle runs
+    # only them, adding the record/replay parity assertion.
+    if opts.lifecycle:
+        entries = [e for e in entries if "--lifecycle" in e[2]]
+        if not entries:
+            sys.exit(f"{path}: no --lifecycle entries")
+    else:
+        entries = [e for e in entries if "--lifecycle" not in e[2]]
     if not entries:
         sys.exit(f"{path}: no digest entries")
 
@@ -134,7 +176,10 @@ def main():
     measured = {}
     failures = 0
     for lineno, pinned, args in entries:
-        got = run_digest(opts.vsim, args, extra)
+        if opts.lifecycle:
+            got = run_lifecycle_point(opts.vsim, args, extra)
+        else:
+            got = run_digest(opts.vsim, args, extra)
         if got is None:
             failures += 1
             continue

@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""End-to-end smoke for `vsim --serve` (see README "Serve mode").
+
+Starts the daemon on an ephemeral port with a journal, drives two
+concurrent tenants through the binary frame protocol, has one leave
+mid-run and a third join (exercising slot retirement and reuse),
+pokes the server with a malformed frame (which must only cost that
+connection), shuts the daemon down cleanly, and finally replays the
+recorded journal — the serve-session digest and the replay digest
+must be bit-identical.
+
+Exit status: 0 on full parity, 1 on any protocol or digest failure.
+"""
+
+import argparse
+import os
+import re
+import socket
+import struct
+import subprocess
+import sys
+import tempfile
+
+# Frame types (src/serve/frame.h).
+HELLO, ACCESS_BATCH, STATS, BYE, SHUTDOWN = 1, 2, 3, 4, 5
+OK, ERR, STATS_REPLY = 0x80, 0x81, 0x82
+
+DIGEST_RE = re.compile(r"^digest: (0x[0-9a-f]{16})$", re.M)
+
+
+def frame(ftype, payload=b""):
+    """Length-prefixed frame: u32 length (type + payload), u8 type."""
+    return struct.pack("<IB", 1 + len(payload), ftype) + payload
+
+
+def read_frame(sock):
+    """Blocking read of one full frame; returns (type, payload)."""
+    hdr = b""
+    while len(hdr) < 4:
+        chunk = sock.recv(4 - len(hdr))
+        if not chunk:
+            raise ConnectionError("server closed the connection")
+        hdr += chunk
+    (length,) = struct.unpack("<I", hdr)
+    body = b""
+    while len(body) < length:
+        chunk = sock.recv(length - len(body))
+        if not chunk:
+            raise ConnectionError("truncated frame from server")
+        body += chunk
+    return body[0], body[1:]
+
+
+def hello(port, name):
+    """Join as tenant `name`; returns (socket, assigned slot)."""
+    sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+    payload = struct.pack("<H", len(name)) + name.encode()
+    sock.sendall(frame(HELLO, payload))
+    ftype, body = read_frame(sock)
+    if ftype != OK:
+        raise AssertionError(f"HELLO({name}) rejected: {body!r}")
+    (slot,) = struct.unpack("<H", body)
+    return sock, slot
+
+
+def batch(sock, addrs):
+    """Send one ACCESS_BATCH of loads; returns the reported hits."""
+    payload = struct.pack("<I", len(addrs))
+    for addr in addrs:
+        payload += struct.pack("<QB", addr, 0)
+    sock.sendall(frame(ACCESS_BATCH, payload))
+    ftype, body = read_frame(sock)
+    if ftype != OK:
+        raise AssertionError(f"ACCESS_BATCH rejected: {body!r}")
+    return struct.unpack("<I", body)[0]
+
+
+def extract_digest(text, what):
+    match = DIGEST_RE.search(text)
+    if not match:
+        raise AssertionError(f"no digest in {what} output:\n{text}")
+    return match.group(1)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--vsim", required=True, help="vsim binary")
+    ap.add_argument("--batches", type=int, default=40,
+                    help="access batches per tenant phase")
+    opts = ap.parse_args()
+
+    fd, journal = tempfile.mkstemp(suffix=".journal")
+    os.close(fd)
+    proc = subprocess.Popen(
+        [opts.vsim, "--serve", "0", "--serve-journal", journal,
+         "--epoch", "2000"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    try:
+        port = None
+        for line in proc.stderr:
+            match = re.search(r"serving on 127\.0\.0\.1:(\d+)", line)
+            if match:
+                port = int(match.group(1))
+                break
+        if port is None:
+            raise AssertionError("daemon never announced its port")
+
+        alpha, slot_a = hello(port, "alpha")
+        beta, slot_b = hello(port, "beta")
+        print(f"joined: alpha=slot{slot_a} beta=slot{slot_b}",
+              flush=True)
+        if slot_a == slot_b:
+            raise AssertionError("two live tenants share a slot")
+
+        # Phase 1: both tenants stream concurrently (interleaved
+        # batches; alpha fits, beta thrashes).
+        for _ in range(opts.batches):
+            batch(alpha, [0x1000 + (j % 512) * 64
+                          for j in range(200)])
+            batch(beta, [0x900000 + (j % 4096) * 64
+                         for j in range(200)])
+
+        # STATS must account for exactly the accesses alpha sent.
+        alpha.sendall(frame(STATS))
+        ftype, body = read_frame(alpha)
+        if ftype != STATS_REPLY:
+            raise AssertionError(f"STATS failed: {body!r}")
+        hits, misses, target, actual = struct.unpack("<QQQQ", body)
+        print(f"alpha stats: hits={hits} misses={misses} "
+              f"target={target} actual={actual}", flush=True)
+        if hits + misses != opts.batches * 200:
+            raise AssertionError("inconsistent STATS reply")
+
+        # beta leaves mid-run; gamma joins after (slot retire/reuse).
+        beta.sendall(frame(BYE))
+        read_frame(beta)
+        beta.close()
+        gamma, slot_c = hello(port, "gamma")
+        print(f"beta left, gamma joined at slot {slot_c}", flush=True)
+
+        # Phase 2: alpha + gamma.
+        for _ in range(opts.batches // 2):
+            batch(alpha, [0x1000 + (j % 512) * 64
+                          for j in range(200)])
+            batch(gamma, [0x2000000 + (j % 1024) * 64
+                          for j in range(200)])
+
+        # A malformed frame must only cost that connection.
+        bad = socket.create_connection(("127.0.0.1", port),
+                                       timeout=30)
+        bad.sendall(struct.pack("<I", 0))
+        ftype, body = read_frame(bad)
+        if ftype != ERR:
+            raise AssertionError(
+                f"malformed frame not rejected: {ftype:#x}")
+        print(f"malformed frame rejected: {body.decode()}",
+              flush=True)
+        bad.close()
+
+        # Clean shutdown; the daemon prints the session digest.
+        alpha.sendall(frame(SHUTDOWN))
+        read_frame(alpha)
+        alpha.close()
+        gamma.close()
+        out, err = proc.communicate(timeout=60)
+        if proc.returncode != 0:
+            raise AssertionError(
+                f"daemon exited {proc.returncode}:\n{err}")
+        served = extract_digest(out, "serve")
+        print(f"serve digest:  {served}", flush=True)
+
+        # Replay the journal: must reproduce the digest bit for bit.
+        replay = subprocess.run(
+            [opts.vsim, "--replay", journal],
+            capture_output=True, text=True, timeout=120)
+        if replay.returncode != 0:
+            raise AssertionError(
+                f"replay exited {replay.returncode}:\n"
+                f"{replay.stderr}")
+        replayed = extract_digest(replay.stdout, "replay")
+        print(f"replay digest: {replayed}", flush=True)
+        if replayed != served:
+            raise AssertionError("serve/replay digest mismatch")
+        print("serve-smoke: serve and replay digests identical",
+              flush=True)
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        os.unlink(journal)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except AssertionError as exc:
+        print(f"serve-smoke: FAIL: {exc}", file=sys.stderr)
+        sys.exit(1)

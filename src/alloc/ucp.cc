@@ -12,16 +12,93 @@ Ucp::Ucp(std::uint32_t num_cores, const UcpConfig &cfg)
     : numCores_(num_cores), cfg_(cfg)
 {
     vantage_assert(num_cores >= 1, "need at least one core");
-    const std::uint64_t period =
-        cfg.samplePeriod ? cfg.samplePeriod : cfg.modeledSets;
+    if (cfg.rripMonitors) {
+        rripUmons_.resize(num_cores);
+    } else {
+        umons_.resize(num_cores);
+    }
     for (std::uint32_t c = 0; c < num_cores; ++c) {
-        if (cfg.rripMonitors) {
-            rripUmons_.push_back(std::make_unique<UmonRrip>(
-                cfg.umonWays, cfg.umonSets, period, 0xa30 + c));
-        } else {
-            umons_.push_back(std::make_unique<Umon>(
-                cfg.umonWays, cfg.umonSets, period, 0xa30 + c));
-        }
+        buildMonitor(c);
+    }
+}
+
+void
+Ucp::buildMonitor(PartId core)
+{
+    // The seed is a pure function of the core id, so a monitor
+    // rebuilt for a joining tenant — in a live serve session or its
+    // replay — always starts from the same state.
+    const std::uint64_t period =
+        cfg_.samplePeriod ? cfg_.samplePeriod : cfg_.modeledSets;
+    if (cfg_.rripMonitors) {
+        rripUmons_[core] = std::make_unique<UmonRrip>(
+            cfg_.umonWays, cfg_.umonSets, period, 0xa30 + core);
+    } else {
+        umons_[core] = std::make_unique<Umon>(
+            cfg_.umonWays, cfg_.umonSets, period, 0xa30 + core);
+    }
+}
+
+void
+Ucp::attachMonitor(PartId core)
+{
+    vantage_assert(core < numCores_, "core %u out of range", core);
+    if (active_.empty()) {
+        active_.assign(numCores_, 1);
+    }
+    vantage_assert(active_[core] == 0,
+                   "attachMonitor(%u): already attached", core);
+    active_[core] = 1;
+    ++attaches_;
+    buildMonitor(core);
+}
+
+void
+Ucp::detachMonitor(PartId core)
+{
+    vantage_assert(core < numCores_, "core %u out of range", core);
+    if (active_.empty()) {
+        active_.assign(numCores_, 1);
+    }
+    vantage_assert(active_[core] != 0,
+                   "detachMonitor(%u): already detached", core);
+    active_[core] = 0;
+    ++detaches_;
+}
+
+std::uint32_t
+Ucp::activeMonitors() const
+{
+    if (active_.empty()) {
+        return numCores_;
+    }
+    std::uint32_t n = 0;
+    for (const std::uint8_t a : active_) {
+        n += a;
+    }
+    return n;
+}
+
+void
+Ucp::checkInvariants(InvariantReport &rep) const
+{
+    rep.expect(attaches_ <= detaches_,
+               "ucp: %llu attaches but only %llu detaches (monitors "
+               "start attached; every attach needs a prior detach)",
+               static_cast<unsigned long long>(attaches_),
+               static_cast<unsigned long long>(detaches_));
+    const std::uint64_t expected =
+        numCores_ + attaches_ - detaches_;
+    rep.expect(activeMonitors() == expected,
+               "ucp: %u active monitors, lifecycle counters imply "
+               "%llu",
+               activeMonitors(),
+               static_cast<unsigned long long>(expected));
+    for (std::uint32_t c = 0; c < numCores_; ++c) {
+        const bool built = cfg_.rripMonitors
+                               ? rripUmons_[c] != nullptr
+                               : umons_[c] != nullptr;
+        rep.expect(built, "ucp: core %u has no monitor", c);
     }
 }
 
@@ -29,6 +106,8 @@ void
 Ucp::observe(PartId core, Addr addr)
 {
     vantage_assert(core < numCores_, "core %u out of range", core);
+    vantage_assert(monitorActive(core),
+                   "observe() on detached monitor %u", core);
     if (cfg_.rripMonitors) {
         rripUmons_[core]->access(addr);
     } else {
@@ -40,20 +119,41 @@ std::vector<std::uint32_t>
 Ucp::computeAllocations(std::uint32_t quantum,
                         std::uint32_t min_units) const
 {
-    std::vector<std::vector<double>> curves(numCores_);
+    // Detached monitors (empty tenant slots) are excluded from the
+    // Lookahead competition and pinned at zero units; the whole
+    // quantum is divided among the attached population. With every
+    // monitor attached this is the historical fixed-population path,
+    // bit for bit.
+    std::vector<PartId> attached;
+    attached.reserve(numCores_);
     for (std::uint32_t c = 0; c < numCores_; ++c) {
+        if (monitorActive(c)) {
+            attached.push_back(c);
+        }
+    }
+    std::vector<std::uint32_t> alloc(numCores_, 0);
+    if (attached.empty()) {
+        return alloc;
+    }
+
+    std::vector<std::vector<double>> curves(attached.size());
+    for (std::size_t i = 0; i < attached.size(); ++i) {
+        const PartId c = attached[i];
         if (cfg_.rripMonitors) {
-            curves[c] = quantum == cfg_.umonWays
+            curves[i] = quantum == cfg_.umonWays
                             ? rripUmons_[c]->utilityCurve()
                             : rripUmons_[c]->interpolatedCurve(quantum);
         } else {
-            curves[c] = quantum == cfg_.umonWays
+            curves[i] = quantum == cfg_.umonWays
                             ? umons_[c]->utilityCurve()
                             : umons_[c]->interpolatedCurve(quantum);
         }
     }
-    std::vector<std::uint32_t> alloc =
+    const std::vector<std::uint32_t> packed =
         lookaheadAllocate(curves, quantum, min_units);
+    for (std::size_t i = 0; i < attached.size(); ++i) {
+        alloc[attached[i]] = packed[i];
+    }
     if (TraceSession::instance().enabled(kTraceAlloc)) {
         // One instant per reallocation decision (cold: runs once per
         // repartitioning interval).

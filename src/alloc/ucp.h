@@ -19,6 +19,7 @@
 #include "alloc/lookahead.h"
 #include "alloc/umon.h"
 #include "alloc/umon_rrip.h"
+#include "common/check.h"
 #include "obs/introspect.h"
 
 namespace vantage {
@@ -75,6 +76,41 @@ class Ucp : public Introspectable
     const Umon &umon(PartId core) const;
     std::uint32_t numCores() const { return numCores_; }
 
+    // ------------------------------------------------------------------
+    // Dynamic tenant lifecycle. Every monitor starts attached (the
+    // fixed-population behavior); serve mode detaches the monitors of
+    // empty slots and re-attaches one when a tenant joins. A
+    // re-attach rebuilds the monitor from scratch with its original
+    // seed, so a joining tenant starts from clean utility curves and
+    // a replayed session reconstructs identical monitor state.
+    // Detached monitors get zero units from computeAllocations() and
+    // must not be observe()d.
+    //
+    // NOTE: registerIntrospection() captures raw monitor pointers;
+    // do not re-register across an attach (the serve loop keeps its
+    // own registries per epoch snapshot instead).
+
+    /** Re-attach a detached core's monitor. @pre !monitorActive. */
+    void attachMonitor(PartId core);
+
+    /** Detach an attached core's monitor. @pre monitorActive. */
+    void detachMonitor(PartId core);
+
+    bool
+    monitorActive(PartId core) const
+    {
+        return active_.empty() || active_[core] != 0;
+    }
+
+    /** Number of attached monitors. */
+    std::uint32_t activeMonitors() const;
+
+    /**
+     * Lifecycle bookkeeping self-check: the active-flag recount must
+     * equal the initial population plus attaches minus detaches.
+     */
+    void checkInvariants(InvariantReport &rep) const;
+
     /**
      * Live-introspection export: per-core monitor activity
      * (sampled accesses, misses) and the utility-curve cumulative
@@ -87,10 +123,19 @@ class Ucp : public Introspectable
         StatsRegistry &reg, const std::string &prefix) const override;
 
   private:
+    /** (Re)build one core's monitor with its canonical seed. */
+    void buildMonitor(PartId core);
+
     std::uint32_t numCores_;
     UcpConfig cfg_;
     std::vector<std::unique_ptr<Umon>> umons_;
     std::vector<std::unique_ptr<UmonRrip>> rripUmons_;
+
+    /** Per-core attached flag; empty until the first lifecycle call
+     *  (all monitors implicitly attached). */
+    std::vector<std::uint8_t> active_;
+    std::uint64_t attaches_ = 0;
+    std::uint64_t detaches_ = 0;
 };
 
 } // namespace vantage

@@ -221,6 +221,32 @@ BankedCache::checkInvariants(InvariantReport &rep) const
 }
 
 void
+BankedCache::createPartition(PartId part)
+{
+    vantage_assert(!shardActive(),
+                   "lifecycle change while shard workers are running");
+    for (auto &bank : banks_) {
+        bank->createPartition(part);
+    }
+}
+
+void
+BankedCache::destroyPartition(PartId part)
+{
+    vantage_assert(!shardActive(),
+                   "lifecycle change while shard workers are running");
+    for (auto &bank : banks_) {
+        bank->destroyPartition(part);
+    }
+}
+
+bool
+BankedCache::partitionActive(PartId part) const
+{
+    return banks_[0]->scheme().partitionActive(part);
+}
+
+void
 BankedCache::registerIntrospection(StatsRegistry &reg,
                                    const std::string &prefix) const
 {

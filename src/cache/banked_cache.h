@@ -158,6 +158,16 @@ class BankedCache : public SharedL2
     /** Run every bank's invariant checks into one report. */
     void checkInvariants(InvariantReport &rep) const override;
 
+    /**
+     * Tenant lifecycle: applied to every bank in bank order, with
+     * shard workers quiesced, so each bank folds the lifecycle
+     * marker into its digest stream at the same point in its serial
+     * access order for any worker count.
+     */
+    void createPartition(PartId part) override;
+    void destroyPartition(PartId part) override;
+    bool partitionActive(PartId part) const override;
+
     BankedCache *banked() override { return this; }
 
     // ------------------------------------------------------------------

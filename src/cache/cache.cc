@@ -103,6 +103,33 @@ Cache::afterAccess(std::uint64_t outcome, std::uint64_t victim_part)
 }
 
 void
+Cache::createPartition(PartId part)
+{
+    vantage_assert(part < stats_.size(),
+                   "createPartition(%u) in cache %s with %zu slots",
+                   part, name_.c_str(), stats_.size());
+    scheme_->createPartition(part);
+    // The new tenant starts with clean hit/miss counters; any lines
+    // still draining from the slot's previous occupant stay resident.
+    stats_[part] = CacheAccessStats{};
+    if (digest_) {
+        digest_->fold(3 | (static_cast<std::uint64_t>(part) << 16));
+    }
+}
+
+void
+Cache::destroyPartition(PartId part)
+{
+    vantage_assert(part < stats_.size(),
+                   "destroyPartition(%u) in cache %s with %zu slots",
+                   part, name_.c_str(), stats_.size());
+    scheme_->destroyPartition(part);
+    if (digest_) {
+        digest_->fold(4 | (static_cast<std::uint64_t>(part) << 16));
+    }
+}
+
+void
 Cache::checkInvariants(InvariantReport &rep) const
 {
     array_->checkInvariants(rep);

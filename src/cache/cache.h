@@ -127,6 +127,18 @@ class Cache
     void attachDigest(AccessDigest *digest);
 
     /**
+     * Tenant lifecycle: activate a retired partition slot (resetting
+     * its hit/miss counters for the new tenant) / retire an active
+     * one so its lines drain. Both fold a marker word into the
+     * attached digest — outcome 3 = create, 4 = destroy, with the
+     * slot id in the victim-part field — so replayed lifecycle
+     * streams are covered by the same bit-exactness check as
+     * accesses. See PartitionScheme for drain semantics.
+     */
+    void createPartition(PartId part);
+    void destroyPartition(PartId part);
+
+    /**
      * Run the array's and the scheme's structural invariant checks,
      * collecting violations into `rep`. Always compiled (tests and
      * the fuzz driver call it in any build); costs nothing unless

@@ -119,4 +119,22 @@ MonoL2::checkInvariants(InvariantReport &rep) const
     cache_->checkInvariants(rep);
 }
 
+void
+MonoL2::createPartition(PartId part)
+{
+    cache_->createPartition(part);
+}
+
+void
+MonoL2::destroyPartition(PartId part)
+{
+    cache_->destroyPartition(part);
+}
+
+bool
+MonoL2::partitionActive(PartId part) const
+{
+    return cache_->scheme().partitionActive(part);
+}
+
 } // namespace vantage

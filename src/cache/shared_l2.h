@@ -100,6 +100,15 @@ class SharedL2
 
     virtual void checkInvariants(InvariantReport &rep) const = 0;
 
+    /**
+     * Tenant lifecycle (see Cache::createPartition): activate /
+     * retire a partition slot. Banked caches apply the change — and
+     * fold its digest marker — in every bank, in bank order.
+     */
+    virtual void createPartition(PartId part) = 0;
+    virtual void destroyPartition(PartId part) = 0;
+    virtual bool partitionActive(PartId part) const = 0;
+
     /** The flat cache when this L2 is one, else nullptr. */
     virtual Cache *monoCache() { return nullptr; }
 
@@ -143,6 +152,9 @@ class MonoL2 : public SharedL2
                        const std::string &prefix) const override;
     void registerLiveIntrospection(StatsRegistry &reg) const override;
     void checkInvariants(InvariantReport &rep) const override;
+    void createPartition(PartId part) override;
+    void destroyPartition(PartId part) override;
+    bool partitionActive(PartId part) const override;
 
     Cache *monoCache() override { return cache_.get(); }
 

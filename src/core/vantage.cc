@@ -98,6 +98,43 @@ VantageController::deletePartition(PartId part)
 }
 
 void
+VantageController::onPartitionDestroy(PartId part)
+{
+    // Sec. 3.4 deletion: target 0 puts every resident line outside
+    // the keep window, so the slot drains at full aperture through
+    // the unmanaged region.
+    deletePartition(part);
+}
+
+void
+VantageController::onPartitionCreate(PartId part)
+{
+    vantage_assert(part < cfg_.numPartitions,
+                   "partition %u out of range", part);
+    PartState &ps = parts_[part];
+    // Fresh control registers for the new tenant. ActualSize and
+    // tsHist are deliberately kept: they describe lines still
+    // resident from the previous occupant (lazy drain), which the
+    // new tenant inherits — resetting them would break conservation.
+    ps.currentTs = 0;
+    ps.setpointTs = 0;
+    ps.accessCounter = 0;
+    ps.candsSeen = 0;
+    ps.candsDemoted = 0;
+    ps.targetSize = 0;
+    rebuildThresholds(part);
+    partStats_[part] = VantagePartStats{};
+    if (!hists_.empty()) {
+        VantagePartHists &h = hists_[part];
+        h.apertureBp.reset();
+        h.demotionAge.reset();
+        h.evictionAge.reset();
+        h.demotionGap.reset();
+        h.lastDemotionAccess = accessesSeen_;
+    }
+}
+
+void
 VantageController::rebuildThresholds(PartId part)
 {
     // Fig. 3c: entry k covers sizes in
@@ -668,6 +705,11 @@ VantageController::checkInvariants(const CacheArray &array,
                        "[1, c = %u]",
                        p, k, ps.thrDems[k], cfg_.candsPerAdjust);
         }
+        // Dynamic lifecycle: a retired slot must stay at target 0 so
+        // its residue keeps draining at full aperture.
+        rep.expect(partitionActive(p) || ps.targetSize == 0,
+                   "vantage: retired part %u has target %llu", p,
+                   static_cast<unsigned long long>(ps.targetSize));
         target_total += ps.targetSize;
     }
     rep.expect(target_total <= managedLines_,

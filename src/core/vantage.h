@@ -300,6 +300,18 @@ class VantageController : public PartitionScheme
     /** Hook after a managed candidate survives its demotion check. */
     virtual void onDemotionCheckKept(PartId part, Line &line);
 
+    /**
+     * Lifecycle hooks (PartitionScheme). Destroy follows Sec. 3.4:
+     * deletePartition() semantics — target 0 and full-aperture drain
+     * through the unmanaged region. Create resets the new tenant's
+     * control registers (timestamps, setpoint, candidate counters)
+     * but keeps ActualSize and the timestamp histogram: they describe
+     * lines still resident from the previous occupant, which the new
+     * tenant inherits and churns out normally.
+     */
+    void onPartitionCreate(PartId part) override;
+    void onPartitionDestroy(PartId part) override;
+
     void rebuildThresholds(PartId part);
     /** Count a controller access; sample the trace when one is due. */
     void noteAccess();

@@ -178,6 +178,14 @@ class VantageRrip : public VantageController
         ps.candsDemoted = 0;
     }
 
+    void
+    onPartitionCreate(PartId part) override
+    {
+        VantageController::onPartitionCreate(part);
+        useBrrip_[part] = false;
+        setpointRrpv_[part] = RripBase::kDistant;
+    }
+
   private:
     Rng rng_;
     std::vector<bool> useBrrip_;
@@ -280,6 +288,13 @@ class VantageLfu : public VantageController
         }
         ps.candsSeen = 0;
         ps.candsDemoted = 0;
+    }
+
+    void
+    onPartitionCreate(PartId part) override
+    {
+        VantageController::onPartitionCreate(part);
+        setpointFreq_[part] = 0;
     }
 
   private:

@@ -85,6 +85,20 @@ class Pipp : public PartitionScheme
     void checkInvariants(const CacheArray &array,
                          InvariantReport &rep) const override;
 
+  protected:
+    /**
+     * A new tenant must not inherit the previous occupant's streaming
+     * classification or interval counters; resident lines (sizes_,
+     * chain positions) are inherited and displaced normally.
+     */
+    void
+    onPartitionCreate(PartId part) override
+    {
+        streaming_[part] = false;
+        intervalAccesses_[part] = 0;
+        intervalMisses_[part] = 0;
+    }
+
   private:
     std::uint64_t setOf(LineId slot) const { return slot / ways_; }
 

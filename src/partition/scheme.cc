@@ -1,8 +1,65 @@
 #include "partition/scheme.h"
 
+#include "common/log.h"
 #include "stats/registry.h"
 
 namespace vantage {
+
+void
+PartitionScheme::ensureLifecycle() const
+{
+    if (active_.empty()) {
+        active_.assign(numPartitions(), 1);
+    }
+}
+
+void
+PartitionScheme::createPartition(PartId part)
+{
+    ensureLifecycle();
+    vantage_assert(part < active_.size(),
+                   "createPartition(%u) with %zu slots", part,
+                   active_.size());
+    vantage_assert(active_[part] == 0,
+                   "createPartition(%u): slot already active", part);
+    active_[part] = 1;
+    onPartitionCreate(part);
+}
+
+void
+PartitionScheme::destroyPartition(PartId part)
+{
+    ensureLifecycle();
+    vantage_assert(part < active_.size(),
+                   "destroyPartition(%u) with %zu slots", part,
+                   active_.size());
+    vantage_assert(active_[part] != 0,
+                   "destroyPartition(%u): slot already retired", part);
+    active_[part] = 0;
+    onPartitionDestroy(part);
+}
+
+bool
+PartitionScheme::partitionActive(PartId part) const
+{
+    if (active_.empty()) {
+        return part < numPartitions();
+    }
+    return part < active_.size() && active_[part] != 0;
+}
+
+std::uint32_t
+PartitionScheme::activePartitions() const
+{
+    if (active_.empty()) {
+        return numPartitions();
+    }
+    std::uint32_t n = 0;
+    for (const std::uint8_t a : active_) {
+        n += a;
+    }
+    return n;
+}
 
 void
 PartitionScheme::registerIntrospection(StatsRegistry &reg,

@@ -126,6 +126,69 @@ class PartitionScheme : public Introspectable
      */
     void registerIntrospection(
         StatsRegistry &reg, const std::string &prefix) const override;
+
+    // ------------------------------------------------------------------
+    // Dynamic partition lifecycle.
+    //
+    // Schemes are constructed with a fixed maximum partition count
+    // (numPartitions()); tenants joining and leaving at runtime flip
+    // slots between *active* and *retired* instead of resizing any
+    // per-partition state (stats/introspection registries capture raw
+    // pointers into those vectors, so they must never reallocate).
+    // Every slot starts active, which keeps all pre-lifecycle
+    // configurations — and their pinned golden digests — bit-identical.
+    //
+    // Retiring a slot stops new allocation to it; resident lines drain
+    // lazily through the scheme's own churn mechanism (Vantage: target
+    // 0 forces full-aperture demotion per Sec. 3.4 of the paper; way
+    // schemes displace on demand). Re-creating a slot adopts any lines
+    // still draining — size accounting stays exact throughout.
+
+    /**
+     * Activate a retired partition slot for a new tenant. Resets the
+     * scheme's per-partition control state via onPartitionCreate();
+     * any resident lines still draining from the previous tenant are
+     * inherited. @pre !partitionActive(part).
+     */
+    void createPartition(PartId part);
+
+    /**
+     * Retire an active partition slot: its target drops to zero and
+     * resident lines drain through the scheme's replacement churn.
+     * @pre partitionActive(part).
+     */
+    void destroyPartition(PartId part);
+
+    /** Whether `part` currently belongs to a live tenant. */
+    bool partitionActive(PartId part) const;
+
+    /** Number of active partition slots. */
+    std::uint32_t activePartitions() const;
+
+  protected:
+    /**
+     * Scheme hook run by createPartition() after the slot is marked
+     * active: reset per-partition control registers (setpoints,
+     * counters) for the new tenant. State describing resident lines
+     * (size counters, timestamp histograms) must be kept — draining
+     * leftovers are inherited.
+     */
+    virtual void onPartitionCreate(PartId part) { (void)part; }
+
+    /**
+     * Scheme hook run by destroyPartition() after the slot is marked
+     * retired: drop the slot's target to zero so resident lines drain.
+     */
+    virtual void onPartitionDestroy(PartId part) { (void)part; }
+
+  private:
+    /** Ensures active_ is sized; lazy because numPartitions() is
+     *  virtual and unavailable during base construction. */
+    void ensureLifecycle() const;
+
+    /** Per-slot active flag; empty until the first lifecycle call
+     *  (all slots implicitly active). */
+    mutable std::vector<std::uint8_t> active_;
 };
 
 } // namespace vantage

@@ -1,0 +1,271 @@
+#include "serve/frame.h"
+
+#include <cstring>
+
+namespace vantage {
+
+void
+putU8(std::vector<std::uint8_t> &out, std::uint8_t v)
+{
+    out.push_back(v);
+}
+
+void
+putU16(std::vector<std::uint8_t> &out, std::uint16_t v)
+{
+    out.push_back(v & 0xff);
+    out.push_back((v >> 8) & 0xff);
+}
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i) {
+        out.push_back((v >> (8 * i)) & 0xff);
+    }
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        out.push_back((v >> (8 * i)) & 0xff);
+    }
+}
+
+bool
+ByteReader::readBytes(void *dst, std::size_t n)
+{
+    if (remaining() < n) {
+        return false;
+    }
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+    return true;
+}
+
+bool
+ByteReader::readU8(std::uint8_t &v)
+{
+    return readBytes(&v, 1);
+}
+
+bool
+ByteReader::readU16(std::uint16_t &v)
+{
+    std::uint8_t b[2];
+    if (!readBytes(b, 2)) {
+        return false;
+    }
+    v = static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+    return true;
+}
+
+bool
+ByteReader::readU32(std::uint32_t &v)
+{
+    std::uint8_t b[4];
+    if (!readBytes(b, 4)) {
+        return false;
+    }
+    v = 0;
+    for (int i = 3; i >= 0; --i) {
+        v = (v << 8) | b[i];
+    }
+    return true;
+}
+
+bool
+ByteReader::readU64(std::uint64_t &v)
+{
+    std::uint8_t b[8];
+    if (!readBytes(b, 8)) {
+        return false;
+    }
+    v = 0;
+    for (int i = 7; i >= 0; --i) {
+        v = (v << 8) | b[i];
+    }
+    return true;
+}
+
+std::vector<std::uint8_t>
+encodeFrame(FrameType type, const std::vector<std::uint8_t> &payload)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(5 + payload.size());
+    putU32(out, static_cast<std::uint32_t>(1 + payload.size()));
+    putU8(out, static_cast<std::uint8_t>(type));
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+void
+FrameDecoder::feed(const std::uint8_t *data, std::size_t size)
+{
+    if (poisoned_) {
+        return;
+    }
+    // Compact once the consumed prefix dominates, so long sessions
+    // don't grow the buffer without bound.
+    if (start_ > 0 && start_ >= buf_.size() / 2) {
+        buf_.erase(buf_.begin(),
+                   buf_.begin() + static_cast<std::ptrdiff_t>(start_));
+        start_ = 0;
+    }
+    buf_.insert(buf_.end(), data, data + size);
+}
+
+bool
+FrameDecoder::next(Frame &frame, std::string &error)
+{
+    error.clear();
+    if (poisoned_) {
+        error = poisonError_;
+        return false;
+    }
+    if (buffered() < 4) {
+        return false;
+    }
+    ByteReader hdr(buf_.data() + start_, 4);
+    std::uint32_t length = 0;
+    hdr.readU32(length);
+    if (length == 0 || length > kMaxFrameBytes) {
+        poisoned_ = true;
+        poisonError_ = "bad frame length " + std::to_string(length);
+        error = poisonError_;
+        return false;
+    }
+    if (buffered() < 4 + static_cast<std::size_t>(length)) {
+        return false;
+    }
+    const std::uint8_t *body = buf_.data() + start_ + 4;
+    frame.type = static_cast<FrameType>(body[0]);
+    frame.payload.assign(body + 1, body + length);
+    start_ += 4 + length;
+    return true;
+}
+
+std::vector<std::uint8_t>
+buildHello(const std::string &name)
+{
+    std::vector<std::uint8_t> out;
+    putU16(out, static_cast<std::uint16_t>(name.size()));
+    out.insert(out.end(), name.begin(), name.end());
+    return out;
+}
+
+bool
+parseHello(const std::vector<std::uint8_t> &payload, std::string &name)
+{
+    ByteReader r(payload.data(), payload.size());
+    std::uint16_t len = 0;
+    if (!r.readU16(len) || r.remaining() != len) {
+        return false;
+    }
+    name.resize(len);
+    return len == 0 || r.readBytes(name.data(), len);
+}
+
+std::vector<std::uint8_t>
+buildAccessBatch(const std::vector<BatchAccess> &accesses)
+{
+    std::vector<std::uint8_t> out;
+    putU32(out, static_cast<std::uint32_t>(accesses.size()));
+    for (const BatchAccess &a : accesses) {
+        putU64(out, a.addr);
+        putU8(out, static_cast<std::uint8_t>(a.type));
+    }
+    return out;
+}
+
+bool
+parseAccessBatch(const std::vector<std::uint8_t> &payload,
+                 std::vector<BatchAccess> &accesses)
+{
+    ByteReader r(payload.data(), payload.size());
+    std::uint32_t count = 0;
+    if (!r.readU32(count) || r.remaining() != count * 9ull) {
+        return false;
+    }
+    accesses.clear();
+    accesses.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        BatchAccess a;
+        std::uint8_t type = 0;
+        if (!r.readU64(a.addr) || !r.readU8(type) || type > 1) {
+            return false;
+        }
+        a.type = static_cast<AccessType>(type);
+        accesses.push_back(a);
+    }
+    return true;
+}
+
+std::vector<std::uint8_t>
+buildOkSlot(std::uint16_t slot)
+{
+    std::vector<std::uint8_t> out;
+    putU16(out, slot);
+    return out;
+}
+
+bool
+parseOkSlot(const std::vector<std::uint8_t> &payload,
+            std::uint16_t &slot)
+{
+    ByteReader r(payload.data(), payload.size());
+    return r.readU16(slot) && r.remaining() == 0;
+}
+
+std::vector<std::uint8_t>
+buildOkHits(std::uint32_t hits)
+{
+    std::vector<std::uint8_t> out;
+    putU32(out, hits);
+    return out;
+}
+
+bool
+parseOkHits(const std::vector<std::uint8_t> &payload,
+            std::uint32_t &hits)
+{
+    ByteReader r(payload.data(), payload.size());
+    return r.readU32(hits) && r.remaining() == 0;
+}
+
+std::vector<std::uint8_t>
+buildErr(const std::string &message)
+{
+    return std::vector<std::uint8_t>(message.begin(), message.end());
+}
+
+bool
+parseErr(const std::vector<std::uint8_t> &payload, std::string &message)
+{
+    message.assign(payload.begin(), payload.end());
+    return true;
+}
+
+std::vector<std::uint8_t>
+buildStatsReply(const TenantStats &stats)
+{
+    std::vector<std::uint8_t> out;
+    putU64(out, stats.hits);
+    putU64(out, stats.misses);
+    putU64(out, stats.targetLines);
+    putU64(out, stats.actualLines);
+    return out;
+}
+
+bool
+parseStatsReply(const std::vector<std::uint8_t> &payload,
+                TenantStats &stats)
+{
+    ByteReader r(payload.data(), payload.size());
+    return r.readU64(stats.hits) && r.readU64(stats.misses) &&
+           r.readU64(stats.targetLines) &&
+           r.readU64(stats.actualLines) && r.remaining() == 0;
+}
+
+} // namespace vantage

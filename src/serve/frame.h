@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Wire protocol for vsim --serve: length-prefixed binary frames over
+ * a local TCP socket.
+ *
+ * Every frame is
+ *
+ *     u32 length (LE, covers type + payload) | u8 type | payload
+ *
+ * Client -> server types: HELLO (tenant name), ACCESS_BATCH (u32
+ * count, then count x {u64 addr, u8 access type}), STATS, BYE and
+ * SHUTDOWN (stop the daemon). Server -> client: OK (payload depends
+ * on the request), ERR (human-readable message) and STATS_REPLY.
+ *
+ * Encode/decode are pure functions over byte buffers — no sockets —
+ * so the framing layer is unit-testable byte for byte, and the
+ * incremental FrameDecoder handles arbitrary TCP segmentation.
+ * Frames above kMaxFrameBytes or with a zero length are rejected as
+ * malformed rather than trusted as allocation sizes.
+ */
+
+#ifndef VANTAGE_SERVE_FRAME_H_
+#define VANTAGE_SERVE_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vantage {
+
+/** Frame type ids (u8 on the wire). */
+enum class FrameType : std::uint8_t {
+    Hello = 1,
+    AccessBatch = 2,
+    Stats = 3,
+    Bye = 4,
+    Shutdown = 5,
+    Ok = 0x80,
+    Err = 0x81,
+    StatsReply = 0x82,
+};
+
+/** Upper bound on one frame's (type + payload) size. */
+constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+/** One decoded frame. */
+struct Frame
+{
+    FrameType type = FrameType::Err;
+    std::vector<std::uint8_t> payload;
+};
+
+/** One access inside an ACCESS_BATCH. */
+struct BatchAccess
+{
+    Addr addr = 0;
+    AccessType type = AccessType::Load;
+};
+
+// ----------------------------------------------------------------------
+// Little-endian payload primitives (shared with the journal codec).
+
+void putU8(std::vector<std::uint8_t> &out, std::uint8_t v);
+void putU16(std::vector<std::uint8_t> &out, std::uint16_t v);
+void putU32(std::vector<std::uint8_t> &out, std::uint32_t v);
+void putU64(std::vector<std::uint8_t> &out, std::uint64_t v);
+
+/** Bounds-checked little-endian reader over a byte range. */
+class ByteReader
+{
+  public:
+    ByteReader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    bool readU8(std::uint8_t &v);
+    bool readU16(std::uint16_t &v);
+    bool readU32(std::uint32_t &v);
+    bool readU64(std::uint64_t &v);
+    bool readBytes(void *dst, std::size_t n);
+
+    std::size_t remaining() const { return size_ - pos_; }
+
+  private:
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+// ----------------------------------------------------------------------
+// Frame encode/decode.
+
+/** Wire bytes for one frame: length prefix + type + payload. */
+std::vector<std::uint8_t>
+encodeFrame(FrameType type, const std::vector<std::uint8_t> &payload);
+
+/**
+ * Incremental frame decoder: feed() raw socket bytes in any
+ * segmentation; next() yields complete frames in order. A malformed
+ * length (zero, or above kMaxFrameBytes) poisons the stream: next()
+ * reports the error and the connection must be dropped.
+ */
+class FrameDecoder
+{
+  public:
+    void feed(const std::uint8_t *data, std::size_t size);
+
+    /**
+     * @return true when a complete frame was extracted into `frame`.
+     * false with empty `error` means "need more bytes"; false with a
+     * non-empty `error` means the stream is malformed.
+     */
+    bool next(Frame &frame, std::string &error);
+
+    /** Buffered, not-yet-consumed byte count (for tests). */
+    std::size_t buffered() const { return buf_.size() - start_; }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+    std::size_t start_ = 0;
+    bool poisoned_ = false;
+    std::string poisonError_;
+};
+
+// ----------------------------------------------------------------------
+// Typed payload builders / parsers. Parsers return false on any
+// truncation or trailing garbage.
+
+std::vector<std::uint8_t> buildHello(const std::string &name);
+bool parseHello(const std::vector<std::uint8_t> &payload,
+                std::string &name);
+
+std::vector<std::uint8_t>
+buildAccessBatch(const std::vector<BatchAccess> &accesses);
+bool parseAccessBatch(const std::vector<std::uint8_t> &payload,
+                      std::vector<BatchAccess> &accesses);
+
+/** OK reply to HELLO: the assigned partition slot. */
+std::vector<std::uint8_t> buildOkSlot(std::uint16_t slot);
+bool parseOkSlot(const std::vector<std::uint8_t> &payload,
+                 std::uint16_t &slot);
+
+/** OK reply to ACCESS_BATCH: hits observed in the batch. */
+std::vector<std::uint8_t> buildOkHits(std::uint32_t hits);
+bool parseOkHits(const std::vector<std::uint8_t> &payload,
+                 std::uint32_t &hits);
+
+std::vector<std::uint8_t> buildErr(const std::string &message);
+bool parseErr(const std::vector<std::uint8_t> &payload,
+              std::string &message);
+
+/** STATS_REPLY: the requesting tenant's counters and sizes. */
+struct TenantStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t targetLines = 0;
+    std::uint64_t actualLines = 0;
+};
+
+std::vector<std::uint8_t> buildStatsReply(const TenantStats &stats);
+bool parseStatsReply(const std::vector<std::uint8_t> &payload,
+                     TenantStats &stats);
+
+} // namespace vantage
+
+#endif // VANTAGE_SERVE_FRAME_H_

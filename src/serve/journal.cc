@@ -1,0 +1,246 @@
+#include "serve/journal.h"
+
+#include <cstring>
+
+#include "common/log.h"
+#include "serve/frame.h"
+
+namespace vantage {
+
+namespace {
+
+constexpr char kMagic[4] = {'V', 'S', 'R', 'J'};
+constexpr std::uint32_t kVersion = 1;
+
+std::uint64_t
+doubleBits(double d)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return bits;
+}
+
+double
+bitsDouble(std::uint64_t bits)
+{
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+}
+
+std::vector<std::uint8_t>
+encodeHeader(const JournalHeader &hdr)
+{
+    std::vector<std::uint8_t> out;
+    out.insert(out.end(), kMagic, kMagic + 4);
+    putU32(out, kVersion);
+    putU8(out, static_cast<std::uint8_t>(hdr.spec.scheme));
+    putU8(out, static_cast<std::uint8_t>(hdr.spec.array));
+    putU64(out, hdr.spec.lines);
+    putU32(out, hdr.maxTenants);
+    putU64(out, hdr.spec.seed);
+    putU64(out, hdr.epochAccesses);
+    putU8(out, hdr.useUcp ? 1 : 0);
+    putU64(out, doubleBits(hdr.spec.vantage.unmanagedFraction));
+    putU64(out, doubleBits(hdr.spec.vantage.maxAperture));
+    putU64(out, doubleBits(hdr.spec.vantage.slack));
+    putU32(out, hdr.spec.vantage.candsPerAdjust);
+    putU32(out, hdr.spec.vantage.thresholdEntries);
+    putU8(out, hdr.spec.vantage.throttleHighChurn ? 1 : 0);
+    return out;
+}
+
+bool
+decodeHeader(ByteReader &r, JournalHeader &hdr, std::string &error)
+{
+    char magic[4];
+    std::uint32_t version = 0;
+    if (!r.readBytes(magic, 4) ||
+        std::memcmp(magic, kMagic, 4) != 0) {
+        error = "not a vsim serve journal (bad magic)";
+        return false;
+    }
+    if (!r.readU32(version) || version != kVersion) {
+        error = "unsupported journal version";
+        return false;
+    }
+    std::uint8_t scheme = 0;
+    std::uint8_t array = 0;
+    std::uint8_t use_ucp = 0;
+    std::uint8_t throttle = 0;
+    std::uint64_t unmanaged = 0;
+    std::uint64_t amax = 0;
+    std::uint64_t slack = 0;
+    if (!r.readU8(scheme) || !r.readU8(array) ||
+        !r.readU64(hdr.spec.lines) || !r.readU32(hdr.maxTenants) ||
+        !r.readU64(hdr.spec.seed) || !r.readU64(hdr.epochAccesses) ||
+        !r.readU8(use_ucp) || !r.readU64(unmanaged) ||
+        !r.readU64(amax) || !r.readU64(slack) ||
+        !r.readU32(hdr.spec.vantage.candsPerAdjust) ||
+        !r.readU32(hdr.spec.vantage.thresholdEntries) ||
+        !r.readU8(throttle)) {
+        error = "truncated journal header";
+        return false;
+    }
+    hdr.spec.scheme = static_cast<SchemeKind>(scheme);
+    hdr.spec.array = static_cast<ArrayKind>(array);
+    hdr.spec.numPartitions = hdr.maxTenants;
+    hdr.spec.vantage.numPartitions = hdr.maxTenants;
+    hdr.useUcp = use_ucp != 0;
+    hdr.spec.vantage.unmanagedFraction = bitsDouble(unmanaged);
+    hdr.spec.vantage.maxAperture = bitsDouble(amax);
+    hdr.spec.vantage.slack = bitsDouble(slack);
+    hdr.spec.vantage.throttleHighChurn = throttle != 0;
+    if (hdr.maxTenants == 0 || hdr.maxTenants > 0xffff) {
+        error = "journal header: bad tenant capacity";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+JournalWriter::JournalWriter(const std::string &path,
+                             const JournalHeader &hdr)
+    : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr) {
+        fatal("cannot open journal '%s' for writing", path.c_str());
+    }
+    const std::vector<std::uint8_t> header = encodeHeader(hdr);
+    writeBytes(header.data(), header.size());
+}
+
+JournalWriter::~JournalWriter()
+{
+    close();
+}
+
+void
+JournalWriter::writeBytes(const void *data, std::size_t n)
+{
+    if (std::fwrite(data, 1, n, file_) != n) {
+        fatal("short write to journal '%s'", path_.c_str());
+    }
+}
+
+void
+JournalWriter::recordJoin(std::uint16_t slot, const std::string &name)
+{
+    std::vector<std::uint8_t> rec;
+    putU8(rec, static_cast<std::uint8_t>(JournalEvent::Join));
+    putU16(rec, slot);
+    putU16(rec, static_cast<std::uint16_t>(name.size()));
+    rec.insert(rec.end(), name.begin(), name.end());
+    writeBytes(rec.data(), rec.size());
+}
+
+void
+JournalWriter::recordLeave(std::uint16_t slot)
+{
+    std::vector<std::uint8_t> rec;
+    putU8(rec, static_cast<std::uint8_t>(JournalEvent::Leave));
+    putU16(rec, slot);
+    writeBytes(rec.data(), rec.size());
+}
+
+void
+JournalWriter::recordAccess(std::uint16_t slot, AccessType type,
+                            Addr addr)
+{
+    std::uint8_t rec[1 + 2 + 1 + 8];
+    rec[0] = static_cast<std::uint8_t>(JournalEvent::Access);
+    rec[1] = slot & 0xff;
+    rec[2] = (slot >> 8) & 0xff;
+    rec[3] = static_cast<std::uint8_t>(type);
+    for (int i = 0; i < 8; ++i) {
+        rec[4 + i] = (addr >> (8 * i)) & 0xff;
+    }
+    writeBytes(rec, sizeof(rec));
+}
+
+void
+JournalWriter::close()
+{
+    if (file_ != nullptr) {
+        if (std::fclose(file_) != 0) {
+            warn("error closing journal '%s'", path_.c_str());
+        }
+        file_ = nullptr;
+    }
+}
+
+bool
+JournalReader::load(const std::string &path, std::string &error)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        error = "cannot open journal '" + path + "'";
+        return false;
+    }
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t chunk[64 * 1024];
+    std::size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+        bytes.insert(bytes.end(), chunk, chunk + n);
+    }
+    std::fclose(f);
+
+    ByteReader r(bytes.data(), bytes.size());
+    if (!decodeHeader(r, header_, error)) {
+        return false;
+    }
+    records_.clear();
+    while (r.remaining() > 0) {
+        std::uint8_t type = 0;
+        r.readU8(type);
+        JournalRecord rec;
+        switch (static_cast<JournalEvent>(type)) {
+          case JournalEvent::Join: {
+            rec.event = JournalEvent::Join;
+            std::uint16_t len = 0;
+            if (!r.readU16(rec.slot) || !r.readU16(len)) {
+                error = "truncated JOIN record";
+                return false;
+            }
+            rec.name.resize(len);
+            if (len > 0 && !r.readBytes(&rec.name[0], len)) {
+                error = "truncated JOIN name";
+                return false;
+            }
+            break;
+          }
+          case JournalEvent::Leave:
+            rec.event = JournalEvent::Leave;
+            if (!r.readU16(rec.slot)) {
+                error = "truncated LEAVE record";
+                return false;
+            }
+            break;
+          case JournalEvent::Access: {
+            rec.event = JournalEvent::Access;
+            std::uint8_t at = 0;
+            if (!r.readU16(rec.slot) || !r.readU8(at) ||
+                !r.readU64(rec.addr) || at > 1) {
+                error = "truncated ACCESS record";
+                return false;
+            }
+            rec.type = static_cast<AccessType>(at);
+            break;
+          }
+          default:
+            error = "unknown journal record type " +
+                    std::to_string(type);
+            return false;
+        }
+        if (rec.slot >= header_.maxTenants) {
+            error = "journal record slot out of range";
+            return false;
+        }
+        records_.push_back(std::move(rec));
+    }
+    return true;
+}
+
+} // namespace vantage

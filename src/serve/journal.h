@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Serve-session journal: the record/replay half of the differential
+ * harness.
+ *
+ * The serve loop appends every event it processes — tenant joins and
+ * leaves as well as each access — in processing order, preceded by a
+ * self-contained header carrying the full simulation configuration.
+ * `vsim --replay <file>` rebuilds the simulation from the header
+ * alone (no other flags needed) and re-executes the event stream;
+ * because the simulation is a deterministic function of that stream,
+ * the replay reproduces the live session's outcome digest bit for
+ * bit. Lifecycle events fold their own digest marker words (see
+ * Cache::createPartition), so the digest covers the whole stream,
+ * not just the accesses.
+ *
+ * Binary format (all integers little-endian):
+ *
+ *   "VSRJ" | u32 version | config fields (see JournalHeader)
+ *   then records until EOF:
+ *     u8 1 (JOIN)   | u16 slot | u16 nameLen | name bytes
+ *     u8 2 (LEAVE)  | u16 slot
+ *     u8 3 (ACCESS) | u16 slot | u8 access type | u64 addr
+ */
+
+#ifndef VANTAGE_SERVE_JOURNAL_H_
+#define VANTAGE_SERVE_JOURNAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+
+namespace vantage {
+
+/** Journal record kinds. */
+enum class JournalEvent : std::uint8_t {
+    Join = 1,
+    Leave = 2,
+    Access = 3,
+};
+
+/** The configuration a journal carries; enough to rebuild the sim. */
+struct JournalHeader
+{
+    L2Spec spec;
+    std::uint32_t maxTenants = 0;
+    std::uint64_t epochAccesses = 0;
+    bool useUcp = true;
+};
+
+/** Streaming journal writer (stdio-buffered). */
+class JournalWriter
+{
+  public:
+    /** Opens `path` and writes the header; fatal() on I/O error. */
+    JournalWriter(const std::string &path, const JournalHeader &hdr);
+    ~JournalWriter();
+
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
+
+    void recordJoin(std::uint16_t slot, const std::string &name);
+    void recordLeave(std::uint16_t slot);
+    void recordAccess(std::uint16_t slot, AccessType type, Addr addr);
+
+    /** Flush and close; implicit in the destructor. */
+    void close();
+
+  private:
+    void writeBytes(const void *data, std::size_t n);
+
+    std::FILE *file_ = nullptr;
+    std::string path_;
+};
+
+/** One parsed journal record. */
+struct JournalRecord
+{
+    JournalEvent event = JournalEvent::Access;
+    std::uint16_t slot = 0;
+    std::string name;              ///< JOIN only.
+    AccessType type = AccessType::Load; ///< ACCESS only.
+    Addr addr = 0;                 ///< ACCESS only.
+};
+
+/**
+ * Whole-file journal reader. load() parses the header and validates
+ * the record stream up front, so replay never starts on a journal it
+ * cannot finish.
+ */
+class JournalReader
+{
+  public:
+    /** @return false with `error` set on any I/O or format problem. */
+    bool load(const std::string &path, std::string &error);
+
+    const JournalHeader &header() const { return header_; }
+    const std::vector<JournalRecord> &records() const
+    {
+        return records_;
+    }
+
+  private:
+    JournalHeader header_;
+    std::vector<JournalRecord> records_;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_SERVE_JOURNAL_H_

@@ -142,6 +142,26 @@ cliUsage()
            "                       per-access L2 outcomes (golden\n"
            "                       regression tests)\n"
            "\n"
+           "serve / replay (see README \"Serve mode\"):\n"
+           "  --serve PORT         run as a daemon on 127.0.0.1:PORT\n"
+           "                       (0 picks a free port, announced\n"
+           "                       on stderr); tenants join/leave\n"
+           "                       over the frame protocol and each\n"
+           "                       gets its own partition\n"
+           "  --serve-journal FILE journal every event (joins,\n"
+           "                       leaves, accesses) for --replay\n"
+           "  --replay FILE        re-execute a journal; prints a\n"
+           "                       digest bit-identical to the\n"
+           "                       recording session's\n"
+           "  --lifecycle N        synthetic serve session: N\n"
+           "                       accesses with seeded tenant\n"
+           "                       join/leave churn (no sockets)\n"
+           "  --max-tenants N      tenant slot capacity for --serve\n"
+           "                       and --lifecycle (default 8)\n"
+           "  --epoch N            accesses per repartitioning epoch\n"
+           "                       in serve/lifecycle mode\n"
+           "                       (default 50000)\n"
+           "\n"
            "Options also accept the --option=value form.\n"
            "  --help               this text\n";
 }
@@ -376,6 +396,48 @@ parseCli(const std::vector<std::string> &args, std::string &error)
                 return opts;
             }
             opts.metricsPort = static_cast<int>(port);
+        } else if (arg == "--serve") {
+            std::uint64_t port = 0;
+            if (!next(value) || !parseU64(value, port) ||
+                port > 65535) {
+                error = "bad --serve port (0-65535)";
+                return opts;
+            }
+            opts.servePort = static_cast<int>(port);
+        } else if (arg == "--serve-journal") {
+            if (!next(value) || value.empty()) {
+                error = "bad --serve-journal value";
+                return opts;
+            }
+            opts.serveJournal = value;
+        } else if (arg == "--replay") {
+            if (!next(value) || value.empty()) {
+                error = "bad --replay value";
+                return opts;
+            }
+            opts.replayPath = value;
+        } else if (arg == "--lifecycle") {
+            if (!next(value) ||
+                !parseU64(value, opts.lifecycleAccesses) ||
+                opts.lifecycleAccesses == 0) {
+                error = "bad --lifecycle value";
+                return opts;
+            }
+        } else if (arg == "--max-tenants") {
+            std::uint64_t tenants = 0;
+            if (!next(value) || !parseU64(value, tenants) ||
+                tenants == 0 || tenants > 1024) {
+                error = "bad --max-tenants value (1-1024)";
+                return opts;
+            }
+            opts.maxTenants = static_cast<std::uint32_t>(tenants);
+        } else if (arg == "--epoch") {
+            if (!next(value) ||
+                !parseU64(value, opts.epochAccesses) ||
+                opts.epochAccesses == 0) {
+                error = "bad --epoch value";
+                return opts;
+            }
         } else if (arg == "--metrics-period-ms") {
             if (!next(value) ||
                 !parseU64(value, opts.metricsPeriodMs) ||
@@ -454,6 +516,24 @@ parseCli(const std::vector<std::string> &args, std::string &error)
     if (opts.banks > 0 && opts.l2.lines % opts.banks != 0) {
         error = "--banks must divide the L2 line count";
         return opts;
+    }
+    // Serve / replay / lifecycle select the whole run mode; they
+    // cannot be combined with each other.
+    const int modes = (opts.servePort >= 0 ? 1 : 0) +
+                      (opts.replayPath.empty() ? 0 : 1) +
+                      (opts.lifecycleAccesses > 0 ? 1 : 0);
+    if (modes > 1) {
+        error = "choose one of --serve / --replay / --lifecycle";
+        return opts;
+    }
+    if (!opts.serveJournal.empty() && opts.servePort < 0 &&
+        opts.lifecycleAccesses == 0) {
+        error = "--serve-journal requires --serve or --lifecycle";
+        return opts;
+    }
+    if (!opts.replayPath.empty() && !opts.digest) {
+        // Replay's whole point is the digest; always print it.
+        opts.digest = true;
     }
     opts.l2.numPartitions = opts.machine.numCores;
     opts.l2.seed = opts.seed + 0x5ec;

@@ -15,6 +15,8 @@
  *        [--events-out FILE] [--trace-categories LIST]
  *        [--heartbeat N] [--heartbeat-out FILE]
  *        [--metrics-port N] [--metrics-period-ms N] [--digest]
+ *        [--serve PORT] [--serve-journal FILE] [--replay FILE]
+ *        [--lifecycle N] [--max-tenants N] [--epoch N]
  *
  * Every value-taking option also accepts the --option=value form.
  *
@@ -81,6 +83,32 @@ struct CliOptions
 
     /** Print a 64-bit digest of per-access L2 outcomes. */
     bool digest = false;
+
+    /**
+     * Serve mode (-1 disabled): listen for tenant clients on
+     * 127.0.0.1:servePort (0 picks an ephemeral port, announced on
+     * stderr). Mutually exclusive with --replay and --lifecycle.
+     */
+    int servePort = -1;
+
+    /** Journal the serve/lifecycle event stream to this file. */
+    std::string serveJournal;
+
+    /** Replay a serve journal instead of running a workload. */
+    std::string replayPath;
+
+    /**
+     * Synthetic tenant-lifecycle scenario: this many accesses with
+     * seeded joins/leaves mid-run (0 disabled). Golden-digest
+     * vehicle for the dynamic-partition machinery.
+     */
+    std::uint64_t lifecycleAccesses = 0;
+
+    /** Tenant slot capacity for --serve / --lifecycle. */
+    std::uint32_t maxTenants = 8;
+
+    /** Accesses per repartitioning epoch in serve/lifecycle mode. */
+    std::uint64_t epochAccesses = 50'000;
 
     bool showHelp = false;
 };

@@ -14,6 +14,9 @@
 #include "common/thread_pool.h"
 #include "core/vantage.h"
 #include "obs/metrics_service.h"
+#include "serve/journal.h"
+#include "serve/server.h"
+#include "serve/tenant_sim.h"
 #include "sim/cli.h"
 #include "stats/prof.h"
 #include "stats/registry.h"
@@ -81,6 +84,94 @@ buildRegistry(StatsRegistry &reg, const CliOptions &opts,
     profExport(reg);
 }
 
+/** The --serve / --lifecycle configuration, from the CLI options. */
+JournalHeader
+serveHeader(const CliOptions &opts)
+{
+    JournalHeader hdr;
+    hdr.spec = opts.l2;
+    hdr.maxTenants = opts.maxTenants;
+    hdr.epochAccesses = opts.epochAccesses;
+    hdr.useUcp = opts.machine.useUcp;
+    return hdr;
+}
+
+void
+printDigest(std::uint64_t digest)
+{
+    std::printf("digest: 0x%016llx\n",
+                static_cast<unsigned long long>(digest));
+}
+
+/** vsim --replay: re-execute a serve journal bit-identically. */
+int
+runReplay(const CliOptions &opts)
+{
+    JournalReader reader;
+    std::string error;
+    if (!reader.load(opts.replayPath, error)) {
+        fatal("replay: %s", error.c_str());
+    }
+    std::fprintf(stderr, "vsim: replaying %zu events from %s\n",
+                 reader.records().size(), opts.replayPath.c_str());
+    printDigest(replayJournal(reader));
+    return 0;
+}
+
+/** vsim --lifecycle N: the synthetic tenant-churn scenario. */
+int
+runLifecycle(const CliOptions &opts)
+{
+    const JournalHeader hdr = serveHeader(opts);
+    std::unique_ptr<JournalWriter> journal;
+    if (!opts.serveJournal.empty()) {
+        journal = std::make_unique<JournalWriter>(opts.serveJournal,
+                                                  hdr);
+    }
+    const std::uint64_t digest = runLifecycleScenario(
+        hdr, opts.lifecycleAccesses, journal.get());
+    journal.reset();
+    printDigest(digest);
+    return 0;
+}
+
+/** vsim --serve: the tenant daemon. */
+int
+runServe(const CliOptions &opts)
+{
+    const JournalHeader hdr = serveHeader(opts);
+    TenantSim sim(hdr);
+    std::unique_ptr<JournalWriter> journal;
+    if (!opts.serveJournal.empty()) {
+        journal = std::make_unique<JournalWriter>(opts.serveJournal,
+                                                  hdr);
+    }
+    ServeServer server(sim, journal.get());
+    std::string error;
+    if (!server.start(static_cast<std::uint16_t>(opts.servePort),
+                      error)) {
+        fatal("serve: %s", error.c_str());
+    }
+    std::fprintf(stderr, "vsim: serving on 127.0.0.1:%u\n",
+                 server.port());
+    server.run();
+    journal.reset();
+
+    InvariantReport rep;
+    sim.checkInvariants(rep);
+    if (!rep.ok()) {
+        fatal("serve: invariants violated at shutdown:\n%s",
+              rep.summary().c_str());
+    }
+    std::fprintf(stderr,
+                 "vsim: served %llu frames, %llu accesses\n",
+                 static_cast<unsigned long long>(
+                     server.framesProcessed()),
+                 static_cast<unsigned long long>(sim.accesses()));
+    printDigest(sim.finishDigest());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -97,6 +188,19 @@ main(int argc, char **argv)
         std::fprintf(stderr, "vsim: %s\n%s", error.c_str(),
                      cliUsage().c_str());
         return 1;
+    }
+
+    // Serve / replay / lifecycle bypass the workload machinery
+    // entirely: the event stream (live, journaled, or synthetic) is
+    // the workload.
+    if (!opts.replayPath.empty()) {
+        return runReplay(opts);
+    }
+    if (opts.lifecycleAccesses > 0) {
+        return runLifecycle(opts);
+    }
+    if (opts.servePort >= 0) {
+        return runServe(opts);
     }
 
     // Arm event tracing before any instrumented code runs.

@@ -66,4 +66,22 @@ expect_error("more shard workers than banks"
     "--shard-workers must not exceed --banks"
     --banks 4 --shard-workers 8)
 
+expect_error("bad serve port" "bad --serve port" --serve 99999)
+expect_error("non-numeric serve port" "bad --serve port" --serve http)
+expect_error("serve plus replay"
+    "choose one of --serve / --replay / --lifecycle"
+    --serve 0 --replay /tmp/nope.journal)
+expect_error("lifecycle plus replay"
+    "choose one of --serve / --replay / --lifecycle"
+    --lifecycle 1000 --replay /tmp/nope.journal)
+expect_error("zero lifecycle" "bad --lifecycle value" --lifecycle 0)
+expect_error("journal without mode"
+    "--serve-journal requires --serve or --lifecycle"
+    --serve-journal /tmp/nope.journal)
+expect_error("max tenants out of range" "bad --max-tenants value"
+    --max-tenants 0)
+expect_error("zero epoch" "bad --epoch value" --epoch 0)
+expect_error("missing replay file" "cannot open journal"
+    --replay /nonexistent/missing.journal)
+
 message(STATUS "all CLI error paths exit 1 with a message")

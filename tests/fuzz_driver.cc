@@ -20,7 +20,16 @@
  *
  * Usage: fuzz_driver [--iters N] [--seed S] [--accesses N]
  *                    [--check-every N] [--banks N]
- *                    [--shard-workers N] [--no-realloc] [--verbose]
+ *                    [--shard-workers N] [--lifecycle]
+ *                    [--no-realloc] [--verbose]
+ *
+ * --lifecycle interleaves seeded partition create/destroy events
+ * with the access stream: retired partitions stop receiving accesses
+ * (their draws are remapped to the lowest active partition without
+ * consuming extra rng) and shed their allocation at the next
+ * reallocation, so their lines drain through the scheme's churn
+ * mechanism. The minimizer reports whether lifecycle events are part
+ * of a failure's trigger, mirroring the --no-realloc probe.
  *
  * --banks N (N > 0) routes every case through an N-bank BankedCache
  * of Z4/52 zcaches instead of a single flat cache. The option is
@@ -68,6 +77,8 @@ struct FuzzCase
     std::uint64_t seed = 0;
     std::uint32_t banks = 0;         ///< 0 = flat cache (CLI-forced).
     std::uint32_t shardWorkers = 0;  ///< 0 = serial replay.
+    bool lifecycle = false;          ///< CLI-forced, like banks.
+    std::uint64_t lifecycleEvery = 0; ///< Accesses between events.
 
     std::string
     describe() const
@@ -85,6 +96,12 @@ struct FuzzCase
             static_cast<unsigned long long>(sharedLines),
             static_cast<unsigned long long>(reallocEvery));
         std::string out = buf;
+        if (lifecycle) {
+            std::snprintf(buf, sizeof(buf), " lifecycle=%llu",
+                          static_cast<unsigned long long>(
+                              lifecycleEvery));
+            out += buf;
+        }
         if (banks > 0) {
             std::snprintf(buf, sizeof(buf), " banks=%u", banks);
             out += buf;
@@ -153,6 +170,9 @@ makeCase(std::uint64_t seed, std::uint64_t accesses)
     fc.hotLines = 1 + rng.range(fc.spec.lines / 2);
     fc.sharedLines = 1 + rng.range(fc.spec.lines * 2);
     fc.reallocEvery = rng.chance(0.5) ? 1000 + rng.range(4000) : 0;
+    // Drawn last so pre-lifecycle seeds replay identical cases; the
+    // cadence only takes effect under --lifecycle.
+    fc.lifecycleEvery = 500 + rng.range(2000);
     return fc;
 }
 
@@ -206,8 +226,8 @@ nextAddr(Rng &rng, const FuzzCase &fc, PartId part,
  */
 std::int64_t
 runCase(const FuzzCase &fc, std::uint64_t check_every,
-        bool allow_realloc, InvariantReport &rep,
-        AccessDigest *digest = nullptr)
+        bool allow_realloc, bool allow_lifecycle,
+        InvariantReport &rep, AccessDigest *digest = nullptr)
 {
     // --banks routes everything through a BankedCache; the flat path
     // is otherwise untouched.
@@ -235,6 +255,21 @@ runCase(const FuzzCase &fc, std::uint64_t check_every,
     }
     Rng rng(fc.seed ^ 0xacce55ull);
     std::uint64_t scan_counter = 0;
+
+    // Partition lifecycle state. Event parameters are always drawn
+    // when the case has lifecycle mode on, so `allow_lifecycle`
+    // (the minimizer's probe) replays the exact same access stream
+    // with the create/destroy calls suppressed.
+    std::vector<std::uint8_t> active(fc.spec.numPartitions, 1);
+    std::uint32_t active_count = fc.spec.numPartitions;
+    const auto lowest_active = [&]() -> PartId {
+        for (PartId p = 0; p < fc.spec.numPartitions; ++p) {
+            if (active[p] != 0) {
+                return p;
+            }
+        }
+        return 0;
+    };
 
     // --shard-workers: route accesses through the bank-worker
     // runtime, keeping a bounded in-flight window popped in issue
@@ -274,9 +309,16 @@ runCase(const FuzzCase &fc, std::uint64_t check_every,
     };
 
     for (std::uint64_t i = 0; i < fc.accesses; ++i) {
-        const auto part = static_cast<PartId>(
+        auto part = static_cast<PartId>(
             rng.range(fc.spec.numPartitions));
         const Addr addr = nextAddr(rng, fc, part, scan_counter);
+        // Retired partitions receive no accesses: the accessor is
+        // remapped to the lowest active one after the address is
+        // derived, so lifecycle on/off replays an identical
+        // (rng, address) stream.
+        if (active[part] == 0) {
+            part = lowest_active();
+        }
         const AccessType type = rng.chance(0.3) ? AccessType::Store
                                                 : AccessType::Load;
         if (sharded) {
@@ -296,16 +338,63 @@ runCase(const FuzzCase &fc, std::uint64_t check_every,
             cache->access(addr, part, type);
         }
 
+        // Lifecycle events: parameters are drawn whenever the case
+        // runs in lifecycle mode (so the probe replays the same
+        // stream); application is gated on allow_lifecycle.
+        if (fc.lifecycle && fc.lifecycleEvery &&
+            (i + 1) % fc.lifecycleEvery == 0) {
+            const std::uint64_t action = rng.range(4);
+            const auto target = static_cast<PartId>(
+                rng.range(fc.spec.numPartitions));
+            if (allow_lifecycle) {
+                if (action == 0 && active[target] == 0) {
+                    if (sharded) {
+                        quiesce();
+                    }
+                    if (banked) {
+                        banked->createPartition(target);
+                    } else {
+                        cache->createPartition(target);
+                    }
+                    active[target] = 1;
+                    ++active_count;
+                } else if (action != 0 && active[target] != 0 &&
+                           active_count > 1) {
+                    if (sharded) {
+                        quiesce();
+                    }
+                    if (banked) {
+                        banked->destroyPartition(target);
+                    } else {
+                        cache->destroyPartition(target);
+                    }
+                    active[target] = 0;
+                    --active_count;
+                }
+            }
+        }
+
         // Reallocation events are part of the stream derivation even
         // when suppressed, so --no-realloc replays identical
         // addresses.
         if (fc.reallocEvery && (i + 1) % fc.reallocEvery == 0) {
             PartitionScheme &scheme =
                 banked ? banked->bank(0).scheme() : cache->scheme();
-            const std::vector<std::uint32_t> units =
+            std::vector<std::uint32_t> units =
                 randomAllocations(rng, fc.spec.numPartitions,
                                   scheme.allocationQuantum());
             if (allow_realloc) {
+                // Retired partitions shed their allocation: their
+                // units move to the lowest active slot so the total
+                // stays fixed and the retired lines drain.
+                std::uint32_t freed = 0;
+                for (PartId p = 0; p < fc.spec.numPartitions; ++p) {
+                    if (active[p] == 0) {
+                        freed += units[p];
+                        units[p] = 0;
+                    }
+                }
+                units[lowest_active()] += freed;
                 if (sharded) {
                     quiesce();
                 }
@@ -361,12 +450,12 @@ reportFailure(FuzzCase fc, std::uint64_t coarse_idx)
     InvariantReport rep;
     FuzzCase narrowed = fc;
     narrowed.accesses = coarse_idx + 1;
-    std::int64_t first = runCase(narrowed, 1, true, rep);
+    std::int64_t first = runCase(narrowed, 1, true, true, rep);
     if (first < 0) {
         // Should not happen (same stream, finer checks); fall back
         // to the coarse index.
         first = static_cast<std::int64_t>(coarse_idx);
-        runCase(narrowed, 1, true, rep);
+        runCase(narrowed, 1, true, true, rep);
     }
 
     // Step 2: is repartitioning part of the trigger?
@@ -375,7 +464,16 @@ reportFailure(FuzzCase fc, std::uint64_t coarse_idx)
         InvariantReport quiet;
         FuzzCase no_realloc = narrowed;
         needs_realloc =
-            runCase(no_realloc, 1, false, quiet) < 0;
+            runCase(no_realloc, 1, false, true, quiet) < 0;
+    }
+
+    // Step 3: are the create/destroy events part of the trigger?
+    bool needs_lifecycle = false;
+    if (fc.lifecycle) {
+        InvariantReport quiet;
+        FuzzCase no_lifecycle = narrowed;
+        needs_lifecycle =
+            runCase(no_lifecycle, 1, true, false, quiet) < 0;
     }
 
     std::fprintf(stderr, "FUZZ FAILURE\n");
@@ -387,6 +485,10 @@ reportFailure(FuzzCase fc, std::uint64_t coarse_idx)
     if (fc.reallocEvery) {
         std::fprintf(stderr, "  requires realloc events: %s\n",
                      needs_realloc ? "yes" : "no");
+    }
+    if (fc.lifecycle) {
+        std::fprintf(stderr, "  requires lifecycle events: %s\n",
+                     needs_lifecycle ? "yes" : "no");
     }
     for (const std::string &f : rep.failures()) {
         std::fprintf(stderr, "  violation: %s\n", f.c_str());
@@ -401,6 +503,9 @@ reportFailure(FuzzCase fc, std::uint64_t coarse_idx)
     }
     if (fc.shardWorkers > 0) {
         std::fprintf(stderr, " --shard-workers %u", fc.shardWorkers);
+    }
+    if (fc.lifecycle) {
+        std::fprintf(stderr, " --lifecycle");
     }
     std::fprintf(stderr, "\n");
     return 1;
@@ -424,7 +529,7 @@ LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
     }
     const FuzzCase fc = makeCase(seed, 4'000);
     InvariantReport rep;
-    if (runCase(fc, 256, true, rep) >= 0) {
+    if (runCase(fc, 256, true, true, rep) >= 0) {
         std::fprintf(stderr, "seed %llu violation: %s\n",
                      static_cast<unsigned long long>(seed),
                      rep.summary().c_str());
@@ -445,6 +550,7 @@ main(int argc, char **argv)
     std::uint64_t banks = 0;
     std::uint64_t shard_workers = 0;
     bool allow_realloc = true;
+    bool lifecycle = false;
     bool verbose = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -481,6 +587,8 @@ main(int argc, char **argv)
             numArg(shard_workers);
         } else if (arg == "--no-realloc") {
             allow_realloc = false;
+        } else if (arg == "--lifecycle") {
+            lifecycle = true;
         } else if (arg == "--verbose") {
             verbose = true;
         } else {
@@ -489,7 +597,7 @@ main(int argc, char **argv)
                          "usage: fuzz_driver [--iters N] [--seed S] "
                          "[--accesses N] [--check-every N] "
                          "[--banks N] [--shard-workers N] "
-                         "[--no-realloc] [--verbose]\n",
+                         "[--lifecycle] [--no-realloc] [--verbose]\n",
                          arg.c_str());
             return 2;
         }
@@ -508,6 +616,9 @@ main(int argc, char **argv)
         if (banks > 0) {
             forceBanks(fc, static_cast<std::uint32_t>(banks));
         }
+        if (lifecycle) {
+            fc.lifecycle = true;
+        }
         if (verbose) {
             std::fprintf(stderr, "fuzz[%llu]: seed %llu: %s\n",
                          static_cast<unsigned long long>(it),
@@ -520,8 +631,9 @@ main(int argc, char **argv)
             // digest, then through the worker runtime. Both must
             // hold the invariants and produce identical digests.
             AccessDigest serial_digest;
-            const std::int64_t bad_serial = runCase(
-                fc, check_every, allow_realloc, rep, &serial_digest);
+            const std::int64_t bad_serial =
+                runCase(fc, check_every, allow_realloc, true, rep,
+                        &serial_digest);
             if (bad_serial >= 0) {
                 return reportFailure(
                     fc, static_cast<std::uint64_t>(bad_serial));
@@ -529,8 +641,9 @@ main(int argc, char **argv)
             fc.shardWorkers =
                 static_cast<std::uint32_t>(shard_workers);
             AccessDigest shard_digest;
-            const std::int64_t bad = runCase(
-                fc, check_every, allow_realloc, rep, &shard_digest);
+            const std::int64_t bad =
+                runCase(fc, check_every, allow_realloc, true, rep,
+                        &shard_digest);
             if (bad >= 0) {
                 return reportFailure(fc,
                                      static_cast<std::uint64_t>(bad));
@@ -557,7 +670,7 @@ main(int argc, char **argv)
             continue;
         }
         const std::int64_t bad =
-            runCase(fc, check_every, allow_realloc, rep);
+            runCase(fc, check_every, allow_realloc, true, rep);
         if (bad >= 0) {
             return reportFailure(fc, static_cast<std::uint64_t>(bad));
         }
