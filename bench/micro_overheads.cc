@@ -45,9 +45,12 @@
 #include "common/rng.h"
 #include "core/vantage.h"
 #include "hash/h3.h"
+#include "obs/audit.h"
+#include "obs/qos.h"
 #include "partition/unpartitioned.h"
 #include "replacement/lru.h"
 #include "sim/core_heap.h"
+#include "stats/snapshot.h"
 
 using namespace vantage;
 
@@ -169,6 +172,72 @@ BM_VantageDemote(benchmark::State &state)
     }
 }
 BENCHMARK(BM_VantageDemote);
+
+void
+BM_VantageMissAudited(benchmark::State &state)
+{
+    // BM_VantageMiss with the decision audit ring attached: the
+    // miss path now pays record() copies for every setpoint move
+    // and forced decision. Gated at the same tolerance as the
+    // other observability layers.
+    VantageConfig cfg;
+    cfg.numPartitions = 4;
+    cfg.unmanagedFraction = 0.05;
+    auto ctl = std::make_unique<VantageController>(32768, cfg);
+    DecisionAudit audit;
+    ctl->attachAudit(&audit);
+    Cache cache(std::make_unique<ZArray>(32768, 4, 52, 1),
+                std::move(ctl), "va");
+    Rng rng(5);
+    int part = 0;
+    for (int i = 0; i < 400000; ++i) {
+        cache.access((1ull << 40) | (rng.next() >> 16), i & 3);
+    }
+    for (auto _ : state) {
+        part = (part + 1) & 3;
+        benchmark::DoNotOptimize(
+            cache.access((1ull << 40) | (rng.next() >> 16), part));
+    }
+    benchmark::DoNotOptimize(audit.total());
+}
+BENCHMARK(BM_VantageMissAudited);
+
+void
+BM_QosEngineStep(benchmark::State &state)
+{
+    // One QoS evaluation epoch over a 4-partition snapshot with all
+    // snapshot-derived rules armed. Cold path (runs once per epoch,
+    // not per access) — benchmarked so the per-epoch cost stays
+    // visibly bounded.
+    QosConfig cfg;
+    cfg.def.slackFrac = 0.1;
+    cfg.def.apertureCritBp = 4000.0;
+    cfg.def.missRateDegrade = 0.5;
+    QosEngine qos(cfg);
+    std::uint64_t epoch = 0;
+    double hits = 0.0;
+    for (auto _ : state) {
+        StatsSnapshot snap;
+        snap.epoch = ++epoch;
+        snap.wallSeconds = static_cast<double>(epoch);
+        hits += 1000.0;
+        for (int p = 0; p < 4; ++p) {
+            const std::string base =
+                "vantage.part" + std::to_string(p);
+            // Alternate offending/clean so raise and clear paths
+            // both run.
+            const double actual = (epoch & 1) != 0u ? 130.0 : 100.0;
+            snap.values[base + ".target_lines"] = {false, 100.0};
+            snap.values[base + ".actual_lines"] = {false, actual};
+            snap.values[base + ".aperture_bp"] = {false, 800.0};
+            snap.values[base + ".hits"] = {true, hits};
+            snap.values[base + ".misses"] = {true, hits * 0.1};
+        }
+        qos.step(snap);
+    }
+    benchmark::DoNotOptimize(qos.violationsTotal());
+}
+BENCHMARK(BM_QosEngineStep);
 
 void
 BM_BankedAccess(benchmark::State &state)

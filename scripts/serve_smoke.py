@@ -1,13 +1,16 @@
 #!/usr/bin/env python3
 """End-to-end smoke for `vsim --serve` (see README "Serve mode").
 
-Starts the daemon on an ephemeral port with a journal, drives two
-concurrent tenants through the binary frame protocol, has one leave
-mid-run and a third join (exercising slot retirement and reuse),
-pokes the server with a malformed frame (which must only cost that
-connection), shuts the daemon down cleanly, and finally replays the
-recorded journal — the serve-session digest and the replay digest
-must be bit-identical.
+Starts the daemon on an ephemeral port with a journal, a live
+/metrics endpoint, and the QoS engine enabled; drives two concurrent
+tenants through the binary frame protocol (one announcing a latency
+SLO in its HELLO), has one leave mid-run and a third join (exercising
+slot retirement and reuse, and the per-tenant metric guards around
+both), pokes the server with a malformed frame (which must only cost
+that connection), shuts the daemon down cleanly, and finally replays
+the recorded journal — the serve-session digest and the replay digest
+must be bit-identical even though the recording session ran with QoS
+evaluation on and the replay does not.
 
 Exit status: 0 on full parity, 1 on any protocol or digest failure.
 """
@@ -20,6 +23,8 @@ import struct
 import subprocess
 import sys
 import tempfile
+import time
+import urllib.request
 
 # Frame types (src/serve/frame.h).
 HELLO, ACCESS_BATCH, STATS, BYE, SHUTDOWN = 1, 2, 3, 4, 5
@@ -51,10 +56,17 @@ def read_frame(sock):
     return body[0], body[1:]
 
 
-def hello(port, name):
-    """Join as tenant `name`; returns (socket, assigned slot)."""
+def hello(port, name, latency_slo_us=None):
+    """Join as tenant `name`; returns (socket, assigned slot).
+
+    With latency_slo_us the HELLO carries the optional trailing QoS
+    block (a u32 p99 latency target); without it the legacy short
+    form is sent, so both parser paths stay covered.
+    """
     sock = socket.create_connection(("127.0.0.1", port), timeout=30)
     payload = struct.pack("<H", len(name)) + name.encode()
+    if latency_slo_us is not None:
+        payload += struct.pack("<I", latency_slo_us)
     sock.sendall(frame(HELLO, payload))
     ftype, body = read_frame(sock)
     if ftype != OK:
@@ -75,6 +87,40 @@ def batch(sock, addrs):
     return struct.unpack("<I", body)[0]
 
 
+def stats(sock):
+    """STATS round trip; returns the 10-field reply as a dict."""
+    sock.sendall(frame(STATS))
+    ftype, body = read_frame(sock)
+    if ftype != STATS_REPLY:
+        raise AssertionError(f"STATS failed: {body!r}")
+    fields = struct.unpack("<10Q", body)
+    return dict(zip(
+        ("hits", "misses", "target", "actual", "batches",
+         "latency_p50_ns", "latency_p99_ns", "slo_violations",
+         "slo_active", "decisions"), fields))
+
+
+def scrape(port):
+    """GET /metrics; returns the exposition text."""
+    url = f"http://127.0.0.1:{port}/metrics"
+    with urllib.request.urlopen(url, timeout=30) as resp:
+        return resp.read().decode()
+
+
+def scrape_until(port, pred, what, deadline=10.0):
+    """Poll /metrics until pred(text) holds; the sampler only
+    refreshes its snapshot every metrics epoch, so membership
+    changes take a beat to show."""
+    end = time.monotonic() + deadline
+    while True:
+        text = scrape(port)
+        if pred(text):
+            return text
+        if time.monotonic() >= end:
+            raise AssertionError(f"/metrics never showed: {what}")
+        time.sleep(0.1)
+
+
 def extract_digest(text, what):
     match = DIGEST_RE.search(text)
     if not match:
@@ -93,19 +139,27 @@ def main():
     os.close(fd)
     proc = subprocess.Popen(
         [opts.vsim, "--serve", "0", "--serve-journal", journal,
-         "--epoch", "2000"],
+         "--epoch", "2000", "--metrics-port", "0",
+         "--slo", "slack=0.5;aperture_bp=9000"],
         stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
     try:
-        port = None
+        port = mport = None
         for line in proc.stderr:
+            match = re.search(
+                r"metrics listening on http://127\.0\.0\.1:(\d+)",
+                line)
+            if match:
+                mport = int(match.group(1))
             match = re.search(r"serving on 127\.0\.0\.1:(\d+)", line)
             if match:
                 port = int(match.group(1))
                 break
         if port is None:
             raise AssertionError("daemon never announced its port")
+        if mport is None:
+            raise AssertionError("metrics endpoint never announced")
 
-        alpha, slot_a = hello(port, "alpha")
+        alpha, slot_a = hello(port, "alpha", latency_slo_us=500_000)
         beta, slot_b = hello(port, "beta")
         print(f"joined: alpha=slot{slot_a} beta=slot{slot_b}",
               flush=True)
@@ -120,21 +174,44 @@ def main():
             batch(beta, [0x900000 + (j % 4096) * 64
                          for j in range(200)])
 
-        # STATS must account for exactly the accesses alpha sent.
-        alpha.sendall(frame(STATS))
-        ftype, body = read_frame(alpha)
-        if ftype != STATS_REPLY:
-            raise AssertionError(f"STATS failed: {body!r}")
-        hits, misses, target, actual = struct.unpack("<QQQQ", body)
-        print(f"alpha stats: hits={hits} misses={misses} "
-              f"target={target} actual={actual}", flush=True)
-        if hits + misses != opts.batches * 200:
+        # STATS must account for exactly the accesses alpha sent,
+        # and the QoS block must reflect the batches just driven.
+        s = stats(alpha)
+        print(f"alpha stats: {s}", flush=True)
+        if s["hits"] + s["misses"] != opts.batches * 200:
             raise AssertionError("inconsistent STATS reply")
+        if s["batches"] != opts.batches:
+            raise AssertionError(
+                f"expected {opts.batches} batches, "
+                f"got {s['batches']}")
+        if s["latency_p99_ns"] < s["latency_p50_ns"]:
+            raise AssertionError("latency percentiles out of order")
+        if s["latency_p99_ns"] == 0:
+            raise AssertionError("no batch latency recorded")
+
+        # Live scrape with both tenants attached: per-slot umon
+        # series and the QoS/decision families must be present.
+        wants = (f'umon_misses{{job="vsim-serve",core="{slot_a}"}}',
+                 f'umon_misses{{job="vsim-serve",core="{slot_b}"}}',
+                 "vantage_slo_violations_total",
+                 "vantage_decision_records_total")
+        scrape_until(mport,
+                     lambda t: all(w in t for w in wants),
+                     "both tenants' series + QoS families")
+        print("metrics scrape: both tenants exported", flush=True)
 
         # beta leaves mid-run; gamma joins after (slot retire/reuse).
         beta.sendall(frame(BYE))
         read_frame(beta)
         beta.close()
+
+        # With the slot retired, its guarded series must vanish from
+        # the scrape instead of freezing at their last values.
+        gone = f'umon_misses{{job="vsim-serve",core="{slot_b}"}}'
+        scrape_until(mport, lambda t: gone not in t,
+                     "retired slot dropped")
+        print("metrics scrape: retired slot dropped", flush=True)
+
         gamma, slot_c = hello(port, "gamma")
         print(f"beta left, gamma joined at slot {slot_c}", flush=True)
 
@@ -144,6 +221,18 @@ def main():
                           for j in range(200)])
             batch(gamma, [0x2000000 + (j % 1024) * 64
                           for j in range(200)])
+
+        # The reused slot is exported again, counting from its own
+        # fresh monitor, and the repartition epochs driven so far
+        # must have left an audit trail.
+        back = f'umon_misses{{job="vsim-serve",core="{slot_c}"}}'
+        scrape_until(mport, lambda t: back in t,
+                     "reused slot exported")
+        s = stats(gamma)
+        if s["decisions"] == 0:
+            raise AssertionError(
+                "no controller decisions audited for gamma's slot")
+        print(f"gamma stats: {s}", flush=True)
 
         # A malformed frame must only cost that connection.
         bad = socket.create_connection(("127.0.0.1", port),
@@ -170,6 +259,8 @@ def main():
         print(f"serve digest:  {served}", flush=True)
 
         # Replay the journal: must reproduce the digest bit for bit.
+        # The replay runs without --slo/--metrics-port, proving the
+        # QoS engine and exporter were read-only observers.
         replay = subprocess.run(
             [opts.vsim, "--replay", journal],
             capture_output=True, text=True, timeout=120)

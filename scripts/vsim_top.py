@@ -173,6 +173,52 @@ def render_metrics(samples, rates):
             lines.append(
                 f"  unmanaged: {fmt_count(sum(unman.values()))} "
                 f"lines")
+
+        # QoS engine panel (--slo / --qos-out runs). The same metric
+        # name carries the global total (no part label) and the
+        # guarded per-partition series.
+        viol = js("vantage_slo_violations_total")
+        if viol:
+            total = sum(v for ls, v in viol.items()
+                        if label(ls, "part") is None)
+            active = sum(js("vantage_slo_active").values())
+            epochs = sum(v for ls, v in js("vantage_slo_epochs")
+                         .items() if label(ls, "part") is None)
+            kinds = []
+            for kind in ("slack", "aperture_saturation",
+                         "missrate", "latency"):
+                n = sum(js(f"vantage_slo_{kind}_total").values())
+                if n:
+                    kinds.append(f"{kind} {fmt_count(n)}")
+            lines.append(
+                f"  qos: {fmt_count(total)} violations "
+                f"({fmt_count(active)} active) over "
+                f"{fmt_count(epochs)} epochs"
+                + (f"  [{', '.join(kinds)}]" if kinds else ""))
+            per_part = {label(ls, "part"): v
+                        for ls, v in viol.items()
+                        if label(ls, "part") is not None and v > 0}
+            if per_part:
+                lines.append("  qos violations by part: " + "  ".join(
+                    f"p{pid} {fmt_count(per_part[pid])}"
+                    for pid in sorted(per_part, key=int)))
+        decisions = js("vantage_decision_records_total")
+        if decisions:
+            parts = []
+            for kind in ("repartition", "setpoint_widen",
+                         "setpoint_shrink", "forced_eviction",
+                         "throttled_insert", "partition_create",
+                         "partition_destroy"):
+                n = sum(js(f"vantage_decision_{kind}_total")
+                        .values())
+                if n:
+                    parts.append(f"{kind} {fmt_count(n)}")
+            rate = sum(jr("vantage_decision_records_total")
+                       .values())
+            lines.append(
+                f"  audit: {fmt_count(sum(decisions.values()))} "
+                f"decisions ({fmt_count(rate)}/s)"
+                + (f"  [{', '.join(parts)}]" if parts else ""))
         lines.append("")
     if not jobs:
         lines.append("(no jobs exported yet)")

@@ -48,9 +48,13 @@ Ucp::attachMonitor(PartId core)
     }
     vantage_assert(active_[core] == 0,
                    "attachMonitor(%u): already attached", core);
+    // Rebuild before publishing the flag: the introspection guards
+    // read active_ and the series read through the monitor slot, so
+    // a sampler must never see the flag up while the old monitor is
+    // being replaced.
+    buildMonitor(core);
     active_[core] = 1;
     ++attaches_;
-    buildMonitor(core);
 }
 
 void
@@ -205,34 +209,46 @@ void
 Ucp::registerIntrospection(StatsRegistry &reg,
                            const std::string &prefix) const
 {
+    // Size the attach flags now: the guards below read them from the
+    // sampler thread, and a lazy first allocation mid-run would race.
+    if (active_.empty()) {
+        active_.assign(numCores_, 1);
+    }
     for (std::uint32_t c = 0; c < numCores_; ++c) {
         const std::string base =
             prefix + ".core" + std::to_string(c);
+        // Detached monitors (empty tenant slots) drop their series.
+        // Resolve the monitor through its slot on every read:
+        // attachMonitor REBUILDS the object, so a pointer captured
+        // here would dangle after the first tenant-slot reuse.
+        reg.addGuard(base, [this, c] { return monitorActive(c); });
         if (cfg_.rripMonitors) {
-            const UmonRrip *u = rripUmons_[c].get();
-            reg.addCounter(base + ".misses",
-                           [u] { return u->misses(); });
-            reg.addCounter(base + ".srrip_hits",
-                           [u] { return u->srripHits(); });
-            reg.addCounter(base + ".brrip_hits",
-                           [u] { return u->brripHits(); });
-            reg.addGauge(base + ".brrip_wins", [u] {
-                return u->brripWins() ? 1.0 : 0.0;
+            reg.addCounter(base + ".misses", [this, c] {
+                return rripUmons_[c]->misses();
+            });
+            reg.addCounter(base + ".srrip_hits", [this, c] {
+                return rripUmons_[c]->srripHits();
+            });
+            reg.addCounter(base + ".brrip_hits", [this, c] {
+                return rripUmons_[c]->brripHits();
+            });
+            reg.addGauge(base + ".brrip_wins", [this, c] {
+                return rripUmons_[c]->brripWins() ? 1.0 : 0.0;
             });
             continue;
         }
-        const Umon *u = umons_[c].get();
-        reg.addCounter(base + ".sampled_accesses",
-                       [u] { return u->sampledAccesses(); });
+        reg.addCounter(base + ".sampled_accesses", [this, c] {
+            return umons_[c]->sampledAccesses();
+        });
         reg.addCounter(base + ".misses",
-                       [u] { return u->misses(); });
+                       [this, c] { return umons_[c]->misses(); });
         // Cumulative utility-curve hit counts per allocated way;
         // ageCounters() halves them each interval, which the
         // snapshot layer's wrap guard absorbs.
-        for (std::uint32_t w = 0; w < u->ways(); ++w) {
+        for (std::uint32_t w = 0; w < cfg_.umonWays; ++w) {
             reg.addCounter(
                 base + ".way" + std::to_string(w) + ".cum_hits",
-                [u, w] { return u->hitsUpTo(w + 1); });
+                [this, c, w] { return umons_[c]->hitsUpTo(w + 1); });
         }
     }
 }

@@ -132,8 +132,9 @@ class Ucp : public Introspectable
     std::vector<std::unique_ptr<UmonRrip>> rripUmons_;
 
     /** Per-core attached flag; empty until the first lifecycle call
-     *  (all monitors implicitly attached). */
-    std::vector<std::uint8_t> active_;
+     *  (all monitors implicitly attached). Mutable so introspection
+     *  can size it eagerly before sampler-thread guards read it. */
+    mutable std::vector<std::uint8_t> active_;
     std::uint64_t attaches_ = 0;
     std::uint64_t detaches_ = 0;
 };

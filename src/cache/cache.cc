@@ -214,6 +214,11 @@ Cache::registerIntrospection(StatsRegistry &reg,
         const CacheAccessStats *s = &stats_[p];
         reg.addCounter(base + ".hits", &s->hits);
         reg.addCounter(base + ".misses", &s->misses);
+        // Live series follow the tenant lifecycle; cumulative totals
+        // for retired slots stay in registerStats() exports.
+        reg.addGuard(base, [this, p] {
+            return scheme_->partitionActive(p);
+        });
     }
     if (walkLenHist_) {
         reg.addHistogram(prefix + ".hist.walk_len",

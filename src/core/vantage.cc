@@ -83,8 +83,12 @@ VantageController::setTargetLines(
               static_cast<unsigned long long>(managedLines_));
     }
     for (PartId p = 0; p < cfg_.numPartitions; ++p) {
+        const std::uint64_t before = parts_[p].targetSize;
         parts_[p].targetSize = lines[p];
         rebuildThresholds(p);
+        if (lines[p] != before) {
+            recordVantageDecision(DecisionKind::Repartition, p);
+        }
     }
 }
 
@@ -93,8 +97,12 @@ VantageController::deletePartition(PartId part)
 {
     vantage_assert(part < cfg_.numPartitions,
                    "partition %u out of range", part);
+    const std::uint64_t before = parts_[part].targetSize;
     parts_[part].targetSize = 0;
     rebuildThresholds(part);
+    if (before != 0) {
+        recordVantageDecision(DecisionKind::Repartition, part);
+    }
 }
 
 void
@@ -276,11 +284,13 @@ VantageController::adjustSetpoint(PartId part)
         // Too many demotions: widen the keep window.
         if (window < 255) {
             --ps.setpointTs;
+            recordVantageDecision(DecisionKind::SetpointWiden, part);
         }
     } else if (ps.candsDemoted < desired) {
         // Too few: shrink the keep window toward zero width.
         if (window > 0) {
             ++ps.setpointTs;
+            recordVantageDecision(DecisionKind::SetpointShrink, part);
         }
     }
     ps.candsSeen = 0;
@@ -317,6 +327,29 @@ VantageController::onDemotionCheckKept(PartId part, Line &line)
 {
     (void)part;
     (void)line;
+}
+
+void
+VantageController::recordVantageDecision(DecisionKind kind, PartId part)
+{
+    DecisionAudit *const a = audit();
+    if (a == nullptr) {
+        return;
+    }
+    const PartState &ps = parts_[part];
+    DecisionRecord rec;
+    rec.kind = kind;
+    rec.part = part;
+    rec.accessesSeen = accessesSeen_;
+    rec.targetLines = ps.targetSize;
+    rec.actualLines = ps.actualSize;
+    rec.apertureBp = static_cast<std::uint32_t>(
+        std::llround(apertureOf(ps) * 1e4));
+    rec.setpointTs = ps.setpointTs;
+    rec.currentTs = ps.currentTs;
+    rec.candsSeen = ps.candsSeen;
+    rec.candsDemoted = ps.candsDemoted;
+    a->record(rec);
 }
 
 double
@@ -439,6 +472,7 @@ VantageController::selectVictim(CacheArray &array, PartId inserting,
     std::int32_t oldest_unmanaged = -1;
     std::uint32_t oldest_age = 0;
     std::int32_t first_demoted = -1;
+    PartId first_demoted_part = 0;
 
     // Branch-light demotion pass over the hot SoA plane: the scan
     // reads only the 16-byte {addr, part, rank} records the walk just
@@ -494,6 +528,7 @@ VantageController::selectVictim(CacheArray &array, PartId inserting,
             demote(line, p);
             if (first_demoted < 0) {
                 first_demoted = static_cast<std::int32_t>(i);
+                first_demoted_part = p;
             }
         } else if (!fast) {
             onDemotionCheckKept(p, line);
@@ -516,6 +551,8 @@ VantageController::selectVictim(CacheArray &array, PartId inserting,
     // region (should be rare when u is sized per the models).
     ++stats_.evictionsFromManaged;
     if (first_demoted >= 0) {
+        recordVantageDecision(DecisionKind::ForcedEviction,
+                              first_demoted_part);
         return {first_demoted, false};
     }
 
@@ -532,7 +569,9 @@ VantageController::selectVictim(CacheArray &array, PartId inserting,
             victim = static_cast<std::int32_t>(i);
         }
     }
-    ++partStats_[array.line(cands[victim].slot).part].forcedEvictions;
+    const PartId victim_part = array.line(cands[victim].slot).part;
+    ++partStats_[victim_part].forcedEvictions;
+    recordVantageDecision(DecisionKind::ForcedEviction, victim_part);
     return {victim, false};
 }
 
@@ -584,6 +623,7 @@ VantageController::onInsert(CacheArray &array, LineId slot,
             line.rank = unmanagedTs_;
             ++unmanagedSize_;
             ++partStats_[part].throttledInserts;
+            recordVantageDecision(DecisionKind::ThrottledInsert, part);
             tickAccessCounter(part);
             return;
         }
@@ -881,6 +921,9 @@ VantageController::registerIntrospection(
                    &stats_.setpointAdjusts);
     reg.addCounter(prefix + ".accesses", &accessesSeen_);
 
+    // Size the lifecycle flags before installing guards that read
+    // them from the sampler thread (see PartitionScheme).
+    ensureLifecycle();
     for (PartId p = 0; p < cfg_.numPartitions; ++p) {
         const std::string base =
             prefix + ".part" + std::to_string(p);
@@ -933,6 +976,8 @@ VantageController::registerIntrospection(
                        ? 0.0
                        : static_cast<double>(ps->thrDems.back());
         });
+        // Retired slots drop their partN series until slot reuse.
+        reg.addGuard(base, [this, p] { return partitionActive(p); });
     }
 }
 

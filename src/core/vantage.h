@@ -332,6 +332,13 @@ class VantageController : public PartitionScheme
     double apertureOf(const PartState &ps) const;
 
     /**
+     * Record a decision about `part` with the full Fig. 4 register
+     * state (aperture, setpoint/current TS, candidate counters); a
+     * no-op while no audit ring is attached.
+     */
+    void recordVantageDecision(DecisionKind kind, PartId part);
+
+    /**
      * True while the demotion decision is exactly the base
      * controller's (setpoint window over the hot rank array):
      * selectVictim() then runs a single flattened, branch-light pass

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Controller decision audit trail: a bounded ring of the concrete
+ * decisions a partitioning scheme took — repartitions, setpoint
+ * moves, forced evictions, throttled inserts, partition lifecycle —
+ * each stamped with the controller-register state (the paper's
+ * Fig. 4 registers) that caused it.
+ *
+ * The ring is purely observational: recording reads controller state
+ * but never feeds back into a decision, so an attached audit leaves
+ * access digests bit-identical (DESIGN.md §14). Like ControllerTrace
+ * it attaches via a nullable pointer checked at each decision site;
+ * detached (the default) the sites pay one branch.
+ *
+ * Threading: record() is single-writer — the simulation thread that
+ * drives the scheme. The per-kind totals are plain u64 counters
+ * registered by raw pointer (see DecisionAudit::registerMetrics in
+ * obs/qos.h), so a metrics sampler may read them concurrently with
+ * relaxed loads; the ring *contents* (forEach/tail) must only be
+ * read from the writer thread, e.g. the serve poll loop answering a
+ * STATS frame, or after the run.
+ *
+ * Header-only (std + the cold traceInstant hook) so the partition
+ * and core layers can record without depending on the obs library.
+ */
+
+#ifndef VANTAGE_OBS_AUDIT_H_
+#define VANTAGE_OBS_AUDIT_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/event_trace.h"
+
+namespace vantage {
+
+class StatsRegistry;
+
+/** What the controller decided. */
+enum class DecisionKind : std::uint8_t {
+    /** A partition's target size changed (UCP step, rebalance,
+     *  Sec. 3.4 deletion, CLI --repartition). */
+    Repartition = 0,
+    /** Setpoint moved away from CurrentTS: fewer demotions wanted. */
+    SetpointWiden = 1,
+    /** Setpoint moved toward CurrentTS: more demotions wanted. */
+    SetpointShrink = 2,
+    /** Eviction from the managed region — no unmanaged candidate
+     *  (the interference the unmanaged region exists to prevent). */
+    ForcedEviction = 3,
+    /** Fill diverted to the unmanaged region (Sec. 3.4 option 2). */
+    ThrottledInsert = 4,
+    /** Tenant lifecycle: slot activated. */
+    PartitionCreate = 5,
+    /** Tenant lifecycle: slot retired, lines draining. */
+    PartitionDestroy = 6,
+};
+
+constexpr std::size_t kDecisionKinds = 7;
+
+/** Stable lower_snake name ("repartition", "setpoint_widen", ...). */
+inline const char *
+decisionKindName(DecisionKind kind)
+{
+    switch (kind) {
+      case DecisionKind::Repartition: return "repartition";
+      case DecisionKind::SetpointWiden: return "setpoint_widen";
+      case DecisionKind::SetpointShrink: return "setpoint_shrink";
+      case DecisionKind::ForcedEviction: return "forced_eviction";
+      case DecisionKind::ThrottledInsert: return "throttled_insert";
+      case DecisionKind::PartitionCreate: return "partition_create";
+      case DecisionKind::PartitionDestroy: return "partition_destroy";
+    }
+    return "unknown";
+}
+
+/**
+ * One recorded decision. Register fields the deciding scheme has no
+ * equivalent for (way-partitioning has no setpoint) stay zero.
+ */
+struct DecisionRecord
+{
+    /** 1-based monotonic sequence number, assigned by record(). */
+    std::uint64_t seq = 0;
+    /** Controller access clock at the decision (0 when untracked). */
+    std::uint64_t accessesSeen = 0;
+    DecisionKind kind = DecisionKind::Repartition;
+    std::uint32_t part = 0;
+    // Register state at the decision (Fig. 4 file for Vantage).
+    std::uint64_t targetLines = 0;
+    std::uint64_t actualLines = 0;
+    std::uint32_t apertureBp = 0; ///< Eq. 7 aperture, basis points.
+    std::uint8_t setpointTs = 0;
+    std::uint8_t currentTs = 0;
+    std::uint32_t candsSeen = 0;
+    std::uint32_t candsDemoted = 0;
+};
+
+/** Bounded decision ring; oldest records overwritten when full. */
+class DecisionAudit
+{
+  public:
+    explicit DecisionAudit(std::size_t capacity = 1024)
+        : ring_(capacity ? capacity : 1)
+    {
+    }
+
+    /** Append one decision; stamps rec.seq. Single-writer. */
+    void
+    record(DecisionRecord rec)
+    {
+        rec.seq = ++totalRecords_;
+        ++kindTotals_[static_cast<std::size_t>(rec.kind)];
+        if (rec.part >= partTotals_.size()) {
+            partTotals_.resize(rec.part + 1, 0);
+        }
+        ++partTotals_[rec.part];
+        ring_[head_] = rec;
+        head_ = (head_ + 1) % ring_.size();
+        if (count_ < ring_.size()) {
+            ++count_;
+        }
+        // Cold site: one relaxed load when tracing is disabled.
+        traceInstant(kTraceVantage, decisionKindName(rec.kind),
+                     "part", static_cast<double>(rec.part));
+    }
+
+    /** Records ever appended (monotonic; == last assigned seq). */
+    std::uint64_t total() const { return totalRecords_; }
+
+    std::uint64_t
+    totalOf(DecisionKind kind) const
+    {
+        return kindTotals_[static_cast<std::size_t>(kind)];
+    }
+
+    /** Decisions recorded about `part` (0 for never-seen parts). */
+    std::uint64_t
+    totalForPart(std::uint32_t part) const
+    {
+        return part < partTotals_.size() ? partTotals_[part] : 0;
+    }
+
+    /** Records currently retained, <= capacity. */
+    std::size_t size() const { return count_; }
+    std::size_t capacity() const { return ring_.size(); }
+
+    /** Visit retained records, oldest to newest. Writer thread only. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        const std::size_t start =
+            (head_ + ring_.size() - count_) % ring_.size();
+        for (std::size_t i = 0; i < count_; ++i) {
+            fn(ring_[(start + i) % ring_.size()]);
+        }
+    }
+
+    /** The newest `n` records, oldest first. Writer thread only. */
+    std::vector<DecisionRecord>
+    tail(std::size_t n) const
+    {
+        std::vector<DecisionRecord> out;
+        const std::size_t take = n < count_ ? n : count_;
+        out.reserve(take);
+        const std::size_t start =
+            (head_ + ring_.size() - take) % ring_.size();
+        for (std::size_t i = 0; i < take; ++i) {
+            out.push_back(ring_[(start + i) % ring_.size()]);
+        }
+        return out;
+    }
+
+    /**
+     * Register the decision totals under `prefix` (e.g. "vantage.
+     * decision"), yielding vantage_decision_repartition etc. on the
+     * Prometheus endpoint. Defined in obs/qos.cc so only callers
+     * (drivers) need the obs library; recording layers don't.
+     */
+    void registerMetrics(StatsRegistry &reg,
+                         const std::string &prefix) const;
+
+  private:
+    std::vector<DecisionRecord> ring_;
+    std::size_t head_ = 0;  ///< Next write position.
+    std::size_t count_ = 0; ///< Valid records.
+    std::uint64_t totalRecords_ = 0;
+    std::array<std::uint64_t, kDecisionKinds> kindTotals_{};
+    std::vector<std::uint64_t> partTotals_;
+};
+
+} // namespace vantage
+
+#endif // VANTAGE_OBS_AUDIT_H_

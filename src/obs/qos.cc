@@ -1,0 +1,564 @@
+#include "obs/qos.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "obs/audit.h"
+#include "stats/registry.h"
+
+namespace vantage {
+
+const char *
+qosKindName(QosKind kind)
+{
+    switch (kind) {
+      case QosKind::Slack: return "slack";
+      case QosKind::ApertureSaturation: return "aperture_saturation";
+      case QosKind::MissRate: return "miss_rate";
+      case QosKind::Latency: return "latency";
+    }
+    return "unknown";
+}
+
+const char *
+qosSeverityName(QosSeverity sev)
+{
+    return sev == QosSeverity::Critical ? "critical" : "warning";
+}
+
+const char *
+qosEventTypeName(QosEventType type)
+{
+    switch (type) {
+      case QosEventType::Raise: return "raise";
+      case QosEventType::Escalate: return "escalate";
+      case QosEventType::Clear: return "clear";
+    }
+    return "unknown";
+}
+
+void
+QosSlo::merge(const QosSlo &other)
+{
+    if (other.slackFrac >= 0.0) slackFrac = other.slackFrac;
+    if (other.apertureCritBp >= 0.0) {
+        apertureCritBp = other.apertureCritBp;
+    }
+    if (other.missRateDegrade >= 0.0) {
+        missRateDegrade = other.missRateDegrade;
+    }
+    if (other.maxLatencyUs >= 0.0) maxLatencyUs = other.maxLatencyUs;
+}
+
+namespace {
+
+bool
+parseClause(const std::string &clause, QosSlo &slo, std::string &err)
+{
+    std::size_t start = 0;
+    while (start <= clause.size()) {
+        std::size_t end = clause.find(',', start);
+        if (end == std::string::npos) end = clause.size();
+        const std::string kv = clause.substr(start, end - start);
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string::npos || eq == 0 ||
+            eq + 1 >= kv.size()) {
+            err = "expected key=value, got '" + kv + "'";
+            return false;
+        }
+        const std::string key = kv.substr(0, eq);
+        const std::string val = kv.substr(eq + 1);
+        char *valend = nullptr;
+        const double v = std::strtod(val.c_str(), &valend);
+        if (valend == nullptr || *valend != '\0' || v < 0.0) {
+            err = "bad value '" + val + "' for '" + key + "'";
+            return false;
+        }
+        if (key == "slack") {
+            slo.slackFrac = v;
+        } else if (key == "aperture_bp") {
+            slo.apertureCritBp = v;
+        } else if (key == "missrate") {
+            slo.missRateDegrade = v;
+        } else if (key == "latency_us") {
+            slo.maxLatencyUs = v;
+        } else {
+            err = "unknown SLO key '" + key + "'";
+            return false;
+        }
+        if (end == clause.size()) break;
+        start = end + 1;
+    }
+    return true;
+}
+
+/**
+ * Split `<base>.part<digits>.<leaf>` at the first index-bearing
+ * `partN` segment; false for paths without one.
+ */
+bool
+splitPartPath(const std::string &path, std::string &bucket,
+              std::uint32_t &part, std::string &leaf)
+{
+    std::size_t pos = 0;
+    while ((pos = path.find(".part", pos)) != std::string::npos) {
+        const std::size_t digits = pos + 5;
+        std::size_t end = digits;
+        while (end < path.size() &&
+               std::isdigit(static_cast<unsigned char>(path[end]))) {
+            ++end;
+        }
+        if (end > digits && end < path.size() && path[end] == '.') {
+            bucket = path.substr(0, end);
+            part = static_cast<std::uint32_t>(
+                std::strtoul(path.substr(digits, end - digits).c_str(),
+                             nullptr, 10));
+            leaf = path.substr(end + 1);
+            return true;
+        }
+        pos = digits;
+    }
+    return false;
+}
+
+/** Per-bucket inputs gathered from one snapshot + its delta. */
+struct BucketScan
+{
+    std::uint32_t part = 0;
+    double target = -1.0;
+    double actual = -1.0;
+    double apertureBp = -1.0;
+    double dHits = 0.0;
+    double dMisses = 0.0;
+    double dInsertions = 0.0;
+    bool haveHits = false;
+    bool haveMisses = false;
+    bool haveInsertions = false;
+};
+
+} // namespace
+
+bool
+parseSloSpec(const std::string &spec, QosConfig &cfg, std::string &err)
+{
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        std::size_t end = spec.find(';', start);
+        if (end == std::string::npos) end = spec.size();
+        const std::string clause = spec.substr(start, end - start);
+        if (clause.empty()) {
+            err = "empty SLO clause";
+            return false;
+        }
+        // Optional `N:` partition scope.
+        std::size_t body = 0;
+        const std::size_t colon = clause.find(':');
+        bool scoped = false;
+        std::uint32_t part = 0;
+        if (colon != std::string::npos && colon > 0) {
+            bool digits = true;
+            for (std::size_t i = 0; i < colon; ++i) {
+                if (!std::isdigit(
+                        static_cast<unsigned char>(clause[i]))) {
+                    digits = false;
+                    break;
+                }
+            }
+            if (digits) {
+                scoped = true;
+                part = static_cast<std::uint32_t>(std::strtoul(
+                    clause.substr(0, colon).c_str(), nullptr, 10));
+                body = colon + 1;
+            }
+        }
+        QosSlo slo;
+        if (!parseClause(clause.substr(body), slo, err)) {
+            return false;
+        }
+        if (scoped) {
+            cfg.perPart[part].merge(slo);
+        } else {
+            cfg.def.merge(slo);
+        }
+        if (end == spec.size()) break;
+        start = end + 1;
+    }
+    return true;
+}
+
+std::string
+qosEventJson(const QosEvent &event)
+{
+    const QosViolation &v = event.violation;
+    std::ostringstream out;
+    out << "{\"type\":\"" << qosEventTypeName(event.type)
+        << "\",\"kind\":\"" << qosKindName(v.kind)
+        << "\",\"severity\":\"" << qosSeverityName(v.severity)
+        << "\",\"bucket\":\"" << v.bucket << "\",\"part\":" << v.part
+        << ",\"value\":" << v.value << ",\"threshold\":" << v.threshold
+        << ",\"since_epoch\":" << v.sinceEpoch
+        << ",\"epoch\":" << v.epoch
+        << ",\"duration_epochs\":" << v.durationEpochs
+        << ",\"active\":" << (v.active ? "true" : "false") << "}";
+    return out.str();
+}
+
+std::string
+decisionJson(const DecisionRecord &rec)
+{
+    std::ostringstream out;
+    out << "{\"type\":\"decision\",\"seq\":" << rec.seq
+        << ",\"accesses\":" << rec.accessesSeen << ",\"kind\":\""
+        << decisionKindName(rec.kind) << "\",\"part\":" << rec.part
+        << ",\"target_lines\":" << rec.targetLines
+        << ",\"actual_lines\":" << rec.actualLines
+        << ",\"aperture_bp\":" << rec.apertureBp
+        << ",\"setpoint_ts\":"
+        << static_cast<unsigned>(rec.setpointTs)
+        << ",\"current_ts\":" << static_cast<unsigned>(rec.currentTs)
+        << ",\"cands_seen\":" << rec.candsSeen
+        << ",\"cands_demoted\":" << rec.candsDemoted << "}";
+    return out.str();
+}
+
+QosEngine::QosEngine(QosConfig cfg)
+    : cfg_(std::move(cfg)),
+      partTotals_(cfg_.maxParts, 0),
+      partSeen_(cfg_.maxParts, 0)
+{
+}
+
+void
+QosEngine::recordLatency(std::uint32_t part, double p99_us)
+{
+    if (p99_us < 0.0) {
+        latencyP99Us_.erase(part);
+    } else {
+        latencyP99Us_[part] = p99_us;
+    }
+}
+
+std::uint64_t
+QosEngine::activeForPart(std::uint32_t part) const
+{
+    std::uint64_t n = 0;
+    for (const auto &[bucket_path, bucket] : buckets_) {
+        if (bucket.part != part) {
+            continue;
+        }
+        for (const RuleState &rs : bucket.rules) {
+            if (rs.viol.active) {
+                ++n;
+            }
+        }
+    }
+    return n;
+}
+
+void
+QosEngine::setLatencySlo(std::uint32_t part, double us)
+{
+    if (us <= 0.0) {
+        const auto it = cfg_.perPart.find(part);
+        if (it != cfg_.perPart.end()) {
+            it->second.maxLatencyUs = -1.0;
+        }
+        return;
+    }
+    cfg_.perPart[part].maxLatencyUs = us;
+}
+
+const QosSlo &
+QosEngine::sloFor(std::uint32_t part) const
+{
+    const auto it = cfg_.perPart.find(part);
+    if (it != cfg_.perPart.end()) {
+        // perPart entries are merged over the default at parse time
+        // only field-wise; resolve lazily here instead.
+        static thread_local QosSlo resolved;
+        resolved = cfg_.def;
+        resolved.merge(it->second);
+        return resolved;
+    }
+    return cfg_.def;
+}
+
+void
+QosEngine::emit(QosEventType type, const QosViolation &viol)
+{
+    QosEvent ev;
+    ev.type = type;
+    ev.violation = viol;
+    history_.push_back(ev);
+    while (history_.size() > cfg_.historyCapacity) {
+        history_.pop_front();
+    }
+    if (sink_) {
+        sink_(ev);
+    }
+}
+
+void
+QosEngine::evaluate(const std::string &bucket_path, Bucket &bucket,
+                    QosKind kind, bool offending, double value,
+                    double threshold, std::uint64_t epoch)
+{
+    RuleState &rs = bucket.rules[static_cast<std::size_t>(kind)];
+    if (offending) {
+        ++rs.consecutive;
+        if (!rs.viol.active) {
+            rs.viol = QosViolation{};
+            rs.viol.bucket = bucket_path;
+            rs.viol.part = bucket.part;
+            rs.viol.kind = kind;
+            rs.viol.severity = QosSeverity::Warning;
+            rs.viol.value = value;
+            rs.viol.threshold = threshold;
+            rs.viol.sinceEpoch = epoch;
+            rs.viol.epoch = epoch;
+            rs.viol.durationEpochs = rs.consecutive;
+            rs.viol.active = true;
+            ++raiseTotal_;
+            ++kindTotals_[static_cast<std::size_t>(kind)];
+            if (bucket.part < partTotals_.size()) {
+                ++partTotals_[bucket.part];
+            }
+            emit(QosEventType::Raise, rs.viol);
+        } else {
+            rs.viol.value = value;
+            rs.viol.threshold = threshold;
+            rs.viol.epoch = epoch;
+            rs.viol.durationEpochs = rs.consecutive;
+            if (rs.viol.severity == QosSeverity::Warning &&
+                rs.consecutive >= cfg_.critEpochs) {
+                rs.viol.severity = QosSeverity::Critical;
+                emit(QosEventType::Escalate, rs.viol);
+            }
+        }
+    } else {
+        if (rs.viol.active) {
+            rs.viol.active = false;
+            rs.viol.epoch = epoch;
+            rs.viol.durationEpochs = rs.consecutive;
+            emit(QosEventType::Clear, rs.viol);
+        }
+        rs.consecutive = 0;
+    }
+}
+
+void
+QosEngine::step(const StatsSnapshot &cur)
+{
+    ++epochsSeen_;
+    SnapshotDelta delta;
+    if (havePrev_) {
+        delta = deltaBetween(prev_, cur);
+    }
+
+    // Discover per-partition buckets from the snapshot's path shapes.
+    std::map<std::string, BucketScan> scans;
+    for (const auto &[path, sample] : cur.values) {
+        std::string bucket_path;
+        std::uint32_t part = 0;
+        std::string leaf;
+        if (!splitPartPath(path, bucket_path, part, leaf)) {
+            continue;
+        }
+        BucketScan &scan = scans[bucket_path];
+        scan.part = part;
+        if (leaf == "target_lines" || leaf == "target") {
+            scan.target = sample.value;
+        } else if (leaf == "actual_lines" || leaf == "actual") {
+            scan.actual = sample.value;
+        } else if (leaf == "aperture_bp") {
+            scan.apertureBp = sample.value;
+        } else if (leaf == "hits" || leaf == "misses" ||
+                   leaf == "insertions") {
+            double d = 0.0;
+            if (havePrev_) {
+                const auto it = delta.entries.find(path);
+                if (it != delta.entries.end()) {
+                    d = it->second.delta;
+                }
+            }
+            if (leaf == "hits") {
+                scan.dHits = d;
+                scan.haveHits = true;
+            } else if (leaf == "misses") {
+                scan.dMisses = d;
+                scan.haveMisses = true;
+            } else {
+                scan.dInsertions = d;
+                scan.haveInsertions = true;
+            }
+        }
+    }
+
+    const std::uint64_t epoch = cur.epoch;
+    std::set<std::string> seen;
+    for (auto &[bucket_path, scan] : scans) {
+        seen.insert(bucket_path);
+        Bucket &bucket = buckets_[bucket_path];
+        bucket.part = scan.part;
+        if (scan.part < partSeen_.size()) {
+            partSeen_[scan.part] = 1;
+        }
+        const QosSlo &slo = sloFor(scan.part);
+
+        // Slack: occupancy above target * (1 + slackFrac). Retired
+        // slots (target 0) drain by design and are never offending.
+        if (slo.slackFrac >= 0.0 && scan.target >= 0.0 &&
+            scan.actual >= 0.0) {
+            const bool off =
+                scan.target > 0.0 &&
+                scan.actual > scan.target * (1.0 + slo.slackFrac);
+            const double overshoot =
+                scan.target > 0.0
+                    ? scan.actual / scan.target - 1.0
+                    : 0.0;
+            evaluate(bucket_path, bucket, QosKind::Slack, off,
+                     overshoot, slo.slackFrac, epoch);
+        }
+
+        // Aperture pinned at/above the configured ceiling.
+        if (slo.apertureCritBp >= 0.0 && scan.apertureBp >= 0.0) {
+            evaluate(bucket_path, bucket, QosKind::ApertureSaturation,
+                     scan.apertureBp >= slo.apertureCritBp,
+                     scan.apertureBp, slo.apertureCritBp, epoch);
+        }
+
+        // Miss rate vs the recorded baseline. `insertions` stands in
+        // for misses on buckets (Vantage introspection) that count
+        // fills rather than misses.
+        const bool have_miss = scan.haveMisses || scan.haveInsertions;
+        if (slo.missRateDegrade >= 0.0 && havePrev_ &&
+            scan.haveHits && have_miss) {
+            const double misses = scan.haveMisses ? scan.dMisses
+                                                  : scan.dInsertions;
+            const double accesses = scan.dHits + misses;
+            if (accesses > 0.0) {
+                const double miss_rate = misses / accesses;
+                if (!bucket.baselineFrozen) {
+                    bucket.baselineMisses += misses;
+                    bucket.baselineAccesses += accesses;
+                    if (++bucket.baselineEpochs >=
+                        cfg_.baselineEpochs) {
+                        bucket.baselineFrozen = true;
+                        bucket.baselineMissRate =
+                            bucket.baselineMisses /
+                            bucket.baselineAccesses;
+                    }
+                } else {
+                    const double bound =
+                        bucket.baselineMissRate *
+                        (1.0 + slo.missRateDegrade);
+                    evaluate(bucket_path, bucket, QosKind::MissRate,
+                             miss_rate > bound, miss_rate, bound,
+                             epoch);
+                }
+            }
+        }
+    }
+
+    // Serve-path latency, fed out-of-band by the server.
+    for (const auto &[part, p99] : latencyP99Us_) {
+        const QosSlo &slo = sloFor(part);
+        if (slo.maxLatencyUs < 0.0) {
+            continue;
+        }
+        const std::string bucket_path =
+            "serve.part" + std::to_string(part);
+        seen.insert(bucket_path);
+        Bucket &bucket = buckets_[bucket_path];
+        bucket.part = part;
+        if (part < partSeen_.size()) {
+            partSeen_[part] = 1;
+        }
+        evaluate(bucket_path, bucket, QosKind::Latency,
+                 p99 > slo.maxLatencyUs, p99, slo.maxLatencyUs, epoch);
+    }
+
+    // Buckets that vanished (partition retired, its guarded series
+    // dropped): clear whatever was still raised.
+    for (auto &[bucket_path, bucket] : buckets_) {
+        if (seen.count(bucket_path) != 0) {
+            continue;
+        }
+        for (std::size_t k = 0; k < kQosKinds; ++k) {
+            evaluate(bucket_path, bucket, static_cast<QosKind>(k),
+                     false, 0.0, 0.0, epoch);
+        }
+    }
+
+    std::uint64_t active = 0;
+    for (const auto &[bucket_path, bucket] : buckets_) {
+        for (const RuleState &rs : bucket.rules) {
+            if (rs.viol.active) {
+                ++active;
+            }
+        }
+    }
+    activeCount_ = active;
+
+    prev_ = cur;
+    havePrev_ = true;
+}
+
+std::vector<QosViolation>
+QosEngine::active() const
+{
+    std::vector<QosViolation> out;
+    for (const auto &[bucket_path, bucket] : buckets_) {
+        for (const RuleState &rs : bucket.rules) {
+            if (rs.viol.active) {
+                out.push_back(rs.viol);
+            }
+        }
+    }
+    return out;
+}
+
+void
+QosEngine::registerMetrics(StatsRegistry &reg,
+                           const std::string &prefix)
+{
+    reg.addCounter(prefix + ".violations_total", &raiseTotal_);
+    reg.addCounter(prefix + ".epochs", &epochsSeen_);
+    for (std::size_t k = 0; k < kQosKinds; ++k) {
+        reg.addCounter(prefix + "." +
+                           qosKindName(static_cast<QosKind>(k)) +
+                           "_total",
+                       &kindTotals_[k]);
+    }
+    reg.addGauge(prefix + ".active", [this] {
+        return static_cast<double>(activeCount_);
+    });
+    for (std::uint32_t p = 0; p < cfg_.maxParts; ++p) {
+        const std::string base =
+            prefix + ".part" + std::to_string(p);
+        reg.addCounter(base + ".violations_total", &partTotals_[p]);
+        // Series appear once the partition is first observed.
+        reg.addGuard(base, [this, p] { return partSeen_[p] != 0; });
+    }
+}
+
+void
+DecisionAudit::registerMetrics(StatsRegistry &reg,
+                               const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".records_total", &totalRecords_);
+    for (std::size_t k = 0; k < kDecisionKinds; ++k) {
+        reg.addCounter(
+            prefix + "." +
+                decisionKindName(static_cast<DecisionKind>(k)) +
+                "_total",
+            &kindTotals_[k]);
+    }
+    reg.addGauge(prefix + ".retained", [this] {
+        return static_cast<double>(count_);
+    });
+}
+
+} // namespace vantage

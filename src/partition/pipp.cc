@@ -41,7 +41,15 @@ Pipp::setAllocations(const std::vector<std::uint32_t> &units)
     vantage_assert(total <= ways_,
                    "allocations total %llu ways, array has %u",
                    static_cast<unsigned long long>(total), ways_);
+    const std::vector<std::uint32_t> before = alloc_;
     alloc_ = units;
+    if (audit() != nullptr) {
+        for (std::uint32_t p = 0; p < numParts_; ++p) {
+            if (p >= before.size() || units[p] != before[p]) {
+                recordDecision(DecisionKind::Repartition, p);
+            }
+        }
+    }
 }
 
 void

@@ -24,6 +24,7 @@ PartitionScheme::createPartition(PartId part)
                    "createPartition(%u): slot already active", part);
     active_[part] = 1;
     onPartitionCreate(part);
+    recordDecision(DecisionKind::PartitionCreate, part);
 }
 
 void
@@ -37,6 +38,21 @@ PartitionScheme::destroyPartition(PartId part)
                    "destroyPartition(%u): slot already retired", part);
     active_[part] = 0;
     onPartitionDestroy(part);
+    recordDecision(DecisionKind::PartitionDestroy, part);
+}
+
+void
+PartitionScheme::recordDecision(DecisionKind kind, PartId part)
+{
+    if (audit_ == nullptr) {
+        return;
+    }
+    DecisionRecord rec;
+    rec.kind = kind;
+    rec.part = part;
+    rec.targetLines = targetSize(part);
+    rec.actualLines = actualSize(part);
+    audit_->record(rec);
 }
 
 bool
@@ -66,6 +82,9 @@ PartitionScheme::registerIntrospection(StatsRegistry &reg,
                                        const std::string &prefix) const
 {
     reg.addString(prefix + ".scheme", name());
+    // Size active_ now: the guards below read it from the sampler
+    // thread, and a lazy first allocation mid-run would race.
+    ensureLifecycle();
     for (std::uint32_t p = 0; p < numPartitions(); ++p) {
         const std::string pp = prefix + ".part" + std::to_string(p);
         // Closures over `this` + the partition id: single-word reads
@@ -76,6 +95,9 @@ PartitionScheme::registerIntrospection(StatsRegistry &reg,
         reg.addGauge(pp + ".actual_lines", [this, p] {
             return static_cast<double>(actualSize(p));
         });
+        // Retired slots drop their series instead of exporting the
+        // last tenant's values; slot reuse re-appears as fresh.
+        reg.addGuard(pp, [this, p] { return partitionActive(p); });
     }
     reg.addCounter(prefix + ".demotions",
                    [this] { return demotionCount(); });

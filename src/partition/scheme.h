@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "array/cache_array.h"
+#include "obs/audit.h"
 #include "obs/introspect.h"
 
 namespace vantage {
@@ -165,7 +166,23 @@ class PartitionScheme : public Introspectable
     /** Number of active partition slots. */
     std::uint32_t activePartitions() const;
 
+    /**
+     * Attach a decision audit ring (nullptr detaches): repartitions
+     * and lifecycle transitions — plus scheme-specific decisions like
+     * Vantage's setpoint moves — are recorded with the register state
+     * that caused them. Purely observational (digest-neutral); the
+     * ring must outlive the scheme's use of it. See obs/audit.h.
+     */
+    void attachAudit(DecisionAudit *audit) { audit_ = audit; }
+    DecisionAudit *audit() const { return audit_; }
+
   protected:
+    /**
+     * Record a decision about `part` with the base register state
+     * (current target/actual sizes); a no-op while detached. Schemes
+     * with richer registers fill DecisionRecord at their own sites.
+     */
+    void recordDecision(DecisionKind kind, PartId part);
     /**
      * Scheme hook run by createPartition() after the slot is marked
      * active: reset per-partition control registers (setpoints,
@@ -181,14 +198,23 @@ class PartitionScheme : public Introspectable
      */
     virtual void onPartitionDestroy(PartId part) { (void)part; }
 
-  private:
-    /** Ensures active_ is sized; lazy because numPartitions() is
-     *  virtual and unavailable during base construction. */
+    /**
+     * Ensures active_ is sized; lazy because numPartitions() is
+     * virtual and unavailable during base construction. Introspection
+     * overrides must call this before installing partitionActive()
+     * guards so the flag vector never reallocates under a concurrent
+     * sampler.
+     */
     void ensureLifecycle() const;
+
+  private:
 
     /** Per-slot active flag; empty until the first lifecycle call
      *  (all slots implicitly active). */
     mutable std::vector<std::uint8_t> active_;
+
+    /** Optional decision audit ring; not owned. */
+    DecisionAudit *audit_ = nullptr;
 };
 
 } // namespace vantage

@@ -41,9 +41,23 @@ WayPartitioning::setAllocations(
     vantage_assert(total <= ways_,
                    "allocations total %llu ways, array has %u",
                    static_cast<unsigned long long>(total), ways_);
+    std::vector<std::uint32_t> before;
+    if (audit() != nullptr) {
+        before.resize(numParts_);
+        for (std::uint32_t p = 0; p < numParts_; ++p) {
+            before[p] = wayStart_[p + 1] - wayStart_[p];
+        }
+    }
     wayStart_[0] = 0;
     for (std::uint32_t p = 0; p < numParts_; ++p) {
         wayStart_[p + 1] = wayStart_[p] + units[p];
+    }
+    if (audit() != nullptr) {
+        for (std::uint32_t p = 0; p < numParts_; ++p) {
+            if (units[p] != before[p]) {
+                recordDecision(DecisionKind::Repartition, p);
+            }
+        }
     }
 }
 

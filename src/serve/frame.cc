@@ -155,16 +155,40 @@ buildHello(const std::string &name)
     return out;
 }
 
+std::vector<std::uint8_t>
+buildHello(const std::string &name, std::uint32_t latency_slo_us)
+{
+    std::vector<std::uint8_t> out = buildHello(name);
+    putU32(out, latency_slo_us);
+    return out;
+}
+
 bool
 parseHello(const std::vector<std::uint8_t> &payload, std::string &name)
 {
+    std::uint32_t slo = 0;
+    return parseHello(payload, name, slo);
+}
+
+bool
+parseHello(const std::vector<std::uint8_t> &payload, std::string &name,
+           std::uint32_t &latency_slo_us)
+{
     ByteReader r(payload.data(), payload.size());
     std::uint16_t len = 0;
-    if (!r.readU16(len) || r.remaining() != len) {
+    if (!r.readU16(len) || r.remaining() < len) {
         return false;
     }
     name.resize(len);
-    return len == 0 || r.readBytes(name.data(), len);
+    if (len != 0 && !r.readBytes(name.data(), len)) {
+        return false;
+    }
+    // Optional trailing QoS block: exactly one u32, or nothing.
+    latency_slo_us = 0;
+    if (r.remaining() == 0) {
+        return true;
+    }
+    return r.remaining() == 4 && r.readU32(latency_slo_us);
 }
 
 std::vector<std::uint8_t>
@@ -255,6 +279,12 @@ buildStatsReply(const TenantStats &stats)
     putU64(out, stats.misses);
     putU64(out, stats.targetLines);
     putU64(out, stats.actualLines);
+    putU64(out, stats.batches);
+    putU64(out, stats.latencyP50Ns);
+    putU64(out, stats.latencyP99Ns);
+    putU64(out, stats.sloViolations);
+    putU64(out, stats.sloActive);
+    putU64(out, stats.decisions);
     return out;
 }
 
@@ -263,9 +293,26 @@ parseStatsReply(const std::vector<std::uint8_t> &payload,
                 TenantStats &stats)
 {
     ByteReader r(payload.data(), payload.size());
-    return r.readU64(stats.hits) && r.readU64(stats.misses) &&
-           r.readU64(stats.targetLines) &&
-           r.readU64(stats.actualLines) && r.remaining() == 0;
+    if (!r.readU64(stats.hits) || !r.readU64(stats.misses) ||
+        !r.readU64(stats.targetLines) ||
+        !r.readU64(stats.actualLines)) {
+        return false;
+    }
+    // Optional QoS block: all six fields, or none (legacy replies).
+    if (r.remaining() == 0) {
+        stats.batches = 0;
+        stats.latencyP50Ns = 0;
+        stats.latencyP99Ns = 0;
+        stats.sloViolations = 0;
+        stats.sloActive = 0;
+        stats.decisions = 0;
+        return true;
+    }
+    return r.readU64(stats.batches) && r.readU64(stats.latencyP50Ns) &&
+           r.readU64(stats.latencyP99Ns) &&
+           r.readU64(stats.sloViolations) &&
+           r.readU64(stats.sloActive) && r.readU64(stats.decisions) &&
+           r.remaining() == 0;
 }
 
 } // namespace vantage

@@ -131,8 +131,20 @@ class FrameDecoder
 // truncation or trailing garbage.
 
 std::vector<std::uint8_t> buildHello(const std::string &name);
+
+/**
+ * HELLO with a per-tenant QoS target appended: a trailing u32 p99
+ * frame-latency SLO in microseconds (0 = none). Legacy HELLOs (no
+ * trailing block) parse with an SLO of 0. The QoS block is serve-side
+ * configuration, never journaled — replay digests are independent of
+ * tenants' SLOs.
+ */
+std::vector<std::uint8_t> buildHello(const std::string &name,
+                                     std::uint32_t latency_slo_us);
 bool parseHello(const std::vector<std::uint8_t> &payload,
                 std::string &name);
+bool parseHello(const std::vector<std::uint8_t> &payload,
+                std::string &name, std::uint32_t &latency_slo_us);
 
 std::vector<std::uint8_t>
 buildAccessBatch(const std::vector<BatchAccess> &accesses);
@@ -153,13 +165,26 @@ std::vector<std::uint8_t> buildErr(const std::string &message);
 bool parseErr(const std::vector<std::uint8_t> &payload,
               std::string &message);
 
-/** STATS_REPLY: the requesting tenant's counters and sizes. */
+/**
+ * STATS_REPLY: the requesting tenant's counters and sizes, plus the
+ * QoS block (frame latency percentiles, SLO violation counts, and
+ * the number of controller decisions recorded about the tenant's
+ * partition). Legacy replies without the QoS block parse with those
+ * fields zero.
+ */
 struct TenantStats
 {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t targetLines = 0;
     std::uint64_t actualLines = 0;
+    // QoS block.
+    std::uint64_t batches = 0;        ///< ACCESS_BATCH frames served.
+    std::uint64_t latencyP50Ns = 0;   ///< Median batch latency.
+    std::uint64_t latencyP99Ns = 0;   ///< p99 batch latency.
+    std::uint64_t sloViolations = 0;  ///< Raise events, this slot.
+    std::uint64_t sloActive = 0;      ///< Currently-active violations.
+    std::uint64_t decisions = 0;      ///< Audit records, this slot.
 };
 
 std::vector<std::uint8_t> buildStatsReply(const TenantStats &stats);

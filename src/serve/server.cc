@@ -7,15 +7,20 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstring>
 
 #include "common/log.h"
+#include "obs/audit.h"
+#include "obs/qos.h"
 
 namespace vantage {
 
 ServeServer::ServeServer(TenantSim &sim, JournalWriter *journal)
     : sim_(sim), journal_(journal)
 {
+    slotLatency_.resize(sim.maxTenants());
 }
 
 ServeServer::~ServeServer()
@@ -105,6 +110,11 @@ ServeServer::dropClient(Client &client)
             journal_->recordLeave(slot);
         }
         sim_.leave(slot);
+        if (sim_.qos() != nullptr) {
+            // Stop evaluating the departed tenant's latency sample
+            // against whatever SLO the slot's next occupant sets.
+            sim_.qos()->recordLatency(slot, -1.0);
+        }
         client.slot = -1;
     }
     if (client.fd >= 0) {
@@ -120,7 +130,8 @@ ServeServer::handleFrame(Client &client, const Frame &frame)
     switch (frame.type) {
       case FrameType::Hello: {
         std::string name;
-        if (!parseHello(frame.payload, name)) {
+        std::uint32_t latency_slo_us = 0;
+        if (!parseHello(frame.payload, name, latency_slo_us)) {
             sendFrame(client.fd, FrameType::Err,
                       buildErr("malformed HELLO"));
             return false;
@@ -137,10 +148,19 @@ ServeServer::handleFrame(Client &client, const Frame &frame)
             return false;
         }
         if (journal_ != nullptr) {
+            // The SLO is serve-side config, deliberately not
+            // journaled: replay digests stay independent of it.
             journal_->recordJoin(static_cast<std::uint16_t>(slot),
                                  name);
         }
         client.slot = slot;
+        slotLatency_[static_cast<std::size_t>(slot)].reset();
+        if (sim_.qos() != nullptr) {
+            // 0 clears any SLO left by the slot's previous occupant.
+            sim_.qos()->setLatencySlo(
+                static_cast<std::uint32_t>(slot),
+                static_cast<double>(latency_slo_us));
+        }
         sendFrame(client.fd, FrameType::Ok,
                   buildOkSlot(static_cast<std::uint16_t>(slot)));
         return true;
@@ -158,6 +178,7 @@ ServeServer::handleFrame(Client &client, const Frame &frame)
             return false;
         }
         const auto slot = static_cast<std::uint16_t>(client.slot);
+        const auto t0 = std::chrono::steady_clock::now();
         std::uint32_t hits = 0;
         for (const BatchAccess &a : batch) {
             if (journal_ != nullptr) {
@@ -168,6 +189,15 @@ ServeServer::handleFrame(Client &client, const Frame &frame)
                 ++hits;
             }
         }
+        const auto dt = std::chrono::steady_clock::now() - t0;
+        Histogram &hist = slotLatency_[slot];
+        hist.add(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                .count()));
+        if (sim_.qos() != nullptr) {
+            sim_.qos()->recordLatency(slot,
+                                      hist.quantile(0.99) / 1000.0);
+        }
         sendFrame(client.fd, FrameType::Ok, buildOkHits(hits));
         return true;
       }
@@ -177,13 +207,28 @@ ServeServer::handleFrame(Client &client, const Frame &frame)
                       buildErr("STATS before HELLO"));
             return false;
         }
-        const TenantSlotInfo info = sim_.slotInfo(
-            static_cast<std::uint16_t>(client.slot));
+        const auto slot = static_cast<std::uint16_t>(client.slot);
+        const TenantSlotInfo info = sim_.slotInfo(slot);
         TenantStats stats;
         stats.hits = info.hits;
         stats.misses = info.misses;
         stats.targetLines = info.targetLines;
         stats.actualLines = info.actualLines;
+        const Histogram &hist = slotLatency_[slot];
+        stats.batches = hist.count();
+        if (hist.count() > 0) {
+            stats.latencyP50Ns = static_cast<std::uint64_t>(
+                std::llround(hist.quantile(0.50)));
+            stats.latencyP99Ns = static_cast<std::uint64_t>(
+                std::llround(hist.quantile(0.99)));
+        }
+        if (sim_.qos() != nullptr) {
+            stats.sloViolations = sim_.qos()->totalForPart(slot);
+            stats.sloActive = sim_.qos()->activeForPart(slot);
+        }
+        if (sim_.audit() != nullptr) {
+            stats.decisions = sim_.audit()->totalForPart(slot);
+        }
         sendFrame(client.fd, FrameType::StatsReply,
                   buildStatsReply(stats));
         return true;

@@ -21,6 +21,13 @@
  * the same way (the implicit leave is journaled too). SHUTDOWN stops
  * the daemon. Malformed frames get an ERR reply and the connection
  * is dropped; a joined tenant on a dropped connection is retired.
+ *
+ * QoS: the server times every ACCESS_BATCH into a per-slot latency
+ * histogram and, when the sim has a QoS engine attached, feeds the
+ * running p99 to it and forwards HELLO-carried latency SLOs. STATS
+ * replies carry the extended TenantStats QoS block (batch latency
+ * percentiles, SLO violation counts, audit-trail decision count).
+ * All of it is observational: journals and digests are unaffected.
  */
 
 #ifndef VANTAGE_SERVE_SERVER_H_
@@ -33,6 +40,7 @@
 #include "serve/frame.h"
 #include "serve/journal.h"
 #include "serve/tenant_sim.h"
+#include "stats/histogram.h"
 
 namespace vantage {
 
@@ -95,6 +103,8 @@ class ServeServer
     bool shutdown_ = false;
     std::uint64_t frames_ = 0;
     std::vector<Client> clients_;
+    /** Per-slot ACCESS_BATCH wall latency (ns); reset on slot reuse. */
+    std::vector<Histogram> slotLatency_;
 };
 
 } // namespace vantage

@@ -4,6 +4,10 @@
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "obs/audit.h"
+#include "obs/qos.h"
+#include "stats/registry.h"
+#include "stats/snapshot.h"
 
 namespace vantage {
 
@@ -143,8 +147,56 @@ TenantSim::access(std::uint16_t slot, Addr addr, AccessType type)
     ++accesses_;
     if (epochAccesses_ != 0 && accesses_ % epochAccesses_ == 0) {
         repartition();
+        stepQos();
     }
     return result;
+}
+
+void
+TenantSim::attachAudit(DecisionAudit *audit)
+{
+    audit_ = audit;
+    Cache *const mono = l2_->monoCache();
+    if (mono != nullptr) {
+        mono->scheme().attachAudit(audit);
+    }
+}
+
+void
+TenantSim::attachQos(QosEngine *qos, StatsRegistry *reg)
+{
+    qos_ = (reg != nullptr) ? qos : nullptr;
+    qosReg_ = reg;
+}
+
+void
+TenantSim::stepQos()
+{
+    if (qos_ == nullptr) {
+        return;
+    }
+    // The epoch index and clock are both derived from the access
+    // count, so live serve sessions and journal replays evaluate the
+    // exact same sequence of QoS epochs.
+    ++qosEpoch_;
+    qos_->step(takeSnapshot(*qosReg_, qosEpoch_,
+                            static_cast<double>(accesses_)));
+}
+
+void
+TenantSim::registerLiveStats(StatsRegistry &reg) const
+{
+    l2_->registerLiveIntrospection(reg);
+    if (ucp_) {
+        ucp_->registerIntrospection(reg, "umon");
+    }
+    reg.addCounter("serve.accesses", &accesses_);
+    reg.addGauge("serve.active_tenants", [this] {
+        return static_cast<double>(activeCount_);
+    });
+    reg.addGauge("serve.max_tenants", [this] {
+        return static_cast<double>(maxTenants_);
+    });
 }
 
 void
@@ -252,6 +304,13 @@ runLifecycleScenario(const JournalHeader &cfg, std::uint64_t accesses,
                      JournalWriter *journal)
 {
     TenantSim sim(cfg);
+    return runLifecycleScenario(sim, cfg, accesses, journal);
+}
+
+std::uint64_t
+runLifecycleScenario(TenantSim &sim, const JournalHeader &cfg,
+                     std::uint64_t accesses, JournalWriter *journal)
+{
     Rng rng(cfg.spec.seed ^ 0x11f3c7c1ull);
 
     std::uint32_t tenant_counter = 0;

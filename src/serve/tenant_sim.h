@@ -36,6 +36,10 @@
 
 namespace vantage {
 
+class DecisionAudit;
+class QosEngine;
+class StatsRegistry;
+
 /** Tenant-facing view of one slot's counters. */
 struct TenantSlotInfo
 {
@@ -98,7 +102,38 @@ class TenantSim
     SharedL2 &l2() { return *l2_; }
     Ucp *ucp() { return ucp_.get(); }
 
+    /**
+     * Attach a decision audit ring to the L2's scheme: every
+     * repartition, lifecycle transition and Vantage setpoint move is
+     * recorded. Observational only (digest-neutral); the ring must
+     * outlive this sim. The serve loop is the ring's single writer.
+     */
+    void attachAudit(DecisionAudit *audit);
+
+    /**
+     * Attach the QoS engine: at every epoch boundary (after the UCP
+     * step) the engine evaluates one snapshot of `reg`, with the
+     * access count as the snapshot clock — a pure function of the
+     * event stream, so serve and replay evaluate identical epochs.
+     * Both must outlive this sim; digest-neutral.
+     */
+    void attachQos(QosEngine *qos, StatsRegistry *reg);
+
+    QosEngine *qos() { return qos_; }
+    DecisionAudit *audit() { return audit_; }
+
+    /**
+     * Live-introspection export for the metrics service: the L2's
+     * subtree ("cache", and "vantage" or "scheme"), UCP monitors
+     * under "umon", and serve-level gauges under "serve". Build the
+     * registry fully before any sampler thread reads it.
+     */
+    void registerLiveStats(StatsRegistry &reg) const;
+
   private:
+    /** One QoS epoch at an access-count boundary. */
+    void stepQos();
+
     void activate(std::uint16_t slot, const std::string &name);
 
     /** Equal split of the quantum over the active slots. */
@@ -117,6 +152,12 @@ class TenantSim
     std::uint64_t accesses_ = 0;
     AccessDigest digest_;
     bool digestDone_ = false;
+
+    // Observational attachments (digest-neutral).
+    DecisionAudit *audit_ = nullptr;
+    QosEngine *qos_ = nullptr;
+    StatsRegistry *qosReg_ = nullptr;
+    std::uint64_t qosEpoch_ = 0;
 };
 
 /**
@@ -134,6 +175,17 @@ std::uint64_t replayJournal(const JournalReader &reader);
  * @return the outcome digest.
  */
 std::uint64_t runLifecycleScenario(const JournalHeader &cfg,
+                                   std::uint64_t accesses,
+                                   JournalWriter *journal);
+
+/**
+ * Same scenario over a caller-owned TenantSim, so observers (QoS
+ * engine, decision audit, metrics registry) can be attached first.
+ * `cfg` must be the header the sim was built from (it seeds the
+ * event script).
+ */
+std::uint64_t runLifecycleScenario(TenantSim &sim,
+                                   const JournalHeader &cfg,
                                    std::uint64_t accesses,
                                    JournalWriter *journal);
 

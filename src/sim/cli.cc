@@ -1,7 +1,10 @@
 #include "sim/cli.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <sstream>
+
+#include "obs/qos.h"
 
 namespace vantage {
 
@@ -25,9 +28,21 @@ splitList(const std::string &value)
 bool
 parseU64(const std::string &value, std::uint64_t &out)
 {
+    // strtoull alone would silently wrap negatives ("-5" parses as
+    // 2^64-5), so a zero/negative guard downstream never fires;
+    // require pure digits up front.
+    if (value.empty()) {
+        return false;
+    }
+    for (const char c : value) {
+        if (c < '0' || c > '9') {
+            return false;
+        }
+    }
+    errno = 0;
     char *end = nullptr;
     out = std::strtoull(value.c_str(), &end, 10);
-    return end != nullptr && *end == '\0' && !value.empty();
+    return end != nullptr && *end == '\0' && errno != ERANGE;
 }
 
 bool
@@ -141,6 +156,16 @@ cliUsage()
            "  --digest             print a 64-bit FNV-1a digest of\n"
            "                       per-access L2 outcomes (golden\n"
            "                       regression tests)\n"
+           "  --slo SPEC           per-partition QoS SLOs, checked\n"
+           "                       every epoch; SPEC is ';'-joined\n"
+           "                       clauses of 'key=value' pairs with\n"
+           "                       keys slack, aperture_bp, missrate,\n"
+           "                       latency_us; an 'N:' prefix scopes\n"
+           "                       a clause to partition N (see\n"
+           "                       README \"QoS engine\")\n"
+           "  --qos-out FILE       append QoS violation events and\n"
+           "                       the decision audit tail as JSON\n"
+           "                       lines (implies QoS evaluation)\n"
            "\n"
            "serve / replay (see README \"Serve mode\"):\n"
            "  --serve PORT         run as a daemon on 127.0.0.1:PORT\n"
@@ -445,6 +470,26 @@ parseCli(const std::vector<std::string> &args, std::string &error)
                 error = "bad --metrics-period-ms value";
                 return opts;
             }
+        } else if (arg == "--slo") {
+            if (!next(value) || value.empty()) {
+                error = "bad --slo value";
+                return opts;
+            }
+            // Validate the grammar here so a typo exits with a
+            // message instead of surfacing mid-run.
+            QosConfig probe;
+            std::string slo_error;
+            if (!parseSloSpec(value, probe, slo_error)) {
+                error = "bad --slo spec: " + slo_error;
+                return opts;
+            }
+            opts.sloSpec = value;
+        } else if (arg == "--qos-out") {
+            if (!next(value) || value.empty()) {
+                error = "bad --qos-out value";
+                return opts;
+            }
+            opts.qosOut = value;
         } else {
             error = "unknown option '" + arg + "'";
             return opts;

@@ -15,6 +15,7 @@
  *        [--events-out FILE] [--trace-categories LIST]
  *        [--heartbeat N] [--heartbeat-out FILE]
  *        [--metrics-port N] [--metrics-period-ms N] [--digest]
+ *        [--slo SPEC] [--qos-out FILE]
  *        [--serve PORT] [--serve-journal FILE] [--replay FILE]
  *        [--lifecycle N] [--max-tenants N] [--epoch N]
  *
@@ -83,6 +84,15 @@ struct CliOptions
 
     /** Print a 64-bit digest of per-access L2 outcomes. */
     bool digest = false;
+
+    /**
+     * QoS SLO spec (see parseSloSpec in obs/qos.h); empty disables
+     * the engine unless --qos-out is given (default SLOs only).
+     */
+    std::string sloSpec;
+
+    /** QoS violation events + audit tail, as JSON lines. */
+    std::string qosOut;
 
     /**
      * Serve mode (-1 disabled): listen for tenant clients on

@@ -8,10 +8,13 @@
 #include "array/set_assoc.h"
 #include "common/log.h"
 #include "core/vantage_variants.h"
+#include "obs/audit.h"
+#include "obs/qos.h"
 #include "partition/unpartitioned.h"
 #include "replacement/lru.h"
 #include "stats/json.h"
 #include "stats/registry.h"
+#include "stats/snapshot.h"
 #include "trace/event_trace.h"
 
 namespace vantage {
@@ -573,6 +576,16 @@ CmpSim::emitHeartbeat(const char *phase)
     }
     line += "],\"trace_dropped\":";
     line += std::to_string(TraceSession::instance().dropped());
+    if (qos_ != nullptr) {
+        line += ",\"qos_active\":";
+        line += std::to_string(qos_->active().size());
+        line += ",\"qos_violations_total\":";
+        line += std::to_string(qos_->violationsTotal());
+    }
+    if (audit_ != nullptr) {
+        line += ",\"decisions_total\":";
+        line += std::to_string(audit_->total());
+    }
     line += '}';
     if (heartbeatSink_) {
         heartbeatSink_(line);
@@ -588,6 +601,42 @@ CmpSim::setHeartbeatSink(
     std::function<void(const std::string &)> sink)
 {
     heartbeatSink_ = std::move(sink);
+}
+
+void
+CmpSim::attachQos(QosEngine *qos, StatsRegistry *reg,
+                  std::uint64_t every)
+{
+    qos_ = (reg != nullptr && every != 0) ? qos : nullptr;
+    qosReg_ = reg;
+    qosEvery_ = every;
+    qosTickCtr_ = 0;
+}
+
+void
+CmpSim::attachAudit(DecisionAudit *audit)
+{
+    Cache *const mono = l2_->monoCache();
+    if (mono == nullptr) {
+        if (audit != nullptr) {
+            warn("decision audit is mono-L2 only; banked L2 decisions "
+                 "are not recorded");
+        }
+        return;
+    }
+    audit_ = audit;
+    mono->scheme().attachAudit(audit);
+}
+
+void
+CmpSim::stepQos()
+{
+    // Deterministic epoch clock: the snapshot timestamp is the epoch
+    // number, not wall time, so rates are per-epoch and identical
+    // across runs.
+    ++qosEpoch_;
+    qos_->step(takeSnapshot(*qosReg_, qosEpoch_,
+                            static_cast<double>(qosEpoch_)));
 }
 
 const CoreResult &

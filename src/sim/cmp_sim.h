@@ -43,6 +43,9 @@
 
 namespace vantage {
 
+class DecisionAudit;
+class QosEngine;
+
 /** Per-core results after a measured run. */
 struct CoreResult
 {
@@ -187,6 +190,25 @@ class CmpSim
     void registerLiveStats(StatsRegistry &reg) const;
 
     /**
+     * Attach the QoS engine: every `every` stepped accesses the
+     * engine evaluates one snapshot of `reg` (deterministic epoch
+     * numbering; synthetic snapshot clock). Both must outlive the
+     * simulation. Observational only — the engine reads the registry
+     * and never feeds back, so digests are unaffected. `every` = 0
+     * or nullptr detaches.
+     */
+    void attachQos(QosEngine *qos, StatsRegistry *reg,
+                   std::uint64_t every);
+
+    /**
+     * Attach a decision audit ring to the shared L2's scheme. Flat
+     * (mono) L2s only: banked caches run their schemes on worker
+     * threads under --shard-workers, where the single-writer ring
+     * would race; attaching to a banked L2 is a no-op.
+     */
+    void attachAudit(DecisionAudit *audit);
+
+    /**
      * Shard-runtime telemetry under "shard": per-worker routed
      * accesses, enqueue stalls and queue-depth histograms, plus the
      * epoch-barrier count and wait-time histogram (µs). No-op when
@@ -276,10 +298,25 @@ class CmpSim
     /** One heartbeat line; `phase` is "warmup" or "run". */
     void emitHeartbeat(const char *phase);
 
+    /** One QoS epoch: snapshot the live registry, run the rules. */
+    void stepQos();
+
+    /** Count a stepped access toward the QoS epoch cadence. */
+    void
+    qosTick()
+    {
+        if (qos_ != nullptr && qosEvery_ != 0 &&
+            ++qosTickCtr_ >= qosEvery_) {
+            qosTickCtr_ = 0;
+            stepQos();
+        }
+    }
+
     /** Count a stepped access toward the heartbeat cadence. */
     void
     heartbeatTick(const char *phase)
     {
+        qosTick();
         if (heartbeatEvery_ != 0 &&
             ++heartbeatTick_ >= heartbeatEvery_) {
             heartbeatTick_ = 0;
@@ -328,6 +365,14 @@ class CmpSim
     std::string heartbeatLabel_;
     std::chrono::steady_clock::time_point heartbeatLastTime_{};
     std::function<void(const std::string &)> heartbeatSink_;
+
+    // QoS engine + decision audit (observational only).
+    QosEngine *qos_ = nullptr;
+    StatsRegistry *qosReg_ = nullptr;
+    std::uint64_t qosEvery_ = 0;
+    std::uint64_t qosTickCtr_ = 0;
+    std::uint64_t qosEpoch_ = 0;
+    DecisionAudit *audit_ = nullptr;
 };
 
 } // namespace vantage

@@ -13,7 +13,9 @@
 #include "common/log.h"
 #include "common/thread_pool.h"
 #include "core/vantage.h"
+#include "obs/audit.h"
 #include "obs/metrics_service.h"
+#include "obs/qos.h"
 #include "serve/journal.h"
 #include "serve/server.h"
 #include "serve/tenant_sim.h"
@@ -84,6 +86,95 @@ buildRegistry(StatsRegistry &reg, const CliOptions &opts,
     profExport(reg);
 }
 
+/**
+ * The --slo / --qos-out observability attachments, shared by the
+ * workload, lifecycle and serve drivers: a QoS engine built from the
+ * SLO spec, the decision audit ring it cross-references, and the
+ * JSONL event sink. All observational — attached engines leave
+ * digests bit-identical.
+ */
+struct QosHarness
+{
+    std::unique_ptr<QosEngine> qos;
+    std::unique_ptr<DecisionAudit> audit;
+    FILE *out = nullptr;
+
+    ~QosHarness()
+    {
+        if (out != nullptr) {
+            std::fclose(out);
+        }
+    }
+
+    bool enabled() const { return qos != nullptr; }
+
+    void
+    build(const CliOptions &opts)
+    {
+        if (opts.sloSpec.empty() && opts.qosOut.empty()) {
+            return;
+        }
+        QosConfig cfg;
+        std::string error;
+        if (!opts.sloSpec.empty() &&
+            !parseSloSpec(opts.sloSpec, cfg, error)) {
+            fatal("--slo: %s", error.c_str());
+        }
+        qos = std::make_unique<QosEngine>(cfg);
+        audit = std::make_unique<DecisionAudit>();
+        if (!opts.qosOut.empty()) {
+            out = std::fopen(opts.qosOut.c_str(), "a");
+            if (out == nullptr) {
+                fatal("cannot open --qos-out file %s",
+                      opts.qosOut.c_str());
+            }
+            qos->setSink([this](const QosEvent &ev) {
+                std::fprintf(out, "%s\n", qosEventJson(ev).c_str());
+                std::fflush(out);
+            });
+        } else {
+            qos->setSink([](const QosEvent &ev) {
+                std::fprintf(stderr, "vsim: qos %s\n",
+                             qosEventJson(ev).c_str());
+            });
+        }
+    }
+
+    /** SLO violation + decision counters for the live endpoint. */
+    void
+    registerMetrics(StatsRegistry &reg)
+    {
+        if (qos) {
+            qos->registerMetrics(reg, "vantage.slo");
+            audit->registerMetrics(reg, "vantage.decision");
+        }
+    }
+
+    /** End-of-run summary line and the audit tail to --qos-out. */
+    void
+    finish()
+    {
+        if (!qos) {
+            return;
+        }
+        std::printf("qos: %llu violations raised (%zu active at "
+                    "end) over %llu epochs; %llu controller "
+                    "decisions recorded\n",
+                    static_cast<unsigned long long>(
+                        qos->violationsTotal()),
+                    qos->active().size(),
+                    static_cast<unsigned long long>(
+                        qos->epochsSeen()),
+                    static_cast<unsigned long long>(audit->total()));
+        if (out != nullptr) {
+            for (const DecisionRecord &rec : audit->tail(64)) {
+                std::fprintf(out, "%s\n", decisionJson(rec).c_str());
+            }
+            std::fflush(out);
+        }
+    }
+};
+
 /** The --serve / --lifecycle configuration, from the CLI options. */
 JournalHeader
 serveHeader(const CliOptions &opts)
@@ -128,9 +219,20 @@ runLifecycle(const CliOptions &opts)
         journal = std::make_unique<JournalWriter>(opts.serveJournal,
                                                   hdr);
     }
+    TenantSim sim(hdr);
+    QosHarness qos;
+    qos.build(opts);
+    StatsRegistry qos_reg;
+    if (qos.enabled()) {
+        sim.registerLiveStats(qos_reg);
+        qos.registerMetrics(qos_reg);
+        sim.attachQos(qos.qos.get(), &qos_reg);
+        sim.attachAudit(qos.audit.get());
+    }
     const std::uint64_t digest = runLifecycleScenario(
-        hdr, opts.lifecycleAccesses, journal.get());
+        sim, hdr, opts.lifecycleAccesses, journal.get());
     journal.reset();
+    qos.finish();
     printDigest(digest);
     return 0;
 }
@@ -146,6 +248,40 @@ runServe(const CliOptions &opts)
         journal = std::make_unique<JournalWriter>(opts.serveJournal,
                                                   hdr);
     }
+
+    // QoS / audit and the live Prometheus endpoint share one
+    // registry. The registry must be fully built before the metrics
+    // sampler thread starts, and the service is stopped before the
+    // sim is torn down.
+    QosHarness qos;
+    qos.build(opts);
+    StatsRegistry live_reg;
+    if (qos.enabled() || opts.metricsPort >= 0) {
+        sim.registerLiveStats(live_reg);
+        qos.registerMetrics(live_reg);
+    }
+    if (qos.enabled()) {
+        sim.attachQos(qos.qos.get(), &live_reg);
+        sim.attachAudit(qos.audit.get());
+    }
+    std::unique_ptr<MetricsService> metrics;
+    if (opts.metricsPort >= 0) {
+        MetricsServiceConfig mcfg;
+        mcfg.port = static_cast<std::uint16_t>(opts.metricsPort);
+        mcfg.epochMillis = opts.metricsPeriodMs;
+        metrics = std::make_unique<MetricsService>(mcfg);
+        std::string merror;
+        if (!metrics->start(merror)) {
+            fatal("cannot start metrics service: %s",
+                  merror.c_str());
+        }
+        metrics->addSource("vsim-serve", &live_reg);
+        std::fprintf(
+            stderr,
+            "vsim: metrics listening on http://127.0.0.1:%d/metrics\n",
+            metrics->port());
+    }
+
     ServeServer server(sim, journal.get());
     std::string error;
     if (!server.start(static_cast<std::uint16_t>(opts.servePort),
@@ -156,6 +292,16 @@ runServe(const CliOptions &opts)
                  server.port());
     server.run();
     journal.reset();
+    if (metrics) {
+        std::fprintf(stderr,
+                     "vsim: metrics served %llu scrapes over %llu "
+                     "epochs\n",
+                     static_cast<unsigned long long>(
+                         metrics->scrapes()),
+                     static_cast<unsigned long long>(
+                         metrics->epochs()));
+        metrics->stop();
+    }
 
     InvariantReport rep;
     sim.checkInvariants(rep);
@@ -168,6 +314,7 @@ runServe(const CliOptions &opts)
                  static_cast<unsigned long long>(
                      server.framesProcessed()),
                  static_cast<unsigned long long>(sim.accesses()));
+    qos.finish();
     printDigest(sim.finishDigest());
     return 0;
 }
@@ -326,14 +473,25 @@ main(int argc, char **argv)
         }
     }
 
+    // QoS engine + decision audit (--slo / --qos-out): evaluated
+    // every --epoch accesses over the live-introspection registry.
     // Live metrics endpoint (--metrics-port). The registry must be
     // fully built before the service's sampler thread starts, and
     // both must be torn down before the sim (declaration order
     // handles the service; it stops its threads in the destructor).
+    QosHarness qos;
+    qos.build(opts);
     StatsRegistry live_reg;
+    if (opts.metricsPort >= 0 || qos.enabled()) {
+        sim->registerLiveStats(live_reg);
+        qos.registerMetrics(live_reg);
+    }
+    if (qos.enabled()) {
+        sim->attachQos(qos.qos.get(), &live_reg, opts.epochAccesses);
+        sim->attachAudit(qos.audit.get());
+    }
     std::unique_ptr<MetricsService> metrics;
     if (opts.metricsPort >= 0) {
-        sim->registerLiveStats(live_reg);
         MetricsServiceConfig mcfg;
         mcfg.port = static_cast<std::uint16_t>(opts.metricsPort);
         mcfg.epochMillis = opts.metricsPeriodMs;
@@ -470,6 +628,7 @@ main(int argc, char **argv)
         }
     }
 
+    qos.finish();
     if (metrics) {
         std::fprintf(stderr,
                      "vsim: metrics served %llu scrapes over %llu "

@@ -155,6 +155,31 @@ StatsRegistry::addString(const std::string &path, std::string text)
     insert(path, std::move(e));
 }
 
+void
+StatsRegistry::addGuard(const std::string &prefix, EnabledFn fn)
+{
+    vantage_assert(!prefix.empty(), "empty guard prefix");
+    vantage_assert(fn != nullptr, "null guard at '%s'",
+                   prefix.c_str());
+    guards_.emplace_back(prefix, std::move(fn));
+}
+
+bool
+StatsRegistry::enabledAt(const std::string &path) const
+{
+    for (const auto &[prefix, fn] : guards_) {
+        const bool covers =
+            path.size() >= prefix.size() &&
+            path.compare(0, prefix.size(), prefix) == 0 &&
+            (path.size() == prefix.size() ||
+             path[prefix.size()] == '.');
+        if (covers && !fn()) {
+            return false;
+        }
+    }
+    return true;
+}
+
 bool
 StatsRegistry::contains(const std::string &path) const
 {
@@ -176,7 +201,7 @@ std::optional<double>
 StatsRegistry::value(const std::string &path) const
 {
     const auto it = entries_.find(path);
-    if (it == entries_.end()) {
+    if (it == entries_.end() || !enabledAt(path)) {
         return std::nullopt;
     }
     switch (it->second.kind) {
@@ -195,6 +220,9 @@ StatsRegistry::forEachScalar(
     const
 {
     for (const auto &[path, entry] : entries_) {
+        if (!enabledAt(path)) {
+            continue;
+        }
         switch (entry.kind) {
           case Kind::Counter:
             fn(path, true, static_cast<double>(readCounter(entry)));
@@ -225,7 +253,7 @@ StatsRegistry::forEachHistogram(
         &fn) const
 {
     for (const auto &[path, entry] : entries_) {
-        if (entry.kind == Kind::Histogram) {
+        if (entry.kind == Kind::Histogram && enabledAt(path)) {
             fn(path, *entry.hist);
         }
     }
@@ -237,7 +265,7 @@ StatsRegistry::forEachString(
                              const std::string &)> &fn) const
 {
     for (const auto &[path, entry] : entries_) {
-        if (entry.kind == Kind::String) {
+        if (entry.kind == Kind::String && enabledAt(path)) {
             fn(path, entry.text);
         }
     }
@@ -325,6 +353,9 @@ StatsRegistry::writeJson(std::ostream &out) const
     // close/open sequence between consecutive entries.
     std::vector<std::string> open;
     for (const auto &[path, entry] : entries_) {
+        if (!enabledAt(path)) {
+            continue;
+        }
         const std::vector<std::string> segs = segmentsOf(path);
         // Interior segments: segs[0..n-2]; leaf: segs.back().
         std::size_t common = 0;
@@ -358,6 +389,9 @@ StatsRegistry::writeCsv(std::ostream &out) const
     std::ostringstream num;
     num.precision(17);
     for (const auto &[path, entry] : entries_) {
+        if (!enabledAt(path)) {
+            continue;
+        }
         switch (entry.kind) {
           case Kind::Counter:
             out << path << ",counter," << readCounter(entry) << "\n";

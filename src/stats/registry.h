@@ -39,6 +39,7 @@ class StatsRegistry
   public:
     using CounterFn = std::function<std::uint64_t()>;
     using GaugeFn = std::function<double()>;
+    using EnabledFn = std::function<bool()>;
 
     /** Monotonic event count, read through `fn` at export time. */
     void addCounter(const std::string &path, CounterFn fn);
@@ -59,6 +60,22 @@ class StatsRegistry
 
     /** Fixed string annotation (config names, workload labels). */
     void addString(const std::string &path, std::string text);
+
+    /**
+     * Gate every entry at or under `prefix` (the path itself plus any
+     * `prefix.`-descendants, including ones registered later) behind
+     * `fn`: while fn() returns false the entries vanish from every
+     * visitor and export, as if never registered. Re-enabling brings
+     * them back with their live values — the snapshot layer then sees
+     * them as fresh paths, so a reused partition slot restarts its
+     * Prometheus series cleanly instead of exporting stale values.
+     *
+     * `fn` is called from sampler threads; it must be tolerant of
+     * concurrent writers (single-word reads in practice). Like entry
+     * registration, addGuard() itself is not thread-safe against
+     * sampling: install guards before sampling starts.
+     */
+    void addGuard(const std::string &prefix, EnabledFn fn);
 
     bool contains(const std::string &path) const;
     std::size_t size() const { return entries_.size(); }
@@ -145,10 +162,16 @@ class StatsRegistry
     void checkPath(const std::string &path) const;
     void insert(const std::string &path, Entry entry);
 
+    /** True when no guard covering `path` reports disabled. */
+    bool enabledAt(const std::string &path) const;
+
     static void writeEntryJson(JsonWriter &w, const Entry &e);
 
     /** Sorted, so the dotted paths group into a tree naturally. */
     std::map<std::string, Entry> entries_;
+
+    /** Prefix-scoped enable predicates (see addGuard). */
+    std::vector<std::pair<std::string, EnabledFn>> guards_;
 };
 
 } // namespace vantage

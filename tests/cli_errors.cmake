@@ -81,7 +81,33 @@ expect_error("journal without mode"
 expect_error("max tenants out of range" "bad --max-tenants value"
     --max-tenants 0)
 expect_error("zero epoch" "bad --epoch value" --epoch 0)
+expect_error("negative epoch" "bad --epoch value" --epoch=-1000)
 expect_error("missing replay file" "cannot open journal"
     --replay /nonexistent/missing.journal)
+
+# Observability cadences: zero and negative values must exit with a
+# clean parse error (strtoull alone would wrap "-5" to 2^64-5 and
+# silently accept it).
+expect_error("zero stats period" "bad --stats-period value"
+    --stats-period 0)
+expect_error("negative stats period" "bad --stats-period value"
+    --stats-period=-5)
+expect_error("zero metrics period" "bad --metrics-period-ms value"
+    --metrics-period-ms 0)
+expect_error("negative metrics period" "bad --metrics-period-ms value"
+    --metrics-period-ms=-250)
+expect_error("zero heartbeat" "bad --heartbeat value" --heartbeat 0)
+expect_error("negative heartbeat" "bad --heartbeat value"
+    --heartbeat=-1)
+
+# QoS engine spec grammar.
+expect_error("empty slo" "bad --slo value" --slo=)
+expect_error("unknown slo key" "bad --slo spec" --slo frobs=1)
+expect_error("non-numeric slo value" "bad --slo spec"
+    --slo slack=banana)
+# (Empty ';;' clauses are covered in test_qos — a literal ';' cannot
+# survive CMake list expansion here.)
+expect_error("empty slo value" "bad --slo spec" --slo slack=)
+expect_error("empty qos out" "bad --qos-out value" --qos-out=)
 
 message(STATUS "all CLI error paths exit 1 with a message")

@@ -226,5 +226,62 @@ TEST(Snapshot, CounterObjectAndClosureKindsAgree)
     EXPECT_DOUBLE_EQ(snap.values.at("fn").value, 5.0);
 }
 
+TEST(Snapshot, GuardedPrefixDropsWhileDisabled)
+{
+    // Tenant-slot lifecycle: a guard over the slot's prefix retires
+    // its series from snapshots while the slot is empty, instead of
+    // freezing them at their last values.
+    StatsRegistry reg;
+    bool attached = true;
+    std::uint64_t hits = 10;
+    reg.addGuard("tenant.part0", [&attached] { return attached; });
+    reg.addCounter("tenant.part0.hits", &hits);
+    reg.addCounter("tenant.other", [] { return std::uint64_t{1}; });
+
+    StatsSnapshot live = takeSnapshot(reg, 1, 0.0);
+    EXPECT_EQ(live.values.count("tenant.part0.hits"), 1u);
+
+    attached = false; // Slot retired.
+    StatsSnapshot gone = takeSnapshot(reg, 2, 1.0);
+    EXPECT_EQ(gone.values.count("tenant.part0.hits"), 0u);
+    EXPECT_EQ(gone.values.count("tenant.other"), 1u);
+
+    // The guarded series drops from the delta like any removed path.
+    SnapshotDelta d = deltaBetween(live, gone);
+    EXPECT_EQ(d.entries.count("tenant.part0.hits"), 0u);
+    EXPECT_EQ(d.entries.count("tenant.other"), 1u);
+}
+
+TEST(Snapshot, GuardedSlotReuseCountsFromZero)
+{
+    // A reused slot re-enables the guard with a rebuilt (reset)
+    // counter behind it. Against the pre-retirement snapshot the
+    // path reads as wrapped; against the retired-gap snapshot it is
+    // fresh. Both restart the delta instead of going negative.
+    StatsRegistry reg;
+    bool attached = true;
+    std::uint64_t hits = 500;
+    reg.addGuard("tenant.part0", [&attached] { return attached; });
+    reg.addCounter("tenant.part0.hits", &hits);
+
+    StatsSnapshot before = takeSnapshot(reg, 1, 0.0);
+    attached = false;
+    StatsSnapshot gap = takeSnapshot(reg, 2, 1.0);
+    attached = true; // New tenant in the slot, fresh counter.
+    hits = 30;
+    StatsSnapshot reused = takeSnapshot(reg, 3, 2.0);
+
+    const DeltaEntry &vs_gap =
+        deltaBetween(gap, reused).entries.at("tenant.part0.hits");
+    EXPECT_TRUE(vs_gap.fresh);
+    EXPECT_DOUBLE_EQ(vs_gap.delta, 30.0);
+
+    const DeltaEntry &vs_before =
+        deltaBetween(before, reused).entries.at("tenant.part0.hits");
+    EXPECT_FALSE(vs_before.fresh);
+    EXPECT_TRUE(vs_before.wrapped);
+    EXPECT_DOUBLE_EQ(vs_before.delta, 30.0);
+}
+
 } // namespace
 } // namespace vantage
