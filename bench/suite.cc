@@ -497,6 +497,7 @@ writeMicroJson(const std::string &bench,
             w.beginObject();
             w.kv("baseline_ns_per_op", e.baselineNs);
             w.kv("ratio", e.ratio);
+            w.kv("tolerance", e.tolerance);
             w.endObject();
         }
         w.endObject();

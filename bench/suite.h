@@ -124,6 +124,8 @@ struct MicroCompareEntry
     double baselineNs = 0.0; ///< ns/op recorded in the baseline file.
     double currentNs = 0.0;  ///< ns/op measured this run.
     double ratio = 0.0;      ///< current / baseline.
+    double tolerance = 0.0;  ///< Effective max ratio for this entry
+                             ///< (per-entry override or the global).
 };
 
 /**
@@ -133,7 +135,9 @@ struct MicroCompareEntry
 struct MicroComparison
 {
     std::string baselinePath;
-    double tolerance = 1.5;     ///< Max allowed current/baseline.
+    double tolerance = 1.5;     ///< Default max current/baseline; a
+                                ///< baseline entry's "tolerance"
+                                ///< field overrides it per benchmark.
     bool withinTolerance = true;
     std::vector<MicroCompareEntry> entries;
 };

@@ -21,10 +21,10 @@
 #define VANTAGE_ARRAY_CACHE_ARRAY_H_
 
 #include <cstdint>
-#include <vector>
 
 #include "array/candidate_buf.h"
 #include "common/check.h"
+#include "common/hp_alloc.h"
 #include "common/log.h"
 #include "common/types.h"
 
@@ -58,6 +58,9 @@ struct Line
 static_assert(sizeof(Line) == 16,
               "hot line metadata must stay cache-line packed "
               "(4 lines per 64B)");
+static_assert(kPlaneAlignment % sizeof(Line) == 0,
+              "an aligned hot plane must tile whole hardware cache "
+              "lines with Line records");
 
 /**
  * Cold per-line state, off the candidate-scan path.
@@ -95,6 +98,16 @@ class CacheArray
     explicit CacheArray(std::size_t num_lines)
         : lines_(num_lines), cold_(num_lines)
     {
+        // The SIMD scan kernels issue full-width loads from the
+        // planes; a base that is not cache-line aligned would split
+        // every vector across two hardware lines. HpArray guarantees
+        // this — the assert pins the contract.
+        vantage_assert(
+            num_lines == 0 ||
+                (reinterpret_cast<std::uintptr_t>(lines_.data()) %
+                     kPlaneAlignment ==
+                 0),
+            "hot plane base is not %zu-byte aligned", kPlaneAlignment);
     }
     virtual ~CacheArray() = default;
 
@@ -188,8 +201,11 @@ class CacheArray
     const LineCold *coldData() const { return cold_.data(); }
 
   protected:
-    std::vector<Line> lines_;
-    std::vector<LineCold> cold_;
+    // 64-byte-aligned, huge-page-advised planes (see hp_alloc.h):
+    // the hot plane is the SIMD scan target, and at giant-cache
+    // sizes both planes burn TLB entries without huge pages.
+    HpArray<Line> lines_;
+    HpArray<LineCold> cold_;
 };
 
 } // namespace vantage

@@ -1,6 +1,7 @@
 #include "array/set_assoc.h"
 
 #include "common/bits.h"
+#include "simd/simd.h"
 
 namespace vantage {
 
@@ -41,14 +42,13 @@ SetAssocArray::lookup(Addr addr) const
     const std::uint64_t set = setOf(addr);
     memoAddr_ = addr;
     memoSet_ = set;
+    // One set is ways_ consecutive 16-byte hot lines: exactly the
+    // contiguous tag-compare the dispatched kernel vectorizes (first
+    // match wins, same as the scalar walk).
     const LineId base = slotOf(set, 0);
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        const LineId slot = base + w;
-        if (lines_[slot].addr == addr) {
-            return slot;
-        }
-    }
-    return kInvalidLine;
+    const std::int32_t w =
+        simd::ops().findTag(lines_.data() + base, ways_, addr);
+    return w < 0 ? kInvalidLine : base + static_cast<LineId>(w);
 }
 
 void

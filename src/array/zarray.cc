@@ -1,5 +1,7 @@
 #include "array/zarray.h"
 
+#include "simd/simd.h"
+
 #include <algorithm>
 #include <unordered_set>
 
@@ -20,8 +22,10 @@ namespace vantage {
 ZArray::ZArray(std::size_t num_lines, std::uint32_t ways,
                std::uint32_t num_candidates, std::uint64_t seed)
     : CacheArray(num_lines), ways_(ways), numCands_(num_candidates),
-      linesPerWay_(num_lines / ways), visitEpoch_(num_lines, 0),
-      memoPos_(ways, 0)
+      linesPerWay_(num_lines / ways),
+      posTables_(static_cast<std::size_t>(ways) * 2048),
+      walkTables_(static_cast<std::size_t>(ways) * 2048),
+      visitEpoch_(num_lines, 0), memoPos_(ways, 0)
 {
     vantage_assert(ways >= 2, "a zcache needs at least 2 ways");
     vantage_assert(num_candidates <= CandidateBuf::kCapacity,
@@ -44,7 +48,6 @@ ZArray::ZArray(std::size_t num_lines, std::uint32_t ways,
     // wayHash()); the draws are identical to the previous
     // vector<H3Hash> layout, so positions are bit-compatible.
     const std::uint64_t mask = linesPerWay_ - 1;
-    posTables_.resize(static_cast<std::size_t>(ways) * 2048);
     for (std::uint32_t w = 0; w < ways; ++w) {
         const H3Hash h(seed * 0x9e3779b97f4a7c15ULL + w + 1);
         std::uint32_t *table = &posTables_[w * 2048];
@@ -59,7 +62,6 @@ ZArray::ZArray(std::size_t num_lines, std::uint32_t ways,
     // Interleave the same words way-minor for the walk (see
     // wayHashAll): row ((byte << 8) | value) holds all ways' words
     // for that input byte value contiguously.
-    walkTables_.resize(static_cast<std::size_t>(ways) * 2048);
     for (std::uint32_t w = 0; w < ways; ++w) {
         for (std::uint32_t byte = 0; byte < 8; ++byte) {
             for (std::uint32_t v = 0; v < 256; ++v) {
@@ -78,23 +80,80 @@ ZArray::positionIn(std::uint32_t w, Addr addr) const
         wayHash(&posTables_[w * 2048], addr));
 }
 
+void
+ZArray::wayHashAllWide(Addr addr, std::uint32_t *pos) const
+{
+    const std::uint32_t *const t = walkTables_.data();
+    if (ways_ == 8) {
+        // Fully vectorized W = 8 path: one row is 8 contiguous
+        // words = exactly one 256-bit vector, so the batched hash
+        // is eight row loads XOR-folded by the dispatched kernel
+        // (scalar fallback is the same fold unrolled).
+        simd::ops().xorRows8(t, addr, pos);
+        return;
+    }
+    const std::uint32_t stride = ways_;
+    const std::uint32_t *row = &t[(addr & 0xff) * stride];
+    for (std::uint32_t w = 0; w < stride; ++w) {
+        pos[w] = row[w];
+    }
+    for (std::uint32_t byte = 1; byte < 8; ++byte) {
+        row = &t[((byte << 8) | ((addr >> (byte * 8)) & 0xff)) *
+                 stride];
+        for (std::uint32_t w = 0; w < stride; ++w) {
+            pos[w] ^= row[w];
+        }
+    }
+}
+
 LineId
 ZArray::lookup(Addr addr) const
 {
-    const std::uint32_t *table = posTables_.data();
+    // Lazy way-0 probe before any batched work: in steady state
+    // most resident lines sit in the way they were inserted into,
+    // so this single hash (8 L1-hot table loads) plus one
+    // predictable compare resolves the common hit for a quarter of
+    // the batched cost. Way 0's words are read strided from the
+    // interleaved walk tables — the same 8 cache lines the batched
+    // pass below touches — so a miss that falls through re-reads
+    // them from L1 instead of pulling a second table. Identical
+    // positions, so nothing observable changes — way 0 simply
+    // resolves early.
+    const std::uint32_t *const wt = walkTables_.data();
+    const std::uint32_t stride = ways_;
+    std::uint32_t p0 = wt[(addr & 0xff) * stride];
+    p0 ^= wt[(256 + ((addr >> 8) & 0xff)) * stride];
+    p0 ^= wt[(512 + ((addr >> 16) & 0xff)) * stride];
+    p0 ^= wt[(768 + ((addr >> 24) & 0xff)) * stride];
+    p0 ^= wt[(1024 + ((addr >> 32) & 0xff)) * stride];
+    p0 ^= wt[(1280 + ((addr >> 40) & 0xff)) * stride];
+    p0 ^= wt[(1536 + ((addr >> 48) & 0xff)) * stride];
+    p0 ^= wt[(1792 + (addr >> 56)) * stride];
+    const LineId slot0 = static_cast<LineId>(p0);
+    if (lines_[slot0].addr == addr) {
+        memoAddr_ = kInvalidAddr;
+        return slot0;
+    }
+    // Way-0 miss: hash all ways in one batched pass over the
+    // interleaved tables (positions are a pure function of the
+    // address, so computing them up front instead of way-by-way
+    // changes nothing observable), then probe the W scattered slots
+    // with the dispatched compare kernel. Lane 0 is already known
+    // not to match, so first-match order is preserved.
     LineId *const memo = memoPos_.data();
+    std::uint32_t pos[CandidateBuf::kCapacity];
+    wayHashAll(addr, pos);
     std::uint64_t base = 0;
-    for (std::uint32_t w = 0; w < ways_;
-         ++w, table += 2048, base += linesPerWay_) {
-        const LineId slot =
-            static_cast<LineId>(base + wayHash(table, addr));
-        memo[w] = slot;
-        if (lines_[slot].addr == addr) {
-            // Hit: the memo stops at way w; don't let candidates()
-            // reuse a partial set.
-            memoAddr_ = kInvalidAddr;
-            return slot;
-        }
+    for (std::uint32_t w = 0; w < ways_; ++w, base += linesPerWay_) {
+        memo[w] = static_cast<LineId>(base + pos[w]);
+    }
+    const std::int32_t w =
+        simd::ops().findTagAt(lines_.data(), memo, ways_, addr);
+    if (w >= 0) {
+        // Hit: don't let candidates() reuse the memo — by the next
+        // miss it may describe a different address.
+        memoAddr_ = kInvalidAddr;
+        return memo[w];
     }
     memoAddr_ = addr;
     return kInvalidLine;
@@ -102,6 +161,19 @@ ZArray::lookup(Addr addr) const
 
 void
 ZArray::candidates(Addr addr, CandidateBuf &out) const
+{
+    // Specialize once on the geometry so the W = 4 walk body inlines
+    // its hashing with no reachable calls (see wayHashAll()).
+    if (ways_ == 4) {
+        walkImpl<true>(addr, out);
+    } else {
+        walkImpl<false>(addr, out);
+    }
+}
+
+template <bool kW4>
+void
+ZArray::walkImpl(Addr addr, CandidateBuf &out) const
 {
     VANTAGE_PROF("zarray.walk");
     out.clear();
@@ -140,7 +212,11 @@ ZArray::candidates(Addr addr, CandidateBuf &out) const
             }
         }
     } else {
-        wayHashAll(addr, pos);
+        if constexpr (kW4) {
+            hashRows4(walkTables_.data(), addr, pos);
+        } else {
+            wayHashAllWide(addr, pos);
+        }
         std::uint64_t base = 0;
         for (std::uint32_t w = 0; w < ways_;
              ++w, base += linesPerWay_) {
@@ -168,7 +244,11 @@ ZArray::candidates(Addr addr, CandidateBuf &out) const
         }
         const std::uint32_t own_way =
             static_cast<std::uint32_t>(head_slot >> wayShift_);
-        wayHashAll(occupant.addr, pos);
+        if constexpr (kW4) {
+            hashRows4(walkTables_.data(), occupant.addr, pos);
+        } else {
+            wayHashAllWide(occupant.addr, pos);
+        }
         std::uint64_t base = 0;
         for (std::uint32_t w = 0;
              w < ways_ && out.size() < numCands_;

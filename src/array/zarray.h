@@ -102,51 +102,65 @@ class ZArray : public CacheArray
      * W = 4 each of the 8 byte rows is 16 contiguous bytes, so the
      * whole level's hashing is 8 dense row loads XORed — identical
      * results to calling wayHash() per way, in one streaming pass.
+     *
+     * The W = 4 body must stay straight-line code with no reachable
+     * calls wherever the walk loop inlines it: a call on any path —
+     * even a never-taken branch to the dispatched W = 8 kernel —
+     * poisons register allocation in the surrounding BFS loop, which
+     * measured as a ~50% regression on the whole candidates() walk
+     * for Z4 geometries that never took the branch. The walk
+     * therefore specializes on the geometry once per call
+     * (walkImpl<kW4>) and the W = 4 instantiation uses hashRows4()
+     * directly, keeping its loop body call-free.
      */
     void
     wayHashAll(Addr addr, std::uint32_t *pos) const
     {
-        const std::uint32_t *const t = walkTables_.data();
         if (ways_ == 4) {
-            // Fully unrolled W = 4 path (the paper's Z4 designs):
-            // four accumulators stay in registers across the eight
-            // 16-byte row loads — the compiler turns this into a
-            // straight-line SIMD XOR chain.
-            const std::uint32_t *r = t + (addr & 0xff) * 4;
-            std::uint32_t p0 = r[0], p1 = r[1], p2 = r[2], p3 = r[3];
-            r = t + (256 + ((addr >> 8) & 0xff)) * 4;
-            p0 ^= r[0]; p1 ^= r[1]; p2 ^= r[2]; p3 ^= r[3];
-            r = t + (512 + ((addr >> 16) & 0xff)) * 4;
-            p0 ^= r[0]; p1 ^= r[1]; p2 ^= r[2]; p3 ^= r[3];
-            r = t + (768 + ((addr >> 24) & 0xff)) * 4;
-            p0 ^= r[0]; p1 ^= r[1]; p2 ^= r[2]; p3 ^= r[3];
-            r = t + (1024 + ((addr >> 32) & 0xff)) * 4;
-            p0 ^= r[0]; p1 ^= r[1]; p2 ^= r[2]; p3 ^= r[3];
-            r = t + (1280 + ((addr >> 40) & 0xff)) * 4;
-            p0 ^= r[0]; p1 ^= r[1]; p2 ^= r[2]; p3 ^= r[3];
-            r = t + (1536 + ((addr >> 48) & 0xff)) * 4;
-            p0 ^= r[0]; p1 ^= r[1]; p2 ^= r[2]; p3 ^= r[3];
-            r = t + (1792 + (addr >> 56)) * 4;
-            pos[0] = p0 ^ r[0];
-            pos[1] = p1 ^ r[1];
-            pos[2] = p2 ^ r[2];
-            pos[3] = p3 ^ r[3];
+            hashRows4(walkTables_.data(), addr, pos);
             return;
         }
-        const std::uint32_t stride = ways_;
-        const std::uint32_t *row =
-            &t[(addr & 0xff) * stride];
-        for (std::uint32_t w = 0; w < stride; ++w) {
-            pos[w] = row[w];
-        }
-        for (std::uint32_t byte = 1; byte < 8; ++byte) {
-            row = &t[((byte << 8) | ((addr >> (byte * 8)) & 0xff)) *
-                     stride];
-            for (std::uint32_t w = 0; w < stride; ++w) {
-                pos[w] ^= row[w];
-            }
-        }
+        wayHashAllWide(addr, pos);
     }
+
+    /**
+     * Fully unrolled W = 4 batched hash (the paper's Z4 designs):
+     * four accumulators stay in registers across the eight 16-byte
+     * row loads — the compiler turns this into a straight-line SIMD
+     * XOR chain.
+     */
+    static void
+    hashRows4(const std::uint32_t *t, Addr addr, std::uint32_t *pos)
+    {
+        const std::uint32_t *r = t + (addr & 0xff) * 4;
+        std::uint32_t p0 = r[0], p1 = r[1], p2 = r[2], p3 = r[3];
+        r = t + (256 + ((addr >> 8) & 0xff)) * 4;
+        p0 ^= r[0]; p1 ^= r[1]; p2 ^= r[2]; p3 ^= r[3];
+        r = t + (512 + ((addr >> 16) & 0xff)) * 4;
+        p0 ^= r[0]; p1 ^= r[1]; p2 ^= r[2]; p3 ^= r[3];
+        r = t + (768 + ((addr >> 24) & 0xff)) * 4;
+        p0 ^= r[0]; p1 ^= r[1]; p2 ^= r[2]; p3 ^= r[3];
+        r = t + (1024 + ((addr >> 32) & 0xff)) * 4;
+        p0 ^= r[0]; p1 ^= r[1]; p2 ^= r[2]; p3 ^= r[3];
+        r = t + (1280 + ((addr >> 40) & 0xff)) * 4;
+        p0 ^= r[0]; p1 ^= r[1]; p2 ^= r[2]; p3 ^= r[3];
+        r = t + (1536 + ((addr >> 48) & 0xff)) * 4;
+        p0 ^= r[0]; p1 ^= r[1]; p2 ^= r[2]; p3 ^= r[3];
+        r = t + (1792 + (addr >> 56)) * 4;
+        pos[0] = p0 ^ r[0];
+        pos[1] = p1 ^ r[1];
+        pos[2] = p2 ^ r[2];
+        pos[3] = p3 ^ r[3];
+    }
+
+    /** Out-of-line W != 4 batched hash: vectorized W = 8, generic
+     *  strided fold otherwise. See wayHashAll() for why this must
+     *  not live in an inline body. */
+    void wayHashAllWide(Addr addr, std::uint32_t *pos) const;
+
+    /** Geometry-specialized walk body (see wayHashAll()). */
+    template <bool kW4>
+    void walkImpl(Addr addr, CandidateBuf &out) const;
 
     std::uint32_t ways_;
     std::uint32_t numCands_;
@@ -158,15 +172,15 @@ class ZArray : public CacheArray
      * the same seeds as before; positions are unchanged. lookup()
      * walks these way-major so it can early-exit on a hit.
      */
-    std::vector<std::uint32_t> posTables_;
+    HpArray<std::uint32_t> posTables_;
     /**
      * The same premasked words interleaved way-minor for the walk:
      * entry [((byte << 8) | value) * ways_ + w]. One BFS level's W
      * hashes read 8 contiguous rows instead of W scattered tables.
      */
-    std::vector<std::uint32_t> walkTables_;
+    HpArray<std::uint32_t> walkTables_;
     // Per-slot visit stamps for O(1) dedup during walks.
-    mutable std::vector<std::uint32_t> visitEpoch_;
+    mutable HpArray<std::uint32_t> visitEpoch_;
     mutable std::uint32_t walkEpoch_ = 0;
     /**
      * First-level positions memoized by the last missing lookup();

@@ -1,0 +1,63 @@
+#include "common/hp_alloc.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace vantage {
+
+bool
+hugePagesEnabled()
+{
+    static const bool enabled = [] {
+        const char *env = std::getenv("VANTAGE_HUGEPAGES");
+        return env == nullptr || std::strcmp(env, "0") != 0;
+    }();
+    return enabled;
+}
+
+void *
+hpAllocBytes(std::size_t bytes)
+{
+    if (bytes == 0) {
+        return nullptr;
+    }
+    std::size_t align = kPlaneAlignment;
+    if (bytes >= kHugePageBytes && hugePagesEnabled()) {
+        align = kHugePageBytes;
+    }
+    // aligned_alloc requires the size to be a multiple of the
+    // alignment; the padding is dead weight only on the last page.
+    std::size_t padded = (bytes + align - 1) / align * align;
+    void *p = std::aligned_alloc(align, padded);
+    if (p == nullptr && align > kPlaneAlignment) {
+        // Huge-page-aligned reservation failed (fragmented or
+        // overcommit-limited heap): fall back to plain cache-line
+        // alignment rather than dying.
+        align = kPlaneAlignment;
+        padded = (bytes + align - 1) / align * align;
+        p = std::aligned_alloc(align, padded);
+    }
+    if (p == nullptr) {
+        throw std::bad_alloc{};
+    }
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+    if (align >= kHugePageBytes) {
+        // Advisory only: a kernel with THP disabled simply ignores
+        // it, and the plane still works on 4 KB pages.
+        (void)madvise(p, padded, MADV_HUGEPAGE);
+    }
+#endif
+    return p;
+}
+
+void
+hpFreeBytes(void *p)
+{
+    std::free(p);
+}
+
+} // namespace vantage

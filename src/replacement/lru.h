@@ -22,6 +22,7 @@
 
 #include "common/bits.h"
 #include "replacement/repl_policy.h"
+#include "simd/simd.h"
 
 namespace vantage {
 
@@ -48,26 +49,17 @@ class ExactLru : public ReplPolicy
     }
 
     /**
-     * Same earliest-wins min fold as the generic prefer() loop, but
-     * as one tight pass over the cold plane — no per-candidate
-     * virtual calls on the miss path.
+     * Same earliest-wins min fold as the generic prefer() loop, as a
+     * dispatched vector min-reduction over the cold plane (first
+     * index wins ties in every backend) — no per-candidate virtual
+     * calls on the miss path.
      */
     std::int32_t
     selectVictim(CacheArray &array,
                  const CandidateBuf &cands) override
     {
-        const LineCold *const cold = array.coldData();
-        const Candidate *const cv = cands.data();
-        std::int32_t best = 0;
-        std::uint64_t best_la = cold[cv[0].slot].lastAccess;
-        for (std::uint32_t i = 1; i < cands.size(); ++i) {
-            const std::uint64_t la = cold[cv[i].slot].lastAccess;
-            if (la < best_la) {
-                best = static_cast<std::int32_t>(i);
-                best_la = la;
-            }
-        }
-        return best;
+        return simd::ops().minLastAccess(array.coldData(),
+                                         cands.data(), cands.size());
     }
 
     double
@@ -117,24 +109,15 @@ class CoarseLru : public ReplPolicy
 
     /**
      * Oldest-age max fold (first wins ties), identical to the
-     * generic prefer() loop but in one pass over the hot plane.
+     * generic prefer() loop, as a dispatched vector reduction over
+     * the hot plane's rank bytes.
      */
     std::int32_t
     selectVictim(CacheArray &array,
                  const CandidateBuf &cands) override
     {
-        const Line *const lines = array.linesData();
-        const Candidate *const cv = cands.data();
-        std::int32_t best = 0;
-        std::uint32_t best_age = age(lines[cv[0].slot]);
-        for (std::uint32_t i = 1; i < cands.size(); ++i) {
-            const std::uint32_t a = age(lines[cv[i].slot]);
-            if (a > best_age) {
-                best = static_cast<std::int32_t>(i);
-                best_age = a;
-            }
-        }
-        return best;
+        return simd::ops().oldestRank(array.linesData(), cands.data(),
+                                      cands.size(), currentTs_);
     }
 
     double

@@ -10,8 +10,10 @@
 #include <cstdio>
 #include <memory>
 
+#include "common/hp_alloc.h"
 #include "common/log.h"
 #include "common/thread_pool.h"
+#include "simd/simd.h"
 #include "core/vantage.h"
 #include "obs/audit.h"
 #include "obs/metrics_service.h"
@@ -408,6 +410,9 @@ main(int argc, char **argv)
                      opts.scale.warmupAccesses),
                  static_cast<unsigned long long>(
                      opts.scale.instructions));
+    std::fprintf(stderr, "vsim: simd %s kernels, hugepages %s\n",
+                 simd::levelName(),
+                 hugePagesEnabled() ? "on" : "off");
     if (opts.banks > 0) {
         std::fprintf(stderr,
                      "vsim: %u banks of %llu lines, %u shard "

@@ -1,0 +1,10 @@
+#include "simd/kernels.h"
+
+namespace vantage::simd {
+
+const Ops kScalarOps = {
+    &scalar::findTag,   &scalar::findTagAt,     &scalar::classify,
+    &scalar::oldestRank, &scalar::minLastAccess, &scalar::xorRows8,
+};
+
+} // namespace vantage::simd

@@ -1,0 +1,150 @@
+#include "simd/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.h"
+#include "simd/kernels.h"
+
+namespace vantage::simd {
+
+namespace detail {
+// Constant-initialized to the scalar table so a call from any other
+// translation unit's dynamic initializer is already safe (all
+// backends are bit-identical, so an early caller merely runs scalar
+// until the resolver below upgrades the dispatch).
+const Ops *g_active = &kScalarOps;
+Level g_level = Level::Scalar;
+} // namespace detail
+
+namespace {
+
+bool
+avx2Supported()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+}
+
+bool
+neonSupported()
+{
+#if defined(__aarch64__)
+    return true; // NEON is architecturally baseline on AArch64.
+#else
+    return false;
+#endif
+}
+
+Level
+bestLevel()
+{
+    if (avx2Supported()) {
+        return Level::Avx2;
+    }
+    if (neonSupported()) {
+        return Level::Neon;
+    }
+    return Level::Scalar;
+}
+
+void
+resolve()
+{
+    Level lvl = bestLevel();
+    if (const char *env = std::getenv("VANTAGE_SIMD")) {
+        if (std::strcmp(env, "scalar") == 0) {
+            lvl = Level::Scalar;
+        } else if (std::strcmp(env, "avx2") == 0) {
+            if (avx2Supported()) {
+                lvl = Level::Avx2;
+            } else {
+                warn("VANTAGE_SIMD=avx2 requested but this CPU lacks "
+                     "AVX2; falling back to scalar kernels");
+                lvl = Level::Scalar;
+            }
+        } else if (std::strcmp(env, "neon") == 0) {
+            if (neonSupported()) {
+                lvl = Level::Neon;
+            } else {
+                warn("VANTAGE_SIMD=neon requested but this is not an "
+                     "AArch64 host; falling back to scalar kernels");
+                lvl = Level::Scalar;
+            }
+        } else if (*env != '\0') {
+            warn("unknown VANTAGE_SIMD level '%s' (want "
+                 "avx2|neon|scalar); auto-detecting",
+                 env);
+        }
+    }
+    detail::g_level = lvl;
+    detail::g_active = opsFor(lvl);
+}
+
+// Resolve before main(): the env override and CPUID check happen
+// exactly once, and every later ops() call is one pointer load.
+struct Resolver
+{
+    Resolver() { resolve(); }
+} g_resolver;
+
+} // namespace
+
+const Ops *
+opsFor(Level level)
+{
+    switch (level) {
+    case Level::Scalar:
+        return &kScalarOps;
+    case Level::Avx2:
+#if defined(__x86_64__) || defined(__i386__)
+        return avx2Supported() ? &kAvx2Ops : nullptr;
+#else
+        return nullptr;
+#endif
+    case Level::Neon:
+#if defined(__aarch64__)
+        return &kNeonOps;
+#else
+        return nullptr;
+#endif
+    }
+    return nullptr;
+}
+
+bool
+setLevelForTest(Level level)
+{
+    const Ops *ops = opsFor(level);
+    if (ops == nullptr) {
+        return false;
+    }
+    detail::g_level = level;
+    detail::g_active = ops;
+    return true;
+}
+
+const char *
+levelName(Level level)
+{
+    switch (level) {
+    case Level::Scalar:
+        return "scalar";
+    case Level::Avx2:
+        return "avx2";
+    case Level::Neon:
+        return "neon";
+    }
+    return "unknown";
+}
+
+const char *
+levelName()
+{
+    return levelName(detail::g_level);
+}
+
+} // namespace vantage::simd

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernels for the hot plane scans.
+ *
+ * The three scans that dominate the miss path — the lookup
+ * tag-compare, the Vantage demotion pass over a candidate list, and
+ * the LRU victim folds — all stream over the 16-byte SoA hot plane
+ * (and the 8-byte cold plane), which was laid out to be scanned with
+ * vectors. This module provides AVX2 and NEON implementations of
+ * those scans plus a scalar reference, selected once at startup by
+ * CPU detection so one binary runs everywhere. The choice can be
+ * forced with VANTAGE_SIMD=avx2|neon|scalar for parity testing.
+ *
+ * Every kernel is digest-neutral: for any input, every backend
+ * returns exactly what the scalar reference returns (first-match /
+ * first-wins tie semantics included), so victim choices — and hence
+ * the pinned golden digests — are bit-identical across backends.
+ */
+
+#ifndef VANTAGE_SIMD_SIMD_H_
+#define VANTAGE_SIMD_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "array/cache_array.h"
+#include "array/candidate_buf.h"
+#include "common/types.h"
+
+namespace vantage::simd {
+
+// The kernels address the planes with raw offset arithmetic; pin the
+// layout they assume.
+static_assert(offsetof(Line, addr) == 0 && offsetof(Line, part) == 8 &&
+                  offsetof(Line, rank) == 12 && sizeof(Line) == 16,
+              "SIMD kernels assume the {addr, part, rank} hot-line "
+              "layout");
+static_assert(sizeof(LineCold) == 8,
+              "SIMD kernels assume one qword per cold line");
+static_assert(offsetof(Candidate, slot) == 0 && sizeof(Candidate) == 8,
+              "SIMD kernels assume {slot, parent} candidate layout");
+
+/** Dispatch levels, ordered roughly by preference. */
+enum class Level : std::uint8_t { Scalar = 0, Avx2 = 1, Neon = 2 };
+
+/**
+ * The dispatched kernel table. All kernels share scalar-identical
+ * semantics:
+ *
+ * - findTag: index of the first of `n` consecutive hot lines whose
+ *   tag equals `addr`, or -1 (set-associative lookup within a set).
+ * - findTagAt: same, but over `n` precomputed slots into the hot
+ *   plane (zcache lookup over the way positions).
+ * - classify: one pass over a candidate list gathering
+ *   parts[i] / ranks[i] from the hot plane and building bitmask i ->
+ *   valid and i -> (part == kUnmanagedPart) summaries (the Vantage
+ *   demotion pre-scan). n <= 64 so the masks fit one word.
+ * - oldestRank: first index maximizing the coarse-timestamp age
+ *   (ts - rank) mod 256 over a candidate list (CoarseLru fold).
+ * - minLastAccess: first index minimizing the cold-plane lastAccess
+ *   stamp over a candidate list (ExactLru fold).
+ * - xorRows8: the W == 8 batched way hash — XOR eight 8-word rows of
+ *   the interleaved walk tables into pos[0..7].
+ */
+struct Ops
+{
+    std::int32_t (*findTag)(const Line *lines, std::uint32_t n,
+                            Addr addr);
+    std::int32_t (*findTagAt)(const Line *lines, const LineId *slots,
+                              std::uint32_t n, Addr addr);
+    void (*classify)(const Line *lines, const Candidate *cands,
+                     std::uint32_t n, std::uint32_t *parts,
+                     std::uint8_t *ranks, std::uint64_t *valid_mask,
+                     std::uint64_t *unmanaged_mask);
+    std::int32_t (*oldestRank)(const Line *lines,
+                               const Candidate *cands, std::uint32_t n,
+                               std::uint8_t current_ts);
+    std::int32_t (*minLastAccess)(const LineCold *cold,
+                                  const Candidate *cands,
+                                  std::uint32_t n);
+    void (*xorRows8)(const std::uint32_t *walk_tables, Addr addr,
+                     std::uint32_t *pos);
+};
+
+namespace detail {
+extern const Ops *g_active;
+extern Level g_level;
+} // namespace detail
+
+/** The active kernel table (resolved once before main()). */
+inline const Ops &
+ops()
+{
+    return *detail::g_active;
+}
+
+/** The active dispatch level. */
+inline Level
+level()
+{
+    return detail::g_level;
+}
+
+/** Printable name of a level ("scalar", "avx2", "neon"). */
+const char *levelName(Level level);
+
+/** Printable name of the active level. */
+const char *levelName();
+
+/**
+ * The kernel table for `level`, or nullptr when this host cannot run
+ * it. Lets parity tests drive every available backend directly
+ * without touching the global dispatch.
+ */
+const Ops *opsFor(Level level);
+
+/**
+ * Force the active dispatch level (parity tests, fuzz sweeps).
+ * Returns false — leaving the dispatch untouched — when the host
+ * cannot run `level`. Not thread-safe: switch only while no
+ * simulation threads are running.
+ */
+bool setLevelForTest(Level level);
+
+} // namespace vantage::simd
+
+#endif // VANTAGE_SIMD_SIMD_H_

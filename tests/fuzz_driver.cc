@@ -21,7 +21,7 @@
  * Usage: fuzz_driver [--iters N] [--seed S] [--accesses N]
  *                    [--check-every N] [--banks N]
  *                    [--shard-workers N] [--lifecycle]
- *                    [--no-realloc] [--verbose]
+ *                    [--no-realloc] [--simd-compare] [--verbose]
  *
  * --lifecycle interleaves seeded partition create/destroy events
  * with the access stream: retired partitions stop receiving accesses
@@ -43,6 +43,12 @@
  * landing at the same stream positions (quiescing in-flight accesses
  * first). The two replays must produce identical access digests.
  *
+ * --simd-compare replays each case once per available SIMD dispatch
+ * level (scalar first, then every vector backend the host supports),
+ * forcing the level between replays. Every vectorized kernel is
+ * contractually digest-neutral, so all replays must produce the
+ * scalar digest bit-for-bit.
+ *
  * Exit status: 0 when every iteration holds all invariants, 1 on the
  * first (minimized) violation, 2 on usage errors.
  */
@@ -61,6 +67,7 @@
 #include "common/digest.h"
 #include "common/rng.h"
 #include "sim/experiment.h"
+#include "simd/simd.h"
 
 using namespace vantage;
 
@@ -551,6 +558,7 @@ main(int argc, char **argv)
     std::uint64_t shard_workers = 0;
     bool allow_realloc = true;
     bool lifecycle = false;
+    bool simd_compare = false;
     bool verbose = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -589,6 +597,8 @@ main(int argc, char **argv)
             allow_realloc = false;
         } else if (arg == "--lifecycle") {
             lifecycle = true;
+        } else if (arg == "--simd-compare") {
+            simd_compare = true;
         } else if (arg == "--verbose") {
             verbose = true;
         } else {
@@ -597,7 +607,8 @@ main(int argc, char **argv)
                          "usage: fuzz_driver [--iters N] [--seed S] "
                          "[--accesses N] [--check-every N] "
                          "[--banks N] [--shard-workers N] "
-                         "[--lifecycle] [--no-realloc] [--verbose]\n",
+                         "[--lifecycle] [--no-realloc] "
+                         "[--simd-compare] [--verbose]\n",
                          arg.c_str());
             return 2;
         }
@@ -609,6 +620,33 @@ main(int argc, char **argv)
                      "the worker count\n");
         return 2;
     }
+    if (simd_compare && shard_workers > 0) {
+        std::fprintf(stderr,
+                     "fuzz_driver: --simd-compare and --shard-workers "
+                     "are separate comparison modes; pick one\n");
+        return 2;
+    }
+
+    // Dispatch levels to sweep in --simd-compare mode: scalar first
+    // (the reference), then whatever vector backends this host can
+    // actually run.
+    std::vector<simd::Level> sweep_levels;
+    if (simd_compare) {
+        for (const simd::Level lvl :
+             {simd::Level::Scalar, simd::Level::Avx2,
+              simd::Level::Neon}) {
+            if (simd::opsFor(lvl) != nullptr) {
+                sweep_levels.push_back(lvl);
+            }
+        }
+        if (sweep_levels.size() < 2) {
+            std::fprintf(stderr,
+                         "fuzz_driver: --simd-compare: host has only "
+                         "the scalar backend; sweep degenerates to a "
+                         "plain run\n");
+        }
+    }
+    const simd::Level startup_level = simd::level();
 
     for (std::uint64_t it = 0; it < iters; ++it) {
         const std::uint64_t seed = base_seed + it;
@@ -626,6 +664,56 @@ main(int argc, char **argv)
                          fc.describe().c_str());
         }
         InvariantReport rep;
+        if (simd_compare) {
+            // SIMD sweep: replay the identical case once per dispatch
+            // level. The scalar replay (always first) pins the
+            // reference digest; every vector backend must match it
+            // bit-for-bit.
+            std::uint64_t ref_digest = 0;
+            for (std::size_t li = 0; li < sweep_levels.size(); ++li) {
+                const simd::Level lvl = sweep_levels[li];
+                if (!simd::setLevelForTest(lvl)) {
+                    continue;
+                }
+                AccessDigest digest;
+                const std::int64_t bad =
+                    runCase(fc, check_every, allow_realloc, true, rep,
+                            &digest);
+                if (bad >= 0) {
+                    simd::setLevelForTest(startup_level);
+                    std::fprintf(stderr,
+                                 "  (under VANTAGE_SIMD=%s)\n",
+                                 simd::levelName(lvl));
+                    return reportFailure(
+                        fc, static_cast<std::uint64_t>(bad));
+                }
+                if (li == 0) {
+                    ref_digest = digest.value();
+                } else if (digest.value() != ref_digest) {
+                    simd::setLevelForTest(startup_level);
+                    std::fprintf(
+                        stderr,
+                        "FUZZ FAILURE\n  seed:    %llu\n"
+                        "  config:  %s\n"
+                        "  digest mismatch: %s 0x%016llx != %s "
+                        "0x%016llx\n"
+                        "reproduce: fuzz_driver --seed %llu --iters 1 "
+                        "--accesses %llu --simd-compare\n",
+                        static_cast<unsigned long long>(seed),
+                        fc.describe().c_str(),
+                        simd::levelName(sweep_levels[0]),
+                        static_cast<unsigned long long>(ref_digest),
+                        simd::levelName(lvl),
+                        static_cast<unsigned long long>(
+                            digest.value()),
+                        static_cast<unsigned long long>(seed),
+                        static_cast<unsigned long long>(accesses));
+                    return 1;
+                }
+            }
+            simd::setLevelForTest(startup_level);
+            continue;
+        }
         if (shard_workers > 0) {
             // Sharded mode: replay serially for the reference
             // digest, then through the worker runtime. Both must
